@@ -1,0 +1,48 @@
+//! End-to-end engine benchmarks: one small multi-join plan executed under
+//! each strategy (DP, FP, SP) and under DP on a hierarchical machine. These
+//! measure simulator throughput, not the simulated response time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlb_core::{AdHocQuery, HierarchicalSystem, Strategy};
+use std::hint::black_box;
+
+fn query() -> AdHocQuery {
+    AdHocQuery::new("bench")
+        .relation("a", 8_000)
+        .relation("b", 16_000)
+        .relation("c", 12_000)
+        .relation("d", 4_000)
+        .join("a", "b")
+        .join("b", "c")
+        .join("c", "d")
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines");
+    group.sample_size(20);
+
+    let sm = HierarchicalSystem::shared_memory(8);
+    let sm_plan = query().compile(&sm).unwrap().remove(0);
+    group.bench_function("dp_shared_memory_8p", |b| {
+        b.iter(|| black_box(sm.run(&sm_plan, Strategy::Dynamic).unwrap()));
+    });
+    group.bench_function("fp_shared_memory_8p", |b| {
+        b.iter(|| black_box(sm.run(&sm_plan, Strategy::Fixed { error_rate: 0.0 }).unwrap()));
+    });
+    group.bench_function("sp_shared_memory_8p", |b| {
+        b.iter(|| black_box(sm.run(&sm_plan, Strategy::Synchronous).unwrap()));
+    });
+
+    let hier = HierarchicalSystem::hierarchical(4, 4).with_skew(0.6);
+    let hier_plan = query().compile(&hier).unwrap().remove(0);
+    group.bench_function("dp_hierarchical_4x4_skew06", |b| {
+        b.iter(|| black_box(hier.run(&hier_plan, Strategy::Dynamic).unwrap()));
+    });
+    group.bench_function("fp_hierarchical_4x4_skew06", |b| {
+        b.iter(|| black_box(hier.run(&hier_plan, Strategy::Fixed { error_rate: 0.0 }).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

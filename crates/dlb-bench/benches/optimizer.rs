@@ -1,0 +1,55 @@
+//! Micro-benchmarks of the query generator, bushy-tree optimizer and plan
+//! construction (the compile-time path of the system).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlb_query::generator::{WorkloadGenerator, WorkloadParams};
+use dlb_query::optimizer::Optimizer;
+use dlb_query::optree::OperatorTree;
+use dlb_query::plan::{ChainScheduling, OperatorHomes, ParallelPlan};
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    c.bench_function("generate_12_relation_query", |b| {
+        let generator = WorkloadGenerator::new(WorkloadParams::default());
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(generator.generate_query(dlb_common::QueryId::new(i)))
+        });
+    });
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer");
+    for relations in [6usize, 12] {
+        let query = WorkloadGenerator::new(WorkloadParams {
+            queries: 1,
+            relations_per_query: relations,
+            ..WorkloadParams::default()
+        })
+        .generate_query(dlb_common::QueryId::new(0));
+        let optimizer = Optimizer::with_defaults();
+        group.bench_function(format!("optimize_{relations}_relations"), |b| {
+            b.iter(|| black_box(optimizer.optimize(&query).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_building(c: &mut Criterion) {
+    let query = WorkloadGenerator::new(WorkloadParams::default())
+        .generate_query(dlb_common::QueryId::new(3));
+    let tree = Optimizer::with_defaults().optimize(&query).unwrap().remove(0);
+    c.bench_function("macro_expand_and_schedule_12_relations", |b| {
+        b.iter(|| {
+            let optree = OperatorTree::from_join_tree(black_box(&tree));
+            let homes = OperatorHomes::all_nodes(&optree, 4);
+            black_box(
+                ParallelPlan::build(query.id, optree, homes, ChainScheduling::OneAtATime).unwrap(),
+            )
+        });
+    });
+}
+
+criterion_group!(benches, bench_generation, bench_optimizer, bench_plan_building);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Micro-benchmarks of activation queues and the skew router: the data
+//! structures every activation passes through (engine hot path).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dlb_exec::{Activation, ActivationQueue, OutputRouter};
+use dlb_common::OperatorId;
+use std::hint::black_box;
+
+fn bench_queue_push_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("activation_queue");
+    group.bench_function("push_pop_1k_bounded", |b| {
+        b.iter_batched(
+            || ActivationQueue::new(2_048),
+            |mut q| {
+                for i in 0..1_000u64 {
+                    q.push(Activation::data(OperatorId::new(0), i % 128 + 1));
+                }
+                while let Some(a) = q.pop() {
+                    black_box(a);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("push_pop_1k_unbounded", |b| {
+        b.iter_batched(
+            || ActivationQueue::new(0),
+            |mut q| {
+                for i in 0..1_000u64 {
+                    q.push(Activation::data(OperatorId::new(0), i % 128 + 1));
+                }
+                while let Some(a) = q.pop() {
+                    black_box(a);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("drain_half_of_1k", |b| {
+        b.iter_batched(
+            || {
+                let mut q = ActivationQueue::new(0);
+                for i in 0..1_000u64 {
+                    q.push(Activation::data(OperatorId::new(0), i + 1));
+                }
+                q
+            },
+            |mut q| black_box(q.drain(500)),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_router(c: &mut Criterion) {
+    let mut group = c.benchmark_group("output_router");
+    for (label, slots, theta) in [
+        ("uniform_64_slots", 64usize, 0.0f64),
+        ("skewed_64_slots", 64, 0.8),
+        ("skewed_512_slots", 512, 0.8),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || OutputRouter::new(slots, theta, 3),
+                |mut r| {
+                    for _ in 0..1_000 {
+                        black_box(r.route(128));
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue_push_pop, bench_router);
+criterion_main!(benches);

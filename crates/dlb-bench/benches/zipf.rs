@@ -1,0 +1,32 @@
+//! Micro-benchmarks of the Zipf skew generator used for redistribution and
+//! placement skew.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlb_common::ZipfDistribution;
+use std::hint::black_box;
+
+fn bench_zipf_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zipf_build");
+    for n in [64usize, 1_024, 16_384] {
+        group.bench_function(format!("n{n}_theta08"), |b| {
+            b.iter(|| black_box(ZipfDistribution::new(n, 0.8)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_zipf_split(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zipf_split");
+    let dist = ZipfDistribution::new(1_024, 0.8);
+    group.bench_function("split_1M_tuples_over_1024_buckets", |b| {
+        b.iter(|| black_box(dist.split(1_000_000)));
+    });
+    let uniform = ZipfDistribution::new(1_024, 0.0);
+    group.bench_function("split_1M_tuples_uniform", |b| {
+        b.iter(|| black_box(uniform.split(1_000_000)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_zipf_build, bench_zipf_split);
+criterion_main!(benches);

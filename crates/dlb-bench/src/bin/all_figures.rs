@@ -1,0 +1,34 @@
+//! Runs every figure harness in sequence (the full evaluation of the paper).
+//!
+//! ```text
+//! cargo run --release -p dlb-bench --bin all_figures            # reduced scale
+//! cargo run --release -p dlb-bench --bin all_figures -- --paper # paper scale (slow)
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let forward: Vec<String> = std::env::args().skip(1).collect();
+    let binaries = [
+        "fig_params",
+        "fig6_local_models",
+        "fig7_cost_errors",
+        "fig8_speedup",
+        "fig9_skew",
+        "fig10_global",
+    ];
+    let exe = std::env::current_exe().expect("current executable path");
+    let dir = exe.parent().expect("binary directory").to_path_buf();
+    for bin in binaries {
+        println!();
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .args(&forward)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+}

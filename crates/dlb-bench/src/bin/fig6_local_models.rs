@@ -1,0 +1,32 @@
+//! Figure 6 — relative performance of SP, DP and FP on a single shared-memory
+//! node, without data skew, for 16/32/64 processors (SP is the reference).
+
+use dlb_bench::{fmt_ratio, HarnessConfig};
+use dlb_core::{relative_performance, HierarchicalSystem, Strategy};
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    cfg.banner(
+        "Figure 6",
+        "relative performance of SP, DP, FP (shared memory, no skew)",
+    );
+
+    println!("{:>6}  {:>8}  {:>8}  {:>8}", "procs", "SP", "DP", "FP");
+    for &procs in &[16u32, 32, 64] {
+        let system = HierarchicalSystem::shared_memory(procs);
+        let experiment = cfg.experiment(system);
+        let sp = experiment.run(Strategy::Synchronous).expect("SP");
+        let dp = experiment.run(Strategy::Dynamic).expect("DP");
+        let fp = experiment.run(Strategy::Fixed { error_rate: 0.0 }).expect("FP");
+        println!(
+            "{procs:>6}  {:>8}  {:>8}  {:>8}",
+            fmt_ratio(relative_performance(&sp, &sp)),
+            fmt_ratio(relative_performance(&dp, &sp)),
+            fmt_ratio(relative_performance(&fp, &sp)),
+        );
+    }
+    println!(
+        "\npaper: SP = 1.0 (best); DP within a few percent of SP; FP clearly worse,\n\
+         and worse with fewer processors (discretization errors)."
+    );
+}

@@ -1,0 +1,32 @@
+//! Figure 9 — impact of redistribution skew on Dynamic Processing with 64
+//! processors: relative degradation versus Zipf factor 0 → 1 (reference is
+//! the unskewed run).
+
+use dlb_bench::{fmt_ratio, HarnessConfig};
+use dlb_core::{relative_performance, HierarchicalSystem, Strategy};
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    cfg.banner(
+        "Figure 9",
+        "impact of redistribution skew on DP (64 processors)",
+    );
+
+    let base_system = HierarchicalSystem::shared_memory(64);
+    let experiment = cfg.experiment(base_system.clone());
+    let reference = experiment.run(Strategy::Dynamic).expect("reference");
+
+    println!("{:>6}  {:>14}", "skew", "degradation");
+    for &skew in &[0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+        let skewed = experiment.on_system(base_system.clone().with_skew(skew));
+        let runs = skewed.run(Strategy::Dynamic).expect("skewed DP");
+        println!(
+            "{skew:>6.1}  {:>14}",
+            fmt_ratio(relative_performance(&runs, &reference))
+        );
+    }
+    println!(
+        "\npaper: the impact of skew on DP is insignificant (well under 10% even at\n\
+         skew factor 1), thanks to high fragmentation and shared activation queues."
+    );
+}

@@ -1,0 +1,159 @@
+//! # dlb-bench
+//!
+//! Benchmark harnesses that regenerate every table and figure of the paper's
+//! evaluation (§5), plus Criterion micro-benchmarks of the engine internals.
+//!
+//! Each figure has a dedicated binary (see `src/bin/`); `all_figures` runs
+//! them all in sequence. The harness defaults to a reduced workload so that a
+//! full run completes in minutes on a laptop; set the environment variables
+//! below (or pass `--paper`) to approach the paper's scale:
+//!
+//! | variable | default | paper |
+//! |---|---|---|
+//! | `HIERDB_QUERIES` | 6 | 20 |
+//! | `HIERDB_RELATIONS` | 10 | 12 |
+//! | `HIERDB_SCALE` | 0.1 | 1.0 |
+//! | `HIERDB_SEED` | 0xD1B1996 | — |
+//!
+//! The measured series are printed as aligned text tables; `EXPERIMENTS.md`
+//! at the workspace root records a reference run next to the paper's numbers.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use dlb_core::{Experiment, HierarchicalSystem, WorkloadParams};
+
+/// Configuration of the figure harness, read from the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessConfig {
+    /// Number of generated queries.
+    pub queries: usize,
+    /// Relations per query.
+    pub relations: usize,
+    /// Cardinality scale factor (1.0 = paper scale).
+    pub scale: f64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        Self {
+            queries: 6,
+            relations: 10,
+            scale: 0.1,
+            seed: 0xD1B_1996,
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// Reads the configuration from the environment and the command line
+    /// (`--paper` selects the paper-scale workload).
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if std::env::args().any(|a| a == "--paper") {
+            cfg.queries = 20;
+            cfg.relations = 12;
+            cfg.scale = 1.0;
+        }
+        if let Some(v) = read_env_usize("HIERDB_QUERIES") {
+            cfg.queries = v;
+        }
+        if let Some(v) = read_env_usize("HIERDB_RELATIONS") {
+            cfg.relations = v;
+        }
+        if let Some(v) = read_env_f64("HIERDB_SCALE") {
+            cfg.scale = v;
+        }
+        if let Some(v) = read_env_u64("HIERDB_SEED") {
+            cfg.seed = v;
+        }
+        cfg
+    }
+
+    /// The workload parameters corresponding to this configuration.
+    pub fn workload(&self) -> WorkloadParams {
+        WorkloadParams {
+            queries: self.queries,
+            relations_per_query: self.relations,
+            scale: self.scale,
+            skew: 0.0,
+            seed: self.seed,
+        }
+    }
+
+    /// Builds an experiment (workload compiled for `system`).
+    pub fn experiment(&self, system: HierarchicalSystem) -> Experiment {
+        Experiment::builder()
+            .system(system)
+            .workload(self.workload())
+            .build()
+            .expect("workload generation cannot fail with valid parameters")
+    }
+
+    /// Prints the harness banner for a figure binary.
+    pub fn banner(&self, figure: &str, description: &str) {
+        println!("================================================================");
+        println!("{figure} — {description}");
+        println!(
+            "workload: {} queries x {} relations, scale {}, seed {:#x}",
+            self.queries, self.relations, self.scale, self.seed
+        );
+        println!("================================================================");
+    }
+}
+
+fn read_env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+fn read_env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+fn read_env_f64(name: &str) -> Option<f64> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+/// Formats a ratio column entry.
+pub fn fmt_ratio(v: f64) -> String {
+    if v.is_nan() {
+        "   n/a".to_string()
+    } else {
+        format!("{v:6.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_configuration_is_reduced_scale() {
+        let c = HarnessConfig::default();
+        assert!(c.scale < 1.0);
+        assert!(c.queries < 20);
+        let w = c.workload();
+        assert_eq!(w.queries, c.queries);
+        assert_eq!(w.relations_per_query, c.relations);
+    }
+
+    #[test]
+    fn experiment_builds_from_config() {
+        let c = HarnessConfig {
+            queries: 1,
+            relations: 3,
+            scale: 0.002,
+            seed: 1,
+        };
+        let exp = c.experiment(HierarchicalSystem::shared_memory(2));
+        assert!(!exp.workload().is_empty());
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(fmt_ratio(f64::NAN), "   n/a");
+        assert_eq!(fmt_ratio(1.25), " 1.250");
+    }
+}

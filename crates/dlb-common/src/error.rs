@@ -1,0 +1,88 @@
+//! Workspace error type.
+
+use std::fmt;
+
+/// Convenience result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, DlbError>;
+
+/// Errors produced by the hierdb crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DlbError {
+    /// A configuration value is invalid (zero processors, empty home, ...).
+    InvalidConfig(String),
+    /// A query or plan is structurally invalid (cycle in the schedule,
+    /// operator referencing an unknown relation, ...).
+    InvalidPlan(String),
+    /// A referenced entity does not exist in the catalog.
+    NotFound(String),
+    /// The execution engine reached an inconsistent state. This indicates a
+    /// bug in the engine rather than bad user input.
+    ExecutionError(String),
+}
+
+impl fmt::Display for DlbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DlbError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            DlbError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+            DlbError::NotFound(msg) => write!(f, "not found: {msg}"),
+            DlbError::ExecutionError(msg) => write!(f, "execution error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DlbError {}
+
+impl DlbError {
+    /// Builds an [`DlbError::InvalidConfig`] from anything displayable.
+    pub fn config(msg: impl fmt::Display) -> Self {
+        DlbError::InvalidConfig(msg.to_string())
+    }
+
+    /// Builds an [`DlbError::InvalidPlan`] from anything displayable.
+    pub fn plan(msg: impl fmt::Display) -> Self {
+        DlbError::InvalidPlan(msg.to_string())
+    }
+
+    /// Builds an [`DlbError::NotFound`] from anything displayable.
+    pub fn not_found(msg: impl fmt::Display) -> Self {
+        DlbError::NotFound(msg.to_string())
+    }
+
+    /// Builds an [`DlbError::ExecutionError`] from anything displayable.
+    pub fn exec(msg: impl fmt::Display) -> Self {
+        DlbError::ExecutionError(msg.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        assert_eq!(
+            DlbError::config("no processors").to_string(),
+            "invalid configuration: no processors"
+        );
+        assert_eq!(
+            DlbError::plan("cycle").to_string(),
+            "invalid plan: cycle"
+        );
+        assert_eq!(
+            DlbError::not_found("relation R").to_string(),
+            "not found: relation R"
+        );
+        assert_eq!(
+            DlbError::exec("queue corrupt").to_string(),
+            "execution error: queue corrupt"
+        );
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        let e = DlbError::config("x");
+        takes_err(&e);
+    }
+}

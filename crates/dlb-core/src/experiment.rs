@@ -1,0 +1,188 @@
+//! Experiments: running a whole workload under one strategy.
+//!
+//! The paper's methodology (§5.1.3) never averages absolute response times of
+//! different plans; every figure point is the *average of per-plan ratios*
+//! against a reference strategy. [`Experiment`] produces the per-plan reports
+//! and [`crate::summary`] implements the ratio aggregation.
+
+use crate::system::HierarchicalSystem;
+use crate::workload::CompiledWorkload;
+use dlb_common::Result;
+use dlb_exec::{ExecutionReport, Strategy};
+use dlb_query::generator::WorkloadParams;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// The report of one plan execution within an experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanRun {
+    /// Index of the plan within the workload.
+    pub plan_index: usize,
+    /// Index of the query the plan answers.
+    pub query_index: usize,
+    /// The execution report.
+    pub report: ExecutionReport,
+}
+
+/// An experiment: a system, a compiled workload, and the machinery to execute
+/// every plan under a chosen strategy.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    system: HierarchicalSystem,
+    workload: Arc<CompiledWorkload>,
+    /// Cache of runs keyed by strategy label + skew, so repeated references
+    /// (e.g. SP as the baseline of several figures) are computed once.
+    cache: Arc<Mutex<Vec<(String, Vec<PlanRun>)>>>,
+}
+
+impl Experiment {
+    /// Starts building an experiment.
+    pub fn builder() -> ExperimentBuilder {
+        ExperimentBuilder::default()
+    }
+
+    /// Creates an experiment from an existing system and workload.
+    pub fn new(system: HierarchicalSystem, workload: CompiledWorkload) -> Self {
+        Self {
+            system,
+            workload: Arc::new(workload),
+            cache: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// The system under test.
+    pub fn system(&self) -> &HierarchicalSystem {
+        &self.system
+    }
+
+    /// The compiled workload.
+    pub fn workload(&self) -> &CompiledWorkload {
+        &self.workload
+    }
+
+    /// Returns a copy of this experiment running on a different system but
+    /// the same workload (used for processor-count sweeps). The cache is not
+    /// shared since reports depend on the machine.
+    pub fn on_system(&self, system: HierarchicalSystem) -> Self {
+        Self {
+            system,
+            workload: Arc::clone(&self.workload),
+            cache: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    fn cache_key(&self, strategy: Strategy) -> String {
+        format!(
+            "{:?}/skew{}/{}x{}",
+            strategy,
+            self.system.options().skew,
+            self.system.nodes(),
+            self.system.processors_per_node()
+        )
+    }
+
+    /// Runs every plan of the workload under `strategy`, returning one
+    /// [`PlanRun`] per plan. Results are cached per strategy.
+    pub fn run(&self, strategy: Strategy) -> Result<Vec<PlanRun>> {
+        let key = self.cache_key(strategy);
+        if let Some((_, cached)) = self.cache.lock().iter().find(|(k, _)| *k == key) {
+            return Ok(cached.clone());
+        }
+        let mut runs = Vec::with_capacity(self.workload.len());
+        for (plan_index, (query_index, plan)) in self.workload.plans().iter().enumerate() {
+            let report = self.system.run(plan, strategy)?;
+            runs.push(PlanRun {
+                plan_index,
+                query_index: *query_index,
+                report,
+            });
+        }
+        self.cache.lock().push((key, runs.clone()));
+        Ok(runs)
+    }
+}
+
+/// Builder for [`Experiment`].
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentBuilder {
+    system: Option<HierarchicalSystem>,
+    workload_params: Option<WorkloadParams>,
+}
+
+impl ExperimentBuilder {
+    /// Sets the system under test.
+    pub fn system(mut self, system: HierarchicalSystem) -> Self {
+        self.system = Some(system);
+        self
+    }
+
+    /// Sets the workload-generation parameters.
+    pub fn workload(mut self, params: WorkloadParams) -> Self {
+        self.workload_params = Some(params);
+        self
+    }
+
+    /// Generates the workload and builds the experiment.
+    pub fn build(self) -> Result<Experiment> {
+        let system = self.system.unwrap_or_else(|| HierarchicalSystem::builder().build());
+        let params = self.workload_params.unwrap_or_default();
+        let workload = CompiledWorkload::generate(params, &system)?;
+        Ok(Experiment::new(system, workload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_experiment(nodes: u32, procs: u32) -> Experiment {
+        Experiment::builder()
+            .system(HierarchicalSystem::hierarchical(nodes, procs))
+            .workload(WorkloadParams::tiny(2, 4, 11))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn experiment_runs_every_plan() {
+        let exp = small_experiment(1, 4);
+        let runs = exp.run(Strategy::Dynamic).unwrap();
+        assert_eq!(runs.len(), exp.workload().len());
+        for run in &runs {
+            assert!(run.report.response_time.as_secs_f64() > 0.0);
+        }
+    }
+
+    #[test]
+    fn cache_returns_identical_results() {
+        let exp = small_experiment(1, 2);
+        let a = exp.run(Strategy::Dynamic).unwrap();
+        let b = exp.run(Strategy::Dynamic).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn on_system_keeps_the_same_workload() {
+        let exp = small_experiment(1, 2);
+        let bigger = exp.on_system(HierarchicalSystem::shared_memory(8));
+        assert_eq!(bigger.workload().len(), exp.workload().len());
+        let small = exp.run(Strategy::Dynamic).unwrap();
+        let big = bigger.run(Strategy::Dynamic).unwrap();
+        // More processors must not be slower on average.
+        let mean_small: f64 = small.iter().map(|r| r.report.response_secs()).sum::<f64>()
+            / small.len() as f64;
+        let mean_big: f64 =
+            big.iter().map(|r| r.report.response_secs()).sum::<f64>() / big.len() as f64;
+        assert!(mean_big <= mean_small * 1.05);
+    }
+
+    #[test]
+    fn default_builder_uses_default_system() {
+        let exp = Experiment::builder()
+            .workload(WorkloadParams::tiny(1, 3, 3))
+            .build()
+            .unwrap();
+        assert_eq!(exp.system().nodes(), 4);
+    }
+}

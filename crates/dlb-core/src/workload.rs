@@ -1,0 +1,118 @@
+//! Workload compilation: from generated queries to executable plans.
+
+use crate::system::HierarchicalSystem;
+use dlb_common::Result;
+use dlb_query::cost::CostModel;
+use dlb_query::generator::{Query, WorkloadGenerator, WorkloadParams};
+use dlb_query::optimizer::{Optimizer, OptimizerParams};
+use dlb_query::optree::OperatorTree;
+use dlb_query::plan::{ChainScheduling, OperatorHomes, ParallelPlan};
+
+/// A generated workload compiled into parallel execution plans for a given
+/// system (the paper's "40 parallel execution plans": 20 queries × the two
+/// best bushy trees each).
+#[derive(Debug, Clone)]
+pub struct CompiledWorkload {
+    queries: Vec<Query>,
+    plans: Vec<(usize, ParallelPlan)>,
+}
+
+impl CompiledWorkload {
+    /// Generates `params.queries` queries and compiles each into its best
+    /// bushy plans for `system` (two per query by default, as in the paper).
+    pub fn generate(params: WorkloadParams, system: &HierarchicalSystem) -> Result<Self> {
+        Self::generate_with(params, system, OptimizerParams::default(), ChainScheduling::OneAtATime)
+    }
+
+    /// Full-control variant of [`CompiledWorkload::generate`].
+    pub fn generate_with(
+        params: WorkloadParams,
+        system: &HierarchicalSystem,
+        optimizer_params: OptimizerParams,
+        chain_scheduling: ChainScheduling,
+    ) -> Result<Self> {
+        let queries = WorkloadGenerator::new(params).generate();
+        let cost = CostModel::new(
+            system.config().costs,
+            system.config().disk,
+            system.config().cpu,
+        );
+        let optimizer = Optimizer::new(optimizer_params, cost);
+        let mut plans = Vec::new();
+        for (qi, query) in queries.iter().enumerate() {
+            for tree in optimizer.optimize(query)? {
+                let optree = OperatorTree::from_join_tree(&tree);
+                let homes = OperatorHomes::all_nodes(&optree, system.nodes());
+                let plan = ParallelPlan::build(query.id, optree, homes, chain_scheduling)?;
+                plans.push((qi, plan));
+            }
+        }
+        Ok(Self { queries, plans })
+    }
+
+    /// The generated queries.
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// The compiled plans as `(query index, plan)` pairs.
+    pub fn plans(&self) -> &[(usize, ParallelPlan)] {
+        &self.plans
+    }
+
+    /// Number of compiled plans.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// True when the workload contains no plans.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Iterates over the plans only.
+    pub fn iter_plans(&self) -> impl Iterator<Item = &ParallelPlan> {
+        self.plans.iter().map(|(_, p)| p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_compiles_two_plans_per_query() {
+        let system = HierarchicalSystem::shared_memory(4);
+        let params = WorkloadParams::tiny(3, 6, 77);
+        let w = CompiledWorkload::generate(params, &system).unwrap();
+        assert_eq!(w.queries().len(), 3);
+        assert!(w.len() >= 3 && w.len() <= 6, "plans {}", w.len());
+        assert!(!w.is_empty());
+        for plan in w.iter_plans() {
+            plan.validate().unwrap();
+            assert_eq!(plan.tree.scan_count(), 6);
+        }
+    }
+
+    #[test]
+    fn plans_reference_their_query() {
+        let system = HierarchicalSystem::hierarchical(2, 2);
+        let w =
+            CompiledWorkload::generate(WorkloadParams::tiny(2, 4, 5), &system).unwrap();
+        for (qi, plan) in w.plans() {
+            assert_eq!(plan.query, w.queries()[*qi].id);
+        }
+    }
+
+    #[test]
+    fn homes_match_the_target_system() {
+        let system = HierarchicalSystem::hierarchical(3, 2);
+        let w =
+            CompiledWorkload::generate(WorkloadParams::tiny(1, 4, 9), &system).unwrap();
+        for plan in w.iter_plans() {
+            for op in plan.tree.operators() {
+                assert_eq!(plan.homes.home(op.id).len(), 3);
+            }
+        }
+    }
+}

@@ -1,0 +1,1417 @@
+//! The queue-based execution engine (Dynamic Processing and Fixed Processing).
+//!
+//! This is the heart of the reproduction: a discrete-event simulation of the
+//! paper's execution model (§3 and §4) running a [`ParallelPlan`] on a
+//! hierarchical machine.
+//!
+//! * Each SM-node runs one worker thread per processor plus a scheduler that
+//!   handles inter-node messages.
+//! * Work is decomposed into self-contained **activations** stored in one
+//!   activation queue per (operator, thread).
+//! * Under **DP** any thread may consume any unblocked activation of its
+//!   node, preferring its *primary* queues (its own queue of each operator)
+//!   and paying a small interference penalty on the others.
+//! * Under **FP** each thread only consumes the queues of the operators it
+//!   was statically allocated to (see [`crate::fp`]).
+//! * When a node (DP) or a processor (FP) runs out of eligible local work,
+//!   **global load balancing** acquires probe activations — and the matching
+//!   hash-table partition — from the most loaded remote node, following the
+//!   benefit/overhead conditions of §3.2.
+//! * Operator end is detected with the coordinator protocol of §4
+//!   (EndOfQueuesAtNode, confirmation phase, termination broadcast — 4·n
+//!   messages per operator).
+//!
+//! The engine works on tuple *counts* (the paper simulates operators the same
+//! way): per-operator output cardinalities come from the plan, and skew is
+//! injected by routing output batches across consumer queues with a Zipf
+//! distribution (see [`crate::router`]).
+
+use crate::activation::{Activation, ActivationKind, ActivationQueue};
+use crate::fp::allocate_threads;
+use crate::options::{ExecOptions, Strategy};
+use crate::report::{ExecutionReport, StrategyKind};
+use crate::router::OutputRouter;
+use dlb_common::config::SystemConfig;
+use dlb_common::rng::rng_from_seed;
+use dlb_common::{DiskId, DlbError, NodeId, OperatorId, ProcessorId, Result, SimTime};
+use dlb_query::cost::CostModel;
+use dlb_query::optree::OperatorKind;
+use dlb_query::plan::ParallelPlan;
+use dlb_sim::{CpuAccounting, DiskFarm, EventCalendar, Network};
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+
+/// Size, in bytes, of a small control message (starving, offers, protocol
+/// messages). Only used for traffic accounting; the CPU cost is the paper's
+/// per-8 KB cost for one page.
+const CONTROL_MESSAGE_BYTES: u64 = 256;
+
+/// Hard cap on simulation events, as a guard against engine bugs producing
+/// infinite event loops. Generously above anything a paper-scale plan needs.
+const MAX_EVENTS: u64 = 500_000_000;
+
+#[derive(Debug, Clone)]
+enum Event {
+    ThreadReady { node: usize, thread: usize },
+    Data { node: usize, op: usize, slot: usize, activation: Activation },
+    Control { node: usize, msg: ControlMsg },
+}
+
+#[derive(Debug, Clone)]
+enum ControlMsg {
+    /// Phase 1 of end detection: a node reports all its queues of `op` are
+    /// inactive.
+    LocalEnd { op: usize },
+    /// Phase 2 request from the coordinator.
+    ConfirmRequest { op: usize },
+    /// Phase 2 reply: the node has no remaining work for `op`.
+    Confirm { op: usize },
+    /// Termination broadcast (accounting only; state is updated centrally).
+    Terminated {
+        /// The terminated operator (kept for traceability in debug output).
+        #[allow(dead_code)]
+        op: usize,
+    },
+    /// A node is starving (DP: any work; FP: work for `target`).
+    Starving { from: usize, free_bytes: u64, target: Option<usize>, token: u64 },
+    /// A provider offers work from one of its queues.
+    Offer { from: usize, op: usize, tuples: u64, bytes: u64, load: u64, token: u64 },
+    /// A provider has nothing to offer.
+    NoOffer { from: usize, token: u64 },
+    /// The requester asks the chosen provider to ship activations.
+    Acquire { from: usize, op: usize, has_table: bool },
+    /// The provider ships activations (and possibly its hash-table
+    /// partition).
+    Transfer { from: usize, op: usize, activations: Vec<Activation>, bytes: u64 },
+}
+
+/// Per-operator global runtime state.
+struct OpRuntime {
+    kind: OperatorKind,
+    consumer: Option<OperatorId>,
+    home: Vec<NodeId>,
+    output_ratio: f64,
+    blockers_remaining: usize,
+    terminated: bool,
+    router: OutputRouter,
+    input_sent: u64,
+    input_delivered: u64,
+    input_processed: u64,
+    phase1_reports: usize,
+    phase2_started: bool,
+    phase2_confirms: usize,
+    /// For probe operators: the build whose table is probed.
+    build_twin: Option<OperatorId>,
+}
+
+/// Per-(operator, node) runtime state. Only allocated for home nodes.
+struct OpNodeRuntime {
+    queues: Vec<ActivationQueue>,
+    parked: VecDeque<Activation>,
+    processing: u32,
+    phase1_sent: bool,
+    confirm_pending: bool,
+    confirm_sent: bool,
+    /// For build operators: tuples inserted into this node's hash-table
+    /// partition (determines the volume shipped by global load balancing).
+    hash_tuples: u64,
+    /// Remote nodes whose hash-table partition has already been copied here
+    /// (the "list of stolen queues" optimization of §4).
+    hash_copied_from: BTreeSet<usize>,
+    /// Disks on which this scan has already positioned (first read pays
+    /// latency + seek, subsequent reads stream sequentially).
+    started_disks: BTreeSet<u32>,
+    /// Round-robin cursor for placing acquired activations into queues.
+    steal_cursor: usize,
+}
+
+impl OpNodeRuntime {
+    fn queued_tuples(&self) -> u64 {
+        self.queues.iter().map(|q| q.queued_tuples()).sum::<u64>()
+            + self.parked.iter().map(|a| a.tuples).sum::<u64>()
+    }
+
+    fn queued_activations(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum::<usize>() + self.parked.len()
+    }
+
+    fn is_drained(&self) -> bool {
+        self.queued_activations() == 0 && self.processing == 0
+    }
+}
+
+struct ThreadRuntime {
+    idle: bool,
+    allowed: Option<BTreeSet<OperatorId>>,
+}
+
+/// Per-node global-load-balancing state (the scheduler's bookkeeping).
+#[derive(Default)]
+struct NodeLb {
+    starving_outstanding: bool,
+    fp_outstanding: BTreeSet<usize>,
+    offers: Vec<(usize, usize, u64, u64, u64)>, // (provider, op, tuples, bytes, load)
+    replies_received: usize,
+    replies_expected: usize,
+    /// Token of the current request; replies carrying a stale token are
+    /// ignored (a node can issue several steal episodes over time).
+    current_token: u64,
+}
+
+/// The queue-based engine shared by DP and FP.
+pub(crate) struct QueueEngine<'a> {
+    plan: &'a ParallelPlan,
+    config: SystemConfig,
+    options: ExecOptions,
+    strategy: Strategy,
+    cost: CostModel,
+    nodes: usize,
+    threads_per_node: usize,
+    disks_per_node: u32,
+
+    calendar: EventCalendar<Event>,
+    disks: DiskFarm,
+    network: Network,
+    cpu: CpuAccounting,
+
+    ops: Vec<OpRuntime>,
+    op_nodes: Vec<Vec<Option<OpNodeRuntime>>>,
+    threads: Vec<Vec<ThreadRuntime>>,
+    node_lb: Vec<NodeLb>,
+    disk_cursor: Vec<u32>,
+
+    activations_done: u64,
+    tuples_processed: u64,
+    result_tuples: u64,
+    lb_requests: u64,
+    lb_acquisitions: u64,
+    lb_bytes: u64,
+    ops_terminated: usize,
+    finished_at: SimTime,
+}
+
+impl<'a> QueueEngine<'a> {
+    pub(crate) fn new(
+        plan: &'a ParallelPlan,
+        config: SystemConfig,
+        strategy: Strategy,
+        options: ExecOptions,
+    ) -> Result<Self> {
+        if config.machine.nodes == 0 || config.machine.processors_per_node == 0 {
+            return Err(DlbError::config("machine needs at least one node and processor"));
+        }
+        plan.validate()?;
+        let nodes = config.machine.nodes as usize;
+        let threads_per_node = config.machine.processors_per_node as usize;
+        let disks_per_node =
+            (config.machine.processors_per_node * config.disk.disks_per_processor).max(1);
+        let cost = CostModel::new(config.costs, config.disk, config.cpu);
+
+        let mut engine = Self {
+            plan,
+            config,
+            options,
+            strategy,
+            cost,
+            nodes,
+            threads_per_node,
+            disks_per_node,
+            calendar: EventCalendar::new(),
+            disks: DiskFarm::new(config.disk, config.machine.nodes, disks_per_node),
+            network: Network::new(config.network, config.cpu),
+            cpu: CpuAccounting::new(config.machine.nodes, config.machine.processors_per_node),
+            ops: Vec::new(),
+            op_nodes: Vec::new(),
+            threads: Vec::new(),
+            node_lb: (0..nodes).map(|_| NodeLb::default()).collect(),
+            disk_cursor: vec![0; nodes],
+            activations_done: 0,
+            tuples_processed: 0,
+            result_tuples: 0,
+            lb_requests: 0,
+            lb_acquisitions: 0,
+            lb_bytes: 0,
+            ops_terminated: 0,
+            finished_at: SimTime::ZERO,
+        };
+        engine.initialize()?;
+        Ok(engine)
+    }
+
+    fn initialize(&mut self) -> Result<()> {
+        let n_ops = self.plan.tree.operators().len();
+        let joins = self.plan.tree.joins();
+
+        for op in self.plan.tree.operators() {
+            let home: Vec<NodeId> = self
+                .plan
+                .homes
+                .home(op.id)
+                .nodes()
+                .iter()
+                .copied()
+                .filter(|n| n.index() < self.nodes)
+                .collect();
+            if home.is_empty() {
+                return Err(DlbError::plan(format!(
+                    "operator {} has no home node within the machine",
+                    op.id
+                )));
+            }
+            let mut blockers: Vec<OperatorId> = self.plan.blocked_by(op.id);
+            blockers.sort_unstable();
+            blockers.dedup();
+            let output_ratio = if op.input_tuples == 0 {
+                0.0
+            } else {
+                op.output_tuples as f64 / op.input_tuples as f64
+            };
+            let build_twin = match op.kind {
+                OperatorKind::Probe { join } => joins.get(&join).map(|(b, _)| *b),
+                _ => None,
+            };
+            let slots = home.len() * self.threads_per_node;
+            self.ops.push(OpRuntime {
+                kind: op.kind,
+                consumer: op.consumer,
+                home,
+                output_ratio,
+                blockers_remaining: blockers.len(),
+                terminated: false,
+                router: OutputRouter::new(slots, self.options.skew, op.id.index()),
+                input_sent: 0,
+                input_delivered: 0,
+                input_processed: 0,
+                phase1_reports: 0,
+                phase2_started: false,
+                phase2_confirms: 0,
+                build_twin,
+            });
+        }
+
+        // Per-(op, node) state for home nodes.
+        for op_idx in 0..n_ops {
+            let mut per_node: Vec<Option<OpNodeRuntime>> = (0..self.nodes).map(|_| None).collect();
+            for node in &self.ops[op_idx].home {
+                per_node[node.index()] = Some(OpNodeRuntime {
+                    queues: (0..self.threads_per_node)
+                        .map(|_| ActivationQueue::new(self.options.queue_capacity))
+                        .collect(),
+                    parked: VecDeque::new(),
+                    processing: 0,
+                    phase1_sent: false,
+                    confirm_pending: false,
+                    confirm_sent: false,
+                    hash_tuples: 0,
+                    hash_copied_from: BTreeSet::new(),
+                    started_disks: BTreeSet::new(),
+                    steal_cursor: 0,
+                });
+            }
+            self.op_nodes.push(per_node);
+        }
+
+        // Threads: FP computes a per-node static allocation, DP leaves them
+        // unconstrained.
+        let mut fp_rng = rng_from_seed(self.options.seed);
+        for _node in 0..self.nodes {
+            let allowed = match self.strategy {
+                Strategy::Fixed { error_rate } => {
+                    let assignment = allocate_threads(
+                        self.plan,
+                        self.threads_per_node as u32,
+                        &self.cost,
+                        error_rate,
+                        &mut fp_rng,
+                    );
+                    Some(assignment)
+                }
+                _ => None,
+            };
+            let threads = (0..self.threads_per_node)
+                .map(|t| ThreadRuntime {
+                    idle: false,
+                    allowed: allowed
+                        .as_ref()
+                        .map(|a| a[t].iter().copied().collect::<BTreeSet<_>>()),
+                })
+                .collect();
+            self.threads.push(threads);
+        }
+
+        // Seed trigger activations for every scan on every home node.
+        self.seed_triggers();
+
+        // Kick off every thread at time zero.
+        for node in 0..self.nodes {
+            for thread in 0..self.threads_per_node {
+                self.calendar
+                    .schedule_at(SimTime::ZERO, Event::ThreadReady { node, thread });
+            }
+        }
+
+        // Scans with no local data (or empty relations) can complete right
+        // away; run an initial end check over everything.
+        for op in 0..n_ops {
+            for node in 0..self.nodes {
+                self.check_local_end(op, node);
+            }
+        }
+        Ok(())
+    }
+
+    /// Seeds trigger activations: the scan's partition on each home node is
+    /// split into trigger activations of `trigger_pages` pages, assigned to
+    /// disks round-robin and distributed across the node's thread queues with
+    /// the redistribution-skew router.
+    fn seed_triggers(&mut self) {
+        let tuples_per_page = self.config.costs.tuples_per_page();
+        let scan_ops: Vec<usize> = (0..self.ops.len())
+            .filter(|&i| self.ops[i].kind.is_scan())
+            .collect();
+        for op_idx in scan_ops {
+            let op = &self.ops[op_idx];
+            let home = op.home.clone();
+            let total = self.plan.tree.operator(OperatorId::from(op_idx)).input_tuples;
+            let per_node = total / home.len() as u64;
+            let remainder = total - per_node * home.len() as u64;
+            for (i, node) in home.iter().enumerate() {
+                let mut node_tuples = per_node + if i == 0 { remainder } else { 0 };
+                // Within the node, spread trigger activations across thread
+                // queues with the skew router.
+                let mut router = OutputRouter::new(
+                    self.threads_per_node,
+                    self.options.skew,
+                    op_idx + node.index(),
+                );
+                let tuples_per_trigger = self.options.trigger_pages * tuples_per_page;
+                let mut seeded = 0u64;
+                while node_tuples > 0 {
+                    let chunk = node_tuples.min(tuples_per_trigger);
+                    node_tuples -= chunk;
+                    let pages = chunk.div_ceil(tuples_per_page).max(1);
+                    let disk_local = self.disk_cursor[node.index()] % self.disks_per_node;
+                    self.disk_cursor[node.index()] += 1;
+                    let disk = DiskId::new(*node, disk_local);
+                    let slot = router.route(chunk);
+                    let activation = Activation::trigger(OperatorId::from(op_idx), pages, chunk, disk);
+                    let opn = self.op_nodes[op_idx][node.index()]
+                        .as_mut()
+                        .expect("home node state exists");
+                    // Trigger activations bypass flow control (they are the
+                    // roots of the dataflow, produced once at start-up).
+                    if !opn.queues[slot].push(activation) {
+                        opn.parked.push_back(activation);
+                    }
+                    seeded += chunk;
+                }
+                self.ops[op_idx].input_sent += seeded;
+                self.ops[op_idx].input_delivered += seeded;
+            }
+        }
+    }
+
+    /// Runs the simulation to completion and produces the report.
+    pub(crate) fn run(mut self) -> Result<ExecutionReport> {
+        while self.ops_terminated < self.ops.len() {
+            let Some((_, event)) = self.calendar.pop() else {
+                return Err(DlbError::exec(format!(
+                    "simulation stalled: {} of {} operators terminated",
+                    self.ops_terminated,
+                    self.ops.len()
+                )));
+            };
+            if self.calendar.processed() > MAX_EVENTS {
+                return Err(DlbError::exec("event budget exhausted"));
+            }
+            match event {
+                Event::ThreadReady { node, thread } => self.on_thread_ready(node, thread),
+                Event::Data { node, op, slot, activation } => {
+                    self.on_data(node, op, slot, activation)
+                }
+                Event::Control { node, msg } => self.on_control(node, msg),
+            }
+        }
+
+        let response = self.finished_at.since(SimTime::ZERO);
+        let utilization = self.cpu.utilization(response);
+        let per_node_busy = (0..self.nodes)
+            .map(|n| self.cpu.node_busy(NodeId::from(n)))
+            .collect();
+        Ok(ExecutionReport {
+            strategy: match self.strategy {
+                Strategy::Dynamic => StrategyKind::Dynamic,
+                Strategy::Fixed { error_rate } => StrategyKind::Fixed { error_rate },
+                Strategy::Synchronous => StrategyKind::Synchronous,
+            },
+            nodes: self.config.machine.nodes,
+            processors_per_node: self.config.machine.processors_per_node,
+            response_time: response,
+            activations: self.activations_done,
+            tuples_processed: self.tuples_processed,
+            result_tuples: self.result_tuples,
+            total_busy: self.cpu.total_busy(),
+            total_idle: self.cpu.total_idle(response),
+            utilization,
+            per_node_busy,
+            messages: self.network.stats().messages,
+            network_bytes: self.network.stats().bytes,
+            lb_requests: self.lb_requests,
+            lb_acquisitions: self.lb_acquisitions,
+            lb_bytes: self.lb_bytes,
+            events: self.calendar.processed(),
+        })
+    }
+
+    // ----------------------------------------------------------------- //
+    // Thread scheduling
+    // ----------------------------------------------------------------- //
+
+    fn thread_may_process(&self, node: usize, thread: usize, op: usize) -> bool {
+        match &self.threads[node][thread].allowed {
+            None => true,
+            Some(set) => set.contains(&OperatorId::from(op)),
+        }
+    }
+
+    fn op_consumable(&self, op: usize, node: usize) -> bool {
+        let o = &self.ops[op];
+        !o.terminated
+            && o.blockers_remaining == 0
+            && self.op_nodes[op][node].is_some()
+    }
+
+    /// Moves parked activations of (op, node) into queues with free space.
+    fn deliver_parked(&mut self, op: usize, node: usize) {
+        let Some(opn) = self.op_nodes[op][node].as_mut() else {
+            return;
+        };
+        while let Some(front) = opn.parked.front().copied() {
+            let mut placed = false;
+            for q in opn.queues.iter_mut() {
+                if !q.is_full() {
+                    q.push(front);
+                    placed = true;
+                    break;
+                }
+            }
+            if placed {
+                opn.parked.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Selects the next activation for a thread: primary queues first, then
+    /// any other queue of the node (with an interference penalty).
+    fn select_work(&mut self, node: usize, thread: usize) -> Option<(usize, Activation, bool)> {
+        let n_ops = self.ops.len();
+        // Pass 1: primary queues (the thread's own queue of every operator).
+        for shift in 0..n_ops {
+            let op = (thread + shift) % n_ops;
+            if !self.op_consumable(op, node) || !self.thread_may_process(node, thread, op) {
+                continue;
+            }
+            self.deliver_parked(op, node);
+            let opn = self.op_nodes[op][node].as_mut().expect("home state");
+            if let Some(act) = opn.queues[thread].pop() {
+                opn.processing += 1;
+                return Some((op, act, true));
+            }
+        }
+        // Pass 2: any other queue of the node.
+        for shift in 0..n_ops {
+            let op = (thread + shift) % n_ops;
+            if !self.op_consumable(op, node) || !self.thread_may_process(node, thread, op) {
+                continue;
+            }
+            let opn = self.op_nodes[op][node].as_mut().expect("home state");
+            for offset in 1..self.threads_per_node {
+                let q = (thread + offset) % self.threads_per_node;
+                if let Some(act) = opn.queues[q].pop() {
+                    opn.processing += 1;
+                    return Some((op, act, false));
+                }
+            }
+        }
+        None
+    }
+
+    fn on_thread_ready(&mut self, node: usize, thread: usize) {
+        self.threads[node][thread].idle = false;
+        match self.select_work(node, thread) {
+            Some((op, act, primary)) => self.process_activation(node, thread, op, act, primary),
+            None => {
+                self.threads[node][thread].idle = true;
+                self.request_global_work(node, thread);
+            }
+        }
+    }
+
+    fn wake_threads(&mut self, node: usize, op_filter: Option<usize>) {
+        let now = self.calendar.now();
+        for thread in 0..self.threads_per_node {
+            if !self.threads[node][thread].idle {
+                continue;
+            }
+            if let Some(op) = op_filter {
+                if !self.thread_may_process(node, thread, op) {
+                    continue;
+                }
+            }
+            self.threads[node][thread].idle = false;
+            self.calendar.schedule_at(now, Event::ThreadReady { node, thread });
+        }
+    }
+
+    // ----------------------------------------------------------------- //
+    // Activation processing
+    // ----------------------------------------------------------------- //
+
+    fn contention(&self, _node: usize) -> f64 {
+        self.options
+            .contention_factor(self.config.machine.processors_per_node)
+    }
+
+    fn process_activation(
+        &mut self,
+        node: usize,
+        thread: usize,
+        op_idx: usize,
+        act: Activation,
+        primary: bool,
+    ) {
+        let now = self.calendar.now();
+        let costs = self.config.costs;
+        let mut instructions = costs.queue_access_instr
+            + if primary { 0 } else { costs.interference_instr };
+        let mut io_complete = now;
+        let kind = self.ops[op_idx].kind;
+
+        match act.kind {
+            ActivationKind::Trigger { pages, disk } => {
+                let io_requests = pages.div_ceil(self.config.disk.io_cache_pages as u64).max(1);
+                instructions += act.tuples * costs.scan_tuple_instr
+                    + io_requests * self.config.disk.async_io_init_instr;
+                // The first read of a partition fragment positions the disk
+                // (latency + seek); later trigger activations of the same
+                // scan stream sequentially.
+                let first = self.op_nodes[op_idx][node]
+                    .as_mut()
+                    .map(|o| o.started_disks.insert(disk.local))
+                    .unwrap_or(true);
+                let outcome = if first {
+                    self.disks.read(disk, now, pages)
+                } else {
+                    self.disks.read_streaming(disk, now, pages)
+                };
+                io_complete = outcome.complete;
+            }
+            ActivationKind::Data => {
+                if kind.is_build() {
+                    instructions += act.tuples * costs.build_tuple_instr;
+                } else {
+                    // Probe.
+                    let out = (act.tuples as f64 * self.ops[op_idx].output_ratio).round() as u64;
+                    instructions +=
+                        act.tuples * costs.probe_tuple_instr + out * costs.result_tuple_instr;
+                }
+            }
+        }
+
+        let cpu_time = self.config.cpu.instructions(instructions) * self.contention(node);
+        let mut quantum_end = (now + cpu_time).max(io_complete);
+
+        // Record hash-table growth for builds.
+        if kind.is_build() {
+            if let Some(opn) = self.op_nodes[op_idx][node].as_mut() {
+                opn.hash_tuples += act.tuples;
+            }
+        }
+
+        // Produce and route output.
+        let out_tuples = match kind {
+            OperatorKind::Scan { .. } => {
+                (act.tuples as f64 * self.ops[op_idx].output_ratio).round() as u64
+            }
+            OperatorKind::Probe { .. } => {
+                (act.tuples as f64 * self.ops[op_idx].output_ratio).round() as u64
+            }
+            OperatorKind::Build { .. } => 0,
+        };
+        if out_tuples > 0 {
+            quantum_end = self.emit_output(node, op_idx, out_tuples, quantum_end);
+        }
+
+        // Bookkeeping.
+        {
+            let opn = self.op_nodes[op_idx][node].as_mut().expect("home state");
+            opn.processing -= 1;
+        }
+        self.ops[op_idx].input_processed += act.tuples;
+        self.activations_done += 1;
+        self.tuples_processed += act.tuples;
+
+        let busy = quantum_end.since(now);
+        self.cpu.record_busy(
+            ProcessorId::new(NodeId::from(node), thread as u32),
+            busy,
+            quantum_end,
+        );
+
+        // End detection must be re-evaluated on every home node: a node that
+        // drained earlier (while batches were still in flight elsewhere) only
+        // becomes reportable once the operator's global counters settle.
+        for home_node in self.ops[op_idx].home.clone() {
+            self.check_local_end(op_idx, home_node.index());
+        }
+        self.maybe_terminate(op_idx);
+
+        self.calendar
+            .schedule_at(quantum_end, Event::ThreadReady { node, thread });
+    }
+
+    /// Routes `out_tuples` produced by `op_idx` on `node` to the consumer's
+    /// queues, batching into data activations. Returns the updated quantum end
+    /// (network send CPU is charged to the producing thread).
+    fn emit_output(&mut self, node: usize, op_idx: usize, out_tuples: u64, start: SimTime) -> SimTime {
+        let Some(consumer) = self.ops[op_idx].consumer else {
+            self.result_tuples += out_tuples;
+            return start;
+        };
+        let consumer_idx = consumer.index();
+        let batch_size = self.config.costs.tuples_per_batch.max(1);
+        let mut remaining = out_tuples;
+        let mut cursor = start;
+        while remaining > 0 {
+            let batch = remaining.min(batch_size);
+            remaining -= batch;
+            let slot = self.ops[consumer_idx].router.route(batch);
+            let dest_node = self.ops[consumer_idx].home[slot / self.threads_per_node].index();
+            let dest_thread = slot % self.threads_per_node;
+            let activation = Activation::data(consumer, batch);
+            self.ops[consumer_idx].input_sent += batch;
+            if dest_node == node {
+                // Same SM-node: the move goes through shared memory; the
+                // activation becomes visible when the producer finishes.
+                self.calendar.schedule_at(
+                    cursor,
+                    Event::Data {
+                        node: dest_node,
+                        op: consumer_idx,
+                        slot: dest_thread,
+                        activation,
+                    },
+                );
+            } else {
+                let bytes = self.config.costs.bytes_for_tuples(batch);
+                let timing =
+                    self.network
+                        .send(NodeId::from(node), NodeId::from(dest_node), bytes, cursor);
+                cursor = timing.sent;
+                self.calendar.schedule_at(
+                    timing.arrival + timing.recv_cpu,
+                    Event::Data {
+                        node: dest_node,
+                        op: consumer_idx,
+                        slot: dest_thread,
+                        activation,
+                    },
+                );
+            }
+        }
+        cursor
+    }
+
+    fn on_data(&mut self, node: usize, op: usize, slot: usize, activation: Activation) {
+        self.ops[op].input_delivered += activation.tuples;
+        {
+            let opn = self.op_nodes[op][node]
+                .as_mut()
+                .expect("data routed to a home node");
+            if !opn.queues[slot].push(activation) {
+                opn.parked.push_back(activation);
+            }
+        }
+        if self.op_consumable(op, node) {
+            self.wake_threads(node, Some(op));
+        }
+        // The delivery may have been the last in-flight batch of the
+        // operator: other home nodes that drained earlier can now report
+        // their local end.
+        for home_node in self.ops[op].home.clone() {
+            if home_node.index() != node {
+                self.check_local_end(op, home_node.index());
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------- //
+    // Control messages (scheduler)
+    // ----------------------------------------------------------------- //
+
+    fn send_control(&mut self, from: usize, to: usize, bytes: u64, msg: ControlMsg) {
+        let now = self.calendar.now();
+        let timing = self
+            .network
+            .send(NodeId::from(from), NodeId::from(to), bytes, now);
+        self.calendar.schedule_at(
+            timing.arrival + timing.recv_cpu,
+            Event::Control { node: to, msg },
+        );
+    }
+
+    fn coordinator(&self) -> usize {
+        0
+    }
+
+    fn on_control(&mut self, node: usize, msg: ControlMsg) {
+        match msg {
+            ControlMsg::LocalEnd { op } => {
+                self.ops[op].phase1_reports += 1;
+                if self.ops[op].phase1_reports == self.ops[op].home.len()
+                    && !self.ops[op].phase2_started
+                {
+                    self.ops[op].phase2_started = true;
+                    for home_node in self.ops[op].home.clone() {
+                        self.send_control(
+                            node,
+                            home_node.index(),
+                            CONTROL_MESSAGE_BYTES,
+                            ControlMsg::ConfirmRequest { op },
+                        );
+                    }
+                }
+            }
+            ControlMsg::ConfirmRequest { op } => {
+                let drained = self.op_nodes[op][node]
+                    .as_ref()
+                    .map(|o| o.is_drained())
+                    .unwrap_or(true);
+                if drained {
+                    let already = self.op_nodes[op][node]
+                        .as_mut()
+                        .map(|o| std::mem::replace(&mut o.confirm_sent, true))
+                        .unwrap_or(false);
+                    if !already {
+                        self.send_control(
+                            node,
+                            self.coordinator(),
+                            CONTROL_MESSAGE_BYTES,
+                            ControlMsg::Confirm { op },
+                        );
+                    }
+                } else if let Some(opn) = self.op_nodes[op][node].as_mut() {
+                    opn.confirm_pending = true;
+                }
+            }
+            ControlMsg::Confirm { op } => {
+                self.ops[op].phase2_confirms += 1;
+                self.maybe_terminate(op);
+            }
+            ControlMsg::Terminated { .. } => {
+                // Accounting-only broadcast: state was already updated when
+                // the coordinator made the decision.
+            }
+            ControlMsg::Starving { from, free_bytes, target, token } => {
+                self.on_starving(node, from, free_bytes, target, token)
+            }
+            ControlMsg::Offer { from, op, tuples, bytes, load, token } => {
+                self.on_offer(node, token, Some((from, op, tuples, bytes, load)))
+            }
+            ControlMsg::NoOffer { from, token } => {
+                let _ = from;
+                self.on_offer(node, token, None)
+            }
+            ControlMsg::Acquire { from, op, has_table } => self.on_acquire(node, from, op, has_table),
+            ControlMsg::Transfer { from, op, activations, bytes } => {
+                self.on_transfer(node, from, op, activations, bytes)
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------- //
+    // End-of-operator detection (§4)
+    // ----------------------------------------------------------------- //
+
+    fn producers_terminated(&self, op: usize) -> bool {
+        if self.ops[op].kind.is_scan() {
+            return true;
+        }
+        self.plan
+            .tree
+            .pipelined_producers(OperatorId::from(op))
+            .iter()
+            .all(|p| self.ops[p.index()].terminated)
+    }
+
+    fn check_local_end(&mut self, op: usize, node: usize) {
+        if self.ops[op].terminated {
+            return;
+        }
+        let Some(opn) = self.op_nodes[op][node].as_ref() else {
+            return;
+        };
+        let drained = opn.is_drained();
+        let phase1_sent = opn.phase1_sent;
+        let confirm_pending = opn.confirm_pending;
+        let confirm_sent = opn.confirm_sent;
+
+        if !phase1_sent
+            && drained
+            && self.producers_terminated(op)
+            && self.ops[op].input_sent == self.ops[op].input_delivered
+        {
+            self.op_nodes[op][node].as_mut().unwrap().phase1_sent = true;
+            self.send_control(
+                node,
+                self.coordinator(),
+                CONTROL_MESSAGE_BYTES,
+                ControlMsg::LocalEnd { op },
+            );
+        }
+
+        if confirm_pending && !confirm_sent && drained {
+            let opn = self.op_nodes[op][node].as_mut().unwrap();
+            opn.confirm_pending = false;
+            opn.confirm_sent = true;
+            self.send_control(
+                node,
+                self.coordinator(),
+                CONTROL_MESSAGE_BYTES,
+                ControlMsg::Confirm { op },
+            );
+        }
+    }
+
+    fn maybe_terminate(&mut self, op: usize) {
+        if self.ops[op].terminated {
+            return;
+        }
+        let home_len = self.ops[op].home.len();
+        if self.ops[op].phase1_reports < home_len || self.ops[op].phase2_confirms < home_len {
+            return;
+        }
+        // Global safety conditions against races with work acquisition.
+        if self.ops[op].input_processed < self.ops[op].input_sent {
+            return;
+        }
+        let any_left = self.ops[op]
+            .home
+            .iter()
+            .any(|n| !self.op_nodes[op][n.index()].as_ref().unwrap().is_drained());
+        if any_left {
+            return;
+        }
+
+        // Terminate.
+        self.ops[op].terminated = true;
+        self.ops_terminated += 1;
+        self.finished_at = self.finished_at.max(self.calendar.now());
+
+        // Accounting broadcast (the 4th message round of the protocol).
+        for home_node in self.ops[op].home.clone() {
+            self.send_control(
+                self.coordinator(),
+                home_node.index(),
+                CONTROL_MESSAGE_BYTES,
+                ControlMsg::Terminated { op },
+            );
+        }
+
+        // Unblock dependent operators and wake their nodes.
+        for blocked in self.plan.blocks(OperatorId::from(op)) {
+            let b = blocked.index();
+            self.ops[b].blockers_remaining = self.ops[b].blockers_remaining.saturating_sub(1);
+            if self.ops[b].blockers_remaining == 0 {
+                for home_node in self.ops[b].home.clone() {
+                    self.wake_threads(home_node.index(), Some(b));
+                }
+            }
+        }
+
+        // Some operators may now be able to report their own end (e.g. a
+        // consumer that received no input, or one waiting for this producer).
+        for other in 0..self.ops.len() {
+            if self.ops[other].terminated {
+                continue;
+            }
+            for node in self.ops[other].home.clone() {
+                self.check_local_end(other, node.index());
+            }
+            self.maybe_terminate(other);
+        }
+    }
+
+    // ----------------------------------------------------------------- //
+    // Global load balancing (§3.2)
+    // ----------------------------------------------------------------- //
+
+    fn request_global_work(&mut self, node: usize, thread: usize) {
+        if self.nodes <= 1 || self.ops_terminated == self.ops.len() {
+            return;
+        }
+        match self.strategy {
+            Strategy::Dynamic => {
+                if self.node_lb[node].starving_outstanding {
+                    return;
+                }
+                self.node_lb[node].starving_outstanding = true;
+                self.begin_steal_request(node, None);
+            }
+            Strategy::Fixed { .. } => {
+                // A request may already be outstanding for this node.
+                if self.node_lb[node].replies_received < self.node_lb[node].replies_expected {
+                    return;
+                }
+                let allowed: Vec<usize> = self.threads[node][thread]
+                    .allowed
+                    .as_ref()
+                    .map(|set| set.iter().map(|o| o.index()).collect())
+                    .unwrap_or_default();
+                for op in allowed {
+                    if !self.ops[op].kind.is_probe()
+                        || self.ops[op].terminated
+                        || self.ops[op].blockers_remaining > 0
+                        || self.node_lb[node].fp_outstanding.contains(&op)
+                    {
+                        continue;
+                    }
+                    self.node_lb[node].fp_outstanding.insert(op);
+                    self.begin_steal_request(node, Some(op));
+                    // One outstanding request per starving episode.
+                    break;
+                }
+            }
+            Strategy::Synchronous => {}
+        }
+    }
+
+    /// Broadcasts a starving message to every other node and arms the
+    /// reply-collection state for one steal episode.
+    fn begin_steal_request(&mut self, node: usize, target: Option<usize>) {
+        self.node_lb[node].current_token += 1;
+        let token = self.node_lb[node].current_token;
+        self.node_lb[node].offers.clear();
+        self.node_lb[node].replies_received = 0;
+        self.node_lb[node].replies_expected = self.nodes - 1;
+        self.lb_requests += 1;
+        let free = self.config.machine.memory_per_node_bytes;
+        for other in 0..self.nodes {
+            if other != node {
+                self.send_control(
+                    node,
+                    other,
+                    CONTROL_MESSAGE_BYTES,
+                    ControlMsg::Starving { from: node, free_bytes: free, target, token },
+                );
+            }
+        }
+    }
+
+    /// A provider node looks for a candidate queue to off-load (conditions
+    /// (i)–(vi) of §3.2) and answers the requester.
+    fn on_starving(
+        &mut self,
+        node: usize,
+        requester: usize,
+        free_bytes: u64,
+        target: Option<usize>,
+        token: u64,
+    ) {
+        let mut best: Option<(usize, u64, u64, f64)> = None; // (op, tuples, bytes, ratio)
+        let candidate_ops: Vec<usize> = match target {
+            Some(op) => vec![op],
+            None => (0..self.ops.len()).collect(),
+        };
+        for op in candidate_ops {
+            // Only probe activations can move; the operator must be
+            // unblocked, not terminated, and the requester must be in its
+            // home.
+            if !self.ops[op].kind.is_probe()
+                || self.ops[op].terminated
+                || self.ops[op].blockers_remaining > 0
+                || !self.ops[op].home.contains(&NodeId::from(requester))
+            {
+                continue;
+            }
+            let Some(opn) = self.op_nodes[op][node].as_ref() else {
+                continue;
+            };
+            let queued = opn.queued_tuples();
+            if queued < self.options.min_steal_tuples {
+                continue;
+            }
+            let steal_tuples = ((queued as f64) * self.options.steal_fraction) as u64;
+            if steal_tuples == 0 {
+                continue;
+            }
+            // The requester must copy this node's hash-table partition for
+            // the probed join (conservatively assumed not yet copied).
+            let hash_bytes = self.ops[op]
+                .build_twin
+                .and_then(|b| self.op_nodes[b.index()][node].as_ref())
+                .map(|b| self.cost.hash_table_bytes(b.hash_tuples))
+                .unwrap_or(0);
+            let bytes = self.config.costs.bytes_for_tuples(steal_tuples) + hash_bytes;
+            if bytes > free_bytes {
+                continue;
+            }
+            let ratio = steal_tuples as f64 / bytes.max(1) as f64;
+            if best.map(|(_, _, _, r)| ratio > r).unwrap_or(true) {
+                best = Some((op, steal_tuples, bytes, ratio));
+            }
+        }
+
+        let load: u64 = (0..self.ops.len())
+            .filter(|&op| !self.ops[op].terminated)
+            .filter_map(|op| self.op_nodes[op][node].as_ref())
+            .map(|opn| opn.queued_tuples())
+            .sum();
+
+        match best {
+            Some((op, tuples, bytes, _)) => self.send_control(
+                node,
+                requester,
+                CONTROL_MESSAGE_BYTES,
+                ControlMsg::Offer { from: node, op, tuples, bytes, load, token },
+            ),
+            None => self.send_control(
+                node,
+                requester,
+                CONTROL_MESSAGE_BYTES,
+                ControlMsg::NoOffer { from: node, token },
+            ),
+        }
+    }
+
+    /// The requester collects offers; once all providers answered it acquires
+    /// from the most loaded one.
+    fn on_offer(&mut self, node: usize, token: u64, offer: Option<(usize, usize, u64, u64, u64)>) {
+        {
+            let lb = &mut self.node_lb[node];
+            if token != lb.current_token {
+                // Reply to an older steal episode; ignore it.
+                return;
+            }
+            lb.replies_received += 1;
+            if let Some(o) = offer {
+                lb.offers.push(o);
+            }
+            if lb.replies_received < lb.replies_expected {
+                return;
+            }
+        }
+        // All replies in: pick the provider to acquire from. DP keeps a list
+        // of queues it already stole from (§4): when possible it prefers a
+        // provider whose hash-table partition it has already copied, and
+        // otherwise takes the most loaded provider. FP has no such
+        // optimization — it is part of the paper's DP contribution.
+        let table_cached = |provider: usize, op: usize| {
+            self.op_nodes[op][node]
+                .as_ref()
+                .map(|o| o.hash_copied_from.contains(&provider))
+                .unwrap_or(false)
+        };
+        let offers = std::mem::take(&mut self.node_lb[node].offers);
+        let chosen = match self.strategy {
+            Strategy::Dynamic => offers
+                .iter()
+                .filter(|(provider, op, _, _, _)| table_cached(*provider, *op))
+                .max_by_key(|(_, _, _, _, load)| *load)
+                .or_else(|| offers.iter().max_by_key(|(_, _, _, _, load)| *load))
+                .copied(),
+            _ => offers
+                .iter()
+                .max_by_key(|(_, _, _, _, load)| *load)
+                .copied(),
+        };
+        match chosen {
+            None => {
+                // Nothing to acquire; clear the outstanding flags so a later
+                // starving episode can retry.
+                self.node_lb[node].starving_outstanding = false;
+                self.node_lb[node].fp_outstanding.clear();
+            }
+            Some((provider, op, _tuples, _bytes, _load)) => {
+                let has_table = matches!(self.strategy, Strategy::Dynamic)
+                    && table_cached(provider, op);
+                self.send_control(
+                    node,
+                    provider,
+                    CONTROL_MESSAGE_BYTES,
+                    ControlMsg::Acquire { from: node, op, has_table },
+                );
+            }
+        }
+    }
+
+    /// The provider ships roughly `steal_fraction` of its queued activations
+    /// of `op`, plus its hash-table partition when the requester lacks it.
+    fn on_acquire(&mut self, node: usize, requester: usize, op: usize, has_table: bool) {
+        let mut shipped: Vec<Activation> = Vec::new();
+        let mut hash_bytes = 0u64;
+        if let Some(opn) = self.op_nodes[op][node].as_mut() {
+            let total: usize = opn.queued_activations();
+            let take = ((total as f64) * self.options.steal_fraction).ceil() as usize;
+            let mut remaining = take;
+            // Parked activations first (they are the oldest overflow), then
+            // round-robin over the queues.
+            while remaining > 0 {
+                if let Some(a) = opn.parked.pop_front() {
+                    shipped.push(a);
+                    remaining -= 1;
+                    continue;
+                }
+                let mut progress = false;
+                for q in opn.queues.iter_mut() {
+                    if remaining == 0 {
+                        break;
+                    }
+                    if let Some(a) = q.pop() {
+                        shipped.push(a);
+                        remaining -= 1;
+                        progress = true;
+                    }
+                }
+                if !progress {
+                    break;
+                }
+            }
+        }
+        if !has_table {
+            hash_bytes = self.ops[op]
+                .build_twin
+                .and_then(|b| self.op_nodes[b.index()][node].as_ref())
+                .map(|b| self.cost.hash_table_bytes(b.hash_tuples))
+                .unwrap_or(0);
+        }
+        let tuple_bytes: u64 = self
+            .config
+            .costs
+            .bytes_for_tuples(shipped.iter().map(|a| a.tuples).sum());
+        let bytes = (tuple_bytes + hash_bytes).max(CONTROL_MESSAGE_BYTES);
+        self.lb_bytes += bytes;
+        // The provider's queues may now be empty: re-run end detection.
+        self.check_local_end(op, node);
+        self.maybe_terminate(op);
+        self.send_control(
+            node,
+            requester,
+            bytes,
+            ControlMsg::Transfer { from: node, op, activations: shipped, bytes },
+        );
+    }
+
+    /// The requester integrates the acquired activations and wakes its
+    /// threads.
+    fn on_transfer(&mut self, node: usize, provider: usize, op: usize, activations: Vec<Activation>, _bytes: u64) {
+        self.node_lb[node].starving_outstanding = false;
+        self.node_lb[node].fp_outstanding.remove(&op);
+        if activations.is_empty() {
+            return;
+        }
+        self.lb_acquisitions += 1;
+        {
+            let opn = self.op_nodes[op][node]
+                .as_mut()
+                .expect("requester is in the operator home");
+            opn.hash_copied_from.insert(provider);
+            for a in activations {
+                let slot = opn.steal_cursor % self.threads_per_node;
+                opn.steal_cursor += 1;
+                if !opn.queues[slot].push(a) {
+                    opn.parked.push_back(a);
+                }
+            }
+        }
+        if self.op_consumable(op, node) {
+            self.wake_threads(node, Some(op));
+        }
+    }
+}
+
+/// Executes `plan` on the machine described by `config` with the given
+/// strategy and options, returning the execution report.
+pub fn execute(
+    plan: &ParallelPlan,
+    config: &SystemConfig,
+    strategy: Strategy,
+    options: &ExecOptions,
+) -> Result<ExecutionReport> {
+    match strategy {
+        Strategy::Synchronous => crate::sp::execute_sp(plan, config, options),
+        _ => QueueEngine::new(plan, *config, strategy, *options)?.run(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_common::{Duration, QueryId, RelationId};
+    use dlb_query::jointree::JoinTree;
+    use dlb_query::optree::OperatorTree;
+    use dlb_query::plan::{ChainScheduling, OperatorHomes, ParallelPlan};
+
+    fn two_join_plan(nodes: u32) -> ParallelPlan {
+        let tree = JoinTree::join(
+            JoinTree::join(
+                JoinTree::leaf(RelationId::new(0), 4_000),
+                JoinTree::leaf(RelationId::new(1), 8_000),
+                1.0 / 8_000.0,
+            ),
+            JoinTree::leaf(RelationId::new(2), 6_000),
+            1.0 / 6_000.0,
+        );
+        let ot = OperatorTree::from_join_tree(&tree);
+        let homes = OperatorHomes::all_nodes(&ot, nodes);
+        ParallelPlan::build(QueryId::new(7), ot, homes, ChainScheduling::OneAtATime).unwrap()
+    }
+
+    fn bushy_plan(nodes: u32) -> ParallelPlan {
+        let left = JoinTree::join(
+            JoinTree::leaf(RelationId::new(0), 5_000),
+            JoinTree::leaf(RelationId::new(1), 10_000),
+            1.0 / 10_000.0,
+        );
+        let right = JoinTree::join(
+            JoinTree::leaf(RelationId::new(2), 4_000),
+            JoinTree::leaf(RelationId::new(3), 12_000),
+            1.0 / 12_000.0,
+        );
+        let tree = JoinTree::join(left, right, 1.0 / 5_000.0);
+        let ot = OperatorTree::from_join_tree(&tree);
+        let homes = OperatorHomes::all_nodes(&ot, nodes);
+        ParallelPlan::build(QueryId::new(8), ot, homes, ChainScheduling::OneAtATime).unwrap()
+    }
+
+    #[test]
+    fn dp_single_node_executes_to_completion() {
+        let plan = two_join_plan(1);
+        let config = SystemConfig::shared_memory(4);
+        let r = execute(&plan, &config, Strategy::Dynamic, &ExecOptions::default()).unwrap();
+        assert!(r.response_time > Duration::ZERO);
+        assert!(r.activations > 0);
+        assert!(r.tuples_processed >= 18_000, "tuples {}", r.tuples_processed);
+        assert_eq!(r.messages, 0, "single node must not use the network");
+        assert_eq!(r.lb_bytes, 0);
+        assert!(r.utilization > 0.0 && r.utilization <= 1.0);
+    }
+
+    #[test]
+    fn dp_more_processors_is_faster() {
+        let plan = bushy_plan(1);
+        let opts = ExecOptions::default();
+        let t2 = execute(&plan, &SystemConfig::shared_memory(2), Strategy::Dynamic, &opts)
+            .unwrap()
+            .response_time;
+        let t8 = execute(&plan, &SystemConfig::shared_memory(8), Strategy::Dynamic, &opts)
+            .unwrap()
+            .response_time;
+        assert!(t8 < t2, "8 procs ({t8}) should beat 2 procs ({t2})");
+        let speedup = t2.as_secs_f64() / t8.as_secs_f64();
+        assert!(speedup > 1.5, "speedup {speedup}");
+    }
+
+    #[test]
+    fn dp_is_deterministic() {
+        let plan = bushy_plan(2);
+        let config = SystemConfig::hierarchical(2, 4);
+        let opts = ExecOptions::with_skew(0.5);
+        let a = execute(&plan, &config, Strategy::Dynamic, &opts).unwrap();
+        let b = execute(&plan, &config, Strategy::Dynamic, &opts).unwrap();
+        assert_eq!(a.response_time, b.response_time);
+        assert_eq!(a.activations, b.activations);
+        assert_eq!(a.network_bytes, b.network_bytes);
+    }
+
+    #[test]
+    fn dp_hierarchical_execution_uses_the_network_but_completes() {
+        let plan = bushy_plan(2);
+        let config = SystemConfig::hierarchical(2, 4);
+        let r = execute(&plan, &config, Strategy::Dynamic, &ExecOptions::default()).unwrap();
+        assert!(r.messages > 0, "pipelined tuples must cross nodes");
+        assert!(r.network_bytes > 0);
+        assert!(r.result_tuples > 0);
+    }
+
+    #[test]
+    fn fp_executes_and_is_not_faster_than_dp_under_skew() {
+        let plan = bushy_plan(1);
+        let opts = ExecOptions::with_skew(0.8);
+        let config = SystemConfig::shared_memory(8);
+        let dp = execute(&plan, &config, Strategy::Dynamic, &opts).unwrap();
+        let fp = execute(&plan, &config, Strategy::Fixed { error_rate: 0.0 }, &opts).unwrap();
+        assert!(fp.response_time >= dp.response_time,
+            "FP ({}) should not beat DP ({}) with skewed data",
+            fp.response_time, dp.response_time);
+    }
+
+    #[test]
+    fn fp_with_cost_errors_is_no_faster_than_exact_fp() {
+        let plan = two_join_plan(1);
+        let config = SystemConfig::shared_memory(8);
+        let opts = ExecOptions::default();
+        let exact = execute(&plan, &config, Strategy::Fixed { error_rate: 0.0 }, &opts).unwrap();
+        let wrong = execute(&plan, &config, Strategy::Fixed { error_rate: 0.3 }, &opts).unwrap();
+        // Allocation with distorted estimates can only be as good or worse.
+        assert!(wrong.response_time.as_secs_f64() >= exact.response_time.as_secs_f64() * 0.99);
+    }
+
+    #[test]
+    fn processed_tuples_match_plan_volume_for_dp() {
+        let plan = bushy_plan(1);
+        let config = SystemConfig::shared_memory(4);
+        let r = execute(&plan, &config, Strategy::Dynamic, &ExecOptions::default()).unwrap();
+        // Every operator input must be processed exactly once; allow a small
+        // slack for rounding of probe outputs.
+        let expected = plan.total_input_tuples();
+        let tolerance = expected / 50 + 10;
+        assert!(
+            r.tuples_processed.abs_diff(expected) <= tolerance,
+            "processed {} expected {expected}",
+            r.tuples_processed
+        );
+        // The result cardinality is close to the optimizer estimate.
+        let est = plan.tree.result_tuples();
+        assert!(r.result_tuples.abs_diff(est) <= est / 10 + 16);
+    }
+
+    #[test]
+    fn global_load_balancing_kicks_in_under_heavy_skew() {
+        let plan = bushy_plan(4);
+        let config = SystemConfig::hierarchical(4, 2);
+        let opts = ExecOptions {
+            skew: 0.9,
+            ..ExecOptions::default()
+        };
+        let r = execute(&plan, &config, Strategy::Dynamic, &opts).unwrap();
+        assert!(r.lb_requests > 0, "skewed hierarchical run should starve some node");
+    }
+
+    #[test]
+    fn single_scan_plan_terminates() {
+        let ot = OperatorTree::from_join_tree(&JoinTree::leaf(RelationId::new(0), 2_000));
+        let homes = OperatorHomes::all_nodes(&ot, 1);
+        let plan =
+            ParallelPlan::build(QueryId::new(1), ot, homes, ChainScheduling::OneAtATime).unwrap();
+        let r = execute(
+            &plan,
+            &SystemConfig::shared_memory(2),
+            Strategy::Dynamic,
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(r.result_tuples, 2_000);
+        assert!(r.response_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn invalid_machine_rejected() {
+        let plan = two_join_plan(1);
+        let mut config = SystemConfig::shared_memory(4);
+        config.machine.nodes = 0;
+        assert!(execute(&plan, &config, Strategy::Dynamic, &ExecOptions::default()).is_err());
+    }
+}

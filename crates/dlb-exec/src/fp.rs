@@ -1,0 +1,258 @@
+//! Fixed Processing (FP): static processor-to-operator allocation.
+//!
+//! FP is the shared-nothing style strategy the paper compares against
+//! (§5.2.1): "for each pipeline chain, processors are statically allocated to
+//! operators based on a ratio of the estimated complexity, including CPU and
+//! I/O costs, of each operator versus the global complexity of the pipeline
+//! chain". Adapted to shared memory, threads allocated to an operator may
+//! still balance load *within* that operator, but never across operators.
+//!
+//! This module computes the per-node allocation. Cost estimates may be
+//! distorted by a relative error rate `r` (cardinalities multiplied by
+//! `1 + U[-r, +r]`) to reproduce the cost-model error study of Figure 7.
+
+use dlb_common::{OperatorId, Duration};
+use dlb_query::cost::CostModel;
+use dlb_query::optree::OperatorKind;
+use dlb_query::plan::ParallelPlan;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// The operators each local thread of a node is allowed to process.
+pub type ThreadAssignment = Vec<Vec<OperatorId>>;
+
+/// Estimated complexity of one operator of a chain (possibly distorted).
+fn operator_complexity<R: Rng>(
+    plan: &ParallelPlan,
+    op: OperatorId,
+    cost: &CostModel,
+    error_rate: f64,
+    rng: &mut R,
+) -> Duration {
+    let operator = plan.tree.operator(op);
+    let input = cost.distorted_cardinality(rng, operator.input_tuples, error_rate);
+    let output = cost.distorted_cardinality(rng, operator.output_tuples, error_rate);
+    let c = match operator.kind {
+        OperatorKind::Scan { .. } => cost.scan_cost(input),
+        OperatorKind::Build { .. } => cost.build_cost(input),
+        OperatorKind::Probe { .. } => cost.probe_cost(input, output),
+    };
+    c.sequential_time(&cost.cpu)
+}
+
+/// Allocates the `processors` threads of one node to the operators of every
+/// pipeline chain of `plan`, proportionally to the estimated per-operator
+/// complexity.
+///
+/// Every operator of a chain receives at least one thread whenever the node
+/// has at least as many threads as the chain has operators (the discretization
+/// the paper discusses); with fewer threads than operators, operators are
+/// folded onto threads round-robin so that no operator is left unprocessable.
+///
+/// The result maps each local thread index to the set of operators it may
+/// process (the union over all chains; chains execute one at a time so at any
+/// instant only one chain's operators are active).
+pub fn allocate_threads<R: Rng>(
+    plan: &ParallelPlan,
+    processors: u32,
+    cost: &CostModel,
+    error_rate: f64,
+    rng: &mut R,
+) -> ThreadAssignment {
+    let p = processors.max(1) as usize;
+    let mut assignment: ThreadAssignment = vec![Vec::new(); p];
+
+    for chain in plan.chains() {
+        let ops = &chain.operators;
+        if ops.len() >= p {
+            // Fewer threads than operators: fold operators onto threads
+            // round-robin.
+            for (i, &op) in ops.iter().enumerate() {
+                assignment[i % p].push(op);
+            }
+            continue;
+        }
+        // Proportional allocation with a one-thread floor per operator.
+        let complexities: Vec<f64> = ops
+            .iter()
+            .map(|&op| {
+                operator_complexity(plan, op, cost, error_rate, rng)
+                    .as_secs_f64()
+                    .max(1e-9)
+            })
+            .collect();
+        let total: f64 = complexities.iter().sum();
+        let spare = p - ops.len();
+        // Start with 1 thread each, distribute the remaining `spare` threads
+        // by largest remainder of the proportional share.
+        let mut counts: Vec<usize> = vec![1; ops.len()];
+        let mut shares: Vec<(usize, f64)> = complexities
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c / total * spare as f64))
+            .collect();
+        let mut given = 0usize;
+        for (i, share) in &shares {
+            let extra = share.floor() as usize;
+            counts[*i] += extra;
+            given += extra;
+        }
+        // Distribute leftovers by largest fractional part.
+        shares.sort_by(|a, b| {
+            (b.1 - b.1.floor())
+                .partial_cmp(&(a.1 - a.1.floor()))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut remaining = spare - given;
+        for (i, _) in shares.iter() {
+            if remaining == 0 {
+                break;
+            }
+            counts[*i] += 1;
+            remaining -= 1;
+        }
+        debug_assert_eq!(counts.iter().sum::<usize>(), p);
+
+        // Assign consecutive thread indices to each operator.
+        let mut thread = 0usize;
+        for (op_idx, &count) in counts.iter().enumerate() {
+            for _ in 0..count {
+                assignment[thread].push(ops[op_idx]);
+                thread += 1;
+            }
+        }
+    }
+
+    assignment
+}
+
+/// Number of threads allocated to each operator (diagnostic view of an
+/// assignment).
+pub fn threads_per_operator(assignment: &ThreadAssignment) -> BTreeMap<OperatorId, usize> {
+    let mut map = BTreeMap::new();
+    for ops in assignment {
+        for &op in ops {
+            *map.entry(op).or_insert(0) += 1;
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_common::rng::rng_from_seed;
+    use dlb_common::{QueryId, RelationId};
+    use dlb_query::jointree::JoinTree;
+    use dlb_query::optree::OperatorTree;
+    use dlb_query::plan::{ChainScheduling, OperatorHomes};
+
+    fn sample_plan() -> ParallelPlan {
+        let tree = JoinTree::join(
+            JoinTree::join(
+                JoinTree::leaf(RelationId::new(0), 10_000),
+                JoinTree::leaf(RelationId::new(1), 40_000),
+                1.0 / 40_000.0,
+            ),
+            JoinTree::leaf(RelationId::new(2), 20_000),
+            1.0 / 20_000.0,
+        );
+        let ot = OperatorTree::from_join_tree(&tree);
+        let homes = OperatorHomes::all_nodes(&ot, 1);
+        ParallelPlan::build(QueryId::new(0), ot, homes, ChainScheduling::OneAtATime).unwrap()
+    }
+
+    #[test]
+    fn every_chain_operator_gets_at_least_one_thread() {
+        let plan = sample_plan();
+        let mut rng = rng_from_seed(1);
+        let assignment = allocate_threads(&plan, 8, &CostModel::default(), 0.0, &mut rng);
+        assert_eq!(assignment.len(), 8);
+        let per_op = threads_per_operator(&assignment);
+        for chain in plan.chains() {
+            for op in &chain.operators {
+                assert!(per_op.get(op).copied().unwrap_or(0) >= 1, "operator {op} unassigned");
+            }
+        }
+    }
+
+    #[test]
+    fn allocation_is_proportional_to_complexity() {
+        let plan = sample_plan();
+        let mut rng = rng_from_seed(2);
+        let assignment = allocate_threads(&plan, 16, &CostModel::default(), 0.0, &mut rng);
+        let per_op = threads_per_operator(&assignment);
+        // Within each chain, the scan (which includes I/O) should get at
+        // least as many threads as the build of the same chain when their
+        // inputs are comparable and the scan is the expensive operator.
+        for chain in plan.chains() {
+            let first = chain.first();
+            let last = chain.last();
+            if plan.tree.operator(first).kind.is_scan() && plan.tree.operator(last).kind.is_build()
+            {
+                assert!(per_op[&first] >= 1);
+                assert!(per_op[&last] >= 1);
+            }
+        }
+        // All threads are used by every chain.
+        for chain in plan.chains() {
+            let used: usize = chain
+                .operators
+                .iter()
+                .map(|op| per_op.get(op).copied().unwrap_or(0))
+                .sum();
+            assert_eq!(used, 16, "chain {:?} does not use all threads", chain.id);
+        }
+    }
+
+    #[test]
+    fn fewer_threads_than_operators_folds_round_robin() {
+        let plan = sample_plan();
+        let mut rng = rng_from_seed(3);
+        let assignment = allocate_threads(&plan, 2, &CostModel::default(), 0.0, &mut rng);
+        let per_op = threads_per_operator(&assignment);
+        for chain in plan.chains() {
+            for op in &chain.operators {
+                assert!(per_op.get(op).copied().unwrap_or(0) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn error_rate_changes_allocation_sometimes() {
+        let plan = sample_plan();
+        let exact = allocate_threads(
+            &plan,
+            12,
+            &CostModel::default(),
+            0.0,
+            &mut rng_from_seed(4),
+        );
+        // With a large error rate and several seeds, at least one allocation
+        // differs from the exact one.
+        let mut any_different = false;
+        for seed in 0..10 {
+            let distorted = allocate_threads(
+                &plan,
+                12,
+                &CostModel::default(),
+                0.5,
+                &mut rng_from_seed(seed),
+            );
+            if distorted != exact {
+                any_different = true;
+                break;
+            }
+        }
+        assert!(any_different, "distortion never changed the allocation");
+    }
+
+    #[test]
+    fn zero_processors_clamped_to_one() {
+        let plan = sample_plan();
+        let assignment =
+            allocate_threads(&plan, 0, &CostModel::default(), 0.0, &mut rng_from_seed(5));
+        assert_eq!(assignment.len(), 1);
+        assert!(!assignment[0].is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! # dlb-exec
+//!
+//! The parallel execution models of *Bouganim, Florescu, Valduriez —
+//! "Dynamic Load Balancing in Hierarchical Parallel Database Systems"*
+//! (VLDB 1996), implemented over the discrete-event substrate of `dlb-sim`.
+//!
+//! Three strategies are provided, selected with [`Strategy`]:
+//!
+//! * **Dynamic Processing (DP)** — the paper's contribution ([`engine`]):
+//!   query work is decomposed into self-contained [`activation`]s placed in
+//!   per-(operator, thread) queues; any thread of an SM-node can execute any
+//!   unblocked activation of its node; global load sharing is used only when
+//!   an entire node starves, shipping probe activations and the matching
+//!   hash-table partition from the most loaded node.
+//! * **Fixed Processing (FP)** — shared-nothing style static allocation of
+//!   processors to operators, proportional to estimated cost, optionally with
+//!   cost-model errors ([`fp`]).
+//! * **Synchronous Pipelining (SP)** — the shared-memory reference model
+//!   ([`sp`]).
+//!
+//! The main entry point is [`execute`], which takes a
+//! [`dlb_query::plan::ParallelPlan`], a [`dlb_common::config::SystemConfig`],
+//! a [`Strategy`] and [`ExecOptions`], and returns an [`ExecutionReport`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod activation;
+pub mod engine;
+pub mod fp;
+pub mod options;
+pub mod report;
+pub mod router;
+pub mod sp;
+
+pub use activation::{Activation, ActivationKind, ActivationQueue};
+pub use engine::execute;
+pub use options::{ExecOptions, Strategy};
+pub use report::{ExecutionReport, StrategyKind};
+pub use router::OutputRouter;

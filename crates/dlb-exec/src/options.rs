@@ -1,0 +1,145 @@
+//! Execution strategies and run-time options.
+
+use serde::{Deserialize, Serialize};
+
+/// The execution strategy to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// **Dynamic Processing** (DP) — the paper's contribution: no static
+    /// association between threads and operators; any thread of an SM-node
+    /// processes any unblocked activation of that node; global load sharing
+    /// only when the whole node starves.
+    Dynamic,
+    /// **Fixed Processing** (FP) — shared-nothing style static allocation of
+    /// processors to operators, proportional to estimated operator
+    /// complexity, with intra-operator load balancing only. `error_rate`
+    /// injects relative errors into the cardinality estimates used for the
+    /// allocation (Figure 7).
+    Fixed {
+        /// Relative cost-model error rate in `[0, 1]` (0 = exact estimates).
+        error_rate: f64,
+    },
+    /// **Synchronous Pipelining** (SP) — the shared-memory reference model
+    /// where every processor executes whole pipeline chains through procedure
+    /// calls. Only valid on single-node (shared-memory) configurations.
+    Synchronous,
+}
+
+impl Strategy {
+    /// Short label ("DP", "FP", "SP").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::Dynamic => "DP",
+            Strategy::Fixed { .. } => "FP",
+            Strategy::Synchronous => "SP",
+        }
+    }
+}
+
+/// Tunable options of an execution run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecOptions {
+    /// Redistribution-skew factor (Zipf theta in `[0, 1]`) applied to the
+    /// production of trigger activations and of pipelined tuples (§5.2.2).
+    pub skew: f64,
+    /// Capacity of each activation queue, in activations (0 = unbounded).
+    /// Bounded queues provide the flow control of §3.1.
+    pub queue_capacity: usize,
+    /// Number of pages covered by one trigger activation (the paper reduces
+    /// trigger granularity from a bucket to a few pages).
+    pub trigger_pages: u64,
+    /// Seed for the strategy-internal randomness (FP cost distortion).
+    pub seed: u64,
+    /// Number of processors per node beyond which shared-memory interference
+    /// starts to degrade per-instruction throughput (models the KSR1 memory
+    /// hierarchy effect visible beyond 32 processors in Figure 8).
+    pub smp_contention_threshold: u32,
+    /// Relative throughput degradation per `threshold` extra processors
+    /// beyond the threshold.
+    pub smp_contention_factor: f64,
+    /// Minimum number of tuples a remote queue must hold to be a candidate
+    /// for global load balancing (condition (ii) of §3.2: enough work to
+    /// amortize the acquisition overhead).
+    pub min_steal_tuples: u64,
+    /// Fraction of a provider queue acquired per steal (condition (iii):
+    /// not too much work, to avoid overloading the requester).
+    pub steal_fraction: f64,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        Self {
+            skew: 0.0,
+            queue_capacity: 64,
+            trigger_pages: 8,
+            seed: 0xE8EC,
+            smp_contention_threshold: 32,
+            smp_contention_factor: 0.15,
+            min_steal_tuples: 256,
+            steal_fraction: 0.5,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Options with a given redistribution skew, everything else default.
+    pub fn with_skew(skew: f64) -> Self {
+        Self {
+            skew,
+            ..Self::default()
+        }
+    }
+
+    /// CPU slowdown factor for a node with `processors` processors: 1.0 below
+    /// the contention threshold, growing linearly above it.
+    pub fn contention_factor(&self, processors: u32) -> f64 {
+        if processors <= self.smp_contention_threshold || self.smp_contention_threshold == 0 {
+            1.0
+        } else {
+            1.0 + self.smp_contention_factor
+                * ((processors - self.smp_contention_threshold) as f64
+                    / self.smp_contention_threshold as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_labels() {
+        assert_eq!(Strategy::Dynamic.label(), "DP");
+        assert_eq!(Strategy::Fixed { error_rate: 0.2 }.label(), "FP");
+        assert_eq!(Strategy::Synchronous.label(), "SP");
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = ExecOptions::default();
+        assert_eq!(o.skew, 0.0);
+        assert!(o.queue_capacity > 0);
+        assert!(o.trigger_pages > 0);
+        assert!(o.steal_fraction > 0.0 && o.steal_fraction <= 1.0);
+    }
+
+    #[test]
+    fn contention_only_beyond_threshold() {
+        let o = ExecOptions::default();
+        assert_eq!(o.contention_factor(8), 1.0);
+        assert_eq!(o.contention_factor(32), 1.0);
+        let at64 = o.contention_factor(64);
+        assert!(at64 > 1.0 && at64 < 1.5);
+        let at48 = o.contention_factor(48);
+        assert!(at48 > 1.0 && at48 < at64);
+    }
+
+    #[test]
+    fn zero_threshold_disables_contention() {
+        let o = ExecOptions {
+            smp_contention_threshold: 0,
+            ..ExecOptions::default()
+        };
+        assert_eq!(o.contention_factor(64), 1.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Execution reports.
+//!
+//! Every engine run produces an [`ExecutionReport`] carrying the response
+//! time and the counters the paper's evaluation relies on: processor busy and
+//! idle time, message counts, bytes moved over the interconnect, and the
+//! share of that traffic caused by global load balancing (the §5.3
+//! experiment compares exactly this quantity between FP and DP).
+
+use dlb_common::{Duration, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Which execution strategy produced a report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// Dynamic Processing — the paper's execution model.
+    Dynamic,
+    /// Fixed Processing with the given cost-model error rate.
+    Fixed {
+        /// Relative error rate injected into cardinality estimates.
+        error_rate: f64,
+    },
+    /// Synchronous Pipelining (shared-memory reference model).
+    Synchronous,
+}
+
+impl StrategyKind {
+    /// Short label used in benchmark output ("DP", "FP", "SP").
+    pub fn label(&self) -> &'static str {
+        match self {
+            StrategyKind::Dynamic => "DP",
+            StrategyKind::Fixed { .. } => "FP",
+            StrategyKind::Synchronous => "SP",
+        }
+    }
+}
+
+/// The outcome of executing one parallel plan on one simulated machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// Strategy that produced this report.
+    pub strategy: StrategyKind,
+    /// Number of SM-nodes of the machine.
+    pub nodes: u32,
+    /// Processors per SM-node.
+    pub processors_per_node: u32,
+    /// Query response time (virtual).
+    pub response_time: Duration,
+    /// Number of activations processed across all threads.
+    pub activations: u64,
+    /// Number of tuples processed across all operators.
+    pub tuples_processed: u64,
+    /// Number of result tuples produced by the root operator.
+    pub result_tuples: u64,
+    /// Total busy time summed over all processors.
+    pub total_busy: Duration,
+    /// Total idle time summed over all processors
+    /// (`processors * response_time - total_busy`).
+    pub total_idle: Duration,
+    /// Average processor utilization in `[0, 1]`.
+    pub utilization: f64,
+    /// Busy time per node (summed over the node's processors).
+    pub per_node_busy: Vec<Duration>,
+    /// Total messages exchanged between SM-nodes.
+    pub messages: u64,
+    /// Total bytes exchanged between SM-nodes (pipelined data, control
+    /// traffic and load balancing).
+    pub network_bytes: u64,
+    /// Number of global load-balancing requests issued (starving messages
+    /// for DP, per-operator steal requests for FP).
+    pub lb_requests: u64,
+    /// Number of successful work acquisitions.
+    pub lb_acquisitions: u64,
+    /// Bytes transferred specifically for global load balancing (activations
+    /// plus hash tables).
+    pub lb_bytes: u64,
+    /// Number of simulation events processed (diagnostic).
+    pub events: u64,
+}
+
+impl ExecutionReport {
+    /// Total processors of the machine.
+    pub fn processors(&self) -> u32 {
+        self.nodes * self.processors_per_node
+    }
+
+    /// Response time in seconds (convenience for plotting).
+    pub fn response_secs(&self) -> f64 {
+        self.response_time.as_secs_f64()
+    }
+
+    /// Fraction of total time the processors were idle.
+    pub fn idle_fraction(&self) -> f64 {
+        1.0 - self.utilization
+    }
+
+    /// Busy time of one node.
+    pub fn node_busy(&self, node: NodeId) -> Duration {
+        self.per_node_busy
+            .get(node.index())
+            .copied()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Load imbalance across nodes: max node busy time over mean node busy
+    /// time (1.0 = perfectly balanced).
+    pub fn node_imbalance(&self) -> f64 {
+        if self.per_node_busy.is_empty() {
+            return 1.0;
+        }
+        let total: f64 = self.per_node_busy.iter().map(|d| d.as_secs_f64()).sum();
+        if total == 0.0 {
+            return 1.0;
+        }
+        let mean = total / self.per_node_busy.len() as f64;
+        let max = self
+            .per_node_busy
+            .iter()
+            .map(|d| d.as_secs_f64())
+            .fold(0.0, f64::max);
+        max / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExecutionReport {
+        ExecutionReport {
+            strategy: StrategyKind::Dynamic,
+            nodes: 2,
+            processors_per_node: 4,
+            response_time: Duration::from_secs(10),
+            activations: 100,
+            tuples_processed: 10_000,
+            result_tuples: 500,
+            total_busy: Duration::from_secs(60),
+            total_idle: Duration::from_secs(20),
+            utilization: 0.75,
+            per_node_busy: vec![Duration::from_secs(40), Duration::from_secs(20)],
+            messages: 12,
+            network_bytes: 1 << 20,
+            lb_requests: 3,
+            lb_acquisitions: 2,
+            lb_bytes: 4096,
+            events: 1_000,
+        }
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let r = sample();
+        assert_eq!(r.processors(), 8);
+        assert_eq!(r.response_secs(), 10.0);
+        assert!((r.idle_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(r.node_busy(NodeId::new(0)), Duration::from_secs(40));
+        assert_eq!(r.node_busy(NodeId::new(5)), Duration::ZERO);
+        // max 40 / mean 30
+        assert!((r.node_imbalance() - 40.0 / 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strategy_labels() {
+        assert_eq!(StrategyKind::Dynamic.label(), "DP");
+        assert_eq!(StrategyKind::Fixed { error_rate: 0.1 }.label(), "FP");
+        assert_eq!(StrategyKind::Synchronous.label(), "SP");
+    }
+
+    #[test]
+    fn imbalance_of_empty_report_is_one() {
+        let mut r = sample();
+        r.per_node_busy.clear();
+        assert_eq!(r.node_imbalance(), 1.0);
+        r.per_node_busy = vec![Duration::ZERO, Duration::ZERO];
+        assert_eq!(r.node_imbalance(), 1.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Synchronous Pipelining (SP): the shared-memory reference model.
+//!
+//! In SP (§5.2.1, from [Shekita93] and [Hong92]) every processor is
+//! multiplexed between I/O and CPU work and participates in *every* operator
+//! of a pipeline chain: a CPU thread reads tuples from the I/O buffers and
+//! pushes each tuple through the whole chain with synchronous procedure
+//! calls. There are no activation queues, no per-operator allocation and no
+//! inter-thread hand-off, so — barring severe skew in per-tuple processing
+//! time — load balance is perfect. The flip side is that SP requires shared
+//! memory: it "cannot be implemented in shared-nothing because data
+//! redistribution between two successive operators would imply costly remote
+//! procedure synchronization".
+//!
+//! Because SP has no scheduling decisions to make, it is modelled
+//! analytically: each pipeline chain executes in
+//! `max(chain CPU work / P, chain I/O work / disks)` and chains run one at a
+//! time, exactly like the queue-based engines. This makes SP the ideal
+//! reference the paper uses it as.
+
+use crate::options::ExecOptions;
+use crate::report::{ExecutionReport, StrategyKind};
+use dlb_common::config::SystemConfig;
+use dlb_common::{DlbError, Duration, Result};
+use dlb_query::cost::CostModel;
+use dlb_query::optree::OperatorKind;
+use dlb_query::plan::ParallelPlan;
+
+/// Executes `plan` with Synchronous Pipelining on a single shared-memory
+/// node described by `config`.
+///
+/// Returns an error when the machine has more than one SM-node: SP is a
+/// shared-memory-only strategy.
+pub fn execute_sp(
+    plan: &ParallelPlan,
+    config: &SystemConfig,
+    options: &ExecOptions,
+) -> Result<ExecutionReport> {
+    if config.machine.nodes != 1 {
+        return Err(DlbError::config(
+            "synchronous pipelining requires a single shared-memory node",
+        ));
+    }
+    let processors = config.machine.processors_per_node.max(1);
+    let disks = (processors * config.disk.disks_per_processor).max(1);
+    let cost = CostModel::new(config.costs, config.disk, config.cpu);
+    let contention = options.contention_factor(processors);
+
+    let mut response = Duration::ZERO;
+    let mut total_cpu = Duration::ZERO;
+    let mut tuples_processed = 0u64;
+
+    for chain in plan.chains() {
+        let mut chain_cpu = Duration::ZERO;
+        let mut chain_io = Duration::ZERO;
+        for &op_id in &chain.operators {
+            let op = plan.tree.operator(op_id);
+            let c = match op.kind {
+                OperatorKind::Scan { .. } => {
+                    // The scan's pages are spread over the node's disks in
+                    // read-ahead-window sized fragments; each participating
+                    // disk positions once (latency + seek) and then streams.
+                    let pages = config.costs.pages_for_tuples(op.input_tuples);
+                    let fragments = pages.div_ceil(options.trigger_pages.max(1)).max(1);
+                    let used_disks = (disks as u64).min(fragments).max(1);
+                    chain_io += config.disk.latency
+                        + config.disk.seek_time
+                        + config.disk.transfer_time(pages) / used_disks;
+                    cost.scan_cost(op.input_tuples)
+                }
+                OperatorKind::Build { .. } => cost.build_cost(op.input_tuples),
+                OperatorKind::Probe { .. } => cost.probe_cost(op.input_tuples, op.output_tuples),
+            };
+            chain_cpu += config.cpu.instructions(c.instructions) * contention;
+            tuples_processed += op.input_tuples;
+        }
+        // Perfectly balanced: CPU work split over all processors, I/O and CPU
+        // overlapping thanks to asynchronous I/O.
+        let cpu_component = chain_cpu / processors as u64;
+        response += cpu_component.max(chain_io);
+        total_cpu += chain_cpu;
+    }
+
+    let capacity = response * processors as u64;
+    let busy = total_cpu.min(capacity);
+    let utilization = if capacity.is_zero() {
+        0.0
+    } else {
+        busy.as_secs_f64() / capacity.as_secs_f64()
+    };
+
+    Ok(ExecutionReport {
+        strategy: StrategyKind::Synchronous,
+        nodes: 1,
+        processors_per_node: processors,
+        response_time: response,
+        activations: 0,
+        tuples_processed,
+        result_tuples: plan.tree.result_tuples(),
+        total_busy: busy,
+        total_idle: capacity.saturating_sub(busy),
+        utilization,
+        per_node_busy: vec![busy],
+        messages: 0,
+        network_bytes: 0,
+        lb_requests: 0,
+        lb_acquisitions: 0,
+        lb_bytes: 0,
+        events: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_common::{QueryId, RelationId};
+    use dlb_query::jointree::JoinTree;
+    use dlb_query::optree::OperatorTree;
+    use dlb_query::plan::{ChainScheduling, OperatorHomes};
+
+    fn plan_for(nodes: u32) -> ParallelPlan {
+        let tree = JoinTree::join(
+            JoinTree::leaf(RelationId::new(0), 50_000),
+            JoinTree::leaf(RelationId::new(1), 100_000),
+            1.0 / 100_000.0,
+        );
+        let ot = OperatorTree::from_join_tree(&tree);
+        let homes = OperatorHomes::all_nodes(&ot, nodes);
+        ParallelPlan::build(QueryId::new(0), ot, homes, ChainScheduling::OneAtATime).unwrap()
+    }
+
+    #[test]
+    fn sp_rejects_multi_node_machines() {
+        let plan = plan_for(2);
+        let config = SystemConfig::hierarchical(2, 4);
+        assert!(execute_sp(&plan, &config, &ExecOptions::default()).is_err());
+    }
+
+    #[test]
+    fn sp_speedup_is_close_to_linear_below_threshold() {
+        let plan = plan_for(1);
+        let opts = ExecOptions::default();
+        let t1 = execute_sp(&plan, &SystemConfig::shared_memory(1), &opts)
+            .unwrap()
+            .response_time;
+        let t16 = execute_sp(&plan, &SystemConfig::shared_memory(16), &opts)
+            .unwrap()
+            .response_time;
+        let speedup = t1.as_secs_f64() / t16.as_secs_f64();
+        assert!(speedup > 12.0 && speedup <= 16.01, "speedup {speedup}");
+    }
+
+    #[test]
+    fn sp_contention_bends_the_curve_beyond_threshold() {
+        let plan = plan_for(1);
+        let opts = ExecOptions::default();
+        // Use fast disks so the run is CPU-bound and the memory-hierarchy
+        // contention effect is visible in isolation.
+        let mut config32 = SystemConfig::shared_memory(32);
+        config32.disk.transfer_rate_bytes_per_sec = 1e9;
+        let mut config64 = SystemConfig::shared_memory(64);
+        config64.disk.transfer_rate_bytes_per_sec = 1e9;
+        let t32 = execute_sp(&plan, &config32, &opts).unwrap().response_time;
+        let t64 = execute_sp(&plan, &config64, &opts).unwrap().response_time;
+        let speedup_ratio = t32.as_secs_f64() / t64.as_secs_f64();
+        // Still faster with 64 processors, but less than 2x faster.
+        assert!(
+            speedup_ratio > 1.0 && speedup_ratio < 2.0,
+            "ratio {speedup_ratio}"
+        );
+    }
+
+    #[test]
+    fn sp_report_is_consistent() {
+        let plan = plan_for(1);
+        let r = execute_sp(
+            &plan,
+            &SystemConfig::shared_memory(8),
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(r.strategy.label(), "SP");
+        assert_eq!(r.processors(), 8);
+        assert!(r.response_time > Duration::ZERO);
+        assert!(r.utilization > 0.0 && r.utilization <= 1.0);
+        assert_eq!(r.messages, 0);
+        assert_eq!(r.lb_bytes, 0);
+        assert_eq!(r.result_tuples, plan.tree.result_tuples());
+        assert!(r.tuples_processed >= 150_000);
+    }
+
+    #[test]
+    fn single_processor_time_is_at_least_sequential_cpu() {
+        let plan = plan_for(1);
+        let config = SystemConfig::shared_memory(1);
+        let r = execute_sp(&plan, &config, &ExecOptions::default()).unwrap();
+        // With one processor the response time can not be smaller than the
+        // CPU component of the sequential cost.
+        let cost = CostModel::new(config.costs, config.disk, config.cpu);
+        let mut cpu = Duration::ZERO;
+        for op in plan.tree.operators() {
+            let c = match op.kind {
+                OperatorKind::Scan { .. } => cost.scan_cost(op.input_tuples),
+                OperatorKind::Build { .. } => cost.build_cost(op.input_tuples),
+                OperatorKind::Probe { .. } => cost.probe_cost(op.input_tuples, op.output_tuples),
+            };
+            cpu += config.cpu.instructions(c.instructions);
+        }
+        assert!(r.response_time >= cpu);
+    }
+}

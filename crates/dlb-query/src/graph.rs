@@ -1,0 +1,286 @@
+//! Predicate connection graphs.
+//!
+//! A multi-join query is described by its *predicate connection graph*: one
+//! vertex per base relation and one edge per join predicate, labelled with the
+//! join selectivity factor. The paper's workload generator only produces
+//! acyclic connected graphs (i.e. trees), because "most multi-join queries in
+//! practice tend to have simple join predicates", but the structure here
+//! accepts arbitrary connected graphs.
+
+use dlb_common::RelationId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One join predicate between two relations, with its selectivity factor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JoinEdge {
+    /// One endpoint.
+    pub left: RelationId,
+    /// The other endpoint.
+    pub right: RelationId,
+    /// Join selectivity factor: `|L ⋈ R| = selectivity * |L| * |R|`.
+    pub selectivity: f64,
+}
+
+impl JoinEdge {
+    /// True when this edge connects `a` and `b` (in either order).
+    pub fn connects(&self, a: RelationId, b: RelationId) -> bool {
+        (self.left == a && self.right == b) || (self.left == b && self.right == a)
+    }
+
+    /// The endpoint that is not `r`, if `r` is an endpoint.
+    pub fn other(&self, r: RelationId) -> Option<RelationId> {
+        if self.left == r {
+            Some(self.right)
+        } else if self.right == r {
+            Some(self.left)
+        } else {
+            None
+        }
+    }
+}
+
+/// The predicate connection graph of one query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredicateGraph {
+    relations: Vec<RelationId>,
+    edges: Vec<JoinEdge>,
+}
+
+impl PredicateGraph {
+    /// Creates a graph over the given relations with no edges yet.
+    pub fn new(relations: Vec<RelationId>) -> Self {
+        Self {
+            relations,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds a join edge. Panics if either endpoint is not a vertex or the
+    /// selectivity is not positive and finite.
+    pub fn add_edge(&mut self, left: RelationId, right: RelationId, selectivity: f64) {
+        assert!(
+            self.relations.contains(&left) && self.relations.contains(&right),
+            "both endpoints must be relations of the graph"
+        );
+        assert!(left != right, "self-joins are expressed with distinct relation ids");
+        assert!(
+            selectivity.is_finite() && selectivity > 0.0,
+            "selectivity must be positive"
+        );
+        self.edges.push(JoinEdge {
+            left,
+            right,
+            selectivity,
+        });
+    }
+
+    /// Relations (vertices) of the graph.
+    pub fn relations(&self) -> &[RelationId] {
+        &self.relations
+    }
+
+    /// Join edges of the graph.
+    pub fn edges(&self) -> &[JoinEdge] {
+        &self.edges
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True when the graph has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Relations adjacent to `r`.
+    pub fn neighbours(&self, r: RelationId) -> Vec<RelationId> {
+        self.edges.iter().filter_map(|e| e.other(r)).collect()
+    }
+
+    /// Selectivity of the edge between `a` and `b`, if any.
+    pub fn selectivity_between(&self, a: RelationId, b: RelationId) -> Option<f64> {
+        self.edges
+            .iter()
+            .find(|e| e.connects(a, b))
+            .map(|e| e.selectivity)
+    }
+
+    /// Combined selectivity of all predicate edges linking a relation of set
+    /// `left` with a relation of set `right` (product of the individual edge
+    /// selectivities). Returns `None` when no edge crosses the two sets,
+    /// i.e. joining them would be a Cartesian product.
+    pub fn crossing_selectivity(
+        &self,
+        left: &BTreeSet<RelationId>,
+        right: &BTreeSet<RelationId>,
+    ) -> Option<f64> {
+        let mut product = 1.0;
+        let mut found = false;
+        for e in &self.edges {
+            let crosses = (left.contains(&e.left) && right.contains(&e.right))
+                || (left.contains(&e.right) && right.contains(&e.left));
+            if crosses {
+                product *= e.selectivity;
+                found = true;
+            }
+        }
+        found.then_some(product)
+    }
+
+    /// True when the graph is connected (every relation reachable from the
+    /// first one through join edges).
+    pub fn is_connected(&self) -> bool {
+        if self.relations.is_empty() {
+            return true;
+        }
+        let mut adjacency: BTreeMap<RelationId, Vec<RelationId>> = BTreeMap::new();
+        for e in &self.edges {
+            adjacency.entry(e.left).or_default().push(e.right);
+            adjacency.entry(e.right).or_default().push(e.left);
+        }
+        let mut visited = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(self.relations[0]);
+        visited.insert(self.relations[0]);
+        while let Some(r) = queue.pop_front() {
+            if let Some(next) = adjacency.get(&r) {
+                for &n in next {
+                    if visited.insert(n) {
+                        queue.push_back(n);
+                    }
+                }
+            }
+        }
+        visited.len() == self.relations.len()
+    }
+
+    /// True when the graph is acyclic (edge count is vertex count minus one
+    /// for a connected graph; more generally checked per connected component).
+    pub fn is_acyclic(&self) -> bool {
+        // Union-find over relations; a cycle appears when an edge joins two
+        // vertices already in the same set.
+        let mut parent: BTreeMap<RelationId, RelationId> =
+            self.relations.iter().map(|&r| (r, r)).collect();
+        fn find(parent: &mut BTreeMap<RelationId, RelationId>, r: RelationId) -> RelationId {
+            let p = parent[&r];
+            if p == r {
+                r
+            } else {
+                let root = find(parent, p);
+                parent.insert(r, root);
+                root
+            }
+        }
+        for e in &self.edges {
+            let a = find(&mut parent, e.left);
+            let b = find(&mut parent, e.right);
+            if a == b {
+                return false;
+            }
+            parent.insert(a, b);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u32) -> RelationId {
+        RelationId::new(i)
+    }
+
+    fn chain_graph(n: u32) -> PredicateGraph {
+        let mut g = PredicateGraph::new((0..n).map(r).collect());
+        for i in 1..n {
+            g.add_edge(r(i - 1), r(i), 0.001);
+        }
+        g
+    }
+
+    #[test]
+    fn edge_helpers() {
+        let e = JoinEdge {
+            left: r(0),
+            right: r(1),
+            selectivity: 0.5,
+        };
+        assert!(e.connects(r(0), r(1)));
+        assert!(e.connects(r(1), r(0)));
+        assert!(!e.connects(r(0), r(2)));
+        assert_eq!(e.other(r(0)), Some(r(1)));
+        assert_eq!(e.other(r(2)), None);
+    }
+
+    #[test]
+    fn chain_is_connected_and_acyclic() {
+        let g = chain_graph(5);
+        assert_eq!(g.len(), 5);
+        assert!(g.is_connected());
+        assert!(g.is_acyclic());
+        assert_eq!(g.neighbours(r(2)), vec![r(1), r(3)]);
+        assert_eq!(g.selectivity_between(r(0), r(1)), Some(0.001));
+        assert_eq!(g.selectivity_between(r(0), r(2)), None);
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let mut g = PredicateGraph::new(vec![r(0), r(1), r(2)]);
+        g.add_edge(r(0), r(1), 0.1);
+        assert!(!g.is_connected());
+        assert!(g.is_acyclic());
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = chain_graph(3);
+        g.add_edge(r(2), r(0), 0.1);
+        assert!(g.is_connected());
+        assert!(!g.is_acyclic());
+    }
+
+    #[test]
+    fn crossing_selectivity_multiplies_edges() {
+        let mut g = PredicateGraph::new(vec![r(0), r(1), r(2), r(3)]);
+        g.add_edge(r(0), r(2), 0.1);
+        g.add_edge(r(1), r(3), 0.2);
+        g.add_edge(r(0), r(1), 0.5);
+        let left: BTreeSet<_> = [r(0), r(1)].into_iter().collect();
+        let right: BTreeSet<_> = [r(2), r(3)].into_iter().collect();
+        let sel = g.crossing_selectivity(&left, &right).unwrap();
+        assert!((sel - 0.1 * 0.2).abs() < 1e-12);
+        // The (0,1) edge is internal to `left` and must not contribute.
+        let only_three: BTreeSet<_> = [r(3)].into_iter().collect();
+        let sel2 = g.crossing_selectivity(&left, &only_three).unwrap();
+        assert!((sel2 - 0.2).abs() < 1e-12);
+        let disjoint: BTreeSet<_> = [r(2)].into_iter().collect();
+        let none = g.crossing_selectivity(&only_three, &disjoint);
+        assert!(none.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "selectivity must be positive")]
+    fn bad_selectivity_rejected() {
+        let mut g = PredicateGraph::new(vec![r(0), r(1)]);
+        g.add_edge(r(0), r(1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-joins")]
+    fn self_edge_rejected() {
+        let mut g = PredicateGraph::new(vec![r(0)]);
+        g.add_edge(r(0), r(0), 0.5);
+    }
+
+    #[test]
+    fn empty_graph_is_connected_and_acyclic() {
+        let g = PredicateGraph::new(vec![]);
+        assert!(g.is_connected());
+        assert!(g.is_acyclic());
+        assert!(g.is_empty());
+    }
+}

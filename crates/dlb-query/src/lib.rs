@@ -1,0 +1,41 @@
+//! # dlb-query
+//!
+//! Query workloads and parallel execution plans for the hierdb workspace.
+//!
+//! This crate implements the query side of the paper:
+//!
+//! * [`graph`] — predicate connection graphs (which relations join with
+//!   which, and with what selectivity),
+//! * [`generator`] — the random workload generator of §5.1.2 (20 queries ×
+//!   12 relations, small/medium/large cardinalities, selectivities drawn
+//!   around `1 / max(|R|,|S|)`),
+//! * [`cost`] — the cost model used by the optimizer and by the Fixed
+//!   Processing strategy's static processor allocation (with optional error
+//!   injection, §5.2.1),
+//! * [`jointree`] — bushy join trees and their cardinality/cost estimation,
+//! * [`optimizer`] — a randomized bushy-tree optimizer that keeps the two
+//!   best trees per query, mirroring how the paper retains "the two best
+//!   bushy operator trees" from the DBS3 optimizer,
+//! * [`optree`] — macro-expansion of a join tree into an operator tree
+//!   (scan/build/probe, blocking vs pipelinable edges), pipeline-chain
+//!   decomposition, operator scheduling heuristics and operator homes,
+//! * [`plan`] — the parallel execution plan handed to the execution engines.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cost;
+pub mod generator;
+pub mod graph;
+pub mod jointree;
+pub mod optimizer;
+pub mod optree;
+pub mod plan;
+
+pub use cost::CostModel;
+pub use generator::{Query, WorkloadGenerator, WorkloadParams};
+pub use graph::PredicateGraph;
+pub use jointree::JoinTree;
+pub use optimizer::{Optimizer, OptimizerParams};
+pub use optree::{EdgeKind, Operator, OperatorKind, OperatorTree, PipelineChain};
+pub use plan::{OperatorHomes, ParallelPlan, ScheduleConstraint};

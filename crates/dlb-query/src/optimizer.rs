@@ -1,0 +1,244 @@
+//! Bushy-tree optimizer.
+//!
+//! The paper runs each generated query through the DBS3 optimizer and keeps
+//! the two best bushy operator trees (§5.1.2). This module reproduces that
+//! step with a randomized enumerator:
+//!
+//! * candidate trees are built bottom-up by repeatedly joining two
+//!   *connected* components of the predicate graph (never introducing a
+//!   Cartesian product),
+//! * a greedy candidate always joins the pair with the smallest estimated
+//!   output, randomized candidates pick among connected pairs at random,
+//! * candidates are ranked by the sum of intermediate result sizes (the
+//!   classical objective that bushy trees are meant to minimize) and the
+//!   requested number of best trees is retained.
+
+use crate::cost::CostModel;
+use crate::generator::Query;
+use crate::jointree::JoinTree;
+use dlb_common::rng::stream_rng;
+use dlb_common::{DlbError, Result};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Parameters of the optimizer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OptimizerParams {
+    /// Number of randomized candidates enumerated per query (in addition to
+    /// the greedy candidate).
+    pub candidates: usize,
+    /// Number of best trees retained per query (paper: 2).
+    pub keep_best: usize,
+    /// Seed of the randomized enumeration.
+    pub seed: u64,
+}
+
+impl Default for OptimizerParams {
+    fn default() -> Self {
+        Self {
+            candidates: 48,
+            keep_best: 2,
+            seed: 0x0BB_5EED,
+        }
+    }
+}
+
+/// The bushy-tree optimizer.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    params: OptimizerParams,
+    cost: CostModel,
+}
+
+impl Optimizer {
+    /// Creates an optimizer.
+    pub fn new(params: OptimizerParams, cost: CostModel) -> Self {
+        Self { params, cost }
+    }
+
+    /// Creates an optimizer with default parameters and cost model.
+    pub fn with_defaults() -> Self {
+        Self::new(OptimizerParams::default(), CostModel::default())
+    }
+
+    /// The cost model used for ranking.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Optimizes a query, returning its `keep_best` best bushy trees (best
+    /// first). Fails if the predicate graph is not connected.
+    pub fn optimize(&self, query: &Query) -> Result<Vec<JoinTree>> {
+        if !query.graph.is_connected() {
+            return Err(DlbError::plan(format!(
+                "query {} has a disconnected predicate graph",
+                query.id
+            )));
+        }
+        if query.relations.is_empty() {
+            return Err(DlbError::plan("query has no relations"));
+        }
+
+        let mut candidates = Vec::with_capacity(self.params.candidates + 1);
+        candidates.push(self.build_tree::<rand::rngs::StdRng>(query, None)?);
+        let mut rng = stream_rng(self.params.seed, query.id.0 as u64);
+        for _ in 0..self.params.candidates {
+            candidates.push(self.build_tree(query, Some(&mut rng))?);
+        }
+
+        // Rank by intermediate size, then by estimated sequential time as a
+        // tie-breaker, and deduplicate identical shapes.
+        candidates.sort_by(|a, b| {
+            (a.intermediate_size(), self.cost.tree_cost(a).instructions)
+                .cmp(&(b.intermediate_size(), self.cost.tree_cost(b).instructions))
+        });
+        candidates.dedup();
+        candidates.truncate(self.params.keep_best.max(1));
+        Ok(candidates)
+    }
+
+    /// Builds one candidate tree. With `rng = None` the construction is
+    /// greedy (always join the connected pair with the smallest output);
+    /// otherwise the pair is chosen at random among connected pairs.
+    fn build_tree<R: Rng>(&self, query: &Query, mut rng: Option<&mut R>) -> Result<JoinTree> {
+        // Each component is (set of relations, subtree).
+        let mut components: Vec<(BTreeSet<_>, JoinTree)> = query
+            .relations
+            .iter()
+            .map(|r| {
+                let mut set = BTreeSet::new();
+                set.insert(r.id);
+                (set, JoinTree::leaf(r.id, r.cardinality))
+            })
+            .collect();
+
+        while components.len() > 1 {
+            // Enumerate joinable (connected) pairs.
+            let mut pairs: Vec<(usize, usize, f64, u64)> = Vec::new();
+            for i in 0..components.len() {
+                for j in (i + 1)..components.len() {
+                    if let Some(sel) = query
+                        .graph
+                        .crossing_selectivity(&components[i].0, &components[j].0)
+                    {
+                        let out = ((components[i].1.cardinality() as f64)
+                            * (components[j].1.cardinality() as f64)
+                            * sel)
+                            .round()
+                            .max(1.0) as u64;
+                        pairs.push((i, j, sel, out));
+                    }
+                }
+            }
+            if pairs.is_empty() {
+                return Err(DlbError::plan(
+                    "no connected pair of components: predicate graph is disconnected",
+                ));
+            }
+            let chosen = match rng.as_deref_mut() {
+                None => pairs
+                    .iter()
+                    .min_by_key(|(_, _, _, out)| *out)
+                    .copied()
+                    .expect("pairs not empty"),
+                Some(rng) => pairs[rng.random_range(0..pairs.len())],
+            };
+            let (i, j, sel, _) = chosen;
+            // Remove j first (larger index) to keep i valid.
+            let (set_j, tree_j) = components.remove(j);
+            let (set_i, tree_i) = components.remove(i);
+            let mut merged = set_i;
+            merged.extend(set_j);
+            components.push((merged, JoinTree::join(tree_i, tree_j, sel)));
+        }
+
+        Ok(components.pop().expect("at least one component").1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{WorkloadGenerator, WorkloadParams};
+
+    fn sample_query(relations: usize, seed: u64) -> Query {
+        WorkloadGenerator::new(WorkloadParams::tiny(1, relations, seed))
+            .generate()
+            .remove(0)
+    }
+
+    #[test]
+    fn optimizer_returns_requested_number_of_trees() {
+        let q = sample_query(8, 11);
+        let trees = Optimizer::with_defaults().optimize(&q).unwrap();
+        assert_eq!(trees.len(), 2);
+        for t in &trees {
+            assert_eq!(t.leaf_count(), 8);
+            assert_eq!(t.join_count(), 7);
+            assert_eq!(t.relations().len(), 8);
+        }
+    }
+
+    #[test]
+    fn best_tree_is_ranked_first() {
+        let q = sample_query(10, 3);
+        let trees = Optimizer::with_defaults().optimize(&q).unwrap();
+        assert!(trees[0].intermediate_size() <= trees[1].intermediate_size());
+    }
+
+    #[test]
+    fn greedy_tree_never_beaten_by_explicitly_bad_choice() {
+        // The greedy candidate is always part of the enumeration, so the best
+        // returned tree can never be worse than it.
+        let q = sample_query(9, 21);
+        let opt = Optimizer::with_defaults();
+        let greedy = opt.build_tree::<rand::rngs::StdRng>(&q, None).unwrap();
+        let best = opt.optimize(&q).unwrap().remove(0);
+        assert!(best.intermediate_size() <= greedy.intermediate_size());
+    }
+
+    #[test]
+    fn optimization_is_deterministic() {
+        let q = sample_query(12, 5);
+        let a = Optimizer::with_defaults().optimize(&q).unwrap();
+        let b = Optimizer::with_defaults().optimize(&q).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_relation_query_yields_a_leaf() {
+        let q = sample_query(1, 2);
+        let trees = Optimizer::with_defaults().optimize(&q).unwrap();
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].join_count(), 0);
+    }
+
+    #[test]
+    fn disconnected_graph_is_rejected() {
+        let mut q = sample_query(3, 9);
+        // Break connectivity by replacing the graph with an edgeless one.
+        q.graph = crate::graph::PredicateGraph::new(q.relations.iter().map(|r| r.id).collect());
+        assert!(Optimizer::with_defaults().optimize(&q).is_err());
+    }
+
+    #[test]
+    fn no_cartesian_products_in_produced_trees() {
+        // Every join node must have at least one predicate edge crossing its
+        // two children.
+        fn check(tree: &JoinTree, q: &Query) {
+            if let JoinTree::Join { build, probe, .. } = tree {
+                let sel = q
+                    .graph
+                    .crossing_selectivity(&build.relations(), &probe.relations());
+                assert!(sel.is_some(), "cartesian product found");
+                check(build, q);
+                check(probe, q);
+            }
+        }
+        let q = sample_query(12, 17);
+        for t in Optimizer::with_defaults().optimize(&q).unwrap() {
+            check(&t, &q);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Event calendar: the core of the discrete-event simulation.
+//!
+//! The calendar is a priority queue of `(time, sequence, event)` entries.
+//! Events at equal times are delivered in insertion order, which makes the
+//! whole simulation deterministic: two runs with the same inputs produce the
+//! same event interleaving and therefore the same response times.
+
+use dlb_common::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled on the calendar.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// Virtual time at which the event fires.
+    pub time: SimTime,
+    /// Insertion sequence number (tie-breaker for equal times).
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest time (then the
+        // smallest sequence number) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event calendar.
+///
+/// ```
+/// use dlb_common::{Duration, SimTime};
+/// use dlb_sim::EventCalendar;
+///
+/// let mut cal: EventCalendar<&str> = EventCalendar::new();
+/// cal.schedule_at(SimTime::ZERO + Duration::from_millis(2), "later");
+/// cal.schedule_at(SimTime::ZERO + Duration::from_millis(1), "sooner");
+/// let (t, e) = cal.pop().unwrap();
+/// assert_eq!(e, "sooner");
+/// assert_eq!(t.as_nanos(), 1_000_000);
+/// ```
+#[derive(Debug)]
+pub struct EventCalendar<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    now: SimTime,
+    next_seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for EventCalendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventCalendar<E> {
+    /// Creates an empty calendar at virtual time zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current virtual time (the time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events popped so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute virtual time `time`.
+    ///
+    /// Scheduling in the past is clamped to the current time: the event fires
+    /// "now" but after already-scheduled events for the current instant.
+    pub fn schedule_at(&mut self, time: SimTime, event: E) {
+        let time = time.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { time, seq, event });
+    }
+
+    /// Schedules `event` after `delay` from the current virtual time.
+    pub fn schedule_after(&mut self, delay: dlb_common::Duration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pops the next event, advancing the virtual clock to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now, "time went backwards");
+        self.now = entry.time;
+        self.processed += 1;
+        Some((entry.time, entry.event))
+    }
+
+    /// Peeks at the time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_common::Duration;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut cal = EventCalendar::new();
+        cal.schedule_at(SimTime::from_nanos(30), 3);
+        cal.schedule_at(SimTime::from_nanos(10), 1);
+        cal.schedule_at(SimTime::from_nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(cal.processed(), 3);
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut cal = EventCalendar::new();
+        for i in 0..100 {
+            cal.schedule_at(SimTime::from_nanos(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut cal = EventCalendar::new();
+        cal.schedule_at(SimTime::from_nanos(100), "a");
+        cal.schedule_at(SimTime::from_nanos(50), "b");
+        let (t1, _) = cal.pop().unwrap();
+        assert_eq!(t1, SimTime::from_nanos(50));
+        assert_eq!(cal.now(), SimTime::from_nanos(50));
+        // Scheduling in the past clamps to now.
+        cal.schedule_at(SimTime::from_nanos(10), "late");
+        let (t2, e2) = cal.pop().unwrap();
+        assert_eq!(t2, SimTime::from_nanos(50));
+        assert_eq!(e2, "late");
+        let (t3, _) = cal.pop().unwrap();
+        assert_eq!(t3, SimTime::from_nanos(100));
+    }
+
+    #[test]
+    fn schedule_after_uses_current_time() {
+        let mut cal = EventCalendar::new();
+        cal.schedule_at(SimTime::from_nanos(1_000), "first");
+        cal.pop().unwrap();
+        cal.schedule_after(Duration::from_nanos(500), "second");
+        assert_eq!(cal.peek_time(), Some(SimTime::from_nanos(1_500)));
+        assert_eq!(cal.pending(), 1);
+    }
+}

@@ -1,0 +1,91 @@
+//! Quickstart: build a hierarchical system, describe a multi-join query,
+//! execute it under all three strategies and print the reports.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hierdb::{AdHocQuery, ExecutionReport, HierarchicalSystem, Strategy};
+
+fn print_report(label: &str, r: &ExecutionReport) {
+    println!(
+        "{label:<4} response={:>10}  utilization={:>5.1}%  messages={:>6}  net={:>8} KiB  lb={:>6} KiB",
+        format!("{}", r.response_time),
+        r.utilization * 100.0,
+        r.messages,
+        r.network_bytes / 1024,
+        r.lb_bytes / 1024,
+    );
+}
+
+fn main() {
+    // A decision-support style star-ish join: one fact table, three
+    // dimensions plus a bridge table, on a 2-node x 8-processor cluster.
+    let system = HierarchicalSystem::builder()
+        .nodes(2)
+        .processors_per_node(8)
+        .build();
+
+    let query = AdHocQuery::new("sales_analysis")
+        .relation("sales", 200_000)
+        .relation("products", 20_000)
+        .relation("stores", 2_000)
+        .relation("customers", 50_000)
+        .relation("regions", 500)
+        .join("sales", "products")
+        .join("sales", "stores")
+        .join("sales", "customers")
+        .join("stores", "regions")
+        .keep_best(2);
+
+    println!("== hierdb quickstart ==");
+    println!(
+        "machine: {} SM-nodes x {} processors ({} total), 40 MIPS each\n",
+        system.nodes(),
+        system.processors_per_node(),
+        system.total_processors()
+    );
+
+    let plans = query.compile(&system).expect("query compiles");
+    println!("optimizer produced {} bushy plan(s)", plans.len());
+    for (i, plan) in plans.iter().enumerate() {
+        println!(
+            "  plan {i}: {} operators, {} pipeline chains, estimated result {} tuples",
+            plan.tree.operators().len(),
+            plan.chains().len(),
+            plan.tree.result_tuples()
+        );
+    }
+    println!();
+
+    let plan = &plans[0];
+
+    // Dynamic Processing (the paper's model) vs Fixed Processing on the
+    // hierarchical machine.
+    let dp = system.run(plan, Strategy::Dynamic).expect("DP runs");
+    let fp = system
+        .run(plan, Strategy::Fixed { error_rate: 0.0 })
+        .expect("FP runs");
+    print_report("DP", &dp);
+    print_report("FP", &fp);
+
+    // Synchronous Pipelining needs shared memory: compare on a single node
+    // with the same total number of processors.
+    let sm = HierarchicalSystem::shared_memory(system.total_processors());
+    let sm_plans = query.compile(&sm).expect("query compiles for shared memory");
+    let sp = sm.run(&sm_plans[0], Strategy::Synchronous).expect("SP runs");
+    let dp_sm = sm.run(&sm_plans[0], Strategy::Dynamic).expect("DP runs");
+    println!("\nshared-memory reference ({} processors):", sm.total_processors());
+    print_report("SP", &sp);
+    print_report("DP", &dp_sm);
+
+    println!(
+        "\nDP vs FP on the hierarchical machine: {:.2}x",
+        fp.response_secs() / dp.response_secs()
+    );
+    println!(
+        "DP overhead vs SP in shared memory:    {:.2}x",
+        dp_sm.response_secs() / sp.response_secs()
+    );
+}

@@ -1,0 +1,51 @@
+//! Skew study: how redistribution skew affects Dynamic Processing.
+//!
+//! Reproduces the spirit of the paper's Figure 9 on a user-defined workload:
+//! the same plans are executed with increasing Zipf skew factors and the
+//! response time degradation relative to the unskewed run is printed.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example skew_study
+//! ```
+
+use hierdb::{
+    relative_performance, Experiment, HierarchicalSystem, Strategy, WorkloadParams,
+};
+
+fn main() {
+    let processors = 16;
+    let base_system = HierarchicalSystem::shared_memory(processors);
+    let workload = WorkloadParams {
+        queries: 4,
+        relations_per_query: 8,
+        scale: 0.02,
+        ..WorkloadParams::default()
+    };
+
+    let experiment = Experiment::builder()
+        .system(base_system.clone())
+        .workload(workload)
+        .build()
+        .expect("workload compiles");
+
+    println!("== impact of redistribution skew on DP ({processors} processors) ==");
+    println!("{:>6}  {:>22}  {:>12}", "skew", "relative degradation", "mean resp");
+
+    let reference = experiment.run(Strategy::Dynamic).expect("baseline runs");
+
+    for &skew in &[0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+        let skewed_system = base_system.clone().with_skew(skew);
+        let skewed = experiment.on_system(skewed_system);
+        let runs = skewed.run(Strategy::Dynamic).expect("skewed run");
+        let degradation = relative_performance(&runs, &reference);
+        let mean_resp: f64 =
+            runs.iter().map(|r| r.report.response_secs()).sum::<f64>() / runs.len() as f64;
+        println!("{skew:>6.1}  {degradation:>22.3}  {mean_resp:>10.2}s");
+    }
+
+    println!(
+        "\nThe paper's finding: the impact of redistribution skew on DP is insignificant\n\
+         (a few percent at most), because any thread can consume any queue of its node."
+    );
+}

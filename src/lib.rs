@@ -1,0 +1,79 @@
+//! # hierdb
+//!
+//! A Rust reproduction of *Bouganim, Florescu, Valduriez — "Dynamic Load
+//! Balancing in Hierarchical Parallel Database Systems"* (VLDB 1996 / INRIA
+//! RR-2815).
+//!
+//! The paper proposes **Dynamic Processing (DP)**: an execution model for
+//! multi-join queries on hierarchical parallel database systems — a
+//! shared-nothing cluster of shared-memory multiprocessor nodes (SM-nodes).
+//! Query work is decomposed into self-contained *activations* placed in
+//! per-(operator, thread) queues; any thread of a node can execute any
+//! unblocked activation of that node, which maximizes intra- and
+//! inter-operator load balancing locally and minimizes expensive inter-node
+//! load sharing.
+//!
+//! This crate is the user-facing entry point and simply re-exports the
+//! [`dlb_core`] facade; the implementation lives in the workspace crates:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | `dlb-common` | identifiers, virtual time, configuration, Zipf skew |
+//! | `dlb-sim` | discrete-event substrate (calendar, disks, network, CPU accounting) |
+//! | `dlb-storage` | relations, partitioning, buckets, catalog |
+//! | `dlb-query` | workload generator, cost model, bushy-tree optimizer, parallel plans |
+//! | `dlb-exec` | the DP / FP / SP execution engines and global load balancing |
+//! | `dlb-core` | high-level API: systems, workloads, experiments, summaries |
+//! | `dlb-bench` | harnesses regenerating every figure of the paper |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use hierdb::{AdHocQuery, HierarchicalSystem, Strategy};
+//!
+//! let system = HierarchicalSystem::hierarchical(2, 4);
+//! let plans = AdHocQuery::new("demo")
+//!     .relation("orders", 30_000)
+//!     .relation("customers", 5_000)
+//!     .join("orders", "customers")
+//!     .compile(&system)
+//!     .unwrap();
+//! let report = system.run(&plans[0], Strategy::Dynamic).unwrap();
+//! println!("response time: {}", report.response_time);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use dlb_core::*;
+
+/// The workspace crates, re-exported for users who need lower-level access
+/// (e.g. driving the simulator directly or building custom plans).
+pub mod raw {
+    pub use dlb_common as common;
+    pub use dlb_exec as exec;
+    pub use dlb_query as query;
+    pub use dlb_sim as sim;
+    pub use dlb_storage as storage;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_reexports_are_usable() {
+        let system = HierarchicalSystem::shared_memory(2);
+        assert_eq!(system.total_processors(), 2);
+        let _options = ExecOptions::default();
+        let _params: WorkloadParams = WorkloadParams::default();
+    }
+
+    #[test]
+    fn raw_module_exposes_workspace_crates() {
+        let zipf = raw::common::ZipfDistribution::new(4, 0.5);
+        assert_eq!(zipf.len(), 4);
+        let q = raw::exec::ActivationQueue::new(2);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! End-to-end integration tests spanning all workspace crates: workload
+//! generation → optimization → planning → execution on every strategy and
+//! several machine shapes.
+
+use hierdb::{
+    relative_performance, AdHocQuery, Experiment, HierarchicalSystem, Strategy, Summary,
+    WorkloadParams,
+};
+
+fn tiny_workload(seed: u64) -> WorkloadParams {
+    WorkloadParams {
+        queries: 2,
+        relations_per_query: 5,
+        scale: 0.01,
+        skew: 0.0,
+        seed,
+    }
+}
+
+#[test]
+fn full_pipeline_runs_on_shared_memory_and_hierarchical_machines() {
+    for system in [
+        HierarchicalSystem::shared_memory(4),
+        HierarchicalSystem::hierarchical(2, 2),
+        HierarchicalSystem::hierarchical(4, 2),
+    ] {
+        let experiment = Experiment::builder()
+            .system(system.clone())
+            .workload(tiny_workload(42))
+            .build()
+            .expect("workload compiles");
+        for strategy in [Strategy::Dynamic, Strategy::Fixed { error_rate: 0.0 }] {
+            let runs = experiment.run(strategy).expect("execution completes");
+            assert_eq!(runs.len(), experiment.workload().len());
+            for run in &runs {
+                assert!(run.report.response_time.as_secs_f64() > 0.0);
+                assert!(run.report.tuples_processed > 0);
+                assert!(run.report.utilization > 0.0 && run.report.utilization <= 1.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn synchronous_pipelining_only_runs_on_shared_memory() {
+    let experiment = Experiment::builder()
+        .system(HierarchicalSystem::shared_memory(8))
+        .workload(tiny_workload(1))
+        .build()
+        .unwrap();
+    assert!(experiment.run(Strategy::Synchronous).is_ok());
+
+    let hierarchical = Experiment::builder()
+        .system(HierarchicalSystem::hierarchical(2, 4))
+        .workload(tiny_workload(1))
+        .build()
+        .unwrap();
+    assert!(hierarchical.run(Strategy::Synchronous).is_err());
+}
+
+#[test]
+fn execution_is_fully_deterministic() {
+    let build = || {
+        Experiment::builder()
+            .system(HierarchicalSystem::hierarchical(2, 3).with_skew(0.7))
+            .workload(tiny_workload(7))
+            .build()
+            .unwrap()
+    };
+    let a = build().run(Strategy::Dynamic).unwrap();
+    let b = build().run(Strategy::Dynamic).unwrap();
+    assert_eq!(a.len(), b.len());
+    for (ra, rb) in a.iter().zip(&b) {
+        assert_eq!(ra.report.response_time, rb.report.response_time);
+        assert_eq!(ra.report.activations, rb.report.activations);
+        assert_eq!(ra.report.network_bytes, rb.report.network_bytes);
+        assert_eq!(ra.report.lb_bytes, rb.report.lb_bytes);
+    }
+}
+
+#[test]
+fn strategies_process_the_same_logical_work() {
+    // DP and FP must process (approximately) the same number of tuples for
+    // the same plan — the load-balancing strategy changes *who* does the
+    // work, not *what* work exists.
+    let experiment = Experiment::builder()
+        .system(HierarchicalSystem::shared_memory(4))
+        .workload(tiny_workload(3))
+        .build()
+        .unwrap();
+    let dp = experiment.run(Strategy::Dynamic).unwrap();
+    let fp = experiment.run(Strategy::Fixed { error_rate: 0.0 }).unwrap();
+    for (a, b) in dp.iter().zip(&fp) {
+        let tolerance = a.report.tuples_processed / 20 + 32;
+        assert!(
+            a.report.tuples_processed.abs_diff(b.report.tuples_processed) <= tolerance,
+            "DP processed {} tuples, FP {}",
+            a.report.tuples_processed,
+            b.report.tuples_processed
+        );
+        assert!(a.report.result_tuples.abs_diff(b.report.result_tuples)
+            <= a.report.result_tuples / 10 + 32);
+    }
+}
+
+#[test]
+fn adding_processors_never_hurts_dp_much() {
+    let small = Experiment::builder()
+        .system(HierarchicalSystem::shared_memory(2))
+        .workload(tiny_workload(5))
+        .build()
+        .unwrap();
+    let large = small.on_system(HierarchicalSystem::shared_memory(16));
+    let small_runs = small.run(Strategy::Dynamic).unwrap();
+    let large_runs = large.run(Strategy::Dynamic).unwrap();
+    // Relative performance of the 16-processor run against the 2-processor
+    // run must be clearly below 1 (faster).
+    let rel = relative_performance(&large_runs, &small_runs);
+    assert!(rel < 1.0, "16 processors should beat 2, got ratio {rel}");
+}
+
+#[test]
+fn hierarchical_and_shared_memory_agree_on_result_cardinality() {
+    let query = AdHocQuery::new("consistency")
+        .relation("a", 3_000)
+        .relation("b", 9_000)
+        .relation("c", 6_000)
+        .join("a", "b")
+        .join("b", "c");
+    let sm = HierarchicalSystem::shared_memory(4);
+    let hier = HierarchicalSystem::hierarchical(2, 2);
+    let sm_report = sm
+        .run(&query.compile(&sm).unwrap()[0], Strategy::Dynamic)
+        .unwrap();
+    let hier_report = hier
+        .run(&query.compile(&hier).unwrap()[0], Strategy::Dynamic)
+        .unwrap();
+    let tolerance = sm_report.result_tuples / 10 + 32;
+    assert!(
+        sm_report.result_tuples.abs_diff(hier_report.result_tuples) <= tolerance,
+        "shared memory produced {} result tuples, hierarchical {}",
+        sm_report.result_tuples,
+        hier_report.result_tuples
+    );
+}
+
+#[test]
+fn summary_reflects_load_balancing_activity() {
+    let experiment = Experiment::builder()
+        .system(HierarchicalSystem::hierarchical(4, 2).with_skew(0.9))
+        .workload(tiny_workload(11))
+        .build()
+        .unwrap();
+    let dp = experiment.run(Strategy::Dynamic).unwrap();
+    let summary = Summary::from_runs(&dp);
+    assert_eq!(summary.plans, dp.len());
+    assert!(summary.mean_response_secs > 0.0);
+    // Heavily skewed hierarchical runs exchange data between nodes.
+    assert!(summary.total_network_bytes > 0);
+}

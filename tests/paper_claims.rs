@@ -1,0 +1,128 @@
+//! Integration tests asserting the *qualitative* claims of the paper's
+//! evaluation (§5) at reduced scale. These are the same comparisons the
+//! figure harness prints, turned into assertions with generous margins so
+//! they are robust to the reduced workload size.
+
+use hierdb::{relative_performance, Experiment, HierarchicalSystem, Strategy, Summary, WorkloadParams};
+
+fn workload(seed: u64) -> WorkloadParams {
+    WorkloadParams {
+        queries: 3,
+        relations_per_query: 6,
+        scale: 0.02,
+        skew: 0.0,
+        seed,
+    }
+}
+
+/// §5.2.1 / Figure 6: in shared memory, DP performs close to SP while FP is
+/// worse.
+#[test]
+fn dp_tracks_sp_and_beats_fp_in_shared_memory() {
+    let experiment = Experiment::builder()
+        .system(HierarchicalSystem::shared_memory(16))
+        .workload(workload(21))
+        .build()
+        .unwrap();
+    let sp = experiment.run(Strategy::Synchronous).unwrap();
+    let dp = experiment.run(Strategy::Dynamic).unwrap();
+    let fp = experiment.run(Strategy::Fixed { error_rate: 0.0 }).unwrap();
+
+    let dp_vs_sp = relative_performance(&dp, &sp);
+    let fp_vs_sp = relative_performance(&fp, &sp);
+    assert!(dp_vs_sp >= 0.95, "SP is the reference model, got {dp_vs_sp}");
+    assert!(
+        dp_vs_sp < 1.6,
+        "DP should stay in the vicinity of SP, got {dp_vs_sp}"
+    );
+    assert!(
+        fp_vs_sp > dp_vs_sp,
+        "FP ({fp_vs_sp}) should be slower than DP ({dp_vs_sp})"
+    );
+}
+
+/// §5.2.1 / Figure 7: FP degrades as cost-model errors grow.
+#[test]
+fn fp_degrades_with_cost_model_errors() {
+    let experiment = Experiment::builder()
+        .system(HierarchicalSystem::shared_memory(8))
+        .workload(workload(22))
+        .build()
+        .unwrap();
+    let exact = experiment.run(Strategy::Fixed { error_rate: 0.0 }).unwrap();
+    let wrong = experiment.run(Strategy::Fixed { error_rate: 0.3 }).unwrap();
+    let degradation = relative_performance(&wrong, &exact);
+    assert!(
+        degradation >= 0.999,
+        "30% estimation errors should not speed FP up, got {degradation}"
+    );
+}
+
+/// §5.2.1 / Figure 8: DP speeds up substantially with more processors.
+#[test]
+fn dp_speedup_with_processor_count() {
+    let base = Experiment::builder()
+        .system(HierarchicalSystem::shared_memory(1))
+        .workload(workload(23))
+        .build()
+        .unwrap();
+    let one = base.run(Strategy::Dynamic).unwrap();
+    let sixteen = base
+        .on_system(HierarchicalSystem::shared_memory(16))
+        .run(Strategy::Dynamic)
+        .unwrap();
+    let speedup = hierdb::speedup(&sixteen, &one);
+    assert!(
+        speedup > 3.0,
+        "16 processors should give a clear speedup, got {speedup}"
+    );
+}
+
+/// §5.2.2 / Figure 9: redistribution skew barely affects DP in shared memory.
+#[test]
+fn skew_impact_on_dp_is_bounded() {
+    let system = HierarchicalSystem::shared_memory(16);
+    let experiment = Experiment::builder()
+        .system(system.clone())
+        .workload(workload(24))
+        .build()
+        .unwrap();
+    let unskewed = experiment.run(Strategy::Dynamic).unwrap();
+    let skewed = experiment
+        .on_system(system.with_skew(0.8))
+        .run(Strategy::Dynamic)
+        .unwrap();
+    let degradation = relative_performance(&skewed, &unskewed);
+    assert!(
+        degradation < 1.5,
+        "DP should absorb redistribution skew, got {degradation}"
+    );
+}
+
+/// §5.3 / Figure 10: on a skewed hierarchical configuration DP outperforms FP
+/// and ships less data for global load balancing.
+#[test]
+fn dp_beats_fp_on_hierarchical_configuration_with_skew() {
+    let experiment = Experiment::builder()
+        .system(HierarchicalSystem::hierarchical(4, 4).with_skew(0.6))
+        .workload(workload(25))
+        .build()
+        .unwrap();
+    let dp = experiment.run(Strategy::Dynamic).unwrap();
+    let fp = experiment.run(Strategy::Fixed { error_rate: 0.0 }).unwrap();
+    let fp_vs_dp = relative_performance(&fp, &dp);
+    assert!(
+        fp_vs_dp > 1.0,
+        "FP should be slower than DP on a skewed hierarchical machine, got {fp_vs_dp}"
+    );
+    let dp_summary = Summary::from_runs(&dp);
+    let fp_summary = Summary::from_runs(&fp);
+    assert!(
+        fp_summary.total_lb_bytes >= dp_summary.total_lb_bytes,
+        "FP ({}) should ship at least as much load-balancing data as DP ({})",
+        fp_summary.total_lb_bytes,
+        dp_summary.total_lb_bytes
+    );
+    // DP keeps processors busier than FP.
+    assert!(dp_summary.mean_idle_fraction <= fp_summary.mean_idle_fraction + 1e-9);
+}

@@ -1,0 +1,188 @@
+//! Property-based tests over the query, planning and execution layers.
+
+use hierdb::raw::common::rng::rng_from_seed;
+use hierdb::raw::common::{QueryId, ZipfDistribution};
+use hierdb::raw::exec::{ExecOptions, OutputRouter, Strategy};
+use hierdb::raw::query::generator::{WorkloadGenerator, WorkloadParams};
+use hierdb::raw::query::jointree::JoinTree;
+use hierdb::raw::query::optimizer::Optimizer;
+use hierdb::raw::query::optree::OperatorTree;
+use hierdb::raw::query::plan::{ChainScheduling, OperatorHomes, ParallelPlan};
+use hierdb::SystemConfig;
+use proptest::prelude::*;
+use rand::Rng;
+
+/// Generates a random small query via the workload generator (itself seeded),
+/// so the shrunken cases stay meaningful.
+fn arbitrary_query(relations: usize, seed: u64) -> hierdb::Query {
+    WorkloadGenerator::new(WorkloadParams {
+        queries: 1,
+        relations_per_query: relations,
+        scale: 0.005,
+        skew: 0.0,
+        seed,
+    })
+    .generate_query(QueryId::new(0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The Zipf split conserves the total for any item count, skew and total.
+    #[test]
+    fn zipf_split_conserves_totals(
+        n in 1usize..512,
+        theta in 0.0f64..1.0,
+        total in 0u64..2_000_000,
+    ) {
+        let dist = ZipfDistribution::new(n, theta);
+        let parts = dist.split(total);
+        prop_assert_eq!(parts.len(), n);
+        prop_assert_eq!(parts.iter().sum::<u64>(), total);
+    }
+
+    /// The deficit router conserves tuples and respects its slot count.
+    #[test]
+    fn router_conserves_and_stays_in_range(
+        slots in 1usize..64,
+        theta in 0.0f64..1.0,
+        batches in proptest::collection::vec(1u64..4_096, 1..200),
+    ) {
+        let mut router = OutputRouter::new(slots, theta, 7);
+        let mut per_slot = vec![0u64; slots];
+        for &b in &batches {
+            let slot = router.route(b);
+            prop_assert!(slot < slots);
+            per_slot[slot] += b;
+        }
+        prop_assert_eq!(per_slot.iter().sum::<u64>(), batches.iter().sum::<u64>());
+        prop_assert_eq!(router.total(), batches.iter().sum::<u64>());
+    }
+
+    /// Optimizer output is structurally sound for arbitrary generated queries:
+    /// every relation appears exactly once, no Cartesian products, and the
+    /// tree cardinalities are positive.
+    #[test]
+    fn optimizer_trees_are_well_formed(relations in 1usize..10, seed in 0u64..5_000) {
+        let query = arbitrary_query(relations, seed);
+        let trees = Optimizer::with_defaults().optimize(&query).unwrap();
+        prop_assert!(!trees.is_empty());
+        for tree in &trees {
+            prop_assert_eq!(tree.leaf_count(), relations);
+            prop_assert_eq!(tree.relations().len(), relations);
+            prop_assert_eq!(tree.join_count(), relations - 1);
+            prop_assert!(tree.cardinality() >= 1);
+            assert_no_cartesian(tree, &query);
+        }
+    }
+
+    /// Macro-expansion and scheduling produce valid plans: chains partition
+    /// the operators, the schedule is acyclic (validate checks it), and every
+    /// probe is gated on its build.
+    #[test]
+    fn plans_are_valid_for_arbitrary_queries(
+        relations in 1usize..10,
+        seed in 0u64..5_000,
+        nodes in 1u32..5,
+        one_at_a_time in proptest::bool::ANY,
+    ) {
+        let query = arbitrary_query(relations, seed);
+        let tree = Optimizer::with_defaults().optimize(&query).unwrap().remove(0);
+        let optree = OperatorTree::from_join_tree(&tree);
+        let homes = OperatorHomes::all_nodes(&optree, nodes);
+        let scheduling = if one_at_a_time {
+            ChainScheduling::OneAtATime
+        } else {
+            ChainScheduling::Concurrent
+        };
+        let plan = ParallelPlan::build(query.id, optree, homes, scheduling).unwrap();
+        plan.validate().unwrap();
+
+        // Chains partition operators.
+        let mut seen = std::collections::HashSet::new();
+        for chain in plan.chains() {
+            for &op in &chain.operators {
+                prop_assert!(seen.insert(op));
+            }
+        }
+        prop_assert_eq!(seen.len(), plan.tree.operators().len());
+
+        // Every probe waits for its build.
+        for (build, probe) in plan.tree.joins().values() {
+            prop_assert!(plan.blocked_by(*probe).contains(build));
+        }
+    }
+
+    /// Executing arbitrary small plans under DP and FP terminates and
+    /// conserves the logical work (tuples processed ≈ plan volume) on both
+    /// shared-memory and hierarchical machines.
+    #[test]
+    fn execution_conserves_work(
+        relations in 2usize..7,
+        seed in 0u64..1_000,
+        nodes in 1u32..4,
+        procs in 1u32..5,
+        skew in 0.0f64..1.0,
+    ) {
+        let query = arbitrary_query(relations, seed);
+        let tree = Optimizer::with_defaults().optimize(&query).unwrap().remove(0);
+        let optree = OperatorTree::from_join_tree(&tree);
+        let homes = OperatorHomes::all_nodes(&optree, nodes);
+        let plan = ParallelPlan::build(query.id, optree, homes, ChainScheduling::OneAtATime).unwrap();
+        let config = SystemConfig::hierarchical(nodes, procs);
+        let options = ExecOptions { skew, ..ExecOptions::default() };
+
+        for strategy in [Strategy::Dynamic, Strategy::Fixed { error_rate: 0.2 }] {
+            let report = hierdb::raw::exec::execute(&plan, &config, strategy, &options).unwrap();
+            let expected = plan.total_input_tuples();
+            let tolerance = expected / 10 + 64;
+            prop_assert!(
+                report.tuples_processed.abs_diff(expected) <= tolerance,
+                "strategy {:?}: processed {} expected {}",
+                strategy, report.tuples_processed, expected
+            );
+            prop_assert!(report.response_time.as_nanos() > 0);
+        }
+    }
+
+    /// Random interleavings of queue operations keep the bounded activation
+    /// queue consistent (length never exceeds capacity, counters add up).
+    #[test]
+    fn activation_queue_invariants(capacity in 1usize..32, ops in 1usize..500, seed in 0u64..1_000) {
+        use hierdb::raw::exec::{Activation, ActivationQueue};
+        use hierdb::raw::common::OperatorId;
+        let mut rng = rng_from_seed(seed);
+        let mut queue = ActivationQueue::new(capacity);
+        let mut pushed = 0u64;
+        let mut popped = 0u64;
+        for _ in 0..ops {
+            if rng.random_bool(0.6) {
+                if queue.push(Activation::data(OperatorId::new(0), 1)) {
+                    pushed += 1;
+                }
+            } else if queue.pop().is_some() {
+                popped += 1;
+            }
+            prop_assert!(queue.len() <= capacity);
+        }
+        prop_assert_eq!(queue.total_enqueued(), pushed);
+        prop_assert_eq!(queue.total_dequeued(), popped);
+        prop_assert_eq!(queue.len() as u64, pushed - popped);
+    }
+}
+
+/// Helper: every join node of a tree must be backed by at least one predicate
+/// edge between its two sides.
+fn assert_no_cartesian(tree: &JoinTree, query: &hierdb::Query) {
+    if let JoinTree::Join { build, probe, .. } = tree {
+        assert!(
+            query
+                .graph
+                .crossing_selectivity(&build.relations(), &probe.relations())
+                .is_some(),
+            "cartesian product in optimizer output"
+        );
+        assert_no_cartesian(build, query);
+        assert_no_cartesian(probe, query);
+    }
+}
