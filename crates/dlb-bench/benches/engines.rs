@@ -27,7 +27,12 @@ fn bench_engines(c: &mut Criterion) {
         b.iter(|| black_box(sm.run(&sm_plan, Strategy::Dynamic).unwrap()));
     });
     group.bench_function("fp_shared_memory_8p", |b| {
-        b.iter(|| black_box(sm.run(&sm_plan, Strategy::Fixed { error_rate: 0.0 }).unwrap()));
+        b.iter(|| {
+            black_box(
+                sm.run(&sm_plan, Strategy::Fixed { error_rate: 0.0 })
+                    .unwrap(),
+            )
+        });
     });
     group.bench_function("sp_shared_memory_8p", |b| {
         b.iter(|| black_box(sm.run(&sm_plan, Strategy::Synchronous).unwrap()));
@@ -39,7 +44,12 @@ fn bench_engines(c: &mut Criterion) {
         b.iter(|| black_box(hier.run(&hier_plan, Strategy::Dynamic).unwrap()));
     });
     group.bench_function("fp_hierarchical_4x4_skew06", |b| {
-        b.iter(|| black_box(hier.run(&hier_plan, Strategy::Fixed { error_rate: 0.0 }).unwrap()));
+        b.iter(|| {
+            black_box(
+                hier.run(&hier_plan, Strategy::Fixed { error_rate: 0.0 })
+                    .unwrap(),
+            )
+        });
     });
     group.finish();
 }

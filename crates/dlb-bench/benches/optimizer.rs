@@ -39,7 +39,10 @@ fn bench_optimizer(c: &mut Criterion) {
 fn bench_plan_building(c: &mut Criterion) {
     let query = WorkloadGenerator::new(WorkloadParams::default())
         .generate_query(dlb_common::QueryId::new(3));
-    let tree = Optimizer::with_defaults().optimize(&query).unwrap().remove(0);
+    let tree = Optimizer::with_defaults()
+        .optimize(&query)
+        .unwrap()
+        .remove(0);
     c.bench_function("macro_expand_and_schedule_12_relations", |b| {
         b.iter(|| {
             let optree = OperatorTree::from_join_tree(black_box(&tree));
@@ -51,5 +54,10 @@ fn bench_plan_building(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_generation, bench_optimizer, bench_plan_building);
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_optimizer,
+    bench_plan_building
+);
 criterion_main!(benches);

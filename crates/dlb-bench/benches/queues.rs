@@ -2,8 +2,8 @@
 //! structures every activation passes through (engine hot path).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use dlb_exec::{Activation, ActivationQueue, OutputRouter};
 use dlb_common::OperatorId;
+use dlb_exec::{Activation, ActivationQueue, OutputRouter};
 use std::hint::black_box;
 
 fn bench_queue_push_pop(c: &mut Criterion) {

@@ -9,6 +9,8 @@ use std::process::Command;
 
 fn main() {
     let forward: Vec<String> = std::env::args().skip(1).collect();
+    // bench_report is deliberately absent: it measures wall-clock and does
+    // not belong in the figure regeneration pass.
     let binaries = [
         "fig_params",
         "fig6_local_models",

@@ -1,0 +1,115 @@
+//! Machine-readable performance report of the evaluation pipeline.
+//!
+//! Times a **fixed reduced workload** (the harness defaults, overridable with
+//! the usual `HIERDB_*` variables) per strategy, sequentially and with the
+//! parallel plan fan-out, and prints one JSON document to stdout — the
+//! perf-tracking record for the engine across PRs:
+//!
+//! ```text
+//! cargo run --release -p dlb-bench --bin bench_report
+//! HIERDB_THREADS=8 cargo run --release -p dlb-bench --bin bench_report
+//! ```
+//!
+//! The report also cross-checks that the parallel results are bit-identical
+//! to the sequential baseline (`"identical": true`); a `false` there is a
+//! determinism regression, not a perf number.
+
+use dlb_bench::HarnessConfig;
+use dlb_core::{HierarchicalSystem, PlanRun, Strategy};
+use std::time::Instant;
+
+/// One timed strategy: sequential baseline vs parallel fan-out.
+struct StrategyTiming {
+    label: &'static str,
+    sequential_ms: f64,
+    parallel_ms: f64,
+    identical: bool,
+    plans: usize,
+}
+
+fn time_strategy(
+    cfg: &HarnessConfig,
+    system: &HierarchicalSystem,
+    strategy: Strategy,
+) -> StrategyTiming {
+    // Untimed warm-up so process-start costs (allocator growth, CPU ramp)
+    // are not charged to whichever path happens to run first.
+    cfg.experiment(system.clone())
+        .run_sequential(strategy)
+        .expect("warm-up run");
+
+    // Fresh experiments per measurement so neither path hits a warm cache.
+    let sequential_exp = cfg.experiment(system.clone());
+    let start = Instant::now();
+    let sequential: Vec<PlanRun> = sequential_exp
+        .run_sequential(strategy)
+        .expect("sequential run");
+    let sequential_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let parallel_exp = cfg.experiment(system.clone());
+    let start = Instant::now();
+    let parallel = parallel_exp.run(strategy).expect("parallel run");
+    let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    StrategyTiming {
+        label: strategy.label(),
+        sequential_ms,
+        parallel_ms,
+        identical: *parallel == sequential,
+        plans: sequential.len(),
+    }
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    let system = HierarchicalSystem::builder().build(); // paper base: 4 x 8
+    let threads = rayon::current_num_threads();
+
+    let timings: Vec<StrategyTiming> = [Strategy::Dynamic, Strategy::Fixed { error_rate: 0.0 }]
+        .into_iter()
+        .map(|s| time_strategy(&cfg, &system, s))
+        .collect();
+
+    // Hand-rolled JSON: the workspace's serde is an offline no-op shim, and
+    // the report is flat enough that formatting it directly is simpler than
+    // pulling in a serializer.
+    println!("{{");
+    println!("  \"benchmark\": \"bench_report\",");
+    println!(
+        "  \"workload\": {{\"queries\": {}, \"relations\": {}, \"scale\": {}, \"seed\": {}}},",
+        cfg.queries, cfg.relations, cfg.scale, cfg.seed
+    );
+    println!(
+        "  \"machine\": {{\"nodes\": {}, \"processors_per_node\": {}}},",
+        system.nodes(),
+        system.processors_per_node()
+    );
+    println!("  \"threads\": {threads},");
+    println!("  \"results\": [");
+    let last = timings.len().saturating_sub(1);
+    for (i, t) in timings.iter().enumerate() {
+        let speedup = if t.parallel_ms > 0.0 {
+            t.sequential_ms / t.parallel_ms
+        } else {
+            0.0
+        };
+        println!(
+            "    {{\"strategy\": \"{}\", \"plans\": {}, \"sequential_ms\": {:.3}, \
+             \"parallel_ms\": {:.3}, \"speedup\": {:.3}, \"identical\": {}}}{}",
+            t.label,
+            t.plans,
+            t.sequential_ms,
+            t.parallel_ms,
+            speedup,
+            t.identical,
+            if i == last { "" } else { "," }
+        );
+    }
+    println!("  ]");
+    println!("}}");
+
+    if timings.iter().any(|t| !t.identical) {
+        eprintln!("bench_report: parallel results diverged from the sequential baseline");
+        std::process::exit(1);
+    }
+}

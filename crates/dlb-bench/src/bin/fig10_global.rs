@@ -8,7 +8,7 @@
 //!   operators on a 4×8 configuration with skew 0.8; the paper measured
 //!   roughly 9 MB of load-balancing traffic for FP versus 2.5 MB for DP.
 
-use dlb_bench::{fmt_ratio, HarnessConfig};
+use dlb_bench::{fmt_ratio, par_points, HarnessConfig};
 use dlb_core::{relative_performance, HierarchicalSystem, Strategy, Summary};
 use dlb_query::jointree::JoinTree;
 use dlb_query::optree::OperatorTree;
@@ -72,7 +72,10 @@ fn chain_experiment() {
             fp.lb_bytes as f64 / dp.lb_bytes as f64
         );
     } else {
-        println!("\nDP needed no global load balancing on this run; FP shipped {} KB.", fp.lb_bytes / 1024);
+        println!(
+            "\nDP needed no global load balancing on this run; FP shipped {} KB.",
+            fp.lb_bytes / 1024
+        );
     }
 }
 
@@ -81,11 +84,8 @@ fn figure10(cfg: &HarnessConfig) {
         "Figure 10",
         "relative performance of FP and DP on hierarchical configurations (skew 0.6)",
     );
-    println!(
-        "{:>8}  {:>8}  {:>8}  {:>14}  {:>14}  {:>10}  {:>10}",
-        "config", "DP", "FP", "DP lb KB", "FP lb KB", "DP idle", "FP idle"
-    );
-    for &procs in &[8u32, 12, 16] {
+    let procs = [8u32, 12, 16];
+    let rows = par_points(&procs, |&procs| {
         let system = HierarchicalSystem::hierarchical(4, procs).with_skew(0.6);
         let experiment = cfg.experiment(system);
         let dp = experiment.run(Strategy::Dynamic).expect("DP");
@@ -94,11 +94,25 @@ fn figure10(cfg: &HarnessConfig) {
             .expect("FP");
         let dp_summary = Summary::from_runs(&dp);
         let fp_summary = Summary::from_runs(&fp);
+        (
+            procs,
+            relative_performance(&dp, &dp),
+            relative_performance(&fp, &dp),
+            dp_summary,
+            fp_summary,
+        )
+    });
+
+    println!(
+        "{:>8}  {:>8}  {:>8}  {:>14}  {:>14}  {:>10}  {:>10}",
+        "config", "DP", "FP", "DP lb KB", "FP lb KB", "DP idle", "FP idle"
+    );
+    for (procs, dp, fp, dp_summary, fp_summary) in rows {
         println!(
             "{:>8}  {:>8}  {:>8}  {:>14}  {:>14}  {:>9.1}%  {:>9.1}%",
             format!("4x{procs}"),
-            fmt_ratio(relative_performance(&dp, &dp)),
-            fmt_ratio(relative_performance(&fp, &dp)),
+            fmt_ratio(dp),
+            fmt_ratio(fp),
             dp_summary.total_lb_bytes / 1024,
             fp_summary.total_lb_bytes / 1024,
             dp_summary.mean_idle_fraction * 100.0,

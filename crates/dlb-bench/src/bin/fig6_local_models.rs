@@ -1,7 +1,7 @@
 //! Figure 6 — relative performance of SP, DP and FP on a single shared-memory
 //! node, without data skew, for 16/32/64 processors (SP is the reference).
 
-use dlb_bench::{fmt_ratio, HarnessConfig};
+use dlb_bench::{fmt_ratio, par_points, HarnessConfig};
 use dlb_core::{relative_performance, HierarchicalSystem, Strategy};
 
 fn main() {
@@ -11,18 +11,30 @@ fn main() {
         "relative performance of SP, DP, FP (shared memory, no skew)",
     );
 
-    println!("{:>6}  {:>8}  {:>8}  {:>8}", "procs", "SP", "DP", "FP");
-    for &procs in &[16u32, 32, 64] {
+    let procs = [16u32, 32, 64];
+    let rows = par_points(&procs, |&procs| {
         let system = HierarchicalSystem::shared_memory(procs);
         let experiment = cfg.experiment(system);
         let sp = experiment.run(Strategy::Synchronous).expect("SP");
         let dp = experiment.run(Strategy::Dynamic).expect("DP");
-        let fp = experiment.run(Strategy::Fixed { error_rate: 0.0 }).expect("FP");
+        let fp = experiment
+            .run(Strategy::Fixed { error_rate: 0.0 })
+            .expect("FP");
+        (
+            procs,
+            relative_performance(&sp, &sp),
+            relative_performance(&dp, &sp),
+            relative_performance(&fp, &sp),
+        )
+    });
+
+    println!("{:>6}  {:>8}  {:>8}  {:>8}", "procs", "SP", "DP", "FP");
+    for (procs, sp, dp, fp) in rows {
         println!(
             "{procs:>6}  {:>8}  {:>8}  {:>8}",
-            fmt_ratio(relative_performance(&sp, &sp)),
-            fmt_ratio(relative_performance(&dp, &sp)),
-            fmt_ratio(relative_performance(&fp, &sp)),
+            fmt_ratio(sp),
+            fmt_ratio(dp),
+            fmt_ratio(fp),
         );
     }
     println!(

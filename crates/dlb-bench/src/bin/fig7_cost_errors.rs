@@ -2,7 +2,7 @@
 //! degradation versus error rate (0–30 %) for 8/16/32/64 processors.
 //! The reference response time is SP's, as in the paper.
 
-use dlb_bench::{fmt_ratio, HarnessConfig};
+use dlb_bench::{fmt_ratio, par_points, HarnessConfig};
 use dlb_core::{relative_performance, HierarchicalSystem, Strategy};
 
 fn main() {
@@ -21,23 +21,33 @@ fn main() {
     }
     println!();
 
-    // Pre-build experiments (and SP references) per processor count.
-    let experiments: Vec<_> = procs
-        .iter()
-        .map(|&p| {
-            let e = cfg.experiment(HierarchicalSystem::shared_memory(p));
-            let sp = e.run(Strategy::Synchronous).expect("SP");
-            (e, sp)
-        })
-        .collect();
+    // Pre-build experiments (and SP references) per processor count,
+    // concurrently.
+    let experiments = par_points(&procs, |&p| {
+        let e = cfg.experiment(HierarchicalSystem::shared_memory(p));
+        let sp = e.run(Strategy::Synchronous).expect("SP");
+        (e, sp)
+    });
 
-    for &rate in &rates {
+    // Sweep the (rate x procs) grid concurrently; each cell is one cached
+    // FP run against the precomputed SP reference.
+    let grid: Vec<(f64, Vec<f64>)> = par_points(&rates, |&rate| {
+        let row = experiments
+            .iter()
+            .map(|(experiment, sp)| {
+                let fp = experiment
+                    .run(Strategy::Fixed { error_rate: rate })
+                    .expect("FP");
+                relative_performance(&fp, sp)
+            })
+            .collect();
+        (rate, row)
+    });
+
+    for (rate, row) in grid {
         print!("{:>7.0}%", rate * 100.0);
-        for (experiment, sp) in &experiments {
-            let fp = experiment
-                .run(Strategy::Fixed { error_rate: rate })
-                .expect("FP");
-            print!("  {:>8}", fmt_ratio(relative_performance(&fp, sp)));
+        for cell in row {
+            print!("  {:>8}", fmt_ratio(cell));
         }
         println!();
     }

@@ -2,7 +2,7 @@
 //! processors: relative degradation versus Zipf factor 0 → 1 (reference is
 //! the unskewed run).
 
-use dlb_bench::{fmt_ratio, HarnessConfig};
+use dlb_bench::{fmt_ratio, par_points, HarnessConfig};
 use dlb_core::{relative_performance, HierarchicalSystem, Strategy};
 
 fn main() {
@@ -16,14 +16,16 @@ fn main() {
     let experiment = cfg.experiment(base_system.clone());
     let reference = experiment.run(Strategy::Dynamic).expect("reference");
 
-    println!("{:>6}  {:>14}", "skew", "degradation");
-    for &skew in &[0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+    let skews = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+    let rows = par_points(&skews, |&skew| {
         let skewed = experiment.on_system(base_system.clone().with_skew(skew));
         let runs = skewed.run(Strategy::Dynamic).expect("skewed DP");
-        println!(
-            "{skew:>6.1}  {:>14}",
-            fmt_ratio(relative_performance(&runs, &reference))
-        );
+        (skew, relative_performance(&runs, &reference))
+    });
+
+    println!("{:>6}  {:>14}", "skew", "degradation");
+    for (skew, degradation) in rows {
+        println!("{skew:>6.1}  {:>14}", fmt_ratio(degradation));
     }
     println!(
         "\npaper: the impact of skew on DP is insignificant (well under 10% even at\n\

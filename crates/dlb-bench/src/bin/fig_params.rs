@@ -11,7 +11,10 @@ fn main() {
     println!("== §5.1.1 simulation parameters (library defaults vs paper) ==\n");
 
     println!("Processor");
-    println!("  speed                                {} MIPS   (paper: 40 MIPS)", cpu.mips);
+    println!(
+        "  speed                                {} MIPS   (paper: 40 MIPS)",
+        cpu.mips
+    );
 
     println!("\nNetwork parameters");
     println!(
@@ -39,8 +42,14 @@ fn main() {
         "  number of disks                      {} per processor   (paper: 1 per processor)",
         disk.disks_per_processor
     );
-    println!("  disk latency                         {}   (paper: 17 ms)", disk.latency);
-    println!("  seek time                            {}   (paper: 5 ms)", disk.seek_time);
+    println!(
+        "  disk latency                         {}   (paper: 17 ms)",
+        disk.latency
+    );
+    println!(
+        "  seek time                            {}   (paper: 5 ms)",
+        disk.seek_time
+    );
     println!(
         "  transfer rate                        {:.1} MB/s   (paper: 6 MB/s)",
         disk.transfer_rate_bytes_per_sec / (1024.0 * 1024.0)

@@ -14,6 +14,26 @@
 //! | `HIERDB_RELATIONS` | 10 | 12 |
 //! | `HIERDB_SCALE` | 0.1 | 1.0 |
 //! | `HIERDB_SEED` | 0xD1B1996 | — |
+//! | `HIERDB_THREADS` | all cores | — |
+//!
+//! ## Parallel execution
+//!
+//! Every plan execution is an independent seeded simulation, so the harness
+//! is parallel at two levels: [`Experiment::run`] fans the plans of a
+//! workload out across worker threads, and [`par_points`] computes the
+//! sweep points of a figure (skew values, processor counts, error rates)
+//! concurrently. Results are gathered in deterministic order, so figure
+//! output is **bit-identical** whatever the thread count. `HIERDB_THREADS`
+//! pins the worker count (e.g. `HIERDB_THREADS=1` forces sequential
+//! execution for baseline timings).
+//!
+//! The `bench_report` binary times the fixed reduced workload sequentially
+//! and in parallel for each strategy and prints machine-readable JSON — the
+//! perf-tracking record for the engine across PRs:
+//!
+//! ```text
+//! cargo run --release -p dlb-bench --bin bench_report
+//! ```
 //!
 //! The measured series are printed as aligned text tables; `EXPERIMENTS.md`
 //! at the workspace root records a reference run next to the paper's numbers.
@@ -49,8 +69,10 @@ impl Default for HarnessConfig {
 
 impl HarnessConfig {
     /// Reads the configuration from the environment and the command line
-    /// (`--paper` selects the paper-scale workload).
+    /// (`--paper` selects the paper-scale workload). Also applies the
+    /// `HIERDB_THREADS` worker-count knob.
     pub fn from_env() -> Self {
+        dlb_core::init_threads_from_env();
         let mut cfg = Self::default();
         if std::env::args().any(|a| a == "--paper") {
             cfg.queries = 20;
@@ -116,6 +138,22 @@ fn read_env_f64(name: &str) -> Option<f64> {
     std::env::var(name).ok()?.parse().ok()
 }
 
+/// Computes the sweep points of a figure concurrently, returning results in
+/// point order so that printing stays deterministic. Each point typically
+/// calls [`Experiment::run`], which itself fans plans out; the two levels
+/// claim threads from one shared worker budget (once the point level has
+/// claimed it, inner plan fan-outs degrade to inline execution), so nesting
+/// approximately respects `HIERDB_THREADS` instead of multiplying it.
+pub fn par_points<T, U, F>(points: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    use rayon::prelude::*;
+    points.par_iter().map(f).collect()
+}
+
 /// Formats a ratio column entry.
 pub fn fmt_ratio(v: f64) -> String {
     if v.is_nan() {
@@ -155,5 +193,12 @@ mod tests {
     fn ratio_formatting() {
         assert_eq!(fmt_ratio(f64::NAN), "   n/a");
         assert_eq!(fmt_ratio(1.25), " 1.250");
+    }
+
+    #[test]
+    fn par_points_preserves_point_order() {
+        let points: Vec<u32> = (0..32).collect();
+        let out = par_points(&points, |p| p * 3);
+        assert_eq!(out, points.iter().map(|p| p * 3).collect::<Vec<_>>());
     }
 }

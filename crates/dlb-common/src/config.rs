@@ -120,9 +120,7 @@ impl Default for DiskParams {
 impl DiskParams {
     /// Transfer time for `pages` 8 KB pages, excluding latency and seek.
     pub fn transfer_time(&self, pages: u64) -> Duration {
-        Duration::from_secs_f64(
-            (pages * PAGE_SIZE_BYTES) as f64 / self.transfer_rate_bytes_per_sec,
-        )
+        Duration::from_secs_f64((pages * PAGE_SIZE_BYTES) as f64 / self.transfer_rate_bytes_per_sec)
     }
 
     /// Total service time of one random access reading `pages` contiguous

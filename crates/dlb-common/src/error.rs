@@ -65,10 +65,7 @@ mod tests {
             DlbError::config("no processors").to_string(),
             "invalid configuration: no processors"
         );
-        assert_eq!(
-            DlbError::plan("cycle").to_string(),
-            "invalid plan: cycle"
-        );
+        assert_eq!(DlbError::plan("cycle").to_string(), "invalid plan: cycle");
         assert_eq!(
             DlbError::not_found("relation R").to_string(),
             "not found: relation R"

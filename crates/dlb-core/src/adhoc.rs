@@ -50,12 +50,7 @@ impl AdHocQuery {
     }
 
     /// Adds a relation whose join attribute is skewed (Zipf theta).
-    pub fn skewed_relation(
-        mut self,
-        name: impl Into<String>,
-        cardinality: u64,
-        skew: f64,
-    ) -> Self {
+    pub fn skewed_relation(mut self, name: impl Into<String>, cardinality: u64, skew: f64) -> Self {
         self.relations.push((name.into(), cardinality, skew));
         self
     }
@@ -74,7 +69,8 @@ impl AdHocQuery {
         right: impl Into<String>,
         selectivity: f64,
     ) -> Self {
-        self.joins.push((left.into(), right.into(), Some(selectivity)));
+        self.joins
+            .push((left.into(), right.into(), Some(selectivity)));
         self
     }
 

@@ -4,14 +4,30 @@
 //! different plans; every figure point is the *average of per-plan ratios*
 //! against a reference strategy. [`Experiment`] produces the per-plan reports
 //! and [`crate::summary`] implements the ratio aggregation.
+//!
+//! Every plan execution is a self-contained, seeded, deterministic
+//! simulation, so [`Experiment::run`] fans the plans of the workload out
+//! across worker threads ([`rayon`]); results are collected in plan order and
+//! are bit-identical to a sequential run ([`Experiment::run_sequential`]
+//! exposes the sequential baseline for validation and benchmarking). Repeated
+//! runs of the same strategy are answered from a cache of shared
+//! [`Arc`]-backed results, keyed structurally (strategy, skew bits, machine
+//! shape) so that hits cost one reference count instead of a deep clone.
+//!
+//! The worker-thread count can be pinned with the `HIERDB_THREADS`
+//! environment variable (see [`init_threads_from_env`]) or programmatically
+//! with [`set_threads`].
 
 use crate::system::HierarchicalSystem;
 use crate::workload::CompiledWorkload;
 use dlb_common::Result;
 use dlb_exec::{ExecutionReport, Strategy};
 use dlb_query::generator::WorkloadParams;
+use dlb_query::plan::ParallelPlan;
 use parking_lot::Mutex;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// The report of one plan execution within an experiment.
@@ -25,15 +41,92 @@ pub struct PlanRun {
     pub report: ExecutionReport,
 }
 
+/// Structured cache key of one experiment run.
+///
+/// Replaces the previous stringly `format!("{:?}/skew{}/{}x{}", ...)` key:
+/// floats are keyed by their IEEE-754 bit patterns, so two skews (or FP error
+/// rates) that differ by less than any display precision can never collide,
+/// and lookups hash a few integers instead of formatting and comparing
+/// strings.
+///
+/// The cache this key indexes is **per [`Experiment`]** (each `on_system`
+/// copy starts empty), so within one cache every field except `strategy` is
+/// constant; skew and the machine shape are included defensively, as the
+/// seed's key did. They are *not* sufficient for a cache shared across
+/// systems — reports also depend on the remaining [`dlb_exec::ExecOptions`]
+/// fields (execution seed, steal tuning, …), so any future cross-system
+/// cache must fold the full options into the key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RunKey {
+    strategy: StrategyKey,
+    skew_bits: u64,
+    nodes: u32,
+    processors_per_node: u32,
+}
+
+/// The strategy component of a [`RunKey`]; FP's error rate is keyed by bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum StrategyKey {
+    Dynamic,
+    Fixed { error_bits: u64 },
+    Synchronous,
+}
+
+impl RunKey {
+    /// Builds the key for `strategy` on a machine of `nodes` ×
+    /// `processors_per_node` with redistribution skew `skew`.
+    pub fn new(strategy: Strategy, skew: f64, nodes: u32, processors_per_node: u32) -> Self {
+        let strategy = match strategy {
+            Strategy::Dynamic => StrategyKey::Dynamic,
+            Strategy::Fixed { error_rate } => StrategyKey::Fixed {
+                error_bits: error_rate.to_bits(),
+            },
+            Strategy::Synchronous => StrategyKey::Synchronous,
+        };
+        Self {
+            strategy,
+            skew_bits: skew.to_bits(),
+            nodes,
+            processors_per_node,
+        }
+    }
+}
+
+/// Pins the number of worker threads used by [`Experiment::run`] (0 =
+/// automatic, one per available core).
+///
+/// Call this **before the first parallel operation**. The offline rayon shim
+/// allows reconfiguring at any time, but the real rayon's `build_global`
+/// fails once the global pool has been used — that failure is swallowed
+/// here, so a late call would silently keep the existing thread count.
+pub fn set_threads(n: usize) {
+    let _ = rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build_global();
+}
+
+/// Applies the `HIERDB_THREADS` environment variable, if set and parseable,
+/// to the worker-thread pool. Figure and benchmark binaries call this once at
+/// start-up; unset or invalid values leave the automatic setting in place.
+pub fn init_threads_from_env() {
+    if let Some(n) = std::env::var("HIERDB_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        set_threads(n);
+    }
+}
+
 /// An experiment: a system, a compiled workload, and the machinery to execute
 /// every plan under a chosen strategy.
 #[derive(Debug, Clone)]
 pub struct Experiment {
     system: HierarchicalSystem,
     workload: Arc<CompiledWorkload>,
-    /// Cache of runs keyed by strategy label + skew, so repeated references
-    /// (e.g. SP as the baseline of several figures) are computed once.
-    cache: Arc<Mutex<Vec<(String, Vec<PlanRun>)>>>,
+    /// Cache of runs keyed by [`RunKey`], so repeated references (e.g. SP as
+    /// the baseline of several figures) are computed once and shared without
+    /// deep-cloning the reports.
+    cache: Arc<Mutex<HashMap<RunKey, Arc<Vec<PlanRun>>>>>,
 }
 
 impl Experiment {
@@ -47,7 +140,7 @@ impl Experiment {
         Self {
             system,
             workload: Arc::new(workload),
-            cache: Arc::new(Mutex::new(Vec::new())),
+            cache: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
@@ -68,38 +161,79 @@ impl Experiment {
         Self {
             system,
             workload: Arc::clone(&self.workload),
-            cache: Arc::new(Mutex::new(Vec::new())),
+            cache: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
-    fn cache_key(&self, strategy: Strategy) -> String {
-        format!(
-            "{:?}/skew{}/{}x{}",
+    fn cache_key(&self, strategy: Strategy) -> RunKey {
+        RunKey::new(
             strategy,
             self.system.options().skew,
             self.system.nodes(),
-            self.system.processors_per_node()
+            self.system.processors_per_node(),
         )
     }
 
+    /// Executes one plan of the workload (shared by the parallel and
+    /// sequential paths so that both run byte-for-byte the same simulation).
+    fn run_plan(
+        &self,
+        strategy: Strategy,
+        plan_index: usize,
+        entry: &(usize, ParallelPlan),
+    ) -> Result<PlanRun> {
+        let (query_index, plan) = entry;
+        let report = self.system.run(plan, strategy)?;
+        Ok(PlanRun {
+            plan_index,
+            query_index: *query_index,
+            report,
+        })
+    }
+
     /// Runs every plan of the workload under `strategy`, returning one
-    /// [`PlanRun`] per plan. Results are cached per strategy.
-    pub fn run(&self, strategy: Strategy) -> Result<Vec<PlanRun>> {
+    /// [`PlanRun`] per plan.
+    ///
+    /// Plans are independent seeded simulations, so they are fanned out
+    /// across worker threads; results come back in plan order and are
+    /// bit-identical to [`run_sequential`]. Results are cached per
+    /// [`RunKey`]; cache hits share the same allocation.
+    ///
+    /// [`run_sequential`]: Experiment::run_sequential
+    pub fn run(&self, strategy: Strategy) -> Result<Arc<Vec<PlanRun>>> {
         let key = self.cache_key(strategy);
-        if let Some((_, cached)) = self.cache.lock().iter().find(|(k, _)| *k == key) {
-            return Ok(cached.clone());
+        if let Some(cached) = self.cache.lock().get(&key) {
+            return Ok(Arc::clone(cached));
         }
-        let mut runs = Vec::with_capacity(self.workload.len());
-        for (plan_index, (query_index, plan)) in self.workload.plans().iter().enumerate() {
-            let report = self.system.run(plan, strategy)?;
-            runs.push(PlanRun {
-                plan_index,
-                query_index: *query_index,
-                report,
-            });
-        }
-        self.cache.lock().push((key, runs.clone()));
-        Ok(runs)
+        let runs: Result<Vec<PlanRun>> = self
+            .workload
+            .plans()
+            .par_iter()
+            .enumerate()
+            .map(|(plan_index, entry)| self.run_plan(strategy, plan_index, entry))
+            .collect();
+        let runs = Arc::new(runs?);
+        // Re-check under the lock: a concurrent caller with the same key may
+        // have finished first. Keeping the first insertion means every
+        // caller shares one allocation, preserving the `Arc::ptr_eq`
+        // cache-hit contract even under racing runs.
+        let mut cache = self.cache.lock();
+        let entry = cache.entry(key).or_insert(runs);
+        Ok(Arc::clone(entry))
+    }
+
+    /// Runs every plan strictly sequentially on the calling thread, bypassing
+    /// the cache: the baseline against which the parallel fan-out of [`run`]
+    /// is validated (determinism tests) and benchmarked (`bench_report`).
+    ///
+    /// [`run`]: Experiment::run
+    pub fn run_sequential(&self, strategy: Strategy) -> Result<Vec<PlanRun>> {
+        self.workload
+            .plans()
+            .iter()
+            .enumerate()
+            .map(|(plan_index, entry)| self.run_plan(strategy, plan_index, entry))
+            .collect()
     }
 }
 
@@ -125,7 +259,9 @@ impl ExperimentBuilder {
 
     /// Generates the workload and builds the experiment.
     pub fn build(self) -> Result<Experiment> {
-        let system = self.system.unwrap_or_else(|| HierarchicalSystem::builder().build());
+        let system = self
+            .system
+            .unwrap_or_else(|| HierarchicalSystem::builder().build());
         let params = self.workload_params.unwrap_or_default();
         let workload = CompiledWorkload::generate(params, &system)?;
         Ok(Experiment::new(system, workload))
@@ -149,7 +285,7 @@ mod tests {
         let exp = small_experiment(1, 4);
         let runs = exp.run(Strategy::Dynamic).unwrap();
         assert_eq!(runs.len(), exp.workload().len());
-        for run in &runs {
+        for run in runs.iter() {
             assert!(run.report.response_time.as_secs_f64() > 0.0);
         }
     }
@@ -160,6 +296,16 @@ mod tests {
         let a = exp.run(Strategy::Dynamic).unwrap();
         let b = exp.run(Strategy::Dynamic).unwrap();
         assert_eq!(a, b);
+        // A hit shares the allocation instead of deep-cloning the reports.
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn sequential_run_matches_parallel_run() {
+        let exp = small_experiment(2, 2);
+        let parallel = exp.run(Strategy::Dynamic).unwrap();
+        let sequential = exp.run_sequential(Strategy::Dynamic).unwrap();
+        assert_eq!(*parallel, sequential);
     }
 
     #[test]
@@ -170,8 +316,8 @@ mod tests {
         let small = exp.run(Strategy::Dynamic).unwrap();
         let big = bigger.run(Strategy::Dynamic).unwrap();
         // More processors must not be slower on average.
-        let mean_small: f64 = small.iter().map(|r| r.report.response_secs()).sum::<f64>()
-            / small.len() as f64;
+        let mean_small: f64 =
+            small.iter().map(|r| r.report.response_secs()).sum::<f64>() / small.len() as f64;
         let mean_big: f64 =
             big.iter().map(|r| r.report.response_secs()).sum::<f64>() / big.len() as f64;
         assert!(mean_big <= mean_small * 1.05);
@@ -184,5 +330,50 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(exp.system().nodes(), 4);
+    }
+
+    #[test]
+    fn run_key_distinguishes_skews_beyond_display_precision() {
+        // Regression test for the stringly cache key: two skews whose f64
+        // bit patterns differ by one ULP must produce distinct keys, no
+        // matter how they would format.
+        let a = 0.3_f64;
+        let b = f64::from_bits(a.to_bits() + 1);
+        assert_ne!(a.to_bits(), b.to_bits());
+        let ka = RunKey::new(Strategy::Dynamic, a, 4, 8);
+        let kb = RunKey::new(Strategy::Dynamic, b, 4, 8);
+        assert_ne!(ka, kb);
+        // Same for FP error rates.
+        let ea = RunKey::new(Strategy::Fixed { error_rate: a }, 0.0, 4, 8);
+        let eb = RunKey::new(Strategy::Fixed { error_rate: b }, 0.0, 4, 8);
+        assert_ne!(ea, eb);
+        // Identical parameters produce identical keys.
+        assert_eq!(ka, RunKey::new(Strategy::Dynamic, 0.3, 4, 8));
+    }
+
+    #[test]
+    fn run_key_distinguishes_strategies_and_machines() {
+        let dp = RunKey::new(Strategy::Dynamic, 0.0, 4, 8);
+        let sp = RunKey::new(Strategy::Synchronous, 0.0, 4, 8);
+        let fp = RunKey::new(Strategy::Fixed { error_rate: 0.0 }, 0.0, 4, 8);
+        assert_ne!(dp, sp);
+        assert_ne!(dp, fp);
+        assert_ne!(fp, sp);
+        assert_ne!(dp, RunKey::new(Strategy::Dynamic, 0.0, 2, 8));
+        assert_ne!(dp, RunKey::new(Strategy::Dynamic, 0.0, 4, 4));
+    }
+
+    #[test]
+    fn distinct_strategies_are_cached_separately() {
+        let exp = small_experiment(1, 2);
+        let dp = exp.run(Strategy::Dynamic).unwrap();
+        let fp = exp.run(Strategy::Fixed { error_rate: 0.0 }).unwrap();
+        assert!(!Arc::ptr_eq(&dp, &fp));
+        // Both stay cached.
+        assert!(Arc::ptr_eq(&dp, &exp.run(Strategy::Dynamic).unwrap()));
+        assert!(Arc::ptr_eq(
+            &fp,
+            &exp.run(Strategy::Fixed { error_rate: 0.0 }).unwrap()
+        ));
     }
 }

@@ -40,7 +40,9 @@ pub use dlb_common::{Duration, SimTime};
 pub use dlb_exec::{ExecOptions, ExecutionReport, Strategy, StrategyKind};
 pub use dlb_query::plan::{ChainScheduling, ParallelPlan};
 pub use dlb_query::{Query, WorkloadParams};
-pub use experiment::{Experiment, ExperimentBuilder, PlanRun};
+pub use experiment::{
+    init_threads_from_env, set_threads, Experiment, ExperimentBuilder, PlanRun, RunKey,
+};
 pub use summary::{relative_performance, speedup, Summary};
 pub use system::{HierarchicalSystem, SystemBuilder};
 pub use workload::CompiledWorkload;

@@ -21,7 +21,12 @@ impl CompiledWorkload {
     /// Generates `params.queries` queries and compiles each into its best
     /// bushy plans for `system` (two per query by default, as in the paper).
     pub fn generate(params: WorkloadParams, system: &HierarchicalSystem) -> Result<Self> {
-        Self::generate_with(params, system, OptimizerParams::default(), ChainScheduling::OneAtATime)
+        Self::generate_with(
+            params,
+            system,
+            OptimizerParams::default(),
+            ChainScheduling::OneAtATime,
+        )
     }
 
     /// Full-control variant of [`CompiledWorkload::generate`].
@@ -97,8 +102,7 @@ mod tests {
     #[test]
     fn plans_reference_their_query() {
         let system = HierarchicalSystem::hierarchical(2, 2);
-        let w =
-            CompiledWorkload::generate(WorkloadParams::tiny(2, 4, 5), &system).unwrap();
+        let w = CompiledWorkload::generate(WorkloadParams::tiny(2, 4, 5), &system).unwrap();
         for (qi, plan) in w.plans() {
             assert_eq!(plan.query, w.queries()[*qi].id);
         }
@@ -107,8 +111,7 @@ mod tests {
     #[test]
     fn homes_match_the_target_system() {
         let system = HierarchicalSystem::hierarchical(3, 2);
-        let w =
-            CompiledWorkload::generate(WorkloadParams::tiny(1, 4, 9), &system).unwrap();
+        let w = CompiledWorkload::generate(WorkloadParams::tiny(1, 4, 9), &system).unwrap();
         for plan in w.iter_plans() {
             for op in plan.tree.operators() {
                 assert_eq!(plan.homes.home(op.id).len(), 3);

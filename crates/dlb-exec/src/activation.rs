@@ -70,6 +70,15 @@ impl Activation {
     }
 }
 
+/// Accounting of one [`ActivationQueue::drain_into`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DrainOutcome {
+    /// Number of activations moved out of the queue.
+    pub count: usize,
+    /// Total tuples carried by the moved activations.
+    pub tuples: u64,
+}
+
 /// A bounded activation queue (one per operator per thread).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ActivationQueue {
@@ -148,11 +157,34 @@ impl ActivationQueue {
 
     /// Drains up to `max` activations (used when a queue is stolen by another
     /// SM-node during global load balancing).
+    ///
+    /// Allocates a fresh buffer per call; hot paths should prefer
+    /// [`drain_into`], which reuses a caller-provided buffer and returns the
+    /// drained tuple count without a second pass.
+    ///
+    /// [`drain_into`]: ActivationQueue::drain_into
     pub fn drain(&mut self, max: usize) -> Vec<Activation> {
+        let mut out = Vec::new();
+        self.drain_into(max, &mut out);
+        out
+    }
+
+    /// Drains up to `max` activations, appending them to `out` (reusing its
+    /// capacity across calls), and returns the drain accounting — how many
+    /// activations and how many tuples moved — computed in the same pass.
+    pub fn drain_into(&mut self, max: usize, out: &mut Vec<Activation>) -> DrainOutcome {
         let take = max.min(self.items.len());
-        let drained: Vec<Activation> = self.items.drain(..take).collect();
-        self.dequeued += drained.len() as u64;
-        drained
+        out.reserve(take);
+        let mut tuples = 0u64;
+        for a in self.items.drain(..take) {
+            tuples += a.tuples;
+            out.push(a);
+        }
+        self.dequeued += take as u64;
+        DrainOutcome {
+            count: take,
+            tuples,
+        }
     }
 
     /// Total tuples currently enqueued.
@@ -216,6 +248,53 @@ mod tests {
         }
         assert!(q.pop().is_none());
         assert_eq!(q.total_dequeued(), 5);
+    }
+
+    #[test]
+    fn drain_into_reuses_capacity_and_accounts_in_one_pass() {
+        let mut q = ActivationQueue::new(0);
+        for i in 1..=10u64 {
+            q.push(Activation::data(OperatorId::new(0), i));
+        }
+        let mut buf: Vec<Activation> = Vec::new();
+        let first = q.drain_into(4, &mut buf);
+        assert_eq!(
+            first,
+            DrainOutcome {
+                count: 4,
+                tuples: 1 + 2 + 3 + 4
+            }
+        );
+        assert_eq!(buf.len(), 4);
+        assert_eq!(q.total_dequeued(), 4);
+        let cap = buf.capacity();
+        buf.clear();
+        // A second drain of the same size fits in the retained capacity.
+        let second = q.drain_into(4, &mut buf);
+        assert_eq!(
+            second,
+            DrainOutcome {
+                count: 4,
+                tuples: 5 + 6 + 7 + 8
+            }
+        );
+        assert_eq!(buf.capacity(), cap);
+        // Draining past the end accounts only what was available.
+        buf.clear();
+        let rest = q.drain_into(100, &mut buf);
+        assert_eq!(
+            rest,
+            DrainOutcome {
+                count: 2,
+                tuples: 9 + 10
+            }
+        );
+        assert!(q.is_empty());
+        assert_eq!(q.total_dequeued(), 10);
+        // Totals stay consistent with push accounting.
+        assert_eq!(q.total_enqueued(), 10);
+        let empty = q.drain_into(4, &mut buf);
+        assert_eq!(empty, DrainOutcome::default());
     }
 
     #[test]

@@ -52,9 +52,20 @@ const MAX_EVENTS: u64 = 500_000_000;
 
 #[derive(Debug, Clone)]
 enum Event {
-    ThreadReady { node: usize, thread: usize },
-    Data { node: usize, op: usize, slot: usize, activation: Activation },
-    Control { node: usize, msg: ControlMsg },
+    ThreadReady {
+        node: usize,
+        thread: usize,
+    },
+    Data {
+        node: usize,
+        op: usize,
+        slot: usize,
+        activation: Activation,
+    },
+    Control {
+        node: usize,
+        msg: ControlMsg,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -73,16 +84,37 @@ enum ControlMsg {
         op: usize,
     },
     /// A node is starving (DP: any work; FP: work for `target`).
-    Starving { from: usize, free_bytes: u64, target: Option<usize>, token: u64 },
+    Starving {
+        from: usize,
+        free_bytes: u64,
+        target: Option<usize>,
+        token: u64,
+    },
     /// A provider offers work from one of its queues.
-    Offer { from: usize, op: usize, tuples: u64, bytes: u64, load: u64, token: u64 },
+    Offer {
+        from: usize,
+        op: usize,
+        tuples: u64,
+        bytes: u64,
+        load: u64,
+        token: u64,
+    },
     /// A provider has nothing to offer.
     NoOffer { from: usize, token: u64 },
     /// The requester asks the chosen provider to ship activations.
-    Acquire { from: usize, op: usize, has_table: bool },
+    Acquire {
+        from: usize,
+        op: usize,
+        has_table: bool,
+    },
     /// The provider ships activations (and possibly its hash-table
     /// partition).
-    Transfer { from: usize, op: usize, activations: Vec<Activation>, bytes: u64 },
+    Transfer {
+        from: usize,
+        op: usize,
+        activations: Vec<Activation>,
+        bytes: u64,
+    },
 }
 
 /// Per-operator global runtime state.
@@ -198,7 +230,9 @@ impl<'a> QueueEngine<'a> {
         options: ExecOptions,
     ) -> Result<Self> {
         if config.machine.nodes == 0 || config.machine.processors_per_node == 0 {
-            return Err(DlbError::config("machine needs at least one node and processor"));
+            return Err(DlbError::config(
+                "machine needs at least one node and processor",
+            ));
         }
         plan.validate()?;
         let nodes = config.machine.nodes as usize;
@@ -370,12 +404,16 @@ impl<'a> QueueEngine<'a> {
             .filter(|&i| self.ops[i].kind.is_scan())
             .collect();
         for op_idx in scan_ops {
-            let op = &self.ops[op_idx];
-            let home = op.home.clone();
-            let total = self.plan.tree.operator(OperatorId::from(op_idx)).input_tuples;
-            let per_node = total / home.len() as u64;
-            let remainder = total - per_node * home.len() as u64;
-            for (i, node) in home.iter().enumerate() {
+            let home_len = self.ops[op_idx].home.len();
+            let total = self
+                .plan
+                .tree
+                .operator(OperatorId::from(op_idx))
+                .input_tuples;
+            let per_node = total / home_len as u64;
+            let remainder = total - per_node * home_len as u64;
+            for i in 0..home_len {
+                let node = self.ops[op_idx].home[i];
                 let mut node_tuples = per_node + if i == 0 { remainder } else { 0 };
                 // Within the node, spread trigger activations across thread
                 // queues with the skew router.
@@ -392,9 +430,10 @@ impl<'a> QueueEngine<'a> {
                     let pages = chunk.div_ceil(tuples_per_page).max(1);
                     let disk_local = self.disk_cursor[node.index()] % self.disks_per_node;
                     self.disk_cursor[node.index()] += 1;
-                    let disk = DiskId::new(*node, disk_local);
+                    let disk = DiskId::new(node, disk_local);
                     let slot = router.route(chunk);
-                    let activation = Activation::trigger(OperatorId::from(op_idx), pages, chunk, disk);
+                    let activation =
+                        Activation::trigger(OperatorId::from(op_idx), pages, chunk, disk);
                     let opn = self.op_nodes[op_idx][node.index()]
                         .as_mut()
                         .expect("home node state exists");
@@ -426,9 +465,12 @@ impl<'a> QueueEngine<'a> {
             }
             match event {
                 Event::ThreadReady { node, thread } => self.on_thread_ready(node, thread),
-                Event::Data { node, op, slot, activation } => {
-                    self.on_data(node, op, slot, activation)
-                }
+                Event::Data {
+                    node,
+                    op,
+                    slot,
+                    activation,
+                } => self.on_data(node, op, slot, activation),
                 Event::Control { node, msg } => self.on_control(node, msg),
             }
         }
@@ -476,9 +518,7 @@ impl<'a> QueueEngine<'a> {
 
     fn op_consumable(&self, op: usize, node: usize) -> bool {
         let o = &self.ops[op];
-        !o.terminated
-            && o.blockers_remaining == 0
-            && self.op_nodes[op][node].is_some()
+        !o.terminated && o.blockers_remaining == 0 && self.op_nodes[op][node].is_some()
     }
 
     /// Moves parked activations of (op, node) into queues with free space.
@@ -561,7 +601,8 @@ impl<'a> QueueEngine<'a> {
                 }
             }
             self.threads[node][thread].idle = false;
-            self.calendar.schedule_at(now, Event::ThreadReady { node, thread });
+            self.calendar
+                .schedule_at(now, Event::ThreadReady { node, thread });
         }
     }
 
@@ -584,14 +625,16 @@ impl<'a> QueueEngine<'a> {
     ) {
         let now = self.calendar.now();
         let costs = self.config.costs;
-        let mut instructions = costs.queue_access_instr
-            + if primary { 0 } else { costs.interference_instr };
+        let mut instructions =
+            costs.queue_access_instr + if primary { 0 } else { costs.interference_instr };
         let mut io_complete = now;
         let kind = self.ops[op_idx].kind;
 
         match act.kind {
             ActivationKind::Trigger { pages, disk } => {
-                let io_requests = pages.div_ceil(self.config.disk.io_cache_pages as u64).max(1);
+                let io_requests = pages
+                    .div_ceil(self.config.disk.io_cache_pages as u64)
+                    .max(1);
                 instructions += act.tuples * costs.scan_tuple_instr
                     + io_requests * self.config.disk.async_io_init_instr;
                 // The first read of a partition fragment positions the disk
@@ -663,8 +706,11 @@ impl<'a> QueueEngine<'a> {
         // End detection must be re-evaluated on every home node: a node that
         // drained earlier (while batches were still in flight elsewhere) only
         // becomes reportable once the operator's global counters settle.
-        for home_node in self.ops[op_idx].home.clone() {
-            self.check_local_end(op_idx, home_node.index());
+        // Iterating by index keeps this allocation-free; `home` never changes
+        // after initialization.
+        for h in 0..self.ops[op_idx].home.len() {
+            let home_node = self.ops[op_idx].home[h].index();
+            self.check_local_end(op_idx, home_node);
         }
         self.maybe_terminate(op_idx);
 
@@ -675,7 +721,13 @@ impl<'a> QueueEngine<'a> {
     /// Routes `out_tuples` produced by `op_idx` on `node` to the consumer's
     /// queues, batching into data activations. Returns the updated quantum end
     /// (network send CPU is charged to the producing thread).
-    fn emit_output(&mut self, node: usize, op_idx: usize, out_tuples: u64, start: SimTime) -> SimTime {
+    fn emit_output(
+        &mut self,
+        node: usize,
+        op_idx: usize,
+        out_tuples: u64,
+        start: SimTime,
+    ) -> SimTime {
         let Some(consumer) = self.ops[op_idx].consumer else {
             self.result_tuples += out_tuples;
             return start;
@@ -740,9 +792,10 @@ impl<'a> QueueEngine<'a> {
         // The delivery may have been the last in-flight batch of the
         // operator: other home nodes that drained earlier can now report
         // their local end.
-        for home_node in self.ops[op].home.clone() {
-            if home_node.index() != node {
-                self.check_local_end(op, home_node.index());
+        for h in 0..self.ops[op].home.len() {
+            let home_node = self.ops[op].home[h].index();
+            if home_node != node {
+                self.check_local_end(op, home_node);
             }
         }
     }
@@ -774,10 +827,11 @@ impl<'a> QueueEngine<'a> {
                     && !self.ops[op].phase2_started
                 {
                     self.ops[op].phase2_started = true;
-                    for home_node in self.ops[op].home.clone() {
+                    for h in 0..self.ops[op].home.len() {
+                        let home_node = self.ops[op].home[h].index();
                         self.send_control(
                             node,
-                            home_node.index(),
+                            home_node,
                             CONTROL_MESSAGE_BYTES,
                             ControlMsg::ConfirmRequest { op },
                         );
@@ -814,20 +868,35 @@ impl<'a> QueueEngine<'a> {
                 // Accounting-only broadcast: state was already updated when
                 // the coordinator made the decision.
             }
-            ControlMsg::Starving { from, free_bytes, target, token } => {
-                self.on_starving(node, from, free_bytes, target, token)
-            }
-            ControlMsg::Offer { from, op, tuples, bytes, load, token } => {
-                self.on_offer(node, token, Some((from, op, tuples, bytes, load)))
-            }
+            ControlMsg::Starving {
+                from,
+                free_bytes,
+                target,
+                token,
+            } => self.on_starving(node, from, free_bytes, target, token),
+            ControlMsg::Offer {
+                from,
+                op,
+                tuples,
+                bytes,
+                load,
+                token,
+            } => self.on_offer(node, token, Some((from, op, tuples, bytes, load))),
             ControlMsg::NoOffer { from, token } => {
                 let _ = from;
                 self.on_offer(node, token, None)
             }
-            ControlMsg::Acquire { from, op, has_table } => self.on_acquire(node, from, op, has_table),
-            ControlMsg::Transfer { from, op, activations, bytes } => {
-                self.on_transfer(node, from, op, activations, bytes)
-            }
+            ControlMsg::Acquire {
+                from,
+                op,
+                has_table,
+            } => self.on_acquire(node, from, op, has_table),
+            ControlMsg::Transfer {
+                from,
+                op,
+                activations,
+                bytes,
+            } => self.on_transfer(node, from, op, activations, bytes),
         }
     }
 
@@ -911,10 +980,11 @@ impl<'a> QueueEngine<'a> {
         self.finished_at = self.finished_at.max(self.calendar.now());
 
         // Accounting broadcast (the 4th message round of the protocol).
-        for home_node in self.ops[op].home.clone() {
+        for h in 0..self.ops[op].home.len() {
+            let home_node = self.ops[op].home[h].index();
             self.send_control(
                 self.coordinator(),
-                home_node.index(),
+                home_node,
                 CONTROL_MESSAGE_BYTES,
                 ControlMsg::Terminated { op },
             );
@@ -925,8 +995,9 @@ impl<'a> QueueEngine<'a> {
             let b = blocked.index();
             self.ops[b].blockers_remaining = self.ops[b].blockers_remaining.saturating_sub(1);
             if self.ops[b].blockers_remaining == 0 {
-                for home_node in self.ops[b].home.clone() {
-                    self.wake_threads(home_node.index(), Some(b));
+                for h in 0..self.ops[b].home.len() {
+                    let home_node = self.ops[b].home[h].index();
+                    self.wake_threads(home_node, Some(b));
                 }
             }
         }
@@ -937,8 +1008,9 @@ impl<'a> QueueEngine<'a> {
             if self.ops[other].terminated {
                 continue;
             }
-            for node in self.ops[other].home.clone() {
-                self.check_local_end(other, node.index());
+            for h in 0..self.ops[other].home.len() {
+                let node = self.ops[other].home[h].index();
+                self.check_local_end(other, node);
             }
             self.maybe_terminate(other);
         }
@@ -1004,7 +1076,12 @@ impl<'a> QueueEngine<'a> {
                     node,
                     other,
                     CONTROL_MESSAGE_BYTES,
-                    ControlMsg::Starving { from: node, free_bytes: free, target, token },
+                    ControlMsg::Starving {
+                        from: node,
+                        free_bytes: free,
+                        target,
+                        token,
+                    },
                 );
             }
         }
@@ -1021,9 +1098,12 @@ impl<'a> QueueEngine<'a> {
         token: u64,
     ) {
         let mut best: Option<(usize, u64, u64, f64)> = None; // (op, tuples, bytes, ratio)
-        let candidate_ops: Vec<usize> = match target {
-            Some(op) => vec![op],
-            None => (0..self.ops.len()).collect(),
+                                                             // FP targets one operator, DP considers them all; either way the
+                                                             // candidate set is a contiguous index range — no need to materialize
+                                                             // it per starving message.
+        let candidate_ops = match target {
+            Some(op) => op..op + 1,
+            None => 0..self.ops.len(),
         };
         for op in candidate_ops {
             // Only probe activations can move; the operator must be
@@ -1075,7 +1155,14 @@ impl<'a> QueueEngine<'a> {
                 node,
                 requester,
                 CONTROL_MESSAGE_BYTES,
-                ControlMsg::Offer { from: node, op, tuples, bytes, load, token },
+                ControlMsg::Offer {
+                    from: node,
+                    op,
+                    tuples,
+                    bytes,
+                    load,
+                    token,
+                },
             ),
             None => self.send_control(
                 node,
@@ -1135,13 +1222,17 @@ impl<'a> QueueEngine<'a> {
                 self.node_lb[node].fp_outstanding.clear();
             }
             Some((provider, op, _tuples, _bytes, _load)) => {
-                let has_table = matches!(self.strategy, Strategy::Dynamic)
-                    && table_cached(provider, op);
+                let has_table =
+                    matches!(self.strategy, Strategy::Dynamic) && table_cached(provider, op);
                 self.send_control(
                     node,
                     provider,
                     CONTROL_MESSAGE_BYTES,
-                    ControlMsg::Acquire { from: node, op, has_table },
+                    ControlMsg::Acquire {
+                        from: node,
+                        op,
+                        has_table,
+                    },
                 );
             }
         }
@@ -1151,33 +1242,51 @@ impl<'a> QueueEngine<'a> {
     /// of `op`, plus its hash-table partition when the requester lacks it.
     fn on_acquire(&mut self, node: usize, requester: usize, op: usize, has_table: bool) {
         let mut shipped: Vec<Activation> = Vec::new();
+        let mut shipped_tuples = 0u64;
         let mut hash_bytes = 0u64;
         if let Some(opn) = self.op_nodes[op][node].as_mut() {
             let total: usize = opn.queued_activations();
             let take = ((total as f64) * self.options.steal_fraction).ceil() as usize;
+            // The shipped batch size is known up front; size the transfer
+            // buffer once instead of growing it pop by pop.
+            shipped.reserve_exact(take.min(total));
             let mut remaining = take;
-            // Parked activations first (they are the oldest overflow), then
-            // round-robin over the queues.
+            // Parked activations first (they are the oldest overflow).
             while remaining > 0 {
-                if let Some(a) = opn.parked.pop_front() {
-                    shipped.push(a);
-                    remaining -= 1;
-                    continue;
-                }
-                let mut progress = false;
-                for q in opn.queues.iter_mut() {
-                    if remaining == 0 {
-                        break;
-                    }
-                    if let Some(a) = q.pop() {
-                        shipped.push(a);
-                        remaining -= 1;
-                        progress = true;
-                    }
-                }
-                if !progress {
+                let Some(a) = opn.parked.pop_front() else {
+                    break;
+                };
+                shipped_tuples += a.tuples;
+                shipped.push(a);
+                remaining -= 1;
+            }
+            // Then bulk-drain the queues, spreading the remainder evenly over
+            // the queues (a queue holding less than its quota rolls the
+            // difference over to the later ones). `drain_into` appends into
+            // the pre-sized transfer buffer and accounts tuples in the same
+            // pass.
+            let nq = opn.queues.len();
+            for (i, q) in opn.queues.iter_mut().enumerate() {
+                if remaining == 0 {
                     break;
                 }
+                let quota = remaining.div_ceil(nq - i);
+                let outcome = q.drain_into(quota, &mut shipped);
+                shipped_tuples += outcome.tuples;
+                remaining -= outcome.count;
+            }
+            // Top-up sweep: under skew the work concentrates in low-index
+            // queues (the router's hot slots), which the even-spread quota
+            // above deliberately under-drains; take the shortfall from
+            // whatever is left so the transfer really carries `take`
+            // activations whenever that much work exists.
+            for q in opn.queues.iter_mut() {
+                if remaining == 0 {
+                    break;
+                }
+                let outcome = q.drain_into(remaining, &mut shipped);
+                shipped_tuples += outcome.tuples;
+                remaining -= outcome.count;
             }
         }
         if !has_table {
@@ -1187,10 +1296,7 @@ impl<'a> QueueEngine<'a> {
                 .map(|b| self.cost.hash_table_bytes(b.hash_tuples))
                 .unwrap_or(0);
         }
-        let tuple_bytes: u64 = self
-            .config
-            .costs
-            .bytes_for_tuples(shipped.iter().map(|a| a.tuples).sum());
+        let tuple_bytes: u64 = self.config.costs.bytes_for_tuples(shipped_tuples);
         let bytes = (tuple_bytes + hash_bytes).max(CONTROL_MESSAGE_BYTES);
         self.lb_bytes += bytes;
         // The provider's queues may now be empty: re-run end detection.
@@ -1200,13 +1306,25 @@ impl<'a> QueueEngine<'a> {
             node,
             requester,
             bytes,
-            ControlMsg::Transfer { from: node, op, activations: shipped, bytes },
+            ControlMsg::Transfer {
+                from: node,
+                op,
+                activations: shipped,
+                bytes,
+            },
         );
     }
 
     /// The requester integrates the acquired activations and wakes its
     /// threads.
-    fn on_transfer(&mut self, node: usize, provider: usize, op: usize, activations: Vec<Activation>, _bytes: u64) {
+    fn on_transfer(
+        &mut self,
+        node: usize,
+        provider: usize,
+        op: usize,
+        activations: Vec<Activation>,
+        _bytes: u64,
+    ) {
         self.node_lb[node].starving_outstanding = false;
         self.node_lb[node].fp_outstanding.remove(&op);
         if activations.is_empty() {
@@ -1293,7 +1411,11 @@ mod tests {
         let r = execute(&plan, &config, Strategy::Dynamic, &ExecOptions::default()).unwrap();
         assert!(r.response_time > Duration::ZERO);
         assert!(r.activations > 0);
-        assert!(r.tuples_processed >= 18_000, "tuples {}", r.tuples_processed);
+        assert!(
+            r.tuples_processed >= 18_000,
+            "tuples {}",
+            r.tuples_processed
+        );
         assert_eq!(r.messages, 0, "single node must not use the network");
         assert_eq!(r.lb_bytes, 0);
         assert!(r.utilization > 0.0 && r.utilization <= 1.0);
@@ -1303,12 +1425,22 @@ mod tests {
     fn dp_more_processors_is_faster() {
         let plan = bushy_plan(1);
         let opts = ExecOptions::default();
-        let t2 = execute(&plan, &SystemConfig::shared_memory(2), Strategy::Dynamic, &opts)
-            .unwrap()
-            .response_time;
-        let t8 = execute(&plan, &SystemConfig::shared_memory(8), Strategy::Dynamic, &opts)
-            .unwrap()
-            .response_time;
+        let t2 = execute(
+            &plan,
+            &SystemConfig::shared_memory(2),
+            Strategy::Dynamic,
+            &opts,
+        )
+        .unwrap()
+        .response_time;
+        let t8 = execute(
+            &plan,
+            &SystemConfig::shared_memory(8),
+            Strategy::Dynamic,
+            &opts,
+        )
+        .unwrap()
+        .response_time;
         assert!(t8 < t2, "8 procs ({t8}) should beat 2 procs ({t2})");
         let speedup = t2.as_secs_f64() / t8.as_secs_f64();
         assert!(speedup > 1.5, "speedup {speedup}");
@@ -1343,9 +1475,12 @@ mod tests {
         let config = SystemConfig::shared_memory(8);
         let dp = execute(&plan, &config, Strategy::Dynamic, &opts).unwrap();
         let fp = execute(&plan, &config, Strategy::Fixed { error_rate: 0.0 }, &opts).unwrap();
-        assert!(fp.response_time >= dp.response_time,
+        assert!(
+            fp.response_time >= dp.response_time,
             "FP ({}) should not beat DP ({}) with skewed data",
-            fp.response_time, dp.response_time);
+            fp.response_time,
+            dp.response_time
+        );
     }
 
     #[test]
@@ -1387,7 +1522,10 @@ mod tests {
             ..ExecOptions::default()
         };
         let r = execute(&plan, &config, Strategy::Dynamic, &opts).unwrap();
-        assert!(r.lb_requests > 0, "skewed hierarchical run should starve some node");
+        assert!(
+            r.lb_requests > 0,
+            "skewed hierarchical run should starve some node"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! distorted by a relative error rate `r` (cardinalities multiplied by
 //! `1 + U[-r, +r]`) to reproduce the cost-model error study of Figure 7.
 
-use dlb_common::{OperatorId, Duration};
+use dlb_common::{Duration, OperatorId};
 use dlb_query::cost::CostModel;
 use dlb_query::optree::OperatorKind;
 use dlb_query::plan::ParallelPlan;
@@ -171,7 +171,10 @@ mod tests {
         let per_op = threads_per_operator(&assignment);
         for chain in plan.chains() {
             for op in &chain.operators {
-                assert!(per_op.get(op).copied().unwrap_or(0) >= 1, "operator {op} unassigned");
+                assert!(
+                    per_op.get(op).copied().unwrap_or(0) >= 1,
+                    "operator {op} unassigned"
+                );
             }
         }
     }
@@ -221,13 +224,7 @@ mod tests {
     #[test]
     fn error_rate_changes_allocation_sometimes() {
         let plan = sample_plan();
-        let exact = allocate_threads(
-            &plan,
-            12,
-            &CostModel::default(),
-            0.0,
-            &mut rng_from_seed(4),
-        );
+        let exact = allocate_threads(&plan, 12, &CostModel::default(), 0.0, &mut rng_from_seed(4));
         // With a large error rate and several seeds, at least one allocation
         // differs from the exact one.
         let mut any_different = false;

@@ -33,7 +33,7 @@ pub mod report;
 pub mod router;
 pub mod sp;
 
-pub use activation::{Activation, ActivationKind, ActivationQueue};
+pub use activation::{Activation, ActivationKind, ActivationQueue, DrainOutcome};
 pub use engine::execute;
 pub use options::{ExecOptions, Strategy};
 pub use report::{ExecutionReport, StrategyKind};

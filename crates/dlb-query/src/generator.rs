@@ -138,7 +138,9 @@ impl WorkloadGenerator {
         //    uniformly inside the (scaled) class range.
         let relations: Vec<RelationDef> = (0..n)
             .map(|i| {
-                let class = *SizeClass::all().choose(&mut rng).expect("non-empty classes");
+                let class = *SizeClass::all()
+                    .choose(&mut rng)
+                    .expect("non-empty classes");
                 let (lo, hi) = class.range();
                 let lo = ((lo as f64) * self.params.scale).max(16.0) as u64;
                 let hi = ((hi as f64) * self.params.scale).max(32.0) as u64;

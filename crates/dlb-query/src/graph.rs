@@ -63,7 +63,10 @@ impl PredicateGraph {
             self.relations.contains(&left) && self.relations.contains(&right),
             "both endpoints must be relations of the graph"
         );
-        assert!(left != right, "self-joins are expressed with distinct relation ids");
+        assert!(
+            left != right,
+            "self-joins are expressed with distinct relation ids"
+        );
         assert!(
             selectivity.is_finite() && selectivity > 0.0,
             "selectivity must be positive"

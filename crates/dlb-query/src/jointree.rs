@@ -128,8 +128,8 @@ impl JoinTree {
         match self {
             JoinTree::Leaf { .. } => false,
             JoinTree::Join { build, probe, .. } => {
-                let both_joins =
-                    matches!(**build, JoinTree::Join { .. }) && matches!(**probe, JoinTree::Join { .. });
+                let both_joins = matches!(**build, JoinTree::Join { .. })
+                    && matches!(**probe, JoinTree::Join { .. });
                 both_joins || build.is_bushy() || probe.is_bushy()
             }
         }
@@ -188,11 +188,7 @@ mod tests {
     #[test]
     fn left_deep_tree_is_not_bushy() {
         let t = JoinTree::join(
-            JoinTree::join(
-                JoinTree::leaf(r(0), 10),
-                JoinTree::leaf(r(1), 20),
-                0.05,
-            ),
+            JoinTree::join(JoinTree::leaf(r(0), 10), JoinTree::leaf(r(1), 20), 0.05),
             JoinTree::leaf(r(2), 30),
             0.05,
         );

@@ -428,12 +428,8 @@ mod tests {
         // R and S on node 0, T and U on node 1.
         for (i, node) in [(0u32, 0u32), (1, 0), (2, 1), (3, 1)] {
             let def = RelationDef::new(r(i), format!("R{i}"), 1_000, SizeClass::Small);
-            let layout = PartitionLayout::compute(
-                &def,
-                RelationHome::new(vec![NodeId::new(node)]),
-                1,
-                0.0,
-            );
+            let layout =
+                PartitionLayout::compute(&def, RelationHome::new(vec![NodeId::new(node)]), 1, 0.0);
             catalog.register(def, layout);
         }
         let homes = OperatorHomes::from_catalog(&tree, &catalog, 2);
@@ -448,13 +444,8 @@ mod tests {
             }
         }
         // Build/probe pairs share a home, and the top join spans both nodes.
-        let plan = ParallelPlan::build(
-            QueryId::new(1),
-            tree,
-            homes,
-            ChainScheduling::OneAtATime,
-        )
-        .unwrap();
+        let plan =
+            ParallelPlan::build(QueryId::new(1), tree, homes, ChainScheduling::OneAtATime).unwrap();
         let root_home = plan.homes.home(plan.tree.root());
         assert_eq!(root_home.len(), 2);
     }
@@ -464,8 +455,14 @@ mod tests {
         let mut plan = figure2_plan(ChainScheduling::Concurrent);
         let a = plan.tree.operators()[0].id;
         let b = plan.tree.operators()[1].id;
-        plan.schedule.push(ScheduleConstraint { before: a, after: b });
-        plan.schedule.push(ScheduleConstraint { before: b, after: a });
+        plan.schedule.push(ScheduleConstraint {
+            before: a,
+            after: b,
+        });
+        plan.schedule.push(ScheduleConstraint {
+            before: b,
+            after: a,
+        });
         assert!(plan.validate().is_err());
     }
 

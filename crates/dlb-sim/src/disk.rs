@@ -220,7 +220,10 @@ mod tests {
         let s = f.stats(d);
         assert_eq!(s.requests, 2);
         assert_eq!(s.pages, 10);
-        assert_eq!(s.busy, DiskParams::default().access_time(4) + DiskParams::default().access_time(6));
+        assert_eq!(
+            s.busy,
+            DiskParams::default().access_time(4) + DiskParams::default().access_time(6)
+        );
         let ns = f.node_stats(NodeId::new(1));
         assert_eq!(ns.requests, 2);
         let ts = f.total_stats();

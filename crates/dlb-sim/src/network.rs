@@ -100,7 +100,8 @@ impl Network {
         let send_cpu = self.cpu.instructions(self.params.send_instructions(bytes));
         let recv_cpu = self.cpu.instructions(self.params.recv_instructions(bytes));
         let sent = at + send_cpu;
-        let mut arrival = sent + self.params.end_to_end_delay + self.params.transmission_time(bytes);
+        let mut arrival =
+            sent + self.params.end_to_end_delay + self.params.transmission_time(bytes);
         // FIFO per link: never deliver before a previously sent message on the
         // same link.
         let link = (from.0, to.0);

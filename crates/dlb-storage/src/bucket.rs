@@ -131,10 +131,7 @@ mod tests {
     fn iter_skips_empty_buckets() {
         let m = BucketMap::from_counts(vec![5, 0, 3, 0]);
         let pairs: Vec<_> = m.iter().collect();
-        assert_eq!(
-            pairs,
-            vec![(BucketId::new(0), 5), (BucketId::new(2), 3)]
-        );
+        assert_eq!(pairs, vec![(BucketId::new(0), 5), (BucketId::new(2), 3)]);
         assert_eq!(m.tuples_in(BucketId::new(7)), 0, "out of range is zero");
     }
 

@@ -34,12 +34,8 @@ impl Catalog {
         nodes: u32,
         disks_per_node: u32,
     ) {
-        let layout = PartitionLayout::compute(
-            &def,
-            RelationHome::all_nodes(nodes),
-            disks_per_node,
-            0.0,
-        );
+        let layout =
+            PartitionLayout::compute(&def, RelationHome::all_nodes(nodes), disks_per_node, 0.0);
         self.register(def, layout);
     }
 

@@ -61,7 +61,12 @@ impl HashTable {
 
     /// Probes one tuple, joining on `probe_key_column`, and appends the
     /// concatenated result tuples to `out`. Returns the number of matches.
-    pub fn probe_into(&self, probe: &Tuple, probe_key_column: usize, out: &mut Vec<Tuple>) -> usize {
+    pub fn probe_into(
+        &self,
+        probe: &Tuple,
+        probe_key_column: usize,
+        out: &mut Vec<Tuple>,
+    ) -> usize {
         let key = probe.value(probe_key_column);
         let bucket = key.bucket(self.buckets.len() as u32) as usize;
         match self.buckets[bucket].get(key) {

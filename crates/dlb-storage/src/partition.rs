@@ -106,7 +106,10 @@ impl PartitionLayout {
         disks_per_node: u32,
         placement_skew: f64,
     ) -> Self {
-        assert!(!home.is_empty(), "relation home must contain at least one node");
+        assert!(
+            !home.is_empty(),
+            "relation home must contain at least one node"
+        );
         assert!(disks_per_node > 0, "need at least one disk per node");
         let zipf = ZipfDistribution::new(home.len(), placement_skew);
         let per_node = zipf.split(relation.cardinality);

@@ -60,7 +60,12 @@ pub struct RelationDef {
 
 impl RelationDef {
     /// Creates a relation definition with a default two-attribute schema.
-    pub fn new(id: RelationId, name: impl Into<String>, cardinality: u64, class: SizeClass) -> Self {
+    pub fn new(
+        id: RelationId,
+        name: impl Into<String>,
+        cardinality: u64,
+        class: SizeClass,
+    ) -> Self {
         let name = name.into();
         let schema = Schema::new(vec![format!("{name}_key"), format!("{name}_payload")]);
         Self {

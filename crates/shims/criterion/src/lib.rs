@@ -1,0 +1,216 @@
+//! Offline API-compatible stand-in for the subset of `criterion` this
+//! workspace's benches use.
+//!
+//! The build environment has no crates.io access. This shim keeps every
+//! `benches/*.rs` file compiling and producing *useful* (wall-clock median)
+//! numbers under `cargo bench`, without criterion's statistical machinery.
+//! Each benchmark runs a short warm-up, then reports the median and minimum
+//! iteration time over a fixed sample count.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How a batched input is sized; accepted for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Measurement state handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self {
+            samples,
+            results: Vec::with_capacity(samples),
+        }
+    }
+
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.results.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..2 {
+            let input = setup();
+            black_box(routine(input));
+        }
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.results.push(start.elapsed());
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.results.is_empty() {
+            println!("{name}: no samples");
+            return;
+        }
+        self.results.sort_unstable();
+        let median = self.results[self.results.len() / 2];
+        let min = self.results[0];
+        println!(
+            "{name}: median {median:?}  min {min:?}  ({} samples)",
+            self.results.len()
+        );
+        self.results.clear();
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Accepts command-line configuration (ignored by the shim).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<S, F>(&mut self, name: S, mut f: F) -> &mut Self
+    where
+        S: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(name.as_ref());
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            prefix: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    prefix: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<S, F>(&mut self, name: S, mut f: F) -> &mut Self
+    where
+        S: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.prefix, name.as_ref()));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares the benchmark entry list, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.sample_size(3);
+        let mut runs = 0;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        // 2 warm-up + 3 measured.
+        assert_eq!(runs, 5);
+    }
+
+    #[test]
+    fn iter_batched_consumes_fresh_inputs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(4);
+        let mut built = 0;
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    built += 1;
+                    vec![0u8; 16]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        assert_eq!(built, 6);
+    }
+}

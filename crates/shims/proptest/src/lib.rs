@@ -1,0 +1,280 @@
+//! Offline API-compatible stand-in for the subset of `proptest` this
+//! workspace's tests use.
+//!
+//! The build environment has no crates.io access. This shim keeps the
+//! `proptest!` test files compiling and *meaningful*: every test still runs
+//! the configured number of cases over deterministically sampled inputs
+//! (seeded per test name and case index), and `prop_assert!` failures report
+//! the case number. What is missing versus the real crate is shrinking and
+//! failure persistence — acceptable for a deterministic simulation workspace,
+//! where a failing case is already reproducible by construction.
+
+/// Strategies: how input values are sampled.
+pub mod strategy {
+    use crate::test_runner::Sampler;
+    use std::ops::Range;
+
+    /// A source of sampled values, mirroring `proptest::strategy::Strategy`.
+    pub trait Strategy {
+        /// The type of sampled values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, sampler: &mut Sampler) -> Self::Value;
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, sampler: &mut Sampler) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as u128 - self.start as u128) as u64;
+                    self.start + sampler.below(span) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_range!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_float_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, sampler: &mut Sampler) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    self.start + sampler.unit_f64() as $t * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+    impl_float_range!(f32, f64);
+
+    /// Strategy for vectors of sampled elements.
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, sampler: &mut Sampler) -> Vec<S::Value> {
+            let len = Strategy::sample(&self.len, sampler);
+            (0..len).map(|_| self.element.sample(sampler)).collect()
+        }
+    }
+
+    /// Strategy producing arbitrary booleans (see [`crate::bool::ANY`]).
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+
+        fn sample(&self, sampler: &mut Sampler) -> bool {
+            sampler.below(2) == 1
+        }
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// Samples vectors whose length lies in `len` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Boolean strategies, mirroring `proptest::bool`.
+pub mod bool {
+    /// Samples arbitrary booleans.
+    pub const ANY: crate::strategy::AnyBool = crate::strategy::AnyBool;
+}
+
+/// Test-runner machinery: configuration, sampling, failure type.
+pub mod test_runner {
+    /// Runner configuration, mirroring `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases each test runs.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 32 }
+        }
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// A failed `prop_assert!`.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic per-(test, case) input sampler (SplitMix64 stream).
+    pub struct Sampler {
+        state: u64,
+    }
+
+    impl Sampler {
+        /// Creates the sampler for `case` of the test named `name`.
+        pub fn for_case(name: &str, case: u32) -> Self {
+            // FNV-1a over the test name, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            Self {
+                state: h ^ ((case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            }
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)` (`n > 0`).
+        pub fn below(&mut self, n: u64) -> u64 {
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// The usual glob import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases!($crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                for __case in 0..config.cases {
+                    let mut __sampler = $crate::test_runner::Sampler::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __sampler);
+                    )*
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            Ok(())
+                        })();
+                    if let Err(e) = __result {
+                        panic!("case {} of {}: {}", __case, stringify!($name), e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_sample_in_bounds(n in 1usize..512, theta in 0.0f64..1.0, total in 0u64..2_000) {
+            prop_assert!((1..512).contains(&n));
+            prop_assert!((0.0..1.0).contains(&theta));
+            prop_assert!(total < 2_000);
+        }
+
+        #[test]
+        fn vec_strategy_obeys_length(v in crate::collection::vec(1u64..4_096, 1..200), flag in crate::bool::ANY) {
+            prop_assert!((1..200).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| (1..4_096).contains(&x)));
+            let _ = flag;
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_case() {
+        let mut a = crate::test_runner::Sampler::for_case("t", 3);
+        let mut b = crate::test_runner::Sampler::for_case("t", 3);
+        assert_eq!(a.below(1_000), b.below(1_000));
+        assert_eq!(a.unit_f64(), b.unit_f64());
+        let mut c = crate::test_runner::Sampler::for_case("t", 4);
+        assert_ne!(a.below(u64::MAX), c.below(u64::MAX));
+    }
+}

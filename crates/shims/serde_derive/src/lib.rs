@@ -1,0 +1,22 @@
+//! No-op derive macros for the offline serde shim.
+//!
+//! The shim's `Serialize` / `Deserialize` traits are blanket-implemented for
+//! every type, so the derives have nothing to generate; they exist so that
+//! `#[derive(Serialize, Deserialize)]` and `#[serde(...)]` helper attributes
+//! parse exactly as with the real serde_derive.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` helpers); expands to
+/// nothing because the shim trait is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` helpers); expands to
+/// nothing because the shim trait is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -10,7 +10,9 @@
 //! cargo run --release --example hierarchical_scaleout
 //! ```
 
-use hierdb::{relative_performance, Experiment, HierarchicalSystem, Strategy, Summary, WorkloadParams};
+use hierdb::{
+    relative_performance, Experiment, HierarchicalSystem, Strategy, Summary, WorkloadParams,
+};
 
 fn main() {
     let skew = 0.6;

@@ -73,10 +73,17 @@ fn main() {
     // Synchronous Pipelining needs shared memory: compare on a single node
     // with the same total number of processors.
     let sm = HierarchicalSystem::shared_memory(system.total_processors());
-    let sm_plans = query.compile(&sm).expect("query compiles for shared memory");
-    let sp = sm.run(&sm_plans[0], Strategy::Synchronous).expect("SP runs");
+    let sm_plans = query
+        .compile(&sm)
+        .expect("query compiles for shared memory");
+    let sp = sm
+        .run(&sm_plans[0], Strategy::Synchronous)
+        .expect("SP runs");
     let dp_sm = sm.run(&sm_plans[0], Strategy::Dynamic).expect("DP runs");
-    println!("\nshared-memory reference ({} processors):", sm.total_processors());
+    println!(
+        "\nshared-memory reference ({} processors):",
+        sm.total_processors()
+    );
     print_report("SP", &sp);
     print_report("DP", &dp_sm);
 

@@ -9,9 +9,7 @@
 //! cargo run --release --example skew_study
 //! ```
 
-use hierdb::{
-    relative_performance, Experiment, HierarchicalSystem, Strategy, WorkloadParams,
-};
+use hierdb::{relative_performance, Experiment, HierarchicalSystem, Strategy, WorkloadParams};
 
 fn main() {
     let processors = 16;
@@ -30,7 +28,10 @@ fn main() {
         .expect("workload compiles");
 
     println!("== impact of redistribution skew on DP ({processors} processors) ==");
-    println!("{:>6}  {:>22}  {:>12}", "skew", "relative degradation", "mean resp");
+    println!(
+        "{:>6}  {:>22}  {:>12}",
+        "skew", "relative degradation", "mean resp"
+    );
 
     let reference = experiment.run(Strategy::Dynamic).expect("baseline runs");
 

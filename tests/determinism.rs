@@ -1,0 +1,78 @@
+//! Determinism of the parallel experiment pipeline: fanning plans out across
+//! worker threads must produce bit-identical [`hierdb::PlanRun`]s — every
+//! simulation is self-contained and seeded, and results are gathered in plan
+//! order, so the thread count can never leak into the reports.
+
+use hierdb::{Experiment, HierarchicalSystem, Strategy, WorkloadParams};
+
+fn experiment(system: HierarchicalSystem) -> Experiment {
+    Experiment::builder()
+        .system(system)
+        .workload(WorkloadParams {
+            queries: 3,
+            relations_per_query: 5,
+            scale: 0.02,
+            skew: 0.0,
+            seed: 77,
+        })
+        .build()
+        .unwrap()
+}
+
+/// `Experiment::run` under rayon with ≥ 4 worker threads produces exactly the
+/// reports of a strictly sequential execution, for both DP and FP, on both
+/// shared-memory and hierarchical machines.
+#[test]
+fn parallel_run_is_bit_identical_to_sequential() {
+    hierdb::set_threads(4);
+    assert!(
+        rayon::current_num_threads() >= 4,
+        "test requires at least 4 worker threads"
+    );
+    let systems = [
+        HierarchicalSystem::shared_memory(8),
+        HierarchicalSystem::hierarchical(2, 4).with_skew(0.5),
+    ];
+    let strategies = [Strategy::Dynamic, Strategy::Fixed { error_rate: 0.2 }];
+    for system in systems {
+        let exp = experiment(system);
+        for strategy in strategies {
+            let sequential = exp.run_sequential(strategy).unwrap();
+            let parallel = exp.run(strategy).unwrap();
+            assert!(
+                sequential.len() >= 4,
+                "need enough plans to exercise the fan-out"
+            );
+            // Field-level checks first, for readable failures.
+            for (s, p) in sequential.iter().zip(parallel.iter()) {
+                assert_eq!(
+                    s.report.response_time, p.report.response_time,
+                    "response time diverged for plan {} under {strategy:?}",
+                    s.plan_index
+                );
+                assert_eq!(
+                    s.report.messages, p.report.messages,
+                    "message count diverged for plan {} under {strategy:?}",
+                    s.plan_index
+                );
+            }
+            // Then the full reports, bit for bit.
+            assert_eq!(
+                *parallel, sequential,
+                "parallel run diverged from sequential under {strategy:?}"
+            );
+        }
+    }
+}
+
+/// Two parallel runs of the same experiment agree with each other even when
+/// the cache is not shared (fresh experiments), i.e. parallel execution is
+/// self-consistent, not merely consistent with its own cache.
+#[test]
+fn repeated_parallel_runs_agree_without_shared_cache() {
+    hierdb::set_threads(4);
+    let system = HierarchicalSystem::hierarchical(2, 2).with_skew(0.8);
+    let a = experiment(system.clone()).run(Strategy::Dynamic).unwrap();
+    let b = experiment(system).run(Strategy::Dynamic).unwrap();
+    assert_eq!(a, b);
+}

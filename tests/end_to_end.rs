@@ -32,7 +32,7 @@ fn full_pipeline_runs_on_shared_memory_and_hierarchical_machines() {
         for strategy in [Strategy::Dynamic, Strategy::Fixed { error_rate: 0.0 }] {
             let runs = experiment.run(strategy).expect("execution completes");
             assert_eq!(runs.len(), experiment.workload().len());
-            for run in &runs {
+            for run in runs.iter() {
                 assert!(run.report.response_time.as_secs_f64() > 0.0);
                 assert!(run.report.tuples_processed > 0);
                 assert!(run.report.utilization > 0.0 && run.report.utilization <= 1.0);
@@ -70,7 +70,7 @@ fn execution_is_fully_deterministic() {
     let a = build().run(Strategy::Dynamic).unwrap();
     let b = build().run(Strategy::Dynamic).unwrap();
     assert_eq!(a.len(), b.len());
-    for (ra, rb) in a.iter().zip(&b) {
+    for (ra, rb) in a.iter().zip(b.iter()) {
         assert_eq!(ra.report.response_time, rb.report.response_time);
         assert_eq!(ra.report.activations, rb.report.activations);
         assert_eq!(ra.report.network_bytes, rb.report.network_bytes);
@@ -90,16 +90,21 @@ fn strategies_process_the_same_logical_work() {
         .unwrap();
     let dp = experiment.run(Strategy::Dynamic).unwrap();
     let fp = experiment.run(Strategy::Fixed { error_rate: 0.0 }).unwrap();
-    for (a, b) in dp.iter().zip(&fp) {
+    for (a, b) in dp.iter().zip(fp.iter()) {
         let tolerance = a.report.tuples_processed / 20 + 32;
         assert!(
-            a.report.tuples_processed.abs_diff(b.report.tuples_processed) <= tolerance,
+            a.report
+                .tuples_processed
+                .abs_diff(b.report.tuples_processed)
+                <= tolerance,
             "DP processed {} tuples, FP {}",
             a.report.tuples_processed,
             b.report.tuples_processed
         );
-        assert!(a.report.result_tuples.abs_diff(b.report.result_tuples)
-            <= a.report.result_tuples / 10 + 32);
+        assert!(
+            a.report.result_tuples.abs_diff(b.report.result_tuples)
+                <= a.report.result_tuples / 10 + 32
+        );
     }
 }
 
