@@ -1,36 +1,19 @@
-//! Runs every figure harness in sequence (the full evaluation of the paper).
+//! Runs every figure scenario in sequence (the full evaluation of the
+//! paper), in-process from the bundled scenario registry.
 //!
 //! ```text
 //! cargo run --release -p dlb-bench --bin all_figures            # reduced scale
 //! cargo run --release -p dlb-bench --bin all_figures -- --paper # paper scale (slow)
 //! ```
 
-use std::process::Command;
+use dlb_bench::{figure_output, params_table, HarnessConfig};
 
 fn main() {
-    let forward: Vec<String> = std::env::args().skip(1).collect();
-    // bench_report is deliberately absent: it measures wall-clock and does
-    // not belong in the figure regeneration pass.
-    let binaries = [
-        "fig_params",
-        "fig6_local_models",
-        "fig7_cost_errors",
-        "fig8_speedup",
-        "fig9_skew",
-        "fig10_global",
-    ];
-    let exe = std::env::current_exe().expect("current executable path");
-    let dir = exe.parent().expect("binary directory").to_path_buf();
-    for bin in binaries {
+    let cfg = HarnessConfig::from_env();
+    println!();
+    print!("{}", params_table());
+    for name in ["fig6", "fig7", "fig8", "fig9", "fig10", "chain53"] {
         println!();
-        let path = dir.join(bin);
-        let status = Command::new(&path)
-            .args(&forward)
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
-        if !status.success() {
-            eprintln!("{bin} exited with {status}");
-            std::process::exit(1);
-        }
+        print!("{}", figure_output(name, &cfg));
     }
 }

@@ -1,12 +1,14 @@
 //! Machine-readable performance report of the evaluation pipeline.
 //!
-//! Times a **fixed reduced workload** (the harness defaults, overridable with
-//! the usual `HIERDB_*` variables) per strategy, sequentially and with the
-//! parallel plan fan-out, and prints one JSON document to stdout — the
-//! perf-tracking record for the engine across PRs:
+//! Times the base configuration of a **registered scenario** (default:
+//! `paper-base`, the 4×8 hierarchical machine with the reduced harness
+//! workload — overridable with the usual `HIERDB_*` variables) per strategy,
+//! sequentially and with the parallel plan fan-out, and prints one JSON
+//! document to stdout — the perf-tracking record for the engine across PRs:
 //!
 //! ```text
 //! cargo run --release -p dlb-bench --bin bench_report
+//! cargo run --release -p dlb-bench --bin bench_report -- fig10
 //! HIERDB_THREADS=8 cargo run --release -p dlb-bench --bin bench_report
 //! ```
 //!
@@ -15,7 +17,8 @@
 //! determinism regression, not a perf number.
 
 use dlb_bench::HarnessConfig;
-use dlb_core::{HierarchicalSystem, PlanRun, Strategy};
+use dlb_core::scenario::{self, ScenarioSpec, WorkloadSpec};
+use dlb_core::{PlanRun, Strategy};
 use std::time::Instant;
 
 /// One timed strategy: sequential baseline vs parallel fan-out.
@@ -27,26 +30,24 @@ struct StrategyTiming {
     plans: usize,
 }
 
-fn time_strategy(
-    cfg: &HarnessConfig,
-    system: &HierarchicalSystem,
-    strategy: Strategy,
-) -> StrategyTiming {
+fn time_strategy(spec: &ScenarioSpec, strategy: Strategy) -> StrategyTiming {
+    let experiment = |spec: &ScenarioSpec| {
+        scenario::base_experiment(spec).expect("bundled scenarios always compile")
+    };
     // Untimed warm-up so process-start costs (allocator growth, CPU ramp)
     // are not charged to whichever path happens to run first.
-    cfg.experiment(system.clone())
+    experiment(spec)
         .run_sequential(strategy)
         .expect("warm-up run");
 
     // Fresh experiments per measurement so neither path hits a warm cache.
-    let sequential_exp = cfg.experiment(system.clone());
     let start = Instant::now();
-    let sequential: Vec<PlanRun> = sequential_exp
+    let sequential: Vec<PlanRun> = experiment(spec)
         .run_sequential(strategy)
         .expect("sequential run");
     let sequential_ms = start.elapsed().as_secs_f64() * 1e3;
 
-    let parallel_exp = cfg.experiment(system.clone());
+    let parallel_exp = experiment(spec);
     let start = Instant::now();
     let parallel = parallel_exp.run(strategy).expect("parallel run");
     let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -60,29 +61,59 @@ fn time_strategy(
     }
 }
 
+fn workload_json(spec: &ScenarioSpec) -> String {
+    match spec.workload {
+        WorkloadSpec::Generated {
+            queries,
+            relations,
+            scale,
+            seed,
+        } => format!(
+            "{{\"queries\": {queries}, \"relations\": {relations}, \
+             \"scale\": {scale}, \"seed\": {seed}}}"
+        ),
+        WorkloadSpec::Chain {
+            relations,
+            build_rows,
+            probe_rows,
+        } => format!(
+            "{{\"chain\": {{\"relations\": {relations}, \"build_rows\": {build_rows}, \
+             \"probe_rows\": {probe_rows}}}}}"
+        ),
+    }
+}
+
 fn main() {
     let cfg = HarnessConfig::from_env();
-    let system = HierarchicalSystem::builder().build(); // paper base: 4 x 8
+    let name = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "paper-base".to_string());
+    let Some(spec) = scenario::find(&name) else {
+        eprintln!(
+            "unknown scenario {name:?}; registered: {}",
+            scenario::names().join(", ")
+        );
+        std::process::exit(1);
+    };
+    let spec = cfg.apply(spec);
     let threads = rayon::current_num_threads();
 
-    let timings: Vec<StrategyTiming> = [Strategy::Dynamic, Strategy::Fixed { error_rate: 0.0 }]
-        .into_iter()
-        .map(|s| time_strategy(&cfg, &system, s))
+    let timings: Vec<StrategyTiming> = spec
+        .strategies
+        .iter()
+        .map(|&s| time_strategy(&spec, s))
         .collect();
 
-    // Hand-rolled JSON: the workspace's serde is an offline no-op shim, and
-    // the report is flat enough that formatting it directly is simpler than
-    // pulling in a serializer.
+    // Hand-rolled JSON: the report is flat enough that formatting it
+    // directly is simpler than building a document tree.
     println!("{{");
     println!("  \"benchmark\": \"bench_report\",");
-    println!(
-        "  \"workload\": {{\"queries\": {}, \"relations\": {}, \"scale\": {}, \"seed\": {}}},",
-        cfg.queries, cfg.relations, cfg.scale, cfg.seed
-    );
+    println!("  \"scenario\": \"{}\",", spec.name);
+    println!("  \"workload\": {},", workload_json(&spec));
     println!(
         "  \"machine\": {{\"nodes\": {}, \"processors_per_node\": {}}},",
-        system.nodes(),
-        system.processors_per_node()
+        spec.machine.nodes, spec.machine.processors_per_node
     );
     println!("  \"threads\": {threads},");
     println!("  \"results\": [");

@@ -3,135 +3,22 @@
 //!
 //! * Default mode (Figure 10): DP versus FP on 4×8, 4×12 and 4×16
 //!   configurations with redistribution skew 0.6 (DP is the reference), plus
-//!   the load-balancing traffic of each strategy.
+//!   the load-balancing traffic of each strategy — the bundled `fig10`
+//!   scenario spec.
 //! * `--chain` mode (§5.3 text experiment): a single pipeline chain of five
-//!   operators on a 4×8 configuration with skew 0.8; the paper measured
-//!   roughly 9 MB of load-balancing traffic for FP versus 2.5 MB for DP.
+//!   operators on a 4×8 configuration with skew 0.8 — the bundled `chain53`
+//!   spec; the paper measured roughly 9 MB of load-balancing traffic for FP
+//!   versus 2.5 MB for DP.
 
-use dlb_bench::{fmt_ratio, par_points, HarnessConfig};
-use dlb_core::{relative_performance, HierarchicalSystem, Strategy, Summary};
-use dlb_query::jointree::JoinTree;
-use dlb_query::optree::OperatorTree;
-use dlb_query::plan::{ChainScheduling, OperatorHomes, ParallelPlan};
-
-fn chain_experiment() {
-    println!("== §5.3 experiment: 5-operator pipeline chain, 4x8, skew 0.8 ==");
-    // A right-deep join tree over five relations: every hash table is built
-    // from a base relation and the probing relation streams through four
-    // probes — one maximum pipeline chain of five operators (scan + four
-    // probes), exactly the shape of the paper's experiment.
-    let system = HierarchicalSystem::hierarchical(4, 8).with_skew(0.8);
-    let build_card = 20_000u64;
-    let probe_card = 60_000u64;
-    let sel = 1.0 / build_card as f64; // keeps every intermediate at ~probe_card
-    let mut tree = JoinTree::leaf(dlb_common::RelationId::new(4), probe_card);
-    for i in (0..4u32).rev() {
-        tree = JoinTree::join(
-            JoinTree::leaf(dlb_common::RelationId::new(i), build_card),
-            tree,
-            sel,
-        );
-    }
-    let optree = OperatorTree::from_join_tree(&tree);
-    let homes = OperatorHomes::all_nodes(&optree, system.nodes());
-    let plan = ParallelPlan::build(
-        dlb_common::QueryId::new(100),
-        optree,
-        homes,
-        ChainScheduling::OneAtATime,
-    )
-    .expect("chain plan builds");
-    let plan = &plan;
-
-    println!(
-        "plan: {} operators, {} pipeline chains, longest chain {} operators",
-        plan.tree.operators().len(),
-        plan.chains().len(),
-        plan.chains().iter().map(|c| c.len()).max().unwrap_or(0)
-    );
-
-    let dp = system.run(plan, Strategy::Dynamic).expect("DP");
-    let fp = system
-        .run(plan, Strategy::Fixed { error_rate: 0.0 })
-        .expect("FP");
-    println!(
-        "{:>4}  {:>12}  {:>16}  {:>14}",
-        "", "response", "lb data moved", "lb requests"
-    );
-    for (label, r) in [("DP", &dp), ("FP", &fp)] {
-        println!(
-            "{label:>4}  {:>12}  {:>13} KB  {:>14}",
-            format!("{}", r.response_time),
-            r.lb_bytes / 1024,
-            r.lb_requests
-        );
-    }
-    if dp.lb_bytes > 0 {
-        println!(
-            "\nFP ships {:.1}x the data DP ships (paper: ~3.6x — 9 MB vs 2.5 MB).",
-            fp.lb_bytes as f64 / dp.lb_bytes as f64
-        );
-    } else {
-        println!(
-            "\nDP needed no global load balancing on this run; FP shipped {} KB.",
-            fp.lb_bytes / 1024
-        );
-    }
-}
-
-fn figure10(cfg: &HarnessConfig) {
-    cfg.banner(
-        "Figure 10",
-        "relative performance of FP and DP on hierarchical configurations (skew 0.6)",
-    );
-    let procs = [8u32, 12, 16];
-    let rows = par_points(&procs, |&procs| {
-        let system = HierarchicalSystem::hierarchical(4, procs).with_skew(0.6);
-        let experiment = cfg.experiment(system);
-        let dp = experiment.run(Strategy::Dynamic).expect("DP");
-        let fp = experiment
-            .run(Strategy::Fixed { error_rate: 0.0 })
-            .expect("FP");
-        let dp_summary = Summary::from_runs(&dp);
-        let fp_summary = Summary::from_runs(&fp);
-        (
-            procs,
-            relative_performance(&dp, &dp),
-            relative_performance(&fp, &dp),
-            dp_summary,
-            fp_summary,
-        )
-    });
-
-    println!(
-        "{:>8}  {:>8}  {:>8}  {:>14}  {:>14}  {:>10}  {:>10}",
-        "config", "DP", "FP", "DP lb KB", "FP lb KB", "DP idle", "FP idle"
-    );
-    for (procs, dp, fp, dp_summary, fp_summary) in rows {
-        println!(
-            "{:>8}  {:>8}  {:>8}  {:>14}  {:>14}  {:>9.1}%  {:>9.1}%",
-            format!("4x{procs}"),
-            fmt_ratio(dp),
-            fmt_ratio(fp),
-            dp_summary.total_lb_bytes / 1024,
-            fp_summary.total_lb_bytes / 1024,
-            dp_summary.mean_idle_fraction * 100.0,
-            fp_summary.mean_idle_fraction * 100.0,
-        );
-    }
-    println!(
-        "\npaper: FP is 14-39% slower than DP, its load-balancing traffic is 2-4x higher,\n\
-         and its processor idle time is significant while DP's is almost null."
-    );
-}
+use dlb_bench::{figure_output, HarnessConfig};
 
 fn main() {
     let cfg = HarnessConfig::from_env();
     if std::env::args().any(|a| a == "--chain") {
-        chain_experiment();
+        print!("{}", figure_output("chain53", &cfg));
     } else {
-        figure10(&cfg);
+        print!("{}", figure_output("fig10", &cfg));
         println!();
-        chain_experiment();
+        print!("{}", figure_output("chain53", &cfg));
     }
 }

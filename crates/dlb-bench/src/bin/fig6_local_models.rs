@@ -1,44 +1,12 @@
 //! Figure 6 — relative performance of SP, DP and FP on a single shared-memory
 //! node, without data skew, for 16/32/64 processors (SP is the reference).
+//!
+//! Thin wrapper over the bundled `fig6` scenario spec
+//! ([`dlb_core::scenario::registry`]).
 
-use dlb_bench::{fmt_ratio, par_points, HarnessConfig};
-use dlb_core::{relative_performance, HierarchicalSystem, Strategy};
+use dlb_bench::{figure_output, HarnessConfig};
 
 fn main() {
     let cfg = HarnessConfig::from_env();
-    cfg.banner(
-        "Figure 6",
-        "relative performance of SP, DP, FP (shared memory, no skew)",
-    );
-
-    let procs = [16u32, 32, 64];
-    let rows = par_points(&procs, |&procs| {
-        let system = HierarchicalSystem::shared_memory(procs);
-        let experiment = cfg.experiment(system);
-        let sp = experiment.run(Strategy::Synchronous).expect("SP");
-        let dp = experiment.run(Strategy::Dynamic).expect("DP");
-        let fp = experiment
-            .run(Strategy::Fixed { error_rate: 0.0 })
-            .expect("FP");
-        (
-            procs,
-            relative_performance(&sp, &sp),
-            relative_performance(&dp, &sp),
-            relative_performance(&fp, &sp),
-        )
-    });
-
-    println!("{:>6}  {:>8}  {:>8}  {:>8}", "procs", "SP", "DP", "FP");
-    for (procs, sp, dp, fp) in rows {
-        println!(
-            "{procs:>6}  {:>8}  {:>8}  {:>8}",
-            fmt_ratio(sp),
-            fmt_ratio(dp),
-            fmt_ratio(fp),
-        );
-    }
-    println!(
-        "\npaper: SP = 1.0 (best); DP within a few percent of SP; FP clearly worse,\n\
-         and worse with fewer processors (discretization errors)."
-    );
+    print!("{}", figure_output("fig6", &cfg));
 }

@@ -1,58 +1,13 @@
 //! Figure 7 — impact of cost-model errors on Fixed Processing: relative
 //! degradation versus error rate (0–30 %) for 8/16/32/64 processors.
 //! The reference response time is SP's, as in the paper.
+//!
+//! Thin wrapper over the bundled `fig7` scenario spec
+//! ([`dlb_core::scenario::registry`]).
 
-use dlb_bench::{fmt_ratio, par_points, HarnessConfig};
-use dlb_core::{relative_performance, HierarchicalSystem, Strategy};
+use dlb_bench::{figure_output, HarnessConfig};
 
 fn main() {
     let cfg = HarnessConfig::from_env();
-    cfg.banner(
-        "Figure 7",
-        "impact of cost-model errors on FP (shared memory)",
-    );
-
-    let rates = [0.0, 0.05, 0.10, 0.20, 0.30];
-    let procs = [8u32, 16, 32, 64];
-
-    print!("{:>8}", "error");
-    for p in procs {
-        print!("  {:>8}", format!("{p} procs"));
-    }
-    println!();
-
-    // Pre-build experiments (and SP references) per processor count,
-    // concurrently.
-    let experiments = par_points(&procs, |&p| {
-        let e = cfg.experiment(HierarchicalSystem::shared_memory(p));
-        let sp = e.run(Strategy::Synchronous).expect("SP");
-        (e, sp)
-    });
-
-    // Sweep the (rate x procs) grid concurrently; each cell is one cached
-    // FP run against the precomputed SP reference.
-    let grid: Vec<(f64, Vec<f64>)> = par_points(&rates, |&rate| {
-        let row = experiments
-            .iter()
-            .map(|(experiment, sp)| {
-                let fp = experiment
-                    .run(Strategy::Fixed { error_rate: rate })
-                    .expect("FP");
-                relative_performance(&fp, sp)
-            })
-            .collect();
-        (rate, row)
-    });
-
-    for (rate, row) in grid {
-        print!("{:>7.0}%", rate * 100.0);
-        for cell in row {
-            print!("  {:>8}", fmt_ratio(cell));
-        }
-        println!();
-    }
-    println!(
-        "\npaper: FP degrades as the error rate grows; with few processors the degradation\n\
-         explodes past ~20% error, with many processors it grows more steadily."
-    );
+    print!("{}", figure_output("fig7", &cfg));
 }

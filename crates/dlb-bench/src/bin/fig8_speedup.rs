@@ -1,56 +1,12 @@
 //! Figure 8 — speed-up of SP, DP and FP on a single shared-memory node from 1
 //! to 64 processors (no skew).
+//!
+//! Thin wrapper over the bundled `fig8` scenario spec
+//! ([`dlb_core::scenario::registry`]).
 
-use dlb_bench::{fmt_ratio, par_points, HarnessConfig};
-use dlb_core::{speedup, HierarchicalSystem, Strategy};
+use dlb_bench::{figure_output, HarnessConfig};
 
 fn main() {
     let cfg = HarnessConfig::from_env();
-    cfg.banner(
-        "Figure 8",
-        "speed-up of SP, DP, FP (shared memory, no skew)",
-    );
-
-    let baseline = cfg.experiment(HierarchicalSystem::shared_memory(1));
-    let sp1 = baseline.run(Strategy::Synchronous).expect("SP baseline");
-    let dp1 = baseline.run(Strategy::Dynamic).expect("DP baseline");
-    let fp1 = baseline
-        .run(Strategy::Fixed { error_rate: 0.0 })
-        .expect("FP baseline");
-
-    let procs = [1u32, 8, 16, 32, 48, 64];
-    let rows = par_points(&procs, |&procs| {
-        // The 1-processor point IS the baseline; a clone shares its cache so
-        // the slowest configuration is not simulated twice.
-        let experiment = if procs == 1 {
-            baseline.clone()
-        } else {
-            baseline.on_system(HierarchicalSystem::shared_memory(procs))
-        };
-        let sp = experiment.run(Strategy::Synchronous).expect("SP");
-        let dp = experiment.run(Strategy::Dynamic).expect("DP");
-        let fp = experiment
-            .run(Strategy::Fixed { error_rate: 0.0 })
-            .expect("FP");
-        (
-            procs,
-            speedup(&sp, &sp1),
-            speedup(&dp, &dp1),
-            speedup(&fp, &fp1),
-        )
-    });
-
-    println!("{:>6}  {:>8}  {:>8}  {:>8}", "procs", "SP", "DP", "FP");
-    for (procs, sp, dp, fp) in rows {
-        println!(
-            "{procs:>6}  {:>8}  {:>8}  {:>8}",
-            fmt_ratio(sp),
-            fmt_ratio(dp),
-            fmt_ratio(fp),
-        );
-    }
-    println!(
-        "\npaper: SP and DP show near-linear speed-up to 32 processors and bend beyond\n\
-         (memory-hierarchy overhead); FP stays clearly below both."
-    );
+    print!("{}", figure_output("fig8", &cfg));
 }

@@ -1,34 +1,13 @@
 //! Figure 9 — impact of redistribution skew on Dynamic Processing with 64
 //! processors: relative degradation versus Zipf factor 0 → 1 (reference is
 //! the unskewed run).
+//!
+//! Thin wrapper over the bundled `fig9` scenario spec
+//! ([`dlb_core::scenario::registry`]).
 
-use dlb_bench::{fmt_ratio, par_points, HarnessConfig};
-use dlb_core::{relative_performance, HierarchicalSystem, Strategy};
+use dlb_bench::{figure_output, HarnessConfig};
 
 fn main() {
     let cfg = HarnessConfig::from_env();
-    cfg.banner(
-        "Figure 9",
-        "impact of redistribution skew on DP (64 processors)",
-    );
-
-    let base_system = HierarchicalSystem::shared_memory(64);
-    let experiment = cfg.experiment(base_system.clone());
-    let reference = experiment.run(Strategy::Dynamic).expect("reference");
-
-    let skews = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
-    let rows = par_points(&skews, |&skew| {
-        let skewed = experiment.on_system(base_system.clone().with_skew(skew));
-        let runs = skewed.run(Strategy::Dynamic).expect("skewed DP");
-        (skew, relative_performance(&runs, &reference))
-    });
-
-    println!("{:>6}  {:>14}", "skew", "degradation");
-    for (skew, degradation) in rows {
-        println!("{skew:>6.1}  {:>14}", fmt_ratio(degradation));
-    }
-    println!(
-        "\npaper: the impact of skew on DP is insignificant (well under 10% even at\n\
-         skew factor 1), thanks to high fragmentation and shared activation queues."
-    );
+    print!("{}", figure_output("fig9", &cfg));
 }

@@ -1,65 +1,6 @@
 //! Reprints the simulation-parameter tables of §5.1.1 from the live defaults,
 //! so any drift between code and paper is immediately visible.
 
-use dlb_core::{CpuParams, DiskParams, NetworkParams};
-
 fn main() {
-    let cpu = CpuParams::default();
-    let net = NetworkParams::default();
-    let disk = DiskParams::default();
-
-    println!("== §5.1.1 simulation parameters (library defaults vs paper) ==\n");
-
-    println!("Processor");
-    println!(
-        "  speed                                {} MIPS   (paper: 40 MIPS)",
-        cpu.mips
-    );
-
-    println!("\nNetwork parameters");
-    println!(
-        "  bandwidth                            {}   (paper: infinite)",
-        match net.bandwidth_bytes_per_sec {
-            None => "infinite".to_string(),
-            Some(b) => format!("{b} B/s"),
-        }
-    );
-    println!(
-        "  end-to-end transmission delay        {}   (paper: 0.5 ms)",
-        net.end_to_end_delay
-    );
-    println!(
-        "  CPU cost for sending 8 KB            {} instr   (paper: 10000 instr)",
-        net.send_instr_per_page
-    );
-    println!(
-        "  CPU cost for receiving 8 KB          {} instr   (paper: 10000 instr)",
-        net.recv_instr_per_page
-    );
-
-    println!("\nDisk parameters");
-    println!(
-        "  number of disks                      {} per processor   (paper: 1 per processor)",
-        disk.disks_per_processor
-    );
-    println!(
-        "  disk latency                         {}   (paper: 17 ms)",
-        disk.latency
-    );
-    println!(
-        "  seek time                            {}   (paper: 5 ms)",
-        disk.seek_time
-    );
-    println!(
-        "  transfer rate                        {:.1} MB/s   (paper: 6 MB/s)",
-        disk.transfer_rate_bytes_per_sec / (1024.0 * 1024.0)
-    );
-    println!(
-        "  CPU cost for asynchronous I/O init   {} instr   (paper: 5000 instr)",
-        disk.async_io_init_instr
-    );
-    println!(
-        "  I/O cache size                       {} pages   (paper: 8 pages)",
-        disk.io_cache_pages
-    );
+    print!("{}", dlb_bench::params_table());
 }

@@ -1,0 +1,177 @@
+//! Runs evaluation scenarios: bundled registry entries by name, or
+//! user-authored JSON spec files — the front door for growing the evaluation
+//! with new workloads without writing code.
+//!
+//! ```text
+//! scenario --list                         # registered scenarios
+//! scenario fig9                           # run a bundled figure
+//! scenario fig6 fig8 --format csv         # several, machine-readable
+//! scenario --spec my_sweep.json           # run a spec file
+//! scenario --export fig10                 # print a bundled spec as JSON
+//! scenario --validate                     # parse/round-trip every bundled spec
+//! ```
+//!
+//! The usual workload knobs apply (`--paper`, `HIERDB_QUERIES`,
+//! `HIERDB_RELATIONS`, `HIERDB_SCALE`, `HIERDB_SEED`, `HIERDB_THREADS`).
+//! Bundled specs carry the harness default workload, so the environment
+//! overrides behave exactly as for the figure binaries; spec files keep
+//! their own workload except for knobs explicitly set.
+
+use dlb_bench::WorkloadOverrides;
+use dlb_core::scenario::{self, ScenarioSpec};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Csv,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scenario [--list | --validate | --export NAME] \
+         [NAME...] [--spec FILE]... [--format text|json|csv] [--paper]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut format = Format::Text;
+    let mut names: Vec<String> = Vec::new();
+    let mut spec_files: Vec<String> = Vec::new();
+    let mut list = false;
+    let mut validate = false;
+    let mut export: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let value_of = |i: &mut usize, flag: &str| -> String {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} needs a value");
+                    usage()
+                })
+                .clone()
+        };
+        match args[i].as_str() {
+            "--list" => list = true,
+            "--validate" => validate = true,
+            "--export" => export = Some(value_of(&mut i, "--export")),
+            "--spec" => spec_files.push(value_of(&mut i, "--spec")),
+            "--format" => {
+                format = match value_of(&mut i, "--format").as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "csv" => Format::Csv,
+                    other => {
+                        eprintln!("unknown format {other:?}");
+                        usage()
+                    }
+                }
+            }
+            "--paper" => {} // consumed by WorkloadOverrides::from_env
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}");
+                usage()
+            }
+            name => names.push(name.to_string()),
+        }
+        i += 1;
+    }
+
+    dlb_core::init_threads_from_env();
+
+    if list {
+        for spec in scenario::registry() {
+            println!("{:<12} {:<24} {}", spec.name, spec.title, spec.description);
+        }
+        return;
+    }
+    if validate {
+        validate_registry();
+        return;
+    }
+    if let Some(name) = export {
+        print!("{}", find_or_exit(&name).to_json());
+        return;
+    }
+    if names.is_empty() && spec_files.is_empty() {
+        usage();
+    }
+
+    let overrides = WorkloadOverrides::from_env();
+    let mut first = true;
+    for name in names {
+        run_one(overrides.apply(find_or_exit(&name)), format, &mut first);
+    }
+    for path in spec_files {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        let spec = ScenarioSpec::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        });
+        run_one(overrides.apply(spec), format, &mut first);
+    }
+}
+
+fn find_or_exit(name: &str) -> ScenarioSpec {
+    scenario::find(name).unwrap_or_else(|| {
+        eprintln!(
+            "unknown scenario {name:?}; registered: {}",
+            scenario::names().join(", ")
+        );
+        std::process::exit(1);
+    })
+}
+
+fn run_one(spec: ScenarioSpec, format: Format, first: &mut bool) {
+    let name = spec.name.clone();
+    let report = scenario::run_scenario(&spec).unwrap_or_else(|e| {
+        eprintln!("scenario {name}: {e}");
+        std::process::exit(1);
+    });
+    if !*first && format == Format::Text {
+        println!();
+    }
+    *first = false;
+    match format {
+        Format::Text => print!("{}", scenario::render_text(&report)),
+        Format::Json => print!("{}", scenario::render_json(&report)),
+        Format::Csv => print!("{}", scenario::render_csv(&report)),
+    }
+}
+
+/// Checks that every bundled spec validates and survives a JSON round-trip
+/// unchanged (the CI gate behind `scenario --validate`).
+fn validate_registry() {
+    let mut failures = 0usize;
+    let specs = scenario::registry();
+    for spec in &specs {
+        let mut problems: Vec<String> = Vec::new();
+        if let Err(e) = spec.validate() {
+            problems.push(format!("validate: {e}"));
+        }
+        match ScenarioSpec::from_json(&spec.to_json()) {
+            Ok(back) if back == *spec => {}
+            Ok(_) => problems.push("JSON round-trip altered the spec".to_string()),
+            Err(e) => problems.push(format!("JSON round-trip failed: {e}")),
+        }
+        if problems.is_empty() {
+            println!("{:<12} ok", spec.name);
+        } else {
+            failures += 1;
+            for p in problems {
+                println!("{:<12} FAIL: {p}", spec.name);
+            }
+        }
+    }
+    println!("{} scenarios, {} failing", specs.len(), failures);
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

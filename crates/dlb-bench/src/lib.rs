@@ -3,10 +3,22 @@
 //! Benchmark harnesses that regenerate every table and figure of the paper's
 //! evaluation (§5), plus Criterion micro-benchmarks of the engine internals.
 //!
-//! Each figure has a dedicated binary (see `src/bin/`); `all_figures` runs
-//! them all in sequence. The harness defaults to a reduced workload so that a
-//! full run completes in minutes on a laptop; set the environment variables
-//! below (or pass `--paper`) to approach the paper's scale:
+//! Every figure is a [`dlb_core::scenario::ScenarioSpec`] bundled in the
+//! scenario registry; the per-figure binaries (see `src/bin/`) are thin
+//! lookups that run their spec and print its text rendering, `all_figures`
+//! runs the whole registry in sequence, and the `scenario` binary runs any
+//! registered name — or a user-authored JSON spec file — with text, JSON or
+//! CSV output:
+//!
+//! ```text
+//! cargo run --release -p dlb-bench --bin scenario -- --list
+//! cargo run --release -p dlb-bench --bin scenario -- fig9
+//! cargo run --release -p dlb-bench --bin scenario -- --spec my_sweep.json --format csv
+//! ```
+//!
+//! The harness defaults to a reduced workload so that a full run completes
+//! in minutes on a laptop; set the environment variables below (or pass
+//! `--paper`) to approach the paper's scale:
 //!
 //! | variable | default | paper |
 //! |---|---|---|
@@ -20,28 +32,35 @@
 //!
 //! Every plan execution is an independent seeded simulation, so the harness
 //! is parallel at two levels: [`Experiment::run`] fans the plans of a
-//! workload out across worker threads, and [`par_points`] computes the
+//! workload out across worker threads, and the scenario driver computes the
 //! sweep points of a figure (skew values, processor counts, error rates)
-//! concurrently. Results are gathered in deterministic order, so figure
-//! output is **bit-identical** whatever the thread count. `HIERDB_THREADS`
-//! pins the worker count (e.g. `HIERDB_THREADS=1` forces sequential
-//! execution for baseline timings).
+//! concurrently, all sharing one workspace-level run cache. Results are
+//! gathered in deterministic order, so figure output is **bit-identical**
+//! whatever the thread count. `HIERDB_THREADS` pins the worker count (e.g.
+//! `HIERDB_THREADS=1` forces sequential execution for baseline timings).
 //!
-//! The `bench_report` binary times the fixed reduced workload sequentially
-//! and in parallel for each strategy and prints machine-readable JSON — the
-//! perf-tracking record for the engine across PRs:
+//! The `bench_report` binary times a registered scenario's base
+//! configuration sequentially and in parallel for each strategy and prints
+//! machine-readable JSON — the perf-tracking record for the engine across
+//! PRs:
 //!
 //! ```text
-//! cargo run --release -p dlb-bench --bin bench_report
+//! cargo run --release -p dlb-bench --bin bench_report            # paper-base
+//! cargo run --release -p dlb-bench --bin bench_report -- fig10
 //! ```
 //!
-//! The measured series are printed as aligned text tables; `EXPERIMENTS.md`
-//! at the workspace root records a reference run next to the paper's numbers.
+//! `EXPERIMENTS.md` at the workspace root records a reference run next to
+//! the paper's numbers, and documents the JSON spec-file format.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use dlb_core::{Experiment, HierarchicalSystem, WorkloadParams};
+use dlb_core::scenario::{self, ScenarioSpec, WorkloadSpec};
+use dlb_core::{
+    CpuParams, DiskParams, Experiment, HierarchicalSystem, NetworkParams, WorkloadParams,
+};
+
+pub use dlb_core::scenario::fmt_ratio;
 
 /// Configuration of the figure harness, read from the environment.
 #[derive(Debug, Clone, Copy)]
@@ -58,11 +77,21 @@ pub struct HarnessConfig {
 
 impl Default for HarnessConfig {
     fn default() -> Self {
-        Self {
-            queries: 6,
-            relations: 10,
-            scale: 0.1,
-            seed: 0xD1B_1996,
+        // The harness defaults ARE the bundled specs' default workload; keep
+        // the two in sync by construction.
+        match WorkloadSpec::default() {
+            WorkloadSpec::Generated {
+                queries,
+                relations,
+                scale,
+                seed,
+            } => Self {
+                queries,
+                relations,
+                scale,
+                seed,
+            },
+            other => unreachable!("default workload spec is generated, got {other:?}"),
         }
     }
 }
@@ -92,6 +121,12 @@ impl HarnessConfig {
             cfg.seed = v;
         }
         cfg
+    }
+
+    /// Applies this workload configuration to a scenario spec (chain
+    /// workloads are left untouched).
+    pub fn apply(&self, spec: ScenarioSpec) -> ScenarioSpec {
+        spec.with_generated_workload(self.queries, self.relations, self.scale, self.seed)
     }
 
     /// The workload parameters corresponding to this configuration.
@@ -126,6 +161,148 @@ impl HarnessConfig {
     }
 }
 
+/// Runs the registered scenario `name` under this harness workload and
+/// returns its text rendering. Panics on unknown names — the figure binaries
+/// only pass bundled names.
+pub fn figure_output(name: &str, cfg: &HarnessConfig) -> String {
+    let spec = scenario::find(name)
+        .unwrap_or_else(|| panic!("scenario {name:?} is not in the bundled registry"));
+    let report = scenario::run_scenario(&cfg.apply(spec))
+        .unwrap_or_else(|e| panic!("scenario {name} failed: {e}"));
+    scenario::render_text(&report)
+}
+
+/// Explicit workload overrides: only the knobs the user actually set
+/// (`--paper` or `HIERDB_*`), so that user-authored spec files keep their
+/// own workload unless overridden.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkloadOverrides {
+    /// `HIERDB_QUERIES` / `--paper`.
+    pub queries: Option<usize>,
+    /// `HIERDB_RELATIONS` / `--paper`.
+    pub relations: Option<usize>,
+    /// `HIERDB_SCALE` / `--paper`.
+    pub scale: Option<f64>,
+    /// `HIERDB_SEED`.
+    pub seed: Option<u64>,
+}
+
+impl WorkloadOverrides {
+    /// Collects the overrides present on the command line and in the
+    /// environment.
+    pub fn from_env() -> Self {
+        let paper = std::env::args().any(|a| a == "--paper");
+        Self {
+            queries: read_env_usize("HIERDB_QUERIES").or(paper.then_some(20)),
+            relations: read_env_usize("HIERDB_RELATIONS").or(paper.then_some(12)),
+            scale: read_env_f64("HIERDB_SCALE").or(paper.then_some(1.0)),
+            seed: read_env_u64("HIERDB_SEED"),
+        }
+    }
+
+    /// Applies the set overrides onto a spec's generated workload (chain
+    /// workloads and unset knobs are untouched).
+    pub fn apply(&self, spec: ScenarioSpec) -> ScenarioSpec {
+        if let WorkloadSpec::Generated {
+            queries,
+            relations,
+            scale,
+            seed,
+        } = spec.workload
+        {
+            spec.with_generated_workload(
+                self.queries.unwrap_or(queries),
+                self.relations.unwrap_or(relations),
+                self.scale.unwrap_or(scale),
+                self.seed.unwrap_or(seed),
+            )
+        } else {
+            spec
+        }
+    }
+}
+
+/// Reprints the simulation-parameter tables of §5.1.1 from the live
+/// defaults, so any drift between code and paper is immediately visible.
+pub fn params_table() -> String {
+    use std::fmt::Write as _;
+    let cpu = CpuParams::default();
+    let net = NetworkParams::default();
+    let disk = DiskParams::default();
+    let mut out = String::new();
+    let w = &mut out;
+
+    let _ = writeln!(
+        w,
+        "== §5.1.1 simulation parameters (library defaults vs paper) ==\n"
+    );
+
+    let _ = writeln!(w, "Processor");
+    let _ = writeln!(
+        w,
+        "  speed                                {} MIPS   (paper: 40 MIPS)",
+        cpu.mips
+    );
+
+    let _ = writeln!(w, "\nNetwork parameters");
+    let _ = writeln!(
+        w,
+        "  bandwidth                            {}   (paper: infinite)",
+        match net.bandwidth_bytes_per_sec {
+            None => "infinite".to_string(),
+            Some(b) => format!("{b} B/s"),
+        }
+    );
+    let _ = writeln!(
+        w,
+        "  end-to-end transmission delay        {}   (paper: 0.5 ms)",
+        net.end_to_end_delay
+    );
+    let _ = writeln!(
+        w,
+        "  CPU cost for sending 8 KB            {} instr   (paper: 10000 instr)",
+        net.send_instr_per_page
+    );
+    let _ = writeln!(
+        w,
+        "  CPU cost for receiving 8 KB          {} instr   (paper: 10000 instr)",
+        net.recv_instr_per_page
+    );
+
+    let _ = writeln!(w, "\nDisk parameters");
+    let _ = writeln!(
+        w,
+        "  number of disks                      {} per processor   (paper: 1 per processor)",
+        disk.disks_per_processor
+    );
+    let _ = writeln!(
+        w,
+        "  disk latency                         {}   (paper: 17 ms)",
+        disk.latency
+    );
+    let _ = writeln!(
+        w,
+        "  seek time                            {}   (paper: 5 ms)",
+        disk.seek_time
+    );
+    let _ = writeln!(
+        w,
+        "  transfer rate                        {:.1} MB/s   (paper: 6 MB/s)",
+        disk.transfer_rate_bytes_per_sec / (1024.0 * 1024.0)
+    );
+    let _ = writeln!(
+        w,
+        "  CPU cost for asynchronous I/O init   {} instr   (paper: 5000 instr)",
+        disk.async_io_init_instr
+    );
+    let _ = writeln!(
+        w,
+        "  I/O cache size                       {} pages   (paper: 8 pages)",
+        disk.io_cache_pages
+    );
+    out
+}
+
 fn read_env_usize(name: &str) -> Option<usize> {
     std::env::var(name).ok()?.parse().ok()
 }
@@ -152,15 +329,6 @@ where
 {
     use rayon::prelude::*;
     points.par_iter().map(f).collect()
-}
-
-/// Formats a ratio column entry.
-pub fn fmt_ratio(v: f64) -> String {
-    if v.is_nan() {
-        "   n/a".to_string()
-    } else {
-        format!("{v:6.3}")
-    }
 }
 
 #[cfg(test)]
@@ -200,5 +368,51 @@ mod tests {
         let points: Vec<u32> = (0..32).collect();
         let out = par_points(&points, |p| p * 3);
         assert_eq!(out, points.iter().map(|p| p * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn harness_config_applies_to_generated_specs_only() {
+        let cfg = HarnessConfig {
+            queries: 2,
+            relations: 5,
+            scale: 0.01,
+            seed: 9,
+        };
+        let fig6 = cfg.apply(dlb_core::scenario::find("fig6").unwrap());
+        assert_eq!(
+            fig6.workload,
+            WorkloadSpec::Generated {
+                queries: 2,
+                relations: 5,
+                scale: 0.01,
+                seed: 9
+            }
+        );
+        let chain = cfg.apply(dlb_core::scenario::find("chain53").unwrap());
+        assert!(matches!(chain.workload, WorkloadSpec::Chain { .. }));
+    }
+
+    #[test]
+    fn params_table_reflects_the_live_defaults() {
+        let t = params_table();
+        assert!(t.contains("40 MIPS"));
+        assert!(t.contains("infinite"));
+        assert!(t.contains("8 pages"));
+    }
+
+    #[test]
+    fn overrides_apply_only_what_is_set() {
+        let o = WorkloadOverrides {
+            scale: Some(0.5),
+            ..WorkloadOverrides::default()
+        };
+        let spec = o.apply(dlb_core::scenario::find("fig6").unwrap());
+        match spec.workload {
+            WorkloadSpec::Generated { queries, scale, .. } => {
+                assert_eq!(scale, 0.5);
+                assert_eq!(queries, HarnessConfig::default().queries);
+            }
+            other => panic!("unexpected workload {other:?}"),
+        }
     }
 }

@@ -18,6 +18,9 @@ pub enum DlbError {
     /// The execution engine reached an inconsistent state. This indicates a
     /// bug in the engine rather than bad user input.
     ExecutionError(String),
+    /// A textual input (JSON scenario spec, configuration file) could not be
+    /// parsed.
+    Parse(String),
 }
 
 impl fmt::Display for DlbError {
@@ -27,6 +30,7 @@ impl fmt::Display for DlbError {
             DlbError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
             DlbError::NotFound(msg) => write!(f, "not found: {msg}"),
             DlbError::ExecutionError(msg) => write!(f, "execution error: {msg}"),
+            DlbError::Parse(msg) => write!(f, "parse error: {msg}"),
         }
     }
 }

@@ -1,0 +1,588 @@
+//! A minimal JSON document model, parser and writer.
+//!
+//! The workspace's `serde` is an offline no-op shim (see `crates/shims/`), so
+//! anything that must actually round-trip through text — scenario spec files,
+//! machine-readable result emission — goes through this module instead. The
+//! model is deliberately small: a [`Json`] tree, a strict recursive-descent
+//! [`Json::parse`], and a deterministic writer ([`Json::pretty`] /
+//! `Display`). Object member order is preserved, so writing a parsed document
+//! reproduces it structurally.
+//!
+//! Numbers are kept as either [`Json::Int`] (no decimal point or exponent in
+//! the source) or [`Json::Float`]; the numeric accessors coerce between the
+//! two, so `"scale": 1` and `"scale": 1.0` are interchangeable for readers.
+
+use crate::error::{DlbError, Result};
+use std::fmt;
+
+/// One JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number without decimal point or exponent.
+    Int(i64),
+    /// A number with decimal point or exponent.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; member order is preserved.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a JSON document (one value, optionally surrounded by
+    /// whitespace).
+    pub fn parse(text: &str) -> Result<Json> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.error("trailing characters after the document"));
+        }
+        Ok(v)
+    }
+
+    /// Member lookup on an object (`None` on non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, coercing integers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer (floats only when exactly integral).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            Json::Float(f) if f.fract() == 0.0 && f.abs() < 9.2e18 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_i64().and_then(|i| u64::try_from(i).ok())
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as object members.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Pretty-prints with two-space indentation and a trailing newline —
+    /// the canonical on-disk form of scenario spec files.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(0));
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Float(f) => write_float(out, *f),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => write_seq(out, indent, '[', ']', items.len(), |out, i, ind| {
+                items[i].write(out, ind)
+            }),
+            Json::Object(members) => {
+                write_seq(out, indent, '{', '}', members.len(), |out, i, ind| {
+                    let (k, v) = &members[i];
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, ind);
+                })
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    /// Compact single-line form.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, None);
+        f.write_str(&out)
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, Option<usize>),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        match indent {
+            Some(level) => {
+                out.push('\n');
+                out.push_str(&"  ".repeat(level + 1));
+                item(out, i, Some(level + 1));
+            }
+            None => {
+                if i > 0 {
+                    out.push(' ');
+                }
+                item(out, i, None);
+            }
+        }
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    if let Some(level) = indent {
+        out.push('\n');
+        out.push_str(&"  ".repeat(level));
+    }
+    out.push(close);
+}
+
+/// Floats always carry a decimal point or exponent so they reparse as
+/// [`Json::Float`] (Rust's shortest-round-trip `{}` formatting never uses
+/// exponents and drops the point on integral values, including ones past
+/// `i64::MAX` that would otherwise fail to reparse — append `.0` there).
+fn write_float(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        // JSON has no NaN/inf; null is the conventional degradation.
+        out.push_str("null");
+    } else {
+        let text = format!("{f}");
+        out.push_str(&text);
+        if !text.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+const MAX_DEPTH: usize = 64;
+
+impl Parser<'_> {
+    fn error(&self, msg: &str) -> DlbError {
+        DlbError::Parse(format!("json: {msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(what))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.error("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.error("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.error("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json> {
+        self.eat(b'{', "expected '{'")?;
+        self.depth += 1;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+        self.depth -= 1;
+        Ok(Json::Object(members))
+    }
+
+    fn array(&mut self) -> Result<Json> {
+        self.eat(b'[', "expected '['")?;
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+        self.depth -= 1;
+        Ok(Json::Array(items))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.eat(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.error("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let end = self.pos + 4;
+                            let hex = self
+                                .bytes
+                                .get(self.pos..end)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            self.pos = end;
+                            // Surrogate pairs are not needed for spec files;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-decode the UTF-8 sequence starting at the byte we
+                    // consumed.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b).ok_or_else(|| self.error("invalid UTF-8"))?;
+                    let end = start + len;
+                    let s = self
+                        .bytes
+                        .get(start..end)
+                        .and_then(|chunk| std::str::from_utf8(chunk).ok())
+                        .ok_or_else(|| self.error("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if is_float {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| self.error("invalid number"))
+        } else {
+            text.parse::<i64>()
+                .map(Json::Int)
+                .map_err(|_| self.error("integer out of range"))
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> Option<usize> {
+    match first {
+        0x00..=0x7f => Some(1),
+        0xc0..=0xdf => Some(2),
+        0xe0..=0xef => Some(3),
+        0xf0..=0xf7 => Some(4),
+        _ => None,
+    }
+}
+
+/// Convenience constructors used by hand-rolled serializers.
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Int(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        i64::try_from(v)
+            .map(Json::Int)
+            .unwrap_or(Json::Float(v as f64))
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::from(v as u64)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Self {
+        Json::Int(v as i64)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Float(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Self {
+        Json::Array(v)
+    }
+}
+
+/// Builds a [`Json::Object`] from `(key, value)` pairs (order preserved).
+pub fn object(members: Vec<(&str, Json)>) -> Json {
+    Json::Object(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("-42").unwrap(), Json::Int(-42));
+        assert_eq!(Json::parse("0.5").unwrap(), Json::Float(0.5));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Float(1000.0));
+        assert_eq!(
+            Json::parse("\"a\\n\\\"b\\u0041\"").unwrap(),
+            Json::Str("a\n\"bA".to_string())
+        );
+    }
+
+    #[test]
+    fn parses_nested_structures_preserving_order() {
+        let doc = r#"{"b": [1, 2.5, "x"], "a": {"inner": null}}"#;
+        let v = Json::parse(doc).unwrap();
+        let members = v.as_object().unwrap();
+        assert_eq!(members[0].0, "b");
+        assert_eq!(members[1].0, "a");
+        assert_eq!(v.get("b").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("a").unwrap().get("inner"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "", "{", "[1,]", "{\"a\":}", "tru", "1 2", "\"open", "{'a':1}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn pretty_output_reparses_identically() {
+        let v = object(vec![
+            ("name", Json::from("skew — sweep")),
+            ("values", Json::Array(vec![Json::Float(0.0), Json::Int(2)])),
+            ("nested", object(vec![("k", Json::Bool(false))])),
+            ("empty", Json::Array(vec![])),
+        ]);
+        let text = v.pretty();
+        assert_eq!(Json::parse(&text).unwrap(), v);
+        // Compact form round-trips too.
+        assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn floats_keep_their_floatness_across_round_trips() {
+        for v in [
+            Json::Float(1.0),
+            Json::Float(0.30000000000000004),
+            // Large integral floats: `{}` formats these without a decimal
+            // point, and the one past i64::MAX would not even reparse as an
+            // integer.
+            Json::Float(1e16),
+            Json::Float(1e19),
+            Json::Float(-1e19),
+        ] {
+            assert_eq!(Json::parse(&v.to_string()).unwrap(), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn numeric_accessors_coerce() {
+        assert_eq!(Json::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Json::Float(3.0).as_u64(), Some(3));
+        assert_eq!(Json::Float(3.5).as_i64(), None);
+        assert_eq!(Json::Int(-1).as_u64(), None);
+        assert_eq!(Json::from(u64::MAX), Json::Float(u64::MAX as f64));
+    }
+
+    #[test]
+    fn unicode_strings_survive() {
+        let v = Json::Str("héllo §5.3 — ∑".to_string());
+        assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+    }
+}

@@ -16,6 +16,8 @@
 //! * the Zipf skew generator used to model redistribution / attribute-value
 //!   skew ([`zipf`]),
 //! * deterministic random-number helpers ([`rng`]),
+//! * a minimal JSON model, parser and writer ([`json`]) — the real `serde`
+//!   is unavailable offline, so textual round-trips go through this,
 //! * the workspace error type ([`error`]).
 
 #![warn(missing_docs)]
@@ -24,6 +26,7 @@
 pub mod config;
 pub mod error;
 pub mod ids;
+pub mod json;
 pub mod rng;
 pub mod time;
 pub mod zipf;
@@ -36,5 +39,6 @@ pub use ids::{
     BucketId, DiskId, NodeId, OperatorId, PipelineChainId, ProcessorId, QueryId, RelationId,
     ThreadId,
 };
+pub use json::Json;
 pub use time::{Duration, SimTime};
 pub use zipf::ZipfDistribution;

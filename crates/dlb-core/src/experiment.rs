@@ -9,19 +9,28 @@
 //! simulation, so [`Experiment::run`] fans the plans of the workload out
 //! across worker threads ([`rayon`]); results are collected in plan order and
 //! are bit-identical to a sequential run ([`Experiment::run_sequential`]
-//! exposes the sequential baseline for validation and benchmarking). Repeated
-//! runs of the same strategy are answered from a cache of shared
-//! [`Arc`]-backed results, keyed structurally (strategy, skew bits, machine
-//! shape) so that hits cost one reference count instead of a deep clone.
+//! exposes the sequential baseline for validation and benchmarking).
+//!
+//! Repeated runs are answered from a [`RunCache`]: a workspace-level cache of
+//! shared [`Arc`]-backed results keyed by [`RunKey`], a bit-exact fingerprint
+//! of *everything* a report depends on — strategy, the full
+//! [`dlb_exec::ExecOptions`] (seed, flow control, contention model, steal
+//! policy), the full [`dlb_common::SystemConfig`] (machine shape and every
+//! hardware parameter) and the workload identity
+//! ([`crate::workload::WorkloadFingerprint`]). Because the key is total, one
+//! cache can safely be shared across systems and experiments — e.g. by every
+//! point of a scenario sweep ([`crate::scenario`]) — and a hit costs one
+//! reference count instead of a recomputation or a deep clone.
 //!
 //! The worker-thread count can be pinned with the `HIERDB_THREADS`
 //! environment variable (see [`init_threads_from_env`]) or programmatically
 //! with [`set_threads`].
 
 use crate::system::HierarchicalSystem;
-use crate::workload::CompiledWorkload;
+use crate::workload::{CompiledWorkload, WorkloadFingerprint};
+use dlb_common::config::SystemConfig;
 use dlb_common::Result;
-use dlb_exec::{ExecutionReport, Strategy};
+use dlb_exec::{ExecOptions, ExecutionReport, Strategy};
 use dlb_query::generator::WorkloadParams;
 use dlb_query::plan::ParallelPlan;
 use parking_lot::Mutex;
@@ -41,27 +50,21 @@ pub struct PlanRun {
     pub report: ExecutionReport,
 }
 
-/// Structured cache key of one experiment run.
+/// Structured cache key of one experiment run: a bit-exact fingerprint of
+/// every input of the simulation.
 ///
-/// Replaces the previous stringly `format!("{:?}/skew{}/{}x{}", ...)` key:
-/// floats are keyed by their IEEE-754 bit patterns, so two skews (or FP error
-/// rates) that differ by less than any display precision can never collide,
-/// and lookups hash a few integers instead of formatting and comparing
-/// strings.
-///
-/// The cache this key indexes is **per [`Experiment`]** (each `on_system`
-/// copy starts empty), so within one cache every field except `strategy` is
-/// constant; skew and the machine shape are included defensively, as the
-/// seed's key did. They are *not* sufficient for a cache shared across
-/// systems — reports also depend on the remaining [`dlb_exec::ExecOptions`]
-/// fields (execution seed, steal tuning, …), so any future cross-system
-/// cache must fold the full options into the key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// The seed's key (strategy, skew, machine shape) was only sufficient for a
+/// cache private to one `Experiment`, where the remaining inputs were
+/// constant; sharing results *across* systems needs the rest — the execution
+/// seed, steal tuning, flow control, contention model, every hardware
+/// parameter, and the identity of the workload itself. `RunKey` folds all of
+/// them in: floats are keyed by their IEEE-754 bit patterns, so two values
+/// that differ by less than any display precision can never collide.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RunKey {
     strategy: StrategyKey,
-    skew_bits: u64,
-    nodes: u32,
-    processors_per_node: u32,
+    bits: Box<[u64]>,
+    workload: WorkloadFingerprint,
 }
 
 /// The strategy component of a [`RunKey`]; FP's error rate is keyed by bits.
@@ -73,9 +76,14 @@ enum StrategyKey {
 }
 
 impl RunKey {
-    /// Builds the key for `strategy` on a machine of `nodes` ×
-    /// `processors_per_node` with redistribution skew `skew`.
-    pub fn new(strategy: Strategy, skew: f64, nodes: u32, processors_per_node: u32) -> Self {
+    /// Builds the key for `strategy` under `options` on the machine described
+    /// by `config`, running the workload identified by `workload`.
+    pub fn new(
+        strategy: Strategy,
+        options: &ExecOptions,
+        config: &SystemConfig,
+        workload: &WorkloadFingerprint,
+    ) -> Self {
         let strategy = match strategy {
             Strategy::Dynamic => StrategyKey::Dynamic,
             Strategy::Fixed { error_rate } => StrategyKey::Fixed {
@@ -83,37 +91,139 @@ impl RunKey {
             },
             Strategy::Synchronous => StrategyKey::Synchronous,
         };
+        let mut bits: Vec<u64> = Vec::with_capacity(32);
+        // Execution options, group by group.
+        bits.extend([
+            options.skew.to_bits(),
+            options.seed,
+            options.flow.queue_capacity as u64,
+            options.flow.trigger_pages,
+            options.contention.threshold as u64,
+            options.contention.degradation.to_bits(),
+            options.steal.min_tuples,
+            options.steal.fraction.to_bits(),
+        ]);
+        // Machine shape and hardware parameters.
+        bits.extend([
+            config.machine.nodes as u64,
+            config.machine.processors_per_node as u64,
+            config.machine.memory_per_node_bytes,
+            config.cpu.mips.to_bits(),
+            config
+                .network
+                .bandwidth_bytes_per_sec
+                .map_or(u64::MAX, f64::to_bits),
+            config.network.end_to_end_delay.as_nanos(),
+            config.network.send_instr_per_page,
+            config.network.recv_instr_per_page,
+            config.disk.disks_per_processor as u64,
+            config.disk.latency.as_nanos(),
+            config.disk.seek_time.as_nanos(),
+            config.disk.transfer_rate_bytes_per_sec.to_bits(),
+            config.disk.async_io_init_instr,
+            config.disk.io_cache_pages as u64,
+        ]);
+        // Cost-model constants.
+        bits.extend([
+            config.costs.tuple_bytes,
+            config.costs.scan_tuple_instr,
+            config.costs.build_tuple_instr,
+            config.costs.probe_tuple_instr,
+            config.costs.result_tuple_instr,
+            config.costs.queue_access_instr,
+            config.costs.interference_instr,
+            config.costs.operator_startup_instr,
+            config.costs.control_message_instr,
+            config.costs.tuples_per_batch,
+        ]);
         Self {
             strategy,
-            skew_bits: skew.to_bits(),
-            nodes,
-            processors_per_node,
+            bits: bits.into_boxed_slice(),
+            workload: workload.clone(),
         }
     }
 }
 
-/// Pins the number of worker threads used by [`Experiment::run`] (0 =
-/// automatic, one per available core).
+/// A workspace-level cache of experiment runs, keyed by [`RunKey`].
 ///
-/// Call this **before the first parallel operation**. The offline rayon shim
-/// allows reconfiguring at any time, but the real rayon's `build_global`
-/// fails once the global pool has been used — that failure is swallowed
-/// here, so a late call would silently keep the existing thread count.
-pub fn set_threads(n: usize) {
-    let _ = rayon::ThreadPoolBuilder::new()
-        .num_threads(n)
-        .build_global();
+/// Because the key fingerprints every simulation input, one `RunCache` can be
+/// shared across experiments, systems and sweeps: the scenario driver uses a
+/// single cache for a whole figure grid, so e.g. the SP reference of Figure 7
+/// is computed once per machine shape no matter how many error rates probe
+/// it. Hits share one allocation (`Arc` clone), never a deep copy.
+#[derive(Debug, Default)]
+pub struct RunCache {
+    map: Mutex<HashMap<RunKey, Arc<Vec<PlanRun>>>>,
 }
 
-/// Applies the `HIERDB_THREADS` environment variable, if set and parseable,
-/// to the worker-thread pool. Figure and benchmark binaries call this once at
-/// start-up; unset or invalid values leave the automatic setting in place.
+impl RunCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached runs.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.lock().is_empty()
+    }
+
+    /// Looks up a cached run.
+    pub fn get(&self, key: &RunKey) -> Option<Arc<Vec<PlanRun>>> {
+        self.map.lock().get(key).map(Arc::clone)
+    }
+
+    /// Inserts `runs` unless the key is already present, returning the cached
+    /// value either way. Keeping the first insertion means every racing
+    /// caller shares one allocation, preserving the `Arc::ptr_eq` cache-hit
+    /// contract even under concurrent runs.
+    pub fn insert_or_get(&self, key: RunKey, runs: Arc<Vec<PlanRun>>) -> Arc<Vec<PlanRun>> {
+        let mut map = self.map.lock();
+        Arc::clone(map.entry(key).or_insert(runs))
+    }
+}
+
+/// Pins the number of worker threads used by [`Experiment::run`] (0 =
+/// automatic, one per available core), returning whether the pool was
+/// actually (re)configured.
+///
+/// Call this **before the first parallel operation**. The offline rayon shim
+/// allows reconfiguring at any time (always `true`), but the real rayon's
+/// `build_global` fails once the global pool has been used — such a late call
+/// returns `false` and keeps the existing thread count.
+pub fn set_threads(n: usize) -> bool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build_global()
+        .is_ok()
+}
+
+/// Applies the `HIERDB_THREADS` environment variable, if set, to the
+/// worker-thread pool. Figure and benchmark binaries call this once at
+/// start-up; an unset variable leaves the automatic setting in place, while
+/// an unparseable value or a pool that refuses reconfiguration logs a warning
+/// to stderr instead of being silently ignored.
 pub fn init_threads_from_env() {
-    if let Some(n) = std::env::var("HIERDB_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        set_threads(n);
+    let Ok(value) = std::env::var("HIERDB_THREADS") else {
+        return;
+    };
+    match value.parse::<usize>() {
+        Ok(n) => {
+            if !set_threads(n) {
+                eprintln!(
+                    "warning: HIERDB_THREADS={value} ignored: \
+                     the global thread pool is already initialized"
+                );
+            }
+        }
+        Err(_) => eprintln!(
+            "warning: HIERDB_THREADS={value:?} is not a valid thread count; \
+             using the automatic setting"
+        ),
     }
 }
 
@@ -125,8 +235,10 @@ pub struct Experiment {
     workload: Arc<CompiledWorkload>,
     /// Cache of runs keyed by [`RunKey`], so repeated references (e.g. SP as
     /// the baseline of several figures) are computed once and shared without
-    /// deep-cloning the reports.
-    cache: Arc<Mutex<HashMap<RunKey, Arc<Vec<PlanRun>>>>>,
+    /// deep-cloning the reports. Fresh per [`Experiment::new`]; share one
+    /// across experiments with [`ExperimentBuilder::cache`] or
+    /// [`Experiment::with_cache`].
+    cache: Arc<RunCache>,
 }
 
 impl Experiment {
@@ -135,12 +247,24 @@ impl Experiment {
         ExperimentBuilder::default()
     }
 
-    /// Creates an experiment from an existing system and workload.
+    /// Creates an experiment from an existing system and workload, with a
+    /// private cache.
     pub fn new(system: HierarchicalSystem, workload: CompiledWorkload) -> Self {
+        Self::with_cache(system, Arc::new(workload), Arc::new(RunCache::new()))
+    }
+
+    /// Creates an experiment sharing an existing workload and run cache —
+    /// the constructor sweep drivers use so that every point of a sweep
+    /// draws from (and feeds) one cache.
+    pub fn with_cache(
+        system: HierarchicalSystem,
+        workload: Arc<CompiledWorkload>,
+        cache: Arc<RunCache>,
+    ) -> Self {
         Self {
             system,
-            workload: Arc::new(workload),
-            cache: Arc::new(Mutex::new(HashMap::new())),
+            workload,
+            cache,
         }
     }
 
@@ -154,23 +278,30 @@ impl Experiment {
         &self.workload
     }
 
+    /// The run cache this experiment reads and feeds.
+    pub fn cache(&self) -> &Arc<RunCache> {
+        &self.cache
+    }
+
     /// Returns a copy of this experiment running on a different system but
-    /// the same workload (used for processor-count sweeps). The cache is not
-    /// shared since reports depend on the machine.
+    /// the same workload (used for processor-count and skew sweeps). The
+    /// cache **is** shared: [`RunKey`] fingerprints the machine and options,
+    /// so runs of different systems can never be confused, and shared
+    /// references (e.g. a sweep's baseline point) are computed only once.
     pub fn on_system(&self, system: HierarchicalSystem) -> Self {
         Self {
             system,
             workload: Arc::clone(&self.workload),
-            cache: Arc::new(Mutex::new(HashMap::new())),
+            cache: Arc::clone(&self.cache),
         }
     }
 
     fn cache_key(&self, strategy: Strategy) -> RunKey {
         RunKey::new(
             strategy,
-            self.system.options().skew,
-            self.system.nodes(),
-            self.system.processors_per_node(),
+            self.system.options(),
+            self.system.config(),
+            self.workload.fingerprint(),
         )
     }
 
@@ -202,8 +333,8 @@ impl Experiment {
     /// [`run_sequential`]: Experiment::run_sequential
     pub fn run(&self, strategy: Strategy) -> Result<Arc<Vec<PlanRun>>> {
         let key = self.cache_key(strategy);
-        if let Some(cached) = self.cache.lock().get(&key) {
-            return Ok(Arc::clone(cached));
+        if let Some(cached) = self.cache.get(&key) {
+            return Ok(cached);
         }
         let runs: Result<Vec<PlanRun>> = self
             .workload
@@ -212,14 +343,7 @@ impl Experiment {
             .enumerate()
             .map(|(plan_index, entry)| self.run_plan(strategy, plan_index, entry))
             .collect();
-        let runs = Arc::new(runs?);
-        // Re-check under the lock: a concurrent caller with the same key may
-        // have finished first. Keeping the first insertion means every
-        // caller shares one allocation, preserving the `Arc::ptr_eq`
-        // cache-hit contract even under racing runs.
-        let mut cache = self.cache.lock();
-        let entry = cache.entry(key).or_insert(runs);
-        Ok(Arc::clone(entry))
+        Ok(self.cache.insert_or_get(key, Arc::new(runs?)))
     }
 
     /// Runs every plan strictly sequentially on the calling thread, bypassing
@@ -242,6 +366,7 @@ impl Experiment {
 pub struct ExperimentBuilder {
     system: Option<HierarchicalSystem>,
     workload_params: Option<WorkloadParams>,
+    cache: Option<Arc<RunCache>>,
 }
 
 impl ExperimentBuilder {
@@ -257,6 +382,12 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Shares an existing run cache instead of starting with a private one.
+    pub fn cache(mut self, cache: Arc<RunCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// Generates the workload and builds the experiment.
     pub fn build(self) -> Result<Experiment> {
         let system = self
@@ -264,13 +395,18 @@ impl ExperimentBuilder {
             .unwrap_or_else(|| HierarchicalSystem::builder().build());
         let params = self.workload_params.unwrap_or_default();
         let workload = CompiledWorkload::generate(params, &system)?;
-        Ok(Experiment::new(system, workload))
+        Ok(Experiment::with_cache(
+            system,
+            Arc::new(workload),
+            self.cache.unwrap_or_default(),
+        ))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dlb_exec::StealPolicy;
 
     fn small_experiment(nodes: u32, procs: u32) -> Experiment {
         Experiment::builder()
@@ -332,6 +468,12 @@ mod tests {
         assert_eq!(exp.system().nodes(), 4);
     }
 
+    fn key_for(strategy: Strategy, options: &ExecOptions, config: &SystemConfig) -> RunKey {
+        let system = HierarchicalSystem::shared_memory(2);
+        let workload = CompiledWorkload::generate(WorkloadParams::tiny(1, 3, 3), &system).unwrap();
+        RunKey::new(strategy, options, config, workload.fingerprint())
+    }
+
     #[test]
     fn run_key_distinguishes_skews_beyond_display_precision() {
         // Regression test for the stringly cache key: two skews whose f64
@@ -340,27 +482,54 @@ mod tests {
         let a = 0.3_f64;
         let b = f64::from_bits(a.to_bits() + 1);
         assert_ne!(a.to_bits(), b.to_bits());
-        let ka = RunKey::new(Strategy::Dynamic, a, 4, 8);
-        let kb = RunKey::new(Strategy::Dynamic, b, 4, 8);
+        let config = SystemConfig::shared_memory(8);
+        let ka = key_for(Strategy::Dynamic, &ExecOptions::with_skew(a), &config);
+        let kb = key_for(Strategy::Dynamic, &ExecOptions::with_skew(b), &config);
         assert_ne!(ka, kb);
         // Same for FP error rates.
-        let ea = RunKey::new(Strategy::Fixed { error_rate: a }, 0.0, 4, 8);
-        let eb = RunKey::new(Strategy::Fixed { error_rate: b }, 0.0, 4, 8);
+        let o = ExecOptions::default();
+        let ea = key_for(Strategy::Fixed { error_rate: a }, &o, &config);
+        let eb = key_for(Strategy::Fixed { error_rate: b }, &o, &config);
         assert_ne!(ea, eb);
         // Identical parameters produce identical keys.
-        assert_eq!(ka, RunKey::new(Strategy::Dynamic, 0.3, 4, 8));
+        assert_eq!(
+            ka,
+            key_for(Strategy::Dynamic, &ExecOptions::with_skew(0.3), &config)
+        );
     }
 
     #[test]
-    fn run_key_distinguishes_strategies_and_machines() {
-        let dp = RunKey::new(Strategy::Dynamic, 0.0, 4, 8);
-        let sp = RunKey::new(Strategy::Synchronous, 0.0, 4, 8);
-        let fp = RunKey::new(Strategy::Fixed { error_rate: 0.0 }, 0.0, 4, 8);
+    fn run_key_distinguishes_strategies_machines_and_tuning() {
+        let o = ExecOptions::default();
+        let c48 = SystemConfig::hierarchical(4, 8);
+        let dp = key_for(Strategy::Dynamic, &o, &c48);
+        let sp = key_for(Strategy::Synchronous, &o, &c48);
+        let fp = key_for(Strategy::Fixed { error_rate: 0.0 }, &o, &c48);
         assert_ne!(dp, sp);
         assert_ne!(dp, fp);
         assert_ne!(fp, sp);
-        assert_ne!(dp, RunKey::new(Strategy::Dynamic, 0.0, 2, 8));
-        assert_ne!(dp, RunKey::new(Strategy::Dynamic, 0.0, 4, 4));
+        assert_ne!(
+            dp,
+            key_for(Strategy::Dynamic, &o, &SystemConfig::hierarchical(2, 8))
+        );
+        assert_ne!(
+            dp,
+            key_for(Strategy::Dynamic, &o, &SystemConfig::hierarchical(4, 4))
+        );
+        // Fields the seed's key ignored now count: the execution seed, the
+        // steal tuning, and hardware parameters.
+        let reseeded = ExecOptions::builder().seed(o.seed + 1).build();
+        assert_ne!(dp, key_for(Strategy::Dynamic, &reseeded, &c48));
+        let retuned = ExecOptions::builder()
+            .steal(StealPolicy {
+                min_tuples: o.steal.min_tuples + 1,
+                fraction: o.steal.fraction,
+            })
+            .build();
+        assert_ne!(dp, key_for(Strategy::Dynamic, &retuned, &c48));
+        let mut slower = c48;
+        slower.cpu.mips = 39.0;
+        assert_ne!(dp, key_for(Strategy::Dynamic, &o, &slower));
     }
 
     #[test]
@@ -375,5 +544,26 @@ mod tests {
             &fp,
             &exp.run(Strategy::Fixed { error_rate: 0.0 }).unwrap()
         ));
+    }
+
+    #[test]
+    fn shared_cache_spans_systems_without_confusing_them() {
+        let exp = small_experiment(2, 2);
+        let base = exp.run(Strategy::Dynamic).unwrap();
+        // Same machine, options differing only in steal tuning — fields the
+        // seed's per-experiment key did not cover. The shared cache must
+        // keep them apart.
+        let retuned = exp
+            .system()
+            .clone()
+            .with_options(ExecOptions::builder().min_steal_tuples(1).build());
+        let other = exp.on_system(retuned);
+        let tuned_runs = other.run(Strategy::Dynamic).unwrap();
+        assert!(!Arc::ptr_eq(&base, &tuned_runs));
+        // While a genuinely identical configuration, reached through a
+        // different Experiment value, hits the shared entry.
+        let same = exp.on_system(exp.system().clone());
+        assert!(Arc::ptr_eq(&base, &same.run(Strategy::Dynamic).unwrap()));
+        assert_eq!(exp.cache().len(), 2);
     }
 }

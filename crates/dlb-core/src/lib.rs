@@ -30,6 +30,7 @@
 
 pub mod adhoc;
 pub mod experiment;
+pub mod scenario;
 pub mod summary;
 pub mod system;
 pub mod workload;
@@ -37,12 +38,16 @@ pub mod workload;
 pub use adhoc::AdHocQuery;
 pub use dlb_common::config::{CostConstants, CpuParams, DiskParams, NetworkParams, SystemConfig};
 pub use dlb_common::{Duration, SimTime};
-pub use dlb_exec::{ExecOptions, ExecutionReport, Strategy, StrategyKind};
+pub use dlb_exec::{
+    ContentionModel, ExecOptions, ExecOptionsBuilder, ExecutionReport, FlowControl, StealPolicy,
+    Strategy, StrategyKind,
+};
 pub use dlb_query::plan::{ChainScheduling, ParallelPlan};
 pub use dlb_query::{Query, WorkloadParams};
 pub use experiment::{
-    init_threads_from_env, set_threads, Experiment, ExperimentBuilder, PlanRun, RunKey,
+    init_threads_from_env, set_threads, Experiment, ExperimentBuilder, PlanRun, RunCache, RunKey,
 };
+pub use scenario::{run_scenario, ScenarioReport, ScenarioSpec};
 pub use summary::{relative_performance, speedup, Summary};
 pub use system::{HierarchicalSystem, SystemBuilder};
-pub use workload::CompiledWorkload;
+pub use workload::{CompiledWorkload, WorkloadFingerprint};

@@ -1,0 +1,448 @@
+//! Declarative scenario API: typed, serializable experiment descriptions and
+//! a single driver that runs them.
+//!
+//! The paper's evaluation (§5) is a grid of scenarios — strategy × skew ×
+//! machine shape × workload. Instead of one hand-rolled binary per figure,
+//! a [`ScenarioSpec`] describes a scenario declaratively: machine shape,
+//! workload, execution options, strategy set, up to two sweep
+//! [`Axis`]es, the [`Reference`] each run is measured against, the
+//! [`Metric`], and a [`Presentation`]. The bundled [`registry`] expresses
+//! every figure of the paper as a spec; arbitrary specs are built with
+//! [`ScenarioSpec::builder`] or loaded from JSON files
+//! ([`ScenarioSpec::from_json`]), which is how the evaluation grows new
+//! workloads without new code.
+//!
+//! [`run_scenario`] owns the whole execution: it expands the sweep grid,
+//! fans points out across worker threads, shares one workspace-level
+//! [`RunCache`] across every point (so e.g. a reference strategy is
+//! simulated once per machine shape, not once per row), and returns a
+//! [`ScenarioReport`] that renders to the figure's exact text table
+//! ([`render_text`]) or to machine-readable JSON/CSV ([`render_json`],
+//! [`render_csv`]).
+
+mod registry;
+mod render;
+mod serde;
+mod spec;
+
+pub use registry::{find, names, registry};
+pub use render::{fmt_ratio, render_csv, render_json, render_text};
+pub use spec::{
+    Axis, MachineSpec, Metric, Presentation, Reference, RowFmt, ScenarioSpec, ScenarioSpecBuilder,
+    Sweep, TableStyle, WorkloadSpec,
+};
+
+use crate::experiment::{Experiment, PlanRun, RunCache};
+use crate::summary::{relative_performance, speedup, Summary};
+use crate::system::HierarchicalSystem;
+use crate::workload::CompiledWorkload;
+use dlb_common::{QueryId, RelationId, Result};
+use dlb_exec::{ExecOptions, Strategy};
+use dlb_query::generator::WorkloadParams;
+use dlb_query::jointree::JoinTree;
+use dlb_query::optree::OperatorTree;
+use dlb_query::plan::{ChainScheduling, OperatorHomes, ParallelPlan};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One measured strategy at one sweep point.
+#[derive(Debug, Clone)]
+pub struct StrategyCell {
+    /// The strategy actually executed (error-rate axes materialize here).
+    pub strategy: Strategy,
+    /// The per-plan runs (shared with the scenario's run cache).
+    pub runs: Arc<Vec<PlanRun>>,
+    /// Aggregate statistics of the runs.
+    pub summary: Summary,
+    /// The spec's metric evaluated against the spec's reference.
+    pub value: f64,
+}
+
+/// All strategies measured at one sweep point.
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// The row-axis value.
+    pub row: f64,
+    /// The column-axis value (grids only).
+    pub col: Option<f64>,
+    /// One cell per strategy, in spec order.
+    pub cells: Vec<StrategyCell>,
+}
+
+/// Shape of a compiled chain plan (chain workloads only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainShape {
+    /// Total operators of the plan.
+    pub operators: usize,
+    /// Number of pipeline chains.
+    pub chains: usize,
+    /// Length of the longest chain, in operators.
+    pub longest_chain: usize,
+}
+
+/// The outcome of [`run_scenario`]: every point of the sweep grid in
+/// row-major order, ready for rendering.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// The spec that produced this report.
+    pub spec: ScenarioSpec,
+    /// Results in row-major order (`rows.values × columns.values`).
+    pub points: Vec<PointResult>,
+    /// The compiled chain shape (chain workloads only).
+    pub chain: Option<ChainShape>,
+}
+
+/// Runs a scenario: expands the sweep grid, executes every (point ×
+/// strategy) run with one shared [`RunCache`], computes the reference
+/// metric, and returns the report.
+///
+/// Points are independent and are fanned out across worker threads (they
+/// share the worker budget with the per-plan fan-out of
+/// [`Experiment::run`]); results are gathered in grid order, so rendering is
+/// bit-identical whatever the thread count.
+pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport> {
+    spec.validate()?;
+    let cache = Arc::new(RunCache::new());
+
+    let col_values: Vec<Option<f64>> = match &spec.columns {
+        Some(cols) => cols.values.iter().copied().map(Some).collect(),
+        None => vec![None],
+    };
+    let grid: Vec<(f64, Option<f64>)> = spec
+        .rows
+        .values
+        .iter()
+        .flat_map(|&row| col_values.iter().map(move |&col| (row, col)))
+        .collect();
+
+    // Workloads depend on the system only through its node count (operator
+    // homes) and the cost configuration (constant across a sweep), so they
+    // are compiled once per distinct node count, up front.
+    let mut workloads: HashMap<u32, (Arc<CompiledWorkload>, Option<ChainShape>)> = HashMap::new();
+    for &(row, col) in &grid {
+        let (machine, options) = point_config(spec, row, col);
+        if let std::collections::hash_map::Entry::Vacant(slot) = workloads.entry(machine.nodes) {
+            let system =
+                HierarchicalSystem::hierarchical(machine.nodes, machine.processors_per_node)
+                    .with_options(options);
+            slot.insert(compile_workload(&spec.workload, &system)?);
+        }
+    }
+
+    // Execute the grid: every (point × strategy) run, plus the same-point
+    // reference when one is configured.
+    type RawPoint = (
+        Vec<(Strategy, Arc<Vec<PlanRun>>)>,
+        Option<Arc<Vec<PlanRun>>>,
+    );
+    let raw: Result<Vec<RawPoint>> = grid
+        .par_iter()
+        .map(|&(row, col)| {
+            let (machine, options) = point_config(spec, row, col);
+            let system =
+                HierarchicalSystem::hierarchical(machine.nodes, machine.processors_per_node)
+                    .with_options(options);
+            let workload = Arc::clone(&workloads[&machine.nodes].0);
+            let experiment = Experiment::with_cache(system, workload, Arc::clone(&cache));
+            let runs: Result<Vec<(Strategy, Arc<Vec<PlanRun>>)>> = spec
+                .strategies
+                .iter()
+                .map(|&s| {
+                    let s = strategy_at(s, spec, row, col);
+                    experiment.run(s).map(|r| (s, r))
+                })
+                .collect();
+            let reference = match spec.reference {
+                Reference::SamePoint(r) => Some(experiment.run(strategy_at(r, spec, row, col))?),
+                Reference::FirstRow => None,
+            };
+            Ok((runs?, reference))
+        })
+        .collect();
+    let raw = raw?;
+
+    // Metric pass: resolve each cell's reference and evaluate the metric.
+    let ncols = col_values.len();
+    let points: Vec<PointResult> = grid
+        .iter()
+        .enumerate()
+        .map(|(idx, &(row, col))| {
+            let (runs, same_point_ref) = &raw[idx];
+            let cells = runs
+                .iter()
+                .enumerate()
+                .map(|(si, (strategy, r))| {
+                    let reference: &Arc<Vec<PlanRun>> = match spec.reference {
+                        Reference::SamePoint(_) => {
+                            same_point_ref.as_ref().expect("reference was computed")
+                        }
+                        // Row-major order: the first row's point with the
+                        // same column index.
+                        Reference::FirstRow => &raw[idx % ncols].0[si].1,
+                    };
+                    let value = match spec.metric {
+                        Metric::Relative => relative_performance(r, reference),
+                        Metric::Speedup => speedup(r, reference),
+                    };
+                    StrategyCell {
+                        strategy: *strategy,
+                        runs: Arc::clone(r),
+                        summary: Summary::from_runs(r),
+                        value,
+                    }
+                })
+                .collect();
+            PointResult { row, col, cells }
+        })
+        .collect();
+
+    let chain = workloads
+        .values()
+        .find_map(|(_, shape)| *shape)
+        .filter(|_| matches!(spec.workload, WorkloadSpec::Chain { .. }));
+
+    Ok(ScenarioReport {
+        spec: spec.clone(),
+        points,
+        chain,
+    })
+}
+
+/// Builds the experiment of a scenario's *base* point (no axis applied):
+/// what `bench_report` times.
+pub fn base_experiment(spec: &ScenarioSpec) -> Result<Experiment> {
+    spec.validate()?;
+    let system =
+        HierarchicalSystem::hierarchical(spec.machine.nodes, spec.machine.processors_per_node)
+            .with_options(spec.options);
+    let (workload, _) = compile_workload(&spec.workload, &system)?;
+    Ok(Experiment::with_cache(
+        system,
+        workload,
+        Arc::new(RunCache::new()),
+    ))
+}
+
+/// The machine shape and options in force at one sweep point.
+fn point_config(spec: &ScenarioSpec, row: f64, col: Option<f64>) -> (MachineSpec, ExecOptions) {
+    let mut machine = spec.machine;
+    let mut options = spec.options;
+    let mut apply = |axis: Axis, v: f64| match axis {
+        Axis::Skew => options.skew = v,
+        Axis::Nodes => machine.nodes = v as u32,
+        Axis::ProcessorsPerNode => machine.processors_per_node = v as u32,
+        Axis::ErrorRate => {} // applied to the strategies, not the machine
+    };
+    apply(spec.rows.axis, row);
+    if let (Some(cols), Some(v)) = (&spec.columns, col) {
+        apply(cols.axis, v);
+    }
+    (machine, options)
+}
+
+/// The strategy actually executed at one sweep point: an error-rate axis
+/// materializes into every `Strategy::Fixed` of the set.
+fn strategy_at(strategy: Strategy, spec: &ScenarioSpec, row: f64, col: Option<f64>) -> Strategy {
+    if let Strategy::Fixed { .. } = strategy {
+        let rate = if spec.rows.axis == Axis::ErrorRate {
+            Some(row)
+        } else {
+            spec.columns
+                .as_ref()
+                .filter(|c| c.axis == Axis::ErrorRate)
+                .and(col)
+        };
+        if let Some(error_rate) = rate {
+            return Strategy::Fixed { error_rate };
+        }
+    }
+    strategy
+}
+
+/// Compiles the workload of a spec for one system.
+fn compile_workload(
+    workload: &WorkloadSpec,
+    system: &HierarchicalSystem,
+) -> Result<(Arc<CompiledWorkload>, Option<ChainShape>)> {
+    match *workload {
+        WorkloadSpec::Generated {
+            queries,
+            relations,
+            scale,
+            seed,
+        } => {
+            let params = WorkloadParams {
+                queries,
+                relations_per_query: relations,
+                scale,
+                skew: 0.0,
+                seed,
+            };
+            Ok((Arc::new(CompiledWorkload::generate(params, system)?), None))
+        }
+        WorkloadSpec::Chain {
+            relations,
+            build_rows,
+            probe_rows,
+        } => {
+            let (workload, shape) =
+                chain_workload(relations, build_rows, probe_rows, system.nodes())?;
+            Ok((Arc::new(workload), Some(shape)))
+        }
+    }
+}
+
+/// Builds the §5.3 pipeline-chain workload: a right-deep join tree over
+/// `relations` relations — every hash table is built from a base relation
+/// and the probing relation streams through `relations - 1` probes, one
+/// maximum pipeline chain.
+fn chain_workload(
+    relations: usize,
+    build_rows: u64,
+    probe_rows: u64,
+    nodes: u32,
+) -> Result<(CompiledWorkload, ChainShape)> {
+    // Selectivity keeping every intermediate result at ~probe_rows.
+    let sel = 1.0 / build_rows.max(1) as f64;
+    let mut tree = JoinTree::leaf(RelationId::new(relations as u32 - 1), probe_rows);
+    for i in (0..relations as u32 - 1).rev() {
+        tree = JoinTree::join(JoinTree::leaf(RelationId::new(i), build_rows), tree, sel);
+    }
+    let optree = OperatorTree::from_join_tree(&tree);
+    let homes = OperatorHomes::all_nodes(&optree, nodes);
+    let plan = ParallelPlan::build(
+        QueryId::new(100),
+        optree,
+        homes,
+        ChainScheduling::OneAtATime,
+    )?;
+    let shape = ChainShape {
+        operators: plan.tree.operators().len(),
+        chains: plan.chains().len(),
+        longest_chain: plan.chains().iter().map(|c| c.len()).max().unwrap_or(0),
+    };
+    Ok((CompiledWorkload::from_plans(vec![plan]), shape))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(spec: ScenarioSpec) -> ScenarioSpec {
+        spec.with_generated_workload(1, 4, 0.005, 11)
+    }
+
+    #[test]
+    fn run_scenario_covers_the_grid_in_row_major_order() {
+        let spec = tiny(
+            ScenarioSpec::builder("grid")
+                .machine(1, 2)
+                .strategies([Strategy::Fixed { error_rate: 0.0 }])
+                .rows(Axis::ErrorRate, [0.0, 0.3])
+                .columns(Axis::ProcessorsPerNode, [2.0, 4.0])
+                .reference(Reference::SamePoint(Strategy::Dynamic))
+                .build()
+                .unwrap(),
+        );
+        let report = run_scenario(&spec).unwrap();
+        assert_eq!(report.points.len(), 4);
+        let coords: Vec<(f64, Option<f64>)> =
+            report.points.iter().map(|p| (p.row, p.col)).collect();
+        assert_eq!(
+            coords,
+            vec![
+                (0.0, Some(2.0)),
+                (0.0, Some(4.0)),
+                (0.3, Some(2.0)),
+                (0.3, Some(4.0))
+            ]
+        );
+        // The error-rate axis materialized into the FP strategy.
+        assert_eq!(
+            report.points[2].cells[0].strategy,
+            Strategy::Fixed { error_rate: 0.3 }
+        );
+        for p in &report.points {
+            assert!(p.cells[0].value.is_finite());
+            assert_eq!(p.cells[0].summary.plans, p.cells[0].runs.len());
+        }
+    }
+
+    #[test]
+    fn first_row_reference_pins_every_strategy_to_its_own_baseline() {
+        let spec = tiny(
+            ScenarioSpec::builder("speedup")
+                .machine(1, 1)
+                .strategies([Strategy::Dynamic, Strategy::Fixed { error_rate: 0.0 }])
+                .rows(Axis::ProcessorsPerNode, [1.0, 4.0])
+                .reference(Reference::FirstRow)
+                .metric(Metric::Speedup)
+                .build()
+                .unwrap(),
+        );
+        let report = run_scenario(&spec).unwrap();
+        // The first row IS the baseline: speed-up exactly 1 for every
+        // strategy.
+        for cell in &report.points[0].cells {
+            assert!((cell.value - 1.0).abs() < 1e-12, "got {}", cell.value);
+        }
+        // More processors never slow the tiny workload down.
+        for cell in &report.points[1].cells {
+            assert!(cell.value >= 0.9, "speedup {}", cell.value);
+        }
+    }
+
+    #[test]
+    fn scenario_points_share_one_cache() {
+        // DP is both measured and the same-point reference: each point must
+        // reuse the measured run for the reference (one simulation, shared
+        // allocation).
+        let spec = tiny(
+            ScenarioSpec::builder("shared")
+                .machine(2, 2)
+                .strategies([Strategy::Dynamic])
+                .rows(Axis::Skew, [0.0, 0.5])
+                .reference(Reference::SamePoint(Strategy::Dynamic))
+                .build()
+                .unwrap(),
+        );
+        let report = run_scenario(&spec).unwrap();
+        for p in &report.points {
+            assert!((p.cells[0].value - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn chain_workloads_report_their_shape() {
+        let spec = ScenarioSpec::builder("chain")
+            .machine(2, 2)
+            .workload(WorkloadSpec::Chain {
+                relations: 3,
+                build_rows: 500,
+                probe_rows: 1_500,
+            })
+            .strategies([Strategy::Dynamic, Strategy::Fixed { error_rate: 0.0 }])
+            .rows(Axis::Skew, [0.8])
+            .presentation(Presentation::Chain)
+            .build()
+            .unwrap();
+        let report = run_scenario(&spec).unwrap();
+        let shape = report.chain.unwrap();
+        assert_eq!(shape.longest_chain, 3);
+        assert!(shape.operators >= 5);
+        assert_eq!(report.points.len(), 1);
+        assert_eq!(report.points[0].cells.len(), 2);
+        for cell in &report.points[0].cells {
+            assert_eq!(cell.runs.len(), 1, "chain workloads have one plan");
+        }
+    }
+
+    #[test]
+    fn base_experiment_matches_the_spec_machine() {
+        let exp = base_experiment(&tiny(registry::paper_base())).unwrap();
+        assert_eq!(exp.system().nodes(), 4);
+        assert_eq!(exp.system().processors_per_node(), 8);
+        assert!(!exp.workload().is_empty());
+    }
+}

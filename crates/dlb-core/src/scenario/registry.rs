@@ -1,0 +1,242 @@
+//! Bundled scenario specs: every figure of the paper's evaluation (§5),
+//! expressed declaratively.
+//!
+//! The registry is the single source of truth the figure binaries, the
+//! `scenario` runner and `bench_report` all draw from; adding a scenario here
+//! (or shipping a JSON spec file) is how the evaluation grows new workloads.
+
+use super::spec::{
+    Axis, Metric, Presentation, Reference, RowFmt, ScenarioSpec, TableStyle, WorkloadSpec,
+};
+use dlb_exec::{ExecOptions, Strategy};
+
+const DP: Strategy = Strategy::Dynamic;
+const FP: Strategy = Strategy::Fixed { error_rate: 0.0 };
+const SP: Strategy = Strategy::Synchronous;
+
+/// Every bundled scenario, in `all_figures` presentation order.
+pub fn registry() -> Vec<ScenarioSpec> {
+    vec![
+        fig6(),
+        fig7(),
+        fig8(),
+        fig9(),
+        fig10(),
+        chain53(),
+        paper_base(),
+    ]
+}
+
+/// Looks up a bundled scenario by name.
+pub fn find(name: &str) -> Option<ScenarioSpec> {
+    registry().into_iter().find(|s| s.name == name)
+}
+
+/// The names of the bundled scenarios, in registry order.
+pub fn names() -> Vec<String> {
+    registry().into_iter().map(|s| s.name).collect()
+}
+
+fn table(row_header: &str, row_fmt: RowFmt, row_width: usize, cell_width: usize) -> TableStyle {
+    TableStyle {
+        row_header: row_header.to_string(),
+        row_fmt,
+        row_width,
+        cell_width,
+        headers: Vec::new(),
+    }
+}
+
+/// Figure 6 — relative performance of SP, DP and FP on a single
+/// shared-memory node, without data skew, for 16/32/64 processors (SP is the
+/// reference).
+pub fn fig6() -> ScenarioSpec {
+    ScenarioSpec::builder("fig6")
+        .title("Figure 6")
+        .description("relative performance of SP, DP, FP (shared memory, no skew)")
+        .machine(1, 16)
+        .strategies([SP, DP, FP])
+        .rows(Axis::ProcessorsPerNode, [16.0, 32.0, 64.0])
+        .reference(Reference::SamePoint(SP))
+        .metric(Metric::Relative)
+        .presentation(Presentation::Table(table("procs", RowFmt::Int, 6, 8)))
+        .notes(
+            "paper: SP = 1.0 (best); DP within a few percent of SP; FP clearly worse,\n\
+             and worse with fewer processors (discretization errors).",
+        )
+        .build()
+        .expect("bundled fig6 spec is valid")
+}
+
+/// Figure 7 — impact of cost-model errors on Fixed Processing: relative
+/// degradation versus error rate (0–30 %) for 8/16/32/64 processors. The
+/// reference response time is SP's, as in the paper.
+pub fn fig7() -> ScenarioSpec {
+    ScenarioSpec::builder("fig7")
+        .title("Figure 7")
+        .description("impact of cost-model errors on FP (shared memory)")
+        .machine(1, 8)
+        .strategies([FP])
+        .rows(Axis::ErrorRate, [0.0, 0.05, 0.10, 0.20, 0.30])
+        .columns(Axis::ProcessorsPerNode, [8.0, 16.0, 32.0, 64.0])
+        .reference(Reference::SamePoint(SP))
+        .metric(Metric::Relative)
+        .presentation(Presentation::Grid(table("error", RowFmt::Percent, 8, 8)))
+        .notes(
+            "paper: FP degrades as the error rate grows; with few processors the degradation\n\
+             explodes past ~20% error, with many processors it grows more steadily.",
+        )
+        .build()
+        .expect("bundled fig7 spec is valid")
+}
+
+/// Figure 8 — speed-up of SP, DP and FP on a single shared-memory node from
+/// 1 to 64 processors (no skew).
+pub fn fig8() -> ScenarioSpec {
+    ScenarioSpec::builder("fig8")
+        .title("Figure 8")
+        .description("speed-up of SP, DP, FP (shared memory, no skew)")
+        .machine(1, 1)
+        .strategies([SP, DP, FP])
+        .rows(Axis::ProcessorsPerNode, [1.0, 8.0, 16.0, 32.0, 48.0, 64.0])
+        .reference(Reference::FirstRow)
+        .metric(Metric::Speedup)
+        .presentation(Presentation::Table(table("procs", RowFmt::Int, 6, 8)))
+        .notes(
+            "paper: SP and DP show near-linear speed-up to 32 processors and bend beyond\n\
+             (memory-hierarchy overhead); FP stays clearly below both.",
+        )
+        .build()
+        .expect("bundled fig8 spec is valid")
+}
+
+/// Figure 9 — impact of redistribution skew on Dynamic Processing with 64
+/// processors: relative degradation versus Zipf factor 0 → 1 (reference is
+/// the unskewed run).
+pub fn fig9() -> ScenarioSpec {
+    let style = TableStyle {
+        headers: vec!["degradation".to_string()],
+        ..table("skew", RowFmt::Fixed1, 6, 14)
+    };
+    ScenarioSpec::builder("fig9")
+        .title("Figure 9")
+        .description("impact of redistribution skew on DP (64 processors)")
+        .machine(1, 64)
+        .strategies([DP])
+        .rows(Axis::Skew, [0.0, 0.2, 0.4, 0.6, 0.8, 1.0])
+        .reference(Reference::FirstRow)
+        .metric(Metric::Relative)
+        .presentation(Presentation::Table(style))
+        .notes(
+            "paper: the impact of skew on DP is insignificant (well under 10% even at\n\
+             skew factor 1), thanks to high fragmentation and shared activation queues.",
+        )
+        .build()
+        .expect("bundled fig9 spec is valid")
+}
+
+/// Figure 10 — relative performance of DP versus FP on 4×8, 4×12 and 4×16
+/// hierarchical configurations with redistribution skew 0.6 (DP is the
+/// reference), plus the load-balancing traffic of each strategy.
+pub fn fig10() -> ScenarioSpec {
+    ScenarioSpec::builder("fig10")
+        .title("Figure 10")
+        .description("relative performance of FP and DP on hierarchical configurations (skew 0.6)")
+        .machine(4, 8)
+        .options(ExecOptions::with_skew(0.6))
+        .strategies([DP, FP])
+        .rows(Axis::ProcessorsPerNode, [8.0, 12.0, 16.0])
+        .reference(Reference::SamePoint(DP))
+        .metric(Metric::Relative)
+        .presentation(Presentation::Balance(table(
+            "config",
+            RowFmt::NodesByProcs,
+            8,
+            8,
+        )))
+        .notes(
+            "paper: FP is 14-39% slower than DP, its load-balancing traffic is 2-4x higher,\n\
+             and its processor idle time is significant while DP's is almost null.",
+        )
+        .build()
+        .expect("bundled fig10 spec is valid")
+}
+
+/// The §5.3 text experiment — a single maximum pipeline chain of five
+/// operators on the 4×8 configuration with skew 0.8; the paper measured
+/// roughly 9 MB of load-balancing traffic for FP versus 2.5 MB for DP.
+pub fn chain53() -> ScenarioSpec {
+    ScenarioSpec::builder("chain53")
+        .title("§5.3 experiment")
+        .description("5-operator pipeline chain")
+        .machine(4, 8)
+        .options(ExecOptions::with_skew(0.8))
+        .workload(WorkloadSpec::Chain {
+            relations: 5,
+            build_rows: 20_000,
+            probe_rows: 60_000,
+        })
+        .strategies([DP, FP])
+        .rows(Axis::Skew, [0.8])
+        .reference(Reference::SamePoint(DP))
+        .metric(Metric::Relative)
+        .presentation(Presentation::Chain)
+        .build()
+        .expect("bundled chain53 spec is valid")
+}
+
+/// The paper's base hierarchical configuration (4×8, no skew), DP versus FP:
+/// the default subject of `bench_report` and a template for user specs.
+pub fn paper_base() -> ScenarioSpec {
+    ScenarioSpec::builder("paper-base")
+        .title("Paper base configuration")
+        .description("DP vs FP on the paper's 4x8 hierarchical base system")
+        .machine(4, 8)
+        .strategies([DP, FP])
+        .rows(Axis::Skew, [0.0])
+        .reference(Reference::SamePoint(DP))
+        .metric(Metric::Relative)
+        .build()
+        .expect("bundled paper-base spec is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_bundled_spec_validates_and_has_a_unique_name() {
+        let specs = registry();
+        assert!(specs.len() >= 7);
+        let mut names: Vec<_> = specs.iter().map(|s| s.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), specs.len(), "duplicate scenario names");
+        for spec in &specs {
+            spec.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn find_resolves_every_registered_name() {
+        for name in names() {
+            let spec = find(&name).unwrap();
+            assert_eq!(spec.name, name);
+        }
+        assert!(find("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn figures_cover_the_papers_axes() {
+        assert_eq!(fig6().rows.axis, Axis::ProcessorsPerNode);
+        assert_eq!(fig7().rows.axis, Axis::ErrorRate);
+        assert_eq!(
+            fig7().columns.as_ref().unwrap().axis,
+            Axis::ProcessorsPerNode
+        );
+        assert_eq!(fig8().metric, Metric::Speedup);
+        assert_eq!(fig9().rows.axis, Axis::Skew);
+        assert_eq!(fig10().machine.nodes, 4);
+        assert!(matches!(chain53().workload, WorkloadSpec::Chain { .. }));
+    }
+}

@@ -1,0 +1,387 @@
+//! Rendering of [`ScenarioReport`]s: the figures' exact text tables, plus
+//! machine-readable JSON and CSV emission.
+
+use super::spec::{Axis, Presentation, RowFmt, ScenarioSpec, Sweep, TableStyle, WorkloadSpec};
+use super::{serde, ScenarioReport, StrategyCell};
+use dlb_common::json::{object, Json};
+use std::fmt::Write as _;
+
+/// Formats a ratio column entry (fixed 6.3 layout, `n/a` for NaN).
+pub fn fmt_ratio(v: f64) -> String {
+    if v.is_nan() {
+        "   n/a".to_string()
+    } else {
+        format!("{v:6.3}")
+    }
+}
+
+/// Renders a report as the figure's text table — for bundled figure specs,
+/// byte-identical to the output of the pre-scenario figure binaries.
+pub fn render_text(report: &ScenarioReport) -> String {
+    let spec = &report.spec;
+    match &spec.presentation {
+        Presentation::Table(style) => {
+            let headers: Vec<String> = if style.headers.is_empty() {
+                spec.strategies
+                    .iter()
+                    .map(|s| s.label().to_string())
+                    .collect()
+            } else {
+                style.headers.clone()
+            };
+            let mut out = banner(spec);
+            render_rows(&mut out, report, style, &headers, |point, out| {
+                for cell in &point.cells {
+                    let _ = write!(out, "  {:>w$}", fmt_ratio(cell.value), w = style.cell_width);
+                }
+            });
+            push_notes(&mut out, &spec.notes);
+            out
+        }
+        Presentation::Grid(style) => {
+            let cols = spec.columns.as_ref().expect("grids have columns");
+            let headers: Vec<String> = cols.values.iter().map(|&v| col_header(cols, v)).collect();
+            let mut out = banner(spec);
+            // Header row.
+            let _ = write!(out, "{:>w$}", style.row_header, w = style.row_width);
+            for h in &headers {
+                let _ = write!(out, "  {:>w$}", h, w = style.cell_width);
+            }
+            out.push('\n');
+            // One output row per row value, one cell per column value.
+            let ncols = cols.values.len();
+            for (ri, &row) in spec.rows.values.iter().enumerate() {
+                out.push_str(&row_label(spec, style, row));
+                for ci in 0..ncols {
+                    let cell = &report.points[ri * ncols + ci].cells[0];
+                    let _ = write!(out, "  {:>w$}", fmt_ratio(cell.value), w = style.cell_width);
+                }
+                out.push('\n');
+            }
+            push_notes(&mut out, &spec.notes);
+            out
+        }
+        Presentation::Balance(style) => {
+            let labels: Vec<&str> = spec.strategies.iter().map(|s| s.label()).collect();
+            let mut out = banner(spec);
+            // Header: ratio columns, then lb-traffic columns, then idle
+            // columns.
+            let _ = write!(out, "{:>w$}", style.row_header, w = style.row_width);
+            for l in &labels {
+                let _ = write!(out, "  {:>w$}", l, w = style.cell_width);
+            }
+            for l in &labels {
+                let _ = write!(out, "  {:>14}", format!("{l} lb KB"));
+            }
+            for l in &labels {
+                let _ = write!(out, "  {:>10}", format!("{l} idle"));
+            }
+            out.push('\n');
+            for point in &report.points {
+                out.push_str(&row_label(spec, style, point.row));
+                for cell in &point.cells {
+                    let _ = write!(out, "  {:>w$}", fmt_ratio(cell.value), w = style.cell_width);
+                }
+                for cell in &point.cells {
+                    let _ = write!(out, "  {:>14}", cell.summary.total_lb_bytes / 1024);
+                }
+                for cell in &point.cells {
+                    let _ = write!(out, "  {:>9.1}%", cell.summary.mean_idle_fraction * 100.0);
+                }
+                out.push('\n');
+            }
+            push_notes(&mut out, &spec.notes);
+            out
+        }
+        Presentation::Chain => render_chain(report),
+    }
+}
+
+/// The §5.3 chain report: plan shape, absolute response times and
+/// load-balancing traffic per strategy.
+fn render_chain(report: &ScenarioReport) -> String {
+    let spec = &report.spec;
+    let point = &report.points[0];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== {}: {}, {}x{}, skew {} ==",
+        spec.title,
+        spec.description,
+        spec.machine.nodes,
+        spec.machine.processors_per_node,
+        point.row,
+    );
+    if let Some(shape) = &report.chain {
+        let _ = writeln!(
+            out,
+            "plan: {} operators, {} pipeline chains, longest chain {} operators",
+            shape.operators, shape.chains, shape.longest_chain
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:>4}  {:>12}  {:>16}  {:>14}",
+        "", "response", "lb data moved", "lb requests"
+    );
+    let cell_report = |cell: &StrategyCell| cell.runs[0].report.clone();
+    for cell in &point.cells {
+        let r = cell_report(cell);
+        let _ = writeln!(
+            out,
+            "{:>4}  {:>12}  {:>13} KB  {:>14}",
+            cell.strategy.label(),
+            format!("{}", r.response_time),
+            r.lb_bytes / 1024,
+            r.lb_requests
+        );
+    }
+    if point.cells.len() >= 2 {
+        let first = cell_report(&point.cells[0]);
+        let second = cell_report(&point.cells[1]);
+        if first.lb_bytes > 0 {
+            let _ = writeln!(
+                out,
+                "\n{} ships {:.1}x the data {} ships (paper: ~3.6x — 9 MB vs 2.5 MB).",
+                point.cells[1].strategy.label(),
+                second.lb_bytes as f64 / first.lb_bytes as f64,
+                point.cells[0].strategy.label(),
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "\n{} needed no global load balancing on this run; {} shipped {} KB.",
+                point.cells[0].strategy.label(),
+                point.cells[1].strategy.label(),
+                second.lb_bytes / 1024
+            );
+        }
+    }
+    push_notes(&mut out, &spec.notes);
+    out
+}
+
+/// The figure banner: separator, title line, workload line, separator.
+fn banner(spec: &ScenarioSpec) -> String {
+    let sep = "=".repeat(64);
+    let workload = match spec.workload {
+        WorkloadSpec::Generated {
+            queries,
+            relations,
+            scale,
+            seed,
+        } => format!(
+            "workload: {queries} queries x {relations} relations, scale {scale}, seed {seed:#x}"
+        ),
+        WorkloadSpec::Chain {
+            relations,
+            build_rows,
+            probe_rows,
+        } => format!(
+            "workload: {relations}-relation pipeline chain, \
+             {build_rows} build rows, {probe_rows} probe rows"
+        ),
+    };
+    format!(
+        "{sep}\n{} — {}\n{workload}\n{sep}\n",
+        spec.title, spec.description
+    )
+}
+
+fn push_notes(out: &mut String, notes: &str) {
+    if !notes.is_empty() {
+        out.push('\n');
+        out.push_str(notes);
+        out.push('\n');
+    }
+}
+
+/// Renders the header and per-point rows of a strategy-column table.
+fn render_rows(
+    out: &mut String,
+    report: &ScenarioReport,
+    style: &TableStyle,
+    headers: &[String],
+    cells: impl Fn(&super::PointResult, &mut String),
+) {
+    let _ = write!(out, "{:>w$}", style.row_header, w = style.row_width);
+    for h in headers {
+        let _ = write!(out, "  {:>w$}", h, w = style.cell_width);
+    }
+    out.push('\n');
+    for point in &report.points {
+        out.push_str(&row_label(&report.spec, style, point.row));
+        cells(point, out);
+        out.push('\n');
+    }
+}
+
+/// The formatted row label of one row value.
+fn row_label(spec: &ScenarioSpec, style: &TableStyle, v: f64) -> String {
+    let w = style.row_width;
+    match style.row_fmt {
+        RowFmt::Int => format!("{:>w$}", v as u64),
+        RowFmt::Fixed1 => format!("{v:>w$.1}"),
+        RowFmt::Percent => format!("{:>pw$.0}%", v * 100.0, pw = w.saturating_sub(1)),
+        // The row value is a processors-per-node count; the node count is
+        // the (fixed) base machine's.
+        RowFmt::NodesByProcs => {
+            format!("{:>w$}", format!("{}x{}", spec.machine.nodes, v as u64))
+        }
+    }
+}
+
+/// A grid column header for one column-axis value.
+fn col_header(cols: &Sweep, v: f64) -> String {
+    match cols.axis {
+        Axis::ProcessorsPerNode => format!("{} procs", v as u64),
+        Axis::Nodes => format!("{} nodes", v as u64),
+        Axis::Skew => format!("skew {v}"),
+        Axis::ErrorRate => format!("{:.0}%", v * 100.0),
+    }
+}
+
+/// Renders a report as a machine-readable JSON document: scenario identity
+/// plus one record per (point × strategy).
+pub fn render_json(report: &ScenarioReport) -> String {
+    let spec = &report.spec;
+    let mut records: Vec<Json> = Vec::new();
+    for point in &report.points {
+        for cell in &point.cells {
+            let mut members = vec![
+                ("row", Json::Float(point.row)),
+                ("col", point.col.map_or(Json::Null, Json::Float)),
+                ("strategy", Json::from(cell.strategy.label())),
+            ];
+            if let dlb_exec::Strategy::Fixed { error_rate } = cell.strategy {
+                members.push(("error_rate", Json::Float(error_rate)));
+            }
+            members.extend([
+                ("value", Json::Float(cell.value)),
+                ("plans", Json::from(cell.summary.plans)),
+                (
+                    "mean_response_secs",
+                    Json::Float(cell.summary.mean_response_secs),
+                ),
+                (
+                    "mean_idle_fraction",
+                    Json::Float(cell.summary.mean_idle_fraction),
+                ),
+                ("total_lb_bytes", Json::from(cell.summary.total_lb_bytes)),
+                ("total_messages", Json::from(cell.summary.total_messages)),
+            ]);
+            records.push(object(members));
+        }
+    }
+    object(vec![
+        ("scenario", Json::from(spec.name.as_str())),
+        ("title", Json::from(spec.title.as_str())),
+        ("machine", serde::machine_to_json(&spec.machine)),
+        ("workload", serde::workload_to_json(&spec.workload)),
+        ("axis", Json::from(serde::axis_name(spec.rows.axis))),
+        (
+            "columns",
+            spec.columns
+                .as_ref()
+                .map_or(Json::Null, |c| Json::from(serde::axis_name(c.axis))),
+        ),
+        ("metric", serde::metric_to_json(spec.metric)),
+        ("reference", serde::reference_to_json(&spec.reference)),
+        ("points", Json::Array(records)),
+    ])
+    .pretty()
+}
+
+/// Renders a report as CSV: one line per (point × strategy).
+pub fn render_csv(report: &ScenarioReport) -> String {
+    let mut out = String::from(
+        "row,col,strategy,value,plans,mean_response_secs,mean_idle_fraction,\
+         total_lb_bytes,total_messages\n",
+    );
+    for point in &report.points {
+        for cell in &point.cells {
+            let col = point.col.map_or(String::new(), |c| c.to_string());
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{}",
+                point.row,
+                col,
+                cell.strategy.label(),
+                cell.value,
+                cell.summary.plans,
+                cell.summary.mean_response_secs,
+                cell.summary.mean_idle_fraction,
+                cell.summary.total_lb_bytes,
+                cell.summary.total_messages
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{run_scenario, ScenarioSpec};
+    use super::*;
+    use dlb_common::json::Json;
+    use dlb_exec::Strategy;
+
+    fn tiny_report() -> ScenarioReport {
+        let spec = ScenarioSpec::builder("tiny")
+            .title("Tiny")
+            .description("render smoke test")
+            .machine(1, 2)
+            .strategies([Strategy::Dynamic, Strategy::Fixed { error_rate: 0.0 }])
+            .rows(super::super::Axis::ProcessorsPerNode, [1.0, 2.0])
+            .reference(super::super::Reference::SamePoint(Strategy::Dynamic))
+            .notes("note line")
+            .build()
+            .unwrap()
+            .with_generated_workload(1, 3, 0.005, 3);
+        run_scenario(&spec).unwrap()
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(fmt_ratio(f64::NAN), "   n/a");
+        assert_eq!(fmt_ratio(1.25), " 1.250");
+    }
+
+    #[test]
+    fn text_rendering_has_banner_table_and_notes() {
+        let text = render_text(&tiny_report());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "=".repeat(64));
+        assert_eq!(lines[1], "Tiny — render smoke test");
+        assert!(lines[2].starts_with("workload: 1 queries x 3 relations"));
+        assert!(lines[4].contains("DP") && lines[4].contains("FP"));
+        assert_eq!(*lines.last().unwrap(), "note line");
+        // Two data rows, DP column pinned at 1.000 (it is the reference).
+        assert!(lines[5].trim_start().starts_with('1'));
+        assert!(lines[5].contains("1.000"));
+    }
+
+    #[test]
+    fn json_rendering_is_parseable_and_complete() {
+        let report = tiny_report();
+        let doc = Json::parse(&render_json(&report)).unwrap();
+        assert_eq!(doc.get("scenario").unwrap().as_str(), Some("tiny"));
+        let points = doc.get("points").unwrap().as_array().unwrap();
+        // 2 rows × 2 strategies.
+        assert_eq!(points.len(), 4);
+        for p in points {
+            assert!(p.get("value").unwrap().as_f64().is_some());
+            assert!(p.get("strategy").unwrap().as_str().is_some());
+        }
+    }
+
+    #[test]
+    fn csv_rendering_has_one_line_per_cell() {
+        let report = tiny_report();
+        let csv = render_csv(&report);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + 4);
+        assert!(lines[0].starts_with("row,col,strategy,value"));
+        assert!(lines[1].starts_with("1,,DP,"));
+    }
+}

@@ -1,0 +1,697 @@
+//! Hand-rolled JSON (de)serialization of [`ScenarioSpec`]s.
+//!
+//! The workspace's `serde` is an offline no-op shim, so the spec file format
+//! is implemented directly over [`dlb_common::json`]. Every field except
+//! `name` is optional on input — a minimal user spec is just a name plus the
+//! parts that differ from the defaults; see `EXPERIMENTS.md` for the full
+//! format and a runnable example. Unknown keys are rejected so that typos
+//! fail loudly instead of silently running the default.
+
+use super::spec::{
+    Axis, MachineSpec, Metric, Presentation, Reference, RowFmt, ScenarioSpec, Sweep, TableStyle,
+    WorkloadSpec,
+};
+use dlb_common::json::{object, Json};
+use dlb_common::{DlbError, Result};
+use dlb_exec::{ContentionModel, ExecOptions, FlowControl, StealPolicy, Strategy};
+
+impl ScenarioSpec {
+    /// Serializes the spec as pretty-printed JSON (the on-disk spec-file
+    /// format).
+    pub fn to_json(&self) -> String {
+        spec_to_json(self).pretty()
+    }
+
+    /// Parses a spec from its JSON text form and validates it.
+    pub fn from_json(text: &str) -> Result<ScenarioSpec> {
+        let doc = Json::parse(text)?;
+        let spec = spec_from_json(&doc)?;
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+pub(super) fn axis_name(axis: Axis) -> &'static str {
+    match axis {
+        Axis::Skew => "skew",
+        Axis::Nodes => "nodes",
+        Axis::ProcessorsPerNode => "processors_per_node",
+        Axis::ErrorRate => "error_rate",
+    }
+}
+
+fn axis_from_name(name: &str) -> Result<Axis> {
+    match name {
+        "skew" => Ok(Axis::Skew),
+        "nodes" => Ok(Axis::Nodes),
+        "processors_per_node" => Ok(Axis::ProcessorsPerNode),
+        "error_rate" => Ok(Axis::ErrorRate),
+        other => Err(parse_err(format!(
+            "unknown axis {other:?} (expected skew | nodes | processors_per_node | error_rate)"
+        ))),
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> DlbError {
+    DlbError::Parse(format!("scenario spec: {}", msg.into()))
+}
+
+pub(super) fn machine_to_json(machine: &MachineSpec) -> Json {
+    object(vec![
+        ("nodes", Json::from(machine.nodes)),
+        (
+            "processors_per_node",
+            Json::from(machine.processors_per_node),
+        ),
+    ])
+}
+
+pub(super) fn workload_to_json(workload: &WorkloadSpec) -> Json {
+    match *workload {
+        WorkloadSpec::Generated {
+            queries,
+            relations,
+            scale,
+            seed,
+        } => object(vec![
+            ("queries", Json::from(queries)),
+            ("relations", Json::from(relations)),
+            ("scale", Json::Float(scale)),
+            ("seed", Json::from(seed)),
+        ]),
+        WorkloadSpec::Chain {
+            relations,
+            build_rows,
+            probe_rows,
+        } => object(vec![(
+            "chain",
+            object(vec![
+                ("relations", Json::from(relations)),
+                ("build_rows", Json::from(build_rows)),
+                ("probe_rows", Json::from(probe_rows)),
+            ]),
+        )]),
+    }
+}
+
+fn strategy_to_json(strategy: &Strategy) -> Json {
+    match strategy {
+        Strategy::Dynamic => Json::from("DP"),
+        Strategy::Synchronous => Json::from("SP"),
+        Strategy::Fixed { error_rate } => object(vec![("FP", Json::Float(*error_rate))]),
+    }
+}
+
+fn strategy_from_json(v: &Json) -> Result<Strategy> {
+    match v {
+        Json::Str(s) => match s.as_str() {
+            "DP" => Ok(Strategy::Dynamic),
+            "SP" => Ok(Strategy::Synchronous),
+            "FP" => Ok(Strategy::Fixed { error_rate: 0.0 }),
+            other => Err(parse_err(format!(
+                "unknown strategy {other:?} (expected DP | FP | SP)"
+            ))),
+        },
+        Json::Object(_) => {
+            expect_keys(v, &["FP"], "strategy")?;
+            let rate = v
+                .get("FP")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| parse_err("strategy objects must be {\"FP\": <error_rate>}"))?;
+            Ok(Strategy::Fixed { error_rate: rate })
+        }
+        _ => Err(parse_err("strategies must be strings or {\"FP\": rate}")),
+    }
+}
+
+pub(super) fn metric_to_json(metric: Metric) -> Json {
+    Json::from(match metric {
+        Metric::Relative => "relative",
+        Metric::Speedup => "speedup",
+    })
+}
+
+pub(super) fn reference_to_json(reference: &Reference) -> Json {
+    match reference {
+        Reference::SamePoint(s) => object(vec![("same_point", strategy_to_json(s))]),
+        Reference::FirstRow => Json::from("first_row"),
+    }
+}
+
+fn sweep_to_json(sweep: &Sweep) -> Json {
+    object(vec![
+        ("axis", Json::from(axis_name(sweep.axis))),
+        (
+            "values",
+            Json::Array(sweep.values.iter().map(|&v| Json::Float(v)).collect()),
+        ),
+    ])
+}
+
+fn sweep_from_json(v: &Json) -> Result<Sweep> {
+    let axis = axis_from_name(
+        v.get("axis")
+            .and_then(Json::as_str)
+            .ok_or_else(|| parse_err("sweeps need an \"axis\" string"))?,
+    )?;
+    let values = v
+        .get("values")
+        .and_then(Json::as_array)
+        .ok_or_else(|| parse_err("sweeps need a \"values\" array"))?
+        .iter()
+        .map(|j| {
+            j.as_f64()
+                .ok_or_else(|| parse_err("sweep values must be numbers"))
+        })
+        .collect::<Result<Vec<f64>>>()?;
+    Ok(Sweep { axis, values })
+}
+
+fn row_fmt_name(fmt: RowFmt) -> &'static str {
+    match fmt {
+        RowFmt::Int => "int",
+        RowFmt::Fixed1 => "fixed1",
+        RowFmt::Percent => "percent",
+        RowFmt::NodesByProcs => "nodes_x_procs",
+    }
+}
+
+fn row_fmt_from_name(name: &str) -> Result<RowFmt> {
+    match name {
+        "int" => Ok(RowFmt::Int),
+        "fixed1" => Ok(RowFmt::Fixed1),
+        "percent" => Ok(RowFmt::Percent),
+        "nodes_x_procs" => Ok(RowFmt::NodesByProcs),
+        other => Err(parse_err(format!(
+            "unknown row format {other:?} (expected int | fixed1 | percent | nodes_x_procs)"
+        ))),
+    }
+}
+
+fn style_to_json(style: &TableStyle) -> Json {
+    object(vec![
+        ("row_header", Json::from(style.row_header.as_str())),
+        ("row_format", Json::from(row_fmt_name(style.row_fmt))),
+        ("row_width", Json::from(style.row_width)),
+        ("cell_width", Json::from(style.cell_width)),
+        (
+            "headers",
+            Json::Array(
+                style
+                    .headers
+                    .iter()
+                    .map(|h| Json::from(h.as_str()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn style_from_json(v: &Json, default_axis: Axis) -> Result<TableStyle> {
+    let defaults = TableStyle::for_axis(default_axis);
+    expect_keys(
+        v,
+        &[
+            "row_header",
+            "row_format",
+            "row_width",
+            "cell_width",
+            "headers",
+        ],
+        "table style",
+    )?;
+    Ok(TableStyle {
+        row_header: v
+            .get("row_header")
+            .and_then(Json::as_str)
+            .map_or(defaults.row_header, str::to_string),
+        row_fmt: match v.get("row_format").and_then(Json::as_str) {
+            Some(name) => row_fmt_from_name(name)?,
+            None => defaults.row_fmt,
+        },
+        row_width: v
+            .get("row_width")
+            .and_then(Json::as_u64)
+            .map_or(defaults.row_width, |w| w as usize),
+        cell_width: v
+            .get("cell_width")
+            .and_then(Json::as_u64)
+            .map_or(defaults.cell_width, |w| w as usize),
+        headers: match v.get("headers").and_then(Json::as_array) {
+            Some(items) => items
+                .iter()
+                .map(|h| {
+                    h.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| parse_err("headers must be strings"))
+                })
+                .collect::<Result<_>>()?,
+            None => defaults.headers,
+        },
+    })
+}
+
+fn presentation_to_json(p: &Presentation) -> Json {
+    match p {
+        Presentation::Table(style) => object(vec![("table", style_to_json(style))]),
+        Presentation::Grid(style) => object(vec![("grid", style_to_json(style))]),
+        Presentation::Balance(style) => object(vec![("balance", style_to_json(style))]),
+        Presentation::Chain => Json::from("chain"),
+    }
+}
+
+fn presentation_from_json(v: &Json, default_axis: Axis) -> Result<Presentation> {
+    match v {
+        Json::Str(s) if s == "chain" => Ok(Presentation::Chain),
+        Json::Object(members) if members.len() == 1 => {
+            let (kind, style) = &members[0];
+            let style = style_from_json(style, default_axis)?;
+            match kind.as_str() {
+                "table" => Ok(Presentation::Table(style)),
+                "grid" => Ok(Presentation::Grid(style)),
+                "balance" => Ok(Presentation::Balance(style)),
+                other => Err(parse_err(format!(
+                    "unknown presentation {other:?} (expected table | grid | balance | \"chain\")"
+                ))),
+            }
+        }
+        _ => Err(parse_err(
+            "presentation must be \"chain\" or {\"table\"|\"grid\"|\"balance\": {..}}",
+        )),
+    }
+}
+
+fn options_to_json(o: &ExecOptions) -> Json {
+    object(vec![
+        ("skew", Json::Float(o.skew)),
+        ("seed", Json::from(o.seed)),
+        (
+            "flow",
+            object(vec![
+                ("queue_capacity", Json::from(o.flow.queue_capacity)),
+                ("trigger_pages", Json::from(o.flow.trigger_pages)),
+            ]),
+        ),
+        (
+            "contention",
+            object(vec![
+                ("threshold", Json::from(o.contention.threshold)),
+                ("degradation", Json::Float(o.contention.degradation)),
+            ]),
+        ),
+        (
+            "steal",
+            object(vec![
+                ("min_tuples", Json::from(o.steal.min_tuples)),
+                ("fraction", Json::Float(o.steal.fraction)),
+            ]),
+        ),
+    ])
+}
+
+fn options_from_json(v: &Json) -> Result<ExecOptions> {
+    expect_keys(
+        v,
+        &["skew", "seed", "flow", "contention", "steal"],
+        "options",
+    )?;
+    let d = ExecOptions::default();
+    let flow = v.get("flow");
+    let contention = v.get("contention");
+    let steal = v.get("steal");
+    if let Some(flow) = flow {
+        expect_keys(flow, &["queue_capacity", "trigger_pages"], "options.flow")?;
+    }
+    if let Some(c) = contention {
+        expect_keys(c, &["threshold", "degradation"], "options.contention")?;
+    }
+    if let Some(s) = steal {
+        expect_keys(s, &["min_tuples", "fraction"], "options.steal")?;
+    }
+    let opt_f64 = |v: Option<&Json>, key: &str, default: f64| -> Result<f64> {
+        match v.and_then(|o| o.get(key)) {
+            None => Ok(default),
+            Some(j) => j
+                .as_f64()
+                .ok_or_else(|| parse_err(format!("{key} must be a number"))),
+        }
+    };
+    let opt_u64 = |v: Option<&Json>, key: &str, default: u64| -> Result<u64> {
+        match v.and_then(|o| o.get(key)) {
+            None => Ok(default),
+            Some(j) => j
+                .as_u64()
+                .ok_or_else(|| parse_err(format!("{key} must be a non-negative integer"))),
+        }
+    };
+    Ok(ExecOptions {
+        skew: opt_f64(Some(v), "skew", d.skew)?,
+        seed: opt_u64(Some(v), "seed", d.seed)?,
+        flow: FlowControl {
+            queue_capacity: opt_u64(flow, "queue_capacity", d.flow.queue_capacity as u64)? as usize,
+            trigger_pages: opt_u64(flow, "trigger_pages", d.flow.trigger_pages)?,
+        },
+        contention: ContentionModel {
+            threshold: opt_u64(contention, "threshold", d.contention.threshold as u64)? as u32,
+            degradation: opt_f64(contention, "degradation", d.contention.degradation)?,
+        },
+        steal: StealPolicy {
+            min_tuples: opt_u64(steal, "min_tuples", d.steal.min_tuples)?,
+            fraction: opt_f64(steal, "fraction", d.steal.fraction)?,
+        },
+    })
+}
+
+fn workload_from_json(v: &Json) -> Result<WorkloadSpec> {
+    if let Some(chain) = v.get("chain") {
+        expect_keys(v, &["chain"], "workload")?;
+        expect_keys(
+            chain,
+            &["relations", "build_rows", "probe_rows"],
+            "workload.chain",
+        )?;
+        return Ok(WorkloadSpec::Chain {
+            relations: chain
+                .get("relations")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| parse_err("chain workloads need integer \"relations\""))?
+                as usize,
+            build_rows: chain
+                .get("build_rows")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| parse_err("chain workloads need integer \"build_rows\""))?,
+            probe_rows: chain
+                .get("probe_rows")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| parse_err("chain workloads need integer \"probe_rows\""))?,
+        });
+    }
+    expect_keys(v, &["queries", "relations", "scale", "seed"], "workload")?;
+    let WorkloadSpec::Generated {
+        queries,
+        relations,
+        scale,
+        seed,
+    } = WorkloadSpec::default()
+    else {
+        unreachable!("default workload is generated");
+    };
+    Ok(WorkloadSpec::Generated {
+        queries: v
+            .get("queries")
+            .map(|j| {
+                j.as_u64()
+                    .ok_or_else(|| parse_err("\"queries\" must be an integer"))
+            })
+            .transpose()?
+            .map_or(queries, |q| q as usize),
+        relations: v
+            .get("relations")
+            .map(|j| {
+                j.as_u64()
+                    .ok_or_else(|| parse_err("\"relations\" must be an integer"))
+            })
+            .transpose()?
+            .map_or(relations, |r| r as usize),
+        scale: v
+            .get("scale")
+            .map(|j| {
+                j.as_f64()
+                    .ok_or_else(|| parse_err("\"scale\" must be a number"))
+            })
+            .transpose()?
+            .unwrap_or(scale),
+        seed: v
+            .get("seed")
+            .map(|j| {
+                j.as_u64()
+                    .ok_or_else(|| parse_err("\"seed\" must be an integer"))
+            })
+            .transpose()?
+            .unwrap_or(seed),
+    })
+}
+
+/// Rejects unknown object keys, so misspelled spec fields fail loudly.
+fn expect_keys(v: &Json, allowed: &[&str], what: &str) -> Result<()> {
+    let Some(members) = v.as_object() else {
+        return Err(parse_err(format!("{what} must be an object")));
+    };
+    for (key, _) in members {
+        if !allowed.contains(&key.as_str()) {
+            return Err(parse_err(format!(
+                "unknown {what} field {key:?} (expected one of {allowed:?})"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn spec_to_json(spec: &ScenarioSpec) -> Json {
+    let mut members = vec![
+        ("name", Json::from(spec.name.as_str())),
+        ("title", Json::from(spec.title.as_str())),
+        ("description", Json::from(spec.description.as_str())),
+        ("machine", machine_to_json(&spec.machine)),
+        ("workload", workload_to_json(&spec.workload)),
+        ("options", options_to_json(&spec.options)),
+        (
+            "strategies",
+            Json::Array(spec.strategies.iter().map(strategy_to_json).collect()),
+        ),
+        ("sweep", sweep_to_json(&spec.rows)),
+    ];
+    if let Some(cols) = &spec.columns {
+        members.push(("columns", sweep_to_json(cols)));
+    }
+    members.extend([
+        ("reference", reference_to_json(&spec.reference)),
+        ("metric", metric_to_json(spec.metric)),
+        ("presentation", presentation_to_json(&spec.presentation)),
+        ("notes", Json::from(spec.notes.as_str())),
+    ]);
+    object(members)
+}
+
+fn spec_from_json(doc: &Json) -> Result<ScenarioSpec> {
+    expect_keys(
+        doc,
+        &[
+            "name",
+            "title",
+            "description",
+            "machine",
+            "workload",
+            "options",
+            "strategies",
+            "sweep",
+            "columns",
+            "reference",
+            "metric",
+            "presentation",
+            "notes",
+        ],
+        "top-level",
+    )?;
+    let name = doc
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| parse_err("specs need a \"name\" string"))?
+        .to_string();
+    let machine = match doc.get("machine") {
+        None => MachineSpec::default(),
+        Some(m) => {
+            expect_keys(m, &["nodes", "processors_per_node"], "machine")?;
+            let d = MachineSpec::default();
+            MachineSpec {
+                nodes: m
+                    .get("nodes")
+                    .map(|j| {
+                        j.as_u64()
+                            .ok_or_else(|| parse_err("\"nodes\" must be an integer"))
+                    })
+                    .transpose()?
+                    .map_or(d.nodes, |n| n as u32),
+                processors_per_node: m
+                    .get("processors_per_node")
+                    .map(|j| {
+                        j.as_u64()
+                            .ok_or_else(|| parse_err("\"processors_per_node\" must be an integer"))
+                    })
+                    .transpose()?
+                    .map_or(d.processors_per_node, |n| n as u32),
+            }
+        }
+    };
+    let workload = match doc.get("workload") {
+        None => WorkloadSpec::default(),
+        Some(w) => workload_from_json(w)?,
+    };
+    let options = match doc.get("options") {
+        None => ExecOptions::default(),
+        Some(o) => options_from_json(o)?,
+    };
+    let strategies = match doc.get("strategies") {
+        None => vec![Strategy::Dynamic, Strategy::Fixed { error_rate: 0.0 }],
+        Some(Json::Array(items)) => items
+            .iter()
+            .map(strategy_from_json)
+            .collect::<Result<Vec<_>>>()?,
+        Some(_) => return Err(parse_err("\"strategies\" must be an array")),
+    };
+    let rows = match doc.get("sweep") {
+        None => Sweep::new(Axis::Skew, [0.0]),
+        Some(s) => sweep_from_json(s)?,
+    };
+    let columns = doc.get("columns").map(sweep_from_json).transpose()?;
+    let reference = match doc.get("reference") {
+        // An empty strategy set is rejected by validate(); error here too so
+        // the default-reference lookup cannot panic first.
+        None => Reference::SamePoint(*strategies.first().ok_or_else(|| {
+            parse_err("specs need at least one strategy to default the reference")
+        })?),
+        Some(Json::Str(s)) if s == "first_row" => Reference::FirstRow,
+        Some(v) => match v.get("same_point") {
+            Some(s) => Reference::SamePoint(strategy_from_json(s)?),
+            None => {
+                return Err(parse_err(
+                    "reference must be \"first_row\" or {\"same_point\": <strategy>}",
+                ))
+            }
+        },
+    };
+    let metric = match doc.get("metric").and_then(Json::as_str) {
+        None => Metric::Relative,
+        Some("relative") => Metric::Relative,
+        Some("speedup") => Metric::Speedup,
+        Some(other) => {
+            return Err(parse_err(format!(
+                "unknown metric {other:?} (expected relative | speedup)"
+            )))
+        }
+    };
+    let presentation = match doc.get("presentation") {
+        None if columns.is_some() => Presentation::Grid(TableStyle::for_axis(rows.axis)),
+        None => Presentation::Table(TableStyle::for_axis(rows.axis)),
+        Some(p) => presentation_from_json(p, rows.axis)?,
+    };
+    Ok(ScenarioSpec {
+        title: doc
+            .get("title")
+            .and_then(Json::as_str)
+            .unwrap_or(&name)
+            .to_string(),
+        name,
+        description: doc
+            .get("description")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string(),
+        machine,
+        options,
+        workload,
+        strategies,
+        rows,
+        columns,
+        reference,
+        metric,
+        presentation,
+        notes: doc
+            .get("notes")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::registry;
+    use super::*;
+
+    #[test]
+    fn every_bundled_spec_round_trips_through_json() {
+        for spec in registry::registry() {
+            let text = spec.to_json();
+            let back = ScenarioSpec::from_json(&text)
+                .unwrap_or_else(|e| panic!("{} failed to reparse: {e}", spec.name));
+            assert_eq!(back, spec, "{} did not round-trip", spec.name);
+        }
+    }
+
+    #[test]
+    fn minimal_spec_fills_in_defaults() {
+        let spec = ScenarioSpec::from_json(r#"{"name": "mini"}"#).unwrap();
+        assert_eq!(spec.name, "mini");
+        assert_eq!(spec.title, "mini");
+        assert_eq!(spec.machine, MachineSpec::default());
+        assert_eq!(spec.workload, WorkloadSpec::default());
+        assert_eq!(spec.strategies.len(), 2);
+        assert_eq!(spec.reference, Reference::SamePoint(Strategy::Dynamic));
+        assert!(matches!(spec.presentation, Presentation::Table(_)));
+    }
+
+    #[test]
+    fn partial_option_groups_inherit_defaults() {
+        let spec = ScenarioSpec::from_json(
+            r#"{"name": "tuned", "options": {"skew": 0.4, "steal": {"min_tuples": 16}}}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.options.skew, 0.4);
+        assert_eq!(spec.options.steal.min_tuples, 16);
+        let d = ExecOptions::default();
+        assert_eq!(spec.options.steal.fraction, d.steal.fraction);
+        assert_eq!(spec.options.flow, d.flow);
+        assert_eq!(spec.options.seed, d.seed);
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        for bad in [
+            r#"{"name": "x", "nodes": 4}"#,
+            r#"{"name": "x", "options": {"skw": 0.1}}"#,
+            r#"{"name": "x", "workload": {"queries": 2, "sale": 0.1}}"#,
+            r#"{"name": "x", "strategies": ["XP"]}"#,
+            r#"{"name": "x", "strategies": [{"FP": 0.1, "error_rate": 0.3}]}"#,
+            r#"{"name": "x", "metric": "fastness"}"#,
+            r#"{"name": "x", "sweep": {"axis": "speed", "values": [1]}}"#,
+        ] {
+            assert!(ScenarioSpec::from_json(bad).is_err(), "accepted {bad}");
+        }
+        assert!(ScenarioSpec::from_json(r#"{"title": "no name"}"#).is_err());
+    }
+
+    #[test]
+    fn empty_strategy_sets_error_instead_of_panicking() {
+        // No explicit reference: the default would look up strategies[0].
+        let err = ScenarioSpec::from_json(r#"{"name": "x", "strategies": []}"#);
+        assert!(err.is_err());
+        // With an explicit reference the spec parses but validation rejects.
+        let err =
+            ScenarioSpec::from_json(r#"{"name": "x", "strategies": [], "reference": "first_row"}"#);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn parsed_specs_are_validated() {
+        // Structurally well-formed JSON, semantically invalid: SP on a
+        // multi-node machine.
+        let bad = r#"{"name": "x", "machine": {"nodes": 4}, "strategies": ["SP"]}"#;
+        assert!(ScenarioSpec::from_json(bad).is_err());
+    }
+
+    #[test]
+    fn fp_strategies_carry_their_error_rate() {
+        let spec =
+            ScenarioSpec::from_json(r#"{"name": "x", "strategies": ["DP", {"FP": 0.25}, "FP"]}"#)
+                .unwrap();
+        assert_eq!(
+            spec.strategies,
+            vec![
+                Strategy::Dynamic,
+                Strategy::Fixed { error_rate: 0.25 },
+                Strategy::Fixed { error_rate: 0.0 }
+            ]
+        );
+    }
+}

@@ -1,0 +1,610 @@
+//! The typed scenario description: what to run, over which sweep axes,
+//! against which reference, and how to present it.
+
+use dlb_common::{DlbError, Result};
+use dlb_exec::{ExecOptions, Strategy};
+
+/// A sweepable dimension of the evaluation grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Redistribution skew (Zipf theta), applied to the execution options.
+    Skew,
+    /// Number of SM-nodes of the machine.
+    Nodes,
+    /// Processors per SM-node.
+    ProcessorsPerNode,
+    /// FP cost-model error rate, applied to every `Strategy::Fixed` of the
+    /// strategy set.
+    ErrorRate,
+}
+
+impl Axis {
+    /// Short human label, used as the default row header.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Axis::Skew => "skew",
+            Axis::Nodes => "nodes",
+            Axis::ProcessorsPerNode => "procs",
+            Axis::ErrorRate => "error",
+        }
+    }
+
+    /// The default row-label formatting for values of this axis.
+    pub fn default_row_fmt(&self) -> RowFmt {
+        match self {
+            Axis::Skew => RowFmt::Fixed1,
+            Axis::Nodes | Axis::ProcessorsPerNode => RowFmt::Int,
+            Axis::ErrorRate => RowFmt::Percent,
+        }
+    }
+}
+
+/// One sweep: an axis and the values it takes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    /// The swept dimension.
+    pub axis: Axis,
+    /// The values, in presentation order. Integer axes (nodes, processors)
+    /// take integral values.
+    pub values: Vec<f64>,
+}
+
+impl Sweep {
+    /// A sweep over `axis` with the given values.
+    pub fn new(axis: Axis, values: impl IntoIterator<Item = f64>) -> Self {
+        Self {
+            axis,
+            values: values.into_iter().collect(),
+        }
+    }
+}
+
+/// The base machine shape of a scenario (before any axis is applied).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineSpec {
+    /// Number of SM-nodes.
+    pub nodes: u32,
+    /// Processors per SM-node.
+    pub processors_per_node: u32,
+}
+
+impl Default for MachineSpec {
+    fn default() -> Self {
+        // The paper's base hierarchical configuration.
+        Self {
+            nodes: 4,
+            processors_per_node: 8,
+        }
+    }
+}
+
+/// The workload a scenario executes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadSpec {
+    /// A generated multi-join workload (§5.1.2): `queries` random queries
+    /// over `relations` relations each, compiled to their best bushy plans.
+    Generated {
+        /// Number of generated queries.
+        queries: usize,
+        /// Relations per query.
+        relations: usize,
+        /// Cardinality scale factor (1.0 = paper scale).
+        scale: f64,
+        /// Workload seed.
+        seed: u64,
+    },
+    /// A single maximum pipeline chain (§5.3): a right-deep join tree whose
+    /// probe relation streams through `relations - 1` consecutive probes.
+    Chain {
+        /// Number of base relations (chain length is `relations` operators:
+        /// the probe scan plus `relations - 1` probes).
+        relations: usize,
+        /// Cardinality of every build relation.
+        build_rows: u64,
+        /// Cardinality of the probing relation.
+        probe_rows: u64,
+    },
+}
+
+impl Default for WorkloadSpec {
+    /// The evaluation harness's reduced default workload (a full run
+    /// completes in seconds; `--paper` / environment overrides approach the
+    /// paper's scale).
+    fn default() -> Self {
+        WorkloadSpec::Generated {
+            queries: 6,
+            relations: 10,
+            scale: 0.1,
+            seed: 0xD1B_1996,
+        }
+    }
+}
+
+/// What each measured run is compared against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Reference {
+    /// The run of this strategy at the same sweep point (e.g. SP in Figure
+    /// 6, DP in Figure 10).
+    SamePoint(Strategy),
+    /// Each strategy's own run at the first row value (speed-up baselines,
+    /// skew-degradation baselines).
+    FirstRow,
+}
+
+/// The per-point metric derived from the run and its reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Mean of per-plan response-time ratios run/reference (1.0 = equal,
+    /// larger = slower) — the paper's relative-performance metric.
+    Relative,
+    /// Mean per-plan speed-up reference/run (larger = faster).
+    Speedup,
+}
+
+/// How a row label is rendered in text output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowFmt {
+    /// The value as an integer (processor or node counts).
+    Int,
+    /// One decimal (skew factors).
+    Fixed1,
+    /// A percentage without decimals, e.g. `20%` (error rates).
+    Percent,
+    /// `<nodes>x<value>` machine-shape labels, e.g. `4x12`.
+    NodesByProcs,
+}
+
+/// Layout constants of a rendered table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStyle {
+    /// Header of the row-label column.
+    pub row_header: String,
+    /// Row-label formatting.
+    pub row_fmt: RowFmt,
+    /// Width of the row-label column.
+    pub row_width: usize,
+    /// Width of every value column.
+    pub cell_width: usize,
+    /// Value-column headers; empty means "use the strategy labels".
+    pub headers: Vec<String>,
+}
+
+impl TableStyle {
+    /// The default style for a row sweep over `axis`.
+    pub fn for_axis(axis: Axis) -> Self {
+        Self {
+            row_header: axis.label().to_string(),
+            row_fmt: axis.default_row_fmt(),
+            row_width: 8,
+            cell_width: 8,
+            headers: Vec::new(),
+        }
+    }
+}
+
+/// How a scenario's results are rendered as text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Presentation {
+    /// One row per row-axis value, one value column per strategy.
+    Table(TableStyle),
+    /// One row per row-axis value, one value column per *column-axis* value
+    /// (single-strategy grids such as Figure 7).
+    Grid(TableStyle),
+    /// Strategy ratio columns followed by per-strategy load-balancing
+    /// traffic and idle-time columns (Figure 10).
+    Balance(TableStyle),
+    /// The §5.3 pipeline-chain report: plan shape, absolute response times
+    /// and load-balancing traffic of each strategy.
+    Chain,
+}
+
+/// A complete, serializable description of one evaluation scenario.
+///
+/// A spec owns everything a figure needs: machine shape, workload, execution
+/// options, the strategy set, up to two sweep axes, the reference and metric
+/// of each point, and its presentation. Bundled specs for every figure of the
+/// paper live in [`crate::scenario::registry`]; arbitrary specs come from
+/// [`ScenarioSpec::builder`] or from JSON files via
+/// [`ScenarioSpec::from_json`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Registry / lookup name (`fig6`, `chain53`, ...).
+    pub name: String,
+    /// Display title (`Figure 6`).
+    pub title: String,
+    /// One-line description, shown in banners and listings.
+    pub description: String,
+    /// Base machine shape; sweep axes may override parts of it per point.
+    pub machine: MachineSpec,
+    /// Base execution options; the skew axis overrides `options.skew`.
+    pub options: ExecOptions,
+    /// The workload to execute.
+    pub workload: WorkloadSpec,
+    /// The strategies to measure, in presentation order.
+    pub strategies: Vec<Strategy>,
+    /// The row sweep.
+    pub rows: Sweep,
+    /// The optional column sweep (grids).
+    pub columns: Option<Sweep>,
+    /// What each run is measured against.
+    pub reference: Reference,
+    /// The per-point metric.
+    pub metric: Metric,
+    /// Text-rendering instructions.
+    pub presentation: Presentation,
+    /// Free-form note printed under the table (the paper's expectation).
+    pub notes: String,
+}
+
+impl ScenarioSpec {
+    /// Starts building a scenario with the given name.
+    pub fn builder(name: impl Into<String>) -> ScenarioSpecBuilder {
+        ScenarioSpecBuilder::new(name)
+    }
+
+    /// Returns a copy with the generated-workload parameters replaced
+    /// (chain workloads are returned unchanged). This is how the harness
+    /// applies `--paper` / `HIERDB_*` environment overrides to bundled
+    /// specs.
+    pub fn with_generated_workload(
+        mut self,
+        queries: usize,
+        relations: usize,
+        scale: f64,
+        seed: u64,
+    ) -> Self {
+        if let WorkloadSpec::Generated { .. } = self.workload {
+            self.workload = WorkloadSpec::Generated {
+                queries,
+                relations,
+                scale,
+                seed,
+            };
+        }
+        self
+    }
+
+    /// Checks the structural invariants of the spec.
+    pub fn validate(&self) -> Result<()> {
+        let fail = |msg: String| {
+            Err(DlbError::InvalidConfig(format!(
+                "scenario {}: {msg}",
+                self.name
+            )))
+        };
+        if self.name.is_empty() {
+            return fail("empty name".to_string());
+        }
+        if self.strategies.is_empty() {
+            return fail("no strategies".to_string());
+        }
+        if self.machine.nodes == 0 || self.machine.processors_per_node == 0 {
+            return fail("machine must have at least 1x1 processors".to_string());
+        }
+        for sweep in std::iter::once(&self.rows).chain(self.columns.as_ref()) {
+            if sweep.values.is_empty() {
+                return fail("empty sweep".to_string());
+            }
+            for &v in &sweep.values {
+                if !v.is_finite() {
+                    return fail(format!("non-finite {} value {v}", sweep.axis.label()));
+                }
+                if matches!(sweep.axis, Axis::Nodes | Axis::ProcessorsPerNode)
+                    && (v < 1.0 || v.fract() != 0.0 || v > u32::MAX as f64)
+                {
+                    return fail(format!(
+                        "{} values must be positive integers, got {v}",
+                        sweep.axis.label()
+                    ));
+                }
+            }
+        }
+        if let Some(cols) = &self.columns {
+            if cols.axis == self.rows.axis {
+                return fail("rows and columns sweep the same axis".to_string());
+            }
+        }
+        // SP only exists on single-node machines: reject specs where any
+        // point could be multi-node while SP is measured or referenced.
+        let uses_sp = self
+            .strategies
+            .iter()
+            .any(|s| matches!(s, Strategy::Synchronous))
+            || matches!(self.reference, Reference::SamePoint(Strategy::Synchronous));
+        if uses_sp {
+            let multi_node = if let Some(sweep) = self.sweep_of(Axis::Nodes) {
+                sweep.values.iter().any(|&v| v != 1.0)
+            } else {
+                self.machine.nodes != 1
+            };
+            if multi_node {
+                return fail("SP (Synchronous) is only valid on single-node machines".to_string());
+            }
+        }
+        match (&self.presentation, &self.workload) {
+            (Presentation::Chain, WorkloadSpec::Generated { .. }) => {
+                return fail("chain presentation requires a chain workload".to_string());
+            }
+            (Presentation::Chain, _) if self.columns.is_some() || self.rows.values.len() != 1 => {
+                return fail("chain presentation requires a single sweep point".to_string());
+            }
+            (Presentation::Grid(_), _) if self.columns.is_none() => {
+                return fail("grid presentation requires a column sweep".to_string());
+            }
+            // The grid's value columns are the column-axis values, so only
+            // one strategy can be shown; reject instead of silently dropping
+            // the rest at render time.
+            (Presentation::Grid(_), _) if self.strategies.len() != 1 => {
+                return fail(format!(
+                    "grid presentations show exactly one strategy, got {}",
+                    self.strategies.len()
+                ));
+            }
+            (Presentation::Table(_) | Presentation::Balance(_), _) if self.columns.is_some() => {
+                return fail("column sweeps require the grid presentation".to_string());
+            }
+            _ => {}
+        }
+        if let WorkloadSpec::Chain { relations, .. } = self.workload {
+            if relations < 2 {
+                return fail("chain workloads need at least 2 relations".to_string());
+            }
+        }
+        if let Presentation::Table(style)
+        | Presentation::Grid(style)
+        | Presentation::Balance(style) = &self.presentation
+        {
+            if !style.headers.is_empty() && style.headers.len() != self.strategies.len() {
+                return fail(format!(
+                    "{} column headers for {} strategies",
+                    style.headers.len(),
+                    self.strategies.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The sweep (rows or columns) over `axis`, if any.
+    pub fn sweep_of(&self, axis: Axis) -> Option<&Sweep> {
+        if self.rows.axis == axis {
+            Some(&self.rows)
+        } else {
+            self.columns.as_ref().filter(|c| c.axis == axis)
+        }
+    }
+}
+
+/// Builder for [`ScenarioSpec`]; `build` validates the result.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpecBuilder {
+    spec: ScenarioSpec,
+    presentation_set: bool,
+}
+
+impl ScenarioSpecBuilder {
+    fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        Self {
+            spec: ScenarioSpec {
+                title: name.clone(),
+                name,
+                description: String::new(),
+                machine: MachineSpec::default(),
+                options: ExecOptions::default(),
+                workload: WorkloadSpec::default(),
+                strategies: vec![Strategy::Dynamic, Strategy::Fixed { error_rate: 0.0 }],
+                rows: Sweep::new(Axis::Skew, [0.0]),
+                columns: None,
+                reference: Reference::SamePoint(Strategy::Dynamic),
+                metric: Metric::Relative,
+                presentation: Presentation::Table(TableStyle::for_axis(Axis::Skew)),
+                notes: String::new(),
+            },
+            presentation_set: false,
+        }
+    }
+
+    /// Sets the display title.
+    pub fn title(mut self, title: impl Into<String>) -> Self {
+        self.spec.title = title.into();
+        self
+    }
+
+    /// Sets the one-line description.
+    pub fn description(mut self, description: impl Into<String>) -> Self {
+        self.spec.description = description.into();
+        self
+    }
+
+    /// Sets the base machine shape.
+    pub fn machine(mut self, nodes: u32, processors_per_node: u32) -> Self {
+        self.spec.machine = MachineSpec {
+            nodes,
+            processors_per_node,
+        };
+        self
+    }
+
+    /// Sets the base execution options.
+    pub fn options(mut self, options: ExecOptions) -> Self {
+        self.spec.options = options;
+        self
+    }
+
+    /// Sets the workload.
+    pub fn workload(mut self, workload: WorkloadSpec) -> Self {
+        self.spec.workload = workload;
+        self
+    }
+
+    /// Sets the strategy set, in presentation order.
+    pub fn strategies(mut self, strategies: impl IntoIterator<Item = Strategy>) -> Self {
+        self.spec.strategies = strategies.into_iter().collect();
+        self
+    }
+
+    /// Sets the row sweep.
+    pub fn rows(mut self, axis: Axis, values: impl IntoIterator<Item = f64>) -> Self {
+        self.spec.rows = Sweep::new(axis, values);
+        self
+    }
+
+    /// Sets the column sweep (grids).
+    pub fn columns(mut self, axis: Axis, values: impl IntoIterator<Item = f64>) -> Self {
+        self.spec.columns = Some(Sweep::new(axis, values));
+        self
+    }
+
+    /// Sets the reference.
+    pub fn reference(mut self, reference: Reference) -> Self {
+        self.spec.reference = reference;
+        self
+    }
+
+    /// Sets the metric.
+    pub fn metric(mut self, metric: Metric) -> Self {
+        self.spec.metric = metric;
+        self
+    }
+
+    /// Sets the presentation.
+    pub fn presentation(mut self, presentation: Presentation) -> Self {
+        self.spec.presentation = presentation;
+        self.presentation_set = true;
+        self
+    }
+
+    /// Sets the paper-expectation note.
+    pub fn notes(mut self, notes: impl Into<String>) -> Self {
+        self.spec.notes = notes.into();
+        self
+    }
+
+    /// Validates and returns the spec. When no presentation was set
+    /// explicitly, a default table styled for the row axis is derived.
+    pub fn build(mut self) -> Result<ScenarioSpec> {
+        if !self.presentation_set {
+            self.spec.presentation = if self.spec.columns.is_some() {
+                Presentation::Grid(TableStyle::for_axis(self.spec.rows.axis))
+            } else {
+                Presentation::Table(TableStyle::for_axis(self.spec.rows.axis))
+            };
+        }
+        self.spec.validate()?;
+        Ok(self.spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_validate() {
+        let spec = ScenarioSpec::builder("smoke").build().unwrap();
+        assert_eq!(spec.name, "smoke");
+        assert_eq!(spec.title, "smoke");
+        assert_eq!(spec.machine, MachineSpec::default());
+        assert!(matches!(spec.presentation, Presentation::Table(_)));
+    }
+
+    #[test]
+    fn builder_derives_grid_presentation_for_column_sweeps() {
+        let spec = ScenarioSpec::builder("grid")
+            .machine(1, 8)
+            .strategies([Strategy::Fixed { error_rate: 0.0 }])
+            .rows(Axis::ErrorRate, [0.0, 0.1])
+            .columns(Axis::ProcessorsPerNode, [8.0, 16.0])
+            .build()
+            .unwrap();
+        assert!(matches!(spec.presentation, Presentation::Grid(_)));
+    }
+
+    #[test]
+    fn validation_rejects_structural_nonsense() {
+        // Empty strategy set.
+        assert!(ScenarioSpec::builder("x").strategies([]).build().is_err());
+        // Empty sweep.
+        assert!(ScenarioSpec::builder("x")
+            .rows(Axis::Skew, [])
+            .build()
+            .is_err());
+        // Fractional node counts.
+        assert!(ScenarioSpec::builder("x")
+            .rows(Axis::Nodes, [1.5])
+            .build()
+            .is_err());
+        // SP on a multi-node machine.
+        assert!(ScenarioSpec::builder("x")
+            .machine(4, 8)
+            .strategies([Strategy::Synchronous])
+            .build()
+            .is_err());
+        // SP reached through a nodes sweep.
+        assert!(ScenarioSpec::builder("x")
+            .machine(1, 8)
+            .strategies([Strategy::Synchronous])
+            .rows(Axis::Nodes, [1.0, 2.0])
+            .build()
+            .is_err());
+        // Rows and columns on the same axis.
+        assert!(ScenarioSpec::builder("x")
+            .rows(Axis::Skew, [0.0])
+            .columns(Axis::Skew, [0.1])
+            .build()
+            .is_err());
+        // Chain presentation without a chain workload.
+        assert!(ScenarioSpec::builder("x")
+            .presentation(Presentation::Chain)
+            .build()
+            .is_err());
+        // Grids can only render one strategy; more must be rejected rather
+        // than silently dropped.
+        assert!(ScenarioSpec::builder("x")
+            .machine(1, 8)
+            .strategies([Strategy::Dynamic, Strategy::Fixed { error_rate: 0.0 }])
+            .rows(Axis::ErrorRate, [0.0, 0.1])
+            .columns(Axis::ProcessorsPerNode, [8.0, 16.0])
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn sp_is_accepted_on_single_node_sweeps() {
+        let spec = ScenarioSpec::builder("sm")
+            .machine(1, 16)
+            .strategies([Strategy::Synchronous, Strategy::Dynamic])
+            .reference(Reference::SamePoint(Strategy::Synchronous))
+            .rows(Axis::ProcessorsPerNode, [16.0, 32.0])
+            .build();
+        assert!(spec.is_ok());
+    }
+
+    #[test]
+    fn workload_override_leaves_chains_alone() {
+        let generated = ScenarioSpec::builder("g").build().unwrap();
+        let overridden = generated.with_generated_workload(2, 5, 0.01, 7);
+        assert_eq!(
+            overridden.workload,
+            WorkloadSpec::Generated {
+                queries: 2,
+                relations: 5,
+                scale: 0.01,
+                seed: 7
+            }
+        );
+        let chain = ScenarioSpec::builder("c")
+            .workload(WorkloadSpec::Chain {
+                relations: 5,
+                build_rows: 100,
+                probe_rows: 300,
+            })
+            .presentation(Presentation::Chain)
+            .rows(Axis::Skew, [0.8])
+            .build()
+            .unwrap();
+        let untouched = chain.clone().with_generated_workload(2, 5, 0.01, 7);
+        assert_eq!(untouched, chain);
+    }
+}

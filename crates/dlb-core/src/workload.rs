@@ -7,6 +7,81 @@ use dlb_query::generator::{Query, WorkloadGenerator, WorkloadParams};
 use dlb_query::optimizer::{Optimizer, OptimizerParams};
 use dlb_query::optree::OperatorTree;
 use dlb_query::plan::{ChainScheduling, OperatorHomes, ParallelPlan};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identity of a compiled workload, usable as (part of) a cache key.
+///
+/// Two workloads compare equal only when they are guaranteed to contain the
+/// same plans: generated workloads are a pure function of their generation
+/// inputs (workload parameters, optimizer parameters, chain scheduling, and
+/// the parts of the system configuration the compiler reads — node count for
+/// operator homes, cost/disk/CPU parameters for the cost model), so their
+/// fingerprint is those inputs, bit-exact. Hand-assembled workloads
+/// ([`CompiledWorkload::from_plans`]) get a process-unique tag instead: they
+/// never alias each other, though clones (and [`std::sync::Arc`] shares)
+/// still compare equal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WorkloadFingerprint(Box<[u64]>);
+
+static ADHOC_WORKLOADS: AtomicU64 = AtomicU64::new(0);
+
+impl WorkloadFingerprint {
+    fn generated(
+        params: &WorkloadParams,
+        optimizer: &OptimizerParams,
+        scheduling: ChainScheduling,
+        system: &HierarchicalSystem,
+    ) -> Self {
+        let c = system.config();
+        let mut bits: Vec<u64> = vec![
+            1, // discriminant: generated
+            params.queries as u64,
+            params.relations_per_query as u64,
+            params.scale.to_bits(),
+            params.skew.to_bits(),
+            params.seed,
+            optimizer.candidates as u64,
+            optimizer.keep_best as u64,
+            optimizer.seed,
+            match scheduling {
+                ChainScheduling::OneAtATime => 0,
+                ChainScheduling::Concurrent => 1,
+            },
+            // The compiler places homes on every node and costs plans with
+            // the cost model, so those inputs are part of the identity.
+            c.machine.nodes as u64,
+            c.cpu.mips.to_bits(),
+            c.disk.disks_per_processor as u64,
+            c.disk.latency.as_nanos(),
+            c.disk.seek_time.as_nanos(),
+            c.disk.transfer_rate_bytes_per_sec.to_bits(),
+            c.disk.async_io_init_instr,
+            c.disk.io_cache_pages as u64,
+        ];
+        bits.extend(cost_bits(&c.costs));
+        Self(bits.into_boxed_slice())
+    }
+
+    fn adhoc() -> Self {
+        let tag = ADHOC_WORKLOADS.fetch_add(1, Ordering::Relaxed);
+        Self(Box::new([0, tag]))
+    }
+}
+
+fn cost_bits(c: &dlb_common::config::CostConstants) -> [u64; 10] {
+    [
+        c.tuple_bytes,
+        c.scan_tuple_instr,
+        c.build_tuple_instr,
+        c.probe_tuple_instr,
+        c.result_tuple_instr,
+        c.queue_access_instr,
+        c.interference_instr,
+        c.operator_startup_instr,
+        c.control_message_instr,
+        c.tuples_per_batch,
+    ]
+}
 
 /// A generated workload compiled into parallel execution plans for a given
 /// system (the paper's "40 parallel execution plans": 20 queries × the two
@@ -15,6 +90,7 @@ use dlb_query::plan::{ChainScheduling, OperatorHomes, ParallelPlan};
 pub struct CompiledWorkload {
     queries: Vec<Query>,
     plans: Vec<(usize, ParallelPlan)>,
+    fingerprint: WorkloadFingerprint,
 }
 
 impl CompiledWorkload {
@@ -36,6 +112,8 @@ impl CompiledWorkload {
         optimizer_params: OptimizerParams,
         chain_scheduling: ChainScheduling,
     ) -> Result<Self> {
+        let fingerprint =
+            WorkloadFingerprint::generated(&params, &optimizer_params, chain_scheduling, system);
         let queries = WorkloadGenerator::new(params).generate();
         let cost = CostModel::new(
             system.config().costs,
@@ -52,7 +130,28 @@ impl CompiledWorkload {
                 plans.push((qi, plan));
             }
         }
-        Ok(Self { queries, plans })
+        Ok(Self {
+            queries,
+            plans,
+            fingerprint,
+        })
+    }
+
+    /// Wraps hand-assembled plans (e.g. the §5.3 pipeline-chain plan) as a
+    /// workload. Plans are paired with query index 0; `queries` is empty.
+    /// The workload receives a process-unique [`WorkloadFingerprint`], so
+    /// cached runs of distinct ad-hoc workloads can never be confused.
+    pub fn from_plans(plans: Vec<ParallelPlan>) -> Self {
+        Self {
+            queries: Vec::new(),
+            plans: plans.into_iter().map(|p| (0, p)).collect(),
+            fingerprint: WorkloadFingerprint::adhoc(),
+        }
+    }
+
+    /// The cache identity of this workload.
+    pub fn fingerprint(&self) -> &WorkloadFingerprint {
+        &self.fingerprint
     }
 
     /// The generated queries.
@@ -106,6 +205,35 @@ mod tests {
         for (qi, plan) in w.plans() {
             assert_eq!(plan.query, w.queries()[*qi].id);
         }
+    }
+
+    #[test]
+    fn fingerprints_identify_generation_inputs() {
+        let system = HierarchicalSystem::hierarchical(2, 2);
+        let params = WorkloadParams::tiny(2, 4, 5);
+        let a = CompiledWorkload::generate(params, &system).unwrap();
+        let b = CompiledWorkload::generate(params, &system).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Any generation input difference shows in the fingerprint: seed...
+        let c = CompiledWorkload::generate(WorkloadParams::tiny(2, 4, 6), &system).unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // ...and the node count the homes were compiled for.
+        let other = HierarchicalSystem::hierarchical(3, 2);
+        let d = CompiledWorkload::generate(params, &other).unwrap();
+        assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn adhoc_workloads_never_alias() {
+        let system = HierarchicalSystem::shared_memory(2);
+        let w = CompiledWorkload::generate(WorkloadParams::tiny(1, 3, 9), &system).unwrap();
+        let plan = w.iter_plans().next().unwrap().clone();
+        let a = CompiledWorkload::from_plans(vec![plan.clone()]);
+        let b = CompiledWorkload::from_plans(vec![plan]);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+        assert_eq!(a.len(), 1);
+        assert!(a.queries().is_empty());
     }
 
     #[test]

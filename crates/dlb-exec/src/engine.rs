@@ -329,7 +329,7 @@ impl<'a> QueueEngine<'a> {
             for node in &self.ops[op_idx].home {
                 per_node[node.index()] = Some(OpNodeRuntime {
                     queues: (0..self.threads_per_node)
-                        .map(|_| ActivationQueue::new(self.options.queue_capacity))
+                        .map(|_| ActivationQueue::new(self.options.flow.queue_capacity))
                         .collect(),
                     parked: VecDeque::new(),
                     processing: 0,
@@ -422,7 +422,7 @@ impl<'a> QueueEngine<'a> {
                     self.options.skew,
                     op_idx + node.index(),
                 );
-                let tuples_per_trigger = self.options.trigger_pages * tuples_per_page;
+                let tuples_per_trigger = self.options.flow.trigger_pages * tuples_per_page;
                 let mut seeded = 0u64;
                 while node_tuples > 0 {
                     let chunk = node_tuples.min(tuples_per_trigger);
@@ -1120,10 +1120,10 @@ impl<'a> QueueEngine<'a> {
                 continue;
             };
             let queued = opn.queued_tuples();
-            if queued < self.options.min_steal_tuples {
+            if queued < self.options.steal.min_tuples {
                 continue;
             }
-            let steal_tuples = ((queued as f64) * self.options.steal_fraction) as u64;
+            let steal_tuples = ((queued as f64) * self.options.steal.fraction) as u64;
             if steal_tuples == 0 {
                 continue;
             }
@@ -1246,7 +1246,7 @@ impl<'a> QueueEngine<'a> {
         let mut hash_bytes = 0u64;
         if let Some(opn) = self.op_nodes[op][node].as_mut() {
             let total: usize = opn.queued_activations();
-            let take = ((total as f64) * self.options.steal_fraction).ceil() as usize;
+            let take = ((total as f64) * self.options.steal.fraction).ceil() as usize;
             // The shipped batch size is known up front; size the transfer
             // buffer once instead of growing it pop by pop.
             shipped.reserve_exact(take.min(total));

@@ -35,6 +35,8 @@ pub mod sp;
 
 pub use activation::{Activation, ActivationKind, ActivationQueue, DrainOutcome};
 pub use engine::execute;
-pub use options::{ExecOptions, Strategy};
+pub use options::{
+    ContentionModel, ExecOptions, ExecOptionsBuilder, FlowControl, StealPolicy, Strategy,
+};
 pub use report::{ExecutionReport, StrategyKind};
 pub use router::OutputRouter;

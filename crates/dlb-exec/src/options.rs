@@ -1,4 +1,12 @@
 //! Execution strategies and run-time options.
+//!
+//! [`ExecOptions`] is composed of typed option groups — [`FlowControl`],
+//! [`ContentionModel`] and [`StealPolicy`] — instead of a flat bag of nine
+//! fields: each group travels as a unit (a scenario spec can override the
+//! steal tuning without naming every field), and the groups are the units the
+//! run cache fingerprints (see `dlb_core::RunKey`). Construct options with
+//! [`ExecOptions::builder`]; the flat convenience setters on the builder
+//! cover the common single-knob experiments.
 
 use serde::{Deserialize, Serialize};
 
@@ -36,52 +44,109 @@ impl Strategy {
     }
 }
 
-/// Tunable options of an execution run.
+/// Flow control of the activation pipeline (§3.1): how much work is buffered
+/// between producers and consumers, and how coarse trigger activations are.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct ExecOptions {
-    /// Redistribution-skew factor (Zipf theta in `[0, 1]`) applied to the
-    /// production of trigger activations and of pipelined tuples (§5.2.2).
-    pub skew: f64,
+pub struct FlowControl {
     /// Capacity of each activation queue, in activations (0 = unbounded).
     /// Bounded queues provide the flow control of §3.1.
     pub queue_capacity: usize,
     /// Number of pages covered by one trigger activation (the paper reduces
     /// trigger granularity from a bucket to a few pages).
     pub trigger_pages: u64,
-    /// Seed for the strategy-internal randomness (FP cost distortion).
-    pub seed: u64,
-    /// Number of processors per node beyond which shared-memory interference
-    /// starts to degrade per-instruction throughput (models the KSR1 memory
-    /// hierarchy effect visible beyond 32 processors in Figure 8).
-    pub smp_contention_threshold: u32,
-    /// Relative throughput degradation per `threshold` extra processors
-    /// beyond the threshold.
-    pub smp_contention_factor: f64,
-    /// Minimum number of tuples a remote queue must hold to be a candidate
-    /// for global load balancing (condition (ii) of §3.2: enough work to
-    /// amortize the acquisition overhead).
-    pub min_steal_tuples: u64,
-    /// Fraction of a provider queue acquired per steal (condition (iii):
-    /// not too much work, to avoid overloading the requester).
-    pub steal_fraction: f64,
 }
 
-impl Default for ExecOptions {
+impl Default for FlowControl {
     fn default() -> Self {
         Self {
-            skew: 0.0,
             queue_capacity: 64,
             trigger_pages: 8,
-            seed: 0xE8EC,
-            smp_contention_threshold: 32,
-            smp_contention_factor: 0.15,
-            min_steal_tuples: 256,
-            steal_fraction: 0.5,
         }
     }
 }
 
+/// Shared-memory interference model: beyond a processor-count threshold,
+/// per-instruction throughput degrades linearly (the KSR1 memory-hierarchy
+/// effect visible beyond 32 processors in Figure 8).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContentionModel {
+    /// Number of processors per node beyond which shared-memory interference
+    /// starts to degrade per-instruction throughput (0 disables the model).
+    pub threshold: u32,
+    /// Relative throughput degradation per `threshold` extra processors
+    /// beyond the threshold.
+    pub degradation: f64,
+}
+
+impl Default for ContentionModel {
+    fn default() -> Self {
+        Self {
+            threshold: 32,
+            degradation: 0.15,
+        }
+    }
+}
+
+impl ContentionModel {
+    /// CPU slowdown factor for a node with `processors` processors: 1.0 below
+    /// the contention threshold, growing linearly above it.
+    pub fn factor_for(&self, processors: u32) -> f64 {
+        if processors <= self.threshold || self.threshold == 0 {
+            1.0
+        } else {
+            1.0 + self.degradation * ((processors - self.threshold) as f64 / self.threshold as f64)
+        }
+    }
+}
+
+/// Tuning of the global load-balancing acquisition (§3.2): when a starving
+/// node steals work, how much a provider must hold and how much is taken.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StealPolicy {
+    /// Minimum number of tuples a remote queue must hold to be a candidate
+    /// for global load balancing (condition (ii) of §3.2: enough work to
+    /// amortize the acquisition overhead).
+    pub min_tuples: u64,
+    /// Fraction of a provider queue acquired per steal (condition (iii):
+    /// not too much work, to avoid overloading the requester).
+    pub fraction: f64,
+}
+
+impl Default for StealPolicy {
+    fn default() -> Self {
+        Self {
+            min_tuples: 256,
+            fraction: 0.5,
+        }
+    }
+}
+
+/// Tunable options of an execution run: the per-run scalars (skew, seed) plus
+/// the composable option groups.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecOptions {
+    /// Redistribution-skew factor (Zipf theta in `[0, 1]`) applied to the
+    /// production of trigger activations and of pipelined tuples (§5.2.2).
+    pub skew: f64,
+    /// Seed for the strategy-internal randomness (FP cost distortion).
+    pub seed: u64,
+    /// Pipeline flow control (queue capacity, trigger granularity).
+    pub flow: FlowControl,
+    /// Shared-memory interference model.
+    pub contention: ContentionModel,
+    /// Global load-balancing steal tuning.
+    pub steal: StealPolicy,
+}
+
+/// The default seed of the strategy-internal randomness.
+pub const DEFAULT_EXEC_SEED: u64 = 0xE8EC;
+
 impl ExecOptions {
+    /// Starts building options from the defaults.
+    pub fn builder() -> ExecOptionsBuilder {
+        ExecOptionsBuilder::default()
+    }
+
     /// Options with a given redistribution skew, everything else default.
     pub fn with_skew(skew: f64) -> Self {
         Self {
@@ -90,16 +155,90 @@ impl ExecOptions {
         }
     }
 
-    /// CPU slowdown factor for a node with `processors` processors: 1.0 below
-    /// the contention threshold, growing linearly above it.
+    /// CPU slowdown factor for a node with `processors` processors
+    /// (convenience for [`ContentionModel::factor_for`]).
     pub fn contention_factor(&self, processors: u32) -> f64 {
-        if processors <= self.smp_contention_threshold || self.smp_contention_threshold == 0 {
-            1.0
-        } else {
-            1.0 + self.smp_contention_factor
-                * ((processors - self.smp_contention_threshold) as f64
-                    / self.smp_contention_threshold as f64)
+        self.contention.factor_for(processors)
+    }
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        Self {
+            skew: 0.0,
+            seed: DEFAULT_EXEC_SEED,
+            flow: FlowControl::default(),
+            contention: ContentionModel::default(),
+            steal: StealPolicy::default(),
         }
+    }
+}
+
+/// Builder for [`ExecOptions`]: group-level setters plus flat single-knob
+/// conveniences.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecOptionsBuilder {
+    options: ExecOptions,
+}
+
+impl ExecOptionsBuilder {
+    /// Sets the redistribution-skew factor.
+    pub fn skew(mut self, skew: f64) -> Self {
+        self.options.skew = skew;
+        self
+    }
+
+    /// Sets the strategy-internal randomness seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.options.seed = seed;
+        self
+    }
+
+    /// Replaces the whole flow-control group.
+    pub fn flow(mut self, flow: FlowControl) -> Self {
+        self.options.flow = flow;
+        self
+    }
+
+    /// Replaces the whole contention-model group.
+    pub fn contention(mut self, contention: ContentionModel) -> Self {
+        self.options.contention = contention;
+        self
+    }
+
+    /// Replaces the whole steal-policy group.
+    pub fn steal(mut self, steal: StealPolicy) -> Self {
+        self.options.steal = steal;
+        self
+    }
+
+    /// Sets the activation-queue capacity (flow control).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.options.flow.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the trigger granularity in pages (flow control).
+    pub fn trigger_pages(mut self, pages: u64) -> Self {
+        self.options.flow.trigger_pages = pages;
+        self
+    }
+
+    /// Sets the minimum provider-queue size for a steal.
+    pub fn min_steal_tuples(mut self, tuples: u64) -> Self {
+        self.options.steal.min_tuples = tuples;
+        self
+    }
+
+    /// Sets the fraction of a provider queue acquired per steal.
+    pub fn steal_fraction(mut self, fraction: f64) -> Self {
+        self.options.steal.fraction = fraction;
+        self
+    }
+
+    /// Finishes building.
+    pub fn build(self) -> ExecOptions {
+        self.options
     }
 }
 
@@ -118,9 +257,31 @@ mod tests {
     fn defaults_are_sane() {
         let o = ExecOptions::default();
         assert_eq!(o.skew, 0.0);
-        assert!(o.queue_capacity > 0);
-        assert!(o.trigger_pages > 0);
-        assert!(o.steal_fraction > 0.0 && o.steal_fraction <= 1.0);
+        assert_eq!(o.seed, DEFAULT_EXEC_SEED);
+        assert!(o.flow.queue_capacity > 0);
+        assert!(o.flow.trigger_pages > 0);
+        assert!(o.steal.fraction > 0.0 && o.steal.fraction <= 1.0);
+    }
+
+    #[test]
+    fn builder_composes_groups_and_single_knobs() {
+        let o = ExecOptions::builder()
+            .skew(0.6)
+            .seed(7)
+            .steal(StealPolicy {
+                min_tuples: 32,
+                fraction: 0.25,
+            })
+            .queue_capacity(128)
+            .build();
+        assert_eq!(o.skew, 0.6);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.steal.min_tuples, 32);
+        assert_eq!(o.steal.fraction, 0.25);
+        assert_eq!(o.flow.queue_capacity, 128);
+        // Untouched groups keep their defaults.
+        assert_eq!(o.contention, ContentionModel::default());
+        assert_eq!(o.flow.trigger_pages, FlowControl::default().trigger_pages);
     }
 
     #[test]
@@ -136,10 +297,12 @@ mod tests {
 
     #[test]
     fn zero_threshold_disables_contention() {
-        let o = ExecOptions {
-            smp_contention_threshold: 0,
-            ..ExecOptions::default()
-        };
+        let o = ExecOptions::builder()
+            .contention(ContentionModel {
+                threshold: 0,
+                degradation: 0.15,
+            })
+            .build();
         assert_eq!(o.contention_factor(64), 1.0);
     }
 }

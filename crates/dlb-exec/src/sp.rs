@@ -60,7 +60,7 @@ pub fn execute_sp(
                     // read-ahead-window sized fragments; each participating
                     // disk positions once (latency + seek) and then streams.
                     let pages = config.costs.pages_for_tuples(op.input_tuples);
-                    let fragments = pages.div_ceil(options.trigger_pages.max(1)).max(1);
+                    let fragments = pages.div_ceil(options.flow.trigger_pages.max(1)).max(1);
                     let used_disks = (disks as u64).min(fragments).max(1);
                     chain_io += config.disk.latency
                         + config.disk.seek_time

@@ -41,6 +41,27 @@
 //! let report = system.run(&plans[0], Strategy::Dynamic).unwrap();
 //! println!("response time: {}", report.response_time);
 //! ```
+//!
+//! ## Scenarios
+//!
+//! The paper's whole evaluation grid is driven by declarative, serializable
+//! scenario specs (see [`scenario`]): every figure is a bundled spec, and new
+//! sweeps are a builder call — or a JSON file for the `scenario` binary —
+//! away:
+//!
+//! ```
+//! use hierdb::scenario::{self, Axis};
+//!
+//! let spec = scenario::ScenarioSpec::builder("skew-mini")
+//!     .machine(1, 2)
+//!     .rows(Axis::Skew, [0.0, 0.5])
+//!     .build()
+//!     .unwrap()
+//!     .with_generated_workload(1, 3, 0.005, 7);
+//! let report = scenario::run_scenario(&spec).unwrap();
+//! assert_eq!(report.points.len(), 2);
+//! println!("{}", scenario::render_text(&report));
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -65,8 +86,10 @@ mod tests {
     fn facade_reexports_are_usable() {
         let system = HierarchicalSystem::shared_memory(2);
         assert_eq!(system.total_processors(), 2);
-        let _options = ExecOptions::default();
+        let options = ExecOptions::builder().skew(0.2).min_steal_tuples(8).build();
+        assert_eq!(options.steal.min_tuples, 8);
         let _params: WorkloadParams = WorkloadParams::default();
+        assert!(scenario::find("fig6").is_some());
     }
 
     #[test]

@@ -24,7 +24,10 @@ fn experiment(system: HierarchicalSystem) -> Experiment {
 /// shared-memory and hierarchical machines.
 #[test]
 fn parallel_run_is_bit_identical_to_sequential() {
-    hierdb::set_threads(4);
+    assert!(
+        hierdb::set_threads(4),
+        "the offline rayon shim always accepts reconfiguration"
+    );
     assert!(
         rayon::current_num_threads() >= 4,
         "test requires at least 4 worker threads"
@@ -70,7 +73,7 @@ fn parallel_run_is_bit_identical_to_sequential() {
 /// self-consistent, not merely consistent with its own cache.
 #[test]
 fn repeated_parallel_runs_agree_without_shared_cache() {
-    hierdb::set_threads(4);
+    let _ = hierdb::set_threads(4);
     let system = HierarchicalSystem::hierarchical(2, 2).with_skew(0.8);
     let a = experiment(system.clone()).run(Strategy::Dynamic).unwrap();
     let b = experiment(system).run(Strategy::Dynamic).unwrap();

@@ -1,0 +1,200 @@
+//! Integration coverage of the declarative scenario API:
+//!
+//! * **golden tests** — each bundled figure spec, run through
+//!   `run_scenario` + `render_text`, reproduces output byte-identical to the
+//!   pre-scenario figure binaries (captured in `tests/golden/` with
+//!   `HIERDB_QUERIES=2 HIERDB_RELATIONS=5 HIERDB_SCALE=0.01`),
+//! * **serde round-trips** — every bundled spec and a hand-written partial
+//!   spec survive `to_json` / `from_json` unchanged,
+//! * **cross-system run cache** — systems differing only in fields the old
+//!   per-experiment `RunKey` ignored (steal tuning, execution seed) never
+//!   share cache entries, while identical configurations do,
+//! * **spec files** — the shipped example spec exercises an axis
+//!   combination (a node-count sweep) no bundled figure covers.
+
+use hierdb::scenario::{self, Axis, ScenarioSpec, WorkloadSpec};
+use hierdb::{ExecOptions, Experiment, HierarchicalSystem, Strategy, WorkloadParams};
+use std::sync::Arc;
+
+/// The workload the golden files were captured with (see the capture recipe
+/// in `EXPERIMENTS.md`).
+fn golden(spec: ScenarioSpec) -> ScenarioSpec {
+    spec.with_generated_workload(2, 5, 0.01, 0xD1B_1996)
+}
+
+fn rendered(name: &str) -> String {
+    let spec = golden(scenario::find(name).expect("bundled spec"));
+    let report = scenario::run_scenario(&spec).expect("scenario runs");
+    scenario::render_text(&report)
+}
+
+#[test]
+fn fig6_spec_reproduces_the_pre_refactor_binary_output() {
+    assert_eq!(rendered("fig6"), include_str!("golden/fig6.txt"));
+}
+
+#[test]
+fn fig7_spec_reproduces_the_pre_refactor_binary_output() {
+    assert_eq!(rendered("fig7"), include_str!("golden/fig7.txt"));
+}
+
+#[test]
+fn fig8_spec_reproduces_the_pre_refactor_binary_output() {
+    assert_eq!(rendered("fig8"), include_str!("golden/fig8.txt"));
+}
+
+#[test]
+fn fig9_spec_reproduces_the_pre_refactor_binary_output() {
+    assert_eq!(rendered("fig9"), include_str!("golden/fig9.txt"));
+}
+
+#[test]
+fn fig10_and_chain_specs_reproduce_the_pre_refactor_binary_output() {
+    // The pre-refactor fig10 binary printed Figure 10 followed by a blank
+    // line and the §5.3 chain experiment.
+    let combined = format!("{}\n{}", rendered("fig10"), rendered("chain53"));
+    assert_eq!(combined, include_str!("golden/fig10.txt"));
+}
+
+#[test]
+fn params_table_reproduces_the_pre_refactor_binary_output() {
+    assert_eq!(
+        dlb_bench::params_table(),
+        include_str!("golden/fig_params.txt")
+    );
+}
+
+#[test]
+fn bundled_specs_round_trip_through_json() {
+    for spec in scenario::registry() {
+        let text = spec.to_json();
+        let back = ScenarioSpec::from_json(&text)
+            .unwrap_or_else(|e| panic!("{} failed to reparse: {e}", spec.name));
+        assert_eq!(back, spec, "{} did not round-trip", spec.name);
+    }
+}
+
+#[test]
+fn partial_user_specs_round_trip_with_defaults() {
+    let text = r#"{
+        "name": "user-sweep",
+        "machine": {"nodes": 2},
+        "options": {"skew": 0.3, "steal": {"fraction": 0.25}},
+        "strategies": ["DP", {"FP": 0.2}],
+        "sweep": {"axis": "processors_per_node", "values": [2, 4]}
+    }"#;
+    let spec = ScenarioSpec::from_json(text).unwrap();
+    assert_eq!(spec.machine.nodes, 2);
+    assert_eq!(spec.options.steal.fraction, 0.25);
+    // Untouched knobs keep their defaults.
+    assert_eq!(
+        spec.options.steal.min_tuples,
+        ExecOptions::default().steal.min_tuples
+    );
+    assert_eq!(spec.workload, WorkloadSpec::default());
+    // And the reparsed form equals the reserialized form.
+    assert_eq!(ScenarioSpec::from_json(&spec.to_json()).unwrap(), spec);
+}
+
+/// Two systems that differ only in steal tuning — fields the old
+/// per-experiment `RunKey` (strategy, skew, machine shape) did not cover —
+/// must not share entries in a shared run cache.
+#[test]
+fn cross_system_cache_distinguishes_steal_tuning() {
+    let workload = WorkloadParams {
+        queries: 2,
+        relations_per_query: 4,
+        scale: 0.01,
+        skew: 0.0,
+        seed: 21,
+    };
+    let base = Experiment::builder()
+        .system(HierarchicalSystem::hierarchical(2, 2).with_skew(0.5))
+        .workload(workload)
+        .build()
+        .unwrap();
+    let baseline = base.run(Strategy::Dynamic).unwrap();
+
+    // Same strategy, same skew, same machine shape; only the steal policy
+    // (and then only the execution seed) differ.
+    let tuned = base.on_system(
+        base.system()
+            .clone()
+            .with_options(ExecOptions::builder().skew(0.5).steal_fraction(0.1).build()),
+    );
+    let tuned_runs = tuned.run(Strategy::Dynamic).unwrap();
+    assert!(
+        !Arc::ptr_eq(&baseline, &tuned_runs),
+        "steal tuning must separate cache entries"
+    );
+
+    let reseeded = base.on_system(
+        base.system()
+            .clone()
+            .with_options(ExecOptions::builder().skew(0.5).seed(0xBAD).build()),
+    );
+    let reseeded_runs = reseeded.run(Strategy::Dynamic).unwrap();
+    assert!(
+        !Arc::ptr_eq(&baseline, &reseeded_runs),
+        "the execution seed must separate cache entries"
+    );
+
+    // All three configurations coexist in the one shared cache...
+    assert_eq!(base.cache().len(), 3);
+    // ...and a repeat of the identical configuration is a pointer-equal hit.
+    let again = base
+        .on_system(base.system().clone())
+        .run(Strategy::Dynamic)
+        .unwrap();
+    assert!(Arc::ptr_eq(&baseline, &again));
+}
+
+/// The shipped example spec file parses, sweeps an axis no bundled figure
+/// sweeps (node count), and runs end to end.
+#[test]
+fn example_spec_file_runs_an_uncovered_axis_combination() {
+    let text = include_str!("../examples/scenarios/hier_nodes_sweep.json");
+    let spec = ScenarioSpec::from_json(text).unwrap();
+    assert_eq!(spec.rows.axis, Axis::Nodes);
+    for bundled in scenario::registry() {
+        assert_ne!(
+            bundled.rows.axis,
+            Axis::Nodes,
+            "{} already sweeps nodes",
+            bundled.name
+        );
+        assert!(bundled
+            .columns
+            .as_ref()
+            .is_none_or(|c| c.axis != Axis::Nodes));
+    }
+    // Shrink the workload so the 8-node point stays test-sized.
+    let spec = spec.with_generated_workload(1, 4, 0.005, 5);
+    let report = scenario::run_scenario(&spec).unwrap();
+    assert_eq!(report.points.len(), 4);
+    for point in &report.points {
+        assert_eq!(point.cells.len(), 2);
+        for cell in &point.cells {
+            assert!(cell.value.is_finite() && cell.value > 0.0);
+        }
+    }
+    // The FP strategy kept its authored error rate.
+    assert_eq!(
+        report.points[0].cells[1].strategy,
+        Strategy::Fixed { error_rate: 0.1 }
+    );
+}
+
+/// JSON and CSV emission agree with the text table on the number of
+/// measured cells.
+#[test]
+fn machine_readable_emission_covers_every_cell() {
+    let spec = golden(scenario::find("fig6").unwrap());
+    let report = scenario::run_scenario(&spec).unwrap();
+    let json = scenario::render_json(&report);
+    let doc = hierdb::raw::common::Json::parse(&json).unwrap();
+    let points = doc.get("points").unwrap().as_array().unwrap();
+    assert_eq!(points.len(), 3 * 3, "3 processor counts x 3 strategies");
+    let csv = scenario::render_csv(&report);
+    assert_eq!(csv.lines().count(), 1 + 9);
+}
