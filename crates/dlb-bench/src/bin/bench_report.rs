@@ -16,7 +16,7 @@
 //! to the sequential baseline (`"identical": true`); a `false` there is a
 //! determinism regression, not a perf number.
 
-use dlb_bench::HarnessConfig;
+use dlb_bench::WorkloadOverrides;
 use dlb_core::scenario::{self, ScenarioSpec, WorkloadSpec};
 use dlb_core::{PlanRun, Strategy};
 use std::time::Instant;
@@ -62,7 +62,7 @@ fn time_strategy(spec: &ScenarioSpec, strategy: Strategy) -> StrategyTiming {
 }
 
 fn workload_json(spec: &ScenarioSpec) -> String {
-    match spec.workload {
+    match &spec.workload {
         WorkloadSpec::Generated {
             queries,
             relations,
@@ -80,11 +80,21 @@ fn workload_json(spec: &ScenarioSpec) -> String {
             "{{\"chain\": {{\"relations\": {relations}, \"build_rows\": {build_rows}, \
              \"probe_rows\": {probe_rows}}}}}"
         ),
+        WorkloadSpec::Mix(mix) => format!(
+            "{{\"mix\": {{\"queries\": {}, \"relations\": {}, \"scale\": {}, \
+             \"seed\": {}, \"policy\": \"{}\"}}}}",
+            mix.queries,
+            mix.relations,
+            mix.scale,
+            mix.seed,
+            mix.policy.label()
+        ),
     }
 }
 
 fn main() {
-    let cfg = HarnessConfig::from_env();
+    dlb_core::init_threads_from_env();
+    let overrides = WorkloadOverrides::from_env();
     let name = std::env::args()
         .skip(1)
         .find(|a| !a.starts_with("--"))
@@ -96,7 +106,7 @@ fn main() {
         );
         std::process::exit(1);
     };
-    let spec = cfg.apply(spec);
+    let spec = overrides.apply(spec);
     let threads = rayon::current_num_threads();
 
     let timings: Vec<StrategyTiming> = spec

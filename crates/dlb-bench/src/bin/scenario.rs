@@ -8,6 +8,7 @@
 //! scenario fig6 fig8 --format csv         # several, machine-readable
 //! scenario --spec my_sweep.json           # run a spec file
 //! scenario --export fig10                 # print a bundled spec as JSON
+//! scenario --export my_sweep.json         # normalize + validate a spec file
 //! scenario --validate                     # parse/round-trip every bundled spec
 //! ```
 //!
@@ -94,7 +95,16 @@ fn main() {
         return;
     }
     if let Some(name) = export {
-        print!("{}", find_or_exit(&name).to_json());
+        // Everything down this path is a `dlb_common::DlbError` — unknown
+        // names, unparseable files, specs whose axes their workload cannot
+        // support — reported cleanly instead of panicking.
+        match export_spec(&name) {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("scenario --export {name}: {e}");
+                std::process::exit(1);
+            }
+        }
         return;
     }
     if names.is_empty() && spec_files.is_empty() {
@@ -107,15 +117,35 @@ fn main() {
         run_one(overrides.apply(find_or_exit(&name)), format, &mut first);
     }
     for path in spec_files {
-        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-            eprintln!("cannot read {path}: {e}");
-            std::process::exit(1);
-        });
-        let spec = ScenarioSpec::from_json(&text).unwrap_or_else(|e| {
+        let spec = load_spec_file(&path).unwrap_or_else(|e| {
             eprintln!("{path}: {e}");
             std::process::exit(1);
         });
         run_one(overrides.apply(spec), format, &mut first);
+    }
+}
+
+/// Reads and parses (and thereby validates) one JSON spec file; every
+/// failure — unreadable file, bad JSON, unknown or unsupported axes — is a
+/// [`dlb_common::DlbError`]. Shared by `--spec` and `--export`.
+fn load_spec_file(path: &str) -> dlb_common::Result<ScenarioSpec> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| dlb_common::DlbError::Parse(format!("cannot read {path}: {e}")))?;
+    ScenarioSpec::from_json(&text)
+}
+
+/// Resolves `--export`: a registry name, or a path to a JSON spec file
+/// (parsed and validated, then re-emitted in normalized form). All failures
+/// are proper [`dlb_common::DlbError`]s.
+fn export_spec(name_or_path: &str) -> dlb_common::Result<String> {
+    match scenario::export(name_or_path) {
+        Ok(text) => Ok(text),
+        Err(_not_found) if std::path::Path::new(name_or_path).exists() => {
+            // `load_spec_file` validates, so axis/workload mismatches
+            // surface here as errors rather than panics later in the driver.
+            Ok(load_spec_file(name_or_path)?.to_json())
+        }
+        Err(not_found) => Err(not_found),
     }
 }
 

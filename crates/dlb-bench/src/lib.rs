@@ -200,25 +200,26 @@ impl WorkloadOverrides {
         }
     }
 
-    /// Applies the set overrides onto a spec's generated workload (chain
-    /// workloads and unset knobs are untouched).
+    /// Applies the set overrides onto a spec's generated workload — plain or
+    /// the inner workload of a mix (chain workloads and unset knobs are
+    /// untouched).
     pub fn apply(&self, spec: ScenarioSpec) -> ScenarioSpec {
-        if let WorkloadSpec::Generated {
-            queries,
-            relations,
-            scale,
-            seed,
-        } = spec.workload
-        {
-            spec.with_generated_workload(
-                self.queries.unwrap_or(queries),
-                self.relations.unwrap_or(relations),
-                self.scale.unwrap_or(scale),
-                self.seed.unwrap_or(seed),
-            )
-        } else {
-            spec
-        }
+        let (queries, relations, scale, seed) = match &spec.workload {
+            WorkloadSpec::Generated {
+                queries,
+                relations,
+                scale,
+                seed,
+            } => (*queries, *relations, *scale, *seed),
+            WorkloadSpec::Mix(mix) => (mix.queries, mix.relations, mix.scale, mix.seed),
+            WorkloadSpec::Chain { .. } => return spec,
+        };
+        spec.with_generated_workload(
+            self.queries.unwrap_or(queries),
+            self.relations.unwrap_or(relations),
+            self.scale.unwrap_or(scale),
+            self.seed.unwrap_or(seed),
+        )
     }
 }
 

@@ -188,7 +188,7 @@ impl MachineConfig {
 ///
 /// The paper does not publish its per-tuple costs (the operators are
 /// simulated); these defaults follow the cost models of DBS3/Gamma-era papers
-/// ([Mehta95], [Shekita93]): a few hundred instructions per tuple per
+/// (Mehta '95, Shekita '93): a few hundred instructions per tuple per
 /// operation on a 40 MIPS processor. `EXPERIMENTS.md` shows the figure shapes
 /// are robust to ±2× changes of these values.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

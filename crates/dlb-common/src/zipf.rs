@@ -2,7 +2,7 @@
 //!
 //! The paper (§5.2.2) introduces *redistribution skew* in the production of
 //! trigger activations and of pipelined tuples using a Zipf function
-//! ([Zipf49]) parameterized by a factor between 0 (no skew, uniform) and 1
+//! (Zipf '49) parameterized by a factor between 0 (no skew, uniform) and 1
 //! (high skew). The same generator is reused for attribute-value and tuple
 //! placement skew when populating relation partitions.
 

@@ -4,7 +4,7 @@
 //! downstream user typically wants to describe a concrete multi-join query:
 //! relations with cardinalities, join predicates with (optional) selectivity,
 //! and get back optimized parallel plans ready to execute on a
-//! [`HierarchicalSystem`](crate::HierarchicalSystem).
+//! [`HierarchicalSystem`].
 
 use crate::system::HierarchicalSystem;
 use dlb_common::{DlbError, QueryId, RelationId, Result};

@@ -27,10 +27,12 @@
 //! with [`set_threads`].
 
 use crate::system::HierarchicalSystem;
-use crate::workload::{CompiledWorkload, WorkloadFingerprint};
+use crate::workload::{CompiledWorkload, QueryMix, WorkloadFingerprint};
 use dlb_common::config::SystemConfig;
 use dlb_common::Result;
+use dlb_exec::mix::{schedule_mix, MixJob, MixPolicy, MixSchedule};
 use dlb_exec::{ExecOptions, ExecutionReport, Strategy};
+use dlb_query::cost::CostModel;
 use dlb_query::generator::WorkloadParams;
 use dlb_query::plan::ParallelPlan;
 use parking_lot::Mutex;
@@ -48,6 +50,17 @@ pub struct PlanRun {
     pub query_index: usize,
     /// The execution report.
     pub report: ExecutionReport,
+}
+
+/// The outcome of [`Experiment::run_mix`]: the inter-query schedule plus the
+/// per-query solo runs it was derived from.
+#[derive(Debug, Clone)]
+pub struct MixRun {
+    /// Admission, placement and response times of every query of the mix.
+    pub schedule: MixSchedule,
+    /// One solo run per query (its plan, executed alone on the query's
+    /// placement shape with the query's skew profile).
+    pub solo: Vec<PlanRun>,
 }
 
 /// Structured cache key of one experiment run: a bit-exact fingerprint of
@@ -346,6 +359,91 @@ impl Experiment {
         Ok(self.cache.insert_or_get(key, Arc::new(runs?)))
     }
 
+    /// Runs an inter-query mix on this experiment's system: admission,
+    /// placement and processor sharing of the mix's queries on the shared
+    /// SM-nodes (see [`dlb_exec::mix`]).
+    ///
+    /// For each query the engine first measures the *solo* response time of
+    /// the query's plan under `strategy` on the query's placement shape —
+    /// the full machine for [`MixPolicy::Fcfs`], one SM-node for the pinning
+    /// policies — with the query's own skew profile. These runs go through
+    /// this experiment's [`RunCache`] (each query is simulated exactly once
+    /// per configuration — queries sharing a skew profile are batched into
+    /// one cached sub-workload run, and repeated sweep points or reference
+    /// strategies are cache hits). The mix
+    /// scheduler then derives per-query and aggregate response times under
+    /// the shared-node contention and the per-node memory admission limit.
+    ///
+    /// The mix carries its own workload; this experiment contributes the
+    /// machine, the base execution options and the shared cache.
+    pub fn run_mix(&self, mix: &QueryMix, policy: MixPolicy, strategy: Strategy) -> Result<MixRun> {
+        // The placement shape: what one query of the mix actually occupies.
+        let placement = match policy {
+            MixPolicy::Fcfs => self.system.clone(),
+            MixPolicy::RoundRobin | MixPolicy::LoadAware => self.system.clone().with_nodes(1),
+        };
+
+        // Group queries by skew profile; each distinct profile becomes one
+        // (cached) run of a sub-workload holding exactly those queries'
+        // chosen plans, so every query is simulated once — never the whole
+        // multi-plan workload per profile. The sub-workload's derived
+        // fingerprint keeps the cache exact across strategies and sweeps.
+        let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
+        for (q, entry) in mix.entries().iter().enumerate() {
+            let bits = entry.skew.to_bits();
+            match groups.iter_mut().find(|(b, _)| *b == bits) {
+                Some((_, queries)) => queries.push(q),
+                None => groups.push((bits, vec![q])),
+            }
+        }
+        let mut solo: Vec<Option<PlanRun>> = vec![None; mix.len()];
+        for (bits, queries) in &groups {
+            let indices: Vec<usize> = queries.iter().map(|&q| mix.plan_index(q)).collect();
+            let sub = Arc::new(mix.workload().subset(&indices));
+            let mut options = *self.system.options();
+            options.skew = f64::from_bits(*bits);
+            let exp = Experiment::with_cache(
+                placement.clone().with_options(options),
+                sub,
+                Arc::clone(&self.cache),
+            );
+            let runs = exp.run(strategy)?;
+            for (position, &q) in queries.iter().enumerate() {
+                let mut run = runs[position].clone();
+                // Re-anchor to the mix's workload-relative plan index so the
+                // assembled solo set has one unique index per query.
+                run.plan_index = mix.plan_index(q);
+                solo[q] = Some(run);
+            }
+        }
+        let solo: Vec<PlanRun> = solo
+            .into_iter()
+            .map(|run| run.expect("every query was simulated"))
+            .collect();
+
+        let config = self.system.config();
+        let cost = CostModel::new(config.costs, config.disk, config.cpu);
+        let jobs: Vec<MixJob> = mix
+            .entries()
+            .iter()
+            .enumerate()
+            .map(|(q, entry)| MixJob {
+                arrival_secs: entry.arrival_secs,
+                priority: entry.priority,
+                solo_secs: solo[q].report.response_secs(),
+                memory_bytes: mix.memory_demand(q, &cost),
+            })
+            .collect();
+
+        let schedule = schedule_mix(
+            &jobs,
+            self.system.nodes(),
+            config.machine.memory_per_node_bytes,
+            policy,
+        )?;
+        Ok(MixRun { schedule, solo })
+    }
+
     /// Runs every plan strictly sequentially on the calling thread, bypassing
     /// the cache: the baseline against which the parallel fan-out of [`run`]
     /// is validated (determinism tests) and benchmarked (`bench_report`).
@@ -530,6 +628,71 @@ mod tests {
         let mut slower = c48;
         slower.cpu.mips = 39.0;
         assert_ne!(dp, key_for(Strategy::Dynamic, &o, &slower));
+    }
+
+    #[test]
+    fn run_mix_reports_per_query_and_aggregate_responses() {
+        use crate::workload::MixEntry;
+        let exp = small_experiment(2, 2);
+        let entries = vec![
+            MixEntry::default(),
+            MixEntry {
+                arrival_secs: 0.0,
+                priority: 1,
+                skew: 0.5,
+            },
+        ];
+        let mix = QueryMix::new(Arc::new(exp.workload().clone()), entries).unwrap();
+        let run = exp
+            .run_mix(&mix, MixPolicy::Fcfs, Strategy::Dynamic)
+            .unwrap();
+        assert_eq!(run.schedule.queries.len(), 2);
+        assert_eq!(run.solo.len(), 2);
+        for (q, outcome) in run.schedule.queries.iter().enumerate() {
+            assert_eq!(outcome.query, q);
+            assert!(outcome.response_secs > 0.0);
+            assert!(outcome.slowdown >= 1.0 - 1e-9);
+            assert!(
+                (outcome.solo_secs - run.solo[q].report.response_secs()).abs() < 1e-12,
+                "solo time comes from the engine run"
+            );
+        }
+        // Two simultaneous queries sharing the machine: neither can be
+        // faster than alone, and at least one is measurably slower.
+        assert!(run.schedule.mean_slowdown > 1.0);
+        assert!(run.schedule.makespan_secs >= run.schedule.max_response_secs);
+    }
+
+    #[test]
+    fn run_mix_pinning_policies_use_single_node_solo_runs() {
+        use crate::workload::MixEntry;
+        let exp = small_experiment(2, 2);
+        let entries = vec![MixEntry::default(), MixEntry::default()];
+        let mix = QueryMix::new(Arc::new(exp.workload().clone()), entries).unwrap();
+        let rr = exp
+            .run_mix(&mix, MixPolicy::RoundRobin, Strategy::Dynamic)
+            .unwrap();
+        // Pinned to distinct nodes: no inter-query interference at all.
+        for outcome in &rr.schedule.queries {
+            assert!(outcome.node.is_some());
+            assert!((outcome.slowdown - 1.0).abs() < 1e-9);
+        }
+        // The FCFS placement measures solo runs on the full machine, the
+        // pinning placement on one node: distinct simulations, both valid.
+        let fcfs = exp
+            .run_mix(&mix, MixPolicy::Fcfs, Strategy::Dynamic)
+            .unwrap();
+        for (a, b) in rr.solo.iter().zip(fcfs.solo.iter()) {
+            assert_eq!(a.report.nodes, 1);
+            assert_eq!(b.report.nodes, 2);
+            assert!(a.report.response_secs() > 0.0 && b.report.response_secs() > 0.0);
+        }
+        // The solo runs landed in the shared cache: re-running the mix does
+        // not grow it.
+        let before = exp.cache().len();
+        exp.run_mix(&mix, MixPolicy::RoundRobin, Strategy::Dynamic)
+            .unwrap();
+        assert_eq!(exp.cache().len(), before);
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod workload;
 pub use adhoc::AdHocQuery;
 pub use dlb_common::config::{CostConstants, CpuParams, DiskParams, NetworkParams, SystemConfig};
 pub use dlb_common::{Duration, SimTime};
+pub use dlb_exec::mix::{MixJob, MixPolicy, MixSchedule, QueryOutcome};
 pub use dlb_exec::{
     ContentionModel, ExecOptions, ExecOptionsBuilder, ExecutionReport, FlowControl, StealPolicy,
     Strategy, StrategyKind,
@@ -45,9 +46,10 @@ pub use dlb_exec::{
 pub use dlb_query::plan::{ChainScheduling, ParallelPlan};
 pub use dlb_query::{Query, WorkloadParams};
 pub use experiment::{
-    init_threads_from_env, set_threads, Experiment, ExperimentBuilder, PlanRun, RunCache, RunKey,
+    init_threads_from_env, set_threads, Experiment, ExperimentBuilder, MixRun, PlanRun, RunCache,
+    RunKey,
 };
 pub use scenario::{run_scenario, ScenarioReport, ScenarioSpec};
 pub use summary::{relative_performance, speedup, Summary};
 pub use system::{HierarchicalSystem, SystemBuilder};
-pub use workload::{CompiledWorkload, WorkloadFingerprint};
+pub use workload::{CompiledWorkload, MixEntry, QueryMix, WorkloadFingerprint};

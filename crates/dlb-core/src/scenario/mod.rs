@@ -19,31 +19,38 @@
 //! [`ScenarioReport`] that renders to the figure's exact text table
 //! ([`render_text`]) or to machine-readable JSON/CSV ([`render_json`],
 //! [`render_csv`]).
+//!
+//! Beyond the paper's single-query-at-a-time figures, a
+//! [`WorkloadSpec::Mix`] workload describes an *inter-query* scenario: N
+//! concurrent queries with arrival offsets, priorities and per-query skew
+//! profiles, scheduled onto the shared SM-nodes by an admission/placement
+//! policy (see [`dlb_exec::mix`]). Mix scenarios sweep the new
+//! [`Axis::ConcurrentQueries`] and [`Axis::MemoryPerNode`] axes, and their
+//! cells carry the per-query schedule ([`StrategyCell::mix`]).
 
 mod registry;
 mod render;
 mod serde;
 mod spec;
 
-pub use registry::{find, names, registry};
+pub use registry::{export, find, names, registry};
 pub use render::{fmt_ratio, render_csv, render_json, render_text};
 pub use spec::{
-    Axis, MachineSpec, Metric, Presentation, Reference, RowFmt, ScenarioSpec, ScenarioSpecBuilder,
-    Sweep, TableStyle, WorkloadSpec,
+    Axis, MachineSpec, Metric, MixSpec, Presentation, Reference, RowFmt, ScenarioSpec,
+    ScenarioSpecBuilder, Sweep, TableStyle, WorkloadSpec,
 };
 
 use crate::experiment::{Experiment, PlanRun, RunCache};
 use crate::summary::{relative_performance, speedup, Summary};
 use crate::system::HierarchicalSystem;
-use crate::workload::CompiledWorkload;
+use crate::workload::{CompiledWorkload, QueryMix};
 use dlb_common::{QueryId, RelationId, Result};
-use dlb_exec::{ExecOptions, Strategy};
+use dlb_exec::{ExecOptions, MixPolicy, MixSchedule, Strategy};
 use dlb_query::generator::WorkloadParams;
 use dlb_query::jointree::JoinTree;
 use dlb_query::optree::OperatorTree;
 use dlb_query::plan::{ChainScheduling, OperatorHomes, ParallelPlan};
 use rayon::prelude::*;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// One measured strategy at one sweep point.
@@ -51,12 +58,18 @@ use std::sync::Arc;
 pub struct StrategyCell {
     /// The strategy actually executed (error-rate axes materialize here).
     pub strategy: Strategy,
-    /// The per-plan runs (shared with the scenario's run cache).
+    /// The per-plan runs (shared with the scenario's run cache). For mix
+    /// workloads these are the per-query *solo* runs the schedule was
+    /// derived from.
     pub runs: Arc<Vec<PlanRun>>,
     /// Aggregate statistics of the runs.
     pub summary: Summary,
     /// The spec's metric evaluated against the spec's reference.
     pub value: f64,
+    /// The inter-query schedule of this strategy at this point (mix
+    /// workloads only): per-query and aggregate response times under
+    /// shared-node contention.
+    pub mix: Option<MixSchedule>,
 }
 
 /// All strategies measured at one sweep point.
@@ -117,44 +130,72 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport> {
         .collect();
 
     // Workloads depend on the system only through its node count (operator
-    // homes) and the cost configuration (constant across a sweep), so they
-    // are compiled once per distinct node count, up front.
-    let mut workloads: HashMap<u32, (Arc<CompiledWorkload>, Option<ChainShape>)> = HashMap::new();
+    // homes) and the cost configuration (constant across a sweep), and on
+    // the axis-resolved workload parameters (a concurrent-queries sweep
+    // resizes a mix per point), so they are compiled once per distinct
+    // (node count, effective workload), up front.
+    type Compiled = (Arc<CompiledWorkload>, Option<ChainShape>);
+    let mut compiled: Vec<((u32, WorkloadSpec), Compiled)> = Vec::new();
     for &(row, col) in &grid {
-        let (machine, options) = point_config(spec, row, col);
-        if let std::collections::hash_map::Entry::Vacant(slot) = workloads.entry(machine.nodes) {
-            let system =
-                HierarchicalSystem::hierarchical(machine.nodes, machine.processors_per_node)
-                    .with_options(options);
-            slot.insert(compile_workload(&spec.workload, &system)?);
+        let (machine, options, workload) = point_config(spec, row, col);
+        let key = (machine.nodes, workload);
+        if !compiled.iter().any(|(k, _)| *k == key) {
+            let system = point_system(&machine, options);
+            let c = compile_workload(&key.1, &system)?;
+            compiled.push((key, c));
         }
     }
+    let lookup = |nodes: u32, workload: &WorkloadSpec| -> &Compiled {
+        compiled
+            .iter()
+            .find(|(k, _)| k.0 == nodes && k.1 == *workload)
+            .map(|(_, c)| c)
+            .expect("every point's workload was compiled")
+    };
 
     // Execute the grid: every (point × strategy) run, plus the same-point
-    // reference when one is configured.
+    // reference when one is configured. Mix workloads run through the
+    // inter-query scheduler; their cells carry the schedule alongside the
+    // per-query solo runs.
+    type RawCell = (Strategy, Arc<Vec<PlanRun>>, Option<MixSchedule>);
     type RawPoint = (
-        Vec<(Strategy, Arc<Vec<PlanRun>>)>,
-        Option<Arc<Vec<PlanRun>>>,
+        Vec<RawCell>,
+        Option<(Arc<Vec<PlanRun>>, Option<MixSchedule>)>,
     );
     let raw: Result<Vec<RawPoint>> = grid
         .par_iter()
         .map(|&(row, col)| {
-            let (machine, options) = point_config(spec, row, col);
-            let system =
-                HierarchicalSystem::hierarchical(machine.nodes, machine.processors_per_node)
-                    .with_options(options);
-            let workload = Arc::clone(&workloads[&machine.nodes].0);
-            let experiment = Experiment::with_cache(system, workload, Arc::clone(&cache));
-            let runs: Result<Vec<(Strategy, Arc<Vec<PlanRun>>)>> = spec
+            let (machine, options, workload_spec) = point_config(spec, row, col);
+            let system = point_system(&machine, options);
+            let (workload, _) = lookup(machine.nodes, &workload_spec);
+            let experiment =
+                Experiment::with_cache(system, Arc::clone(workload), Arc::clone(&cache));
+            let mix: Option<(QueryMix, MixPolicy)> = match &workload_spec {
+                WorkloadSpec::Mix(m) => Some((
+                    QueryMix::new(Arc::clone(workload), m.entries(m.queries, options.skew))?,
+                    m.policy,
+                )),
+                _ => None,
+            };
+            let run_one = |s: Strategy| -> Result<RawCell> {
+                match &mix {
+                    None => experiment.run(s).map(|r| (s, r, None)),
+                    Some((query_mix, policy)) => {
+                        let mr = experiment.run_mix(query_mix, *policy, s)?;
+                        Ok((s, Arc::new(mr.solo), Some(mr.schedule)))
+                    }
+                }
+            };
+            let runs: Result<Vec<RawCell>> = spec
                 .strategies
                 .iter()
-                .map(|&s| {
-                    let s = strategy_at(s, spec, row, col);
-                    experiment.run(s).map(|r| (s, r))
-                })
+                .map(|&s| run_one(strategy_at(s, spec, row, col)))
                 .collect();
             let reference = match spec.reference {
-                Reference::SamePoint(r) => Some(experiment.run(strategy_at(r, spec, row, col))?),
+                Reference::SamePoint(r) => {
+                    let (_, runs, schedule) = run_one(strategy_at(r, spec, row, col))?;
+                    Some((runs, schedule))
+                }
                 Reference::FirstRow => None,
             };
             Ok((runs?, reference))
@@ -172,24 +213,36 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport> {
             let cells = runs
                 .iter()
                 .enumerate()
-                .map(|(si, (strategy, r))| {
-                    let reference: &Arc<Vec<PlanRun>> = match spec.reference {
-                        Reference::SamePoint(_) => {
-                            same_point_ref.as_ref().expect("reference was computed")
-                        }
-                        // Row-major order: the first row's point with the
-                        // same column index.
-                        Reference::FirstRow => &raw[idx % ncols].0[si].1,
-                    };
-                    let value = match spec.metric {
-                        Metric::Relative => relative_performance(r, reference),
-                        Metric::Speedup => speedup(r, reference),
+                .map(|(si, (strategy, r, schedule))| {
+                    let (reference, ref_schedule): (&Arc<Vec<PlanRun>>, &Option<MixSchedule>) =
+                        match spec.reference {
+                            Reference::SamePoint(_) => {
+                                let (runs, sched) =
+                                    same_point_ref.as_ref().expect("reference was computed");
+                                (runs, sched)
+                            }
+                            // Row-major order: the first row's point with the
+                            // same column index.
+                            Reference::FirstRow => {
+                                let cell = &raw[idx % ncols].0[si];
+                                (&cell.1, &cell.2)
+                            }
+                        };
+                    // Mix points compare end-to-end (multi-query) response
+                    // times; plain points compare the per-plan runs.
+                    let value = match (schedule, ref_schedule) {
+                        (Some(s), Some(rs)) => mix_metric(spec.metric, s, rs),
+                        _ => match spec.metric {
+                            Metric::Relative => relative_performance(r, reference),
+                            Metric::Speedup => speedup(r, reference),
+                        },
                     };
                     StrategyCell {
                         strategy: *strategy,
                         runs: Arc::clone(r),
                         summary: Summary::from_runs(r),
                         value,
+                        mix: schedule.clone(),
                     }
                 })
                 .collect();
@@ -197,9 +250,9 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport> {
         })
         .collect();
 
-    let chain = workloads
-        .values()
-        .find_map(|(_, shape)| *shape)
+    let chain = compiled
+        .iter()
+        .find_map(|(_, (_, shape))| *shape)
         .filter(|_| matches!(spec.workload, WorkloadSpec::Chain { .. }));
 
     Ok(ScenarioReport {
@@ -210,12 +263,11 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport> {
 }
 
 /// Builds the experiment of a scenario's *base* point (no axis applied):
-/// what `bench_report` times.
+/// what `bench_report` times. For mix workloads this is an experiment over
+/// the mix's inner compiled workload.
 pub fn base_experiment(spec: &ScenarioSpec) -> Result<Experiment> {
     spec.validate()?;
-    let system =
-        HierarchicalSystem::hierarchical(spec.machine.nodes, spec.machine.processors_per_node)
-            .with_options(spec.options);
+    let system = point_system(&spec.machine, spec.options);
     let (workload, _) = compile_workload(&spec.workload, &system)?;
     Ok(Experiment::with_cache(
         system,
@@ -224,21 +276,80 @@ pub fn base_experiment(spec: &ScenarioSpec) -> Result<Experiment> {
     ))
 }
 
-/// The machine shape and options in force at one sweep point.
-fn point_config(spec: &ScenarioSpec, row: f64, col: Option<f64>) -> (MachineSpec, ExecOptions) {
+/// The system of one sweep point: machine shape, optional memory override
+/// and execution options.
+fn point_system(machine: &MachineSpec, options: ExecOptions) -> HierarchicalSystem {
+    let mut system = HierarchicalSystem::hierarchical(machine.nodes, machine.processors_per_node)
+        .with_options(options);
+    if let Some(mb) = machine.memory_per_node_mb {
+        system = system.with_memory_per_node(mb * 1024 * 1024);
+    }
+    system
+}
+
+/// Mean per-query response-time ratio of one mix schedule against a
+/// reference schedule (queries are matched by mix index; schedules of
+/// different sizes are incomparable and yield NaN — `validate` rejects the
+/// spec shapes that could produce them).
+fn mix_relative(runs: &MixSchedule, reference: &MixSchedule) -> f64 {
+    if runs.queries.len() != reference.queries.len() {
+        return f64::NAN;
+    }
+    let ratios: Vec<f64> = runs
+        .queries
+        .iter()
+        .zip(&reference.queries)
+        .filter(|(_, r)| r.response_secs > 0.0)
+        .map(|(q, r)| q.response_secs / r.response_secs)
+        .collect();
+    if ratios.is_empty() {
+        return f64::NAN;
+    }
+    ratios.iter().sum::<f64>() / ratios.len() as f64
+}
+
+/// The spec metric evaluated over two mix schedules.
+fn mix_metric(metric: Metric, runs: &MixSchedule, reference: &MixSchedule) -> f64 {
+    match metric {
+        Metric::Relative => mix_relative(runs, reference),
+        Metric::Speedup => {
+            let inverse = mix_relative(runs, reference);
+            if inverse > 0.0 {
+                1.0 / inverse
+            } else {
+                f64::NAN
+            }
+        }
+    }
+}
+
+/// The machine shape, options and effective workload in force at one sweep
+/// point.
+fn point_config(
+    spec: &ScenarioSpec,
+    row: f64,
+    col: Option<f64>,
+) -> (MachineSpec, ExecOptions, WorkloadSpec) {
     let mut machine = spec.machine;
     let mut options = spec.options;
+    let mut workload = spec.workload.clone();
     let mut apply = |axis: Axis, v: f64| match axis {
         Axis::Skew => options.skew = v,
         Axis::Nodes => machine.nodes = v as u32,
         Axis::ProcessorsPerNode => machine.processors_per_node = v as u32,
         Axis::ErrorRate => {} // applied to the strategies, not the machine
+        Axis::MemoryPerNode => machine.memory_per_node_mb = Some(v as u64),
+        Axis::ConcurrentQueries => {
+            if let WorkloadSpec::Mix(mix) = &mut workload {
+                mix.queries = v as usize;
+            }
+        }
     };
     apply(spec.rows.axis, row);
     if let (Some(cols), Some(v)) = (&spec.columns, col) {
         apply(cols.axis, v);
     }
-    (machine, options)
+    (machine, options, workload)
 }
 
 /// The strategy actually executed at one sweep point: an error-rate axis
@@ -260,12 +371,14 @@ fn strategy_at(strategy: Strategy, spec: &ScenarioSpec, row: f64, col: Option<f6
     strategy
 }
 
-/// Compiles the workload of a spec for one system.
+/// Compiles the workload of a spec for one system. Mix workloads compile
+/// their inner generated workload (the per-query scheduling descriptors are
+/// applied later, when the [`QueryMix`] of a point is built).
 fn compile_workload(
     workload: &WorkloadSpec,
     system: &HierarchicalSystem,
 ) -> Result<(Arc<CompiledWorkload>, Option<ChainShape>)> {
-    match *workload {
+    match workload {
         WorkloadSpec::Generated {
             queries,
             relations,
@@ -273,11 +386,11 @@ fn compile_workload(
             seed,
         } => {
             let params = WorkloadParams {
-                queries,
-                relations_per_query: relations,
-                scale,
+                queries: *queries,
+                relations_per_query: *relations,
+                scale: *scale,
                 skew: 0.0,
-                seed,
+                seed: *seed,
             };
             Ok((Arc::new(CompiledWorkload::generate(params, system)?), None))
         }
@@ -287,8 +400,18 @@ fn compile_workload(
             probe_rows,
         } => {
             let (workload, shape) =
-                chain_workload(relations, build_rows, probe_rows, system.nodes())?;
+                chain_workload(*relations, *build_rows, *probe_rows, system.nodes())?;
             Ok((Arc::new(workload), Some(shape)))
+        }
+        WorkloadSpec::Mix(mix) => {
+            let params = WorkloadParams {
+                queries: mix.queries,
+                relations_per_query: mix.relations,
+                scale: mix.scale,
+                skew: 0.0,
+                seed: mix.seed,
+            };
+            Ok((Arc::new(CompiledWorkload::generate(params, system)?), None))
         }
     }
 }

@@ -6,9 +6,10 @@
 //! (or shipping a JSON spec file) is how the evaluation grows new workloads.
 
 use super::spec::{
-    Axis, Metric, Presentation, Reference, RowFmt, ScenarioSpec, TableStyle, WorkloadSpec,
+    Axis, Metric, MixSpec, Presentation, Reference, RowFmt, ScenarioSpec, TableStyle, WorkloadSpec,
 };
-use dlb_exec::{ExecOptions, Strategy};
+use dlb_common::{DlbError, Result};
+use dlb_exec::{ExecOptions, MixPolicy, Strategy};
 
 const DP: Strategy = Strategy::Dynamic;
 const FP: Strategy = Strategy::Fixed { error_rate: 0.0 };
@@ -23,6 +24,8 @@ pub fn registry() -> Vec<ScenarioSpec> {
         fig9(),
         fig10(),
         chain53(),
+        mix_contention(),
+        mix_memory(),
         paper_base(),
     ]
 }
@@ -35,6 +38,23 @@ pub fn find(name: &str) -> Option<ScenarioSpec> {
 /// The names of the bundled scenarios, in registry order.
 pub fn names() -> Vec<String> {
     registry().into_iter().map(|s| s.name).collect()
+}
+
+/// Exports the bundled scenario `name` as its normalized JSON spec text.
+///
+/// Every failure is a [`DlbError`] — an unknown name is
+/// [`DlbError::NotFound`], a spec that does not validate (e.g. one using an
+/// axis its workload does not support) surfaces the validation error — so
+/// front ends like `scenario --export` report cleanly instead of panicking.
+pub fn export(name: &str) -> Result<String> {
+    let spec = find(name).ok_or_else(|| {
+        DlbError::not_found(format!(
+            "scenario {name:?} (registered: {})",
+            names().join(", ")
+        ))
+    })?;
+    spec.validate()?;
+    Ok(spec.to_json())
 }
 
 fn table(row_header: &str, row_fmt: RowFmt, row_width: usize, cell_width: usize) -> TableStyle {
@@ -185,6 +205,78 @@ pub fn chain53() -> ScenarioSpec {
         .expect("bundled chain53 spec is valid")
 }
 
+/// Inter-query contention — DP versus FP as the number of concurrent
+/// queries sharing the 4×8 machine grows, under load-aware placement with
+/// mixed priorities and per-query skew profiles. The surveys motivating the
+/// mix layer (Mandal & Pal; DynaHash) observe that strategy rankings shift
+/// under concurrent competing workloads; this scenario measures exactly
+/// that shift.
+pub fn mix_contention() -> ScenarioSpec {
+    ScenarioSpec::builder("mix-contention")
+        .title("Mix contention")
+        .description("DP vs FP under N concurrent queries (load-aware placement)")
+        .machine(4, 8)
+        .workload(WorkloadSpec::Mix(MixSpec {
+            queries: 4,
+            relations: 10,
+            scale: 0.1,
+            seed: 0xD1B_1996,
+            arrival_gap_secs: 0.0,
+            policy: MixPolicy::LoadAware,
+            priorities: vec![2, 1],
+            skews: vec![0.0, 0.3, 0.6, 0.9],
+        }))
+        .strategies([DP, FP])
+        .rows(Axis::ConcurrentQueries, [2.0, 4.0, 6.0, 8.0])
+        .reference(Reference::SamePoint(DP))
+        .metric(Metric::Relative)
+        .presentation(Presentation::Mix(table("queries", RowFmt::Int, 8, 8)))
+        .notes(
+            "expectation: FP's per-query disadvantage compounds as concurrency grows —\n\
+             its longer solo times occupy the shared nodes longer, so every FP query\n\
+             also waits longer behind the others.",
+        )
+        .build()
+        .expect("bundled mix-contention spec is valid")
+}
+
+/// Inter-query memory admission — six simultaneous queries admitted FCFS
+/// onto the whole 4×8 machine while the per-node memory limit shrinks: with
+/// generous memory all queries share the machine at once, with tight memory
+/// admission serializes them and response times stretch (the first row is
+/// the generous-memory baseline).
+pub fn mix_memory() -> ScenarioSpec {
+    ScenarioSpec::builder("mix-memory")
+        .title("Mix memory admission")
+        .description("FCFS mix under a shrinking per-node memory limit")
+        .machine(4, 8)
+        .workload(WorkloadSpec::Mix(MixSpec {
+            // Half scale: large enough working sets (a few hundred KB per
+            // node and query) for MB-granular admission limits to bite.
+            queries: 6,
+            relations: 10,
+            scale: 0.5,
+            seed: 0xD1B_1996,
+            arrival_gap_secs: 0.0,
+            policy: MixPolicy::Fcfs,
+            priorities: Vec::new(),
+            skews: Vec::new(),
+        }))
+        .strategies([DP, FP])
+        .rows(Axis::MemoryPerNode, [64.0, 8.0, 3.0, 2.0])
+        .reference(Reference::FirstRow)
+        .metric(Metric::Relative)
+        .presentation(Presentation::Mix(table("mem MB", RowFmt::Int, 8, 8)))
+        .notes(
+            "expectation: 1.0 while every working set fits. Once the per-node limit\n\
+             bites, admission waits appear (wait columns) — and partially serializing\n\
+             the mix can even improve MEAN response versus full processor sharing,\n\
+             while FP holds memory far longer than DP (its solo runs are slower).",
+        )
+        .build()
+        .expect("bundled mix-memory spec is valid")
+}
+
 /// The paper's base hierarchical configuration (4×8, no skew), DP versus FP:
 /// the default subject of `bench_report` and a template for user specs.
 pub fn paper_base() -> ScenarioSpec {
@@ -224,6 +316,26 @@ mod tests {
             assert_eq!(spec.name, name);
         }
         assert!(find("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn mix_scenarios_cover_the_new_axes() {
+        assert_eq!(mix_contention().rows.axis, Axis::ConcurrentQueries);
+        assert!(mix_contention().workload.is_mix());
+        assert!(matches!(
+            mix_contention().presentation,
+            Presentation::Mix(_)
+        ));
+        assert_eq!(mix_memory().rows.axis, Axis::MemoryPerNode);
+        assert!(mix_memory().workload.is_mix());
+    }
+
+    #[test]
+    fn export_returns_errors_instead_of_panicking() {
+        assert!(export("fig6").is_ok());
+        let err = export("no-such-scenario").unwrap_err();
+        assert!(matches!(err, DlbError::NotFound(_)), "{err}");
+        assert!(err.to_string().contains("registered"));
     }
 
     #[test]

@@ -93,6 +93,67 @@ pub fn render_text(report: &ScenarioReport) -> String {
             push_notes(&mut out, &spec.notes);
             out
         }
+        Presentation::Mix(style) => {
+            let labels: Vec<&str> = spec.strategies.iter().map(|s| s.label()).collect();
+            let mut out = banner(spec);
+            // Header: ratio columns, then per-strategy mean response,
+            // makespan, slowdown and admission-wait columns.
+            let _ = write!(out, "{:>w$}", style.row_header, w = style.row_width);
+            for l in &labels {
+                let _ = write!(out, "  {:>w$}", l, w = style.cell_width);
+            }
+            for l in &labels {
+                let _ = write!(out, "  {:>12}", format!("{l} resp s"));
+            }
+            for l in &labels {
+                let _ = write!(out, "  {:>12}", format!("{l} mksp s"));
+            }
+            for l in &labels {
+                let _ = write!(out, "  {:>9}", format!("{l} slow"));
+            }
+            for l in &labels {
+                let _ = write!(out, "  {:>12}", format!("{l} wait s"));
+            }
+            out.push('\n');
+            for point in &report.points {
+                out.push_str(&row_label(spec, style, point.row));
+                for cell in &point.cells {
+                    let _ = write!(out, "  {:>w$}", fmt_ratio(cell.value), w = style.cell_width);
+                }
+                let mix_col = |out: &mut String, f: &dyn Fn(&StrategyCell) -> String| {
+                    for cell in &point.cells {
+                        let _ = write!(out, "  {:>12}", f(cell));
+                    }
+                };
+                mix_col(&mut out, &|c| {
+                    c.mix.as_ref().map_or("n/a".to_string(), |m| {
+                        format!("{:.3}", m.mean_response_secs)
+                    })
+                });
+                mix_col(&mut out, &|c| {
+                    c.mix
+                        .as_ref()
+                        .map_or("n/a".to_string(), |m| format!("{:.3}", m.makespan_secs))
+                });
+                for cell in &point.cells {
+                    let _ = write!(
+                        out,
+                        "  {:>9}",
+                        cell.mix
+                            .as_ref()
+                            .map_or("n/a".to_string(), |m| format!("{:.2}", m.mean_slowdown))
+                    );
+                }
+                mix_col(&mut out, &|c| {
+                    c.mix
+                        .as_ref()
+                        .map_or("n/a".to_string(), |m| format!("{:.3}", m.mean_wait_secs))
+                });
+                out.push('\n');
+            }
+            push_notes(&mut out, &spec.notes);
+            out
+        }
         Presentation::Chain => render_chain(report),
     }
 }
@@ -164,7 +225,7 @@ fn render_chain(report: &ScenarioReport) -> String {
 /// The figure banner: separator, title line, workload line, separator.
 fn banner(spec: &ScenarioSpec) -> String {
     let sep = "=".repeat(64);
-    let workload = match spec.workload {
+    let workload = match &spec.workload {
         WorkloadSpec::Generated {
             queries,
             relations,
@@ -180,6 +241,16 @@ fn banner(spec: &ScenarioSpec) -> String {
         } => format!(
             "workload: {relations}-relation pipeline chain, \
              {build_rows} build rows, {probe_rows} probe rows"
+        ),
+        WorkloadSpec::Mix(mix) => format!(
+            "workload: {}-query mix x {} relations, scale {}, seed {:#x}, \
+             gap {}s, policy {}",
+            mix.queries,
+            mix.relations,
+            mix.scale,
+            mix.seed,
+            mix.arrival_gap_secs,
+            mix.policy.label()
         ),
     };
     format!(
@@ -238,6 +309,8 @@ fn col_header(cols: &Sweep, v: f64) -> String {
         Axis::Nodes => format!("{} nodes", v as u64),
         Axis::Skew => format!("skew {v}"),
         Axis::ErrorRate => format!("{:.0}%", v * 100.0),
+        Axis::ConcurrentQueries => format!("{} queries", v as u64),
+        Axis::MemoryPerNode => format!("{} MB", v as u64),
     }
 }
 
@@ -270,6 +343,37 @@ pub fn render_json(report: &ScenarioReport) -> String {
                 ("total_lb_bytes", Json::from(cell.summary.total_lb_bytes)),
                 ("total_messages", Json::from(cell.summary.total_messages)),
             ]);
+            if let Some(mix) = &cell.mix {
+                members.extend([
+                    ("mix_policy", Json::from(mix.policy.label())),
+                    (
+                        "mix_mean_response_secs",
+                        Json::Float(mix.mean_response_secs),
+                    ),
+                    ("mix_makespan_secs", Json::Float(mix.makespan_secs)),
+                    ("mix_mean_slowdown", Json::Float(mix.mean_slowdown)),
+                    ("mix_mean_wait_secs", Json::Float(mix.mean_wait_secs)),
+                    (
+                        "mix_queries",
+                        Json::Array(
+                            mix.queries
+                                .iter()
+                                .map(|q| {
+                                    object(vec![
+                                        ("query", Json::from(q.query)),
+                                        ("node", q.node.map_or(Json::Null, Json::from)),
+                                        ("arrival_secs", Json::Float(q.arrival_secs)),
+                                        ("wait_secs", Json::Float(q.wait_secs)),
+                                        ("response_secs", Json::Float(q.response_secs)),
+                                        ("solo_secs", Json::Float(q.solo_secs)),
+                                        ("slowdown", Json::Float(q.slowdown)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]);
+            }
             records.push(object(members));
         }
     }
@@ -292,18 +396,30 @@ pub fn render_json(report: &ScenarioReport) -> String {
     .pretty()
 }
 
-/// Renders a report as CSV: one line per (point × strategy).
+/// Renders a report as CSV: one line per (point × strategy). The trailing
+/// mix columns are empty for non-mix scenarios.
 pub fn render_csv(report: &ScenarioReport) -> String {
     let mut out = String::from(
         "row,col,strategy,value,plans,mean_response_secs,mean_idle_fraction,\
-         total_lb_bytes,total_messages\n",
+         total_lb_bytes,total_messages,mix_policy,mix_mean_response_secs,\
+         mix_makespan_secs,mix_mean_slowdown,mix_mean_wait_secs\n",
     );
     for point in &report.points {
         for cell in &point.cells {
             let col = point.col.map_or(String::new(), |c| c.to_string());
+            let mix = cell.mix.as_ref().map_or(",,,,".to_string(), |m| {
+                format!(
+                    "{},{},{},{},{}",
+                    m.policy.label(),
+                    m.mean_response_secs,
+                    m.makespan_secs,
+                    m.mean_slowdown,
+                    m.mean_wait_secs
+                )
+            });
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{}",
                 point.row,
                 col,
                 cell.strategy.label(),
@@ -312,7 +428,8 @@ pub fn render_csv(report: &ScenarioReport) -> String {
                 cell.summary.mean_response_secs,
                 cell.summary.mean_idle_fraction,
                 cell.summary.total_lb_bytes,
-                cell.summary.total_messages
+                cell.summary.total_messages,
+                mix
             );
         }
     }

@@ -8,12 +8,12 @@
 //! fail loudly instead of silently running the default.
 
 use super::spec::{
-    Axis, MachineSpec, Metric, Presentation, Reference, RowFmt, ScenarioSpec, Sweep, TableStyle,
-    WorkloadSpec,
+    Axis, MachineSpec, Metric, MixSpec, Presentation, Reference, RowFmt, ScenarioSpec, Sweep,
+    TableStyle, WorkloadSpec,
 };
 use dlb_common::json::{object, Json};
 use dlb_common::{DlbError, Result};
-use dlb_exec::{ContentionModel, ExecOptions, FlowControl, StealPolicy, Strategy};
+use dlb_exec::{ContentionModel, ExecOptions, FlowControl, MixPolicy, StealPolicy, Strategy};
 
 impl ScenarioSpec {
     /// Serializes the spec as pretty-printed JSON (the on-disk spec-file
@@ -37,6 +37,8 @@ pub(super) fn axis_name(axis: Axis) -> &'static str {
         Axis::Nodes => "nodes",
         Axis::ProcessorsPerNode => "processors_per_node",
         Axis::ErrorRate => "error_rate",
+        Axis::ConcurrentQueries => "concurrent_queries",
+        Axis::MemoryPerNode => "memory_per_node_mb",
     }
 }
 
@@ -46,8 +48,11 @@ fn axis_from_name(name: &str) -> Result<Axis> {
         "nodes" => Ok(Axis::Nodes),
         "processors_per_node" => Ok(Axis::ProcessorsPerNode),
         "error_rate" => Ok(Axis::ErrorRate),
+        "concurrent_queries" => Ok(Axis::ConcurrentQueries),
+        "memory_per_node_mb" => Ok(Axis::MemoryPerNode),
         other => Err(parse_err(format!(
-            "unknown axis {other:?} (expected skew | nodes | processors_per_node | error_rate)"
+            "unknown axis {other:?} (expected skew | nodes | processors_per_node | error_rate \
+             | concurrent_queries | memory_per_node_mb)"
         ))),
     }
 }
@@ -57,27 +62,31 @@ fn parse_err(msg: impl Into<String>) -> DlbError {
 }
 
 pub(super) fn machine_to_json(machine: &MachineSpec) -> Json {
-    object(vec![
+    let mut members = vec![
         ("nodes", Json::from(machine.nodes)),
         (
             "processors_per_node",
             Json::from(machine.processors_per_node),
         ),
-    ])
+    ];
+    if let Some(mb) = machine.memory_per_node_mb {
+        members.push(("memory_per_node_mb", Json::from(mb)));
+    }
+    object(members)
 }
 
 pub(super) fn workload_to_json(workload: &WorkloadSpec) -> Json {
-    match *workload {
+    match workload {
         WorkloadSpec::Generated {
             queries,
             relations,
             scale,
             seed,
         } => object(vec![
-            ("queries", Json::from(queries)),
-            ("relations", Json::from(relations)),
-            ("scale", Json::Float(scale)),
-            ("seed", Json::from(seed)),
+            ("queries", Json::from(*queries)),
+            ("relations", Json::from(*relations)),
+            ("scale", Json::Float(*scale)),
+            ("seed", Json::from(*seed)),
         ]),
         WorkloadSpec::Chain {
             relations,
@@ -86,9 +95,28 @@ pub(super) fn workload_to_json(workload: &WorkloadSpec) -> Json {
         } => object(vec![(
             "chain",
             object(vec![
-                ("relations", Json::from(relations)),
-                ("build_rows", Json::from(build_rows)),
-                ("probe_rows", Json::from(probe_rows)),
+                ("relations", Json::from(*relations)),
+                ("build_rows", Json::from(*build_rows)),
+                ("probe_rows", Json::from(*probe_rows)),
+            ]),
+        )]),
+        WorkloadSpec::Mix(mix) => object(vec![(
+            "mix",
+            object(vec![
+                ("queries", Json::from(mix.queries)),
+                ("relations", Json::from(mix.relations)),
+                ("scale", Json::Float(mix.scale)),
+                ("seed", Json::from(mix.seed)),
+                ("arrival_gap_secs", Json::Float(mix.arrival_gap_secs)),
+                ("policy", Json::from(mix.policy.label())),
+                (
+                    "priorities",
+                    Json::Array(mix.priorities.iter().map(|&p| Json::from(p)).collect()),
+                ),
+                (
+                    "skews",
+                    Json::Array(mix.skews.iter().map(|&s| Json::Float(s)).collect()),
+                ),
             ]),
         )]),
     }
@@ -256,6 +284,7 @@ fn presentation_to_json(p: &Presentation) -> Json {
         Presentation::Table(style) => object(vec![("table", style_to_json(style))]),
         Presentation::Grid(style) => object(vec![("grid", style_to_json(style))]),
         Presentation::Balance(style) => object(vec![("balance", style_to_json(style))]),
+        Presentation::Mix(style) => object(vec![("mix", style_to_json(style))]),
         Presentation::Chain => Json::from("chain"),
     }
 }
@@ -270,13 +299,15 @@ fn presentation_from_json(v: &Json, default_axis: Axis) -> Result<Presentation> 
                 "table" => Ok(Presentation::Table(style)),
                 "grid" => Ok(Presentation::Grid(style)),
                 "balance" => Ok(Presentation::Balance(style)),
+                "mix" => Ok(Presentation::Mix(style)),
                 other => Err(parse_err(format!(
-                    "unknown presentation {other:?} (expected table | grid | balance | \"chain\")"
+                    "unknown presentation {other:?} \
+                     (expected table | grid | balance | mix | \"chain\")"
                 ))),
             }
         }
         _ => Err(parse_err(
-            "presentation must be \"chain\" or {\"table\"|\"grid\"|\"balance\": {..}}",
+            "presentation must be \"chain\" or {\"table\"|\"grid\"|\"balance\"|\"mix\": {..}}",
         )),
     }
 }
@@ -363,6 +394,80 @@ fn options_from_json(v: &Json) -> Result<ExecOptions> {
 }
 
 fn workload_from_json(v: &Json) -> Result<WorkloadSpec> {
+    if let Some(mix) = v.get("mix") {
+        expect_keys(v, &["mix"], "workload")?;
+        expect_keys(
+            mix,
+            &[
+                "queries",
+                "relations",
+                "scale",
+                "seed",
+                "arrival_gap_secs",
+                "policy",
+                "priorities",
+                "skews",
+            ],
+            "workload.mix",
+        )?;
+        let d = MixSpec::default();
+        let opt_u64 = |key: &str, default: u64| -> Result<u64> {
+            match mix.get(key) {
+                None => Ok(default),
+                Some(j) => j.as_u64().ok_or_else(|| {
+                    parse_err(format!("mix {key:?} must be a non-negative integer"))
+                }),
+            }
+        };
+        let opt_f64 = |key: &str, default: f64| -> Result<f64> {
+            match mix.get(key) {
+                None => Ok(default),
+                Some(j) => j
+                    .as_f64()
+                    .ok_or_else(|| parse_err(format!("mix {key:?} must be a number"))),
+            }
+        };
+        let policy = match mix.get("policy") {
+            None => d.policy,
+            Some(j) => {
+                let label = j
+                    .as_str()
+                    .ok_or_else(|| parse_err("mix \"policy\" must be a string"))?;
+                MixPolicy::from_label(label)?
+            }
+        };
+        let priorities = match mix.get("priorities").and_then(Json::as_array) {
+            None => d.priorities.clone(),
+            Some(items) => items
+                .iter()
+                .map(|j| {
+                    j.as_u64()
+                        .map(|p| p as u32)
+                        .ok_or_else(|| parse_err("mix priorities must be integers"))
+                })
+                .collect::<Result<_>>()?,
+        };
+        let skews = match mix.get("skews").and_then(Json::as_array) {
+            None => d.skews.clone(),
+            Some(items) => items
+                .iter()
+                .map(|j| {
+                    j.as_f64()
+                        .ok_or_else(|| parse_err("mix skews must be numbers"))
+                })
+                .collect::<Result<_>>()?,
+        };
+        return Ok(WorkloadSpec::Mix(MixSpec {
+            queries: opt_u64("queries", d.queries as u64)? as usize,
+            relations: opt_u64("relations", d.relations as u64)? as usize,
+            scale: opt_f64("scale", d.scale)?,
+            seed: opt_u64("seed", d.seed)?,
+            arrival_gap_secs: opt_f64("arrival_gap_secs", d.arrival_gap_secs)?,
+            policy,
+            priorities,
+            skews,
+        }));
+    }
     if let Some(chain) = v.get("chain") {
         expect_keys(v, &["chain"], "workload")?;
         expect_keys(
@@ -501,7 +606,11 @@ fn spec_from_json(doc: &Json) -> Result<ScenarioSpec> {
     let machine = match doc.get("machine") {
         None => MachineSpec::default(),
         Some(m) => {
-            expect_keys(m, &["nodes", "processors_per_node"], "machine")?;
+            expect_keys(
+                m,
+                &["nodes", "processors_per_node", "memory_per_node_mb"],
+                "machine",
+            )?;
             let d = MachineSpec::default();
             MachineSpec {
                 nodes: m
@@ -520,6 +629,13 @@ fn spec_from_json(doc: &Json) -> Result<ScenarioSpec> {
                     })
                     .transpose()?
                     .map_or(d.processors_per_node, |n| n as u32),
+                memory_per_node_mb: m
+                    .get("memory_per_node_mb")
+                    .map(|j| {
+                        j.as_u64()
+                            .ok_or_else(|| parse_err("\"memory_per_node_mb\" must be an integer"))
+                    })
+                    .transpose()?,
             }
         }
     };
@@ -572,6 +688,7 @@ fn spec_from_json(doc: &Json) -> Result<ScenarioSpec> {
     };
     let presentation = match doc.get("presentation") {
         None if columns.is_some() => Presentation::Grid(TableStyle::for_axis(rows.axis)),
+        None if workload.is_mix() => Presentation::Mix(TableStyle::for_axis(rows.axis)),
         None => Presentation::Table(TableStyle::for_axis(rows.axis)),
         Some(p) => presentation_from_json(p, rows.axis)?,
     };
@@ -659,6 +776,77 @@ mod tests {
             assert!(ScenarioSpec::from_json(bad).is_err(), "accepted {bad}");
         }
         assert!(ScenarioSpec::from_json(r#"{"title": "no name"}"#).is_err());
+    }
+
+    #[test]
+    fn mix_workloads_parse_with_defaults_and_round_trip() {
+        let spec = ScenarioSpec::from_json(
+            r#"{"name": "mini-mix", "workload": {"mix": {"queries": 3, "policy": "fcfs",
+                "arrival_gap_secs": 0.25, "priorities": [2, 1], "skews": [0.1, 0.9]}}}"#,
+        )
+        .unwrap();
+        let WorkloadSpec::Mix(mix) = &spec.workload else {
+            panic!("expected a mix workload");
+        };
+        assert_eq!(mix.queries, 3);
+        assert_eq!(mix.policy, MixPolicy::Fcfs);
+        assert_eq!(mix.arrival_gap_secs, 0.25);
+        assert_eq!(mix.priorities, vec![2, 1]);
+        assert_eq!(mix.skews, vec![0.1, 0.9]);
+        // Unset generation knobs inherit the defaults.
+        assert_eq!(mix.relations, MixSpec::default().relations);
+        // Mix workloads derive the mix presentation.
+        assert!(matches!(spec.presentation, Presentation::Mix(_)));
+        assert_eq!(ScenarioSpec::from_json(&spec.to_json()).unwrap(), spec);
+    }
+
+    #[test]
+    fn machine_memory_and_new_axes_round_trip() {
+        let spec = ScenarioSpec::from_json(
+            r#"{"name": "mem", "machine": {"nodes": 2, "memory_per_node_mb": 128},
+                "sweep": {"axis": "memory_per_node_mb", "values": [64, 8]}}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.machine.memory_per_node_mb, Some(128));
+        assert_eq!(spec.rows.axis, Axis::MemoryPerNode);
+        assert_eq!(ScenarioSpec::from_json(&spec.to_json()).unwrap(), spec);
+        // A spec without the memory field keeps serializing without it.
+        let plain = ScenarioSpec::from_json(r#"{"name": "plain"}"#).unwrap();
+        assert!(!plain.to_json().contains("memory_per_node_mb"));
+    }
+
+    #[test]
+    fn unsupported_axis_combinations_error_via_dlb_error() {
+        // Regression (scenario --export / --spec): an unknown axis is a
+        // parse error, and a known axis on a workload that cannot support it
+        // is a validation error — never a panic deeper in the driver.
+        let unknown = ScenarioSpec::from_json(
+            r#"{"name": "x", "sweep": {"axis": "speed_of_light", "values": [1]}}"#,
+        )
+        .unwrap_err();
+        assert!(matches!(unknown, DlbError::Parse(_)), "{unknown}");
+        let unsupported = ScenarioSpec::from_json(
+            r#"{"name": "x", "sweep": {"axis": "concurrent_queries", "values": [2, 4]}}"#,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(unsupported, DlbError::InvalidConfig(ref m) if m.contains("mix workload")),
+            "{unsupported}"
+        );
+    }
+
+    #[test]
+    fn bad_mix_fields_are_rejected() {
+        for bad in [
+            r#"{"name": "x", "workload": {"mix": {"polcy": "fcfs"}}}"#,
+            r#"{"name": "x", "workload": {"mix": {"policy": "shortest-job"}}}"#,
+            r#"{"name": "x", "workload": {"mix": {"priorities": [0]}}}"#,
+            r#"{"name": "x", "workload": {"mix": {"skews": [3.0]}}}"#,
+            r#"{"name": "x", "workload": {"mix": {"arrival_gap_secs": -2}}}"#,
+            r#"{"name": "x", "workload": {"mix": {}, "queries": 2}}"#,
+        ] {
+            assert!(ScenarioSpec::from_json(bad).is_err(), "accepted {bad}");
+        }
     }
 
     #[test]

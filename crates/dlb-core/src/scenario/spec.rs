@@ -1,8 +1,9 @@
 //! The typed scenario description: what to run, over which sweep axes,
 //! against which reference, and how to present it.
 
+use crate::workload::MixEntry;
 use dlb_common::{DlbError, Result};
-use dlb_exec::{ExecOptions, Strategy};
+use dlb_exec::{ExecOptions, MixPolicy, Strategy};
 
 /// A sweepable dimension of the evaluation grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,6 +17,12 @@ pub enum Axis {
     /// FP cost-model error rate, applied to every `Strategy::Fixed` of the
     /// strategy set.
     ErrorRate,
+    /// Number of concurrent queries of a [`WorkloadSpec::Mix`] workload
+    /// (inter-query scheduling scenarios only).
+    ConcurrentQueries,
+    /// Shared memory per SM-node, in megabytes — the admission limit of
+    /// global load balancing and of the inter-query scheduler.
+    MemoryPerNode,
 }
 
 impl Axis {
@@ -26,6 +33,8 @@ impl Axis {
             Axis::Nodes => "nodes",
             Axis::ProcessorsPerNode => "procs",
             Axis::ErrorRate => "error",
+            Axis::ConcurrentQueries => "queries",
+            Axis::MemoryPerNode => "mem MB",
         }
     }
 
@@ -33,9 +42,20 @@ impl Axis {
     pub fn default_row_fmt(&self) -> RowFmt {
         match self {
             Axis::Skew => RowFmt::Fixed1,
-            Axis::Nodes | Axis::ProcessorsPerNode => RowFmt::Int,
+            Axis::Nodes
+            | Axis::ProcessorsPerNode
+            | Axis::ConcurrentQueries
+            | Axis::MemoryPerNode => RowFmt::Int,
             Axis::ErrorRate => RowFmt::Percent,
         }
+    }
+
+    /// True for axes whose sweep values must be positive integers.
+    pub fn is_integer(&self) -> bool {
+        matches!(
+            self,
+            Axis::Nodes | Axis::ProcessorsPerNode | Axis::ConcurrentQueries | Axis::MemoryPerNode
+        )
     }
 }
 
@@ -66,6 +86,10 @@ pub struct MachineSpec {
     pub nodes: u32,
     /// Processors per SM-node.
     pub processors_per_node: u32,
+    /// Shared memory per SM-node in megabytes; `None` keeps the library
+    /// default (512 MB). A [`Axis::MemoryPerNode`] sweep overrides this per
+    /// point.
+    pub memory_per_node_mb: Option<u64>,
 }
 
 impl Default for MachineSpec {
@@ -74,12 +98,90 @@ impl Default for MachineSpec {
         Self {
             nodes: 4,
             processors_per_node: 8,
+            memory_per_node_mb: None,
         }
     }
 }
 
+/// An inter-query mix workload: N concurrent queries sharing the machine's
+/// SM-nodes under an admission/placement policy (see [`dlb_exec::mix`]).
+///
+/// The inner workload is generated exactly like [`WorkloadSpec::Generated`]
+/// (one plan per query); `arrival_gap_secs`, `priorities` and `skews` derive
+/// the per-query [`MixEntry`] descriptors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixSpec {
+    /// Number of concurrent queries (overridden per point by an
+    /// [`Axis::ConcurrentQueries`] sweep).
+    pub queries: usize,
+    /// Relations per generated query.
+    pub relations: usize,
+    /// Cardinality scale factor (1.0 = paper scale).
+    pub scale: f64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Arrival spacing: query `i` arrives at `i * arrival_gap_secs`.
+    pub arrival_gap_secs: f64,
+    /// Admission / placement policy of the mix.
+    pub policy: MixPolicy,
+    /// Per-query priorities, cycled over the queries; empty = all 1.
+    pub priorities: Vec<u32>,
+    /// Per-query skew profiles, cycled over the queries; empty = every query
+    /// uses the scenario's base `options.skew`.
+    pub skews: Vec<f64>,
+}
+
+impl Default for MixSpec {
+    /// A reduced-scale four-query mix under load-aware placement.
+    fn default() -> Self {
+        let WorkloadSpec::Generated {
+            relations,
+            scale,
+            seed,
+            ..
+        } = WorkloadSpec::default()
+        else {
+            unreachable!("default workload is generated");
+        };
+        Self {
+            queries: 4,
+            relations,
+            scale,
+            seed,
+            arrival_gap_secs: 0.0,
+            policy: MixPolicy::LoadAware,
+            priorities: Vec::new(),
+            skews: Vec::new(),
+        }
+    }
+}
+
+impl MixSpec {
+    /// Materializes the per-query [`MixEntry`] descriptors for `queries`
+    /// concurrent queries (the spec's own count, unless an
+    /// [`Axis::ConcurrentQueries`] sweep overrode it), with `base_skew` as
+    /// the profile of queries not covered by `skews`.
+    pub fn entries(&self, queries: usize, base_skew: f64) -> Vec<MixEntry> {
+        (0..queries)
+            .map(|i| MixEntry {
+                arrival_secs: i as f64 * self.arrival_gap_secs,
+                priority: if self.priorities.is_empty() {
+                    1
+                } else {
+                    self.priorities[i % self.priorities.len()]
+                },
+                skew: if self.skews.is_empty() {
+                    base_skew
+                } else {
+                    self.skews[i % self.skews.len()]
+                },
+            })
+            .collect()
+    }
+}
+
 /// The workload a scenario executes.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum WorkloadSpec {
     /// A generated multi-join workload (§5.1.2): `queries` random queries
     /// over `relations` relations each, compiled to their best bushy plans.
@@ -104,6 +206,9 @@ pub enum WorkloadSpec {
         /// Cardinality of the probing relation.
         probe_rows: u64,
     },
+    /// An inter-query mix: N concurrent queries scheduled onto shared
+    /// SM-nodes (see [`MixSpec`]).
+    Mix(MixSpec),
 }
 
 impl Default for WorkloadSpec {
@@ -117,6 +222,13 @@ impl Default for WorkloadSpec {
             scale: 0.1,
             seed: 0xD1B_1996,
         }
+    }
+}
+
+impl WorkloadSpec {
+    /// True for inter-query mix workloads.
+    pub fn is_mix(&self) -> bool {
+        matches!(self, WorkloadSpec::Mix(_))
     }
 }
 
@@ -196,6 +308,10 @@ pub enum Presentation {
     /// The §5.3 pipeline-chain report: plan shape, absolute response times
     /// and load-balancing traffic of each strategy.
     Chain,
+    /// Inter-query mix report: strategy ratio columns followed by
+    /// per-strategy mean response, makespan, slowdown and admission-wait
+    /// columns (mix workloads only).
+    Mix(TableStyle),
 }
 
 /// A complete, serializable description of one evaluation scenario.
@@ -238,14 +354,31 @@ pub struct ScenarioSpec {
 
 impl ScenarioSpec {
     /// Starts building a scenario with the given name.
+    ///
+    /// ```
+    /// use dlb_core::scenario::{Axis, Reference, ScenarioSpec};
+    /// use dlb_core::Strategy;
+    ///
+    /// let spec = ScenarioSpec::builder("skew-sweep")
+    ///     .title("Skew sweep")
+    ///     .machine(2, 4)
+    ///     .strategies([Strategy::Dynamic, Strategy::Fixed { error_rate: 0.0 }])
+    ///     .rows(Axis::Skew, [0.0, 0.5, 1.0])
+    ///     .reference(Reference::SamePoint(Strategy::Dynamic))
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(spec.rows.values.len(), 3);
+    /// assert!(spec.validate().is_ok());
+    /// ```
     pub fn builder(name: impl Into<String>) -> ScenarioSpecBuilder {
         ScenarioSpecBuilder::new(name)
     }
 
     /// Returns a copy with the generated-workload parameters replaced
-    /// (chain workloads are returned unchanged). This is how the harness
-    /// applies `--paper` / `HIERDB_*` environment overrides to bundled
-    /// specs.
+    /// (chain workloads are returned unchanged; mix workloads keep their
+    /// scheduling knobs but replace the generation parameters). This is how
+    /// the harness applies `--paper` / `HIERDB_*` environment overrides to
+    /// bundled specs.
     pub fn with_generated_workload(
         mut self,
         queries: usize,
@@ -253,13 +386,22 @@ impl ScenarioSpec {
         scale: f64,
         seed: u64,
     ) -> Self {
-        if let WorkloadSpec::Generated { .. } = self.workload {
-            self.workload = WorkloadSpec::Generated {
-                queries,
-                relations,
-                scale,
-                seed,
-            };
+        match &mut self.workload {
+            WorkloadSpec::Generated { .. } => {
+                self.workload = WorkloadSpec::Generated {
+                    queries,
+                    relations,
+                    scale,
+                    seed,
+                };
+            }
+            WorkloadSpec::Mix(mix) => {
+                mix.queries = queries;
+                mix.relations = relations;
+                mix.scale = scale;
+                mix.seed = seed;
+            }
+            WorkloadSpec::Chain { .. } => {}
         }
         self
     }
@@ -281,6 +423,9 @@ impl ScenarioSpec {
         if self.machine.nodes == 0 || self.machine.processors_per_node == 0 {
             return fail("machine must have at least 1x1 processors".to_string());
         }
+        if self.machine.memory_per_node_mb == Some(0) {
+            return fail("memory_per_node_mb must be positive".to_string());
+        }
         for sweep in std::iter::once(&self.rows).chain(self.columns.as_ref()) {
             if sweep.values.is_empty() {
                 return fail("empty sweep".to_string());
@@ -289,14 +434,32 @@ impl ScenarioSpec {
                 if !v.is_finite() {
                     return fail(format!("non-finite {} value {v}", sweep.axis.label()));
                 }
-                if matches!(sweep.axis, Axis::Nodes | Axis::ProcessorsPerNode)
-                    && (v < 1.0 || v.fract() != 0.0 || v > u32::MAX as f64)
-                {
+                if sweep.axis.is_integer() && (v < 1.0 || v.fract() != 0.0 || v > u32::MAX as f64) {
                     return fail(format!(
                         "{} values must be positive integers, got {v}",
                         sweep.axis.label()
                     ));
                 }
+            }
+            // The concurrent-queries axis resizes a mix; on any other
+            // workload it has nothing to act on. Rejecting it here keeps
+            // `scenario --export` / `run_scenario` on the error path instead
+            // of a panic deeper in the driver.
+            if sweep.axis == Axis::ConcurrentQueries && !self.workload.is_mix() {
+                return fail(format!(
+                    "the {} axis requires a mix workload",
+                    sweep.axis.label()
+                ));
+            }
+            // A first-row reference compares per-query response times by
+            // mix index; rows of different concurrency run different query
+            // sets, so the comparison would be meaningless.
+            if sweep.axis == Axis::ConcurrentQueries && self.reference == Reference::FirstRow {
+                return fail(
+                    "a first_row reference cannot span a concurrent_queries sweep \
+                     (rows run different query sets); use a same_point reference"
+                        .to_string(),
+                );
             }
         }
         if let Some(cols) = &self.columns {
@@ -322,11 +485,14 @@ impl ScenarioSpec {
             }
         }
         match (&self.presentation, &self.workload) {
-            (Presentation::Chain, WorkloadSpec::Generated { .. }) => {
+            (Presentation::Chain, w) if !matches!(w, WorkloadSpec::Chain { .. }) => {
                 return fail("chain presentation requires a chain workload".to_string());
             }
             (Presentation::Chain, _) if self.columns.is_some() || self.rows.values.len() != 1 => {
                 return fail("chain presentation requires a single sweep point".to_string());
+            }
+            (Presentation::Mix(_), w) if !w.is_mix() => {
+                return fail("mix presentation requires a mix workload".to_string());
             }
             (Presentation::Grid(_), _) if self.columns.is_none() => {
                 return fail("grid presentation requires a column sweep".to_string());
@@ -340,7 +506,9 @@ impl ScenarioSpec {
                     self.strategies.len()
                 ));
             }
-            (Presentation::Table(_) | Presentation::Balance(_), _) if self.columns.is_some() => {
+            (Presentation::Table(_) | Presentation::Balance(_) | Presentation::Mix(_), _)
+                if self.columns.is_some() =>
+            {
                 return fail("column sweeps require the grid presentation".to_string());
             }
             _ => {}
@@ -350,9 +518,34 @@ impl ScenarioSpec {
                 return fail("chain workloads need at least 2 relations".to_string());
             }
         }
+        if let WorkloadSpec::Mix(mix) = &self.workload {
+            if mix.queries == 0 {
+                return fail("mix workloads need at least 1 query".to_string());
+            }
+            if mix.relations < 2 {
+                return fail("mix queries need at least 2 relations".to_string());
+            }
+            if !(mix.arrival_gap_secs.is_finite() && mix.arrival_gap_secs >= 0.0) {
+                return fail(format!(
+                    "mix arrival gap must be a non-negative number, got {}",
+                    mix.arrival_gap_secs
+                ));
+            }
+            if mix.priorities.contains(&0) {
+                return fail("mix priorities must be ≥ 1".to_string());
+            }
+            if mix
+                .skews
+                .iter()
+                .any(|&s| !(s.is_finite() && (0.0..=1.0).contains(&s)))
+            {
+                return fail("mix skew profiles must lie in [0, 1]".to_string());
+            }
+        }
         if let Presentation::Table(style)
         | Presentation::Grid(style)
-        | Presentation::Balance(style) = &self.presentation
+        | Presentation::Balance(style)
+        | Presentation::Mix(style) = &self.presentation
         {
             if !style.headers.is_empty() && style.headers.len() != self.strategies.len() {
                 return fail(format!(
@@ -417,12 +610,17 @@ impl ScenarioSpecBuilder {
         self
     }
 
-    /// Sets the base machine shape.
+    /// Sets the base machine shape (memory per node keeps its current
+    /// setting).
     pub fn machine(mut self, nodes: u32, processors_per_node: u32) -> Self {
-        self.spec.machine = MachineSpec {
-            nodes,
-            processors_per_node,
-        };
+        self.spec.machine.nodes = nodes;
+        self.spec.machine.processors_per_node = processors_per_node;
+        self
+    }
+
+    /// Sets the shared memory per SM-node, in megabytes.
+    pub fn memory_per_node_mb(mut self, mb: u64) -> Self {
+        self.spec.machine.memory_per_node_mb = Some(mb);
         self
     }
 
@@ -482,11 +680,15 @@ impl ScenarioSpecBuilder {
     }
 
     /// Validates and returns the spec. When no presentation was set
-    /// explicitly, a default table styled for the row axis is derived.
+    /// explicitly, a default styled for the row axis is derived: a grid for
+    /// column sweeps, the mix report for mix workloads, a plain table
+    /// otherwise.
     pub fn build(mut self) -> Result<ScenarioSpec> {
         if !self.presentation_set {
             self.spec.presentation = if self.spec.columns.is_some() {
                 Presentation::Grid(TableStyle::for_axis(self.spec.rows.axis))
+            } else if self.spec.workload.is_mix() {
+                Presentation::Mix(TableStyle::for_axis(self.spec.rows.axis))
             } else {
                 Presentation::Table(TableStyle::for_axis(self.spec.rows.axis))
             };
@@ -568,6 +770,108 @@ mod tests {
             .columns(Axis::ProcessorsPerNode, [8.0, 16.0])
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn mix_specs_validate_and_derive_the_mix_presentation() {
+        let spec = ScenarioSpec::builder("mix")
+            .workload(WorkloadSpec::Mix(MixSpec::default()))
+            .rows(Axis::ConcurrentQueries, [2.0, 4.0])
+            .build()
+            .unwrap();
+        assert!(matches!(spec.presentation, Presentation::Mix(_)));
+        // Entries cycle priorities and skews, defaulting to 1 / base skew.
+        let entries = MixSpec {
+            arrival_gap_secs: 0.5,
+            priorities: vec![2, 1],
+            skews: vec![0.3],
+            ..MixSpec::default()
+        }
+        .entries(3, 0.9);
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[2].arrival_secs, 1.0);
+        assert_eq!(entries[0].priority, 2);
+        assert_eq!(entries[1].priority, 1);
+        assert_eq!(entries[2].priority, 2);
+        assert!(entries.iter().all(|e| e.skew == 0.3));
+        let defaults = MixSpec::default().entries(2, 0.9);
+        assert!(defaults.iter().all(|e| e.priority == 1 && e.skew == 0.9));
+    }
+
+    #[test]
+    fn mix_validation_rejects_unsupported_axes_and_bad_knobs() {
+        // The concurrent-queries axis needs a mix workload.
+        let err = ScenarioSpec::builder("x")
+            .rows(Axis::ConcurrentQueries, [2.0])
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, DlbError::InvalidConfig(ref m) if m.contains("mix workload")),
+            "{err}"
+        );
+        // The mix presentation needs a mix workload.
+        assert!(ScenarioSpec::builder("x")
+            .presentation(Presentation::Mix(TableStyle::for_axis(Axis::Skew)))
+            .build()
+            .is_err());
+        // Chain presentation on a mix workload is rejected.
+        assert!(ScenarioSpec::builder("x")
+            .workload(WorkloadSpec::Mix(MixSpec::default()))
+            .presentation(Presentation::Chain)
+            .build()
+            .is_err());
+        // Bad mix knobs.
+        for bad in [
+            MixSpec {
+                queries: 0,
+                ..MixSpec::default()
+            },
+            MixSpec {
+                arrival_gap_secs: -1.0,
+                ..MixSpec::default()
+            },
+            MixSpec {
+                priorities: vec![0],
+                ..MixSpec::default()
+            },
+            MixSpec {
+                skews: vec![2.0],
+                ..MixSpec::default()
+            },
+        ] {
+            assert!(
+                ScenarioSpec::builder("x")
+                    .workload(WorkloadSpec::Mix(bad.clone()))
+                    .build()
+                    .is_err(),
+                "{bad:?}"
+            );
+        }
+        // first_row across a concurrency sweep compares different query
+        // sets — rejected.
+        assert!(ScenarioSpec::builder("x")
+            .workload(WorkloadSpec::Mix(MixSpec::default()))
+            .rows(Axis::ConcurrentQueries, [2.0, 4.0])
+            .reference(Reference::FirstRow)
+            .build()
+            .is_err());
+        // Memory axis values must be positive integers; zero base memory is
+        // rejected.
+        assert!(ScenarioSpec::builder("x")
+            .rows(Axis::MemoryPerNode, [0.5])
+            .build()
+            .is_err());
+        let mut spec = ScenarioSpec::builder("x").build().unwrap();
+        spec.machine.memory_per_node_mb = Some(0);
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn memory_axis_is_valid_on_any_workload() {
+        let spec = ScenarioSpec::builder("mem")
+            .rows(Axis::MemoryPerNode, [64.0, 512.0])
+            .build();
+        assert!(spec.is_ok());
     }
 
     #[test]

@@ -61,6 +61,23 @@ impl HierarchicalSystem {
         self
     }
 
+    /// Returns a copy of this system with a different number of SM-nodes;
+    /// processors per node, memory and every other parameter are unchanged.
+    /// Used by the inter-query scheduler to derive the single-node placement
+    /// shape of a pinned query.
+    pub fn with_nodes(mut self, nodes: u32) -> Self {
+        self.config.machine.nodes = nodes.max(1);
+        self
+    }
+
+    /// Returns a copy of this system with a different shared-memory size per
+    /// SM-node (the admission limit of global load balancing and of the
+    /// inter-query scheduler).
+    pub fn with_memory_per_node(mut self, bytes: u64) -> Self {
+        self.config.machine.memory_per_node_bytes = bytes;
+        self
+    }
+
     /// Number of SM-nodes.
     pub fn nodes(&self) -> u32 {
         self.config.machine.nodes

@@ -8,6 +8,7 @@ use dlb_query::optimizer::{Optimizer, OptimizerParams};
 use dlb_query::optree::OperatorTree;
 use dlb_query::plan::{ChainScheduling, OperatorHomes, ParallelPlan};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Identity of a compiled workload, usable as (part of) a cache key.
 ///
@@ -65,6 +66,16 @@ impl WorkloadFingerprint {
     fn adhoc() -> Self {
         let tag = ADHOC_WORKLOADS.fetch_add(1, Ordering::Relaxed);
         Self(Box::new([0, tag]))
+    }
+
+    /// Extends a base fingerprint with additional identity bits (used by
+    /// [`CompiledWorkload::subset`] to key a sub-workload on its parent's
+    /// identity plus the selected plan indices).
+    fn derived(base: &WorkloadFingerprint, extra: impl IntoIterator<Item = u64>) -> Self {
+        let mut bits: Vec<u64> = vec![2]; // discriminant: derived
+        bits.extend(base.0.iter().copied());
+        bits.extend(extra);
+        Self(bits.into_boxed_slice())
     }
 }
 
@@ -178,6 +189,160 @@ impl CompiledWorkload {
     pub fn iter_plans(&self) -> impl Iterator<Item = &ParallelPlan> {
         self.plans.iter().map(|(_, p)| p)
     }
+
+    /// A sub-workload holding only the plans at `indices` (in the given
+    /// order), keeping their `(query index, plan)` pairing.
+    ///
+    /// The subset's fingerprint is *derived deterministically* from this
+    /// workload's fingerprint and the index list, so equal subsets of equal
+    /// workloads share [`crate::RunCache`] entries across experiments and
+    /// sweep points — this is how [`crate::Experiment::run_mix`] simulates
+    /// each query of a mix exactly once per configuration.
+    pub fn subset(&self, indices: &[usize]) -> CompiledWorkload {
+        let plans = indices.iter().map(|&i| self.plans[i].clone()).collect();
+        let fingerprint = WorkloadFingerprint::derived(
+            &self.fingerprint,
+            std::iter::once(indices.len() as u64).chain(indices.iter().map(|&i| i as u64)),
+        );
+        CompiledWorkload {
+            queries: self.queries.clone(),
+            plans,
+            fingerprint,
+        }
+    }
+}
+
+/// Per-query descriptor of an inter-query mix: when the query arrives, how
+/// it is weighted against concurrent queries, and the redistribution-skew
+/// profile its own execution exhibits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixEntry {
+    /// Arrival offset from the start of the mix, in seconds.
+    pub arrival_secs: f64,
+    /// Scheduling priority (≥ 1), the processor-sharing weight of the query
+    /// against concurrent queries on the same SM-node.
+    pub priority: u32,
+    /// Redistribution-skew factor (Zipf theta) of this query's execution.
+    pub skew: f64,
+}
+
+impl Default for MixEntry {
+    fn default() -> Self {
+        Self {
+            arrival_secs: 0.0,
+            priority: 1,
+            skew: 0.0,
+        }
+    }
+}
+
+/// N concurrent queries built on top of one [`CompiledWorkload`]: one plan
+/// per query (the optimizer's best tree) plus a [`MixEntry`] per query.
+///
+/// A `QueryMix` is the unit the inter-query scheduler works on (see
+/// [`crate::Experiment::run_mix`] and [`dlb_exec::mix`]). Its cache identity
+/// flows through the existing fingerprint machinery: the solo runs of its
+/// queries are keyed by derived sub-workload fingerprints
+/// ([`CompiledWorkload::subset`]) plus the execution options carrying each
+/// query's skew profile, so repeated configurations are cache hits while
+/// any input difference separates entries.
+#[derive(Debug, Clone)]
+pub struct QueryMix {
+    workload: Arc<CompiledWorkload>,
+    entries: Vec<MixEntry>,
+    /// Plan index (within the workload) chosen for each query.
+    chosen: Vec<usize>,
+}
+
+impl QueryMix {
+    /// Builds a mix over `workload` with one [`MixEntry`] per query.
+    ///
+    /// The first compiled plan of each query becomes the query's plan;
+    /// `entries` must therefore have exactly one element per distinct query
+    /// of the workload.
+    pub fn new(workload: Arc<CompiledWorkload>, entries: Vec<MixEntry>) -> Result<Self> {
+        let mut chosen: Vec<usize> = Vec::new();
+        let mut seen_query = std::collections::BTreeSet::new();
+        for (plan_index, (query_index, _)) in workload.plans().iter().enumerate() {
+            if seen_query.insert(*query_index) {
+                chosen.push(plan_index);
+            }
+        }
+        if chosen.len() != entries.len() {
+            return Err(dlb_common::DlbError::config(format!(
+                "mix has {} entries for a workload of {} queries",
+                entries.len(),
+                chosen.len()
+            )));
+        }
+        for (i, e) in entries.iter().enumerate() {
+            if e.priority == 0 {
+                return Err(dlb_common::DlbError::config(format!(
+                    "mix query {i} has priority 0 (priorities are ≥ 1)"
+                )));
+            }
+            if !(e.arrival_secs.is_finite() && e.arrival_secs >= 0.0) {
+                return Err(dlb_common::DlbError::config(format!(
+                    "mix query {i} has invalid arrival {}",
+                    e.arrival_secs
+                )));
+            }
+            if !(e.skew.is_finite() && (0.0..=1.0).contains(&e.skew)) {
+                return Err(dlb_common::DlbError::config(format!(
+                    "mix query {i} has skew {} outside [0, 1]",
+                    e.skew
+                )));
+            }
+        }
+        Ok(Self {
+            workload,
+            entries,
+            chosen,
+        })
+    }
+
+    /// The inner compiled workload.
+    pub fn workload(&self) -> &Arc<CompiledWorkload> {
+        &self.workload
+    }
+
+    /// The per-query descriptors, in query order.
+    pub fn entries(&self) -> &[MixEntry] {
+        &self.entries
+    }
+
+    /// Number of queries in the mix.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the mix holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The workload plan index chosen for query `q`.
+    pub fn plan_index(&self, q: usize) -> usize {
+        self.chosen[q]
+    }
+
+    /// The plan chosen for query `q`.
+    pub fn plan(&self, q: usize) -> &ParallelPlan {
+        &self.workload.plans()[self.chosen[q]].1
+    }
+
+    /// Working-set estimate of query `q`, in bytes: the hash tables its plan
+    /// builds (the quantity the engine's global load balancing ships and the
+    /// admission limit reasons about).
+    pub fn memory_demand(&self, q: usize, cost: &CostModel) -> u64 {
+        self.plan(q)
+            .tree
+            .operators()
+            .iter()
+            .filter(|op| op.kind.is_build())
+            .map(|op| cost.hash_table_bytes(op.input_tuples))
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -234,6 +399,87 @@ mod tests {
         assert_eq!(a.fingerprint(), a.clone().fingerprint());
         assert_eq!(a.len(), 1);
         assert!(a.queries().is_empty());
+    }
+
+    #[test]
+    fn query_mix_picks_one_plan_per_query() {
+        let system = HierarchicalSystem::hierarchical(2, 2);
+        let w =
+            Arc::new(CompiledWorkload::generate(WorkloadParams::tiny(3, 4, 5), &system).unwrap());
+        let entries = vec![
+            MixEntry::default(),
+            MixEntry {
+                arrival_secs: 1.5,
+                priority: 2,
+                skew: 0.4,
+            },
+            MixEntry::default(),
+        ];
+        let mix = QueryMix::new(Arc::clone(&w), entries).unwrap();
+        assert_eq!(mix.len(), 3);
+        for q in 0..3 {
+            assert_eq!(
+                w.plans()[mix.plan_index(q)].0,
+                q,
+                "plan belongs to query {q}"
+            );
+        }
+        // A build-heavy plan has a positive memory demand.
+        let cost = CostModel::new(
+            system.config().costs,
+            system.config().disk,
+            system.config().cpu,
+        );
+        assert!(mix.memory_demand(0, &cost) > 0);
+    }
+
+    #[test]
+    fn subsets_derive_deterministic_distinct_fingerprints() {
+        let system = HierarchicalSystem::hierarchical(2, 2);
+        let params = WorkloadParams::tiny(2, 4, 5);
+        let w = CompiledWorkload::generate(params, &system).unwrap();
+        let sub = w.subset(&[0, 2]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.plans()[0].0, w.plans()[0].0);
+        // Equal workload + equal indices → equal fingerprints, even across
+        // separate generations (this is what lets mix solo runs share the
+        // run cache across strategies and sweep points).
+        let again = CompiledWorkload::generate(params, &system)
+            .unwrap()
+            .subset(&[0, 2]);
+        assert_eq!(sub.fingerprint(), again.fingerprint());
+        // Different indices, the full set, and the parent never collide.
+        assert_ne!(sub.fingerprint(), w.subset(&[0, 1]).fingerprint());
+        assert_ne!(sub.fingerprint(), w.fingerprint());
+        let all: Vec<usize> = (0..w.len()).collect();
+        assert_ne!(w.subset(&all).fingerprint(), w.fingerprint());
+    }
+
+    #[test]
+    fn query_mix_rejects_mismatched_or_invalid_entries() {
+        let system = HierarchicalSystem::shared_memory(2);
+        let w =
+            Arc::new(CompiledWorkload::generate(WorkloadParams::tiny(2, 3, 9), &system).unwrap());
+        // Wrong entry count.
+        assert!(QueryMix::new(Arc::clone(&w), vec![MixEntry::default()]).is_err());
+        // Invalid per-query values.
+        for bad in [
+            MixEntry {
+                priority: 0,
+                ..MixEntry::default()
+            },
+            MixEntry {
+                arrival_secs: -1.0,
+                ..MixEntry::default()
+            },
+            MixEntry {
+                skew: 1.5,
+                ..MixEntry::default()
+            },
+        ] {
+            let entries = vec![bad, MixEntry::default()];
+            assert!(QueryMix::new(Arc::clone(&w), entries).is_err(), "{bad:?}");
+        }
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //! The main entry point is [`execute`], which takes a
 //! [`dlb_query::plan::ParallelPlan`], a [`dlb_common::config::SystemConfig`],
 //! a [`Strategy`] and [`ExecOptions`], and returns an [`ExecutionReport`].
+//!
+//! On top of the intra-query engines, the [`mix`] module adds *inter-query*
+//! scheduling: admission, placement ([`MixPolicy`]) and priority-weighted
+//! processor sharing of N concurrent queries on the SM-nodes of one machine
+//! (see [`schedule_mix`]).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -28,6 +33,7 @@
 pub mod activation;
 pub mod engine;
 pub mod fp;
+pub mod mix;
 pub mod options;
 pub mod report;
 pub mod router;
@@ -35,6 +41,7 @@ pub mod sp;
 
 pub use activation::{Activation, ActivationKind, ActivationQueue, DrainOutcome};
 pub use engine::execute;
+pub use mix::{schedule_mix, MixJob, MixPolicy, MixSchedule, QueryOutcome};
 pub use options::{
     ContentionModel, ExecOptions, ExecOptionsBuilder, FlowControl, StealPolicy, Strategy,
 };

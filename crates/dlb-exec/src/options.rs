@@ -143,6 +143,21 @@ pub const DEFAULT_EXEC_SEED: u64 = 0xE8EC;
 
 impl ExecOptions {
     /// Starts building options from the defaults.
+    ///
+    /// ```
+    /// use dlb_exec::{ExecOptions, StealPolicy};
+    ///
+    /// let options = ExecOptions::builder()
+    ///     .skew(0.6)
+    ///     .queue_capacity(128)
+    ///     .steal(StealPolicy { min_tuples: 64, fraction: 0.25 })
+    ///     .build();
+    /// assert_eq!(options.skew, 0.6);
+    /// assert_eq!(options.flow.queue_capacity, 128);
+    /// assert_eq!(options.steal.min_tuples, 64);
+    /// // Untouched groups keep their defaults.
+    /// assert_eq!(options.contention, Default::default());
+    /// ```
     pub fn builder() -> ExecOptionsBuilder {
         ExecOptionsBuilder::default()
     }

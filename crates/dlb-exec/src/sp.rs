@@ -1,6 +1,6 @@
 //! Synchronous Pipelining (SP): the shared-memory reference model.
 //!
-//! In SP (§5.2.1, from [Shekita93] and [Hong92]) every processor is
+//! In SP (§5.2.1, from Shekita '93 and Hong '92) every processor is
 //! multiplexed between I/O and CPU work and participates in *every* operator
 //! of a pipeline chain: a CPU thread reads tuples from the I/O buffers and
 //! pushes each tuple through the whole chain with synchronous procedure

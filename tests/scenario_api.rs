@@ -9,11 +9,16 @@
 //! * **cross-system run cache** — systems differing only in fields the old
 //!   per-experiment `RunKey` ignored (steal tuning, execution seed) never
 //!   share cache entries, while identical configurations do,
-//! * **spec files** — the shipped example spec exercises an axis
-//!   combination (a node-count sweep) no bundled figure covers.
+//! * **spec files** — the shipped example specs exercise axis combinations
+//!   no bundled figure covers (a node-count sweep, a concurrent-queries mix
+//!   sweep),
+//! * **mix scenarios** — the bundled `mix-contention` / `mix-memory`
+//!   specs are golden-pinned, their schedules surface in JSON/CSV, and
+//!   unsupported axis/workload combinations fail with `DlbError`s instead
+//!   of panicking (the `--export` regression of this PR).
 
 use hierdb::scenario::{self, Axis, ScenarioSpec, WorkloadSpec};
-use hierdb::{ExecOptions, Experiment, HierarchicalSystem, Strategy, WorkloadParams};
+use hierdb::{ExecOptions, Experiment, HierarchicalSystem, MixPolicy, Strategy, WorkloadParams};
 use std::sync::Arc;
 
 /// The workload the golden files were captured with (see the capture recipe
@@ -54,6 +59,22 @@ fn fig10_and_chain_specs_reproduce_the_pre_refactor_binary_output() {
     // line and the §5.3 chain experiment.
     let combined = format!("{}\n{}", rendered("fig10"), rendered("chain53"));
     assert_eq!(combined, include_str!("golden/fig10.txt"));
+}
+
+#[test]
+fn mix_contention_spec_matches_its_golden_capture() {
+    assert_eq!(
+        rendered("mix-contention"),
+        include_str!("golden/mix_contention.txt")
+    );
+}
+
+#[test]
+fn mix_memory_spec_matches_its_golden_capture() {
+    assert_eq!(
+        rendered("mix-memory"),
+        include_str!("golden/mix_memory.txt")
+    );
 }
 
 #[test]
@@ -183,6 +204,170 @@ fn example_spec_file_runs_an_uncovered_axis_combination() {
         report.points[0].cells[1].strategy,
         Strategy::Fixed { error_rate: 0.1 }
     );
+}
+
+/// The shipped mix spec file parses, exercises the concurrent-queries axis,
+/// and runs end to end with per-query schedules in every cell.
+#[test]
+fn example_mix_spec_file_runs_end_to_end() {
+    let text = include_str!("../examples/scenarios/query_mix.json");
+    let spec = ScenarioSpec::from_json(text).unwrap();
+    assert_eq!(spec.rows.axis, Axis::ConcurrentQueries);
+    let WorkloadSpec::Mix(mix) = &spec.workload else {
+        panic!("expected a mix workload");
+    };
+    assert_eq!(mix.policy, MixPolicy::RoundRobin);
+    assert_eq!(mix.arrival_gap_secs, 0.5);
+    let report = scenario::run_scenario(&spec).unwrap();
+    assert_eq!(report.points.len(), 2);
+    for (pi, point) in report.points.iter().enumerate() {
+        let queries = spec.rows.values[pi] as usize;
+        for cell in &point.cells {
+            assert!(cell.value.is_finite() && cell.value > 0.0);
+            let schedule = cell.mix.as_ref().expect("mix cells carry a schedule");
+            assert_eq!(schedule.queries.len(), queries);
+            assert_eq!(cell.runs.len(), queries, "one solo run per query");
+            // Arrival offsets and priorities took effect.
+            assert_eq!(schedule.queries[1].arrival_secs, 0.5);
+            assert!(schedule.makespan_secs >= schedule.max_response_secs);
+        }
+    }
+    // DP is the same-point reference: its ratio column is pinned at 1.
+    assert!((report.points[0].cells[0].value - 1.0).abs() < 1e-12);
+}
+
+/// The MemoryPerNode axis reaches the running system and the mix scheduler
+/// end to end: the machine override lands in the built system's config, and
+/// a sweep row tight enough for the mix's real working sets produces
+/// admission waits that the generous row does not.
+#[test]
+fn memory_axis_reaches_the_mix_scheduler_end_to_end() {
+    use hierdb::raw::query::cost::CostModel;
+    use hierdb::scenario::{Metric, MixSpec, Presentation, Reference, TableStyle};
+    use hierdb::{CompiledWorkload, MixEntry, QueryMix};
+
+    // (a) The machine-level memory override reaches the built system.
+    let spec = ScenarioSpec::builder("mem-plumb")
+        .memory_per_node_mb(64)
+        .build()
+        .unwrap();
+    let exp = scenario::base_experiment(&spec).unwrap();
+    assert_eq!(
+        exp.system().config().machine.memory_per_node_bytes,
+        64 * 1024 * 1024
+    );
+
+    // (b) A sweep value derived from the engine's own working-set estimates:
+    // per-node memory of exactly ceil(max demand) admits any single query
+    // but never two at once (demands are positive, so their sum exceeds the
+    // max), forcing the second FCFS query to wait in the tight row only.
+    let mix = MixSpec {
+        queries: 2,
+        relations: 4,
+        scale: 2.0,
+        seed: 42,
+        arrival_gap_secs: 0.0,
+        policy: MixPolicy::Fcfs,
+        priorities: Vec::new(),
+        skews: Vec::new(),
+    };
+    let system = HierarchicalSystem::hierarchical(1, 2);
+    let workload = CompiledWorkload::generate(
+        WorkloadParams {
+            queries: mix.queries,
+            relations_per_query: mix.relations,
+            scale: mix.scale,
+            skew: 0.0,
+            seed: mix.seed,
+        },
+        &system,
+    )
+    .unwrap();
+    let probe = QueryMix::new(Arc::new(workload), vec![MixEntry::default(); 2]).unwrap();
+    let config = system.config();
+    let cost = CostModel::new(config.costs, config.disk, config.cpu);
+    let demands: Vec<u64> = (0..probe.len())
+        .map(|q| probe.memory_demand(q, &cost))
+        .collect();
+    const MB: u64 = 1024 * 1024;
+    let tight_mb = demands.iter().max().unwrap().div_ceil(MB);
+    let slack = tight_mb * MB - demands.iter().max().unwrap();
+    assert!(
+        demands.iter().min().unwrap() > &slack,
+        "demands {demands:?} must overflow a {tight_mb} MB node together"
+    );
+
+    let spec = ScenarioSpec::builder("mem-e2e")
+        .machine(1, 2)
+        .workload(WorkloadSpec::Mix(mix))
+        .strategies([Strategy::Dynamic])
+        .rows(Axis::MemoryPerNode, [512.0, tight_mb as f64])
+        .reference(Reference::SamePoint(Strategy::Dynamic))
+        .metric(Metric::Relative)
+        .presentation(Presentation::Mix(TableStyle::for_axis(Axis::MemoryPerNode)))
+        .build()
+        .unwrap();
+    let report = scenario::run_scenario(&spec).unwrap();
+    let generous = report.points[0].cells[0].mix.as_ref().unwrap();
+    let tight = report.points[1].cells[0].mix.as_ref().unwrap();
+    assert_eq!(generous.mean_wait_secs, 0.0, "512 MB admits both at once");
+    assert!(
+        tight.mean_wait_secs > 0.0,
+        "a {tight_mb} MB per-node limit must serialize admission"
+    );
+    // Serialization reshapes the schedule (the first query no longer
+    // shares, so it completes earlier; total work — the makespan — is
+    // conserved on the single shared node).
+    assert_ne!(tight.queries, generous.queries);
+    assert!(tight.queries[0].response_secs < generous.queries[0].response_secs);
+}
+
+/// Mix cells surface in the machine-readable emission: JSON records carry
+/// the schedule aggregates, CSV carries the trailing mix columns.
+#[test]
+fn mix_reports_emit_machine_readable_schedules() {
+    let spec = golden(scenario::find("mix-contention").unwrap());
+    let report = scenario::run_scenario(&spec).unwrap();
+    let json = scenario::render_json(&report);
+    let doc = hierdb::raw::common::Json::parse(&json).unwrap();
+    let points = doc.get("points").unwrap().as_array().unwrap();
+    assert_eq!(points.len(), 4 * 2, "4 concurrency levels x 2 strategies");
+    for p in points {
+        assert_eq!(p.get("mix_policy").unwrap().as_str(), Some("load-aware"));
+        assert!(p.get("mix_mean_response_secs").unwrap().as_f64().unwrap() > 0.0);
+        assert!(!p.get("mix_queries").unwrap().as_array().unwrap().is_empty());
+    }
+    let csv = scenario::render_csv(&report);
+    assert!(csv.lines().next().unwrap().ends_with("mix_mean_wait_secs"));
+    assert!(csv.lines().nth(1).unwrap().contains("load-aware"));
+    // Non-mix scenarios leave the mix columns empty.
+    let plain = scenario::render_csv(
+        &scenario::run_scenario(&golden(scenario::find("fig9").unwrap())).unwrap(),
+    );
+    assert!(plain.lines().nth(1).unwrap().ends_with(",,,,"));
+}
+
+/// Regression: `--export`-style flows must surface unknown or unsupported
+/// axes as `DlbError`s, never panic (satellite fix of this PR).
+#[test]
+fn export_and_parse_fail_cleanly_on_unsupported_axes() {
+    use hierdb::raw::common::DlbError;
+    // Unknown registry name.
+    let err = scenario::export("does-not-exist").unwrap_err();
+    assert!(matches!(err, DlbError::NotFound(_)), "{err}");
+    // Unknown axis in a user spec.
+    let err =
+        ScenarioSpec::from_json(r#"{"name": "x", "sweep": {"axis": "threads", "values": [1]}}"#)
+            .unwrap_err();
+    assert!(matches!(err, DlbError::Parse(_)), "{err}");
+    // Known axis, unsupported workload: rejected at validation, and the
+    // runner refuses it the same way instead of panicking mid-sweep.
+    let bad = r#"{"name": "x", "sweep": {"axis": "concurrent_queries", "values": [2]}}"#;
+    let err = ScenarioSpec::from_json(bad).unwrap_err();
+    assert!(matches!(err, DlbError::InvalidConfig(_)), "{err}");
+    let mut spec = ScenarioSpec::builder("x").build().unwrap();
+    spec.rows = hierdb::scenario::Sweep::new(Axis::ConcurrentQueries, [2.0]);
+    assert!(scenario::run_scenario(&spec).is_err());
 }
 
 /// JSON and CSV emission agree with the text table on the number of
