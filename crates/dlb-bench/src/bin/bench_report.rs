@@ -1,4 +1,5 @@
-//! Machine-readable performance report of the evaluation pipeline.
+//! Machine-readable performance report of the evaluation pipeline, and the
+//! CI perf-regression gate built on it.
 //!
 //! Times the base configuration of a **registered scenario** (default:
 //! `paper-base`, the 4×8 hierarchical machine with the reduced harness
@@ -10,15 +11,22 @@
 //! cargo run --release -p dlb-bench --bin bench_report
 //! cargo run --release -p dlb-bench --bin bench_report -- fig10
 //! HIERDB_THREADS=8 cargo run --release -p dlb-bench --bin bench_report
+//!
+//! # CI regression gate: save this run's timings as BENCH_pr.json and fail
+//! # (exit 1) when the sequential wall-clock regressed >25% vs the baseline
+//! # (threshold overridable with HIERDB_BENCH_MAX_REGRESSION for noisy
+//! # runners; see dlb_bench::gate).
+//! bench_report --write BENCH_pr.json --baseline ci/bench-baseline.json
 //! ```
 //!
 //! The report also cross-checks that the parallel results are bit-identical
 //! to the sequential baseline (`"identical": true`); a `false` there is a
 //! determinism regression, not a perf number.
 
-use dlb_bench::WorkloadOverrides;
+use dlb_bench::{gate, WorkloadOverrides};
 use dlb_core::scenario::{self, ScenarioSpec, WorkloadSpec};
 use dlb_core::{PlanRun, Strategy};
+use std::fmt::Write as _;
 use std::time::Instant;
 
 /// One timed strategy: sequential baseline vs parallel fan-out.
@@ -92,13 +100,98 @@ fn workload_json(spec: &ScenarioSpec) -> String {
     }
 }
 
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_report [SCENARIO] [--write FILE] [--baseline FILE] [--paper]\n\
+         \n\
+         --write FILE     also save the JSON report to FILE (BENCH_<pr>.json style)\n\
+         --baseline FILE  compare against a saved report; exit 1 when the summed\n\
+         \u{20}                sequential wall-clock regressed more than 25% (override\n\
+         \u{20}                with {}=<fraction>)",
+        gate::MAX_REGRESSION_ENV
+    );
+    std::process::exit(2);
+}
+
+/// Renders the report as its JSON document. Hand-rolled: the report is flat
+/// enough that formatting it directly is simpler than building a tree.
+fn render_report(spec: &ScenarioSpec, threads: usize, timings: &[StrategyTiming]) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+    let _ = writeln!(w, "{{");
+    let _ = writeln!(w, "  \"benchmark\": \"bench_report\",");
+    let _ = writeln!(w, "  \"scenario\": \"{}\",", spec.name);
+    let _ = writeln!(w, "  \"workload\": {},", workload_json(spec));
+    let _ = writeln!(
+        w,
+        "  \"machine\": {{\"nodes\": {}, \"processors_per_node\": {}}},",
+        spec.machine.nodes, spec.machine.processors_per_node
+    );
+    let _ = writeln!(w, "  \"threads\": {threads},");
+    let _ = writeln!(w, "  \"results\": [");
+    let last = timings.len().saturating_sub(1);
+    for (i, t) in timings.iter().enumerate() {
+        let speedup = if t.parallel_ms > 0.0 {
+            t.sequential_ms / t.parallel_ms
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            w,
+            "    {{\"strategy\": \"{}\", \"plans\": {}, \"sequential_ms\": {:.3}, \
+             \"parallel_ms\": {:.3}, \"speedup\": {:.3}, \"identical\": {}}}{}",
+            t.label,
+            t.plans,
+            t.sequential_ms,
+            t.parallel_ms,
+            speedup,
+            t.identical,
+            if i == last { "" } else { "," }
+        );
+    }
+    let _ = writeln!(w, "  ]");
+    let _ = writeln!(w, "}}");
+    out
+}
+
 fn main() {
     dlb_core::init_threads_from_env();
     let overrides = WorkloadOverrides::from_env();
-    let name = std::env::args()
-        .skip(1)
-        .find(|a| !a.starts_with("--"))
-        .unwrap_or_else(|| "paper-base".to_string());
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut name: Option<String> = None;
+    let mut write_to: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let value_of = |i: &mut usize, flag: &str| -> String {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} needs a value");
+                    usage()
+                })
+                .clone()
+        };
+        match args[i].as_str() {
+            "--write" => write_to = Some(value_of(&mut i, "--write")),
+            "--baseline" => baseline = Some(value_of(&mut i, "--baseline")),
+            "--paper" => {} // consumed by WorkloadOverrides::from_env
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}");
+                usage()
+            }
+            scenario_name => {
+                if name.replace(scenario_name.to_string()).is_some() {
+                    eprintln!("only one scenario can be timed per run");
+                    usage()
+                }
+            }
+        }
+        i += 1;
+    }
+    let name = name.unwrap_or_else(|| "paper-base".to_string());
     let Some(spec) = scenario::find(&name) else {
         eprintln!(
             "unknown scenario {name:?}; registered: {}",
@@ -115,42 +208,43 @@ fn main() {
         .map(|&s| time_strategy(&spec, s))
         .collect();
 
-    // Hand-rolled JSON: the report is flat enough that formatting it
-    // directly is simpler than building a document tree.
-    println!("{{");
-    println!("  \"benchmark\": \"bench_report\",");
-    println!("  \"scenario\": \"{}\",", spec.name);
-    println!("  \"workload\": {},", workload_json(&spec));
-    println!(
-        "  \"machine\": {{\"nodes\": {}, \"processors_per_node\": {}}},",
-        spec.machine.nodes, spec.machine.processors_per_node
-    );
-    println!("  \"threads\": {threads},");
-    println!("  \"results\": [");
-    let last = timings.len().saturating_sub(1);
-    for (i, t) in timings.iter().enumerate() {
-        let speedup = if t.parallel_ms > 0.0 {
-            t.sequential_ms / t.parallel_ms
-        } else {
-            0.0
-        };
-        println!(
-            "    {{\"strategy\": \"{}\", \"plans\": {}, \"sequential_ms\": {:.3}, \
-             \"parallel_ms\": {:.3}, \"speedup\": {:.3}, \"identical\": {}}}{}",
-            t.label,
-            t.plans,
-            t.sequential_ms,
-            t.parallel_ms,
-            speedup,
-            t.identical,
-            if i == last { "" } else { "," }
-        );
+    let report = render_report(&spec, threads, &timings);
+    print!("{report}");
+    if let Some(path) = &write_to {
+        if let Err(e) = std::fs::write(path, &report) {
+            eprintln!("bench_report: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
     }
-    println!("  ]");
-    println!("}}");
 
     if timings.iter().any(|t| !t.identical) {
         eprintln!("bench_report: parallel results diverged from the sequential baseline");
         std::process::exit(1);
+    }
+
+    // The perf-regression gate: compare this run's sequential wall-clock
+    // against a saved baseline report of the same scenario.
+    if let Some(path) = &baseline {
+        let baseline_text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("bench_report: cannot read baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let max_regression =
+            gate::max_regression_from(std::env::var(gate::MAX_REGRESSION_ENV).ok().as_deref());
+        match gate::compare(&report, &baseline_text, max_regression) {
+            Ok(outcome) => {
+                eprint!("{}", outcome.summary());
+                if !outcome.passed() {
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("bench_report: baseline comparison failed: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -10,7 +10,12 @@
 //! scenario --export fig10                 # print a bundled spec as JSON
 //! scenario --export my_sweep.json         # normalize + validate a spec file
 //! scenario --validate                     # parse/round-trip every bundled spec
+//! scenario fig6 fig9 --out-dir artifacts  # one run, <name>.{txt,json,csv} each
 //! ```
+//!
+//! `--out-dir` writes every requested scenario's text, JSON and CSV
+//! renderings from **one** simulation per scenario — this is what the
+//! nightly paper-scale workflow uploads as artifacts.
 //!
 //! The usual workload knobs apply (`--paper`, `HIERDB_QUERIES`,
 //! `HIERDB_RELATIONS`, `HIERDB_SCALE`, `HIERDB_SEED`, `HIERDB_THREADS`).
@@ -31,7 +36,8 @@ enum Format {
 fn usage() -> ! {
     eprintln!(
         "usage: scenario [--list | --validate | --export NAME] \
-         [NAME...] [--spec FILE]... [--format text|json|csv] [--paper]"
+         [NAME...] [--spec FILE]... [--format text|json|csv] \
+         [--out-dir DIR] [--paper]"
     );
     std::process::exit(2);
 }
@@ -44,6 +50,7 @@ fn main() {
     let mut list = false;
     let mut validate = false;
     let mut export: Option<String> = None;
+    let mut out_dir: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         let value_of = |i: &mut usize, flag: &str| -> String {
@@ -60,6 +67,7 @@ fn main() {
             "--validate" => validate = true,
             "--export" => export = Some(value_of(&mut i, "--export")),
             "--spec" => spec_files.push(value_of(&mut i, "--spec")),
+            "--out-dir" => out_dir = Some(value_of(&mut i, "--out-dir")),
             "--format" => {
                 format = match value_of(&mut i, "--format").as_str() {
                     "text" => Format::Text,
@@ -112,16 +120,32 @@ fn main() {
     }
 
     let overrides = WorkloadOverrides::from_env();
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create --out-dir {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
     let mut first = true;
     for name in names {
-        run_one(overrides.apply(find_or_exit(&name)), format, &mut first);
+        run_one(
+            overrides.apply(find_or_exit(&name)),
+            format,
+            out_dir.as_deref(),
+            &mut first,
+        );
     }
     for path in spec_files {
         let spec = load_spec_file(&path).unwrap_or_else(|e| {
             eprintln!("{path}: {e}");
             std::process::exit(1);
         });
-        run_one(overrides.apply(spec), format, &mut first);
+        run_one(
+            overrides.apply(spec),
+            format,
+            out_dir.as_deref(),
+            &mut first,
+        );
     }
 }
 
@@ -159,12 +183,30 @@ fn find_or_exit(name: &str) -> ScenarioSpec {
     })
 }
 
-fn run_one(spec: ScenarioSpec, format: Format, first: &mut bool) {
+fn run_one(spec: ScenarioSpec, format: Format, out_dir: Option<&str>, first: &mut bool) {
     let name = spec.name.clone();
     let report = scenario::run_scenario(&spec).unwrap_or_else(|e| {
         eprintln!("scenario {name}: {e}");
         std::process::exit(1);
     });
+    // With --out-dir, one simulation feeds all three renderings on disk and
+    // stdout only narrates progress.
+    if let Some(dir) = out_dir {
+        let emissions = [
+            ("txt", scenario::render_text(&report)),
+            ("json", scenario::render_json(&report)),
+            ("csv", scenario::render_csv(&report)),
+        ];
+        for (ext, content) in emissions {
+            let path = std::path::Path::new(dir).join(format!("{name}.{ext}"));
+            if let Err(e) = std::fs::write(&path, content) {
+                eprintln!("scenario {name}: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        println!("{name}: wrote {dir}/{name}.{{txt,json,csv}}");
+        return;
+    }
     if !*first && format == Format::Text {
         println!();
     }

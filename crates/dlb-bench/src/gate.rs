@@ -1,0 +1,288 @@
+//! The perf-regression gate over `bench_report` JSON documents.
+//!
+//! `bench_report` emits one JSON record per run (scenario, workload, and
+//! per-strategy sequential/parallel wall-clock timings). CI keeps a
+//! checked-in baseline (`ci/bench-baseline.json`) and fails a change when
+//! the **sequential** wall clock of the same scenario regresses by more than
+//! [`DEFAULT_MAX_REGRESSION`] (25%). The sequential run is the gated
+//! quantity because it is the engine's own cost, independent of runner core
+//! counts; the threshold is overridable through
+//! [`MAX_REGRESSION_ENV`] (`HIERDB_BENCH_MAX_REGRESSION`) for noisy shared
+//! runners — e.g. `HIERDB_BENCH_MAX_REGRESSION=1.0` tolerates a 2× slowdown,
+//! and a negative value makes any run fail (used to self-test the gate).
+
+use dlb_common::json::Json;
+use dlb_common::{DlbError, Result};
+
+/// Default tolerated fractional regression of the summed sequential
+/// wall-clock (0.25 = fail beyond 25% slower than the baseline).
+pub const DEFAULT_MAX_REGRESSION: f64 = 0.25;
+
+/// Environment variable overriding [`DEFAULT_MAX_REGRESSION`].
+pub const MAX_REGRESSION_ENV: &str = "HIERDB_BENCH_MAX_REGRESSION";
+
+/// One strategy's timing in both reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategyDelta {
+    /// Strategy label ("DP", "FP", "SP").
+    pub strategy: String,
+    /// Baseline sequential wall-clock, in milliseconds.
+    pub baseline_ms: f64,
+    /// Current sequential wall-clock, in milliseconds.
+    pub current_ms: f64,
+}
+
+/// The gate's verdict on one current-vs-baseline comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateOutcome {
+    /// The compared scenario.
+    pub scenario: String,
+    /// Summed sequential wall-clock of the baseline, in milliseconds.
+    pub baseline_sequential_ms: f64,
+    /// Summed sequential wall-clock of the current run, in milliseconds.
+    pub current_sequential_ms: f64,
+    /// Fractional change of the summed sequential wall-clock (+0.30 = 30%
+    /// slower than the baseline, negative = faster).
+    pub regression: f64,
+    /// The tolerated fractional regression this outcome was judged against.
+    pub max_regression: f64,
+    /// Per-strategy detail, in report order.
+    pub per_strategy: Vec<StrategyDelta>,
+}
+
+impl GateOutcome {
+    /// Whether the current run stays within the tolerated regression.
+    pub fn passed(&self) -> bool {
+        self.regression <= self.max_regression
+    }
+
+    /// A one-paragraph human summary (printed to stderr by `bench_report`).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "bench gate [{}]: sequential {:.3} ms vs baseline {:.3} ms ({:+.1}%, limit {:+.1}%) — {}\n",
+            self.scenario,
+            self.current_sequential_ms,
+            self.baseline_sequential_ms,
+            self.regression * 100.0,
+            self.max_regression * 100.0,
+            if self.passed() { "ok" } else { "REGRESSION" },
+        );
+        for d in &self.per_strategy {
+            let _ = writeln!(
+                out,
+                "  {:<3} {:.3} ms (baseline {:.3} ms)",
+                d.strategy, d.current_ms, d.baseline_ms
+            );
+        }
+        out
+    }
+}
+
+/// Extracts `(scenario, [(strategy, sequential_ms)])` from one bench_report
+/// JSON document.
+fn sequential_timings(doc: &Json, what: &str) -> Result<(String, Vec<(String, f64)>)> {
+    let err = |msg: String| DlbError::Parse(format!("{what}: {msg}"));
+    let scenario = doc
+        .get("scenario")
+        .and_then(Json::as_str)
+        .ok_or_else(|| err("missing \"scenario\" string".into()))?
+        .to_string();
+    let results = doc
+        .get("results")
+        .and_then(Json::as_array)
+        .ok_or_else(|| err("missing \"results\" array".into()))?;
+    let mut timings = Vec::with_capacity(results.len());
+    for r in results {
+        let strategy = r
+            .get("strategy")
+            .and_then(Json::as_str)
+            .ok_or_else(|| err("result without a \"strategy\"".into()))?
+            .to_string();
+        let ms = r
+            .get("sequential_ms")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| err(format!("result {strategy} without \"sequential_ms\"")))?;
+        if !(ms.is_finite() && ms >= 0.0) {
+            return Err(err(format!("result {strategy} has invalid timing {ms}")));
+        }
+        timings.push((strategy, ms));
+    }
+    if timings.is_empty() {
+        return Err(err("empty \"results\" array".into()));
+    }
+    Ok((scenario, timings))
+}
+
+/// Compares a current `bench_report` JSON document against a baseline one
+/// and judges the summed sequential wall-clock against `max_regression`.
+///
+/// The two documents must report the same scenario; baselines captured on a
+/// different machine class are expected to be compared with a loosened
+/// [`MAX_REGRESSION_ENV`] knob.
+pub fn compare(current: &str, baseline: &str, max_regression: f64) -> Result<GateOutcome> {
+    let current_doc = Json::parse(current)?;
+    let baseline_doc = Json::parse(baseline)?;
+    let (scenario, current_timings) = sequential_timings(&current_doc, "current report")?;
+    let (base_scenario, baseline_timings) = sequential_timings(&baseline_doc, "baseline")?;
+    if scenario != base_scenario {
+        return Err(DlbError::InvalidConfig(format!(
+            "bench gate compares {scenario:?} against a baseline of {base_scenario:?}; \
+             regenerate the baseline for this scenario"
+        )));
+    }
+    // The summed wall-clock is only comparable over the same strategy set:
+    // a dropped strategy would halve the current sum (masking regressions),
+    // an added one would read as a false regression.
+    let strategy_set = |timings: &[(String, f64)]| {
+        let mut labels: Vec<String> = timings.iter().map(|(s, _)| s.clone()).collect();
+        labels.sort();
+        labels
+    };
+    let (current_set, baseline_set) = (
+        strategy_set(&current_timings),
+        strategy_set(&baseline_timings),
+    );
+    if current_set != baseline_set {
+        return Err(DlbError::InvalidConfig(format!(
+            "bench gate strategy sets differ: current {current_set:?} vs baseline \
+             {baseline_set:?}; regenerate the baseline for the new strategy set"
+        )));
+    }
+    let current_sequential_ms: f64 = current_timings.iter().map(|(_, ms)| ms).sum();
+    let baseline_sequential_ms: f64 = baseline_timings.iter().map(|(_, ms)| ms).sum();
+    if baseline_sequential_ms <= 0.0 {
+        return Err(DlbError::InvalidConfig(
+            "baseline sequential wall-clock is zero; the baseline file is unusable".to_string(),
+        ));
+    }
+    let per_strategy = current_timings
+        .iter()
+        .map(|(strategy, current_ms)| StrategyDelta {
+            strategy: strategy.clone(),
+            baseline_ms: baseline_timings
+                .iter()
+                .find(|(s, _)| s == strategy)
+                .map_or(f64::NAN, |(_, ms)| *ms),
+            current_ms: *current_ms,
+        })
+        .collect();
+    Ok(GateOutcome {
+        scenario,
+        baseline_sequential_ms,
+        current_sequential_ms,
+        regression: current_sequential_ms / baseline_sequential_ms - 1.0,
+        max_regression,
+        per_strategy,
+    })
+}
+
+/// Resolves the tolerated regression from an optional
+/// [`MAX_REGRESSION_ENV`] value: unset keeps the default, an unparseable
+/// value warns (returning the default) rather than silently gating at a
+/// surprise threshold.
+pub fn max_regression_from(value: Option<&str>) -> f64 {
+    match value {
+        None => DEFAULT_MAX_REGRESSION,
+        Some(v) => match v.parse::<f64>() {
+            Ok(f) if f.is_finite() => f,
+            _ => {
+                eprintln!(
+                    "warning: {MAX_REGRESSION_ENV}={v:?} is not a number; \
+                     using the default {DEFAULT_MAX_REGRESSION}"
+                );
+                DEFAULT_MAX_REGRESSION
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(scenario: &str, timings: &[(&str, f64)]) -> String {
+        let results: Vec<String> = timings
+            .iter()
+            .map(|(s, ms)| {
+                format!(
+                    "{{\"strategy\": \"{s}\", \"plans\": 12, \"sequential_ms\": {ms}, \
+                     \"parallel_ms\": {ms}, \"speedup\": 1.0, \"identical\": true}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\"benchmark\": \"bench_report\", \"scenario\": \"{scenario}\", \
+             \"results\": [{}]}}",
+            results.join(", ")
+        )
+    }
+
+    #[test]
+    fn equal_runs_pass_at_the_default_threshold() {
+        let doc = report("paper-base", &[("DP", 100.0), ("FP", 150.0)]);
+        let outcome = compare(&doc, &doc, DEFAULT_MAX_REGRESSION).unwrap();
+        assert!(outcome.passed());
+        assert_eq!(outcome.regression, 0.0);
+        assert_eq!(outcome.scenario, "paper-base");
+        assert_eq!(outcome.per_strategy.len(), 2);
+        assert!(outcome.summary().contains("ok"));
+    }
+
+    #[test]
+    fn regressions_beyond_the_threshold_fail() {
+        let base = report("paper-base", &[("DP", 100.0), ("FP", 100.0)]);
+        // 30% slower overall: beyond the default 25%.
+        let slow = report("paper-base", &[("DP", 130.0), ("FP", 130.0)]);
+        let outcome = compare(&slow, &base, DEFAULT_MAX_REGRESSION).unwrap();
+        assert!(!outcome.passed());
+        assert!((outcome.regression - 0.30).abs() < 1e-9);
+        assert!(outcome.summary().contains("REGRESSION"));
+        // A loosened runner knob tolerates it.
+        assert!(compare(&slow, &base, 1.0).unwrap().passed());
+        // Improvements always pass.
+        let fast = report("paper-base", &[("DP", 50.0), ("FP", 60.0)]);
+        assert!(compare(&fast, &base, DEFAULT_MAX_REGRESSION)
+            .unwrap()
+            .passed());
+        // A negative threshold fails any non-improving run (gate self-test).
+        assert!(!compare(&base, &base, -1.0).unwrap().passed());
+    }
+
+    #[test]
+    fn mismatched_strategy_sets_error_instead_of_skewing_the_sum() {
+        let both = report("paper-base", &[("DP", 100.0), ("FP", 100.0)]);
+        // Dropping a strategy would halve the sum and mask any regression;
+        // the gate must refuse to compare instead.
+        let dp_only = report("paper-base", &[("DP", 190.0)]);
+        assert!(compare(&dp_only, &both, DEFAULT_MAX_REGRESSION).is_err());
+        assert!(compare(&both, &dp_only, DEFAULT_MAX_REGRESSION).is_err());
+        // Same set, different order: fine.
+        let reordered = report("paper-base", &[("FP", 100.0), ("DP", 100.0)]);
+        assert!(compare(&reordered, &both, DEFAULT_MAX_REGRESSION)
+            .unwrap()
+            .passed());
+    }
+
+    #[test]
+    fn mismatched_scenarios_and_broken_documents_error() {
+        let a = report("paper-base", &[("DP", 100.0)]);
+        let b = report("fig10", &[("DP", 100.0)]);
+        assert!(compare(&a, &b, DEFAULT_MAX_REGRESSION).is_err());
+        assert!(compare("not json", &a, DEFAULT_MAX_REGRESSION).is_err());
+        assert!(compare(&a, "{}", DEFAULT_MAX_REGRESSION).is_err());
+        let empty = "{\"scenario\": \"paper-base\", \"results\": []}";
+        assert!(compare(&a, empty, DEFAULT_MAX_REGRESSION).is_err());
+        let zero = report("paper-base", &[("DP", 0.0)]);
+        assert!(compare(&a, &zero, DEFAULT_MAX_REGRESSION).is_err());
+    }
+
+    #[test]
+    fn threshold_env_parsing_is_forgiving() {
+        assert_eq!(max_regression_from(None), DEFAULT_MAX_REGRESSION);
+        assert_eq!(max_regression_from(Some("1.5")), 1.5);
+        assert_eq!(max_regression_from(Some("-1")), -1.0);
+        assert_eq!(max_regression_from(Some("lots")), DEFAULT_MAX_REGRESSION);
+        assert_eq!(max_regression_from(Some("NaN")), DEFAULT_MAX_REGRESSION);
+    }
+}

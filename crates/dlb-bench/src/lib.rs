@@ -55,6 +55,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod gate;
+
 use dlb_core::scenario::{self, ScenarioSpec, WorkloadSpec};
 use dlb_core::{
     CpuParams, DiskParams, Experiment, HierarchicalSystem, NetworkParams, WorkloadParams,

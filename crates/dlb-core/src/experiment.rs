@@ -27,11 +27,14 @@
 //! with [`set_threads`].
 
 use crate::system::HierarchicalSystem;
-use crate::workload::{CompiledWorkload, QueryMix, WorkloadFingerprint};
+use crate::workload::{CompiledWorkload, MixEntry, QueryMix, WorkloadFingerprint};
 use dlb_common::config::SystemConfig;
-use dlb_common::Result;
-use dlb_exec::mix::{schedule_mix, MixJob, MixPolicy, MixSchedule};
-use dlb_exec::{ExecOptions, ExecutionReport, Strategy};
+use dlb_common::{DlbError, Result};
+use dlb_exec::mix::{schedule_mix, MixJob, MixMode, MixPolicy, MixSchedule};
+use dlb_exec::{
+    execute_cosimulated, CoSimQuery, CoSimReport, ExecOptions, ExecutionReport, QueryOutcome,
+    Strategy,
+};
 use dlb_query::cost::CostModel;
 use dlb_query::generator::WorkloadParams;
 use dlb_query::plan::ParallelPlan;
@@ -54,13 +57,20 @@ pub struct PlanRun {
 
 /// The outcome of [`Experiment::run_mix`]: the inter-query schedule plus the
 /// per-query solo runs it was derived from.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MixRun {
     /// Admission, placement and response times of every query of the mix.
+    /// Under [`MixMode::CoSimulated`] these come from the interleaved engine
+    /// run; under [`MixMode::Composed`] from the analytic scheduler.
     pub schedule: MixSchedule,
+    /// The *composed* (analytic) schedule of the same mix, carried alongside
+    /// a co-simulated schedule so reports can contrast the two fidelities.
+    /// `None` for composed-mode runs (the main schedule already is one).
+    pub composed: Option<MixSchedule>,
     /// One solo run per query (its plan, executed alone on the query's
-    /// placement shape with the query's skew profile).
-    pub solo: Vec<PlanRun>,
+    /// placement shape with the query's skew profile). `Arc`-shared so that
+    /// mix-cache hits clone a reference, not the per-plan reports.
+    pub solo: Arc<Vec<PlanRun>>,
 }
 
 /// Structured cache key of one experiment run: a bit-exact fingerprint of
@@ -96,6 +106,53 @@ impl RunKey {
         options: &ExecOptions,
         config: &SystemConfig,
         workload: &WorkloadFingerprint,
+    ) -> Self {
+        Self::with_extra(strategy, options, config, workload, std::iter::empty())
+    }
+
+    /// The key of one inter-query mix run: the base fingerprint extended
+    /// with the mix identity — evaluation mode, placement policy, and every
+    /// per-query descriptor (arrival, priority, skew). The machine's memory
+    /// limit is already part of the base `config` bits.
+    pub fn for_mix(
+        strategy: Strategy,
+        options: &ExecOptions,
+        config: &SystemConfig,
+        workload: &WorkloadFingerprint,
+        entries: &[MixEntry],
+        policy: MixPolicy,
+        mode: MixMode,
+    ) -> Self {
+        let mix_bits = [
+            u64::MAX, // discriminant: a mix run, never colliding with plain keys
+            match mode {
+                MixMode::Composed => 0,
+                MixMode::CoSimulated => 1,
+            },
+            match policy {
+                MixPolicy::Fcfs => 0,
+                MixPolicy::RoundRobin => 1,
+                MixPolicy::LoadAware => 2,
+            },
+            entries.len() as u64,
+        ]
+        .into_iter()
+        .chain(entries.iter().flat_map(|e| {
+            [
+                e.arrival_secs.to_bits(),
+                e.priority as u64,
+                e.skew.to_bits(),
+            ]
+        }));
+        Self::with_extra(strategy, options, config, workload, mix_bits)
+    }
+
+    fn with_extra(
+        strategy: Strategy,
+        options: &ExecOptions,
+        config: &SystemConfig,
+        workload: &WorkloadFingerprint,
+        extra: impl IntoIterator<Item = u64>,
     ) -> Self {
         let strategy = match strategy {
             Strategy::Dynamic => StrategyKey::Dynamic,
@@ -149,6 +206,7 @@ impl RunKey {
             config.costs.control_message_instr,
             config.costs.tuples_per_batch,
         ]);
+        bits.extend(extra);
         Self {
             strategy,
             bits: bits.into_boxed_slice(),
@@ -167,6 +225,10 @@ impl RunKey {
 #[derive(Debug, Default)]
 pub struct RunCache {
     map: Mutex<HashMap<RunKey, Arc<Vec<PlanRun>>>>,
+    /// Inter-query mix runs, keyed by [`RunKey::for_mix`]. Kept apart from
+    /// the per-plan map because the cached value is a whole [`MixRun`]
+    /// (schedule + contrast + solo set), not a plan list.
+    mix: Mutex<HashMap<RunKey, Arc<MixRun>>>,
 }
 
 impl RunCache {
@@ -175,14 +237,21 @@ impl RunCache {
         Self::default()
     }
 
-    /// Number of cached runs.
+    /// Number of cached plan runs (mix runs are counted by [`mix_len`]).
+    ///
+    /// [`mix_len`]: RunCache::mix_len
     pub fn len(&self) -> usize {
         self.map.lock().len()
     }
 
+    /// Number of cached inter-query mix runs.
+    pub fn mix_len(&self) -> usize {
+        self.mix.lock().len()
+    }
+
     /// True when nothing is cached yet.
     pub fn is_empty(&self) -> bool {
-        self.map.lock().is_empty()
+        self.map.lock().is_empty() && self.mix.lock().is_empty()
     }
 
     /// Looks up a cached run.
@@ -197,6 +266,21 @@ impl RunCache {
     pub fn insert_or_get(&self, key: RunKey, runs: Arc<Vec<PlanRun>>) -> Arc<Vec<PlanRun>> {
         let mut map = self.map.lock();
         Arc::clone(map.entry(key).or_insert(runs))
+    }
+
+    /// Looks up a cached mix run.
+    pub fn get_mix(&self, key: &RunKey) -> Option<Arc<MixRun>> {
+        self.mix.lock().get(key).map(Arc::clone)
+    }
+
+    /// Inserts a mix run unless the key is already present, returning the
+    /// cached value either way (same first-insertion-wins contract as
+    /// [`insert_or_get`]).
+    ///
+    /// [`insert_or_get`]: RunCache::insert_or_get
+    pub fn insert_or_get_mix(&self, key: RunKey, run: Arc<MixRun>) -> Arc<MixRun> {
+        let mut map = self.mix.lock();
+        Arc::clone(map.entry(key).or_insert(run))
     }
 }
 
@@ -370,13 +454,57 @@ impl Experiment {
     /// this experiment's [`RunCache`] (each query is simulated exactly once
     /// per configuration — queries sharing a skew profile are batched into
     /// one cached sub-workload run, and repeated sweep points or reference
-    /// strategies are cache hits). The mix
-    /// scheduler then derives per-query and aggregate response times under
-    /// the shared-node contention and the per-node memory admission limit.
+    /// strategies are cache hits).
+    ///
+    /// What happens next depends on `mode`:
+    ///
+    /// * [`MixMode::Composed`] — the analytic scheduler derives per-query
+    ///   and aggregate response times under priority-weighted processor
+    ///   sharing and the per-node memory admission limit.
+    /// * [`MixMode::CoSimulated`] — all queries are re-executed **together**
+    ///   in one engine event loop ([`dlb_exec::execute_cosimulated`]):
+    ///   intra-run interference (queue contention, flow control, cross-query
+    ///   steal traffic) is simulated rather than modeled. The analytic
+    ///   schedule is still computed and carried as [`MixRun::composed`] so
+    ///   reports can contrast the two fidelities. Co-simulation spreads
+    ///   every query over the whole machine, so it requires
+    ///   [`MixPolicy::Fcfs`]; per-node memory admission is not modeled.
+    ///
+    /// Whole mix runs are cached under an extended [`RunKey`]
+    /// ([`RunKey::for_mix`]) that fingerprints the mix identity (mode,
+    /// policy, per-query arrival/priority/skew) on top of every simulation
+    /// input, so repeated sweep points are cache hits even in co-simulated
+    /// mode.
     ///
     /// The mix carries its own workload; this experiment contributes the
     /// machine, the base execution options and the shared cache.
-    pub fn run_mix(&self, mix: &QueryMix, policy: MixPolicy, strategy: Strategy) -> Result<MixRun> {
+    pub fn run_mix(
+        &self,
+        mix: &QueryMix,
+        policy: MixPolicy,
+        mode: MixMode,
+        strategy: Strategy,
+    ) -> Result<MixRun> {
+        if mode == MixMode::CoSimulated && policy != MixPolicy::Fcfs {
+            return Err(DlbError::config(format!(
+                "co-simulated mixes spread every query over the whole machine and \
+                 support only the fcfs policy, got {:?}",
+                policy.label()
+            )));
+        }
+        let key = RunKey::for_mix(
+            strategy,
+            self.system.options(),
+            self.system.config(),
+            mix.workload().fingerprint(),
+            mix.entries(),
+            policy,
+            mode,
+        );
+        if let Some(hit) = self.cache.get_mix(&key) {
+            return Ok((*hit).clone());
+        }
+
         // The placement shape: what one query of the mix actually occupies.
         let placement = match policy {
             MixPolicy::Fcfs => self.system.clone(),
@@ -416,10 +544,11 @@ impl Experiment {
                 solo[q] = Some(run);
             }
         }
-        let solo: Vec<PlanRun> = solo
-            .into_iter()
-            .map(|run| run.expect("every query was simulated"))
-            .collect();
+        let solo: Arc<Vec<PlanRun>> = Arc::new(
+            solo.into_iter()
+                .map(|run| run.expect("every query was simulated"))
+                .collect(),
+        );
 
         let config = self.system.config();
         let cost = CostModel::new(config.costs, config.disk, config.cpu);
@@ -435,13 +564,40 @@ impl Experiment {
             })
             .collect();
 
-        let schedule = schedule_mix(
+        let composed = schedule_mix(
             &jobs,
             self.system.nodes(),
             config.machine.memory_per_node_bytes,
             policy,
         )?;
-        Ok(MixRun { schedule, solo })
+        let run = match mode {
+            MixMode::Composed => MixRun {
+                schedule: composed,
+                composed: None,
+                solo,
+            },
+            MixMode::CoSimulated => {
+                let queries: Vec<CoSimQuery<'_>> = mix
+                    .entries()
+                    .iter()
+                    .enumerate()
+                    .map(|(q, entry)| CoSimQuery {
+                        plan: mix.plan(q),
+                        arrival_secs: entry.arrival_secs,
+                        priority: entry.priority,
+                        skew: entry.skew,
+                    })
+                    .collect();
+                let report =
+                    execute_cosimulated(&queries, config, strategy, self.system.options())?;
+                MixRun {
+                    schedule: cosim_schedule(&report, &jobs, policy),
+                    composed: Some(composed),
+                    solo,
+                }
+            }
+        };
+        Ok((*self.cache.insert_or_get_mix(key, Arc::new(run))).clone())
     }
 
     /// Runs every plan strictly sequentially on the calling thread, bypassing
@@ -456,6 +612,55 @@ impl Experiment {
             .enumerate()
             .map(|(plan_index, entry)| self.run_plan(strategy, plan_index, entry))
             .collect()
+    }
+}
+
+/// Assembles the [`MixSchedule`] of one co-simulated engine run: per-query
+/// outcomes come from the interleaved execution ([`CoSimReport`]); the solo
+/// times of the (composed-compatible) [`MixJob`]s provide the slowdown
+/// baseline. Co-simulated queries spread over the whole machine (no pinned
+/// node) and are admitted on arrival (memory admission is not modeled), so
+/// `node` is `None` and `wait_secs` is zero.
+fn cosim_schedule(report: &CoSimReport, jobs: &[MixJob], policy: MixPolicy) -> MixSchedule {
+    let queries: Vec<QueryOutcome> = report
+        .queries
+        .iter()
+        .map(|q| QueryOutcome {
+            query: q.query,
+            node: None,
+            arrival_secs: q.arrival_secs,
+            admitted_secs: q.arrival_secs,
+            completion_secs: q.completion_secs,
+            response_secs: q.response_secs,
+            wait_secs: 0.0,
+            solo_secs: jobs[q.query].solo_secs,
+            slowdown: if jobs[q.query].solo_secs > 0.0 {
+                q.response_secs / jobs[q.query].solo_secs
+            } else {
+                1.0
+            },
+        })
+        .collect();
+    let n = queries.len() as f64;
+    let mean = |f: &dyn Fn(&QueryOutcome) -> f64| -> f64 {
+        if queries.is_empty() {
+            0.0
+        } else {
+            queries.iter().map(f).sum::<f64>() / n
+        }
+    };
+    MixSchedule {
+        policy,
+        mode: MixMode::CoSimulated,
+        makespan_secs: queries
+            .iter()
+            .map(|o| o.completion_secs)
+            .fold(0.0, f64::max),
+        mean_response_secs: mean(&|o| o.response_secs),
+        max_response_secs: queries.iter().map(|o| o.response_secs).fold(0.0, f64::max),
+        mean_slowdown: mean(&|o| o.slowdown),
+        mean_wait_secs: 0.0,
+        queries,
     }
 }
 
@@ -644,7 +849,7 @@ mod tests {
         ];
         let mix = QueryMix::new(Arc::new(exp.workload().clone()), entries).unwrap();
         let run = exp
-            .run_mix(&mix, MixPolicy::Fcfs, Strategy::Dynamic)
+            .run_mix(&mix, MixPolicy::Fcfs, MixMode::Composed, Strategy::Dynamic)
             .unwrap();
         assert_eq!(run.schedule.queries.len(), 2);
         assert_eq!(run.solo.len(), 2);
@@ -670,7 +875,12 @@ mod tests {
         let entries = vec![MixEntry::default(), MixEntry::default()];
         let mix = QueryMix::new(Arc::new(exp.workload().clone()), entries).unwrap();
         let rr = exp
-            .run_mix(&mix, MixPolicy::RoundRobin, Strategy::Dynamic)
+            .run_mix(
+                &mix,
+                MixPolicy::RoundRobin,
+                MixMode::Composed,
+                Strategy::Dynamic,
+            )
             .unwrap();
         // Pinned to distinct nodes: no inter-query interference at all.
         for outcome in &rr.schedule.queries {
@@ -680,7 +890,7 @@ mod tests {
         // The FCFS placement measures solo runs on the full machine, the
         // pinning placement on one node: distinct simulations, both valid.
         let fcfs = exp
-            .run_mix(&mix, MixPolicy::Fcfs, Strategy::Dynamic)
+            .run_mix(&mix, MixPolicy::Fcfs, MixMode::Composed, Strategy::Dynamic)
             .unwrap();
         for (a, b) in rr.solo.iter().zip(fcfs.solo.iter()) {
             assert_eq!(a.report.nodes, 1);
@@ -690,9 +900,156 @@ mod tests {
         // The solo runs landed in the shared cache: re-running the mix does
         // not grow it.
         let before = exp.cache().len();
-        exp.run_mix(&mix, MixPolicy::RoundRobin, Strategy::Dynamic)
-            .unwrap();
+        exp.run_mix(
+            &mix,
+            MixPolicy::RoundRobin,
+            MixMode::Composed,
+            Strategy::Dynamic,
+        )
+        .unwrap();
         assert_eq!(exp.cache().len(), before);
+    }
+
+    #[test]
+    fn run_mix_cosimulated_contrasts_the_composed_model_and_caches() {
+        use crate::workload::MixEntry;
+        let exp = small_experiment(2, 2);
+        let entries = vec![
+            MixEntry::default(),
+            MixEntry {
+                arrival_secs: 0.0,
+                priority: 2,
+                skew: 0.3,
+            },
+        ];
+        let mix = QueryMix::new(Arc::new(exp.workload().clone()), entries).unwrap();
+        // Pinning placements cannot be co-simulated.
+        let err = exp
+            .run_mix(
+                &mix,
+                MixPolicy::RoundRobin,
+                MixMode::CoSimulated,
+                Strategy::Dynamic,
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, dlb_common::DlbError::InvalidConfig(ref m) if m.contains("fcfs")),
+            "{err}"
+        );
+
+        let run = exp
+            .run_mix(
+                &mix,
+                MixPolicy::Fcfs,
+                MixMode::CoSimulated,
+                Strategy::Dynamic,
+            )
+            .unwrap();
+        assert_eq!(run.schedule.mode, MixMode::CoSimulated);
+        assert_eq!(run.schedule.queries.len(), 2);
+        assert_eq!(run.solo.len(), 2);
+        // The contrast schedule is the analytic composition of the same mix.
+        let contrast = run.composed.as_ref().expect("cosim carries the contrast");
+        assert_eq!(contrast.mode, MixMode::Composed);
+        let composed_run = exp
+            .run_mix(&mix, MixPolicy::Fcfs, MixMode::Composed, Strategy::Dynamic)
+            .unwrap();
+        assert_eq!(&composed_run.schedule, contrast);
+        assert!(composed_run.composed.is_none());
+        // Slowdowns are anchored on the same engine-measured solo runs.
+        for (q, outcome) in run.schedule.queries.iter().enumerate() {
+            assert_eq!(outcome.query, q);
+            assert!(outcome.response_secs > 0.0);
+            assert_eq!(outcome.node, None, "cosim spreads over the whole machine");
+            assert!(
+                (outcome.solo_secs - run.solo[q].report.response_secs()).abs() < 1e-12,
+                "solo time comes from the engine run"
+            );
+        }
+        // Both mode runs are cached under distinct extended keys; repeats
+        // are hits that change nothing.
+        assert_eq!(exp.cache().mix_len(), 2);
+        let again = exp
+            .run_mix(
+                &mix,
+                MixPolicy::Fcfs,
+                MixMode::CoSimulated,
+                Strategy::Dynamic,
+            )
+            .unwrap();
+        assert_eq!(again, run);
+        assert_eq!(exp.cache().mix_len(), 2);
+    }
+
+    #[test]
+    fn run_mix_cosim_single_query_matches_the_solo_engine_run_exactly() {
+        use crate::workload::MixEntry;
+        let exp = Experiment::builder()
+            .system(HierarchicalSystem::hierarchical(2, 2))
+            .workload(WorkloadParams::tiny(1, 4, 11))
+            .build()
+            .unwrap();
+        let mix =
+            QueryMix::new(Arc::new(exp.workload().clone()), vec![MixEntry::default()]).unwrap();
+        let run = exp
+            .run_mix(
+                &mix,
+                MixPolicy::Fcfs,
+                MixMode::CoSimulated,
+                Strategy::Dynamic,
+            )
+            .unwrap();
+        let outcome = &run.schedule.queries[0];
+        assert_eq!(
+            outcome.response_secs,
+            run.solo[0].report.response_secs(),
+            "one co-simulated query IS the plain engine run"
+        );
+        assert_eq!(outcome.slowdown, 1.0);
+        assert_eq!(run.schedule.mean_wait_secs, 0.0);
+    }
+
+    #[test]
+    fn mix_run_keys_distinguish_mode_policy_and_entries() {
+        use crate::workload::MixEntry;
+        let system = HierarchicalSystem::hierarchical(2, 2);
+        let workload = CompiledWorkload::generate(WorkloadParams::tiny(2, 4, 11), &system).unwrap();
+        let options = ExecOptions::default();
+        let entries = vec![MixEntry::default(), MixEntry::default()];
+        let key = |entries: &[MixEntry], policy, mode| {
+            RunKey::for_mix(
+                Strategy::Dynamic,
+                &options,
+                system.config(),
+                workload.fingerprint(),
+                entries,
+                policy,
+                mode,
+            )
+        };
+        let base = key(&entries, MixPolicy::Fcfs, MixMode::Composed);
+        assert_eq!(base, key(&entries, MixPolicy::Fcfs, MixMode::Composed));
+        assert_ne!(base, key(&entries, MixPolicy::Fcfs, MixMode::CoSimulated));
+        assert_ne!(base, key(&entries, MixPolicy::LoadAware, MixMode::Composed));
+        let mut reprioritized = entries.clone();
+        reprioritized[1].priority = 2;
+        assert_ne!(
+            base,
+            key(&reprioritized, MixPolicy::Fcfs, MixMode::Composed)
+        );
+        let mut reskewed = entries.clone();
+        reskewed[0].skew = 0.5;
+        assert_ne!(base, key(&reskewed, MixPolicy::Fcfs, MixMode::Composed));
+        // A mix key never collides with the plain key of the same inputs.
+        assert_ne!(
+            base,
+            RunKey::new(
+                Strategy::Dynamic,
+                &options,
+                system.config(),
+                workload.fingerprint()
+            )
+        );
     }
 
     #[test]

@@ -38,10 +38,10 @@ pub mod workload;
 pub use adhoc::AdHocQuery;
 pub use dlb_common::config::{CostConstants, CpuParams, DiskParams, NetworkParams, SystemConfig};
 pub use dlb_common::{Duration, SimTime};
-pub use dlb_exec::mix::{MixJob, MixPolicy, MixSchedule, QueryOutcome};
+pub use dlb_exec::mix::{MixJob, MixMode, MixPolicy, MixSchedule, QueryOutcome};
 pub use dlb_exec::{
-    ContentionModel, ExecOptions, ExecOptionsBuilder, ExecutionReport, FlowControl, StealPolicy,
-    Strategy, StrategyKind,
+    CoSimQuery, CoSimReport, ContentionModel, ExecOptions, ExecOptionsBuilder, ExecutionReport,
+    FlowControl, QueryExecReport, StealPolicy, Strategy, StrategyKind,
 };
 pub use dlb_query::plan::{ChainScheduling, ParallelPlan};
 pub use dlb_query::{Query, WorkloadParams};

@@ -45,7 +45,7 @@ use crate::summary::{relative_performance, speedup, Summary};
 use crate::system::HierarchicalSystem;
 use crate::workload::{CompiledWorkload, QueryMix};
 use dlb_common::{QueryId, RelationId, Result};
-use dlb_exec::{ExecOptions, MixPolicy, MixSchedule, Strategy};
+use dlb_exec::{ExecOptions, MixMode, MixPolicy, MixSchedule, Strategy};
 use dlb_query::generator::WorkloadParams;
 use dlb_query::jointree::JoinTree;
 use dlb_query::optree::OperatorTree;
@@ -70,6 +70,10 @@ pub struct StrategyCell {
     /// workloads only): per-query and aggregate response times under
     /// shared-node contention.
     pub mix: Option<MixSchedule>,
+    /// The analytic (composed) schedule of the same mix, carried alongside
+    /// a co-simulated `mix` schedule so renderings can contrast the two
+    /// fidelities. `None` for composed-mode and non-mix cells.
+    pub mix_composed: Option<MixSchedule>,
 }
 
 /// All strategies measured at one sweep point.
@@ -155,9 +159,15 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport> {
 
     // Execute the grid: every (point × strategy) run, plus the same-point
     // reference when one is configured. Mix workloads run through the
-    // inter-query scheduler; their cells carry the schedule alongside the
+    // inter-query scheduler; their cells carry the schedule (plus, in
+    // co-simulated mode, the composed contrast schedule) alongside the
     // per-query solo runs.
-    type RawCell = (Strategy, Arc<Vec<PlanRun>>, Option<MixSchedule>);
+    type RawCell = (
+        Strategy,
+        Arc<Vec<PlanRun>>,
+        Option<MixSchedule>,
+        Option<MixSchedule>,
+    );
     type RawPoint = (
         Vec<RawCell>,
         Option<(Arc<Vec<PlanRun>>, Option<MixSchedule>)>,
@@ -170,19 +180,20 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport> {
             let (workload, _) = lookup(machine.nodes, &workload_spec);
             let experiment =
                 Experiment::with_cache(system, Arc::clone(workload), Arc::clone(&cache));
-            let mix: Option<(QueryMix, MixPolicy)> = match &workload_spec {
+            let mix: Option<(QueryMix, MixPolicy, MixMode)> = match &workload_spec {
                 WorkloadSpec::Mix(m) => Some((
                     QueryMix::new(Arc::clone(workload), m.entries(m.queries, options.skew))?,
                     m.policy,
+                    m.mode,
                 )),
                 _ => None,
             };
             let run_one = |s: Strategy| -> Result<RawCell> {
                 match &mix {
-                    None => experiment.run(s).map(|r| (s, r, None)),
-                    Some((query_mix, policy)) => {
-                        let mr = experiment.run_mix(query_mix, *policy, s)?;
-                        Ok((s, Arc::new(mr.solo), Some(mr.schedule)))
+                    None => experiment.run(s).map(|r| (s, r, None, None)),
+                    Some((query_mix, policy, mode)) => {
+                        let mr = experiment.run_mix(query_mix, *policy, *mode, s)?;
+                        Ok((s, mr.solo, Some(mr.schedule), mr.composed))
                     }
                 }
             };
@@ -193,7 +204,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport> {
                 .collect();
             let reference = match spec.reference {
                 Reference::SamePoint(r) => {
-                    let (_, runs, schedule) = run_one(strategy_at(r, spec, row, col))?;
+                    let (_, runs, schedule, _) = run_one(strategy_at(r, spec, row, col))?;
                     Some((runs, schedule))
                 }
                 Reference::FirstRow => None,
@@ -213,7 +224,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport> {
             let cells = runs
                 .iter()
                 .enumerate()
-                .map(|(si, (strategy, r, schedule))| {
+                .map(|(si, (strategy, r, schedule, composed))| {
                     let (reference, ref_schedule): (&Arc<Vec<PlanRun>>, &Option<MixSchedule>) =
                         match spec.reference {
                             Reference::SamePoint(_) => {
@@ -243,6 +254,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport> {
                         summary: Summary::from_runs(r),
                         value,
                         mix: schedule.clone(),
+                        mix_composed: composed.clone(),
                     }
                 })
                 .collect();

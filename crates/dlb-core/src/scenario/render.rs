@@ -4,7 +4,23 @@
 use super::spec::{Axis, Presentation, RowFmt, ScenarioSpec, Sweep, TableStyle, WorkloadSpec};
 use super::{serde, ScenarioReport, StrategyCell};
 use dlb_common::json::{object, Json};
+use dlb_exec::MixMode;
 use std::fmt::Write as _;
+
+/// True when the report's workload is a co-simulated mix (its cells carry a
+/// composed contrast schedule worth rendering).
+fn is_cosim(spec: &ScenarioSpec) -> bool {
+    matches!(&spec.workload, WorkloadSpec::Mix(m) if m.mode == MixMode::CoSimulated)
+}
+
+/// The co-simulated / composed mean-response ratio of one cell, if both
+/// schedules are present and the composed mean is positive.
+fn vs_composed(cell: &StrategyCell) -> Option<f64> {
+    let mix = cell.mix.as_ref()?;
+    let composed = cell.mix_composed.as_ref()?;
+    (composed.mean_response_secs > 0.0)
+        .then(|| mix.mean_response_secs / composed.mean_response_secs)
+}
 
 /// Formats a ratio column entry (fixed 6.3 layout, `n/a` for NaN).
 pub fn fmt_ratio(v: f64) -> String {
@@ -95,9 +111,11 @@ pub fn render_text(report: &ScenarioReport) -> String {
         }
         Presentation::Mix(style) => {
             let labels: Vec<&str> = spec.strategies.iter().map(|s| s.label()).collect();
+            let cosim = is_cosim(spec);
             let mut out = banner(spec);
             // Header: ratio columns, then per-strategy mean response,
-            // makespan, slowdown and admission-wait columns.
+            // makespan, slowdown and admission-wait columns; co-simulated
+            // mixes additionally contrast against the composed model.
             let _ = write!(out, "{:>w$}", style.row_header, w = style.row_width);
             for l in &labels {
                 let _ = write!(out, "  {:>w$}", l, w = style.cell_width);
@@ -113,6 +131,11 @@ pub fn render_text(report: &ScenarioReport) -> String {
             }
             for l in &labels {
                 let _ = write!(out, "  {:>12}", format!("{l} wait s"));
+            }
+            if cosim {
+                for l in &labels {
+                    let _ = write!(out, "  {:>12}", format!("{l} vs comp"));
+                }
             }
             out.push('\n');
             for point in &report.points {
@@ -149,6 +172,11 @@ pub fn render_text(report: &ScenarioReport) -> String {
                         .as_ref()
                         .map_or("n/a".to_string(), |m| format!("{:.3}", m.mean_wait_secs))
                 });
+                if cosim {
+                    mix_col(&mut out, &|c| {
+                        vs_composed(c).map_or("n/a".to_string(), |r| format!("{r:.3}"))
+                    });
+                }
                 out.push('\n');
             }
             push_notes(&mut out, &spec.notes);
@@ -244,13 +272,19 @@ fn banner(spec: &ScenarioSpec) -> String {
         ),
         WorkloadSpec::Mix(mix) => format!(
             "workload: {}-query mix x {} relations, scale {}, seed {:#x}, \
-             gap {}s, policy {}",
+             gap {}s, policy {}{}",
             mix.queries,
             mix.relations,
             mix.scale,
             mix.seed,
             mix.arrival_gap_secs,
-            mix.policy.label()
+            mix.policy.label(),
+            // Composed is the historical default and stays unlabeled so
+            // pre-existing golden captures remain byte-identical.
+            match mix.mode {
+                MixMode::Composed => "",
+                MixMode::CoSimulated => ", co-simulated",
+            }
         ),
     };
     format!(
@@ -346,6 +380,7 @@ pub fn render_json(report: &ScenarioReport) -> String {
             if let Some(mix) = &cell.mix {
                 members.extend([
                     ("mix_policy", Json::from(mix.policy.label())),
+                    ("mix_mode", Json::from(mix.mode.label())),
                     (
                         "mix_mean_response_secs",
                         Json::Float(mix.mean_response_secs),
@@ -373,6 +408,17 @@ pub fn render_json(report: &ScenarioReport) -> String {
                         ),
                     ),
                 ]);
+                // Co-simulated cells also carry the composed (analytic)
+                // contrast: its mean response and the cosim/composed ratio.
+                if let Some(composed) = &cell.mix_composed {
+                    members.push((
+                        "mix_composed_mean_response_secs",
+                        Json::Float(composed.mean_response_secs),
+                    ));
+                    if let Some(ratio) = vs_composed(cell) {
+                        members.push(("mix_vs_composed_response", Json::Float(ratio)));
+                    }
+                }
             }
             records.push(object(members));
         }
@@ -397,24 +443,27 @@ pub fn render_json(report: &ScenarioReport) -> String {
 }
 
 /// Renders a report as CSV: one line per (point × strategy). The trailing
-/// mix columns are empty for non-mix scenarios.
+/// mix columns are empty for non-mix scenarios, and the co-simulation
+/// contrast column only fills for co-simulated mixes.
 pub fn render_csv(report: &ScenarioReport) -> String {
     let mut out = String::from(
         "row,col,strategy,value,plans,mean_response_secs,mean_idle_fraction,\
-         total_lb_bytes,total_messages,mix_policy,mix_mean_response_secs,\
-         mix_makespan_secs,mix_mean_slowdown,mix_mean_wait_secs\n",
+         total_lb_bytes,total_messages,mix_policy,mix_mode,mix_mean_response_secs,\
+         mix_makespan_secs,mix_mean_slowdown,mix_mean_wait_secs,mix_vs_composed_response\n",
     );
     for point in &report.points {
         for cell in &point.cells {
             let col = point.col.map_or(String::new(), |c| c.to_string());
-            let mix = cell.mix.as_ref().map_or(",,,,".to_string(), |m| {
+            let mix = cell.mix.as_ref().map_or(",,,,,,".to_string(), |m| {
                 format!(
-                    "{},{},{},{},{}",
+                    "{},{},{},{},{},{},{}",
                     m.policy.label(),
+                    m.mode.label(),
                     m.mean_response_secs,
                     m.makespan_secs,
                     m.mean_slowdown,
-                    m.mean_wait_secs
+                    m.mean_wait_secs,
+                    vs_composed(cell).map_or(String::new(), |r| r.to_string())
                 )
             });
             let _ = writeln!(

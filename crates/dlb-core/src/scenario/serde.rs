@@ -13,7 +13,9 @@ use super::spec::{
 };
 use dlb_common::json::{object, Json};
 use dlb_common::{DlbError, Result};
-use dlb_exec::{ContentionModel, ExecOptions, FlowControl, MixPolicy, StealPolicy, Strategy};
+use dlb_exec::{
+    ContentionModel, ExecOptions, FlowControl, MixMode, MixPolicy, StealPolicy, Strategy,
+};
 
 impl ScenarioSpec {
     /// Serializes the spec as pretty-printed JSON (the on-disk spec-file
@@ -109,6 +111,7 @@ pub(super) fn workload_to_json(workload: &WorkloadSpec) -> Json {
                 ("seed", Json::from(mix.seed)),
                 ("arrival_gap_secs", Json::Float(mix.arrival_gap_secs)),
                 ("policy", Json::from(mix.policy.label())),
+                ("mode", Json::from(mix.mode.label())),
                 (
                     "priorities",
                     Json::Array(mix.priorities.iter().map(|&p| Json::from(p)).collect()),
@@ -405,6 +408,7 @@ fn workload_from_json(v: &Json) -> Result<WorkloadSpec> {
                 "seed",
                 "arrival_gap_secs",
                 "policy",
+                "mode",
                 "priorities",
                 "skews",
             ],
@@ -436,6 +440,15 @@ fn workload_from_json(v: &Json) -> Result<WorkloadSpec> {
                 MixPolicy::from_label(label)?
             }
         };
+        let mode = match mix.get("mode") {
+            None => d.mode,
+            Some(j) => {
+                let label = j
+                    .as_str()
+                    .ok_or_else(|| parse_err("mix \"mode\" must be a string"))?;
+                MixMode::from_label(label)?
+            }
+        };
         let priorities = match mix.get("priorities").and_then(Json::as_array) {
             None => d.priorities.clone(),
             Some(items) => items
@@ -464,6 +477,7 @@ fn workload_from_json(v: &Json) -> Result<WorkloadSpec> {
             seed: opt_u64("seed", d.seed)?,
             arrival_gap_secs: opt_f64("arrival_gap_secs", d.arrival_gap_secs)?,
             policy,
+            mode,
             priorities,
             skews,
         }));

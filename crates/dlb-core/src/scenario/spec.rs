@@ -3,7 +3,7 @@
 
 use crate::workload::MixEntry;
 use dlb_common::{DlbError, Result};
-use dlb_exec::{ExecOptions, MixPolicy, Strategy};
+use dlb_exec::{ExecOptions, MixMode, MixPolicy, Strategy};
 
 /// A sweepable dimension of the evaluation grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,6 +124,10 @@ pub struct MixSpec {
     pub arrival_gap_secs: f64,
     /// Admission / placement policy of the mix.
     pub policy: MixPolicy,
+    /// Evaluation fidelity: compose solo runs with the analytic contention
+    /// model, or co-simulate all queries in one engine event loop
+    /// ([`MixMode::CoSimulated`] requires [`MixPolicy::Fcfs`]).
+    pub mode: MixMode,
     /// Per-query priorities, cycled over the queries; empty = all 1.
     pub priorities: Vec<u32>,
     /// Per-query skew profiles, cycled over the queries; empty = every query
@@ -150,6 +154,7 @@ impl Default for MixSpec {
             seed,
             arrival_gap_secs: 0.0,
             policy: MixPolicy::LoadAware,
+            mode: MixMode::Composed,
             priorities: Vec::new(),
             skews: Vec::new(),
         }
@@ -521,6 +526,27 @@ impl ScenarioSpec {
         if let WorkloadSpec::Mix(mix) = &self.workload {
             if mix.queries == 0 {
                 return fail("mix workloads need at least 1 query".to_string());
+            }
+            if mix.mode == MixMode::CoSimulated {
+                // Co-simulation interleaves activations on the whole
+                // machine; pinning placements and SP have nothing to
+                // interleave.
+                if mix.policy != MixPolicy::Fcfs {
+                    return fail(format!(
+                        "co-simulated mixes support only the fcfs policy, got {:?}",
+                        mix.policy.label()
+                    ));
+                }
+                if self
+                    .strategies
+                    .iter()
+                    .any(|s| matches!(s, Strategy::Synchronous))
+                    || matches!(self.reference, Reference::SamePoint(Strategy::Synchronous))
+                {
+                    return fail(
+                        "co-simulated mixes require a queue-based strategy (DP or FP)".to_string(),
+                    );
+                }
             }
             if mix.relations < 2 {
                 return fail("mix queries need at least 2 relations".to_string());

@@ -37,8 +37,16 @@ pub enum ActivationKind {
 /// A self-contained unit of sequential work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Activation {
-    /// The operator that must process this activation.
+    /// The operator (within its query's plan) that must process this
+    /// activation.
     pub op: OperatorId,
+    /// The query the activation belongs to. Single-query executions tag
+    /// everything with query 0; the co-simulated engine mode (see
+    /// [`crate::engine::execute_cosimulated`]) interleaves activations of
+    /// several queries in one event loop, preserves the tag across steals
+    /// and transfers, and charges per-query accounting to it (`op` is
+    /// plan-local, so only the pair identifies the operator globally).
+    pub query: u32,
     /// Trigger or data payload.
     pub kind: ActivationKind,
     /// Number of tuples covered by this activation.
@@ -46,22 +54,31 @@ pub struct Activation {
 }
 
 impl Activation {
-    /// Creates a trigger activation.
+    /// Creates a trigger activation (tagged with query 0).
     pub fn trigger(op: OperatorId, pages: u64, tuples: u64, disk: DiskId) -> Self {
         Self {
             op,
+            query: 0,
             kind: ActivationKind::Trigger { pages, disk },
             tuples,
         }
     }
 
-    /// Creates a data activation carrying `tuples` buffered tuples.
+    /// Creates a data activation carrying `tuples` buffered tuples (tagged
+    /// with query 0).
     pub fn data(op: OperatorId, tuples: u64) -> Self {
         Self {
             op,
+            query: 0,
             kind: ActivationKind::Data,
             tuples,
         }
+    }
+
+    /// Retags this activation as belonging to `query` (co-simulated mode).
+    pub fn for_query(mut self, query: u32) -> Self {
+        self.query = query;
+        self
     }
 
     /// True for trigger activations.
@@ -207,9 +224,13 @@ mod tests {
         let t = Activation::trigger(OperatorId::new(1), 8, 640, disk());
         assert!(t.is_trigger());
         assert_eq!(t.tuples, 640);
+        assert_eq!(t.query, 0);
         let d = Activation::data(OperatorId::new(2), 128);
         assert!(!d.is_trigger());
         assert_eq!(d.op, OperatorId::new(2));
+        let tagged = d.for_query(3);
+        assert_eq!(tagged.query, 3);
+        assert_eq!(tagged.tuples, d.tuples);
     }
 
     #[test]

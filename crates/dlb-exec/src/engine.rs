@@ -1,8 +1,8 @@
 //! The queue-based execution engine (Dynamic Processing and Fixed Processing).
 //!
 //! This is the heart of the reproduction: a discrete-event simulation of the
-//! paper's execution model (§3 and §4) running a [`ParallelPlan`] on a
-//! hierarchical machine.
+//! paper's execution model (§3 and §4) running one or more
+//! [`ParallelPlan`]s on a hierarchical machine.
 //!
 //! * Each SM-node runs one worker thread per processor plus a scheduler that
 //!   handles inter-node messages.
@@ -25,15 +25,29 @@
 //! way): per-operator output cardinalities come from the plan, and skew is
 //! injected by routing output batches across consumer queues with a Zipf
 //! distribution (see [`crate::router`]).
+//!
+//! ## Co-simulation (multi-query mode)
+//!
+//! [`execute`] runs a single plan. [`execute_cosimulated`] runs N concurrent
+//! queries — each a [`CoSimQuery`] with an arrival offset, a scheduling
+//! priority and its own redistribution-skew profile — **inside one event
+//! loop**: every query becomes a *lane* of operators, activations carry
+//! their query id, threads pick work lane-by-lane in priority order, and
+//! global load balancing sees the queued work of *all* queries when ranking
+//! providers. This simulates real inter-query interference (queue
+//! contention, steal traffic, flow control across queries) instead of
+//! composing solo runs with an analytic contention model; see
+//! [`crate::mix::MixMode`]. The loop is strictly sequential and seeded, so
+//! co-simulated runs are bit-identical regardless of harness thread counts.
 
 use crate::activation::{Activation, ActivationKind, ActivationQueue};
 use crate::fp::allocate_threads;
 use crate::options::{ExecOptions, Strategy};
-use crate::report::{ExecutionReport, StrategyKind};
+use crate::report::{CoSimReport, ExecutionReport, QueryExecReport, StrategyKind};
 use crate::router::OutputRouter;
 use dlb_common::config::SystemConfig;
 use dlb_common::rng::rng_from_seed;
-use dlb_common::{DiskId, DlbError, NodeId, OperatorId, ProcessorId, Result, SimTime};
+use dlb_common::{DiskId, DlbError, Duration, NodeId, OperatorId, ProcessorId, Result, SimTime};
 use dlb_query::cost::CostModel;
 use dlb_query::optree::OperatorKind;
 use dlb_query::plan::ParallelPlan;
@@ -47,8 +61,27 @@ use std::collections::VecDeque;
 const CONTROL_MESSAGE_BYTES: u64 = 256;
 
 /// Hard cap on simulation events, as a guard against engine bugs producing
-/// infinite event loops. Generously above anything a paper-scale plan needs.
+/// infinite event loops. Generously above anything a paper-scale plan (or a
+/// co-simulated mix of them) needs.
 const MAX_EVENTS: u64 = 500_000_000;
+
+/// One query of a co-simulated execution: the plan plus the inter-query
+/// descriptors the engine needs to interleave it with the others.
+#[derive(Debug, Clone, Copy)]
+pub struct CoSimQuery<'a> {
+    /// The query's parallel execution plan. Operator homes must lie within
+    /// the machine the mix runs on.
+    pub plan: &'a ParallelPlan,
+    /// Arrival offset from the start of the mix, in (virtual) seconds. The
+    /// query's scan triggers are seeded at this instant.
+    pub arrival_secs: f64,
+    /// Local-scheduling priority (≥ 1): threads exhaust the eligible work of
+    /// higher-priority queries before touching lower-priority queues.
+    pub priority: u32,
+    /// Redistribution-skew factor (Zipf theta in `[0, 1]`) of this query's
+    /// activation routing.
+    pub skew: f64,
+}
 
 #[derive(Debug, Clone)]
 enum Event {
@@ -65,6 +98,10 @@ enum Event {
     Control {
         node: usize,
         msg: ControlMsg,
+    },
+    /// A co-simulated query arrives: seed its triggers and wake the machine.
+    QueryStart {
+        lane: usize,
     },
 }
 
@@ -117,10 +154,35 @@ enum ControlMsg {
     },
 }
 
+/// Per-query runtime state of the (co-)simulation. Single-plan executions
+/// are the one-lane special case; the engine indexes operators *globally*
+/// (lane base + plan-local index) so that all scheduling, flow-control and
+/// steal machinery sees every query's work at once.
+struct LaneRuntime<'a> {
+    plan: &'a ParallelPlan,
+    arrival: SimTime,
+    priority: u32,
+    skew: f64,
+    /// First global operator index of this lane.
+    base: usize,
+    /// Number of operators of this lane's plan.
+    n_ops: usize,
+    /// Whether the lane's triggers have been seeded (arrival reached).
+    started: bool,
+    ops_terminated: usize,
+    finished_at: SimTime,
+    activations: u64,
+    tuples_processed: u64,
+    result_tuples: u64,
+}
+
 /// Per-operator global runtime state.
 struct OpRuntime {
+    /// The lane (query) this operator belongs to.
+    lane: usize,
     kind: OperatorKind,
-    consumer: Option<OperatorId>,
+    /// Global index of the consumer operator, if any.
+    consumer: Option<usize>,
     home: Vec<NodeId>,
     output_ratio: f64,
     blockers_remaining: usize,
@@ -132,8 +194,9 @@ struct OpRuntime {
     phase1_reports: usize,
     phase2_started: bool,
     phase2_confirms: usize,
-    /// For probe operators: the build whose table is probed.
-    build_twin: Option<OperatorId>,
+    /// For probe operators: the global index of the build whose table is
+    /// probed.
+    build_twin: Option<usize>,
 }
 
 /// Per-(operator, node) runtime state. Only allocated for home nodes.
@@ -190,9 +253,12 @@ struct NodeLb {
     current_token: u64,
 }
 
-/// The queue-based engine shared by DP and FP.
+/// The queue-based engine shared by DP and FP, over one or more query lanes.
 pub(crate) struct QueueEngine<'a> {
-    plan: &'a ParallelPlan,
+    lanes: Vec<LaneRuntime<'a>>,
+    /// Lane indices in local-scheduling order: priority descending, mix
+    /// index ascending on ties.
+    lane_order: Vec<usize>,
     config: SystemConfig,
     options: ExecOptions,
     strategy: Strategy,
@@ -229,12 +295,73 @@ impl<'a> QueueEngine<'a> {
         strategy: Strategy,
         options: ExecOptions,
     ) -> Result<Self> {
+        Self::new_cosim(
+            &[CoSimQuery {
+                plan,
+                arrival_secs: 0.0,
+                priority: 1,
+                skew: options.skew,
+            }],
+            config,
+            strategy,
+            options,
+        )
+    }
+
+    pub(crate) fn new_cosim(
+        queries: &[CoSimQuery<'a>],
+        config: SystemConfig,
+        strategy: Strategy,
+        options: ExecOptions,
+    ) -> Result<Self> {
+        if queries.is_empty() {
+            return Err(DlbError::config("co-simulation needs at least one query"));
+        }
         if config.machine.nodes == 0 || config.machine.processors_per_node == 0 {
             return Err(DlbError::config(
                 "machine needs at least one node and processor",
             ));
         }
-        plan.validate()?;
+        let mut lanes: Vec<LaneRuntime<'a>> = Vec::with_capacity(queries.len());
+        let mut base = 0usize;
+        for (i, q) in queries.iter().enumerate() {
+            q.plan.validate()?;
+            if q.priority == 0 {
+                return Err(DlbError::config(format!(
+                    "co-simulated query {i} has priority 0 (priorities are ≥ 1)"
+                )));
+            }
+            if !(q.arrival_secs.is_finite() && q.arrival_secs >= 0.0) {
+                return Err(DlbError::config(format!(
+                    "co-simulated query {i} has invalid arrival {}",
+                    q.arrival_secs
+                )));
+            }
+            if !(q.skew.is_finite() && (0.0..=1.0).contains(&q.skew)) {
+                return Err(DlbError::config(format!(
+                    "co-simulated query {i} has skew {} outside [0, 1]",
+                    q.skew
+                )));
+            }
+            let n_ops = q.plan.tree.operators().len();
+            lanes.push(LaneRuntime {
+                plan: q.plan,
+                arrival: SimTime::ZERO + Duration::from_secs_f64(q.arrival_secs),
+                priority: q.priority,
+                skew: q.skew,
+                base,
+                n_ops,
+                started: false,
+                ops_terminated: 0,
+                finished_at: SimTime::ZERO,
+                activations: 0,
+                tuples_processed: 0,
+                result_tuples: 0,
+            });
+            base += n_ops;
+        }
+        let mut lane_order: Vec<usize> = (0..lanes.len()).collect();
+        lane_order.sort_by(|&a, &b| lanes[b].priority.cmp(&lanes[a].priority).then(a.cmp(&b)));
         let nodes = config.machine.nodes as usize;
         let threads_per_node = config.machine.processors_per_node as usize;
         let disks_per_node =
@@ -242,7 +369,8 @@ impl<'a> QueueEngine<'a> {
         let cost = CostModel::new(config.costs, config.disk, config.cpu);
 
         let mut engine = Self {
-            plan,
+            lanes,
+            lane_order,
             config,
             options,
             strategy,
@@ -273,58 +401,68 @@ impl<'a> QueueEngine<'a> {
     }
 
     fn initialize(&mut self) -> Result<()> {
-        let n_ops = self.plan.tree.operators().len();
-        let joins = self.plan.tree.joins();
-
-        for op in self.plan.tree.operators() {
-            let home: Vec<NodeId> = self
-                .plan
-                .homes
-                .home(op.id)
-                .nodes()
-                .iter()
-                .copied()
-                .filter(|n| n.index() < self.nodes)
-                .collect();
-            if home.is_empty() {
-                return Err(DlbError::plan(format!(
-                    "operator {} has no home node within the machine",
-                    op.id
-                )));
+        // Per-operator global state, lane by lane (lane 0's operators first,
+        // so single-query indices coincide with plan-local indices).
+        for lane_idx in 0..self.lanes.len() {
+            let lane = &self.lanes[lane_idx];
+            let plan = lane.plan;
+            let base = lane.base;
+            let skew = lane.skew;
+            let joins = plan.tree.joins();
+            for op in plan.tree.operators() {
+                let home: Vec<NodeId> = plan
+                    .homes
+                    .home(op.id)
+                    .nodes()
+                    .iter()
+                    .copied()
+                    .filter(|n| n.index() < self.nodes)
+                    .collect();
+                if home.is_empty() {
+                    return Err(DlbError::plan(format!(
+                        "operator {} has no home node within the machine",
+                        op.id
+                    )));
+                }
+                let mut blockers: Vec<OperatorId> = plan.blocked_by(op.id);
+                blockers.sort_unstable();
+                blockers.dedup();
+                let output_ratio = if op.input_tuples == 0 {
+                    0.0
+                } else {
+                    op.output_tuples as f64 / op.input_tuples as f64
+                };
+                let build_twin = match op.kind {
+                    OperatorKind::Probe { join } => joins.get(&join).map(|(b, _)| base + b.index()),
+                    _ => None,
+                };
+                let slots = home.len() * self.threads_per_node;
+                self.ops.push(OpRuntime {
+                    lane: lane_idx,
+                    kind: op.kind,
+                    consumer: op.consumer.map(|c| base + c.index()),
+                    home,
+                    output_ratio,
+                    blockers_remaining: blockers.len(),
+                    terminated: false,
+                    // The rotation uses the *global* index so that the hot
+                    // slots of same-shaped queries in a co-simulated mix do
+                    // not all land on the same threads (for a single query
+                    // the global index is the plan-local index).
+                    router: OutputRouter::new(slots, skew, base + op.id.index()),
+                    input_sent: 0,
+                    input_delivered: 0,
+                    input_processed: 0,
+                    phase1_reports: 0,
+                    phase2_started: false,
+                    phase2_confirms: 0,
+                    build_twin,
+                });
             }
-            let mut blockers: Vec<OperatorId> = self.plan.blocked_by(op.id);
-            blockers.sort_unstable();
-            blockers.dedup();
-            let output_ratio = if op.input_tuples == 0 {
-                0.0
-            } else {
-                op.output_tuples as f64 / op.input_tuples as f64
-            };
-            let build_twin = match op.kind {
-                OperatorKind::Probe { join } => joins.get(&join).map(|(b, _)| *b),
-                _ => None,
-            };
-            let slots = home.len() * self.threads_per_node;
-            self.ops.push(OpRuntime {
-                kind: op.kind,
-                consumer: op.consumer,
-                home,
-                output_ratio,
-                blockers_remaining: blockers.len(),
-                terminated: false,
-                router: OutputRouter::new(slots, self.options.skew, op.id.index()),
-                input_sent: 0,
-                input_delivered: 0,
-                input_processed: 0,
-                phase1_reports: 0,
-                phase2_started: false,
-                phase2_confirms: 0,
-                build_twin,
-            });
         }
 
         // Per-(op, node) state for home nodes.
-        for op_idx in 0..n_ops {
+        for op_idx in 0..self.ops.len() {
             let mut per_node: Vec<Option<OpNodeRuntime>> = (0..self.nodes).map(|_| None).collect();
             for node in &self.ops[op_idx].home {
                 per_node[node.index()] = Some(OpNodeRuntime {
@@ -345,36 +483,55 @@ impl<'a> QueueEngine<'a> {
             self.op_nodes.push(per_node);
         }
 
-        // Threads: FP computes a per-node static allocation, DP leaves them
-        // unconstrained.
+        // Threads: FP computes a per-node static allocation (one per lane,
+        // mapped to global operator ids and unioned per thread), DP leaves
+        // them unconstrained.
         let mut fp_rng = rng_from_seed(self.options.seed);
         for _node in 0..self.nodes {
-            let allowed = match self.strategy {
+            let allowed: Option<Vec<BTreeSet<OperatorId>>> = match self.strategy {
                 Strategy::Fixed { error_rate } => {
-                    let assignment = allocate_threads(
-                        self.plan,
-                        self.threads_per_node as u32,
-                        &self.cost,
-                        error_rate,
-                        &mut fp_rng,
-                    );
-                    Some(assignment)
+                    let mut per_thread: Vec<BTreeSet<OperatorId>> =
+                        vec![BTreeSet::new(); self.threads_per_node];
+                    for lane in &self.lanes {
+                        let assignment = allocate_threads(
+                            lane.plan,
+                            self.threads_per_node as u32,
+                            &self.cost,
+                            error_rate,
+                            &mut fp_rng,
+                        );
+                        for (t, ops) in assignment.iter().enumerate() {
+                            per_thread[t].extend(
+                                ops.iter().map(|o| OperatorId::from(lane.base + o.index())),
+                            );
+                        }
+                    }
+                    Some(per_thread)
                 }
                 _ => None,
             };
             let threads = (0..self.threads_per_node)
                 .map(|t| ThreadRuntime {
                     idle: false,
-                    allowed: allowed
-                        .as_ref()
-                        .map(|a| a[t].iter().copied().collect::<BTreeSet<_>>()),
+                    allowed: allowed.as_ref().map(|a| a[t].clone()),
                 })
                 .collect();
             self.threads.push(threads);
         }
 
-        // Seed trigger activations for every scan on every home node.
-        self.seed_triggers();
+        // Seed trigger activations for every lane already arrived at time
+        // zero; later arrivals get a QueryStart event at their instant.
+        for lane_idx in 0..self.lanes.len() {
+            if self.lanes[lane_idx].arrival == SimTime::ZERO {
+                self.lanes[lane_idx].started = true;
+                self.seed_triggers(lane_idx);
+            } else {
+                self.calendar.schedule_at(
+                    self.lanes[lane_idx].arrival,
+                    Event::QueryStart { lane: lane_idx },
+                );
+            }
+        }
 
         // Kick off every thread at time zero.
         for node in 0..self.nodes {
@@ -385,8 +542,8 @@ impl<'a> QueueEngine<'a> {
         }
 
         // Scans with no local data (or empty relations) can complete right
-        // away; run an initial end check over everything.
-        for op in 0..n_ops {
+        // away; run an initial end check over everything already started.
+        for op in 0..self.ops.len() {
             for node in 0..self.nodes {
                 self.check_local_end(op, node);
             }
@@ -394,21 +551,25 @@ impl<'a> QueueEngine<'a> {
         Ok(())
     }
 
-    /// Seeds trigger activations: the scan's partition on each home node is
-    /// split into trigger activations of `trigger_pages` pages, assigned to
-    /// disks round-robin and distributed across the node's thread queues with
-    /// the redistribution-skew router.
-    fn seed_triggers(&mut self) {
+    /// Seeds trigger activations for one lane: the scan's partition on each
+    /// home node is split into trigger activations of `trigger_pages` pages,
+    /// assigned to disks round-robin and distributed across the node's
+    /// thread queues with the redistribution-skew router.
+    fn seed_triggers(&mut self, lane_idx: usize) {
         let tuples_per_page = self.config.costs.tuples_per_page();
-        let scan_ops: Vec<usize> = (0..self.ops.len())
+        let (base, n_ops, skew) = {
+            let lane = &self.lanes[lane_idx];
+            (lane.base, lane.n_ops, lane.skew)
+        };
+        let scan_ops: Vec<usize> = (base..base + n_ops)
             .filter(|&i| self.ops[i].kind.is_scan())
             .collect();
         for op_idx in scan_ops {
             let home_len = self.ops[op_idx].home.len();
-            let total = self
+            let total = self.lanes[lane_idx]
                 .plan
                 .tree
-                .operator(OperatorId::from(op_idx))
+                .operator(OperatorId::from(op_idx - base))
                 .input_tuples;
             let per_node = total / home_len as u64;
             let remainder = total - per_node * home_len as u64;
@@ -417,11 +578,8 @@ impl<'a> QueueEngine<'a> {
                 let mut node_tuples = per_node + if i == 0 { remainder } else { 0 };
                 // Within the node, spread trigger activations across thread
                 // queues with the skew router.
-                let mut router = OutputRouter::new(
-                    self.threads_per_node,
-                    self.options.skew,
-                    op_idx + node.index(),
-                );
+                let mut router =
+                    OutputRouter::new(self.threads_per_node, skew, op_idx + node.index());
                 let tuples_per_trigger = self.options.flow.trigger_pages * tuples_per_page;
                 let mut seeded = 0u64;
                 while node_tuples > 0 {
@@ -433,7 +591,8 @@ impl<'a> QueueEngine<'a> {
                     let disk = DiskId::new(node, disk_local);
                     let slot = router.route(chunk);
                     let activation =
-                        Activation::trigger(OperatorId::from(op_idx), pages, chunk, disk);
+                        Activation::trigger(OperatorId::from(op_idx - base), pages, chunk, disk)
+                            .for_query(lane_idx as u32);
                     let opn = self.op_nodes[op_idx][node.index()]
                         .as_mut()
                         .expect("home node state exists");
@@ -450,14 +609,14 @@ impl<'a> QueueEngine<'a> {
         }
     }
 
-    /// Runs the simulation to completion and produces the report.
-    pub(crate) fn run(mut self) -> Result<ExecutionReport> {
-        while self.ops_terminated < self.ops.len() {
+    /// Runs the event loop until every lane's operators have terminated.
+    fn run_loop(&mut self) -> Result<()> {
+        let total_ops = self.ops.len();
+        while self.ops_terminated < total_ops {
             let Some((_, event)) = self.calendar.pop() else {
                 return Err(DlbError::exec(format!(
                     "simulation stalled: {} of {} operators terminated",
-                    self.ops_terminated,
-                    self.ops.len()
+                    self.ops_terminated, total_ops
                 )));
             };
             if self.calendar.processed() > MAX_EVENTS {
@@ -472,15 +631,20 @@ impl<'a> QueueEngine<'a> {
                     activation,
                 } => self.on_data(node, op, slot, activation),
                 Event::Control { node, msg } => self.on_control(node, msg),
+                Event::QueryStart { lane } => self.on_query_start(lane),
             }
         }
+        Ok(())
+    }
 
+    /// The machine-wide aggregate report of a finished run.
+    fn aggregate_report(&self) -> ExecutionReport {
         let response = self.finished_at.since(SimTime::ZERO);
         let utilization = self.cpu.utilization(response);
         let per_node_busy = (0..self.nodes)
             .map(|n| self.cpu.node_busy(NodeId::from(n)))
             .collect();
-        Ok(ExecutionReport {
+        ExecutionReport {
             strategy: match self.strategy {
                 Strategy::Dynamic => StrategyKind::Dynamic,
                 Strategy::Fixed { error_rate } => StrategyKind::Fixed { error_rate },
@@ -502,7 +666,39 @@ impl<'a> QueueEngine<'a> {
             lb_acquisitions: self.lb_acquisitions,
             lb_bytes: self.lb_bytes,
             events: self.calendar.processed(),
-        })
+        }
+    }
+
+    /// Runs the simulation to completion and produces the report.
+    pub(crate) fn run(mut self) -> Result<ExecutionReport> {
+        self.run_loop()?;
+        Ok(self.aggregate_report())
+    }
+
+    /// Runs the simulation to completion and produces the aggregate plus the
+    /// per-query breakdown (co-simulated mode).
+    pub(crate) fn run_cosim(mut self) -> Result<CoSimReport> {
+        self.run_loop()?;
+        let aggregate = self.aggregate_report();
+        let queries = self
+            .lanes
+            .iter()
+            .enumerate()
+            .map(|(i, lane)| {
+                let completion_secs = lane.finished_at.as_secs_f64();
+                QueryExecReport {
+                    query: i,
+                    priority: lane.priority,
+                    arrival_secs: lane.arrival.as_secs_f64(),
+                    completion_secs,
+                    response_secs: lane.finished_at.since(lane.arrival).as_secs_f64(),
+                    activations: lane.activations,
+                    tuples_processed: lane.tuples_processed,
+                    result_tuples: lane.result_tuples,
+                }
+            })
+            .collect();
+        Ok(CoSimReport { aggregate, queries })
     }
 
     // ----------------------------------------------------------------- //
@@ -518,7 +714,10 @@ impl<'a> QueueEngine<'a> {
 
     fn op_consumable(&self, op: usize, node: usize) -> bool {
         let o = &self.ops[op];
-        !o.terminated && o.blockers_remaining == 0 && self.op_nodes[op][node].is_some()
+        self.lanes[o.lane].started
+            && !o.terminated
+            && o.blockers_remaining == 0
+            && self.op_nodes[op][node].is_some()
     }
 
     /// Moves parked activations of (op, node) into queues with free space.
@@ -543,35 +742,47 @@ impl<'a> QueueEngine<'a> {
         }
     }
 
-    /// Selects the next activation for a thread: primary queues first, then
-    /// any other queue of the node (with an interference penalty).
+    /// Selects the next activation for a thread. Lanes are visited in
+    /// priority order (descending, mix index on ties); within a lane the
+    /// thread prefers its primary queues (its own queue of every operator)
+    /// and falls back to any other queue of the node, paying a small
+    /// interference penalty. A higher-priority query's work — even on a
+    /// non-primary queue — is taken before any lower-priority query's.
     fn select_work(&mut self, node: usize, thread: usize) -> Option<(usize, Activation, bool)> {
-        let n_ops = self.ops.len();
-        // Pass 1: primary queues (the thread's own queue of every operator).
-        for shift in 0..n_ops {
-            let op = (thread + shift) % n_ops;
-            if !self.op_consumable(op, node) || !self.thread_may_process(node, thread, op) {
+        for li in 0..self.lane_order.len() {
+            let lane = self.lane_order[li];
+            if !self.lanes[lane].started {
                 continue;
             }
-            self.deliver_parked(op, node);
-            let opn = self.op_nodes[op][node].as_mut().expect("home state");
-            if let Some(act) = opn.queues[thread].pop() {
-                opn.processing += 1;
-                return Some((op, act, true));
-            }
-        }
-        // Pass 2: any other queue of the node.
-        for shift in 0..n_ops {
-            let op = (thread + shift) % n_ops;
-            if !self.op_consumable(op, node) || !self.thread_may_process(node, thread, op) {
-                continue;
-            }
-            let opn = self.op_nodes[op][node].as_mut().expect("home state");
-            for offset in 1..self.threads_per_node {
-                let q = (thread + offset) % self.threads_per_node;
-                if let Some(act) = opn.queues[q].pop() {
+            let base = self.lanes[lane].base;
+            let n_ops = self.lanes[lane].n_ops;
+            // Pass 1: primary queues (the thread's own queue of every
+            // operator of the lane).
+            for shift in 0..n_ops {
+                let op = base + (thread + shift) % n_ops;
+                if !self.op_consumable(op, node) || !self.thread_may_process(node, thread, op) {
+                    continue;
+                }
+                self.deliver_parked(op, node);
+                let opn = self.op_nodes[op][node].as_mut().expect("home state");
+                if let Some(act) = opn.queues[thread].pop() {
                     opn.processing += 1;
-                    return Some((op, act, false));
+                    return Some((op, act, true));
+                }
+            }
+            // Pass 2: any other queue of the node.
+            for shift in 0..n_ops {
+                let op = base + (thread + shift) % n_ops;
+                if !self.op_consumable(op, node) || !self.thread_may_process(node, thread, op) {
+                    continue;
+                }
+                let opn = self.op_nodes[op][node].as_mut().expect("home state");
+                for offset in 1..self.threads_per_node {
+                    let q = (thread + offset) % self.threads_per_node;
+                    if let Some(act) = opn.queues[q].pop() {
+                        opn.processing += 1;
+                        return Some((op, act, false));
+                    }
                 }
             }
         }
@@ -603,6 +814,22 @@ impl<'a> QueueEngine<'a> {
             self.threads[node][thread].idle = false;
             self.calendar
                 .schedule_at(now, Event::ThreadReady { node, thread });
+        }
+    }
+
+    /// A co-simulated query arrives: seed its triggers, let trivially-done
+    /// operators report, and wake every node (the new work may sit anywhere).
+    fn on_query_start(&mut self, lane: usize) {
+        self.lanes[lane].started = true;
+        self.seed_triggers(lane);
+        let (base, n_ops) = (self.lanes[lane].base, self.lanes[lane].n_ops);
+        for op in base..base + n_ops {
+            for node in 0..self.nodes {
+                self.check_local_end(op, node);
+            }
+        }
+        for node in 0..self.nodes {
+            self.wake_threads(node, None);
         }
     }
 
@@ -695,6 +922,18 @@ impl<'a> QueueEngine<'a> {
         self.ops[op_idx].input_processed += act.tuples;
         self.activations_done += 1;
         self.tuples_processed += act.tuples;
+        {
+            // Per-query accounting keys off the activation's own query tag
+            // (which steals and transfers preserve); the operator's lane
+            // must always agree with it.
+            debug_assert_eq!(
+                act.query as usize, self.ops[op_idx].lane,
+                "activation tagged for a different query than its operator"
+            );
+            let lane = &mut self.lanes[act.query as usize];
+            lane.activations += 1;
+            lane.tuples_processed += act.tuples;
+        }
 
         let busy = quantum_end.since(now);
         self.cpu.record_busy(
@@ -728,11 +967,13 @@ impl<'a> QueueEngine<'a> {
         out_tuples: u64,
         start: SimTime,
     ) -> SimTime {
-        let Some(consumer) = self.ops[op_idx].consumer else {
+        let Some(consumer_idx) = self.ops[op_idx].consumer else {
             self.result_tuples += out_tuples;
+            self.lanes[self.ops[op_idx].lane].result_tuples += out_tuples;
             return start;
         };
-        let consumer_idx = consumer.index();
+        let lane_idx = self.ops[consumer_idx].lane;
+        let consumer_local = OperatorId::from(consumer_idx - self.lanes[lane_idx].base);
         let batch_size = self.config.costs.tuples_per_batch.max(1);
         let mut remaining = out_tuples;
         let mut cursor = start;
@@ -742,7 +983,7 @@ impl<'a> QueueEngine<'a> {
             let slot = self.ops[consumer_idx].router.route(batch);
             let dest_node = self.ops[consumer_idx].home[slot / self.threads_per_node].index();
             let dest_thread = slot % self.threads_per_node;
-            let activation = Activation::data(consumer, batch);
+            let activation = Activation::data(consumer_local, batch).for_query(lane_idx as u32);
             self.ops[consumer_idx].input_sent += batch;
             if dest_node == node {
                 // Same SM-node: the move goes through shared memory; the
@@ -908,15 +1149,16 @@ impl<'a> QueueEngine<'a> {
         if self.ops[op].kind.is_scan() {
             return true;
         }
-        self.plan
+        let lane = &self.lanes[self.ops[op].lane];
+        lane.plan
             .tree
-            .pipelined_producers(OperatorId::from(op))
+            .pipelined_producers(OperatorId::from(op - lane.base))
             .iter()
-            .all(|p| self.ops[p.index()].terminated)
+            .all(|p| self.ops[lane.base + p.index()].terminated)
     }
 
     fn check_local_end(&mut self, op: usize, node: usize) {
-        if self.ops[op].terminated {
+        if self.ops[op].terminated || !self.lanes[self.ops[op].lane].started {
             return;
         }
         let Some(opn) = self.op_nodes[op][node].as_ref() else {
@@ -977,7 +1219,13 @@ impl<'a> QueueEngine<'a> {
         // Terminate.
         self.ops[op].terminated = true;
         self.ops_terminated += 1;
-        self.finished_at = self.finished_at.max(self.calendar.now());
+        let now = self.calendar.now();
+        self.finished_at = self.finished_at.max(now);
+        {
+            let lane = &mut self.lanes[self.ops[op].lane];
+            lane.ops_terminated += 1;
+            lane.finished_at = lane.finished_at.max(now);
+        }
 
         // Accounting broadcast (the 4th message round of the protocol).
         for h in 0..self.ops[op].home.len() {
@@ -990,9 +1238,11 @@ impl<'a> QueueEngine<'a> {
             );
         }
 
-        // Unblock dependent operators and wake their nodes.
-        for blocked in self.plan.blocks(OperatorId::from(op)) {
-            let b = blocked.index();
+        // Unblock dependent operators of the same query and wake their nodes.
+        let lane_base = self.lanes[self.ops[op].lane].base;
+        let local = OperatorId::from(op - lane_base);
+        for blocked in self.lanes[self.ops[op].lane].plan.blocks(local) {
+            let b = lane_base + blocked.index();
             self.ops[b].blockers_remaining = self.ops[b].blockers_remaining.saturating_sub(1);
             if self.ops[b].blockers_remaining == 0 {
                 for h in 0..self.ops[b].home.len() {
@@ -1044,6 +1294,7 @@ impl<'a> QueueEngine<'a> {
                     .unwrap_or_default();
                 for op in allowed {
                     if !self.ops[op].kind.is_probe()
+                        || !self.lanes[self.ops[op].lane].started
                         || self.ops[op].terminated
                         || self.ops[op].blockers_remaining > 0
                         || self.node_lb[node].fp_outstanding.contains(&op)
@@ -1088,7 +1339,9 @@ impl<'a> QueueEngine<'a> {
     }
 
     /// A provider node looks for a candidate queue to off-load (conditions
-    /// (i)–(vi) of §3.2) and answers the requester.
+    /// (i)–(vi) of §3.2) and answers the requester. In co-simulated mode the
+    /// candidate set — and the advertised load — spans the operators of
+    /// *every* interleaved query, so steal decisions see cross-query load.
     fn on_starving(
         &mut self,
         node: usize,
@@ -1110,6 +1363,7 @@ impl<'a> QueueEngine<'a> {
             // unblocked, not terminated, and the requester must be in its
             // home.
             if !self.ops[op].kind.is_probe()
+                || !self.lanes[self.ops[op].lane].started
                 || self.ops[op].terminated
                 || self.ops[op].blockers_remaining > 0
                 || !self.ops[op].home.contains(&NodeId::from(requester))
@@ -1131,7 +1385,7 @@ impl<'a> QueueEngine<'a> {
             // the probed join (conservatively assumed not yet copied).
             let hash_bytes = self.ops[op]
                 .build_twin
-                .and_then(|b| self.op_nodes[b.index()][node].as_ref())
+                .and_then(|b| self.op_nodes[b][node].as_ref())
                 .map(|b| self.cost.hash_table_bytes(b.hash_tuples))
                 .unwrap_or(0);
             let bytes = self.config.costs.bytes_for_tuples(steal_tuples) + hash_bytes;
@@ -1292,7 +1546,7 @@ impl<'a> QueueEngine<'a> {
         if !has_table {
             hash_bytes = self.ops[op]
                 .build_twin
-                .and_then(|b| self.op_nodes[b.index()][node].as_ref())
+                .and_then(|b| self.op_nodes[b][node].as_ref())
                 .map(|b| self.cost.hash_table_bytes(b.hash_tuples))
                 .unwrap_or(0);
         }
@@ -1364,6 +1618,33 @@ pub fn execute(
     }
 }
 
+/// Co-simulates `queries` concurrent queries inside **one** engine event
+/// loop on the machine described by `config`: query-tagged activations of
+/// all queries interleave in the shared per-(operator, thread) queues,
+/// threads serve lanes in priority order, and global load balancing ranks
+/// providers by their cross-query load.
+///
+/// Only the queue-based strategies can interleave activations;
+/// [`Strategy::Synchronous`] is rejected. The event loop is strictly
+/// sequential and seeded, so the result is bit-identical for any harness
+/// thread count, and a single query with arrival 0, priority 1 and the
+/// options' skew reproduces [`execute`] exactly (`aggregate ==` the plain
+/// report).
+pub fn execute_cosimulated(
+    queries: &[CoSimQuery<'_>],
+    config: &SystemConfig,
+    strategy: Strategy,
+    options: &ExecOptions,
+) -> Result<CoSimReport> {
+    if matches!(strategy, Strategy::Synchronous) {
+        return Err(DlbError::config(
+            "co-simulation requires a queue-based strategy (DP or FP); \
+             SP has no activation queues to interleave",
+        ));
+    }
+    QueueEngine::new_cosim(queries, *config, strategy, *options)?.run_cosim()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1402,6 +1683,15 @@ mod tests {
         let ot = OperatorTree::from_join_tree(&tree);
         let homes = OperatorHomes::all_nodes(&ot, nodes);
         ParallelPlan::build(QueryId::new(8), ot, homes, ChainScheduling::OneAtATime).unwrap()
+    }
+
+    fn solo(plan: &ParallelPlan, arrival: f64, priority: u32, skew: f64) -> CoSimQuery<'_> {
+        CoSimQuery {
+            plan,
+            arrival_secs: arrival,
+            priority,
+            skew,
+        }
     }
 
     #[test]
@@ -1551,5 +1841,183 @@ mod tests {
         let mut config = SystemConfig::shared_memory(4);
         config.machine.nodes = 0;
         assert!(execute(&plan, &config, Strategy::Dynamic, &ExecOptions::default()).is_err());
+    }
+
+    // ------------------------------------------------------------------ //
+    // Co-simulated (multi-query) mode
+    // ------------------------------------------------------------------ //
+
+    #[test]
+    fn cosim_single_query_matches_the_plain_engine_exactly() {
+        let plan = bushy_plan(2);
+        let config = SystemConfig::hierarchical(2, 4);
+        for (strategy, skew) in [
+            (Strategy::Dynamic, 0.0),
+            (Strategy::Dynamic, 0.6),
+            (Strategy::Fixed { error_rate: 0.1 }, 0.6),
+        ] {
+            let opts = ExecOptions::with_skew(skew);
+            let plain = execute(&plan, &config, strategy, &opts).unwrap();
+            let co = execute_cosimulated(&[solo(&plan, 0.0, 1, skew)], &config, strategy, &opts)
+                .unwrap();
+            assert_eq!(co.aggregate, plain, "{strategy:?} skew {skew}");
+            assert_eq!(co.queries.len(), 1);
+            let q = &co.queries[0];
+            assert_eq!(q.response_secs, plain.response_time.as_secs_f64());
+            assert_eq!(q.activations, plain.activations);
+            assert_eq!(q.tuples_processed, plain.tuples_processed);
+            assert_eq!(q.result_tuples, plain.result_tuples);
+        }
+    }
+
+    #[test]
+    fn cosim_interleaves_queries_and_slows_both_down() {
+        let plan = bushy_plan(2);
+        let config = SystemConfig::hierarchical(2, 2);
+        let opts = ExecOptions::default();
+        let alone = execute(&plan, &config, Strategy::Dynamic, &opts)
+            .unwrap()
+            .response_time
+            .as_secs_f64();
+        let co = execute_cosimulated(
+            &[solo(&plan, 0.0, 1, 0.0), solo(&plan, 0.0, 1, 0.0)],
+            &config,
+            Strategy::Dynamic,
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(co.queries.len(), 2);
+        // Two simultaneous copies share the processors: neither can beat its
+        // solo run, and the work counters double.
+        for q in &co.queries {
+            assert!(
+                q.response_secs >= alone * 0.999,
+                "query {} finished in {} but alone takes {alone}",
+                q.query,
+                q.response_secs
+            );
+        }
+        assert!(co.queries.iter().any(|q| q.response_secs > alone * 1.2));
+        assert_eq!(
+            co.aggregate.tuples_processed,
+            co.queries.iter().map(|q| q.tuples_processed).sum::<u64>()
+        );
+        assert!(co.makespan_secs() >= co.mean_response_secs());
+    }
+
+    #[test]
+    fn cosim_is_deterministic() {
+        let plan_a = bushy_plan(2);
+        let plan_b = two_join_plan(2);
+        let config = SystemConfig::hierarchical(2, 4);
+        let opts = ExecOptions::default();
+        let queries = [solo(&plan_a, 0.0, 2, 0.4), solo(&plan_b, 0.5, 1, 0.8)];
+        let a = execute_cosimulated(&queries, &config, Strategy::Dynamic, &opts).unwrap();
+        let b = execute_cosimulated(&queries, &config, Strategy::Dynamic, &opts).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cosim_respects_arrival_offsets() {
+        let plan = two_join_plan(1);
+        let config = SystemConfig::shared_memory(4);
+        let opts = ExecOptions::default();
+        let arrival = 5.0;
+        let co = execute_cosimulated(
+            &[solo(&plan, 0.0, 1, 0.0), solo(&plan, arrival, 1, 0.0)],
+            &config,
+            Strategy::Dynamic,
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(co.queries[1].arrival_secs, arrival);
+        assert!(
+            co.queries[1].completion_secs >= arrival,
+            "a query cannot finish before it arrives"
+        );
+        // With a gap longer than the solo run, the first query runs alone.
+        let alone = execute(&plan, &config, Strategy::Dynamic, &opts).unwrap();
+        if alone.response_time.as_secs_f64() < arrival {
+            assert_eq!(
+                co.queries[0].response_secs,
+                alone.response_time.as_secs_f64(),
+                "a disjoint first query runs at solo speed"
+            );
+        }
+    }
+
+    #[test]
+    fn cosim_priority_favors_the_high_priority_query() {
+        let plan = two_join_plan(1);
+        let config = SystemConfig::shared_memory(2);
+        let opts = ExecOptions::default();
+        let co = execute_cosimulated(
+            &[solo(&plan, 0.0, 3, 0.0), solo(&plan, 0.0, 1, 0.0)],
+            &config,
+            Strategy::Dynamic,
+            &opts,
+        )
+        .unwrap();
+        assert!(
+            co.queries[0].completion_secs <= co.queries[1].completion_secs,
+            "priority 3 ({}) must not finish after priority 1 ({})",
+            co.queries[0].completion_secs,
+            co.queries[1].completion_secs
+        );
+    }
+
+    #[test]
+    fn cosim_steals_see_cross_query_load() {
+        // Two skewed queries on a hierarchical machine: global load
+        // balancing still fires with interleaved queries, and the aggregate
+        // accounts all of it.
+        let plan = bushy_plan(4);
+        let config = SystemConfig::hierarchical(4, 2);
+        let opts = ExecOptions::with_skew(0.9);
+        let co = execute_cosimulated(
+            &[solo(&plan, 0.0, 1, 0.9), solo(&plan, 0.0, 1, 0.9)],
+            &config,
+            Strategy::Dynamic,
+            &opts,
+        )
+        .unwrap();
+        assert!(co.aggregate.lb_requests > 0);
+        assert!(co.aggregate.result_tuples > 0);
+    }
+
+    #[test]
+    fn cosim_rejects_invalid_inputs() {
+        let plan = two_join_plan(1);
+        let config = SystemConfig::shared_memory(2);
+        let opts = ExecOptions::default();
+        assert!(execute_cosimulated(&[], &config, Strategy::Dynamic, &opts).is_err());
+        assert!(execute_cosimulated(
+            &[solo(&plan, 0.0, 0, 0.0)],
+            &config,
+            Strategy::Dynamic,
+            &opts
+        )
+        .is_err());
+        assert!(execute_cosimulated(
+            &[solo(&plan, -1.0, 1, 0.0)],
+            &config,
+            Strategy::Dynamic,
+            &opts
+        )
+        .is_err());
+        assert!(execute_cosimulated(
+            &[solo(&plan, 0.0, 1, 2.0)],
+            &config,
+            Strategy::Dynamic,
+            &opts
+        )
+        .is_err());
+        assert!(execute_cosimulated(
+            &[solo(&plan, 0.0, 1, 0.0)],
+            &config,
+            Strategy::Synchronous,
+            &opts
+        )
+        .is_err());
     }
 }

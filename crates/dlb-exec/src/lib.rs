@@ -25,7 +25,10 @@
 //! On top of the intra-query engines, the [`mix`] module adds *inter-query*
 //! scheduling: admission, placement ([`MixPolicy`]) and priority-weighted
 //! processor sharing of N concurrent queries on the SM-nodes of one machine
-//! (see [`schedule_mix`]).
+//! (see [`schedule_mix`]). Two fidelities exist ([`MixMode`]): the analytic
+//! composition of solo runs, and a **co-simulated** mode
+//! ([`execute_cosimulated`]) that interleaves all queries' activations in
+//! one engine event loop.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -40,10 +43,10 @@ pub mod router;
 pub mod sp;
 
 pub use activation::{Activation, ActivationKind, ActivationQueue, DrainOutcome};
-pub use engine::execute;
-pub use mix::{schedule_mix, MixJob, MixPolicy, MixSchedule, QueryOutcome};
+pub use engine::{execute, execute_cosimulated, CoSimQuery};
+pub use mix::{schedule_mix, MixJob, MixMode, MixPolicy, MixSchedule, QueryOutcome};
 pub use options::{
     ContentionModel, ExecOptions, ExecOptionsBuilder, FlowControl, StealPolicy, Strategy,
 };
-pub use report::{ExecutionReport, StrategyKind};
+pub use report::{CoSimReport, ExecutionReport, QueryExecReport, StrategyKind};
 pub use router::OutputRouter;

@@ -34,6 +34,53 @@
 use dlb_common::{DlbError, Result};
 use serde::{Deserialize, Serialize};
 
+/// How an inter-query mix is evaluated.
+///
+/// The scheduler of this module ([`schedule_mix`]) and the engine's
+/// co-simulated mode ([`crate::engine::execute_cosimulated`]) answer the
+/// same question — what do N concurrent queries experience on the shared
+/// SM-nodes? — at two fidelities. `Composed` is cheap (per-query solo runs
+/// plus an analytic model) and supports every placement policy and memory
+/// admission; `CoSimulated` actually interleaves the queries' activations in
+/// one event loop, so queue contention, flow control and cross-query steal
+/// traffic are simulated rather than modeled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MixMode {
+    /// Compose engine-measured **solo** runs with priority-weighted
+    /// processor sharing and per-node memory admission (the analytic model
+    /// of [`schedule_mix`]). The default.
+    #[default]
+    Composed,
+    /// Interleave all queries inside **one** engine event loop
+    /// ([`crate::engine::execute_cosimulated`]): query-tagged activations,
+    /// priority-aware local scheduling, steal decisions that see cross-query
+    /// load. FCFS placement only (every query spreads over the whole
+    /// machine); per-node memory admission is not modeled.
+    CoSimulated,
+}
+
+impl MixMode {
+    /// Stable lower-case label, also the JSON spelling (`composed`,
+    /// `co-simulated`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            MixMode::Composed => "composed",
+            MixMode::CoSimulated => "co-simulated",
+        }
+    }
+
+    /// Parses a [`MixMode::label`] spelling.
+    pub fn from_label(label: &str) -> Result<Self> {
+        match label {
+            "composed" => Ok(MixMode::Composed),
+            "co-simulated" => Ok(MixMode::CoSimulated),
+            other => Err(DlbError::Parse(format!(
+                "unknown mix mode {other:?} (expected composed | co-simulated)"
+            ))),
+        }
+    }
+}
+
 /// Admission / placement policy of an inter-query mix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum MixPolicy {
@@ -122,6 +169,9 @@ pub struct QueryOutcome {
 pub struct MixSchedule {
     /// The policy that produced this schedule.
     pub policy: MixPolicy,
+    /// Whether the schedule came from the analytic composition
+    /// ([`schedule_mix`]) or from a co-simulated engine run.
+    pub mode: MixMode,
     /// One outcome per query, in mix order.
     pub queries: Vec<QueryOutcome>,
     /// Completion instant of the last query (seconds from mix start).
@@ -359,6 +409,7 @@ pub fn schedule_mix(
     };
     Ok(MixSchedule {
         policy,
+        mode: MixMode::Composed,
         makespan_secs: queries
             .iter()
             .map(|o| o.completion_secs)
@@ -428,6 +479,18 @@ mod tests {
             assert_eq!(MixPolicy::from_label(p.label()).unwrap(), p);
         }
         assert!(MixPolicy::from_label("shortest-first").is_err());
+    }
+
+    #[test]
+    fn mode_labels_round_trip() {
+        for m in [MixMode::Composed, MixMode::CoSimulated] {
+            assert_eq!(MixMode::from_label(m.label()).unwrap(), m);
+        }
+        assert!(MixMode::from_label("interleaved").is_err());
+        assert_eq!(MixMode::default(), MixMode::Composed);
+        // The analytic scheduler stamps its schedules as composed.
+        let s = schedule_mix(&[job(0.0, 1.0)], 1, MB, MixPolicy::Fcfs).unwrap();
+        assert_eq!(s.mode, MixMode::Composed);
     }
 
     #[test]

@@ -5,6 +5,11 @@
 //! idle time, message counts, bytes moved over the interconnect, and the
 //! share of that traffic caused by global load balancing (the §5.3
 //! experiment compares exactly this quantity between FP and DP).
+//!
+//! Co-simulated multi-query runs (see [`crate::engine::execute_cosimulated`])
+//! additionally produce a [`CoSimReport`]: the machine-wide aggregate plus
+//! one [`QueryExecReport`] per query of the mix, carrying each query's
+//! arrival-to-completion response time and work counters.
 
 use dlb_common::{Duration, NodeId};
 use serde::{Deserialize, Serialize};
@@ -121,6 +126,57 @@ impl ExecutionReport {
     }
 }
 
+/// Per-query accounting of one co-simulated multi-query execution: what one
+/// query of the mix experienced while interleaved with the others in the
+/// shared event loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryExecReport {
+    /// Index of the query within the co-simulated mix.
+    pub query: usize,
+    /// The query's processor-sharing priority (local scheduling weight).
+    pub priority: u32,
+    /// Arrival offset from the start of the mix, in (virtual) seconds.
+    pub arrival_secs: f64,
+    /// Instant the query's last operator terminated.
+    pub completion_secs: f64,
+    /// Response time: completion − arrival.
+    pub response_secs: f64,
+    /// Activations processed on behalf of this query.
+    pub activations: u64,
+    /// Tuples processed by this query's operators.
+    pub tuples_processed: u64,
+    /// Result tuples produced by this query's root operator.
+    pub result_tuples: u64,
+}
+
+/// The outcome of one co-simulated multi-query execution: the machine-wide
+/// aggregate (busy time, network traffic, load balancing — summed over all
+/// interleaved queries) plus the per-query breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoSimReport {
+    /// Machine-wide counters; `response_time` spans mix start to the last
+    /// query's completion (the makespan).
+    pub aggregate: ExecutionReport,
+    /// One entry per query, in mix order.
+    pub queries: Vec<QueryExecReport>,
+}
+
+impl CoSimReport {
+    /// Completion instant of the last query, in seconds (= the aggregate
+    /// response time).
+    pub fn makespan_secs(&self) -> f64 {
+        self.aggregate.response_time.as_secs_f64()
+    }
+
+    /// Mean per-query response time, in seconds.
+    pub fn mean_response_secs(&self) -> f64 {
+        if self.queries.is_empty() {
+            return 0.0;
+        }
+        self.queries.iter().map(|q| q.response_secs).sum::<f64>() / self.queries.len() as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +220,42 @@ mod tests {
         assert_eq!(StrategyKind::Dynamic.label(), "DP");
         assert_eq!(StrategyKind::Fixed { error_rate: 0.1 }.label(), "FP");
         assert_eq!(StrategyKind::Synchronous.label(), "SP");
+    }
+
+    #[test]
+    fn cosim_report_aggregates_per_query_responses() {
+        let r = CoSimReport {
+            aggregate: sample(),
+            queries: vec![
+                QueryExecReport {
+                    query: 0,
+                    priority: 1,
+                    arrival_secs: 0.0,
+                    completion_secs: 6.0,
+                    response_secs: 6.0,
+                    activations: 60,
+                    tuples_processed: 6_000,
+                    result_tuples: 300,
+                },
+                QueryExecReport {
+                    query: 1,
+                    priority: 2,
+                    arrival_secs: 2.0,
+                    completion_secs: 10.0,
+                    response_secs: 8.0,
+                    activations: 40,
+                    tuples_processed: 4_000,
+                    result_tuples: 200,
+                },
+            ],
+        };
+        assert_eq!(r.makespan_secs(), 10.0);
+        assert!((r.mean_response_secs() - 7.0).abs() < 1e-12);
+        let empty = CoSimReport {
+            aggregate: sample(),
+            queries: Vec::new(),
+        };
+        assert_eq!(empty.mean_response_secs(), 0.0);
     }
 
     #[test]

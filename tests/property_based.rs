@@ -145,6 +145,84 @@ proptest! {
         }
     }
 
+    /// Co-simulating a single query is not an approximation: for arbitrary
+    /// plans, machines, skews and strategies, the one-lane co-simulated run
+    /// produces a report bit-identical to the plain engine's.
+    #[test]
+    fn cosim_single_query_matches_plain_engine(
+        relations in 2usize..6,
+        seed in 0u64..500,
+        nodes in 1u32..4,
+        procs in 1u32..4,
+        skew in 0.0f64..1.0,
+        fixed in proptest::bool::ANY,
+    ) {
+        use hierdb::raw::exec::{execute, execute_cosimulated, CoSimQuery};
+        let query = arbitrary_query(relations, seed);
+        let tree = Optimizer::with_defaults().optimize(&query).unwrap().remove(0);
+        let optree = OperatorTree::from_join_tree(&tree);
+        let homes = OperatorHomes::all_nodes(&optree, nodes);
+        let plan = ParallelPlan::build(query.id, optree, homes, ChainScheduling::OneAtATime).unwrap();
+        let config = SystemConfig::hierarchical(nodes, procs);
+        let options = ExecOptions { skew, ..ExecOptions::default() };
+        let strategy = if fixed {
+            Strategy::Fixed { error_rate: 0.15 }
+        } else {
+            Strategy::Dynamic
+        };
+        let plain = execute(&plan, &config, strategy, &options).unwrap();
+        let co = execute_cosimulated(
+            &[CoSimQuery { plan: &plan, arrival_secs: 0.0, priority: 1, skew }],
+            &config,
+            strategy,
+            &options,
+        )
+        .unwrap();
+        prop_assert_eq!(&co.aggregate, &plain);
+        prop_assert_eq!(co.queries.len(), 1);
+        prop_assert_eq!(co.queries[0].response_secs, plain.response_time.as_secs_f64());
+        prop_assert_eq!(co.queries[0].tuples_processed, plain.tuples_processed);
+    }
+
+    /// Under FCFS processor sharing, adding one more concurrent query never
+    /// speeds up any existing query: per-query response times are monotone
+    /// non-decreasing in the concurrent-query count.
+    #[test]
+    fn fcfs_responses_are_monotone_in_concurrency(
+        count in 2usize..8,
+        nodes in 1u32..4,
+        seed in 0u64..1_000,
+    ) {
+        use hierdb::raw::exec::mix::{schedule_mix, MixJob, MixPolicy};
+        let mut rng = rng_from_seed(seed);
+        let jobs: Vec<MixJob> = (0..count)
+            .map(|_| MixJob {
+                arrival_secs: rng.random_range(0.0..5.0),
+                priority: rng.random_range(1u32..4),
+                solo_secs: rng.random_range(0.1..20.0),
+                memory_bytes: 1 << 20,
+            })
+            .collect();
+        // Generous memory: responses change only through processor sharing.
+        let memory = 1u64 << 40;
+        let mut previous: Option<Vec<f64>> = None;
+        for k in 1..=count {
+            let schedule = schedule_mix(&jobs[..k], nodes, memory, MixPolicy::Fcfs).unwrap();
+            let responses: Vec<f64> = schedule.queries.iter().map(|q| q.response_secs).collect();
+            if let Some(prev) = &previous {
+                for (q, (&old, &new)) in prev.iter().zip(&responses).enumerate() {
+                    prop_assert!(
+                        new >= old - 1e-9,
+                        "query {q}: response fell from {old} to {new} when going \
+                         from {} to {k} concurrent queries",
+                        k - 1
+                    );
+                }
+            }
+            previous = Some(responses);
+        }
+    }
+
     /// Random interleavings of queue operations keep the bounded activation
     /// queue consistent (length never exceeds capacity, counters add up).
     #[test]

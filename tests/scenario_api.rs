@@ -33,24 +33,64 @@ fn rendered(name: &str) -> String {
     scenario::render_text(&report)
 }
 
+/// Compares `actual` against the pinned capture of `tests/golden/<file>`.
+///
+/// Run `UPDATE_GOLDENS=1 cargo test --test scenario_api` to regenerate every
+/// golden file in place instead of hand-copying output — the blessing pass
+/// rewrites the file and passes; rerun without the variable to verify.
+fn assert_golden(file: &str, actual: &str, pinned: &str) {
+    if std::env::var("UPDATE_GOLDENS").is_ok_and(|v| v == "1") {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden")
+            .join(file);
+        std::fs::write(&path, actual)
+            .unwrap_or_else(|e| panic!("cannot bless {}: {e}", path.display()));
+        if actual != pinned {
+            eprintln!("blessed {} (content changed)", path.display());
+        }
+        return;
+    }
+    assert_eq!(
+        actual, pinned,
+        "tests/golden/{file} drifted; regenerate with \
+         UPDATE_GOLDENS=1 cargo test --test scenario_api"
+    );
+}
+
 #[test]
 fn fig6_spec_reproduces_the_pre_refactor_binary_output() {
-    assert_eq!(rendered("fig6"), include_str!("golden/fig6.txt"));
+    assert_golden(
+        "fig6.txt",
+        &rendered("fig6"),
+        include_str!("golden/fig6.txt"),
+    );
 }
 
 #[test]
 fn fig7_spec_reproduces_the_pre_refactor_binary_output() {
-    assert_eq!(rendered("fig7"), include_str!("golden/fig7.txt"));
+    assert_golden(
+        "fig7.txt",
+        &rendered("fig7"),
+        include_str!("golden/fig7.txt"),
+    );
 }
 
 #[test]
 fn fig8_spec_reproduces_the_pre_refactor_binary_output() {
-    assert_eq!(rendered("fig8"), include_str!("golden/fig8.txt"));
+    assert_golden(
+        "fig8.txt",
+        &rendered("fig8"),
+        include_str!("golden/fig8.txt"),
+    );
 }
 
 #[test]
 fn fig9_spec_reproduces_the_pre_refactor_binary_output() {
-    assert_eq!(rendered("fig9"), include_str!("golden/fig9.txt"));
+    assert_golden(
+        "fig9.txt",
+        &rendered("fig9"),
+        include_str!("golden/fig9.txt"),
+    );
 }
 
 #[test]
@@ -58,30 +98,42 @@ fn fig10_and_chain_specs_reproduce_the_pre_refactor_binary_output() {
     // The pre-refactor fig10 binary printed Figure 10 followed by a blank
     // line and the §5.3 chain experiment.
     let combined = format!("{}\n{}", rendered("fig10"), rendered("chain53"));
-    assert_eq!(combined, include_str!("golden/fig10.txt"));
+    assert_golden("fig10.txt", &combined, include_str!("golden/fig10.txt"));
 }
 
 #[test]
 fn mix_contention_spec_matches_its_golden_capture() {
-    assert_eq!(
-        rendered("mix-contention"),
-        include_str!("golden/mix_contention.txt")
+    assert_golden(
+        "mix_contention.txt",
+        &rendered("mix-contention"),
+        include_str!("golden/mix_contention.txt"),
     );
 }
 
 #[test]
 fn mix_memory_spec_matches_its_golden_capture() {
-    assert_eq!(
-        rendered("mix-memory"),
-        include_str!("golden/mix_memory.txt")
+    assert_golden(
+        "mix_memory.txt",
+        &rendered("mix-memory"),
+        include_str!("golden/mix_memory.txt"),
+    );
+}
+
+#[test]
+fn mix_cosim_spec_matches_its_golden_capture() {
+    assert_golden(
+        "mix_cosim.txt",
+        &rendered("mix-cosim"),
+        include_str!("golden/mix_cosim.txt"),
     );
 }
 
 #[test]
 fn params_table_reproduces_the_pre_refactor_binary_output() {
-    assert_eq!(
-        dlb_bench::params_table(),
-        include_str!("golden/fig_params.txt")
+    assert_golden(
+        "fig_params.txt",
+        &dlb_bench::params_table(),
+        include_str!("golden/fig_params.txt"),
     );
 }
 
@@ -268,6 +320,7 @@ fn memory_axis_reaches_the_mix_scheduler_end_to_end() {
         seed: 42,
         arrival_gap_secs: 0.0,
         policy: MixPolicy::Fcfs,
+        mode: hierdb::MixMode::Composed,
         priorities: Vec::new(),
         skews: Vec::new(),
     };
@@ -338,13 +391,79 @@ fn mix_reports_emit_machine_readable_schedules() {
         assert!(!p.get("mix_queries").unwrap().as_array().unwrap().is_empty());
     }
     let csv = scenario::render_csv(&report);
-    assert!(csv.lines().next().unwrap().ends_with("mix_mean_wait_secs"));
+    assert!(csv
+        .lines()
+        .next()
+        .unwrap()
+        .ends_with("mix_vs_composed_response"));
     assert!(csv.lines().nth(1).unwrap().contains("load-aware"));
+    assert!(csv.lines().nth(1).unwrap().contains(",composed,"));
     // Non-mix scenarios leave the mix columns empty.
     let plain = scenario::render_csv(
         &scenario::run_scenario(&golden(scenario::find("fig9").unwrap())).unwrap(),
     );
-    assert!(plain.lines().nth(1).unwrap().ends_with(",,,,"));
+    assert!(plain.lines().nth(1).unwrap().ends_with(",,,,,,"));
+}
+
+/// The co-simulated mix scenario runs end to end and every emission carries
+/// both fidelities: the co-simulated schedule and the composed contrast.
+#[test]
+fn cosim_mix_reports_contrast_the_composed_model_in_every_format() {
+    use hierdb::MixMode;
+    let spec = golden(scenario::find("mix-cosim").unwrap());
+    let report = scenario::run_scenario(&spec).unwrap();
+    for (pi, point) in report.points.iter().enumerate() {
+        let queries = spec.rows.values[pi] as usize;
+        for cell in &point.cells {
+            assert!(cell.value.is_finite() && cell.value > 0.0);
+            let mix = cell.mix.as_ref().expect("cosim cells carry a schedule");
+            assert_eq!(mix.mode, MixMode::CoSimulated);
+            assert_eq!(mix.queries.len(), queries);
+            assert_eq!(mix.mean_wait_secs, 0.0, "cosim models no admission queue");
+            let composed = cell
+                .mix_composed
+                .as_ref()
+                .expect("cosim cells carry the composed contrast");
+            assert_eq!(composed.mode, MixMode::Composed);
+            assert_eq!(composed.queries.len(), queries);
+            assert!(mix.mean_response_secs > 0.0 && composed.mean_response_secs > 0.0);
+            // Both fidelities are anchored on the same solo runs.
+            for (a, b) in mix.queries.iter().zip(&composed.queries) {
+                assert_eq!(a.solo_secs, b.solo_secs);
+            }
+        }
+    }
+    // Text: the contrast columns and the mode-tagged banner.
+    let text = scenario::render_text(&report);
+    assert!(text.contains("vs comp"));
+    assert!(text.contains("policy fcfs, co-simulated"));
+    // JSON: mode plus the composed mean and the cosim/composed ratio.
+    let json = scenario::render_json(&report);
+    let doc = hierdb::raw::common::Json::parse(&json).unwrap();
+    let points = doc.get("points").unwrap().as_array().unwrap();
+    assert_eq!(points.len(), 4 * 2);
+    for p in points {
+        assert_eq!(p.get("mix_mode").unwrap().as_str(), Some("co-simulated"));
+        let ratio = p.get("mix_vs_composed_response").unwrap().as_f64().unwrap();
+        let composed_mean = p
+            .get("mix_composed_mean_response_secs")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        let mean = p.get("mix_mean_response_secs").unwrap().as_f64().unwrap();
+        assert!(ratio > 0.0 && composed_mean > 0.0);
+        assert!((ratio - mean / composed_mean).abs() < 1e-9);
+    }
+    // CSV: the mode column and a filled contrast column.
+    let csv = scenario::render_csv(&report);
+    let line = csv.lines().nth(1).unwrap();
+    assert!(line.contains(",co-simulated,"));
+    assert!(!line.ends_with(','), "the contrast column is filled");
+    // Composed-mode mixes leave the contrast column empty.
+    let composed_csv = scenario::render_csv(
+        &scenario::run_scenario(&golden(scenario::find("mix-contention").unwrap())).unwrap(),
+    );
+    assert!(composed_csv.lines().nth(1).unwrap().ends_with(','));
 }
 
 /// Regression: `--export`-style flows must surface unknown or unsupported
