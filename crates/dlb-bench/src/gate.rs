@@ -18,6 +18,13 @@ use dlb_common::{DlbError, Result};
 /// wall-clock (0.25 = fail beyond 25% slower than the baseline).
 pub const DEFAULT_MAX_REGRESSION: f64 = 0.25;
 
+/// Smallest summed baseline wall-clock (in milliseconds) the gate accepts.
+/// The verdict is a *ratio* against the baseline: a zero or near-zero
+/// denominator turns any measurable current run into an astronomic (or
+/// infinite) "regression" and an unconditional gate failure, so such
+/// baselines are rejected as degenerate instead of being compared.
+pub const MIN_BASELINE_SEQUENTIAL_MS: f64 = 1e-3;
+
 /// Environment variable overriding [`DEFAULT_MAX_REGRESSION`].
 pub const MAX_REGRESSION_ENV: &str = "HIERDB_BENCH_MAX_REGRESSION";
 
@@ -151,10 +158,13 @@ pub fn compare(current: &str, baseline: &str, max_regression: f64) -> Result<Gat
     }
     let current_sequential_ms: f64 = current_timings.iter().map(|(_, ms)| ms).sum();
     let baseline_sequential_ms: f64 = baseline_timings.iter().map(|(_, ms)| ms).sum();
-    if baseline_sequential_ms <= 0.0 {
-        return Err(DlbError::InvalidConfig(
-            "baseline sequential wall-clock is zero; the baseline file is unusable".to_string(),
-        ));
+    if baseline_sequential_ms < MIN_BASELINE_SEQUENTIAL_MS {
+        return Err(DlbError::InvalidConfig(format!(
+            "degenerate baseline: summed sequential wall-clock is \
+             {baseline_sequential_ms} ms (< {MIN_BASELINE_SEQUENTIAL_MS} ms), so any \
+             regression ratio against it is meaningless; re-capture the baseline with \
+             `bench_report --write`"
+        )));
     }
     let per_strategy = current_timings
         .iter()
@@ -275,6 +285,27 @@ mod tests {
         assert!(compare(&a, empty, DEFAULT_MAX_REGRESSION).is_err());
         let zero = report("paper-base", &[("DP", 0.0)]);
         assert!(compare(&a, &zero, DEFAULT_MAX_REGRESSION).is_err());
+    }
+
+    #[test]
+    fn degenerate_near_zero_baselines_are_rejected_not_compared() {
+        // A near-zero (but strictly positive) baseline would previously pass
+        // the `<= 0` guard and judge the current run as an astronomically
+        // large regression — an unconditional, meaningless gate failure.
+        let current = report("paper-base", &[("DP", 100.0)]);
+        for degenerate_ms in [0.0, 1e-12, 1e-4] {
+            let baseline = report("paper-base", &[("DP", degenerate_ms)]);
+            let err = compare(&current, &baseline, DEFAULT_MAX_REGRESSION).unwrap_err();
+            assert!(
+                matches!(err, DlbError::InvalidConfig(ref m) if m.contains("degenerate")),
+                "baseline {degenerate_ms} ms: {err}"
+            );
+        }
+        // The smallest accepted baseline still compares (and fails honestly).
+        let tiny = report("paper-base", &[("DP", MIN_BASELINE_SEQUENTIAL_MS)]);
+        let outcome = compare(&current, &tiny, DEFAULT_MAX_REGRESSION).unwrap();
+        assert!(!outcome.passed());
+        assert!(outcome.regression.is_finite());
     }
 
     #[test]

@@ -29,7 +29,7 @@
 use crate::system::HierarchicalSystem;
 use crate::workload::{CompiledWorkload, MixEntry, QueryMix, WorkloadFingerprint};
 use dlb_common::config::SystemConfig;
-use dlb_common::{DlbError, Result};
+use dlb_common::{NodeId, Result};
 use dlb_exec::mix::{schedule_mix, MixJob, MixMode, MixPolicy, MixSchedule};
 use dlb_exec::{
     execute_cosimulated, CoSimQuery, CoSimReport, ExecOptions, ExecutionReport, QueryOutcome,
@@ -111,9 +111,14 @@ impl RunKey {
     }
 
     /// The key of one inter-query mix run: the base fingerprint extended
-    /// with the mix identity — evaluation mode, placement policy, and every
-    /// per-query descriptor (arrival, priority, skew). The machine's memory
-    /// limit is already part of the base `config` bits.
+    /// with the mix identity — evaluation mode, placement policy, every
+    /// per-query descriptor (arrival, priority, skew) and every per-query
+    /// memory demand (the working sets the admission — analytic or
+    /// co-simulated — reasons about; placement masks derive from the policy
+    /// and these inputs, so the mask+memory bits of a co-simulated run are
+    /// fully pinned down). The machine's memory limit is already part of the
+    /// base `config` bits.
+    #[allow(clippy::too_many_arguments)]
     pub fn for_mix(
         strategy: Strategy,
         options: &ExecOptions,
@@ -122,6 +127,7 @@ impl RunKey {
         entries: &[MixEntry],
         policy: MixPolicy,
         mode: MixMode,
+        memory_demands: &[u64],
     ) -> Self {
         let mix_bits = [
             u64::MAX, // discriminant: a mix run, never colliding with plain keys
@@ -143,7 +149,8 @@ impl RunKey {
                 e.priority as u64,
                 e.skew.to_bits(),
             ]
-        }));
+        }))
+        .chain(memory_demands.iter().copied());
         Self::with_extra(strategy, options, config, workload, mix_bits)
     }
 
@@ -166,6 +173,10 @@ impl RunKey {
         bits.extend([
             options.skew.to_bits(),
             options.seed,
+            match options.fp_realization {
+                dlb_exec::ErrorRealization::Shared => 0,
+                dlb_exec::ErrorRealization::PerNode => 1,
+            },
             options.flow.queue_capacity as u64,
             options.flow.trigger_pages,
             options.contention.threshold as u64,
@@ -464,17 +475,18 @@ impl Experiment {
     /// * [`MixMode::CoSimulated`] — all queries are re-executed **together**
     ///   in one engine event loop ([`dlb_exec::execute_cosimulated`]):
     ///   intra-run interference (queue contention, flow control, cross-query
-    ///   steal traffic) is simulated rather than modeled. The analytic
-    ///   schedule is still computed and carried as [`MixRun::composed`] so
-    ///   reports can contrast the two fidelities. Co-simulation spreads
-    ///   every query over the whole machine, so it requires
-    ///   [`MixPolicy::Fcfs`]; per-node memory admission is not modeled.
+    ///   steal traffic, per-node memory admission) is simulated rather than
+    ///   modeled. The pinning policies re-home each query's plan onto the
+    ///   node the analytic scheduler chose (its *placement mask*), so both
+    ///   fidelities answer the same placement question; the analytic
+    ///   schedule is carried as [`MixRun::composed`] so reports can contrast
+    ///   the two.
     ///
     /// Whole mix runs are cached under an extended [`RunKey`]
     /// ([`RunKey::for_mix`]) that fingerprints the mix identity (mode,
-    /// policy, per-query arrival/priority/skew) on top of every simulation
-    /// input, so repeated sweep points are cache hits even in co-simulated
-    /// mode.
+    /// policy, per-query arrival/priority/skew/memory demand) on top of
+    /// every simulation input, so repeated sweep points are cache hits even
+    /// in co-simulated mode.
     ///
     /// The mix carries its own workload; this experiment contributes the
     /// machine, the base execution options and the shared cache.
@@ -485,21 +497,20 @@ impl Experiment {
         mode: MixMode,
         strategy: Strategy,
     ) -> Result<MixRun> {
-        if mode == MixMode::CoSimulated && policy != MixPolicy::Fcfs {
-            return Err(DlbError::config(format!(
-                "co-simulated mixes spread every query over the whole machine and \
-                 support only the fcfs policy, got {:?}",
-                policy.label()
-            )));
-        }
+        let config = self.system.config();
+        let cost = CostModel::new(config.costs, config.disk, config.cpu);
+        let demands: Vec<u64> = (0..mix.len())
+            .map(|q| mix.memory_demand(q, &cost))
+            .collect();
         let key = RunKey::for_mix(
             strategy,
             self.system.options(),
-            self.system.config(),
+            config,
             mix.workload().fingerprint(),
             mix.entries(),
             policy,
             mode,
+            &demands,
         );
         if let Some(hit) = self.cache.get_mix(&key) {
             return Ok((*hit).clone());
@@ -550,8 +561,6 @@ impl Experiment {
                 .collect(),
         );
 
-        let config = self.system.config();
-        let cost = CostModel::new(config.costs, config.disk, config.cpu);
         let jobs: Vec<MixJob> = mix
             .entries()
             .iter()
@@ -560,7 +569,7 @@ impl Experiment {
                 arrival_secs: entry.arrival_secs,
                 priority: entry.priority,
                 solo_secs: solo[q].report.response_secs(),
-                memory_bytes: mix.memory_demand(q, &cost),
+                memory_bytes: demands[q],
             })
             .collect();
 
@@ -577,6 +586,20 @@ impl Experiment {
                 solo,
             },
             MixMode::CoSimulated => {
+                // Placement masks: FCFS spreads every query over the whole
+                // machine (no mask); the pinning policies re-home each query
+                // onto the node the analytic scheduler chose — round-robin
+                // rotation, or the least-loaded node at the analytic
+                // admission instant — so the co-simulation answers the same
+                // placement decision at full fidelity.
+                let mut placements: Vec<Option<u32>> = vec![None; mix.len()];
+                for outcome in &composed.queries {
+                    placements[outcome.query] = outcome.node;
+                }
+                let masks: Vec<Option<Vec<NodeId>>> = placements
+                    .iter()
+                    .map(|node| node.map(|n| vec![NodeId::from(n as usize)]))
+                    .collect();
                 let queries: Vec<CoSimQuery<'_>> = mix
                     .entries()
                     .iter()
@@ -586,12 +609,14 @@ impl Experiment {
                         arrival_secs: entry.arrival_secs,
                         priority: entry.priority,
                         skew: entry.skew,
+                        mask: masks[q].as_deref(),
+                        memory_bytes: demands[q],
                     })
                     .collect();
                 let report =
                     execute_cosimulated(&queries, config, strategy, self.system.options())?;
                 MixRun {
-                    schedule: cosim_schedule(&report, &jobs, policy),
+                    schedule: cosim_schedule(&report, &jobs, policy, &placements),
                     composed: Some(composed),
                     solo,
                 }
@@ -616,23 +641,28 @@ impl Experiment {
 }
 
 /// Assembles the [`MixSchedule`] of one co-simulated engine run: per-query
-/// outcomes come from the interleaved execution ([`CoSimReport`]); the solo
-/// times of the (composed-compatible) [`MixJob`]s provide the slowdown
-/// baseline. Co-simulated queries spread over the whole machine (no pinned
-/// node) and are admitted on arrival (memory admission is not modeled), so
-/// `node` is `None` and `wait_secs` is zero.
-fn cosim_schedule(report: &CoSimReport, jobs: &[MixJob], policy: MixPolicy) -> MixSchedule {
+/// outcomes — including the admission instants and waits the engine's
+/// in-loop memory admission produced — come from the interleaved execution
+/// ([`CoSimReport`]); the solo times of the (composed-compatible)
+/// [`MixJob`]s provide the slowdown baseline, and `placements` records the
+/// node each query was pinned to (`None` for whole-machine FCFS spreading).
+fn cosim_schedule(
+    report: &CoSimReport,
+    jobs: &[MixJob],
+    policy: MixPolicy,
+    placements: &[Option<u32>],
+) -> MixSchedule {
     let queries: Vec<QueryOutcome> = report
         .queries
         .iter()
         .map(|q| QueryOutcome {
             query: q.query,
-            node: None,
+            node: placements[q.query],
             arrival_secs: q.arrival_secs,
-            admitted_secs: q.arrival_secs,
+            admitted_secs: q.admitted_secs,
             completion_secs: q.completion_secs,
             response_secs: q.response_secs,
-            wait_secs: 0.0,
+            wait_secs: q.wait_secs,
             solo_secs: jobs[q.query].solo_secs,
             slowdown: if jobs[q.query].solo_secs > 0.0 {
                 q.response_secs / jobs[q.query].solo_secs
@@ -659,7 +689,7 @@ fn cosim_schedule(report: &CoSimReport, jobs: &[MixJob], policy: MixPolicy) -> M
         mean_response_secs: mean(&|o| o.response_secs),
         max_response_secs: queries.iter().map(|o| o.response_secs).fold(0.0, f64::max),
         mean_slowdown: mean(&|o| o.slowdown),
-        mean_wait_secs: 0.0,
+        mean_wait_secs: mean(&|o| o.wait_secs),
         queries,
     }
 }
@@ -830,6 +860,14 @@ mod tests {
             })
             .build();
         assert_ne!(dp, key_for(Strategy::Dynamic, &retuned, &c48));
+        // The FP error-realization knob is a simulation input too.
+        let per_node = ExecOptions::builder()
+            .fp_realization(dlb_exec::ErrorRealization::PerNode)
+            .build();
+        assert_ne!(
+            key_for(Strategy::Fixed { error_rate: 0.2 }, &o, &c48),
+            key_for(Strategy::Fixed { error_rate: 0.2 }, &per_node, &c48)
+        );
         let mut slower = c48;
         slower.cpu.mips = 39.0;
         assert_ne!(dp, key_for(Strategy::Dynamic, &o, &slower));
@@ -923,20 +961,6 @@ mod tests {
             },
         ];
         let mix = QueryMix::new(Arc::new(exp.workload().clone()), entries).unwrap();
-        // Pinning placements cannot be co-simulated.
-        let err = exp
-            .run_mix(
-                &mix,
-                MixPolicy::RoundRobin,
-                MixMode::CoSimulated,
-                Strategy::Dynamic,
-            )
-            .unwrap_err();
-        assert!(
-            matches!(err, dlb_common::DlbError::InvalidConfig(ref m) if m.contains("fcfs")),
-            "{err}"
-        );
-
         let run = exp
             .run_mix(
                 &mix,
@@ -1010,13 +1034,145 @@ mod tests {
     }
 
     #[test]
+    fn run_mix_cosimulates_pinning_placements() {
+        use crate::workload::MixEntry;
+        let exp = small_experiment(2, 2);
+        let entries = vec![MixEntry::default(), MixEntry::default()];
+        let mix = QueryMix::new(Arc::new(exp.workload().clone()), entries).unwrap();
+        for policy in [MixPolicy::RoundRobin, MixPolicy::LoadAware] {
+            let run = exp
+                .run_mix(&mix, policy, MixMode::CoSimulated, Strategy::Dynamic)
+                .unwrap();
+            assert_eq!(run.schedule.mode, MixMode::CoSimulated);
+            let contrast = run.composed.as_ref().expect("cosim carries the contrast");
+            for (a, b) in run.schedule.queries.iter().zip(&contrast.queries) {
+                assert_eq!(
+                    a.node, b.node,
+                    "{policy:?}: the co-simulation pins the analytic placement"
+                );
+                assert!(a.node.is_some(), "{policy:?}: pinning policies pin");
+            }
+            // Two queries rotated onto the two nodes never share a node:
+            // the masks really isolate the lanes. Query 0 reproduces its
+            // single-node solo run bit-exactly (same routers, same node);
+            // query 1's activation routing differs from its solo capture
+            // (router seeds key off the global operator index), so it gets
+            // a tolerance — but with no contention it stays near solo, and
+            // the isolated lanes run concurrently, not serialized.
+            if policy == MixPolicy::RoundRobin {
+                let nodes: Vec<_> = run.schedule.queries.iter().map(|q| q.node).collect();
+                assert_eq!(nodes, vec![Some(0), Some(1)]);
+                let s0 = run.solo[0].report.response_secs();
+                let s1 = run.solo[1].report.response_secs();
+                assert_eq!(run.schedule.queries[0].response_secs, s0);
+                assert!(
+                    run.schedule.queries[1].response_secs < s1 * 1.5,
+                    "query 1 alone on node 1 must stay near solo speed ({} vs {s1})",
+                    run.schedule.queries[1].response_secs
+                );
+                assert!(
+                    run.schedule.makespan_secs < s0 + s1,
+                    "isolated lanes run concurrently, not serialized"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_mix_cosim_memory_admission_waits_match_the_discipline() {
+        use crate::workload::MixEntry;
+        use dlb_query::cost::CostModel;
+        // A machine whose per-node memory admits any single query but never
+        // two at once: the second FCFS query must wait for the first
+        // release, inside the event loop.
+        let system = HierarchicalSystem::hierarchical(1, 2);
+        let workload = CompiledWorkload::generate(
+            WorkloadParams {
+                queries: 2,
+                relations_per_query: 4,
+                scale: 2.0,
+                skew: 0.0,
+                seed: 42,
+            },
+            &system,
+        )
+        .unwrap();
+        let exp = Experiment::new(system.clone(), workload);
+        let mix = QueryMix::new(
+            Arc::new(exp.workload().clone()),
+            vec![MixEntry::default(); 2],
+        )
+        .unwrap();
+        let config = system.config();
+        let cost = CostModel::new(config.costs, config.disk, config.cpu);
+        let demands: Vec<u64> = (0..mix.len())
+            .map(|q| mix.memory_demand(q, &cost))
+            .collect();
+        let tight = *demands.iter().max().unwrap();
+        assert!(
+            *demands.iter().min().unwrap() > 0,
+            "demands {demands:?} must be positive"
+        );
+
+        let tight_exp = exp.on_system(system.clone().with_memory_per_node(tight));
+        let run = tight_exp
+            .run_mix(
+                &mix,
+                MixPolicy::Fcfs,
+                MixMode::CoSimulated,
+                Strategy::Dynamic,
+            )
+            .unwrap();
+        let q0 = &run.schedule.queries[0];
+        let q1 = &run.schedule.queries[1];
+        assert_eq!(q0.wait_secs, 0.0, "the first arrival admits immediately");
+        assert!(
+            q1.wait_secs > 0.0,
+            "the second query must wait for the release (waits {:?})",
+            (q0.wait_secs, q1.wait_secs)
+        );
+        // Admission is serialized: the second query enters exactly when the
+        // first completes, and it then runs without processor sharing.
+        assert_eq!(q1.admitted_secs, q0.completion_secs);
+        assert!(run.schedule.mean_wait_secs > 0.0);
+
+        // With generous memory both are admitted on arrival and interleave.
+        let generous = exp
+            .run_mix(
+                &mix,
+                MixPolicy::Fcfs,
+                MixMode::CoSimulated,
+                Strategy::Dynamic,
+            )
+            .unwrap();
+        assert!(generous.schedule.queries.iter().all(|q| q.wait_secs == 0.0));
+        assert_eq!(generous.schedule.mean_wait_secs, 0.0);
+
+        // A demand that can never fit is a configuration error, not a stall.
+        let impossible = exp.on_system(system.with_memory_per_node(tight / 2));
+        let err = impossible
+            .run_mix(
+                &mix,
+                MixPolicy::Fcfs,
+                MixMode::CoSimulated,
+                Strategy::Dynamic,
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, dlb_common::DlbError::InvalidConfig(_)),
+            "{err}"
+        );
+    }
+
+    #[test]
     fn mix_run_keys_distinguish_mode_policy_and_entries() {
         use crate::workload::MixEntry;
         let system = HierarchicalSystem::hierarchical(2, 2);
         let workload = CompiledWorkload::generate(WorkloadParams::tiny(2, 4, 11), &system).unwrap();
         let options = ExecOptions::default();
         let entries = vec![MixEntry::default(), MixEntry::default()];
-        let key = |entries: &[MixEntry], policy, mode| {
+        let demands = [1u64 << 20, 2u64 << 20];
+        let key = |entries: &[MixEntry], policy, mode, demands: &[u64]| {
             RunKey::for_mix(
                 Strategy::Dynamic,
                 &options,
@@ -1025,21 +1181,46 @@ mod tests {
                 entries,
                 policy,
                 mode,
+                demands,
             )
         };
-        let base = key(&entries, MixPolicy::Fcfs, MixMode::Composed);
-        assert_eq!(base, key(&entries, MixPolicy::Fcfs, MixMode::Composed));
-        assert_ne!(base, key(&entries, MixPolicy::Fcfs, MixMode::CoSimulated));
-        assert_ne!(base, key(&entries, MixPolicy::LoadAware, MixMode::Composed));
+        let base = key(&entries, MixPolicy::Fcfs, MixMode::Composed, &demands);
+        assert_eq!(
+            base,
+            key(&entries, MixPolicy::Fcfs, MixMode::Composed, &demands)
+        );
+        assert_ne!(
+            base,
+            key(&entries, MixPolicy::Fcfs, MixMode::CoSimulated, &demands)
+        );
+        assert_ne!(
+            base,
+            key(&entries, MixPolicy::LoadAware, MixMode::Composed, &demands)
+        );
+        // The per-query memory demands — the bits the admission (and the
+        // co-simulated placement masks derived from them) reason about —
+        // separate entries too.
+        assert_ne!(
+            base,
+            key(
+                &entries,
+                MixPolicy::Fcfs,
+                MixMode::Composed,
+                &[1u64 << 20, 3u64 << 20]
+            )
+        );
         let mut reprioritized = entries.clone();
         reprioritized[1].priority = 2;
         assert_ne!(
             base,
-            key(&reprioritized, MixPolicy::Fcfs, MixMode::Composed)
+            key(&reprioritized, MixPolicy::Fcfs, MixMode::Composed, &demands)
         );
         let mut reskewed = entries.clone();
         reskewed[0].skew = 0.5;
-        assert_ne!(base, key(&reskewed, MixPolicy::Fcfs, MixMode::Composed));
+        assert_ne!(
+            base,
+            key(&reskewed, MixPolicy::Fcfs, MixMode::Composed, &demands)
+        );
         // A mix key never collides with the plain key of the same inputs.
         assert_ne!(
             base,

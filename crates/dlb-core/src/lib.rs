@@ -40,8 +40,8 @@ pub use dlb_common::config::{CostConstants, CpuParams, DiskParams, NetworkParams
 pub use dlb_common::{Duration, SimTime};
 pub use dlb_exec::mix::{MixJob, MixMode, MixPolicy, MixSchedule, QueryOutcome};
 pub use dlb_exec::{
-    CoSimQuery, CoSimReport, ContentionModel, ExecOptions, ExecOptionsBuilder, ExecutionReport,
-    FlowControl, QueryExecReport, StealPolicy, Strategy, StrategyKind,
+    CoSimQuery, CoSimReport, ContentionModel, ErrorRealization, ExecOptions, ExecOptionsBuilder,
+    ExecutionReport, FlowControl, QueryExecReport, StealPolicy, Strategy, StrategyKind,
 };
 pub use dlb_query::plan::{ChainScheduling, ParallelPlan};
 pub use dlb_query::{Query, WorkloadParams};

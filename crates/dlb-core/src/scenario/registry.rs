@@ -27,6 +27,8 @@ pub fn registry() -> Vec<ScenarioSpec> {
         mix_contention(),
         mix_memory(),
         mix_cosim(),
+        mix_cosim_placement(),
+        mix_cosim_memory(),
         paper_base(),
     ]
 }
@@ -321,6 +323,86 @@ pub fn mix_cosim() -> ScenarioSpec {
         .expect("bundled mix-cosim spec is valid")
 }
 
+/// Co-simulated pinning placements — the same concurrency sweep as
+/// `mix-cosim`, but under **load-aware pinning**: each query is re-homed
+/// onto one SM-node (its placement mask) inside the shared event loop, so
+/// pinned queries really collide in their node's queues while other nodes
+/// stay untouched. The `vs comp` columns contrast the co-simulation against
+/// the analytic composition of the *same* placements, closing the
+/// placement corner that was previously analytic-only (DynaHash studies
+/// exactly this data-placement question for shared-nothing systems).
+pub fn mix_cosim_placement() -> ScenarioSpec {
+    ScenarioSpec::builder("mix-cosim-placement")
+        .title("Mix co-sim placement")
+        .description("DP vs FP with N queries pinned per node inside one event loop")
+        .machine(4, 8)
+        .workload(WorkloadSpec::Mix(MixSpec {
+            queries: 4,
+            relations: 10,
+            scale: 0.1,
+            seed: 0xD1B_1996,
+            arrival_gap_secs: 0.0,
+            policy: MixPolicy::LoadAware,
+            mode: MixMode::CoSimulated,
+            priorities: vec![2, 1],
+            skews: vec![0.0, 0.3, 0.6, 0.9],
+        }))
+        .strategies([DP, FP])
+        .rows(Axis::ConcurrentQueries, [2.0, 4.0, 6.0, 8.0])
+        .reference(Reference::SamePoint(DP))
+        .metric(Metric::Relative)
+        .presentation(Presentation::Mix(table("queries", RowFmt::Int, 8, 8)))
+        .notes(
+            "expectation: pinning isolates queries while N <= nodes (vs comp ~ 1, no\n\
+             cross-node interference to mis-model), then queries start sharing nodes and\n\
+             the composed model drifts from the interleaved truth — idle-time filling\n\
+             pushes vs comp below 1 exactly as in the whole-machine mix-cosim scenario.",
+        )
+        .build()
+        .expect("bundled mix-cosim-placement spec is valid")
+}
+
+/// Co-simulated memory admission — the `mix-memory` question at full
+/// fidelity: six simultaneous FCFS queries on the whole 4×8 machine while
+/// the per-node memory limit shrinks, with admission running **inside** the
+/// engine event loop (`QueryAdmit`/`QueryRelease` events, head-of-line FCFS
+/// queueing against per-node free memory). The first row is the
+/// generous-memory baseline; the `vs comp` columns show how far the
+/// analytic admission model drifts from the simulated one once waits
+/// appear.
+pub fn mix_cosim_memory() -> ScenarioSpec {
+    ScenarioSpec::builder("mix-cosim-memory")
+        .title("Mix co-sim memory")
+        .description("co-simulated FCFS admission under a shrinking per-node memory limit")
+        .machine(4, 8)
+        .workload(WorkloadSpec::Mix(MixSpec {
+            // Half scale, like mix-memory: working sets of a few hundred KB
+            // per node and query, so MB-granular admission limits bite.
+            queries: 6,
+            relations: 10,
+            scale: 0.5,
+            seed: 0xD1B_1996,
+            arrival_gap_secs: 0.0,
+            policy: MixPolicy::Fcfs,
+            mode: MixMode::CoSimulated,
+            priorities: Vec::new(),
+            skews: Vec::new(),
+        }))
+        .strategies([DP, FP])
+        .rows(Axis::MemoryPerNode, [64.0, 8.0, 3.0, 2.0])
+        .reference(Reference::FirstRow)
+        .metric(Metric::Relative)
+        .presentation(Presentation::Mix(table("mem MB", RowFmt::Int, 8, 8)))
+        .notes(
+            "expectation: 1.0 while every working set fits. Once the limit bites, the\n\
+             engine's in-loop admission produces real waits (wait columns) — smaller than\n\
+             the composed model predicts, because interleaved queries finish (and release\n\
+             memory) earlier than the analytic processor-sharing model assumes.",
+        )
+        .build()
+        .expect("bundled mix-cosim-memory spec is valid")
+}
+
 /// The paper's base hierarchical configuration (4×8, no skew), DP versus FP:
 /// the default subject of `bench_report` and a template for user specs.
 pub fn paper_base() -> ScenarioSpec {
@@ -372,6 +454,21 @@ mod tests {
         ));
         assert_eq!(mix_memory().rows.axis, Axis::MemoryPerNode);
         assert!(mix_memory().workload.is_mix());
+        // The co-simulated corner scenarios: pinning placements and memory
+        // admission now run inside the event loop.
+        let placement = mix_cosim_placement();
+        let WorkloadSpec::Mix(mix) = &placement.workload else {
+            panic!("mix-cosim-placement is a mix");
+        };
+        assert_eq!(mix.mode, MixMode::CoSimulated);
+        assert_eq!(mix.policy, MixPolicy::LoadAware);
+        let memory = mix_cosim_memory();
+        assert_eq!(memory.rows.axis, Axis::MemoryPerNode);
+        let WorkloadSpec::Mix(mix) = &memory.workload else {
+            panic!("mix-cosim-memory is a mix");
+        };
+        assert_eq!(mix.mode, MixMode::CoSimulated);
+        assert_eq!(mix.policy, MixPolicy::Fcfs);
     }
 
     #[test]

@@ -14,7 +14,8 @@ use super::spec::{
 use dlb_common::json::{object, Json};
 use dlb_common::{DlbError, Result};
 use dlb_exec::{
-    ContentionModel, ExecOptions, FlowControl, MixMode, MixPolicy, StealPolicy, Strategy,
+    ContentionModel, ErrorRealization, ExecOptions, FlowControl, MixMode, MixPolicy, StealPolicy,
+    Strategy,
 };
 
 impl ScenarioSpec {
@@ -319,6 +320,7 @@ fn options_to_json(o: &ExecOptions) -> Json {
     object(vec![
         ("skew", Json::Float(o.skew)),
         ("seed", Json::from(o.seed)),
+        ("fp_realization", Json::from(o.fp_realization.label())),
         (
             "flow",
             object(vec![
@@ -346,7 +348,14 @@ fn options_to_json(o: &ExecOptions) -> Json {
 fn options_from_json(v: &Json) -> Result<ExecOptions> {
     expect_keys(
         v,
-        &["skew", "seed", "flow", "contention", "steal"],
+        &[
+            "skew",
+            "seed",
+            "fp_realization",
+            "flow",
+            "contention",
+            "steal",
+        ],
         "options",
     )?;
     let d = ExecOptions::default();
@@ -378,9 +387,19 @@ fn options_from_json(v: &Json) -> Result<ExecOptions> {
                 .ok_or_else(|| parse_err(format!("{key} must be a non-negative integer"))),
         }
     };
+    let fp_realization = match v.get("fp_realization") {
+        None => d.fp_realization,
+        Some(j) => {
+            let label = j
+                .as_str()
+                .ok_or_else(|| parse_err("\"fp_realization\" must be a string"))?;
+            ErrorRealization::from_label(label).map_err(parse_err)?
+        }
+    };
     Ok(ExecOptions {
         skew: opt_f64(Some(v), "skew", d.skew)?,
         seed: opt_u64(Some(v), "seed", d.seed)?,
+        fp_realization,
         flow: FlowControl {
             queue_capacity: opt_u64(flow, "queue_capacity", d.flow.queue_capacity as u64)? as usize,
             trigger_pages: opt_u64(flow, "trigger_pages", d.flow.trigger_pages)?,
@@ -774,6 +793,22 @@ mod tests {
         assert_eq!(spec.options.steal.fraction, d.steal.fraction);
         assert_eq!(spec.options.flow, d.flow);
         assert_eq!(spec.options.seed, d.seed);
+    }
+
+    #[test]
+    fn fp_realization_parses_round_trips_and_rejects_unknown_labels() {
+        let spec =
+            ScenarioSpec::from_json(r#"{"name": "x", "options": {"fp_realization": "per-node"}}"#)
+                .unwrap();
+        assert_eq!(spec.options.fp_realization, ErrorRealization::PerNode);
+        assert_eq!(ScenarioSpec::from_json(&spec.to_json()).unwrap(), spec);
+        // Unset keeps the paper-reading default.
+        let defaulted = ScenarioSpec::from_json(r#"{"name": "x"}"#).unwrap();
+        assert_eq!(defaulted.options.fp_realization, ErrorRealization::Shared);
+        assert!(ScenarioSpec::from_json(
+            r#"{"name": "x", "options": {"fp_realization": "per-operator"}}"#
+        )
+        .is_err());
     }
 
     #[test]

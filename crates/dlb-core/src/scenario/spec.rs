@@ -125,8 +125,8 @@ pub struct MixSpec {
     /// Admission / placement policy of the mix.
     pub policy: MixPolicy,
     /// Evaluation fidelity: compose solo runs with the analytic contention
-    /// model, or co-simulate all queries in one engine event loop
-    /// ([`MixMode::CoSimulated`] requires [`MixPolicy::Fcfs`]).
+    /// model, or co-simulate all queries — placement masks and per-node
+    /// memory admission included — in one engine event loop.
     pub mode: MixMode,
     /// Per-query priorities, cycled over the queries; empty = all 1.
     pub priorities: Vec<u32>,
@@ -528,15 +528,10 @@ impl ScenarioSpec {
                 return fail("mix workloads need at least 1 query".to_string());
             }
             if mix.mode == MixMode::CoSimulated {
-                // Co-simulation interleaves activations on the whole
-                // machine; pinning placements and SP have nothing to
-                // interleave.
-                if mix.policy != MixPolicy::Fcfs {
-                    return fail(format!(
-                        "co-simulated mixes support only the fcfs policy, got {:?}",
-                        mix.policy.label()
-                    ));
-                }
+                // Co-simulation interleaves activation queues; SP has no
+                // queues to interleave. Every placement policy is supported:
+                // pinning policies re-home each query's plan onto its
+                // placement mask inside the event loop.
                 if self
                     .strategies
                     .iter()
@@ -890,6 +885,31 @@ mod tests {
         let mut spec = ScenarioSpec::builder("x").build().unwrap();
         spec.machine.memory_per_node_mb = Some(0);
         assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn cosimulated_mixes_accept_every_placement_policy() {
+        for policy in [MixPolicy::Fcfs, MixPolicy::RoundRobin, MixPolicy::LoadAware] {
+            let spec = ScenarioSpec::builder("cosim")
+                .workload(WorkloadSpec::Mix(MixSpec {
+                    policy,
+                    mode: MixMode::CoSimulated,
+                    ..MixSpec::default()
+                }))
+                .build();
+            assert!(spec.is_ok(), "{policy:?} must co-simulate");
+        }
+        // SP still has no activation queues to interleave.
+        let sp = ScenarioSpec::builder("cosim-sp")
+            .machine(1, 8)
+            .strategies([Strategy::Synchronous])
+            .reference(Reference::SamePoint(Strategy::Synchronous))
+            .workload(WorkloadSpec::Mix(MixSpec {
+                mode: MixMode::CoSimulated,
+                ..MixSpec::default()
+            }))
+            .build();
+        assert!(sp.is_err());
     }
 
     #[test]

@@ -34,15 +34,19 @@
 //! loop**: every query becomes a *lane* of operators, activations carry
 //! their query id, threads pick work lane-by-lane in priority order, and
 //! global load balancing sees the queued work of *all* queries when ranking
-//! providers. This simulates real inter-query interference (queue
-//! contention, steal traffic, flow control across queries) instead of
-//! composing solo runs with an analytic contention model; see
+//! providers. Each lane may carry a *placement mask* re-homing its plan onto
+//! a node subset (pinning placements), and per-node **memory admission**
+//! runs inside the loop: arriving queries reserve their working set on their
+//! placement nodes or wait, head-of-line FCFS, for a `QueryRelease` to free
+//! room. This simulates real inter-query interference (queue contention,
+//! steal traffic, flow control across queries, admission serialization)
+//! instead of composing solo runs with an analytic contention model; see
 //! [`crate::mix::MixMode`]. The loop is strictly sequential and seeded, so
 //! co-simulated runs are bit-identical regardless of harness thread counts.
 
 use crate::activation::{Activation, ActivationKind, ActivationQueue};
 use crate::fp::allocate_threads;
-use crate::options::{ExecOptions, Strategy};
+use crate::options::{ErrorRealization, ExecOptions, Strategy};
 use crate::report::{CoSimReport, ExecutionReport, QueryExecReport, StrategyKind};
 use crate::router::OutputRouter;
 use dlb_common::config::SystemConfig;
@@ -73,7 +77,8 @@ pub struct CoSimQuery<'a> {
     /// the machine the mix runs on.
     pub plan: &'a ParallelPlan,
     /// Arrival offset from the start of the mix, in (virtual) seconds. The
-    /// query's scan triggers are seeded at this instant.
+    /// query arrives — and enters memory admission — at this instant; its
+    /// scan triggers are seeded when it is admitted.
     pub arrival_secs: f64,
     /// Local-scheduling priority (≥ 1): threads exhaust the eligible work of
     /// higher-priority queries before touching lower-priority queues.
@@ -81,6 +86,18 @@ pub struct CoSimQuery<'a> {
     /// Redistribution-skew factor (Zipf theta in `[0, 1]`) of this query's
     /// activation routing.
     pub skew: f64,
+    /// Placement mask: the SM-nodes this query's plan is re-homed onto.
+    /// `None` spreads the query over the whole machine (FCFS placement);
+    /// `Some(nodes)` pins every operator of the plan to exactly these nodes
+    /// (the pinning placements of [`crate::mix::MixPolicy::RoundRobin`] /
+    /// [`crate::mix::MixPolicy::LoadAware`]). Scheduling, steal-candidate
+    /// sets and FP thread allocations are all restricted to the mask.
+    pub mask: Option<&'a [NodeId]>,
+    /// Working-set estimate (hash-table bytes) used for per-node memory
+    /// admission, spread evenly over the placement nodes. `0` admits
+    /// immediately (single-plan executions pass 0, keeping admission a
+    /// no-op on the plain path).
+    pub memory_bytes: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -99,8 +116,21 @@ enum Event {
         node: usize,
         msg: ControlMsg,
     },
-    /// A co-simulated query arrives: seed its triggers and wake the machine.
+    /// A co-simulated query arrives: it joins the admission queue (and is
+    /// admitted on the spot when its placement has the memory).
     QueryStart {
+        lane: usize,
+    },
+    /// A waiting query's memory reservation succeeded after a release: seed
+    /// its triggers and wake the machine. Only scheduled for queries that
+    /// actually waited — arrivals that fit are admitted synchronously, so
+    /// the single-query/no-contention event stream is unchanged.
+    QueryAdmit {
+        lane: usize,
+    },
+    /// A query completed: release its working set on its placement nodes and
+    /// admit whoever now fits (head-of-line FCFS order).
+    QueryRelease {
         lane: usize,
     },
 }
@@ -163,12 +193,20 @@ struct LaneRuntime<'a> {
     arrival: SimTime,
     priority: u32,
     skew: f64,
+    /// The SM-nodes this lane's operators are re-homed onto (`None` = the
+    /// plan's own homes, i.e. the whole machine).
+    mask: Option<Vec<NodeId>>,
+    /// Per-node share of the lane's working set (memory admission).
+    mem_per_node: u64,
     /// First global operator index of this lane.
     base: usize,
     /// Number of operators of this lane's plan.
     n_ops: usize,
-    /// Whether the lane's triggers have been seeded (arrival reached).
+    /// Whether the lane was admitted and its triggers seeded.
     started: bool,
+    /// Instant the lane passed memory admission (= arrival unless memory was
+    /// tight).
+    admitted_at: SimTime,
     ops_terminated: usize,
     finished_at: SimTime,
     activations: u64,
@@ -278,6 +316,14 @@ pub(crate) struct QueueEngine<'a> {
     node_lb: Vec<NodeLb>,
     disk_cursor: Vec<u32>,
 
+    /// Free shared memory per SM-node (the admission budget).
+    free_mem: Vec<u64>,
+    /// Lanes that arrived but do not fit yet, in arrival order. Admission is
+    /// strict head-of-line FCFS, matching [`crate::mix::schedule_mix`]:
+    /// priorities weight the scheduling of *admitted* queries, they never
+    /// jump the admission queue.
+    admission_queue: VecDeque<usize>,
+
     activations_done: u64,
     tuples_processed: u64,
     result_tuples: u64,
@@ -301,6 +347,8 @@ impl<'a> QueueEngine<'a> {
                 arrival_secs: 0.0,
                 priority: 1,
                 skew: options.skew,
+                mask: None,
+                memory_bytes: 0,
             }],
             config,
             strategy,
@@ -322,6 +370,7 @@ impl<'a> QueueEngine<'a> {
                 "machine needs at least one node and processor",
             ));
         }
+        let machine_nodes = config.machine.nodes as usize;
         let mut lanes: Vec<LaneRuntime<'a>> = Vec::with_capacity(queries.len());
         let mut base = 0usize;
         for (i, q) in queries.iter().enumerate() {
@@ -343,15 +392,48 @@ impl<'a> QueueEngine<'a> {
                     q.skew
                 )));
             }
+            let mask: Option<Vec<NodeId>> = match q.mask {
+                None => None,
+                Some(nodes) => {
+                    if nodes.is_empty() {
+                        return Err(DlbError::config(format!(
+                            "co-simulated query {i} has an empty placement mask"
+                        )));
+                    }
+                    let mut mask: Vec<NodeId> = nodes.to_vec();
+                    mask.sort_unstable();
+                    mask.dedup();
+                    if let Some(bad) = mask.iter().find(|n| n.index() >= machine_nodes) {
+                        return Err(DlbError::config(format!(
+                            "co-simulated query {i} is pinned to node {bad} but the \
+                             machine has {machine_nodes} nodes"
+                        )));
+                    }
+                    Some(mask)
+                }
+            };
+            let placement_len = mask.as_ref().map_or(machine_nodes, Vec::len);
+            let mem_per_node = q.memory_bytes.div_ceil(placement_len as u64);
+            if mem_per_node > config.machine.memory_per_node_bytes {
+                return Err(DlbError::config(format!(
+                    "co-simulated query {i} needs {mem_per_node} bytes on each of its \
+                     {placement_len} placement node(s) but nodes have {} — it can \
+                     never be admitted",
+                    config.machine.memory_per_node_bytes
+                )));
+            }
             let n_ops = q.plan.tree.operators().len();
             lanes.push(LaneRuntime {
                 plan: q.plan,
                 arrival: SimTime::ZERO + Duration::from_secs_f64(q.arrival_secs),
                 priority: q.priority,
                 skew: q.skew,
+                mask,
+                mem_per_node,
                 base,
                 n_ops,
                 started: false,
+                admitted_at: SimTime::ZERO,
                 ops_terminated: 0,
                 finished_at: SimTime::ZERO,
                 activations: 0,
@@ -387,6 +469,8 @@ impl<'a> QueueEngine<'a> {
             threads: Vec::new(),
             node_lb: (0..nodes).map(|_| NodeLb::default()).collect(),
             disk_cursor: vec![0; nodes],
+            free_mem: vec![config.machine.memory_per_node_bytes; nodes],
+            admission_queue: VecDeque::new(),
             activations_done: 0,
             tuples_processed: 0,
             result_tuples: 0,
@@ -410,14 +494,20 @@ impl<'a> QueueEngine<'a> {
             let skew = lane.skew;
             let joins = plan.tree.joins();
             for op in plan.tree.operators() {
-                let home: Vec<NodeId> = plan
-                    .homes
-                    .home(op.id)
-                    .nodes()
-                    .iter()
-                    .copied()
-                    .filter(|n| n.index() < self.nodes)
-                    .collect();
+                // A placement mask re-homes every operator of the lane onto
+                // the mask's nodes; without one the plan's own homes apply
+                // (clipped to the machine).
+                let home: Vec<NodeId> = match &lane.mask {
+                    Some(mask) => mask.clone(),
+                    None => plan
+                        .homes
+                        .home(op.id)
+                        .nodes()
+                        .iter()
+                        .copied()
+                        .filter(|n| n.index() < self.nodes)
+                        .collect(),
+                };
                 if home.is_empty() {
                     return Err(DlbError::plan(format!(
                         "operator {} has no home node within the machine",
@@ -483,23 +573,61 @@ impl<'a> QueueEngine<'a> {
             self.op_nodes.push(per_node);
         }
 
-        // Threads: FP computes a per-node static allocation (one per lane,
-        // mapped to global operator ids and unioned per thread), DP leaves
-        // them unconstrained.
+        // Threads: FP computes a per-node static allocation (one per lane
+        // homed on the node, mapped to global operator ids and unioned per
+        // thread), DP leaves them unconstrained. Under the default
+        // `ErrorRealization::Shared` each lane's distorted complexity
+        // estimates are drawn ONCE and the resulting allocation is reused by
+        // every node of its placement — the paper's reading: the optimizer
+        // mis-estimates a cardinality once, not once per node.
+        // `ErrorRealization::PerNode` keeps the historical fresh-draw-per-
+        // node behaviour for comparison studies.
         let mut fp_rng = rng_from_seed(self.options.seed);
-        for _node in 0..self.nodes {
+        let shared_assignments: Option<Vec<crate::fp::ThreadAssignment>> =
+            match (self.strategy, self.options.fp_realization) {
+                (Strategy::Fixed { error_rate }, ErrorRealization::Shared) => Some(
+                    self.lanes
+                        .iter()
+                        .map(|lane| {
+                            allocate_threads(
+                                lane.plan,
+                                self.threads_per_node as u32,
+                                &self.cost,
+                                error_rate,
+                                &mut fp_rng,
+                            )
+                        })
+                        .collect(),
+                ),
+                _ => None,
+            };
+        for node in 0..self.nodes {
             let allowed: Option<Vec<BTreeSet<OperatorId>>> = match self.strategy {
                 Strategy::Fixed { error_rate } => {
                     let mut per_thread: Vec<BTreeSet<OperatorId>> =
                         vec![BTreeSet::new(); self.threads_per_node];
-                    for lane in &self.lanes {
-                        let assignment = allocate_threads(
-                            lane.plan,
-                            self.threads_per_node as u32,
-                            &self.cost,
-                            error_rate,
-                            &mut fp_rng,
-                        );
+                    for (lane_idx, lane) in self.lanes.iter().enumerate() {
+                        // A pinned lane only constrains the threads of its
+                        // own placement nodes.
+                        if let Some(mask) = &lane.mask {
+                            if !mask.contains(&NodeId::from(node)) {
+                                continue;
+                            }
+                        }
+                        let fresh;
+                        let assignment = match &shared_assignments {
+                            Some(assignments) => &assignments[lane_idx],
+                            None => {
+                                fresh = allocate_threads(
+                                    lane.plan,
+                                    self.threads_per_node as u32,
+                                    &self.cost,
+                                    error_rate,
+                                    &mut fp_rng,
+                                );
+                                &fresh
+                            }
+                        };
                         for (t, ops) in assignment.iter().enumerate() {
                             per_thread[t].extend(
                                 ops.iter().map(|o| OperatorId::from(lane.base + o.index())),
@@ -519,18 +647,23 @@ impl<'a> QueueEngine<'a> {
             self.threads.push(threads);
         }
 
-        // Seed trigger activations for every lane already arrived at time
-        // zero; later arrivals get a QueryStart event at their instant.
+        // Every lane already arrived at time zero enters the admission queue
+        // in mix order and is admitted — memory reserved, triggers seeded —
+        // while its placement has room (head-of-line FCFS, exactly like
+        // `mix::schedule_mix`); later arrivals get a QueryStart event at
+        // their instant.
         for lane_idx in 0..self.lanes.len() {
             if self.lanes[lane_idx].arrival == SimTime::ZERO {
-                self.lanes[lane_idx].started = true;
-                self.seed_triggers(lane_idx);
+                self.admission_queue.push_back(lane_idx);
             } else {
                 self.calendar.schedule_at(
                     self.lanes[lane_idx].arrival,
                     Event::QueryStart { lane: lane_idx },
                 );
             }
+        }
+        while let Some(lane) = self.try_reserve_head() {
+            self.start_lane(lane);
         }
 
         // Kick off every thread at time zero.
@@ -632,6 +765,8 @@ impl<'a> QueueEngine<'a> {
                 } => self.on_data(node, op, slot, activation),
                 Event::Control { node, msg } => self.on_control(node, msg),
                 Event::QueryStart { lane } => self.on_query_start(lane),
+                Event::QueryAdmit { lane } => self.on_query_admit(lane),
+                Event::QueryRelease { lane } => self.on_query_release(lane),
             }
         }
         Ok(())
@@ -686,10 +821,16 @@ impl<'a> QueueEngine<'a> {
             .enumerate()
             .map(|(i, lane)| {
                 let completion_secs = lane.finished_at.as_secs_f64();
+                // Non-negative by construction: `start_lane` stamps
+                // `admitted_at` at the (post-arrival) admission instant and
+                // `SimTime::since` is saturating.
+                let wait_secs = lane.admitted_at.since(lane.arrival).as_secs_f64();
                 QueryExecReport {
                     query: i,
                     priority: lane.priority,
                     arrival_secs: lane.arrival.as_secs_f64(),
+                    admitted_secs: lane.admitted_at.as_secs_f64(),
+                    wait_secs,
                     completion_secs,
                     response_secs: lane.finished_at.since(lane.arrival).as_secs_f64(),
                     activations: lane.activations,
@@ -817,11 +958,48 @@ impl<'a> QueueEngine<'a> {
         }
     }
 
-    /// A co-simulated query arrives: seed its triggers, let trivially-done
-    /// operators report, and wake every node (the new work may sit anywhere).
-    fn on_query_start(&mut self, lane: usize) {
+    // ----------------------------------------------------------------- //
+    // Memory admission (head-of-line FCFS, matching `mix::schedule_mix`)
+    // ----------------------------------------------------------------- //
+
+    /// The node indices of one lane's placement (its mask, or the whole
+    /// machine).
+    fn placement_nodes(&self, lane: usize) -> Vec<usize> {
+        match &self.lanes[lane].mask {
+            Some(mask) => mask.iter().map(|n| n.index()).collect(),
+            None => (0..self.nodes).collect(),
+        }
+    }
+
+    /// If the head-of-line waiting lane fits on every node of its placement,
+    /// pops it and reserves its memory, returning the lane. Admission is
+    /// strictly FCFS: a later lane never jumps a blocked head.
+    fn try_reserve_head(&mut self) -> Option<usize> {
+        let &lane = self.admission_queue.front()?;
+        let mem = self.lanes[lane].mem_per_node;
+        let nodes = self.placement_nodes(lane);
+        if !nodes.iter().all(|&n| self.free_mem[n] >= mem) {
+            return None;
+        }
+        for n in nodes {
+            self.free_mem[n] -= mem;
+        }
+        self.admission_queue.pop_front();
+        Some(lane)
+    }
+
+    /// Marks an admitted lane started and seeds its triggers. Memory was
+    /// already reserved by [`Self::try_reserve_head`].
+    fn start_lane(&mut self, lane: usize) {
         self.lanes[lane].started = true;
+        self.lanes[lane].admitted_at = self.calendar.now();
         self.seed_triggers(lane);
+    }
+
+    /// Post-admission bookkeeping of a lane admitted mid-run: trivially-done
+    /// operators report, and every node wakes (the new work may sit
+    /// anywhere, and steal decisions must see it).
+    fn activate_lane(&mut self, lane: usize) {
         let (base, n_ops) = (self.lanes[lane].base, self.lanes[lane].n_ops);
         for op in base..base + n_ops {
             for node in 0..self.nodes {
@@ -830,6 +1008,41 @@ impl<'a> QueueEngine<'a> {
         }
         for node in 0..self.nodes {
             self.wake_threads(node, None);
+        }
+    }
+
+    /// A co-simulated query arrives: it joins the admission queue and — when
+    /// its placement has the memory and no earlier query is blocked ahead of
+    /// it — is admitted on the spot: memory reserved, triggers seeded,
+    /// machine woken.
+    fn on_query_start(&mut self, lane: usize) {
+        self.admission_queue.push_back(lane);
+        while let Some(admitted) = self.try_reserve_head() {
+            self.start_lane(admitted);
+            self.activate_lane(admitted);
+        }
+    }
+
+    /// A waiting query's reservation succeeded after a release: start it.
+    fn on_query_admit(&mut self, lane: usize) {
+        self.start_lane(lane);
+        self.activate_lane(lane);
+    }
+
+    /// A query completed: free its working set on its placement nodes, then
+    /// admit every waiting lane that now fits (each admission is its own
+    /// `QueryAdmit` event at the current instant; memory is reserved at
+    /// scheduling time so the chain of fits stays consistent).
+    fn on_query_release(&mut self, lane: usize) {
+        let mem = self.lanes[lane].mem_per_node;
+        for n in self.placement_nodes(lane) {
+            self.free_mem[n] += mem;
+            debug_assert!(self.free_mem[n] <= self.config.machine.memory_per_node_bytes);
+        }
+        let now = self.calendar.now();
+        while let Some(admitted) = self.try_reserve_head() {
+            self.calendar
+                .schedule_at(now, Event::QueryAdmit { lane: admitted });
         }
     }
 
@@ -1222,9 +1435,18 @@ impl<'a> QueueEngine<'a> {
         let now = self.calendar.now();
         self.finished_at = self.finished_at.max(now);
         {
-            let lane = &mut self.lanes[self.ops[op].lane];
+            let lane_idx = self.ops[op].lane;
+            let lane = &mut self.lanes[lane_idx];
             lane.ops_terminated += 1;
             lane.finished_at = lane.finished_at.max(now);
+            // The lane's last operator terminated: release its working set
+            // (and re-run admission) at this instant. The release of the
+            // final lane may be left unprocessed — the loop exits once every
+            // operator terminated.
+            if lane.ops_terminated == lane.n_ops {
+                self.calendar
+                    .schedule_at(now, Event::QueryRelease { lane: lane_idx });
+            }
         }
 
         // Accounting broadcast (the 4th message round of the protocol).
@@ -1320,7 +1542,13 @@ impl<'a> QueueEngine<'a> {
         self.node_lb[node].replies_received = 0;
         self.node_lb[node].replies_expected = self.nodes - 1;
         self.lb_requests += 1;
-        let free = self.config.machine.memory_per_node_bytes;
+        // Advertise the node's memory net of admission reservations: an
+        // acquired shipment (activations + hash-table partition) must fit in
+        // what the admitted working sets left free, so steal decisions
+        // respect the same per-node limit the in-loop admission enforces.
+        // Single-plan runs reserve nothing, so this is the full capacity
+        // there.
+        let free = self.free_mem[node];
         for other in 0..self.nodes {
             if other != node {
                 self.send_control(
@@ -1624,6 +1852,16 @@ pub fn execute(
 /// threads serve lanes in priority order, and global load balancing ranks
 /// providers by their cross-query load.
 ///
+/// Each query carries a *placement mask* ([`CoSimQuery::mask`]) re-homing
+/// its plan onto a node subset — the pinning placements of
+/// [`crate::mix::MixPolicy::RoundRobin`] / [`crate::mix::MixPolicy::LoadAware`]
+/// — and a working-set estimate ([`CoSimQuery::memory_bytes`]) admitted
+/// against per-node free memory **inside** the event loop: a query whose
+/// placement lacks the memory waits, in strict head-of-line FCFS arrival
+/// order, until a `QueryRelease` frees enough (exactly the admission
+/// discipline of [`crate::mix::schedule_mix`]). A query whose demand can
+/// never fit is a configuration error, not a deadlock.
+///
 /// Only the queue-based strategies can interleave activations;
 /// [`Strategy::Synchronous`] is rejected. The event loop is strictly
 /// sequential and seeded, so the result is bit-identical for any harness
@@ -1691,6 +1929,8 @@ mod tests {
             arrival_secs: arrival,
             priority,
             skew,
+            mask: None,
+            memory_bytes: 0,
         }
     }
 
@@ -1983,6 +2223,151 @@ mod tests {
         .unwrap();
         assert!(co.aggregate.lb_requests > 0);
         assert!(co.aggregate.result_tuples > 0);
+    }
+
+    #[test]
+    fn cosim_placement_mask_rehomes_a_lane_onto_its_nodes() {
+        let plan = bushy_plan(2);
+        let config = SystemConfig::hierarchical(2, 2);
+        let opts = ExecOptions::default();
+        for strategy in [Strategy::Dynamic, Strategy::Fixed { error_rate: 0.0 }] {
+            let mask = [NodeId::from(1usize)];
+            let co = execute_cosimulated(
+                &[CoSimQuery {
+                    mask: Some(&mask),
+                    ..solo(&plan, 0.0, 1, 0.0)
+                }],
+                &config,
+                strategy,
+                &opts,
+            )
+            .unwrap();
+            // All work lands on the masked node; the other node never
+            // executes an activation (scheduling, steals and FP allocations
+            // are all restricted to the mask).
+            assert_eq!(
+                co.aggregate.per_node_busy[0],
+                Duration::ZERO,
+                "{strategy:?}: node 0 is outside the mask"
+            );
+            assert!(co.aggregate.per_node_busy[1] > Duration::ZERO);
+            assert!(co.queries[0].result_tuples > 0);
+        }
+    }
+
+    #[test]
+    fn cosim_mask_validation_rejects_bad_masks() {
+        let plan = two_join_plan(2);
+        let config = SystemConfig::hierarchical(2, 2);
+        let opts = ExecOptions::default();
+        let empty: [NodeId; 0] = [];
+        assert!(execute_cosimulated(
+            &[CoSimQuery {
+                mask: Some(&empty),
+                ..solo(&plan, 0.0, 1, 0.0)
+            }],
+            &config,
+            Strategy::Dynamic,
+            &opts
+        )
+        .is_err());
+        let out_of_range = [NodeId::from(5usize)];
+        assert!(execute_cosimulated(
+            &[CoSimQuery {
+                mask: Some(&out_of_range),
+                ..solo(&plan, 0.0, 1, 0.0)
+            }],
+            &config,
+            Strategy::Dynamic,
+            &opts
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn cosim_memory_admission_serializes_and_keeps_fcfs_order() {
+        let plan = two_join_plan(1);
+        let mut config = SystemConfig::shared_memory(4);
+        config.machine.memory_per_node_bytes = 1_010;
+        let opts = ExecOptions::default();
+        let with_mem = |mem: u64| CoSimQuery {
+            memory_bytes: mem,
+            ..solo(&plan, 0.0, 1, 0.0)
+        };
+
+        // q0 holds 1000 of the 1010 bytes; q1 (1000) blocks; q2 (10) would
+        // fit but must not jump the blocked head of the FCFS queue.
+        let co = execute_cosimulated(
+            &[with_mem(1_000), with_mem(1_000), with_mem(10)],
+            &config,
+            Strategy::Dynamic,
+            &opts,
+        )
+        .unwrap();
+        let [q0, q1, q2] = [&co.queries[0], &co.queries[1], &co.queries[2]];
+        assert_eq!(q0.wait_secs, 0.0, "the first arrival admits immediately");
+        assert!(q1.wait_secs > 0.0, "q1 must wait for q0's release");
+        assert_eq!(
+            q1.admitted_secs, q0.completion_secs,
+            "q1 is admitted by q0's QueryRelease"
+        );
+        assert!(
+            q2.wait_secs > 0.0 && q2.admitted_secs >= q1.admitted_secs,
+            "q2 fits from the start but never jumps the blocked head \
+             (admitted {} vs {})",
+            q2.admitted_secs,
+            q1.admitted_secs
+        );
+        // Serialized q0/q1 stretch the makespan beyond the concurrent case.
+        let generous = execute_cosimulated(
+            &[with_mem(0), with_mem(0), with_mem(0)],
+            &config,
+            Strategy::Dynamic,
+            &opts,
+        )
+        .unwrap();
+        assert!(generous.queries.iter().all(|q| q.wait_secs == 0.0));
+        assert_eq!(generous.mean_wait_secs(), 0.0);
+        assert!(co.mean_wait_secs() > 0.0);
+        // Serialized admission orders completions by admission instant.
+        assert!(q1.completion_secs >= q0.completion_secs);
+        assert!(
+            q1.response_secs > q1.wait_secs,
+            "waits are part of response"
+        );
+
+        // A demand that can never fit errors up front instead of stalling
+        // the event loop.
+        let err =
+            execute_cosimulated(&[with_mem(2_000)], &config, Strategy::Dynamic, &opts).unwrap_err();
+        assert!(
+            matches!(err, DlbError::InvalidConfig(ref m) if m.contains("never be admitted")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn fp_shared_realization_is_the_default_and_per_node_differs_on_hierarchies() {
+        // With error injection on a multi-node machine the two realizations
+        // draw different allocations; on exact estimates they coincide.
+        let plan = bushy_plan(2);
+        let config = SystemConfig::hierarchical(2, 4);
+        let strategy = Strategy::Fixed { error_rate: 0.3 };
+        let shared = ExecOptions::default();
+        assert_eq!(shared.fp_realization, ErrorRealization::Shared);
+        let per_node = ExecOptions {
+            fp_realization: ErrorRealization::PerNode,
+            ..ExecOptions::default()
+        };
+        let a = execute(&plan, &config, strategy, &shared).unwrap();
+        let b = execute(&plan, &config, strategy, &per_node).unwrap();
+        // Both complete the same logical work...
+        assert_eq!(a.result_tuples, b.result_tuples);
+        // ...and with exact estimates the knob is a no-op.
+        let exact = Strategy::Fixed { error_rate: 0.0 };
+        let ea = execute(&plan, &config, exact, &shared).unwrap();
+        let eb = execute(&plan, &config, exact, &per_node).unwrap();
+        assert_eq!(ea, eb);
     }
 
     #[test]

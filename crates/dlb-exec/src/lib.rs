@@ -46,7 +46,8 @@ pub use activation::{Activation, ActivationKind, ActivationQueue, DrainOutcome};
 pub use engine::{execute, execute_cosimulated, CoSimQuery};
 pub use mix::{schedule_mix, MixJob, MixMode, MixPolicy, MixSchedule, QueryOutcome};
 pub use options::{
-    ContentionModel, ExecOptions, ExecOptionsBuilder, FlowControl, StealPolicy, Strategy,
+    ContentionModel, ErrorRealization, ExecOptions, ExecOptionsBuilder, FlowControl, StealPolicy,
+    Strategy,
 };
 pub use report::{CoSimReport, ExecutionReport, QueryExecReport, StrategyKind};
 pub use router::OutputRouter;

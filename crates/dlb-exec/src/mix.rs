@@ -39,11 +39,12 @@ use serde::{Deserialize, Serialize};
 /// The scheduler of this module ([`schedule_mix`]) and the engine's
 /// co-simulated mode ([`crate::engine::execute_cosimulated`]) answer the
 /// same question — what do N concurrent queries experience on the shared
-/// SM-nodes? — at two fidelities. `Composed` is cheap (per-query solo runs
-/// plus an analytic model) and supports every placement policy and memory
-/// admission; `CoSimulated` actually interleaves the queries' activations in
-/// one event loop, so queue contention, flow control and cross-query steal
-/// traffic are simulated rather than modeled.
+/// SM-nodes? — at two fidelities. Both support every placement policy and
+/// per-node memory admission. `Composed` is cheap (per-query solo runs plus
+/// an analytic model); `CoSimulated` actually interleaves the queries'
+/// activations in one event loop, so queue contention, flow control,
+/// cross-query steal traffic and admission serialization are simulated
+/// rather than modeled.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum MixMode {
     /// Compose engine-measured **solo** runs with priority-weighted
@@ -54,8 +55,10 @@ pub enum MixMode {
     /// Interleave all queries inside **one** engine event loop
     /// ([`crate::engine::execute_cosimulated`]): query-tagged activations,
     /// priority-aware local scheduling, steal decisions that see cross-query
-    /// load. FCFS placement only (every query spreads over the whole
-    /// machine); per-node memory admission is not modeled.
+    /// load, per-query placement masks (pinning policies re-home each plan
+    /// onto its node) and per-node memory admission with head-of-line FCFS
+    /// queueing — the same admission discipline as [`schedule_mix`], driven
+    /// by the simulated completion instants instead of the analytic ones.
     CoSimulated,
 }
 
@@ -319,14 +322,19 @@ pub fn schedule_mix(
                         free_mem[n as usize] -= mem_per_node;
                     }
                     admitted_count += 1;
+                    // Arrivals are enqueued at `arrival_secs <= now + EPS`,
+                    // so `now` can sit an epsilon *before* the arrival —
+                    // clamp so the recorded wait is never negative.
+                    let wait_secs = (now - job.arrival_secs).max(0.0);
+                    debug_assert!(wait_secs >= 0.0);
                     outcomes[job_idx] = Some(QueryOutcome {
                         query: job_idx,
                         node: (placement.len() == 1).then(|| placement[0]),
                         arrival_secs: job.arrival_secs,
-                        admitted_secs: now,
+                        admitted_secs: now.max(job.arrival_secs),
                         completion_secs: 0.0, // filled at completion
                         response_secs: 0.0,
-                        wait_secs: now - job.arrival_secs,
+                        wait_secs,
                         solo_secs: job.solo_secs,
                         slowdown: 1.0,
                     });
@@ -393,6 +401,17 @@ pub fn schedule_mix(
         finish_done(&mut active, &mut free_mem, &mut outcomes, now);
     }
 
+    // Memory conservation: every admitted query released exactly what it
+    // reserved, so each node's free memory is back at its capacity. A
+    // violation would mean admission double-booked or leaked memory — fail
+    // loudly instead of returning a schedule built on corrupt accounting.
+    if free_mem.iter().any(|&f| f != memory_per_node) {
+        return Err(DlbError::exec(format!(
+            "mix admission leaked memory: free per node {free_mem:?} after completion, \
+             expected {memory_per_node} everywhere"
+        )));
+    }
+
     let mut queries: Vec<QueryOutcome> = outcomes
         .into_iter()
         .map(|o| o.expect("every query was scheduled"))
@@ -439,8 +458,13 @@ fn finish_done(
                 free_mem[n as usize] += a.mem_per_node;
             }
             let o = outcomes[a.job].as_mut().expect("admitted before completed");
-            o.completion_secs = now;
-            o.response_secs = now - o.arrival_secs;
+            // Like the admission instant, `now` can carry an epsilon of
+            // floating-point residue; a completion never precedes the
+            // (already arrival-clamped) admission, and a response is never
+            // negative.
+            o.completion_secs = now.max(o.admitted_secs);
+            o.response_secs = (o.completion_secs - o.arrival_secs).max(0.0);
+            debug_assert!(o.response_secs >= 0.0 && o.wait_secs >= 0.0);
             o.slowdown = if o.solo_secs > 0.0 {
                 o.response_secs / o.solo_secs
             } else {

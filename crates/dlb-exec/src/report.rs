@@ -137,6 +137,11 @@ pub struct QueryExecReport {
     pub priority: u32,
     /// Arrival offset from the start of the mix, in (virtual) seconds.
     pub arrival_secs: f64,
+    /// Instant the query passed per-node memory admission (= arrival unless
+    /// memory was tight and the query waited in the FCFS admission queue).
+    pub admitted_secs: f64,
+    /// Admission delay: admitted − arrival (never negative).
+    pub wait_secs: f64,
     /// Instant the query's last operator terminated.
     pub completion_secs: f64,
     /// Response time: completion − arrival.
@@ -174,6 +179,15 @@ impl CoSimReport {
             return 0.0;
         }
         self.queries.iter().map(|q| q.response_secs).sum::<f64>() / self.queries.len() as f64
+    }
+
+    /// Mean per-query admission delay, in seconds (zero while every working
+    /// set fits its placement on arrival).
+    pub fn mean_wait_secs(&self) -> f64 {
+        if self.queries.is_empty() {
+            return 0.0;
+        }
+        self.queries.iter().map(|q| q.wait_secs).sum::<f64>() / self.queries.len() as f64
     }
 }
 
@@ -231,6 +245,8 @@ mod tests {
                     query: 0,
                     priority: 1,
                     arrival_secs: 0.0,
+                    admitted_secs: 0.0,
+                    wait_secs: 0.0,
                     completion_secs: 6.0,
                     response_secs: 6.0,
                     activations: 60,
@@ -241,6 +257,8 @@ mod tests {
                     query: 1,
                     priority: 2,
                     arrival_secs: 2.0,
+                    admitted_secs: 3.0,
+                    wait_secs: 1.0,
                     completion_secs: 10.0,
                     response_secs: 8.0,
                     activations: 40,
@@ -251,11 +269,13 @@ mod tests {
         };
         assert_eq!(r.makespan_secs(), 10.0);
         assert!((r.mean_response_secs() - 7.0).abs() < 1e-12);
+        assert!((r.mean_wait_secs() - 0.5).abs() < 1e-12);
         let empty = CoSimReport {
             aggregate: sample(),
             queries: Vec::new(),
         };
         assert_eq!(empty.mean_response_secs(), 0.0);
+        assert_eq!(empty.mean_wait_secs(), 0.0);
     }
 
     #[test]

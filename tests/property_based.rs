@@ -172,7 +172,14 @@ proptest! {
         };
         let plain = execute(&plan, &config, strategy, &options).unwrap();
         let co = execute_cosimulated(
-            &[CoSimQuery { plan: &plan, arrival_secs: 0.0, priority: 1, skew }],
+            &[CoSimQuery {
+                plan: &plan,
+                arrival_secs: 0.0,
+                priority: 1,
+                skew,
+                mask: None,
+                memory_bytes: 0,
+            }],
             &config,
             strategy,
             &options,
@@ -220,6 +227,154 @@ proptest! {
                 }
             }
             previous = Some(responses);
+        }
+    }
+
+    /// The composed scheduler conserves memory — `schedule_mix` verifies
+    /// internally that every node's free memory is back at
+    /// `memory_per_node` once all queries completed and errors on a leak —
+    /// and never records a negative admission wait or response, for
+    /// arbitrary job sets, placements and priorities.
+    #[test]
+    fn composed_mix_conserves_memory_and_waits_are_nonnegative(
+        count in 1usize..10,
+        nodes in 1u32..5,
+        seed in 0u64..2_000,
+        policy_pick in 0usize..3,
+    ) {
+        use hierdb::raw::exec::mix::{schedule_mix, MixJob, MixPolicy};
+        let policy = [MixPolicy::Fcfs, MixPolicy::RoundRobin, MixPolicy::LoadAware][policy_pick];
+        let placement = match policy {
+            MixPolicy::Fcfs => nodes as u64,
+            _ => 1,
+        };
+        let memory = 1u64 << 20;
+        let mut rng = rng_from_seed(seed);
+        let jobs: Vec<MixJob> = (0..count)
+            .map(|_| MixJob {
+                arrival_secs: rng.random_range(0.0..10.0),
+                priority: rng.random_range(1u32..4),
+                solo_secs: rng.random_range(0.0..20.0),
+                // Up to the whole placement's memory: admission really bites.
+                memory_bytes: rng.random_range(0..=memory * placement),
+            })
+            .collect();
+        let s = schedule_mix(&jobs, nodes, memory, policy).unwrap();
+        prop_assert_eq!(s.queries.len(), count);
+        for q in &s.queries {
+            prop_assert!(q.wait_secs >= 0.0, "query {} waited {}", q.query, q.wait_secs);
+            prop_assert!(q.response_secs >= 0.0);
+            prop_assert!(q.admitted_secs >= q.arrival_secs);
+        }
+        prop_assert!(s.mean_wait_secs >= 0.0);
+    }
+
+    /// A co-simulated single-query mix — under ANY placement policy — is the
+    /// plain engine run: one query pinned by round-robin or load-aware
+    /// placement lands alone on node 0 with the same routers as its solo
+    /// capture, so the response matches exactly and nothing ever waits.
+    #[test]
+    fn cosim_single_query_mix_equals_plain_engine_under_any_policy(
+        nodes in 1u32..4,
+        procs in 1u32..4,
+        seed in 0u64..200,
+        policy_pick in 0usize..3,
+    ) {
+        use hierdb::{Experiment, HierarchicalSystem, MixEntry, MixMode, MixPolicy, QueryMix};
+        use hierdb::raw::query::generator::WorkloadParams;
+        use std::sync::Arc;
+        let policy = [MixPolicy::Fcfs, MixPolicy::RoundRobin, MixPolicy::LoadAware][policy_pick];
+        let exp = Experiment::builder()
+            .system(HierarchicalSystem::hierarchical(nodes, procs))
+            .workload(WorkloadParams {
+                queries: 1,
+                relations_per_query: 3,
+                scale: 0.005,
+                skew: 0.0,
+                seed,
+            })
+            .build()
+            .unwrap();
+        let mix = QueryMix::new(Arc::new(exp.workload().clone()), vec![MixEntry::default()]).unwrap();
+        let run = exp
+            .run_mix(&mix, policy, MixMode::CoSimulated, Strategy::Dynamic)
+            .unwrap();
+        let outcome = &run.schedule.queries[0];
+        prop_assert_eq!(outcome.response_secs, run.solo[0].report.response_secs());
+        prop_assert_eq!(outcome.wait_secs, 0.0);
+        prop_assert_eq!(outcome.slowdown, 1.0);
+    }
+
+    /// Co-simulated memory admission never admits past the per-node limit:
+    /// reconstructing residency from the reported admission/completion
+    /// intervals, the per-node shares of concurrently admitted queries
+    /// never exceed the machine's memory, waits are non-negative, and FCFS
+    /// admission follows arrival order.
+    #[test]
+    fn cosim_admission_never_exceeds_the_per_node_memory_limit(
+        count in 2usize..6,
+        seed in 0u64..200,
+    ) {
+        use hierdb::raw::exec::{execute_cosimulated, CoSimQuery};
+        let query = arbitrary_query(3, seed);
+        let tree = Optimizer::with_defaults().optimize(&query).unwrap().remove(0);
+        let optree = OperatorTree::from_join_tree(&tree);
+        let homes = OperatorHomes::all_nodes(&optree, 2);
+        let plan =
+            ParallelPlan::build(query.id, optree, homes, ChainScheduling::OneAtATime).unwrap();
+        let mut config = SystemConfig::hierarchical(2, 2);
+        const LIMIT: u64 = 1_000;
+        config.machine.memory_per_node_bytes = LIMIT;
+        let mut rng = rng_from_seed(seed ^ 0xC051);
+        let queries: Vec<CoSimQuery<'_>> = (0..count)
+            .map(|_| CoSimQuery {
+                plan: &plan,
+                arrival_secs: rng.random_range(0.0..0.05),
+                priority: 1,
+                skew: 0.0,
+                mask: None,
+                // Up to the full two-node budget: per-node share ≤ LIMIT, so
+                // every query is feasible but several rarely fit at once.
+                memory_bytes: rng.random_range(0..=2 * LIMIT),
+            })
+            .collect();
+        let co =
+            execute_cosimulated(&queries, &config, Strategy::Dynamic, &ExecOptions::default())
+                .unwrap();
+        for q in &co.queries {
+            prop_assert!(q.wait_secs >= 0.0);
+            prop_assert!(q.admitted_secs >= q.arrival_secs - 1e-12);
+        }
+        // FCFS: admission instants follow arrival order (ties by mix index).
+        let mut order: Vec<usize> = (0..count).collect();
+        order.sort_by(|&a, &b| {
+            queries[a]
+                .arrival_secs
+                .total_cmp(&queries[b].arrival_secs)
+                .then(a.cmp(&b))
+        });
+        for w in order.windows(2) {
+            prop_assert!(
+                co.queries[w[0]].admitted_secs <= co.queries[w[1]].admitted_secs + 1e-9,
+                "FCFS admission out of order: {} before {}",
+                w[1],
+                w[0]
+            );
+        }
+        // At every admission instant the resident per-node demand fits.
+        for q in &co.queries {
+            let t = q.admitted_secs;
+            let resident: u64 = co
+                .queries
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.admitted_secs <= t && t < r.completion_secs)
+                .map(|(i, _)| queries[i].memory_bytes.div_ceil(2))
+                .sum();
+            prop_assert!(
+                resident <= LIMIT,
+                "resident {resident} bytes exceed the {LIMIT}-byte per-node limit at t={t}"
+            );
         }
     }
 

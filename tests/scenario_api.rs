@@ -129,6 +129,24 @@ fn mix_cosim_spec_matches_its_golden_capture() {
 }
 
 #[test]
+fn mix_cosim_placement_spec_matches_its_golden_capture() {
+    assert_golden(
+        "mix_cosim_placement.txt",
+        &rendered("mix-cosim-placement"),
+        include_str!("golden/mix_cosim_placement.txt"),
+    );
+}
+
+#[test]
+fn mix_cosim_memory_spec_matches_its_golden_capture() {
+    assert_golden(
+        "mix_cosim_memory.txt",
+        &rendered("mix-cosim-memory"),
+        include_str!("golden/mix_cosim_memory.txt"),
+    );
+}
+
+#[test]
 fn params_table_reproduces_the_pre_refactor_binary_output() {
     assert_golden(
         "fig_params.txt",
@@ -464,6 +482,39 @@ fn cosim_mix_reports_contrast_the_composed_model_in_every_format() {
         &scenario::run_scenario(&golden(scenario::find("mix-contention").unwrap())).unwrap(),
     );
     assert!(composed_csv.lines().nth(1).unwrap().ends_with(','));
+}
+
+/// The co-simulated pinning scenario pins every query to the node the
+/// analytic scheduler chose, so both fidelities answer one placement
+/// decision and the per-query nodes agree between them.
+#[test]
+fn cosim_pinning_scenario_carries_placements_that_match_the_composed_model() {
+    use hierdb::MixMode;
+    let spec = golden(scenario::find("mix-cosim-placement").unwrap());
+    let report = scenario::run_scenario(&spec).unwrap();
+    for point in &report.points {
+        for cell in &point.cells {
+            let mix = cell.mix.as_ref().expect("cosim cells carry a schedule");
+            assert_eq!(mix.mode, MixMode::CoSimulated);
+            let composed = cell
+                .mix_composed
+                .as_ref()
+                .expect("cosim cells carry the composed contrast");
+            for (a, b) in mix.queries.iter().zip(&composed.queries) {
+                assert!(a.node.is_some(), "pinning policies pin every query");
+                assert_eq!(a.node, b.node, "both fidelities share the placement");
+                assert!(a.wait_secs >= 0.0 && b.wait_secs >= 0.0);
+            }
+        }
+    }
+    // The per-query nodes surface in the JSON emission.
+    let json = scenario::render_json(&report);
+    let doc = hierdb::raw::common::Json::parse(&json).unwrap();
+    for p in doc.get("points").unwrap().as_array().unwrap() {
+        for q in p.get("mix_queries").unwrap().as_array().unwrap() {
+            assert!(q.get("node").unwrap().as_u64().is_some());
+        }
+    }
 }
 
 /// Regression: `--export`-style flows must surface unknown or unsupported
