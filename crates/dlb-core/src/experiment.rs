@@ -32,8 +32,8 @@ use dlb_common::config::SystemConfig;
 use dlb_common::{NodeId, Result};
 use dlb_exec::mix::{schedule_mix, MixJob, MixMode, MixPolicy, MixSchedule};
 use dlb_exec::{
-    execute_cosimulated, CoSimQuery, CoSimReport, ExecOptions, ExecutionReport, QueryOutcome,
-    Strategy,
+    execute_cosimulated_faulted, CoSimQuery, CoSimReport, ExecOptions, ExecutionReport, FaultStats,
+    QueryOutcome, Strategy, TopologyEvent,
 };
 use dlb_query::cost::CostModel;
 use dlb_query::generator::WorkloadParams;
@@ -71,6 +71,14 @@ pub struct MixRun {
     /// placement shape with the query's skew profile). `Arc`-shared so that
     /// mix-cache hits clone a reference, not the per-plan reports.
     pub solo: Arc<Vec<PlanRun>>,
+    /// Degradation accounting of the injected topology events. `Some` (even
+    /// if all-zero) exactly when the run was produced by
+    /// [`Experiment::run_mix_with_topology`] with a non-empty event stream.
+    pub faults: Option<FaultStats>,
+    /// The same mix co-simulated **without** the topology events: the
+    /// no-fault baseline that per-query response inflation is measured
+    /// against. `Some` exactly when `faults` is.
+    pub fault_free: Option<MixSchedule>,
 }
 
 /// Structured cache key of one experiment run: a bit-exact fingerprint of
@@ -116,8 +124,10 @@ impl RunKey {
     /// memory demand (the working sets the admission — analytic or
     /// co-simulated — reasons about; placement masks derive from the policy
     /// and these inputs, so the mask+memory bits of a co-simulated run are
-    /// fully pinned down). The machine's memory limit is already part of the
-    /// base `config` bits.
+    /// fully pinned down), and the injected topology-event stream (time,
+    /// node and kind of every event — the recovery policies acting on them
+    /// are part of the base options bits). The machine's memory limit is
+    /// already part of the base `config` bits.
     #[allow(clippy::too_many_arguments)]
     pub fn for_mix(
         strategy: Strategy,
@@ -128,6 +138,7 @@ impl RunKey {
         policy: MixPolicy,
         mode: MixMode,
         memory_demands: &[u64],
+        topology: &[TopologyEvent],
     ) -> Self {
         let mix_bits = [
             u64::MAX, // discriminant: a mix run, never colliding with plain keys
@@ -150,7 +161,13 @@ impl RunKey {
                 e.skew.to_bits(),
             ]
         }))
-        .chain(memory_demands.iter().copied());
+        .chain(memory_demands.iter().copied())
+        .chain(std::iter::once(topology.len() as u64))
+        .chain(
+            topology
+                .iter()
+                .flat_map(|e| [e.at_secs.to_bits(), e.node.index() as u64, e.change.bits()]),
+        );
         Self::with_extra(strategy, options, config, workload, mix_bits)
     }
 
@@ -183,6 +200,14 @@ impl RunKey {
             options.contention.degradation.to_bits(),
             options.steal.min_tuples,
             options.steal.fraction.to_bits(),
+            match options.recovery.policy {
+                dlb_exec::RecoveryPolicy::RehomeResume => 0,
+                dlb_exec::RecoveryPolicy::LoseRestart => 1,
+            },
+            match options.recovery.rehome {
+                dlb_exec::RehomePolicy::ConsistentHash => 0,
+                dlb_exec::RehomePolicy::Range => 1,
+            },
         ]);
         // Machine shape and hardware parameters.
         bits.extend([
@@ -497,6 +522,35 @@ impl Experiment {
         mode: MixMode,
         strategy: Strategy,
     ) -> Result<MixRun> {
+        self.run_mix_with_topology(mix, policy, mode, strategy, &[])
+    }
+
+    /// [`run_mix`] with a deterministic topology-event stream (node
+    /// failures, drains, re-joins) injected into the co-simulated event
+    /// loop — see [`dlb_exec::execute_cosimulated_faulted`].
+    ///
+    /// A non-empty stream requires [`MixMode::CoSimulated`] (the analytic
+    /// composition has no event loop to fail a node in). Besides the faulted
+    /// schedule, the run then carries [`MixRun::faults`] (degradation
+    /// accounting) and [`MixRun::fault_free`] (the same mix without the
+    /// events, sharing this experiment's cache), so reports can state
+    /// per-query response inflation against the no-fault baseline.
+    ///
+    /// [`run_mix`]: Experiment::run_mix
+    pub fn run_mix_with_topology(
+        &self,
+        mix: &QueryMix,
+        policy: MixPolicy,
+        mode: MixMode,
+        strategy: Strategy,
+        topology: &[TopologyEvent],
+    ) -> Result<MixRun> {
+        if !topology.is_empty() && mode != MixMode::CoSimulated {
+            return Err(dlb_common::DlbError::config(
+                "topology events require the co-simulated mix mode; the analytic \
+                 composition has no event loop to inject them into",
+            ));
+        }
         let config = self.system.config();
         let cost = CostModel::new(config.costs, config.disk, config.cpu);
         let demands: Vec<u64> = (0..mix.len())
@@ -511,6 +565,7 @@ impl Experiment {
             policy,
             mode,
             &demands,
+            topology,
         );
         if let Some(hit) = self.cache.get_mix(&key) {
             return Ok((*hit).clone());
@@ -584,6 +639,8 @@ impl Experiment {
                 schedule: composed,
                 composed: None,
                 solo,
+                faults: None,
+                fault_free: None,
             },
             MixMode::CoSimulated => {
                 // Placement masks: FCFS spreads every query over the whole
@@ -613,12 +670,27 @@ impl Experiment {
                         memory_bytes: demands[q],
                     })
                     .collect();
-                let report =
-                    execute_cosimulated(&queries, config, strategy, self.system.options())?;
+                let report = execute_cosimulated_faulted(
+                    &queries,
+                    config,
+                    strategy,
+                    self.system.options(),
+                    topology,
+                )?;
+                // A faulted run carries the same mix without the events as
+                // its inflation baseline; the recursive call shares this
+                // experiment's cache, so sweeps pay for it once.
+                let fault_free = if topology.is_empty() {
+                    None
+                } else {
+                    Some(self.run_mix(mix, policy, mode, strategy)?.schedule)
+                };
                 MixRun {
                     schedule: cosim_schedule(&report, &jobs, policy, &placements),
                     composed: Some(composed),
                     solo,
+                    faults: (!topology.is_empty()).then_some(report.faults),
+                    fault_free,
                 }
             }
         };
@@ -1182,6 +1254,7 @@ mod tests {
                 policy,
                 mode,
                 demands,
+                &[],
             )
         };
         let base = key(&entries, MixPolicy::Fcfs, MixMode::Composed, &demands);
@@ -1231,6 +1304,100 @@ mod tests {
                 workload.fingerprint()
             )
         );
+        // Topology events and recovery policies are simulation inputs too.
+        let faulted_key = |topology: &[TopologyEvent], options: &ExecOptions| {
+            RunKey::for_mix(
+                Strategy::Dynamic,
+                options,
+                system.config(),
+                workload.fingerprint(),
+                &entries,
+                MixPolicy::Fcfs,
+                MixMode::CoSimulated,
+                &demands,
+                topology,
+            )
+        };
+        let cosim = key(&entries, MixPolicy::Fcfs, MixMode::CoSimulated, &demands);
+        let fail = [TopologyEvent::fail(0.1, 1)];
+        assert_ne!(cosim, faulted_key(&fail, &options));
+        assert_ne!(
+            faulted_key(&fail, &options),
+            faulted_key(&[TopologyEvent::fail(0.2, 1)], &options)
+        );
+        assert_ne!(
+            faulted_key(&fail, &options),
+            faulted_key(&[TopologyEvent::drain(0.1, 1)], &options)
+        );
+        let lose = ExecOptions::builder()
+            .recovery_policy(dlb_exec::RecoveryPolicy::LoseRestart)
+            .build();
+        assert_ne!(faulted_key(&fail, &options), faulted_key(&fail, &lose));
+        let range = ExecOptions::builder()
+            .rehome_policy(dlb_exec::RehomePolicy::Range)
+            .build();
+        assert_ne!(faulted_key(&fail, &options), faulted_key(&fail, &range));
+    }
+
+    #[test]
+    fn run_mix_with_topology_reports_faults_and_the_no_fault_baseline() {
+        use crate::workload::MixEntry;
+        let exp = small_experiment(2, 2);
+        let entries = vec![MixEntry::default(), MixEntry::default()];
+        let mix = QueryMix::new(Arc::new(exp.workload().clone()), entries).unwrap();
+        // Composed mode cannot host topology events.
+        let fail_early = [TopologyEvent::fail(1e-3, 1)];
+        assert!(exp
+            .run_mix_with_topology(
+                &mix,
+                MixPolicy::Fcfs,
+                MixMode::Composed,
+                Strategy::Dynamic,
+                &fail_early,
+            )
+            .is_err());
+        let clean = exp
+            .run_mix(
+                &mix,
+                MixPolicy::Fcfs,
+                MixMode::CoSimulated,
+                Strategy::Dynamic,
+            )
+            .unwrap();
+        assert!(clean.faults.is_none() && clean.fault_free.is_none());
+        let faulted = exp
+            .run_mix_with_topology(
+                &mix,
+                MixPolicy::Fcfs,
+                MixMode::CoSimulated,
+                Strategy::Dynamic,
+                &fail_early,
+            )
+            .unwrap();
+        let stats = faulted.faults.expect("faulted runs carry fault stats");
+        assert_eq!(stats.failures, 1);
+        // The carried baseline is the clean co-simulated schedule, byte for
+        // byte (it came from the shared cache).
+        assert_eq!(faulted.fault_free.as_ref(), Some(&clean.schedule));
+        // The failure reshapes the run (no monotonic response claim is safe
+        // at this scale: re-homing changes the interleaving, which can speed
+        // individual queries or even this tiny mix up). What must hold: the
+        // faulted schedule differs from the clean baseline and the stats
+        // record the recovery work.
+        assert_ne!(faulted.schedule, clean.schedule);
+        assert!(stats.activations_rehomed > 0 || stats.tuples_rehomed > 0);
+        // Faulted and clean runs are cached under distinct keys; a repeat is
+        // a pure hit.
+        let again = exp
+            .run_mix_with_topology(
+                &mix,
+                MixPolicy::Fcfs,
+                MixMode::CoSimulated,
+                Strategy::Dynamic,
+                &fail_early,
+            )
+            .unwrap();
+        assert_eq!(again, faulted);
     }
 
     #[test]

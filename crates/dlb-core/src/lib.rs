@@ -41,7 +41,8 @@ pub use dlb_common::{Duration, SimTime};
 pub use dlb_exec::mix::{MixJob, MixMode, MixPolicy, MixSchedule, QueryOutcome};
 pub use dlb_exec::{
     CoSimQuery, CoSimReport, ContentionModel, ErrorRealization, ExecOptions, ExecOptionsBuilder,
-    ExecutionReport, FlowControl, QueryExecReport, StealPolicy, Strategy, StrategyKind,
+    ExecutionReport, FaultStats, FlowControl, QueryExecReport, RecoveryOptions, RecoveryPolicy,
+    RehomePolicy, StealPolicy, Strategy, StrategyKind, TopologyChange, TopologyEvent,
 };
 pub use dlb_query::plan::{ChainScheduling, ParallelPlan};
 pub use dlb_query::{Query, WorkloadParams};

@@ -27,6 +27,15 @@
 //! policy (see [`dlb_exec::mix`]). Mix scenarios sweep the new
 //! [`Axis::ConcurrentQueries`] and [`Axis::MemoryPerNode`] axes, and their
 //! cells carry the per-query schedule ([`StrategyCell::mix`]).
+//!
+//! Co-simulated mixes additionally support **fault injection**: a
+//! [`MixSpec`] may carry a deterministic topology-event stream (node
+//! failures, drains and re-joins at fixed simulated times, see
+//! [`dlb_exec::topology`]), swept with [`Axis::FailureTime`] (when does the
+//! node die) or [`Axis::FailedNodes`] (how much of the machine dies).
+//! Faulted cells carry the degradation accounting
+//! ([`StrategyCell::faults`]) and the fault-free schedule of the same mix
+//! ([`StrategyCell::mix_fault_free`]) for response-inflation contrasts.
 
 mod registry;
 mod render;
@@ -45,7 +54,7 @@ use crate::summary::{relative_performance, speedup, Summary};
 use crate::system::HierarchicalSystem;
 use crate::workload::{CompiledWorkload, QueryMix};
 use dlb_common::{QueryId, RelationId, Result};
-use dlb_exec::{ExecOptions, MixMode, MixPolicy, MixSchedule, Strategy};
+use dlb_exec::{ExecOptions, FaultStats, MixMode, MixPolicy, MixSchedule, Strategy, TopologyEvent};
 use dlb_query::generator::WorkloadParams;
 use dlb_query::jointree::JoinTree;
 use dlb_query::optree::OperatorTree;
@@ -74,6 +83,13 @@ pub struct StrategyCell {
     /// a co-simulated `mix` schedule so renderings can contrast the two
     /// fidelities. `None` for composed-mode and non-mix cells.
     pub mix_composed: Option<MixSchedule>,
+    /// Degradation accounting of the injected topology events. `Some`
+    /// exactly for cells of a mix carrying a non-empty topology stream.
+    pub faults: Option<FaultStats>,
+    /// The fault-free schedule of the *same* mix (same queries, same
+    /// placements, no topology events), carried alongside a faulted `mix`
+    /// schedule so renderings can report per-query response inflation.
+    pub mix_fault_free: Option<MixSchedule>,
 }
 
 /// All strategies measured at one sweep point.
@@ -167,6 +183,8 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport> {
         Arc<Vec<PlanRun>>,
         Option<MixSchedule>,
         Option<MixSchedule>,
+        Option<FaultStats>,
+        Option<MixSchedule>,
     );
     type RawPoint = (
         Vec<RawCell>,
@@ -180,20 +198,30 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport> {
             let (workload, _) = lookup(machine.nodes, &workload_spec);
             let experiment =
                 Experiment::with_cache(system, Arc::clone(workload), Arc::clone(&cache));
-            let mix: Option<(QueryMix, MixPolicy, MixMode)> = match &workload_spec {
-                WorkloadSpec::Mix(m) => Some((
-                    QueryMix::new(Arc::clone(workload), m.entries(m.queries, options.skew))?,
-                    m.policy,
-                    m.mode,
-                )),
-                _ => None,
-            };
+            let mix: Option<(QueryMix, MixPolicy, MixMode, Vec<TopologyEvent>)> =
+                match &workload_spec {
+                    WorkloadSpec::Mix(m) => Some((
+                        QueryMix::new(Arc::clone(workload), m.entries(m.queries, options.skew))?,
+                        m.policy,
+                        m.mode,
+                        m.topology.clone(),
+                    )),
+                    _ => None,
+                };
             let run_one = |s: Strategy| -> Result<RawCell> {
                 match &mix {
-                    None => experiment.run(s).map(|r| (s, r, None, None)),
-                    Some((query_mix, policy, mode)) => {
-                        let mr = experiment.run_mix(query_mix, *policy, *mode, s)?;
-                        Ok((s, mr.solo, Some(mr.schedule), mr.composed))
+                    None => experiment.run(s).map(|r| (s, r, None, None, None, None)),
+                    Some((query_mix, policy, mode, topology)) => {
+                        let mr = experiment
+                            .run_mix_with_topology(query_mix, *policy, *mode, s, topology)?;
+                        Ok((
+                            s,
+                            mr.solo,
+                            Some(mr.schedule),
+                            mr.composed,
+                            mr.faults,
+                            mr.fault_free,
+                        ))
                     }
                 }
             };
@@ -204,7 +232,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport> {
                 .collect();
             let reference = match spec.reference {
                 Reference::SamePoint(r) => {
-                    let (_, runs, schedule, _) = run_one(strategy_at(r, spec, row, col))?;
+                    let (_, runs, schedule, ..) = run_one(strategy_at(r, spec, row, col))?;
                     Some((runs, schedule))
                 }
                 Reference::FirstRow => None,
@@ -224,39 +252,43 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport> {
             let cells = runs
                 .iter()
                 .enumerate()
-                .map(|(si, (strategy, r, schedule, composed))| {
-                    let (reference, ref_schedule): (&Arc<Vec<PlanRun>>, &Option<MixSchedule>) =
-                        match spec.reference {
-                            Reference::SamePoint(_) => {
-                                let (runs, sched) =
-                                    same_point_ref.as_ref().expect("reference was computed");
-                                (runs, sched)
-                            }
-                            // Row-major order: the first row's point with the
-                            // same column index.
-                            Reference::FirstRow => {
-                                let cell = &raw[idx % ncols].0[si];
-                                (&cell.1, &cell.2)
-                            }
+                .map(
+                    |(si, (strategy, r, schedule, composed, faults, fault_free))| {
+                        let (reference, ref_schedule): (&Arc<Vec<PlanRun>>, &Option<MixSchedule>) =
+                            match spec.reference {
+                                Reference::SamePoint(_) => {
+                                    let (runs, sched) =
+                                        same_point_ref.as_ref().expect("reference was computed");
+                                    (runs, sched)
+                                }
+                                // Row-major order: the first row's point with the
+                                // same column index.
+                                Reference::FirstRow => {
+                                    let cell = &raw[idx % ncols].0[si];
+                                    (&cell.1, &cell.2)
+                                }
+                            };
+                        // Mix points compare end-to-end (multi-query) response
+                        // times; plain points compare the per-plan runs.
+                        let value = match (schedule, ref_schedule) {
+                            (Some(s), Some(rs)) => mix_metric(spec.metric, s, rs),
+                            _ => match spec.metric {
+                                Metric::Relative => relative_performance(r, reference),
+                                Metric::Speedup => speedup(r, reference),
+                            },
                         };
-                    // Mix points compare end-to-end (multi-query) response
-                    // times; plain points compare the per-plan runs.
-                    let value = match (schedule, ref_schedule) {
-                        (Some(s), Some(rs)) => mix_metric(spec.metric, s, rs),
-                        _ => match spec.metric {
-                            Metric::Relative => relative_performance(r, reference),
-                            Metric::Speedup => speedup(r, reference),
-                        },
-                    };
-                    StrategyCell {
-                        strategy: *strategy,
-                        runs: Arc::clone(r),
-                        summary: Summary::from_runs(r),
-                        value,
-                        mix: schedule.clone(),
-                        mix_composed: composed.clone(),
-                    }
-                })
+                        StrategyCell {
+                            strategy: *strategy,
+                            runs: Arc::clone(r),
+                            summary: Summary::from_runs(r),
+                            value,
+                            mix: schedule.clone(),
+                            mix_composed: composed.clone(),
+                            faults: *faults,
+                            mix_fault_free: fault_free.clone(),
+                        }
+                    },
+                )
                 .collect();
             PointResult { row, col, cells }
         })
@@ -354,6 +386,27 @@ fn point_config(
         Axis::ConcurrentQueries => {
             if let WorkloadSpec::Mix(mix) = &mut workload {
                 mix.queries = v as usize;
+            }
+        }
+        // Re-time every event of the base stream to the row value: the same
+        // faults strike earlier or later in the mix's life.
+        Axis::FailureTime => {
+            if let WorkloadSpec::Mix(mix) = &mut workload {
+                for ev in &mut mix.topology {
+                    ev.at_secs = v;
+                }
+            }
+        }
+        // Replace the stream with `v` simultaneous crash failures at the
+        // base stream's first event time, taking the highest node indices
+        // first (validation guarantees at least one survivor).
+        Axis::FailedNodes => {
+            if let WorkloadSpec::Mix(mix) = &mut workload {
+                let at = mix.topology.first().map_or(0.0, |e| e.at_secs);
+                let nodes = machine.nodes as usize;
+                mix.topology = (0..v as usize)
+                    .map(|i| TopologyEvent::fail(at, nodes - 1 - i))
+                    .collect();
             }
         }
     };

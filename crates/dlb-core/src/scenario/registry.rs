@@ -9,7 +9,7 @@ use super::spec::{
     Axis, Metric, MixSpec, Presentation, Reference, RowFmt, ScenarioSpec, TableStyle, WorkloadSpec,
 };
 use dlb_common::{DlbError, Result};
-use dlb_exec::{ExecOptions, MixMode, MixPolicy, Strategy};
+use dlb_exec::{ExecOptions, MixMode, MixPolicy, Strategy, TopologyEvent};
 
 const DP: Strategy = Strategy::Dynamic;
 const FP: Strategy = Strategy::Fixed { error_rate: 0.0 };
@@ -29,6 +29,8 @@ pub fn registry() -> Vec<ScenarioSpec> {
         mix_cosim(),
         mix_cosim_placement(),
         mix_cosim_memory(),
+        mix_failover(),
+        mix_failover_frac(),
         paper_base(),
     ]
 }
@@ -229,6 +231,7 @@ pub fn mix_contention() -> ScenarioSpec {
             mode: MixMode::Composed,
             priorities: vec![2, 1],
             skews: vec![0.0, 0.3, 0.6, 0.9],
+            topology: Vec::new(),
         }))
         .strategies([DP, FP])
         .rows(Axis::ConcurrentQueries, [2.0, 4.0, 6.0, 8.0])
@@ -266,6 +269,7 @@ pub fn mix_memory() -> ScenarioSpec {
             mode: MixMode::Composed,
             priorities: Vec::new(),
             skews: Vec::new(),
+            topology: Vec::new(),
         }))
         .strategies([DP, FP])
         .rows(Axis::MemoryPerNode, [64.0, 8.0, 3.0, 2.0])
@@ -306,6 +310,7 @@ pub fn mix_cosim() -> ScenarioSpec {
             mode: MixMode::CoSimulated,
             priorities: vec![2, 1],
             skews: vec![0.0, 0.3, 0.6, 0.9],
+            topology: Vec::new(),
         }))
         .strategies([DP, FP])
         .rows(Axis::ConcurrentQueries, [2.0, 4.0, 6.0, 8.0])
@@ -346,6 +351,7 @@ pub fn mix_cosim_placement() -> ScenarioSpec {
             mode: MixMode::CoSimulated,
             priorities: vec![2, 1],
             skews: vec![0.0, 0.3, 0.6, 0.9],
+            topology: Vec::new(),
         }))
         .strategies([DP, FP])
         .rows(Axis::ConcurrentQueries, [2.0, 4.0, 6.0, 8.0])
@@ -387,6 +393,7 @@ pub fn mix_cosim_memory() -> ScenarioSpec {
             mode: MixMode::CoSimulated,
             priorities: Vec::new(),
             skews: Vec::new(),
+            topology: Vec::new(),
         }))
         .strategies([DP, FP])
         .rows(Axis::MemoryPerNode, [64.0, 8.0, 3.0, 2.0])
@@ -401,6 +408,84 @@ pub fn mix_cosim_memory() -> ScenarioSpec {
         )
         .build()
         .expect("bundled mix-cosim-memory spec is valid")
+}
+
+/// Failover timing — a four-query co-simulated mix on the 4×8 machine while
+/// node 3 crashes, swept over *when* the crash strikes (early, mid-build,
+/// late). Cells carry the fault accounting and the fault-free contrast of
+/// the same mix, so the rendering reports per-strategy response inflation
+/// (`vs clean`), rebalance traffic and redone work. DP's shared activation
+/// queues absorb the survivors' extra load; FP's static per-operator thread
+/// allocations cannot, so the two strategies degrade differently.
+pub fn mix_failover() -> ScenarioSpec {
+    ScenarioSpec::builder("mix-failover")
+        .title("Mix failover timing")
+        .description("DP vs FP while node 3 crashes mid-mix, swept over the failure time")
+        .machine(4, 8)
+        .workload(WorkloadSpec::Mix(MixSpec {
+            queries: 4,
+            relations: 10,
+            scale: 0.1,
+            seed: 0xD1B_1996,
+            arrival_gap_secs: 0.0,
+            policy: MixPolicy::Fcfs,
+            mode: MixMode::CoSimulated,
+            priorities: vec![2, 1],
+            skews: vec![0.0, 0.3, 0.6, 0.9],
+            topology: vec![TopologyEvent::fail(0.15, 3)],
+        }))
+        .strategies([DP, FP])
+        .rows(Axis::FailureTime, [0.05, 0.15, 0.4])
+        .reference(Reference::SamePoint(DP))
+        .metric(Metric::Relative)
+        .presentation(Presentation::Mix(table("fail t", RowFmt::Fixed2, 8, 8)))
+        .notes(
+            "expectation: the earlier the crash, the more pending work is re-homed and\n\
+             the larger the response inflation (vs clean); a crash after a query's\n\
+             builds finish only re-homes probe activations. FP inflates more than DP —\n\
+             its static allocations concentrate the dead node's share on fewer threads.",
+        )
+        .build()
+        .expect("bundled mix-failover spec is valid")
+}
+
+/// Failover extent — the same co-simulated mix while 1, 2 or 3 of the 4
+/// nodes crash simultaneously mid-run (the [`Axis::FailedNodes`] sweep
+/// replaces the stream with that many failures at the base stream's event
+/// time, highest node indices first). Degradation accounting shows the
+/// rebalance traffic and response inflation growing with the failed
+/// fraction, down to a single surviving node.
+pub fn mix_failover_frac() -> ScenarioSpec {
+    ScenarioSpec::builder("mix-failover-frac")
+        .title("Mix failover extent")
+        .description("DP vs FP while 1-3 of 4 nodes crash mid-mix")
+        .machine(4, 8)
+        .workload(WorkloadSpec::Mix(MixSpec {
+            queries: 4,
+            relations: 10,
+            scale: 0.1,
+            seed: 0xD1B_1996,
+            arrival_gap_secs: 0.0,
+            policy: MixPolicy::Fcfs,
+            mode: MixMode::CoSimulated,
+            priorities: vec![2, 1],
+            skews: vec![0.0, 0.3, 0.6, 0.9],
+            topology: vec![TopologyEvent::fail(0.15, 3)],
+        }))
+        .strategies([DP, FP])
+        .rows(Axis::FailedNodes, [1.0, 2.0, 3.0])
+        .reference(Reference::SamePoint(DP))
+        .metric(Metric::Relative)
+        .presentation(Presentation::Mix(table("failed", RowFmt::Int, 8, 8)))
+        .notes(
+            "expectation: rebalance traffic grows with the failed fraction — each crash\n\
+             re-homes its queued activations and build state onto the shrinking survivor\n\
+             set, and with 3 of 4 nodes down the whole mix serializes onto one node's\n\
+             processors. Response inflation is noisier: re-homing reshapes the\n\
+             interleaving, so individual points can even beat the clean run.",
+        )
+        .build()
+        .expect("bundled mix-failover-frac spec is valid")
 }
 
 /// The paper's base hierarchical configuration (4×8, no skew), DP versus FP:

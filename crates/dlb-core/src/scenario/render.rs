@@ -13,6 +13,22 @@ fn is_cosim(spec: &ScenarioSpec) -> bool {
     matches!(&spec.workload, WorkloadSpec::Mix(m) if m.mode == MixMode::CoSimulated)
 }
 
+/// True when the report's workload injects topology events (its cells carry
+/// fault accounting and a fault-free contrast schedule). Fault columns are
+/// gated on this so fault-free renderings stay byte-identical to their
+/// pre-existing golden captures.
+fn is_faulted(spec: &ScenarioSpec) -> bool {
+    matches!(&spec.workload, WorkloadSpec::Mix(m) if !m.topology.is_empty())
+}
+
+/// The faulted / fault-free mean-response ratio of one cell (the response
+/// inflation the topology events caused), if both schedules are present.
+fn vs_clean(cell: &StrategyCell) -> Option<f64> {
+    let mix = cell.mix.as_ref()?;
+    let clean = cell.mix_fault_free.as_ref()?;
+    (clean.mean_response_secs > 0.0).then(|| mix.mean_response_secs / clean.mean_response_secs)
+}
+
 /// The co-simulated / composed mean-response ratio of one cell, if both
 /// schedules are present and the composed mean is positive.
 fn vs_composed(cell: &StrategyCell) -> Option<f64> {
@@ -112,10 +128,13 @@ pub fn render_text(report: &ScenarioReport) -> String {
         Presentation::Mix(style) => {
             let labels: Vec<&str> = spec.strategies.iter().map(|s| s.label()).collect();
             let cosim = is_cosim(spec);
+            let faulted = is_faulted(spec);
             let mut out = banner(spec);
             // Header: ratio columns, then per-strategy mean response,
             // makespan, slowdown and admission-wait columns; co-simulated
-            // mixes additionally contrast against the composed model.
+            // mixes additionally contrast against the composed model, and
+            // faulted mixes carry response inflation against the fault-free
+            // run plus the rebalance/redo cost of the topology events.
             let _ = write!(out, "{:>w$}", style.row_header, w = style.row_width);
             for l in &labels {
                 let _ = write!(out, "  {:>w$}", l, w = style.cell_width);
@@ -135,6 +154,17 @@ pub fn render_text(report: &ScenarioReport) -> String {
             if cosim {
                 for l in &labels {
                     let _ = write!(out, "  {:>12}", format!("{l} vs comp"));
+                }
+            }
+            if faulted {
+                for l in &labels {
+                    let _ = write!(out, "  {:>13}", format!("{l} vs clean"));
+                }
+                for l in &labels {
+                    let _ = write!(out, "  {:>12}", format!("{l} rebal KB"));
+                }
+                for l in &labels {
+                    let _ = write!(out, "  {:>12}", format!("{l} redone"));
                 }
             }
             out.push('\n');
@@ -175,6 +205,24 @@ pub fn render_text(report: &ScenarioReport) -> String {
                 if cosim {
                     mix_col(&mut out, &|c| {
                         vs_composed(c).map_or("n/a".to_string(), |r| format!("{r:.3}"))
+                    });
+                }
+                if faulted {
+                    for cell in &point.cells {
+                        let _ = write!(
+                            out,
+                            "  {:>13}",
+                            vs_clean(cell).map_or("n/a".to_string(), |r| format!("{r:.3}"))
+                        );
+                    }
+                    mix_col(&mut out, &|c| {
+                        c.faults.map_or("n/a".to_string(), |f| {
+                            (f.rebalance_bytes / 1024).to_string()
+                        })
+                    });
+                    mix_col(&mut out, &|c| {
+                        c.faults
+                            .map_or("n/a".to_string(), |f| f.tuples_redone.to_string())
                     });
                 }
                 out.push('\n');
@@ -327,6 +375,7 @@ fn row_label(spec: &ScenarioSpec, style: &TableStyle, v: f64) -> String {
     match style.row_fmt {
         RowFmt::Int => format!("{:>w$}", v as u64),
         RowFmt::Fixed1 => format!("{v:>w$.1}"),
+        RowFmt::Fixed2 => format!("{v:>w$.2}"),
         RowFmt::Percent => format!("{:>pw$.0}%", v * 100.0, pw = w.saturating_sub(1)),
         // The row value is a processors-per-node count; the node count is
         // the (fixed) base machine's.
@@ -345,6 +394,8 @@ fn col_header(cols: &Sweep, v: f64) -> String {
         Axis::ErrorRate => format!("{:.0}%", v * 100.0),
         Axis::ConcurrentQueries => format!("{} queries", v as u64),
         Axis::MemoryPerNode => format!("{} MB", v as u64),
+        Axis::FailureTime => format!("fail at {v}s"),
+        Axis::FailedNodes => format!("{} failed", v as u64),
     }
 }
 
@@ -419,6 +470,51 @@ pub fn render_json(report: &ScenarioReport) -> String {
                         members.push(("mix_vs_composed_response", Json::Float(ratio)));
                     }
                 }
+                // Faulted cells carry the degradation accounting of the
+                // injected topology events, the fault-free contrast and the
+                // per-query response inflation (faulted / clean, by mix
+                // index).
+                if let Some(f) = cell.faults {
+                    members.push((
+                        "fault_stats",
+                        object(vec![
+                            ("failures", Json::from(f.failures)),
+                            ("drains", Json::from(f.drains)),
+                            ("joins", Json::from(f.joins)),
+                            ("rebalance_bytes", Json::from(f.rebalance_bytes)),
+                            ("activations_rehomed", Json::from(f.activations_rehomed)),
+                            ("tuples_rehomed", Json::from(f.tuples_rehomed)),
+                            ("tuples_lost", Json::from(f.tuples_lost)),
+                            ("tuples_redone", Json::from(f.tuples_redone)),
+                            ("operators_restarted", Json::from(f.operators_restarted)),
+                        ]),
+                    ));
+                }
+                if let Some(clean) = &cell.mix_fault_free {
+                    members.push((
+                        "mix_fault_free_mean_response_secs",
+                        Json::Float(clean.mean_response_secs),
+                    ));
+                    if let Some(ratio) = vs_clean(cell) {
+                        members.push(("mix_vs_fault_free_response", Json::Float(ratio)));
+                    }
+                    members.push((
+                        "mix_query_response_inflation",
+                        Json::Array(
+                            mix.queries
+                                .iter()
+                                .zip(&clean.queries)
+                                .map(|(q, c)| {
+                                    if c.response_secs > 0.0 {
+                                        Json::Float(q.response_secs / c.response_secs)
+                                    } else {
+                                        Json::Null
+                                    }
+                                })
+                                .collect(),
+                        ),
+                    ));
+                }
             }
             records.push(object(members));
         }
@@ -444,13 +540,24 @@ pub fn render_json(report: &ScenarioReport) -> String {
 
 /// Renders a report as CSV: one line per (point × strategy). The trailing
 /// mix columns are empty for non-mix scenarios, and the co-simulation
-/// contrast column only fills for co-simulated mixes.
+/// contrast column only fills for co-simulated mixes. Reports whose mix
+/// injects topology events gain trailing fault columns (inflation against
+/// the fault-free run plus rebalance/loss/redo counters); fault-free
+/// reports keep the historical header byte-identical.
 pub fn render_csv(report: &ScenarioReport) -> String {
+    let faulted = is_faulted(&report.spec);
     let mut out = String::from(
         "row,col,strategy,value,plans,mean_response_secs,mean_idle_fraction,\
          total_lb_bytes,total_messages,mix_policy,mix_mode,mix_mean_response_secs,\
-         mix_makespan_secs,mix_mean_slowdown,mix_mean_wait_secs,mix_vs_composed_response\n",
+         mix_makespan_secs,mix_mean_slowdown,mix_mean_wait_secs,mix_vs_composed_response",
     );
+    if faulted {
+        out.push_str(
+            ",mix_vs_fault_free_response,fault_rebalance_bytes,fault_tuples_lost,\
+             fault_tuples_redone",
+        );
+    }
+    out.push('\n');
     for point in &report.points {
         for cell in &point.cells {
             let col = point.col.map_or(String::new(), |c| c.to_string());
@@ -466,9 +573,21 @@ pub fn render_csv(report: &ScenarioReport) -> String {
                     vs_composed(cell).map_or(String::new(), |r| r.to_string())
                 )
             });
+            let faults = if faulted {
+                let inflation = vs_clean(cell).map_or(String::new(), |r| r.to_string());
+                match cell.faults {
+                    Some(f) => format!(
+                        ",{inflation},{},{},{}",
+                        f.rebalance_bytes, f.tuples_lost, f.tuples_redone
+                    ),
+                    None => format!(",{inflation},,,"),
+                }
+            } else {
+                String::new()
+            };
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{}{}",
                 point.row,
                 col,
                 cell.strategy.label(),
@@ -478,7 +597,8 @@ pub fn render_csv(report: &ScenarioReport) -> String {
                 cell.summary.mean_idle_fraction,
                 cell.summary.total_lb_bytes,
                 cell.summary.total_messages,
-                mix
+                mix,
+                faults
             );
         }
     }

@@ -14,8 +14,9 @@ use super::spec::{
 use dlb_common::json::{object, Json};
 use dlb_common::{DlbError, Result};
 use dlb_exec::{
-    ContentionModel, ErrorRealization, ExecOptions, FlowControl, MixMode, MixPolicy, StealPolicy,
-    Strategy,
+    ContentionModel, ErrorRealization, ExecOptions, FlowControl, MixMode, MixPolicy,
+    RecoveryOptions, RecoveryPolicy, RehomePolicy, StealPolicy, Strategy, TopologyChange,
+    TopologyEvent,
 };
 
 impl ScenarioSpec {
@@ -42,6 +43,8 @@ pub(super) fn axis_name(axis: Axis) -> &'static str {
         Axis::ErrorRate => "error_rate",
         Axis::ConcurrentQueries => "concurrent_queries",
         Axis::MemoryPerNode => "memory_per_node_mb",
+        Axis::FailureTime => "failure_time",
+        Axis::FailedNodes => "failed_nodes",
     }
 }
 
@@ -53,9 +56,11 @@ fn axis_from_name(name: &str) -> Result<Axis> {
         "error_rate" => Ok(Axis::ErrorRate),
         "concurrent_queries" => Ok(Axis::ConcurrentQueries),
         "memory_per_node_mb" => Ok(Axis::MemoryPerNode),
+        "failure_time" => Ok(Axis::FailureTime),
+        "failed_nodes" => Ok(Axis::FailedNodes),
         other => Err(parse_err(format!(
             "unknown axis {other:?} (expected skew | nodes | processors_per_node | error_rate \
-             | concurrent_queries | memory_per_node_mb)"
+             | concurrent_queries | memory_per_node_mb | failure_time | failed_nodes)"
         ))),
     }
 }
@@ -103,9 +108,8 @@ pub(super) fn workload_to_json(workload: &WorkloadSpec) -> Json {
                 ("probe_rows", Json::from(*probe_rows)),
             ]),
         )]),
-        WorkloadSpec::Mix(mix) => object(vec![(
-            "mix",
-            object(vec![
+        WorkloadSpec::Mix(mix) => {
+            let mut members = vec![
                 ("queries", Json::from(mix.queries)),
                 ("relations", Json::from(mix.relations)),
                 ("scale", Json::Float(mix.scale)),
@@ -121,8 +125,14 @@ pub(super) fn workload_to_json(workload: &WorkloadSpec) -> Json {
                     "skews",
                     Json::Array(mix.skews.iter().map(|&s| Json::Float(s)).collect()),
                 ),
-            ]),
-        )]),
+            ];
+            // Emitted only when the mix carries events, so pre-existing
+            // fault-free spec exports stay byte-identical.
+            if !mix.topology.is_empty() {
+                members.push(("topology", topology_to_json(&mix.topology)));
+            }
+            object(vec![("mix", object(members))])
+        }
     }
 }
 
@@ -203,6 +213,7 @@ fn row_fmt_name(fmt: RowFmt) -> &'static str {
     match fmt {
         RowFmt::Int => "int",
         RowFmt::Fixed1 => "fixed1",
+        RowFmt::Fixed2 => "fixed2",
         RowFmt::Percent => "percent",
         RowFmt::NodesByProcs => "nodes_x_procs",
     }
@@ -212,10 +223,12 @@ fn row_fmt_from_name(name: &str) -> Result<RowFmt> {
     match name {
         "int" => Ok(RowFmt::Int),
         "fixed1" => Ok(RowFmt::Fixed1),
+        "fixed2" => Ok(RowFmt::Fixed2),
         "percent" => Ok(RowFmt::Percent),
         "nodes_x_procs" => Ok(RowFmt::NodesByProcs),
         other => Err(parse_err(format!(
-            "unknown row format {other:?} (expected int | fixed1 | percent | nodes_x_procs)"
+            "unknown row format {other:?} \
+             (expected int | fixed1 | fixed2 | percent | nodes_x_procs)"
         ))),
     }
 }
@@ -317,7 +330,7 @@ fn presentation_from_json(v: &Json, default_axis: Axis) -> Result<Presentation> 
 }
 
 fn options_to_json(o: &ExecOptions) -> Json {
-    object(vec![
+    let mut members = vec![
         ("skew", Json::Float(o.skew)),
         ("seed", Json::from(o.seed)),
         ("fp_realization", Json::from(o.fp_realization.label())),
@@ -342,7 +355,19 @@ fn options_to_json(o: &ExecOptions) -> Json {
                 ("fraction", Json::Float(o.steal.fraction)),
             ]),
         ),
-    ])
+    ];
+    // Emitted only when it differs from the default, so pre-existing spec
+    // exports stay byte-identical.
+    if o.recovery != RecoveryOptions::default() {
+        members.push((
+            "recovery",
+            object(vec![
+                ("policy", Json::from(o.recovery.policy.label())),
+                ("rehome", Json::from(o.recovery.rehome.label())),
+            ]),
+        ));
+    }
+    object(members)
 }
 
 fn options_from_json(v: &Json) -> Result<ExecOptions> {
@@ -355,6 +380,7 @@ fn options_from_json(v: &Json) -> Result<ExecOptions> {
             "flow",
             "contention",
             "steal",
+            "recovery",
         ],
         "options",
     )?;
@@ -396,6 +422,37 @@ fn options_from_json(v: &Json) -> Result<ExecOptions> {
             ErrorRealization::from_label(label).map_err(parse_err)?
         }
     };
+    let recovery = match v.get("recovery") {
+        None => d.recovery,
+        Some(r) => {
+            expect_keys(r, &["policy", "rehome"], "options.recovery")?;
+            let rd = RecoveryOptions::default();
+            let policy = match r.get("policy") {
+                None => rd.policy,
+                Some(j) => {
+                    let label = j
+                        .as_str()
+                        .ok_or_else(|| parse_err("recovery \"policy\" must be a string"))?;
+                    RecoveryPolicy::from_label(label).map_err(parse_err)?
+                }
+            };
+            let rehome = match r.get("rehome") {
+                None => rd.rehome,
+                Some(j) => {
+                    let label = j
+                        .as_str()
+                        .ok_or_else(|| parse_err("recovery \"rehome\" must be a string"))?;
+                    RehomePolicy::from_label(label).ok_or_else(|| {
+                        parse_err(format!(
+                            "unknown rehome policy {label:?} \
+                             (expected consistent-hash | range)"
+                        ))
+                    })?
+                }
+            };
+            RecoveryOptions { policy, rehome }
+        }
+    };
     Ok(ExecOptions {
         skew: opt_f64(Some(v), "skew", d.skew)?,
         seed: opt_u64(Some(v), "seed", d.seed)?,
@@ -412,7 +469,57 @@ fn options_from_json(v: &Json) -> Result<ExecOptions> {
             min_tuples: opt_u64(steal, "min_tuples", d.steal.min_tuples)?,
             fraction: opt_f64(steal, "fraction", d.steal.fraction)?,
         },
+        recovery,
     })
+}
+
+fn topology_to_json(events: &[TopologyEvent]) -> Json {
+    Json::Array(
+        events
+            .iter()
+            .map(|e| {
+                object(vec![
+                    ("at_secs", Json::Float(e.at_secs)),
+                    ("node", Json::from(e.node.index())),
+                    ("change", Json::from(e.change.label())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn topology_from_json(v: &Json) -> Result<Vec<TopologyEvent>> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| parse_err("mix \"topology\" must be an array of event objects"))?;
+    items
+        .iter()
+        .map(|e| {
+            expect_keys(e, &["at_secs", "node", "change"], "topology event")?;
+            let at_secs = e
+                .get("at_secs")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| parse_err("topology events need a numeric \"at_secs\""))?;
+            let node = e
+                .get("node")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| parse_err("topology events need an integer \"node\""))?;
+            let label = e
+                .get("change")
+                .and_then(Json::as_str)
+                .ok_or_else(|| parse_err("topology events need a \"change\" string"))?;
+            let change = TopologyChange::from_label(label).ok_or_else(|| {
+                parse_err(format!(
+                    "unknown topology change {label:?} (expected fail | drain | join)"
+                ))
+            })?;
+            Ok(TopologyEvent {
+                at_secs,
+                node: dlb_common::NodeId::from(node as usize),
+                change,
+            })
+        })
+        .collect()
 }
 
 fn workload_from_json(v: &Json) -> Result<WorkloadSpec> {
@@ -430,6 +537,7 @@ fn workload_from_json(v: &Json) -> Result<WorkloadSpec> {
                 "mode",
                 "priorities",
                 "skews",
+                "topology",
             ],
             "workload.mix",
         )?;
@@ -489,6 +597,10 @@ fn workload_from_json(v: &Json) -> Result<WorkloadSpec> {
                 })
                 .collect::<Result<_>>()?,
         };
+        let topology = match mix.get("topology") {
+            None => d.topology.clone(),
+            Some(t) => topology_from_json(t)?,
+        };
         return Ok(WorkloadSpec::Mix(MixSpec {
             queries: opt_u64("queries", d.queries as u64)? as usize,
             relations: opt_u64("relations", d.relations as u64)? as usize,
@@ -499,6 +611,7 @@ fn workload_from_json(v: &Json) -> Result<WorkloadSpec> {
             mode,
             priorities,
             skews,
+            topology,
         }));
     }
     if let Some(chain) = v.get("chain") {

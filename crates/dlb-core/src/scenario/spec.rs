@@ -3,7 +3,7 @@
 
 use crate::workload::MixEntry;
 use dlb_common::{DlbError, Result};
-use dlb_exec::{ExecOptions, MixMode, MixPolicy, Strategy};
+use dlb_exec::{ExecOptions, MixMode, MixPolicy, Strategy, TopologyEvent};
 
 /// A sweepable dimension of the evaluation grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,6 +23,15 @@ pub enum Axis {
     /// Shared memory per SM-node, in megabytes — the admission limit of
     /// global load balancing and of the inter-query scheduler.
     MemoryPerNode,
+    /// Simulated time at which the mix's topology events fire: every event of
+    /// the base [`MixSpec::topology`] stream is re-timed to the row value
+    /// (failover scenarios sweeping *when* a node dies).
+    FailureTime,
+    /// Number of nodes failed at the base stream's first event time: the
+    /// topology is replaced by that many simultaneous crash failures, taking
+    /// the highest node indices first (failover scenarios sweeping *how much*
+    /// of the machine dies).
+    FailedNodes,
 }
 
 impl Axis {
@@ -35,6 +44,8 @@ impl Axis {
             Axis::ErrorRate => "error",
             Axis::ConcurrentQueries => "queries",
             Axis::MemoryPerNode => "mem MB",
+            Axis::FailureTime => "fail t",
+            Axis::FailedNodes => "failed",
         }
     }
 
@@ -45,8 +56,10 @@ impl Axis {
             Axis::Nodes
             | Axis::ProcessorsPerNode
             | Axis::ConcurrentQueries
-            | Axis::MemoryPerNode => RowFmt::Int,
+            | Axis::MemoryPerNode
+            | Axis::FailedNodes => RowFmt::Int,
             Axis::ErrorRate => RowFmt::Percent,
+            Axis::FailureTime => RowFmt::Fixed2,
         }
     }
 
@@ -54,8 +67,18 @@ impl Axis {
     pub fn is_integer(&self) -> bool {
         matches!(
             self,
-            Axis::Nodes | Axis::ProcessorsPerNode | Axis::ConcurrentQueries | Axis::MemoryPerNode
+            Axis::Nodes
+                | Axis::ProcessorsPerNode
+                | Axis::ConcurrentQueries
+                | Axis::MemoryPerNode
+                | Axis::FailedNodes
         )
+    }
+
+    /// True for the axes that reshape a mix's topology-event stream (and so
+    /// require a mix workload carrying one, co-simulated).
+    pub fn is_topology(&self) -> bool {
+        matches!(self, Axis::FailureTime | Axis::FailedNodes)
     }
 }
 
@@ -133,6 +156,12 @@ pub struct MixSpec {
     /// Per-query skew profiles, cycled over the queries; empty = every query
     /// uses the scenario's base `options.skew`.
     pub skews: Vec<f64>,
+    /// Deterministic topology events (node failures / drains / joins at
+    /// fixed simulated times) injected into the run; requires the
+    /// co-simulated mode. Empty = a fault-free run. The
+    /// [`Axis::FailureTime`] and [`Axis::FailedNodes`] sweeps reshape this
+    /// stream per point.
+    pub topology: Vec<TopologyEvent>,
 }
 
 impl Default for MixSpec {
@@ -157,6 +186,7 @@ impl Default for MixSpec {
             mode: MixMode::Composed,
             priorities: Vec::new(),
             skews: Vec::new(),
+            topology: Vec::new(),
         }
     }
 }
@@ -265,6 +295,8 @@ pub enum RowFmt {
     Int,
     /// One decimal (skew factors).
     Fixed1,
+    /// Two decimals (failure times in seconds).
+    Fixed2,
     /// A percentage without decimals, e.g. `20%` (error rates).
     Percent,
     /// `<nodes>x<value>` machine-shape labels, e.g. `4x12`.
@@ -446,15 +478,39 @@ impl ScenarioSpec {
                     ));
                 }
             }
-            // The concurrent-queries axis resizes a mix; on any other
-            // workload it has nothing to act on. Rejecting it here keeps
+            // The concurrent-queries axis resizes a mix and the topology
+            // axes reshape a mix's event stream; on any other workload they
+            // have nothing to act on. Rejecting them here keeps
             // `scenario --export` / `run_scenario` on the error path instead
             // of a panic deeper in the driver.
-            if sweep.axis == Axis::ConcurrentQueries && !self.workload.is_mix() {
+            if (sweep.axis == Axis::ConcurrentQueries || sweep.axis.is_topology())
+                && !self.workload.is_mix()
+            {
                 return fail(format!(
                     "the {} axis requires a mix workload",
                     sweep.axis.label()
                 ));
+            }
+            if sweep.axis == Axis::FailureTime {
+                if let Some(&v) = sweep.values.iter().find(|v| **v < 0.0) {
+                    return fail(format!("failure_time values must be >= 0, got {v}"));
+                }
+            }
+            // Failing all nodes (or more) would leave no live node to finish
+            // the mix; the engine's topology validator would reject it later,
+            // but per point and with a less actionable message.
+            if sweep.axis == Axis::FailedNodes {
+                if let Some(&v) = sweep
+                    .values
+                    .iter()
+                    .find(|v| **v >= self.machine.nodes as f64)
+                {
+                    return fail(format!(
+                        "failed_nodes values must leave at least one live node \
+                         (machine has {} nodes, got {v})",
+                        self.machine.nodes
+                    ));
+                }
             }
             // A first-row reference compares per-query response times by
             // mix index; rows of different concurrency run different query
@@ -561,6 +617,35 @@ impl ScenarioSpec {
                 .any(|&s| !(s.is_finite() && (0.0..=1.0).contains(&s)))
             {
                 return fail("mix skew profiles must lie in [0, 1]".to_string());
+            }
+            // Topology events only exist inside the co-simulated event loop;
+            // the analytic composition has nothing to inject them into.
+            if !mix.topology.is_empty() && mix.mode != MixMode::CoSimulated {
+                return fail("topology events require the co-simulated mix mode".to_string());
+            }
+            // A nodes sweep changes the machine the stream was validated
+            // against (indices may fall out of range, live-set rules shift
+            // per point) — reject the combination up front.
+            if !mix.topology.is_empty() && self.sweep_of(Axis::Nodes).is_some() {
+                return fail(
+                    "topology events cannot be combined with a nodes sweep \
+                     (the stream is validated against a fixed machine shape)"
+                        .to_string(),
+                );
+            }
+            if let Err(e) = dlb_exec::validate_topology(&mix.topology, self.machine.nodes) {
+                return fail(format!("invalid topology stream: {e}"));
+            }
+            // The topology axes re-time / re-shape the base stream, so there
+            // must be one to act on.
+            for sweep in std::iter::once(&self.rows).chain(self.columns.as_ref()) {
+                if sweep.axis.is_topology() && mix.topology.is_empty() {
+                    return fail(format!(
+                        "the {} axis requires the mix to carry at least one \
+                         topology event to reshape",
+                        sweep.axis.label()
+                    ));
+                }
             }
         }
         if let Presentation::Table(style)

@@ -46,9 +46,10 @@
 
 use crate::activation::{Activation, ActivationKind, ActivationQueue};
 use crate::fp::allocate_threads;
-use crate::options::{ErrorRealization, ExecOptions, Strategy};
-use crate::report::{CoSimReport, ExecutionReport, QueryExecReport, StrategyKind};
+use crate::options::{ErrorRealization, ExecOptions, RecoveryPolicy, Strategy};
+use crate::report::{CoSimReport, ExecutionReport, FaultStats, QueryExecReport, StrategyKind};
 use crate::router::OutputRouter;
+use crate::topology::{validate_topology, TopologyChange, TopologyEvent};
 use dlb_common::config::SystemConfig;
 use dlb_common::rng::rng_from_seed;
 use dlb_common::{DiskId, DlbError, Duration, NodeId, OperatorId, ProcessorId, Result, SimTime};
@@ -133,6 +134,12 @@ enum Event {
     QueryRelease {
         lane: usize,
     },
+    /// A scheduled topology change (node failure, drain or re-join) takes
+    /// effect. `index` points into the engine's validated, time-sorted
+    /// topology stream.
+    Topology {
+        index: usize,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -196,8 +203,19 @@ struct LaneRuntime<'a> {
     /// The SM-nodes this lane's operators are re-homed onto (`None` = the
     /// plan's own homes, i.e. the whole machine).
     mask: Option<Vec<NodeId>>,
+    /// Total working-set demand (hash-table bytes) of the lane; the per-node
+    /// share is re-derived from this when the live placement shrinks or
+    /// grows before admission.
+    memory_bytes: u64,
     /// Per-node share of the lane's working set (memory admission).
     mem_per_node: u64,
+    /// Exact outstanding reservations, as `(node, bytes)` pairs recorded at
+    /// admission. Releases return exactly these; a node failure drops its
+    /// pairs (the memory died with the node).
+    reserved: Vec<(usize, u64)>,
+    /// Guards against double release when a restarted operator re-terminates
+    /// a lane that already released its working set.
+    released: bool,
     /// First global operator index of this lane.
     base: usize,
     /// Number of operators of this lane's plan.
@@ -324,6 +342,14 @@ pub(crate) struct QueueEngine<'a> {
     /// jump the admission queue.
     admission_queue: VecDeque<usize>,
 
+    /// The validated, time-sorted topology-event stream (empty for fault-free
+    /// runs — every fault path below is a strict no-op then).
+    topology: Vec<TopologyEvent>,
+    /// Live flag per SM-node; failures/drains clear it, re-joins set it.
+    live: Vec<bool>,
+    /// Degradation accounting of applied topology events.
+    faults: FaultStats,
+
     activations_done: u64,
     tuples_processed: u64,
     result_tuples: u64,
@@ -353,6 +379,7 @@ impl<'a> QueueEngine<'a> {
             config,
             strategy,
             options,
+            &[],
         )
     }
 
@@ -361,6 +388,7 @@ impl<'a> QueueEngine<'a> {
         config: SystemConfig,
         strategy: Strategy,
         options: ExecOptions,
+        topology: &[TopologyEvent],
     ) -> Result<Self> {
         if queries.is_empty() {
             return Err(DlbError::config("co-simulation needs at least one query"));
@@ -371,6 +399,7 @@ impl<'a> QueueEngine<'a> {
             ));
         }
         let machine_nodes = config.machine.nodes as usize;
+        let topology = validate_topology(topology, config.machine.nodes)?;
         let mut lanes: Vec<LaneRuntime<'a>> = Vec::with_capacity(queries.len());
         let mut base = 0usize;
         for (i, q) in queries.iter().enumerate() {
@@ -429,7 +458,10 @@ impl<'a> QueueEngine<'a> {
                 priority: q.priority,
                 skew: q.skew,
                 mask,
+                memory_bytes: q.memory_bytes,
                 mem_per_node,
+                reserved: Vec::new(),
+                released: false,
                 base,
                 n_ops,
                 started: false,
@@ -471,6 +503,9 @@ impl<'a> QueueEngine<'a> {
             disk_cursor: vec![0; nodes],
             free_mem: vec![config.machine.memory_per_node_bytes; nodes],
             admission_queue: VecDeque::new(),
+            topology,
+            live: vec![true; nodes],
+            faults: FaultStats::default(),
             activations_done: 0,
             tuples_processed: 0,
             result_tuples: 0,
@@ -674,6 +709,13 @@ impl<'a> QueueEngine<'a> {
             }
         }
 
+        // Inject the topology stream: each validated event fires at its
+        // instant. Events past the end of the run are simply never popped.
+        for index in 0..self.topology.len() {
+            let at = SimTime::ZERO + Duration::from_secs_f64(self.topology[index].at_secs);
+            self.calendar.schedule_at(at, Event::Topology { index });
+        }
+
         // Scans with no local data (or empty relations) can complete right
         // away; run an initial end check over everything already started.
         for op in 0..self.ops.len() {
@@ -707,7 +749,14 @@ impl<'a> QueueEngine<'a> {
             let per_node = total / home_len as u64;
             let remainder = total - per_node * home_len as u64;
             for i in 0..home_len {
-                let node = self.ops[op_idx].home[i];
+                let mut node = self.ops[op_idx].home[i];
+                // A home node that is down at seeding time cannot hold the
+                // partition: its share is re-homed onto a live home node (the
+                // replica assumption — data survives node failures on the
+                // shared disks and is readable from the survivors).
+                if !self.live[node.index()] {
+                    node = NodeId::from(self.live_home_redirect(op_idx, i as u64));
+                }
                 let mut node_tuples = per_node + if i == 0 { remainder } else { 0 };
                 // Within the node, spread trigger activations across thread
                 // queues with the skew router.
@@ -767,6 +816,7 @@ impl<'a> QueueEngine<'a> {
                 Event::QueryStart { lane } => self.on_query_start(lane),
                 Event::QueryAdmit { lane } => self.on_query_admit(lane),
                 Event::QueryRelease { lane } => self.on_query_release(lane),
+                Event::Topology { index } => self.on_topology(index)?,
             }
         }
         Ok(())
@@ -839,7 +889,11 @@ impl<'a> QueueEngine<'a> {
                 }
             })
             .collect();
-        Ok(CoSimReport { aggregate, queries })
+        Ok(CoSimReport {
+            aggregate,
+            queries,
+            faults: self.faults,
+        })
     }
 
     // ----------------------------------------------------------------- //
@@ -931,6 +985,11 @@ impl<'a> QueueEngine<'a> {
     }
 
     fn on_thread_ready(&mut self, node: usize, thread: usize) {
+        // Quantum-end wakeups of a node that failed mid-quantum die here.
+        if !self.live[node] {
+            self.threads[node][thread].idle = true;
+            return;
+        }
         self.threads[node][thread].idle = false;
         match self.select_work(node, thread) {
             Some((op, act, primary)) => self.process_activation(node, thread, op, act, primary),
@@ -942,6 +1001,9 @@ impl<'a> QueueEngine<'a> {
     }
 
     fn wake_threads(&mut self, node: usize, op_filter: Option<usize>) {
+        if !self.live[node] {
+            return;
+        }
         let now = self.calendar.now();
         for thread in 0..self.threads_per_node {
             if !self.threads[node][thread].idle {
@@ -962,28 +1024,34 @@ impl<'a> QueueEngine<'a> {
     // Memory admission (head-of-line FCFS, matching `mix::schedule_mix`)
     // ----------------------------------------------------------------- //
 
-    /// The node indices of one lane's placement (its mask, or the whole
-    /// machine).
-    fn placement_nodes(&self, lane: usize) -> Vec<usize> {
+    /// The *live* node indices of one lane's placement (its mask, or the
+    /// whole machine). With no topology events every node is live, so this is
+    /// exactly the static placement.
+    fn admission_nodes(&self, lane: usize) -> Vec<usize> {
         match &self.lanes[lane].mask {
-            Some(mask) => mask.iter().map(|n| n.index()).collect(),
-            None => (0..self.nodes).collect(),
+            Some(mask) => mask
+                .iter()
+                .map(|n| n.index())
+                .filter(|&n| self.live[n])
+                .collect(),
+            None => (0..self.nodes).filter(|&n| self.live[n]).collect(),
         }
     }
 
-    /// If the head-of-line waiting lane fits on every node of its placement,
-    /// pops it and reserves its memory, returning the lane. Admission is
-    /// strictly FCFS: a later lane never jumps a blocked head.
+    /// If the head-of-line waiting lane fits on every live node of its
+    /// placement, pops it and reserves its memory, returning the lane.
+    /// Admission is strictly FCFS: a later lane never jumps a blocked head.
     fn try_reserve_head(&mut self) -> Option<usize> {
         let &lane = self.admission_queue.front()?;
         let mem = self.lanes[lane].mem_per_node;
-        let nodes = self.placement_nodes(lane);
+        let nodes = self.admission_nodes(lane);
         if !nodes.iter().all(|&n| self.free_mem[n] >= mem) {
             return None;
         }
-        for n in nodes {
+        for &n in &nodes {
             self.free_mem[n] -= mem;
         }
+        self.lanes[lane].reserved = nodes.into_iter().map(|n| (n, mem)).collect();
         self.admission_queue.pop_front();
         Some(lane)
     }
@@ -1034,10 +1102,16 @@ impl<'a> QueueEngine<'a> {
     /// `QueryAdmit` event at the current instant; memory is reserved at
     /// scheduling time so the chain of fits stays consistent).
     fn on_query_release(&mut self, lane: usize) {
-        let mem = self.lanes[lane].mem_per_node;
-        for n in self.placement_nodes(lane) {
-            self.free_mem[n] += mem;
-            debug_assert!(self.free_mem[n] <= self.config.machine.memory_per_node_bytes);
+        // A restarted operator can re-terminate a lane that already released
+        // (lose-and-restart rebuilds after the lane's first completion).
+        if std::mem::replace(&mut self.lanes[lane].released, true) {
+            return;
+        }
+        let cap = self.config.machine.memory_per_node_bytes;
+        for (n, amt) in std::mem::take(&mut self.lanes[lane].reserved) {
+            // Reservations moved onto a survivor may have overcommitted it
+            // (saturating reserve); cap the give-back at the capacity.
+            self.free_mem[n] = (self.free_mem[n] + amt).min(cap);
         }
         let now = self.calendar.now();
         while let Some(admitted) = self.try_reserve_head() {
@@ -1194,7 +1268,10 @@ impl<'a> QueueEngine<'a> {
             let batch = remaining.min(batch_size);
             remaining -= batch;
             let slot = self.ops[consumer_idx].router.route(batch);
-            let dest_node = self.ops[consumer_idx].home[slot / self.threads_per_node].index();
+            let mut dest_node = self.ops[consumer_idx].home[slot / self.threads_per_node].index();
+            if !self.live[dest_node] {
+                dest_node = self.live_home_redirect(consumer_idx, slot as u64);
+            }
             let dest_thread = slot % self.threads_per_node;
             let activation = Activation::data(consumer_local, batch).for_query(lane_idx as u32);
             self.ops[consumer_idx].input_sent += batch;
@@ -1231,6 +1308,13 @@ impl<'a> QueueEngine<'a> {
     }
 
     fn on_data(&mut self, node: usize, op: usize, slot: usize, activation: Activation) {
+        // A batch in flight towards a node that failed after the send is
+        // re-routed to a live home node by the recovery manager.
+        let node = if self.live[node] {
+            node
+        } else {
+            self.live_home_redirect(op, slot as u64)
+        };
         self.ops[op].input_delivered += activation.tuples;
         {
             let opn = self.op_nodes[op][node]
@@ -1269,8 +1353,31 @@ impl<'a> QueueEngine<'a> {
         );
     }
 
+    /// The end-detection coordinator: the lowest-indexed live node. The
+    /// protocol counters live centrally in [`OpRuntime`], so the coordinator
+    /// role survives a fail-over without state hand-off.
     fn coordinator(&self) -> usize {
-        0
+        self.live.iter().position(|&l| l).unwrap_or(0)
+    }
+
+    /// Redirects work addressed to a down node onto a live home node of
+    /// `op`, deterministically keyed by `key` under the configured re-home
+    /// policy. Callers guarantee at least one live home node (enforced by
+    /// the wholesale lane re-home on failure).
+    fn live_home_redirect(&self, op: usize, key: u64) -> usize {
+        let mut seen = BTreeSet::new();
+        let survivors: Vec<NodeId> = self.ops[op]
+            .home
+            .iter()
+            .copied()
+            .filter(|n| self.live[n.index()] && seen.insert(n.index()))
+            .collect();
+        let total = (self.ops[op].home.len() * self.threads_per_node) as u64;
+        self.options
+            .recovery
+            .rehome
+            .survivor(key, total, &survivors)
+            .index()
     }
 
     fn on_control(&mut self, node: usize, msg: ControlMsg) {
@@ -1658,6 +1765,11 @@ impl<'a> QueueEngine<'a> {
     /// The requester collects offers; once all providers answered it acquires
     /// from the most loaded one.
     fn on_offer(&mut self, node: usize, token: u64, offer: Option<(usize, usize, u64, u64, u64)>) {
+        // A requester that died mid-episode abandons it: acquiring work onto
+        // a dead node would strand it.
+        if !self.live[node] {
+            return;
+        }
         {
             let lb = &mut self.node_lb[node];
             if token != lb.current_token {
@@ -1812,6 +1924,14 @@ impl<'a> QueueEngine<'a> {
         if activations.is_empty() {
             return;
         }
+        // The provider already gave the work up: a shipment towards a node
+        // that died in flight lands on a live home node instead of being
+        // dropped (work conservation).
+        let node = if self.live[node] {
+            node
+        } else {
+            self.live_home_redirect(op, provider as u64)
+        };
         self.lb_acquisitions += 1;
         {
             let opn = self.op_nodes[op][node]
@@ -1829,6 +1949,447 @@ impl<'a> QueueEngine<'a> {
         if self.op_consumable(op, node) {
             self.wake_threads(node, Some(op));
         }
+    }
+
+    // ----------------------------------------------------------------- //
+    // Topology events (fault injection)
+    // ----------------------------------------------------------------- //
+
+    /// Applies one validated topology event. Failures and drains strip the
+    /// node and recover its state on the survivors; joins revive the node
+    /// with empty memory and fresh threads.
+    fn on_topology(&mut self, index: usize) -> Result<()> {
+        let ev = self.topology[index];
+        let node = ev.node.index();
+        match ev.change {
+            TopologyChange::NodeFail => self.on_node_down(node, false),
+            TopologyChange::NodeDrain => self.on_node_down(node, true),
+            TopologyChange::NodeJoin => self.on_node_join(node),
+        }
+    }
+
+    /// A node leaves the machine. Between events no activation is mid-
+    /// processing (`processing` is always 0 then), so the node's recoverable
+    /// state is exactly its queued/parked activations plus its built
+    /// hash-table partitions. A `graceful` drain always migrates that state;
+    /// a failure loses it under [`RecoveryPolicy::LoseRestart`].
+    fn on_node_down(&mut self, dead: usize, graceful: bool) -> Result<()> {
+        self.live[dead] = false;
+        if graceful {
+            self.faults.drains += 1;
+        } else {
+            self.faults.failures += 1;
+        }
+        for thread in 0..self.threads_per_node {
+            self.threads[dead][thread].idle = true;
+        }
+        // Abandon the node's steal bookkeeping; the token bump voids replies
+        // still in flight towards it.
+        let lb = &mut self.node_lb[dead];
+        lb.current_token += 1;
+        lb.starving_outstanding = false;
+        lb.fp_outstanding.clear();
+        lb.offers.clear();
+        lb.replies_received = 0;
+        lb.replies_expected = 0;
+        // The node's memory dies with it: admitted reservations on it are
+        // gone, and nothing can be reserved there until it re-joins.
+        for lane in &mut self.lanes {
+            lane.reserved.retain(|&(n, _)| n != dead);
+        }
+        self.free_mem[dead] = 0;
+        // Lanes whose whole placement died move wholesale onto one survivor;
+        // afterwards every non-terminated operator has a live home node.
+        self.rehome_dead_lanes(dead, graceful);
+        // Strip the dead node's per-operator state and recover it.
+        self.strip_node(dead, graceful);
+        // Waiting queries re-admit against the survivors.
+        self.refresh_admission()?;
+        // The strip may have completed operators (the dead node held their
+        // last pending work) and the survivors have new work: sweep end
+        // detection and wake every live node.
+        for op in 0..self.ops.len() {
+            for node in 0..self.nodes {
+                self.check_local_end(op, node);
+            }
+            self.maybe_terminate(op);
+        }
+        for node in 0..self.nodes {
+            self.wake_threads(node, None);
+        }
+        Ok(())
+    }
+
+    /// A previously departed node re-joins: full memory, fresh threads, and
+    /// it resumes receiving routed output for every operator still homing on
+    /// it. Re-homed (replaced) homes are not restored.
+    fn on_node_join(&mut self, node: usize) -> Result<()> {
+        self.live[node] = true;
+        self.faults.joins += 1;
+        self.free_mem[node] = self.config.machine.memory_per_node_bytes;
+        let lb = &mut self.node_lb[node];
+        lb.current_token += 1;
+        lb.starving_outstanding = false;
+        lb.fp_outstanding.clear();
+        lb.offers.clear();
+        lb.replies_received = 0;
+        lb.replies_expected = 0;
+        // Demands shrink with the grown placement; waiting lanes may fit now.
+        self.refresh_admission()?;
+        let now = self.calendar.now();
+        while let Some(admitted) = self.try_reserve_head() {
+            self.calendar
+                .schedule_at(now, Event::QueryAdmit { lane: admitted });
+        }
+        for thread in 0..self.threads_per_node {
+            self.threads[node][thread].idle = false;
+            self.calendar
+                .schedule_at(now, Event::ThreadReady { node, thread });
+        }
+        Ok(())
+    }
+
+    /// Moves every lane whose operators have no live home node left onto one
+    /// chosen survivor: home entries are rewritten, routers rebuilt for the
+    /// single-node slot space, the end-detection protocol restarts, and the
+    /// lane's memory reservation follows (saturating — a survivor may end up
+    /// overcommitted; graceful degradation beats an aborted query).
+    fn rehome_dead_lanes(&mut self, dead: usize, graceful: bool) {
+        for lane_idx in 0..self.lanes.len() {
+            let (base, n_ops) = (self.lanes[lane_idx].base, self.lanes[lane_idx].n_ops);
+            let needs: Vec<usize> = (base..base + n_ops)
+                .filter(|&op| {
+                    !self.ops[op].terminated
+                        && !self.ops[op].home.iter().any(|n| self.live[n.index()])
+                })
+                .collect();
+            let mask_dead = self.lanes[lane_idx]
+                .mask
+                .as_ref()
+                .map(|m| !m.iter().any(|n| self.live[n.index()]))
+                .unwrap_or(false);
+            if needs.is_empty() && !mask_dead {
+                continue;
+            }
+            // The survivor with the most free memory (lowest index on ties).
+            let m = (0..self.nodes)
+                .filter(|&n| self.live[n])
+                .max_by(|&a, &b| self.free_mem[a].cmp(&self.free_mem[b]).then(b.cmp(&a)))
+                .expect("the live set is never empty");
+            if mask_dead {
+                self.lanes[lane_idx].mask = Some(vec![NodeId::from(m)]);
+                // An admitted, unreleased lane carries its reservation over.
+                if self.lanes[lane_idx].started && !self.lanes[lane_idx].released {
+                    let amt = self.lanes[lane_idx].mem_per_node;
+                    if amt > 0 {
+                        self.free_mem[m] = self.free_mem[m].saturating_sub(amt);
+                        self.lanes[lane_idx].reserved.push((m, amt));
+                    }
+                }
+            }
+            for op in needs {
+                let old_home = std::mem::replace(&mut self.ops[op].home, vec![NodeId::from(m)]);
+                self.ops[op].router =
+                    OutputRouter::new(self.threads_per_node, self.lanes[lane_idx].skew, op);
+                // Restart end detection from scratch for the new home; the
+                // global safety counters in `maybe_terminate` make stale
+                // in-flight protocol messages harmless.
+                self.ops[op].phase1_reports = 0;
+                self.ops[op].phase2_started = false;
+                self.ops[op].phase2_confirms = 0;
+                let mut moved: Vec<Activation> = Vec::new();
+                let mut hash = 0u64;
+                let mut seen = BTreeSet::new();
+                for d in old_home {
+                    if !seen.insert(d.index()) {
+                        continue;
+                    }
+                    if let Some(mut opn) = self.op_nodes[op][d.index()].take() {
+                        moved.extend(opn.parked.drain(..));
+                        for q in opn.queues.iter_mut() {
+                            q.drain_into(usize::MAX, &mut moved);
+                        }
+                        hash += opn.hash_tuples;
+                    }
+                }
+                self.op_nodes[op][m] = Some(OpNodeRuntime {
+                    queues: (0..self.threads_per_node)
+                        .map(|_| ActivationQueue::new(self.options.flow.queue_capacity))
+                        .collect(),
+                    parked: VecDeque::new(),
+                    processing: 0,
+                    phase1_sent: false,
+                    confirm_pending: false,
+                    confirm_sent: false,
+                    hash_tuples: 0,
+                    hash_copied_from: BTreeSet::new(),
+                    started_disks: BTreeSet::new(),
+                    steal_cursor: 0,
+                });
+                // FP: the survivor's threads must be allowed to run the
+                // re-homed operator (its static allocation never mentioned
+                // this node).
+                if matches!(self.strategy, Strategy::Fixed { .. }) {
+                    for thread in 0..self.threads_per_node {
+                        if let Some(set) = &mut self.threads[m][thread].allowed {
+                            set.insert(OperatorId::from(op));
+                        }
+                    }
+                }
+                self.recover_state(op, dead, moved, hash, graceful);
+            }
+        }
+    }
+
+    /// Empties the departed node's per-operator state (queues, parked
+    /// overflow, hash-table partitions, disk positions) and recovers it on
+    /// the survivors. The emptied [`OpNodeRuntime`] stays allocated so the
+    /// end-detection and steal protocols keep working unchanged — a dead
+    /// node's side of them is answered by the recovery manager.
+    fn strip_node(&mut self, dead: usize, graceful: bool) {
+        for op in 0..self.ops.len() {
+            let Some(opn) = self.op_nodes[op][dead].as_mut() else {
+                continue;
+            };
+            let mut moved: Vec<Activation> = Vec::new();
+            moved.extend(opn.parked.drain(..));
+            for q in opn.queues.iter_mut() {
+                q.drain_into(usize::MAX, &mut moved);
+            }
+            let hash = std::mem::take(&mut opn.hash_tuples);
+            opn.hash_copied_from.clear();
+            opn.started_disks.clear();
+            opn.steal_cursor = 0;
+            if moved.is_empty() && hash == 0 {
+                continue;
+            }
+            self.recover_state(op, dead, moved, hash, graceful);
+        }
+    }
+
+    /// Recovers one operator's stripped state on the live nodes of its home.
+    ///
+    /// * **Re-home and resume** (and every graceful drain): activations and
+    ///   hash-table partitions ship over the interconnect to survivors
+    ///   chosen by the re-home policy; nothing is lost or redone.
+    /// * **Lose and restart**: queued input is discarded and regenerated on
+    ///   the survivors at no transfer cost (upstream logically re-sends it);
+    ///   a hash-table partition still needed by a live probe is rebuilt by
+    ///   re-processing its tuples, re-opening the build operator when it had
+    ///   already terminated.
+    fn recover_state(
+        &mut self,
+        op: usize,
+        from: usize,
+        moved: Vec<Activation>,
+        hash: u64,
+        graceful: bool,
+    ) {
+        let mut seen = BTreeSet::new();
+        let survivors: Vec<NodeId> = self.ops[op]
+            .home
+            .iter()
+            .copied()
+            .filter(|n| self.live[n.index()] && seen.insert(n.index()))
+            .collect();
+        if survivors.is_empty() {
+            // Only reachable for a *terminated* operator (live homes are
+            // guaranteed otherwise): its residual hash table dies with the
+            // node. A probe that still wanted it was re-homed separately and
+            // probes on without it — counts-level simulation keeps this
+            // benign.
+            self.faults.tuples_lost += hash + moved.iter().map(|a| a.tuples).sum::<u64>();
+            return;
+        }
+        let lose = !graceful && matches!(self.options.recovery.policy, RecoveryPolicy::LoseRestart);
+        let now = self.calendar.now();
+        let total = (moved.len() as u64).max(1);
+        for (i, a) in moved.into_iter().enumerate() {
+            let dest = self
+                .options
+                .recovery
+                .rehome
+                .survivor(i as u64, total, &survivors)
+                .index();
+            // A trigger's pending disk reads move to the destination's disks
+            // (the replica assumption: partitions are readable from the
+            // survivors).
+            let a = match a.kind {
+                ActivationKind::Trigger { pages, .. } => {
+                    let disk_local = self.disk_cursor[dest] % self.disks_per_node;
+                    self.disk_cursor[dest] += 1;
+                    Activation::trigger(
+                        a.op,
+                        pages,
+                        a.tuples,
+                        DiskId::new(NodeId::from(dest), disk_local),
+                    )
+                    .for_query(a.query)
+                }
+                ActivationKind::Data => a,
+            };
+            // Net-zero delivery accounting: `on_data` re-adds exactly what is
+            // subtracted here, so end detection keeps its invariants.
+            self.ops[op].input_delivered -= a.tuples;
+            let slot = i % self.threads_per_node;
+            if lose {
+                self.faults.tuples_lost += a.tuples;
+                self.calendar.schedule_at(
+                    now,
+                    Event::Data {
+                        node: dest,
+                        op,
+                        slot,
+                        activation: a,
+                    },
+                );
+            } else {
+                self.faults.activations_rehomed += 1;
+                self.faults.tuples_rehomed += a.tuples;
+                let bytes = self
+                    .config
+                    .costs
+                    .bytes_for_tuples(a.tuples)
+                    .max(CONTROL_MESSAGE_BYTES);
+                self.faults.rebalance_bytes += bytes;
+                let timing = self
+                    .network
+                    .send(NodeId::from(from), NodeId::from(dest), bytes, now);
+                self.calendar.schedule_at(
+                    timing.arrival + timing.recv_cpu,
+                    Event::Data {
+                        node: dest,
+                        op,
+                        slot,
+                        activation: a,
+                    },
+                );
+            }
+        }
+        if hash > 0 {
+            self.recover_hash(op, from, hash, lose, &survivors);
+        }
+    }
+
+    /// Recovers a lost or migrating hash-table partition of build operator
+    /// `op`: shipped intact under re-home-and-resume (and drains), rebuilt
+    /// by re-processing under lose-and-restart. A partition no probe needs
+    /// any more is dropped silently.
+    fn recover_hash(
+        &mut self,
+        op: usize,
+        from: usize,
+        hash: u64,
+        lose: bool,
+        survivors: &[NodeId],
+    ) {
+        let needed = self
+            .ops
+            .iter()
+            .any(|o| o.build_twin == Some(op) && !o.terminated);
+        if !needed {
+            return;
+        }
+        if lose {
+            self.faults.tuples_lost += hash;
+            self.faults.tuples_redone += hash;
+            if self.ops[op].terminated {
+                self.reopen_operator(op);
+            }
+        }
+        let now = self.calendar.now();
+        let lane = self.ops[op].lane;
+        let local = OperatorId::from(op - self.lanes[lane].base);
+        // Spread the partition over the survivors in fixed-size units so
+        // both re-home policies see a keyed stream (mirrors
+        // `dlb_storage::rehome`).
+        const UNIT: u64 = 1 << 10;
+        let units = hash.div_ceil(UNIT);
+        let mut remaining = hash;
+        for unit in 0..units {
+            let chunk = remaining.min(UNIT);
+            remaining -= chunk;
+            let dest = self
+                .options
+                .recovery
+                .rehome
+                .survivor(unit, units, survivors)
+                .index();
+            if lose {
+                // Rebuild: fresh build input beyond the original stream.
+                self.ops[op].input_sent += chunk;
+                let a = Activation::data(local, chunk).for_query(lane as u32);
+                self.calendar.schedule_at(
+                    now,
+                    Event::Data {
+                        node: dest,
+                        op,
+                        slot: unit as usize % self.threads_per_node,
+                        activation: a,
+                    },
+                );
+            } else {
+                let bytes = self.cost.hash_table_bytes(chunk).max(CONTROL_MESSAGE_BYTES);
+                self.faults.rebalance_bytes += bytes;
+                self.faults.tuples_rehomed += chunk;
+                self.network
+                    .send(NodeId::from(from), NodeId::from(dest), bytes, now);
+                // The partition lands intact: counts move now, the transfer
+                // cost is the network charge above.
+                self.op_nodes[op][dest]
+                    .as_mut()
+                    .expect("survivor is a home node")
+                    .hash_tuples += chunk;
+            }
+        }
+    }
+
+    /// Rolls a terminated operator back into the running state so lost build
+    /// work can be redone; it re-terminates through the normal protocol once
+    /// the rebuild input drains.
+    fn reopen_operator(&mut self, op: usize) {
+        if !self.ops[op].terminated {
+            return;
+        }
+        self.ops[op].terminated = false;
+        self.ops_terminated -= 1;
+        let lane = self.ops[op].lane;
+        self.lanes[lane].ops_terminated -= 1;
+        self.ops[op].phase1_reports = 0;
+        self.ops[op].phase2_started = false;
+        self.ops[op].phase2_confirms = 0;
+        for h in 0..self.ops[op].home.len() {
+            let node = self.ops[op].home[h].index();
+            if let Some(opn) = self.op_nodes[op][node].as_mut() {
+                opn.phase1_sent = false;
+                opn.confirm_pending = false;
+                opn.confirm_sent = false;
+            }
+        }
+        self.faults.operators_restarted += 1;
+    }
+
+    /// Re-derives the per-node working-set share of every not-yet-started
+    /// lane from the live placement, failing fast when a waiting query can
+    /// never fit on the shrunken topology.
+    fn refresh_admission(&mut self) -> Result<()> {
+        let cap = self.config.machine.memory_per_node_bytes;
+        for i in 0..self.lanes.len() {
+            if self.lanes[i].started {
+                continue;
+            }
+            let placement_len = self.admission_nodes(i).len().max(1) as u64;
+            let mem = self.lanes[i].memory_bytes.div_ceil(placement_len);
+            self.lanes[i].mem_per_node = mem;
+            if mem > cap {
+                return Err(DlbError::exec(format!(
+                    "query {i} needs {mem} bytes on each of its {placement_len} surviving \
+                     placement node(s) but nodes have {cap} — it can never be admitted \
+                     after the topology change"
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -1874,13 +2435,31 @@ pub fn execute_cosimulated(
     strategy: Strategy,
     options: &ExecOptions,
 ) -> Result<CoSimReport> {
+    execute_cosimulated_faulted(queries, config, strategy, options, &[])
+}
+
+/// [`execute_cosimulated`] with a deterministic stream of topology events
+/// (node failures, drains, re-joins) injected into the shared event loop.
+///
+/// The stream is validated up front (see
+/// [`crate::topology::validate_topology`]); recovery behaviour is selected by
+/// `options.recovery`. Degradation accounting lands in
+/// [`CoSimReport::faults`]. With an empty stream this is exactly
+/// [`execute_cosimulated`] — same events, same report, bit for bit.
+pub fn execute_cosimulated_faulted(
+    queries: &[CoSimQuery<'_>],
+    config: &SystemConfig,
+    strategy: Strategy,
+    options: &ExecOptions,
+    topology: &[TopologyEvent],
+) -> Result<CoSimReport> {
     if matches!(strategy, Strategy::Synchronous) {
         return Err(DlbError::config(
             "co-simulation requires a queue-based strategy (DP or FP); \
              SP has no activation queues to interleave",
         ));
     }
-    QueueEngine::new_cosim(queries, *config, strategy, *options)?.run_cosim()
+    QueueEngine::new_cosim(queries, *config, strategy, *options, topology)?.run_cosim()
 }
 
 #[cfg(test)]
@@ -2368,6 +2947,246 @@ mod tests {
         let ea = execute(&plan, &config, exact, &shared).unwrap();
         let eb = execute(&plan, &config, exact, &per_node).unwrap();
         assert_eq!(ea, eb);
+    }
+
+    // ------------------------------------------------------------------ //
+    // Fault injection (topology events)
+    // ------------------------------------------------------------------ //
+
+    #[test]
+    fn failover_rehome_resume_conserves_work_and_accounts_rebalance() {
+        let plan = bushy_plan(4);
+        let config = SystemConfig::hierarchical(4, 2);
+        let opts = ExecOptions::with_skew(0.3);
+        let queries = [solo(&plan, 0.0, 1, 0.3), solo(&plan, 0.05, 1, 0.3)];
+        let clean = execute_cosimulated(&queries, &config, Strategy::Dynamic, &opts).unwrap();
+        let topo = [TopologyEvent::fail(clean.makespan_secs() * 0.3, 3)];
+        let faulted =
+            execute_cosimulated_faulted(&queries, &config, Strategy::Dynamic, &opts, &topo)
+                .unwrap();
+        assert_eq!(faulted.faults.failures, 1);
+        assert_eq!(faulted.faults.tuples_lost, 0, "resume never loses state");
+        assert_eq!(faulted.faults.tuples_redone, 0, "resume never redoes work");
+        assert!(
+            faulted.faults.tuples_rehomed > 0,
+            "a mid-run failure must find state to migrate"
+        );
+        assert!(faulted.faults.rebalance_bytes > 0);
+        // Work conservation: re-homing moves activations, it neither drops
+        // nor duplicates them.
+        assert_eq!(
+            faulted.aggregate.tuples_processed, clean.aggregate.tuples_processed,
+            "re-home-and-resume conserves processed tuples exactly"
+        );
+        assert_eq!(
+            faulted.aggregate.result_tuples,
+            clean.aggregate.result_tuples
+        );
+        // Losing a quarter of the machine mid-run cannot speed things up.
+        assert!(
+            faulted.aggregate.response_time >= clean.aggregate.response_time,
+            "faulted {} vs clean {}",
+            faulted.aggregate.response_time,
+            clean.aggregate.response_time
+        );
+        // The dead node never works again.
+        assert_eq!(faulted.aggregate.per_node_busy.len(), 4);
+    }
+
+    #[test]
+    fn failover_lose_restart_discards_and_redoes_work() {
+        let plan = bushy_plan(4);
+        let config = SystemConfig::hierarchical(4, 2);
+        let mut opts = ExecOptions::with_skew(0.3);
+        opts.recovery.policy = RecoveryPolicy::LoseRestart;
+        let queries = [solo(&plan, 0.0, 1, 0.3), solo(&plan, 0.05, 1, 0.3)];
+        let clean = execute_cosimulated(&queries, &config, Strategy::Dynamic, &opts).unwrap();
+        let topo = [TopologyEvent::fail(clean.makespan_secs() * 0.5, 3)];
+        let faulted =
+            execute_cosimulated_faulted(&queries, &config, Strategy::Dynamic, &opts, &topo)
+                .unwrap();
+        assert!(faulted.faults.tuples_lost > 0, "failure must lose state");
+        assert!(
+            faulted.faults.tuples_redone > 0,
+            "a needed hash table must be rebuilt"
+        );
+        // Redone build work inflates the processed-tuple count.
+        assert!(
+            faulted.aggregate.tuples_processed > clean.aggregate.tuples_processed,
+            "faulted {} vs clean {}",
+            faulted.aggregate.tuples_processed,
+            clean.aggregate.tuples_processed
+        );
+        // The answer itself is unchanged: lost input is regenerated.
+        assert_eq!(
+            faulted.aggregate.result_tuples,
+            clean.aggregate.result_tuples
+        );
+    }
+
+    #[test]
+    fn drain_migrates_without_loss_even_under_lose_restart() {
+        let plan = bushy_plan(4);
+        let config = SystemConfig::hierarchical(4, 2);
+        let mut opts = ExecOptions::with_skew(0.3);
+        opts.recovery.policy = RecoveryPolicy::LoseRestart;
+        let queries = [solo(&plan, 0.0, 1, 0.3)];
+        let clean = execute_cosimulated(&queries, &config, Strategy::Dynamic, &opts).unwrap();
+        let topo = [TopologyEvent::drain(clean.makespan_secs() * 0.3, 2)];
+        let faulted =
+            execute_cosimulated_faulted(&queries, &config, Strategy::Dynamic, &opts, &topo)
+                .unwrap();
+        assert_eq!(faulted.faults.drains, 1);
+        assert_eq!(faulted.faults.failures, 0);
+        assert_eq!(faulted.faults.tuples_lost, 0, "drains migrate, never lose");
+        assert_eq!(faulted.faults.tuples_redone, 0);
+        assert_eq!(
+            faulted.aggregate.tuples_processed,
+            clean.aggregate.tuples_processed
+        );
+        assert_eq!(
+            faulted.aggregate.result_tuples,
+            clean.aggregate.result_tuples
+        );
+    }
+
+    #[test]
+    fn faulted_cosim_replays_bit_identically() {
+        let plan_a = bushy_plan(4);
+        let plan_b = two_join_plan(4);
+        let config = SystemConfig::hierarchical(4, 2);
+        let opts = ExecOptions::with_skew(0.6);
+        let queries = [solo(&plan_a, 0.0, 2, 0.6), solo(&plan_b, 0.02, 1, 0.6)];
+        let topo = [
+            TopologyEvent::fail(0.05, 3),
+            TopologyEvent::join(0.25, 3),
+            TopologyEvent::drain(0.4, 1),
+        ];
+        for strategy in [Strategy::Dynamic, Strategy::Fixed { error_rate: 0.1 }] {
+            let a = execute_cosimulated_faulted(&queries, &config, strategy, &opts, &topo).unwrap();
+            let b = execute_cosimulated_faulted(&queries, &config, strategy, &opts, &topo).unwrap();
+            assert_eq!(a, b, "{strategy:?}");
+            assert_eq!(a.faults.failures, 1);
+            assert_eq!(a.faults.joins, 1);
+            assert!(a.queries.iter().all(|q| q.result_tuples > 0));
+        }
+    }
+
+    #[test]
+    fn failed_node_rejoins_and_the_run_completes() {
+        let plan = bushy_plan(4);
+        let config = SystemConfig::hierarchical(4, 2);
+        let opts = ExecOptions::default();
+        let queries = [solo(&plan, 0.0, 1, 0.0), solo(&plan, 0.1, 1, 0.0)];
+        let clean = execute_cosimulated(&queries, &config, Strategy::Dynamic, &opts).unwrap();
+        let m = clean.makespan_secs();
+        let topo = [
+            TopologyEvent::fail(m * 0.2, 3),
+            TopologyEvent::join(m * 0.5, 3),
+        ];
+        let faulted =
+            execute_cosimulated_faulted(&queries, &config, Strategy::Dynamic, &opts, &topo)
+                .unwrap();
+        assert_eq!(faulted.faults.failures, 1);
+        assert_eq!(faulted.faults.joins, 1);
+        assert_eq!(
+            faulted.aggregate.result_tuples,
+            clean.aggregate.result_tuples
+        );
+        assert_eq!(
+            faulted.aggregate.tuples_processed,
+            clean.aggregate.tuples_processed
+        );
+    }
+
+    #[test]
+    fn masked_lane_survives_death_of_its_only_node() {
+        let plan = bushy_plan(2);
+        let config = SystemConfig::hierarchical(2, 2);
+        let opts = ExecOptions::default();
+        let mask = [NodeId::from(1usize)];
+        let queries = [CoSimQuery {
+            mask: Some(&mask),
+            ..solo(&plan, 0.0, 1, 0.0)
+        }];
+        let clean = execute_cosimulated(&queries, &config, Strategy::Dynamic, &opts).unwrap();
+        let topo = [TopologyEvent::fail(clean.makespan_secs() * 0.4, 1)];
+        for strategy in [Strategy::Dynamic, Strategy::Fixed { error_rate: 0.0 }] {
+            let faulted =
+                execute_cosimulated_faulted(&queries, &config, strategy, &opts, &topo).unwrap();
+            // The whole lane re-homed onto node 0 and finished there.
+            assert!(
+                faulted.aggregate.per_node_busy[0] > Duration::ZERO,
+                "{strategy:?}: the survivor must take over the pinned lane"
+            );
+            assert_eq!(
+                faulted.queries[0].result_tuples,
+                clean.queries[0].result_tuples
+            );
+            assert!(faulted.faults.tuples_rehomed > 0);
+        }
+    }
+
+    #[test]
+    fn waiting_query_that_cannot_fit_after_failure_errors_clearly() {
+        let plan = two_join_plan(2);
+        let mut config = SystemConfig::hierarchical(2, 2);
+        config.machine.memory_per_node_bytes = 1_010;
+        let opts = ExecOptions::default();
+        let with_mem = |mem: u64| CoSimQuery {
+            memory_bytes: mem,
+            ..solo(&plan, 0.0, 1, 0.0)
+        };
+        // q0 takes 1000 of the 1010 bytes per node; q1 (750 per node across
+        // both) waits. Node 1 dies before q0 releases: q1's demand collapses
+        // onto node 0 as 1500 > 1010.
+        let queries = [with_mem(2_000), with_mem(1_500)];
+        let topo = [TopologyEvent::fail(1e-4, 1)];
+        let err = execute_cosimulated_faulted(&queries, &config, Strategy::Dynamic, &opts, &topo)
+            .unwrap_err();
+        assert!(
+            matches!(err, DlbError::ExecutionError(ref m)
+                if m.contains("never be admitted after the topology change")),
+            "{err}"
+        );
+        // Without the failure the same mix runs fine.
+        assert!(execute_cosimulated(&queries, &config, Strategy::Dynamic, &opts).is_ok());
+    }
+
+    #[test]
+    fn post_completion_topology_events_change_nothing_material() {
+        let plan = bushy_plan(2);
+        let config = SystemConfig::hierarchical(2, 2);
+        let opts = ExecOptions::default();
+        let queries = [solo(&plan, 0.0, 1, 0.0)];
+        let clean = execute_cosimulated(&queries, &config, Strategy::Dynamic, &opts).unwrap();
+        // The simulation ends with the last query: a failure scheduled past
+        // that instant never takes effect and the report is bit-identical.
+        let topo = [TopologyEvent::fail(clean.makespan_secs() + 1.0, 0)];
+        let faulted =
+            execute_cosimulated_faulted(&queries, &config, Strategy::Dynamic, &opts, &topo)
+                .unwrap();
+        assert_eq!(faulted, clean);
+    }
+
+    #[test]
+    fn faulted_cosim_rejects_invalid_topology_streams() {
+        let plan = two_join_plan(2);
+        let config = SystemConfig::hierarchical(2, 2);
+        let opts = ExecOptions::default();
+        let queries = [solo(&plan, 0.0, 1, 0.0)];
+        for topo in [
+            vec![TopologyEvent::fail(0.1, 9)],
+            vec![TopologyEvent::join(0.1, 0)],
+            vec![TopologyEvent::fail(0.1, 0), TopologyEvent::fail(0.2, 1)],
+            vec![TopologyEvent::fail(f64::NAN, 0)],
+        ] {
+            assert!(
+                execute_cosimulated_faulted(&queries, &config, Strategy::Dynamic, &opts, &topo)
+                    .is_err(),
+                "{topo:?}"
+            );
+        }
     }
 
     #[test]

@@ -29,6 +29,13 @@
 //! composition of solo runs, and a **co-simulated** mode
 //! ([`execute_cosimulated`]) that interleaves all queries' activations in
 //! one engine event loop.
+//!
+//! The co-simulated loop additionally supports **fault injection**: a
+//! deterministic [`topology`] event stream (node failures, drains, re-joins
+//! at fixed simulated times) consumed alongside query events by
+//! [`execute_cosimulated_faulted`], with recovery behaviour selected through
+//! [`RecoveryOptions`] and degradation accounting surfaced as
+//! [`FaultStats`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -41,13 +48,16 @@ pub mod options;
 pub mod report;
 pub mod router;
 pub mod sp;
+pub mod topology;
 
 pub use activation::{Activation, ActivationKind, ActivationQueue, DrainOutcome};
-pub use engine::{execute, execute_cosimulated, CoSimQuery};
+pub use dlb_storage::RehomePolicy;
+pub use engine::{execute, execute_cosimulated, execute_cosimulated_faulted, CoSimQuery};
 pub use mix::{schedule_mix, MixJob, MixMode, MixPolicy, MixSchedule, QueryOutcome};
 pub use options::{
-    ContentionModel, ErrorRealization, ExecOptions, ExecOptionsBuilder, FlowControl, StealPolicy,
-    Strategy,
+    ContentionModel, ErrorRealization, ExecOptions, ExecOptionsBuilder, FlowControl,
+    RecoveryOptions, RecoveryPolicy, StealPolicy, Strategy,
 };
-pub use report::{CoSimReport, ExecutionReport, QueryExecReport, StrategyKind};
+pub use report::{CoSimReport, ExecutionReport, FaultStats, QueryExecReport, StrategyKind};
 pub use router::OutputRouter;
+pub use topology::{validate_topology, TopologyChange, TopologyEvent};

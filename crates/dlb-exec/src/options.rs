@@ -8,6 +8,7 @@
 //! [`ExecOptions::builder`]; the flat convenience setters on the builder
 //! cover the common single-knob experiments.
 
+use dlb_storage::RehomePolicy;
 use serde::{Deserialize, Serialize};
 
 /// The execution strategy to evaluate.
@@ -165,6 +166,59 @@ impl Default for StealPolicy {
     }
 }
 
+/// How work that lived on a failed node is recovered (fault injection of the
+/// co-simulated engine; see [`crate::engine::execute_cosimulated_faulted`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum RecoveryPolicy {
+    /// **Re-home and resume**: the dead node's queued activations and built
+    /// hash-table partitions are shipped over the interconnect to surviving
+    /// home nodes (per the re-home policy). No work is repeated; the cost is
+    /// the bulk transfer. The default.
+    #[default]
+    RehomeResume,
+    /// **Lose and restart the operator**: the dead node's queued activations
+    /// and hash-table partitions are lost. Lost input is regenerated on the
+    /// survivors (no bulk transfer), and lost hash-table partitions are
+    /// rebuilt by re-processing their tuples — re-opening the build operator
+    /// when it had already terminated.
+    LoseRestart,
+}
+
+impl RecoveryPolicy {
+    /// Stable label, also the JSON spelling (`rehome-resume`,
+    /// `lose-restart`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecoveryPolicy::RehomeResume => "rehome-resume",
+            RecoveryPolicy::LoseRestart => "lose-restart",
+        }
+    }
+
+    /// Parses a [`RecoveryPolicy::label`] spelling.
+    pub fn from_label(label: &str) -> Result<Self, String> {
+        match label {
+            "rehome-resume" => Ok(RecoveryPolicy::RehomeResume),
+            "lose-restart" => Ok(RecoveryPolicy::LoseRestart),
+            other => Err(format!(
+                "unknown recovery policy {other:?} (expected rehome-resume | lose-restart)"
+            )),
+        }
+    }
+}
+
+/// Fault-recovery option group: what happens to a failed node's in-flight
+/// state, and how its contents map onto the survivors. Only consulted when a
+/// co-simulated run carries topology events; a run without them never reads
+/// these knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct RecoveryOptions {
+    /// Lose-and-restart vs re-home-and-resume.
+    pub policy: RecoveryPolicy,
+    /// Consistent-hash vs range re-partitioning of the dead node's contents
+    /// (see [`dlb_storage::rehome`]).
+    pub rehome: RehomePolicy,
+}
+
 /// Tunable options of an execution run: the per-run scalars (skew, seed) plus
 /// the composable option groups.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -182,6 +236,8 @@ pub struct ExecOptions {
     pub contention: ContentionModel,
     /// Global load-balancing steal tuning.
     pub steal: StealPolicy,
+    /// Fault recovery (only read by runs carrying topology events).
+    pub recovery: RecoveryOptions,
 }
 
 /// The default seed of the strategy-internal randomness.
@@ -232,6 +288,7 @@ impl Default for ExecOptions {
             flow: FlowControl::default(),
             contention: ContentionModel::default(),
             steal: StealPolicy::default(),
+            recovery: RecoveryOptions::default(),
         }
     }
 }
@@ -277,6 +334,24 @@ impl ExecOptionsBuilder {
     /// Replaces the whole steal-policy group.
     pub fn steal(mut self, steal: StealPolicy) -> Self {
         self.options.steal = steal;
+        self
+    }
+
+    /// Replaces the whole fault-recovery group.
+    pub fn recovery(mut self, recovery: RecoveryOptions) -> Self {
+        self.options.recovery = recovery;
+        self
+    }
+
+    /// Sets the fault-recovery policy (lose-restart vs rehome-resume).
+    pub fn recovery_policy(mut self, policy: RecoveryPolicy) -> Self {
+        self.options.recovery.policy = policy;
+        self
+    }
+
+    /// Sets the partition re-home policy used after a node failure.
+    pub fn rehome_policy(mut self, rehome: RehomePolicy) -> Self {
+        self.options.recovery.rehome = rehome;
         self
     }
 
@@ -378,6 +453,23 @@ mod tests {
             .fp_realization(ErrorRealization::PerNode)
             .build();
         assert_eq!(o.fp_realization, ErrorRealization::PerNode);
+    }
+
+    #[test]
+    fn recovery_labels_round_trip_and_defaults_are_resume_hash() {
+        let o = ExecOptions::default();
+        assert_eq!(o.recovery.policy, RecoveryPolicy::RehomeResume);
+        assert_eq!(o.recovery.rehome, RehomePolicy::ConsistentHash);
+        for p in [RecoveryPolicy::RehomeResume, RecoveryPolicy::LoseRestart] {
+            assert_eq!(RecoveryPolicy::from_label(p.label()).unwrap(), p);
+        }
+        assert!(RecoveryPolicy::from_label("retry").is_err());
+        let o = ExecOptions::builder()
+            .recovery_policy(RecoveryPolicy::LoseRestart)
+            .rehome_policy(RehomePolicy::Range)
+            .build();
+        assert_eq!(o.recovery.policy, RecoveryPolicy::LoseRestart);
+        assert_eq!(o.recovery.rehome, RehomePolicy::Range);
     }
 
     #[test]

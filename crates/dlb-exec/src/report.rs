@@ -154,6 +154,33 @@ pub struct QueryExecReport {
     pub result_tuples: u64,
 }
 
+/// Degradation accounting of a faulted co-simulated run: what the injected
+/// topology events cost, summed over all events of the stream. All counters
+/// stay zero for a run without topology events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Node failures applied.
+    pub failures: u64,
+    /// Graceful drains applied.
+    pub drains: u64,
+    /// Node re-joins applied.
+    pub joins: u64,
+    /// Bytes shipped over the interconnect to rebalance departed-node state
+    /// (re-homed activations and hash-table partitions).
+    pub rebalance_bytes: u64,
+    /// Queued activations moved off departed nodes onto survivors.
+    pub activations_rehomed: u64,
+    /// Tuples carried by those re-homed activations and partitions.
+    pub tuples_rehomed: u64,
+    /// Tuples of state discarded on failure (lose-and-restart policy).
+    pub tuples_lost: u64,
+    /// Tuples re-processed to rebuild discarded state on survivors.
+    pub tuples_redone: u64,
+    /// Operators whose termination was rolled back so lost state could be
+    /// rebuilt (lose-and-restart against an already-finished build).
+    pub operators_restarted: u64,
+}
+
 /// The outcome of one co-simulated multi-query execution: the machine-wide
 /// aggregate (busy time, network traffic, load balancing — summed over all
 /// interleaved queries) plus the per-query breakdown.
@@ -164,6 +191,9 @@ pub struct CoSimReport {
     pub aggregate: ExecutionReport,
     /// One entry per query, in mix order.
     pub queries: Vec<QueryExecReport>,
+    /// Degradation accounting of injected topology events (all zero when the
+    /// run carried none).
+    pub faults: FaultStats,
 }
 
 impl CoSimReport {
@@ -266,6 +296,7 @@ mod tests {
                     result_tuples: 200,
                 },
             ],
+            faults: FaultStats::default(),
         };
         assert_eq!(r.makespan_secs(), 10.0);
         assert!((r.mean_response_secs() - 7.0).abs() < 1e-12);
@@ -273,6 +304,7 @@ mod tests {
         let empty = CoSimReport {
             aggregate: sample(),
             queries: Vec::new(),
+            faults: FaultStats::default(),
         };
         assert_eq!(empty.mean_response_secs(), 0.0);
         assert_eq!(empty.mean_wait_secs(), 0.0);

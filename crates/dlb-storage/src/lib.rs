@@ -20,6 +20,7 @@ pub mod catalog;
 pub mod generator;
 pub mod hashjoin;
 pub mod partition;
+pub mod rehome;
 pub mod relation;
 pub mod tuple;
 
@@ -27,5 +28,6 @@ pub use bucket::BucketMap;
 pub use catalog::Catalog;
 pub use hashjoin::{hash_join, HashTable};
 pub use partition::{PartitionLayout, RelationHome};
+pub use rehome::{RehomeOutcome, RehomePolicy};
 pub use relation::{RelationDef, SizeClass};
 pub use tuple::{Schema, Tuple, Value};

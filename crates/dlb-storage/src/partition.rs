@@ -128,6 +128,13 @@ impl PartitionLayout {
         Self { home, partitions }
     }
 
+    /// Assembles a layout from an explicit home and partition list (used by
+    /// re-homing, which redistributes an existing layout rather than
+    /// splitting a relation afresh).
+    pub(crate) fn from_parts(home: RelationHome, partitions: Vec<NodePartition>) -> Self {
+        Self { home, partitions }
+    }
+
     /// The relation home.
     pub fn home(&self) -> &RelationHome {
         &self.home

@@ -1,0 +1,88 @@
+//! Bit-identical failure replay: a co-simulated mix with injected topology
+//! events produces byte-for-byte the same report whatever the harness thread
+//! count. The engine's event loop is strictly sequential and seeded; worker
+//! threads only fan out independent solo runs and sweep points, so node
+//! failures, re-homing and admission refreshes must replay identically at 1
+//! and 4 threads.
+//!
+//! Lives in its own test binary: `hierdb::set_threads` reconfigures a global
+//! pool, and the plain determinism suite asserts its own thread counts.
+
+use hierdb::{
+    Experiment, HierarchicalSystem, MixEntry, MixMode, MixPolicy, QueryMix, Strategy,
+    TopologyEvent, WorkloadParams,
+};
+use std::sync::Arc;
+
+fn experiment() -> Experiment {
+    Experiment::builder()
+        .system(HierarchicalSystem::hierarchical(4, 2).with_skew(0.3))
+        .workload(WorkloadParams {
+            queries: 3,
+            relations_per_query: 5,
+            scale: 0.02,
+            skew: 0.3,
+            seed: 77,
+        })
+        .build()
+        .unwrap()
+}
+
+/// The same faulted mix, replayed on fresh experiments (no shared run cache)
+/// under 1 and then 4 worker threads, yields identical `MixRun`s — schedule,
+/// fault accounting and fault-free baseline included.
+#[test]
+fn faulted_mix_replay_is_bit_identical_at_1_and_4_threads() {
+    let topo = [
+        TopologyEvent::fail(0.05, 3),
+        TopologyEvent::fail(0.09, 2),
+        TopologyEvent::join(0.2, 3),
+    ];
+    let run_with = |threads: usize| {
+        assert!(hierdb::set_threads(threads), "rayon shim reconfigures");
+        let exp = experiment();
+        let mix = QueryMix::new(
+            Arc::new(exp.workload().clone()),
+            vec![MixEntry::default(); 3],
+        )
+        .unwrap();
+        exp.run_mix_with_topology(
+            &mix,
+            MixPolicy::Fcfs,
+            MixMode::CoSimulated,
+            Strategy::Dynamic,
+            &topo,
+        )
+        .unwrap()
+    };
+    let single = run_with(1);
+    let quad = run_with(4);
+    let stats = single.faults.expect("faulted runs carry fault stats");
+    assert_eq!(stats.failures, 2);
+    assert_eq!(stats.joins, 1);
+    assert_eq!(single.schedule, quad.schedule, "schedules diverged");
+    assert_eq!(single.faults, quad.faults, "fault accounting diverged");
+    assert_eq!(single.fault_free, quad.fault_free, "baselines diverged");
+    assert_eq!(single, quad, "faulted mix replay depends on thread count");
+
+    // The bundled failover scenarios render byte-identically too — the CI
+    // smoke diff for machine-readable emissions. Same test function: the
+    // thread pool is global, so the two passes must not interleave.
+    use hierdb::scenario;
+    for name in ["mix-failover", "mix-failover-frac"] {
+        let spec = scenario::find(name)
+            .expect("bundled spec")
+            .with_generated_workload(2, 5, 0.01, 0xD1B_1996);
+        assert!(hierdb::set_threads(1));
+        let single = scenario::run_scenario(&spec).unwrap();
+        assert!(hierdb::set_threads(4));
+        let quad = scenario::run_scenario(&spec).unwrap();
+        for (a, b) in [
+            (scenario::render_text(&single), scenario::render_text(&quad)),
+            (scenario::render_json(&single), scenario::render_json(&quad)),
+            (scenario::render_csv(&single), scenario::render_csv(&quad)),
+        ] {
+            assert_eq!(a, b, "{name} rendering depends on thread count");
+        }
+    }
+}

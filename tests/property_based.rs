@@ -378,6 +378,112 @@ proptest! {
         }
     }
 
+    /// Re-home-and-resume conserves work for arbitrary plans, machines,
+    /// strategies and failure times: no activation is lost or duplicated by
+    /// the migration, so the faulted run processes and produces exactly the
+    /// clean run's tuples (the failure work-conservation satellite).
+    #[test]
+    fn failure_rehoming_conserves_activations_and_tuples(
+        relations in 2usize..6,
+        seed in 0u64..300,
+        nodes in 2u32..5,
+        procs in 1u32..4,
+        frac in 0.05f64..0.95,
+        fixed in proptest::bool::ANY,
+    ) {
+        use hierdb::raw::exec::{
+            execute_cosimulated, execute_cosimulated_faulted, CoSimQuery, TopologyEvent,
+        };
+        let query = arbitrary_query(relations, seed);
+        let tree = Optimizer::with_defaults().optimize(&query).unwrap().remove(0);
+        let optree = OperatorTree::from_join_tree(&tree);
+        let homes = OperatorHomes::all_nodes(&optree, nodes);
+        let plan = ParallelPlan::build(query.id, optree, homes, ChainScheduling::OneAtATime).unwrap();
+        let config = SystemConfig::hierarchical(nodes, procs);
+        let options = ExecOptions::default();
+        let strategy = if fixed {
+            Strategy::Fixed { error_rate: 0.15 }
+        } else {
+            Strategy::Dynamic
+        };
+        let mk = |arrival: f64| CoSimQuery {
+            plan: &plan,
+            arrival_secs: arrival,
+            priority: 1,
+            skew: 0.0,
+            mask: None,
+            memory_bytes: 0,
+        };
+        let queries = [mk(0.0), mk(0.01)];
+        let clean = execute_cosimulated(&queries, &config, strategy, &options).unwrap();
+        let topo = [TopologyEvent::fail(
+            clean.makespan_secs() * frac,
+            nodes as usize - 1,
+        )];
+        let faulted =
+            execute_cosimulated_faulted(&queries, &config, strategy, &options, &topo).unwrap();
+        prop_assert_eq!(faulted.faults.failures, 1);
+        // Resume never loses state nor redoes work...
+        prop_assert_eq!(faulted.faults.tuples_lost, 0);
+        prop_assert_eq!(faulted.faults.tuples_redone, 0);
+        // ...so re-homing neither drops nor duplicates activations.
+        prop_assert_eq!(
+            faulted.aggregate.tuples_processed,
+            clean.aggregate.tuples_processed
+        );
+        prop_assert_eq!(faulted.aggregate.result_tuples, clean.aggregate.result_tuples);
+        // Per-query outputs are conserved too, not just the aggregate.
+        for (f, c) in faulted.queries.iter().zip(&clean.queries) {
+            prop_assert_eq!(f.tuples_processed, c.tuples_processed);
+        }
+    }
+
+    /// Random byte-mutations of bundled scenario specs never panic the JSON
+    /// front door: `ScenarioSpec::from_json` either accepts the (possibly
+    /// still valid) document or returns a clean `DlbError` (the spec-file
+    /// hardening satellite).
+    #[test]
+    fn mutated_spec_json_never_panics_the_parser(
+        positions in proptest::collection::vec(0usize..100_000, 1..16),
+        values in proptest::collection::vec(0u16..256, 1..16),
+        spec_pick in 0usize..64,
+    ) {
+        use hierdb::scenario::{self, ScenarioSpec};
+        let specs = scenario::registry();
+        let spec = &specs[spec_pick % specs.len()];
+        let mut bytes = spec.to_json().into_bytes();
+        for (&pos, &val) in positions.iter().zip(&values) {
+            let n = bytes.len();
+            bytes[pos % n] = val as u8;
+        }
+        let text = String::from_utf8_lossy(&bytes);
+        if let Err(e) = ScenarioSpec::from_json(&text) {
+            prop_assert!(!format!("{e}").is_empty());
+        }
+    }
+
+    /// Truncating a bundled spec mid-document always yields
+    /// `DlbError::Parse` — the root object never closes, so the parser must
+    /// reject the prefix rather than panic or accept it.
+    #[test]
+    fn truncated_spec_json_is_a_parse_error(
+        cut in 0usize..100_000,
+        spec_pick in 0usize..64,
+    ) {
+        use hierdb::raw::common::DlbError;
+        use hierdb::scenario::{self, ScenarioSpec};
+        let specs = scenario::registry();
+        let spec = &specs[spec_pick % specs.len()];
+        let text = spec.to_json();
+        let body = text.trim_end();
+        let prefix = String::from_utf8_lossy(&body.as_bytes()[..cut % body.len()]);
+        let err = ScenarioSpec::from_json(&prefix).unwrap_err();
+        prop_assert!(
+            matches!(err, DlbError::Parse(_)),
+            "expected a parse error for a truncated spec, got {err}"
+        );
+    }
+
     /// Random interleavings of queue operations keep the bounded activation
     /// queue consistent (length never exceeds capacity, counters add up).
     #[test]

@@ -147,6 +147,79 @@ fn mix_cosim_memory_spec_matches_its_golden_capture() {
 }
 
 #[test]
+fn mix_failover_spec_matches_its_golden_capture() {
+    assert_golden(
+        "mix_failover.txt",
+        &rendered("mix-failover"),
+        include_str!("golden/mix_failover.txt"),
+    );
+}
+
+#[test]
+fn mix_failover_frac_spec_matches_its_golden_capture() {
+    assert_golden(
+        "mix_failover_frac.txt",
+        &rendered("mix-failover-frac"),
+        include_str!("golden/mix_failover_frac.txt"),
+    );
+}
+
+#[test]
+fn failover_reports_carry_degradation_accounting_and_split_dp_from_fp() {
+    // The acceptance scenario: a node dies mid-mix, the run completes, and
+    // the report carries rebalance cost plus response inflation per query,
+    // with DP and FP degrading differently.
+    let spec = golden(scenario::find("mix-failover").expect("bundled spec"));
+    let report = scenario::run_scenario(&spec).expect("failover scenario completes");
+    let text = scenario::render_text(&report);
+    for col in ["vs clean", "rebal KB", "redone"] {
+        assert!(text.contains(col), "missing fault column {col:?}:\n{text}");
+    }
+    let json = scenario::render_json(&report);
+    for key in [
+        "\"fault_stats\"",
+        "\"rebalance_bytes\"",
+        "\"mix_vs_fault_free_response\"",
+        "\"mix_query_response_inflation\"",
+    ] {
+        assert!(json.contains(key), "missing JSON key {key}:\n{json}");
+    }
+    let csv = scenario::render_csv(&report);
+    let header = csv.lines().next().unwrap();
+    assert!(
+        header.ends_with(
+            "mix_vs_fault_free_response,fault_rebalance_bytes,\
+             fault_tuples_lost,fault_tuples_redone"
+        ),
+        "faulted CSV header misses the fault suffix: {header}"
+    );
+    // DP re-homes and resumes where FP's rigid placements force restarts, so
+    // the two strategies must not degrade identically: at some swept failure
+    // time their faulted schedules (and hence inflation vs the clean run)
+    // diverge.
+    let mut divergent = false;
+    for point in &report.points {
+        assert_eq!(point.cells.len(), 2, "DP and FP cells expected");
+        let (dp, fp) = (&point.cells[0], &point.cells[1]);
+        assert!(
+            dp.faults.is_some() && fp.faults.is_some(),
+            "faulted cells must carry fault stats"
+        );
+        assert!(
+            dp.mix_fault_free.is_some() && fp.mix_fault_free.is_some(),
+            "faulted cells must carry the clean baseline"
+        );
+        let (Some(dm), Some(fm)) = (&dp.mix, &fp.mix) else {
+            panic!("co-simulated mix cells must carry schedules");
+        };
+        if (dm.mean_response_secs - fm.mean_response_secs).abs() > 1e-9 {
+            divergent = true;
+        }
+    }
+    assert!(divergent, "DP and FP degraded identically under failover");
+}
+
+#[test]
 fn params_table_reproduces_the_pre_refactor_binary_output() {
     assert_golden(
         "fig_params.txt",
@@ -341,6 +414,7 @@ fn memory_axis_reaches_the_mix_scheduler_end_to_end() {
         mode: hierdb::MixMode::Composed,
         priorities: Vec::new(),
         skews: Vec::new(),
+        topology: Vec::new(),
     };
     let system = HierarchicalSystem::hierarchical(1, 2);
     let workload = CompiledWorkload::generate(
@@ -391,6 +465,169 @@ fn memory_axis_reaches_the_mix_scheduler_end_to_end() {
     // conserved on the single shared node).
     assert_ne!(tight.queries, generous.queries);
     assert!(tight.queries[0].response_secs < generous.queries[0].response_secs);
+}
+
+/// Recovery options and topology streams survive the JSON round-trip with
+/// their non-default values, and unknown labels are rejected with clear
+/// parse errors naming the expected spellings.
+#[test]
+fn recovery_and_topology_serde_round_trips_and_rejects_unknown_labels() {
+    use hierdb::raw::common::DlbError;
+    use hierdb::{RecoveryPolicy, RehomePolicy, TopologyChange};
+    let text = r#"{
+        "name": "recovery",
+        "machine": {"nodes": 2},
+        "options": {"recovery": {"policy": "lose-restart", "rehome": "range"}},
+        "workload": {"mix": {"mode": "co-simulated",
+            "topology": [
+                {"at_secs": 0.1, "node": 1, "change": "drain"},
+                {"at_secs": 0.3, "node": 1, "change": "join"}
+            ]}}
+    }"#;
+    let spec = ScenarioSpec::from_json(text).unwrap();
+    assert_eq!(spec.options.recovery.policy, RecoveryPolicy::LoseRestart);
+    assert_eq!(spec.options.recovery.rehome, RehomePolicy::Range);
+    let WorkloadSpec::Mix(mix) = &spec.workload else {
+        panic!("expected a mix workload");
+    };
+    assert_eq!(mix.topology.len(), 2);
+    assert_eq!(mix.topology[0].change, TopologyChange::NodeDrain);
+    assert_eq!(mix.topology[1].change, TopologyChange::NodeJoin);
+    let back = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+    assert_eq!(back, spec, "non-default recovery options must round-trip");
+
+    for (bad, expected) in [
+        (
+            r#"{"name": "x", "options": {"recovery": {"policy": "abandon"}}}"#,
+            "unknown recovery policy",
+        ),
+        (
+            r#"{"name": "x", "options": {"recovery": {"rehome": "shuffle"}}}"#,
+            "unknown rehome policy",
+        ),
+        (
+            r#"{"name": "x", "workload": {"mix": {"mode": "co-simulated",
+                "topology": [{"at_secs": 0.1, "node": 0, "change": "explode"}]}}}"#,
+            "unknown topology change",
+        ),
+        (
+            r#"{"name": "x", "workload": {"mix": {"mode": "co-simulated",
+                "topology": [{"at_secs": 0.1, "node": 0, "kind": "fail"}]}}}"#,
+            "unknown",
+        ),
+    ] {
+        let err = ScenarioSpec::from_json(bad).unwrap_err();
+        assert!(
+            matches!(err, DlbError::Parse(ref m) if m.contains(expected)),
+            "{bad} => {err}"
+        );
+    }
+}
+
+/// Specs that are infeasible under their post-failure topology fail with
+/// clear `DlbError`s — at validation time where the shape alone decides, at
+/// run time where the workload's memory demands decide — never a panic (the
+/// `scenario --validate` / `--spec` satellite of this PR).
+#[test]
+fn infeasible_post_failure_specs_fail_with_clear_errors_not_panics() {
+    use hierdb::raw::common::DlbError;
+    use hierdb::raw::query::cost::CostModel;
+    use hierdb::scenario::{Metric, MixSpec, Presentation, Reference, TableStyle};
+    use hierdb::{CompiledWorkload, MixEntry, MixMode, QueryMix, TopologyEvent};
+
+    // (a) Shape-level: a topology stream is validated against the machine
+    // when the spec is parsed — the exact path `scenario --spec` /
+    // `--export` / `--validate` take for user files.
+    let bad = r#"{
+        "name": "bad-topo",
+        "machine": {"nodes": 2},
+        "workload": {"mix": {"mode": "co-simulated",
+            "topology": [{"at_secs": 0.1, "node": 7, "change": "fail"}]}}
+    }"#;
+    let err = ScenarioSpec::from_json(bad).unwrap_err();
+    assert!(
+        matches!(err, DlbError::InvalidConfig(ref m)
+            if m.contains("invalid topology stream") && m.contains("node 7")),
+        "{err}"
+    );
+
+    // (b) Axis-level: a failed-nodes sweep may never kill the whole machine.
+    let err = ScenarioSpec::builder("all-dead")
+        .machine(2, 2)
+        .workload(WorkloadSpec::Mix(MixSpec {
+            mode: MixMode::CoSimulated,
+            topology: vec![TopologyEvent::fail(0.1, 1)],
+            ..MixSpec::default()
+        }))
+        .rows(Axis::FailedNodes, [2.0])
+        .build()
+        .unwrap_err();
+    assert!(
+        matches!(err, DlbError::InvalidConfig(ref m)
+            if m.contains("leave at least one live node")),
+        "{err}"
+    );
+
+    // (c) Run-time: a mix whose working set fits the full machine but can
+    // never fit the post-failure survivor set is rejected by the engine with
+    // a clear error instead of stalling the event loop. The second query
+    // arrives long after node 1 dies, so its demand must fit on node 0
+    // alone.
+    let mix = MixSpec {
+        queries: 2,
+        relations: 4,
+        scale: 4.0,
+        seed: 42,
+        arrival_gap_secs: 10.0,
+        policy: MixPolicy::Fcfs,
+        mode: MixMode::CoSimulated,
+        priorities: Vec::new(),
+        skews: Vec::new(),
+        topology: vec![TopologyEvent::fail(0.05, 1)],
+    };
+    let system = HierarchicalSystem::hierarchical(2, 2);
+    let workload = CompiledWorkload::generate(
+        WorkloadParams {
+            queries: mix.queries,
+            relations_per_query: mix.relations,
+            scale: mix.scale,
+            skew: 0.0,
+            seed: mix.seed,
+        },
+        &system,
+    )
+    .unwrap();
+    let probe = QueryMix::new(Arc::new(workload), vec![MixEntry::default(); 2]).unwrap();
+    let config = system.config();
+    let cost = CostModel::new(config.costs, config.disk, config.cpu);
+    let demands: Vec<u64> = (0..probe.len())
+        .map(|q| probe.memory_demand(q, &cost))
+        .collect();
+    const MB: u64 = 1024 * 1024;
+    // Enough memory for every query split across both nodes, not enough for
+    // the late query concentrated on the lone survivor.
+    let cap_mb = demands.iter().max().unwrap().div_ceil(2).div_ceil(MB);
+    assert!(
+        demands[1] > cap_mb * MB,
+        "demands {demands:?} must overflow a {cap_mb} MB survivor node"
+    );
+    let spec = ScenarioSpec::builder("post-failure-oom")
+        .machine(2, 2)
+        .memory_per_node_mb(cap_mb)
+        .workload(WorkloadSpec::Mix(mix))
+        .strategies([Strategy::Dynamic])
+        .rows(Axis::Skew, [0.0])
+        .reference(Reference::SamePoint(Strategy::Dynamic))
+        .metric(Metric::Relative)
+        .presentation(Presentation::Mix(TableStyle::for_axis(Axis::Skew)))
+        .build()
+        .unwrap();
+    let err = scenario::run_scenario(&spec).unwrap_err();
+    assert!(
+        matches!(err, DlbError::ExecutionError(ref m)
+            if m.contains("never be admitted after the topology change")),
+        "{err}"
+    );
 }
 
 /// Mix cells surface in the machine-readable emission: JSON records carry
