@@ -97,6 +97,17 @@ fn workload_json(spec: &ScenarioSpec) -> String {
             mix.seed,
             mix.policy.label()
         ),
+        WorkloadSpec::Open(open) => format!(
+            "{{\"open\": {{\"kind\": \"{}\", \"rate_qps\": {}, \"queries\": {}, \
+             \"templates\": {}, \"relations\": {}, \"scale\": {}, \"seed\": {}}}}}",
+            open.kind.label(),
+            open.rate_qps,
+            open.queries,
+            open.templates,
+            open.relations,
+            open.scale,
+            open.seed
+        ),
     }
 }
 

@@ -94,7 +94,19 @@ fn main() {
 
     if list {
         for spec in scenario::registry() {
-            println!("{:<12} {:<24} {}", spec.name, spec.title, spec.description);
+            // Workload kind: closed (fixed batch: generated or chain), mix
+            // (concurrent closed set) or open (stochastic arrival stream).
+            let kind = if spec.workload.is_open() {
+                "open"
+            } else if spec.workload.is_mix() {
+                "mix"
+            } else {
+                "closed"
+            };
+            println!(
+                "{:<20} {:<7} {:<24} {}",
+                spec.name, kind, spec.title, spec.description
+            );
         }
         return;
     }

@@ -202,9 +202,10 @@ impl WorkloadOverrides {
         }
     }
 
-    /// Applies the set overrides onto a spec's generated workload — plain or
-    /// the inner workload of a mix (chain workloads and unset knobs are
-    /// untouched).
+    /// Applies the set overrides onto a spec's generated workload — plain,
+    /// the inner workload of a mix, or the template pool of an open arrival
+    /// stream (chain workloads and unset knobs are untouched; for open
+    /// workloads the queries knob sizes the template pool, not the stream).
     pub fn apply(&self, spec: ScenarioSpec) -> ScenarioSpec {
         let (queries, relations, scale, seed) = match &spec.workload {
             WorkloadSpec::Generated {
@@ -214,6 +215,7 @@ impl WorkloadOverrides {
                 seed,
             } => (*queries, *relations, *scale, *seed),
             WorkloadSpec::Mix(mix) => (mix.queries, mix.relations, mix.scale, mix.seed),
+            WorkloadSpec::Open(open) => (open.templates, open.relations, open.scale, open.seed),
             WorkloadSpec::Chain { .. } => return spec,
         };
         spec.with_generated_workload(

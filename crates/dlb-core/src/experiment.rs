@@ -32,12 +32,14 @@ use dlb_common::config::SystemConfig;
 use dlb_common::{NodeId, Result};
 use dlb_exec::mix::{schedule_mix, MixJob, MixMode, MixPolicy, MixSchedule};
 use dlb_exec::{
-    execute_cosimulated_faulted, CoSimQuery, CoSimReport, ExecOptions, ExecutionReport, FaultStats,
-    QueryOutcome, Strategy, TopologyEvent,
+    execute_cosimulated_faulted, execute_open, CoSimQuery, CoSimReport, ExecOptions,
+    ExecutionReport, FaultStats, OpenReport, OpenTemplate, OpenTraffic, QueryOutcome, Strategy,
+    TopologyEvent,
 };
 use dlb_query::cost::CostModel;
 use dlb_query::generator::WorkloadParams;
 use dlb_query::plan::ParallelPlan;
+use dlb_traffic::ArrivalSpec;
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -79,6 +81,19 @@ pub struct MixRun {
     /// no-fault baseline that per-query response inflation is measured
     /// against. `Some` exactly when `faults` is.
     pub fault_free: Option<MixSchedule>,
+}
+
+/// The outcome of [`Experiment::run_open`]: the open-system report plus the
+/// per-template solo runs its slowdown baseline was derived from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenRun {
+    /// Streaming latency sketches, throughput and aggregate counters of the
+    /// whole arrival stream (see [`dlb_exec::OpenReport`]).
+    pub report: OpenReport,
+    /// One solo run per template (its plan, executed alone on the whole
+    /// machine). `Arc`-shared so that open-cache hits clone a reference, not
+    /// the per-plan reports.
+    pub solo: Arc<Vec<PlanRun>>,
 }
 
 /// Structured cache key of one experiment run: a bit-exact fingerprint of
@@ -169,6 +184,40 @@ impl RunKey {
                 .flat_map(|e| [e.at_secs.to_bits(), e.node.index() as u64, e.change.bits()]),
         );
         Self::with_extra(strategy, options, config, workload, mix_bits)
+    }
+
+    /// The key of one open-system run: the base fingerprint extended with
+    /// the traffic identity — arrival process (kind, rate, burstiness,
+    /// query count, template-pool size, priority classes, stream seed) and
+    /// the concurrency level. The per-template memory demands and solo
+    /// baselines are pure functions of inputs the base key already covers
+    /// (workload, cost model, machine, options), so they need no extra bits.
+    pub fn for_open(
+        strategy: Strategy,
+        options: &ExecOptions,
+        config: &SystemConfig,
+        workload: &WorkloadFingerprint,
+        arrivals: &ArrivalSpec,
+        concurrency: usize,
+    ) -> Self {
+        let open_bits = [
+            // Discriminant: an open run, never colliding with plain keys
+            // (no extra bits) or mix keys (discriminant u64::MAX).
+            u64::MAX - 1,
+            match arrivals.kind {
+                dlb_traffic::ArrivalKind::Poisson => 0,
+                dlb_traffic::ArrivalKind::Bursty => 1,
+                dlb_traffic::ArrivalKind::Diurnal => 2,
+            },
+            arrivals.rate_qps.to_bits(),
+            arrivals.burstiness.to_bits(),
+            arrivals.queries as u64,
+            arrivals.templates as u64,
+            arrivals.priority_classes as u64,
+            arrivals.seed,
+            concurrency as u64,
+        ];
+        Self::with_extra(strategy, options, config, workload, open_bits)
     }
 
     fn with_extra(
@@ -265,6 +314,8 @@ pub struct RunCache {
     /// the per-plan map because the cached value is a whole [`MixRun`]
     /// (schedule + contrast + solo set), not a plan list.
     mix: Mutex<HashMap<RunKey, Arc<MixRun>>>,
+    /// Open-system runs, keyed by [`RunKey::for_open`].
+    open: Mutex<HashMap<RunKey, Arc<OpenRun>>>,
 }
 
 impl RunCache {
@@ -285,9 +336,14 @@ impl RunCache {
         self.mix.lock().len()
     }
 
+    /// Number of cached open-system runs.
+    pub fn open_len(&self) -> usize {
+        self.open.lock().len()
+    }
+
     /// True when nothing is cached yet.
     pub fn is_empty(&self) -> bool {
-        self.map.lock().is_empty() && self.mix.lock().is_empty()
+        self.map.lock().is_empty() && self.mix.lock().is_empty() && self.open.lock().is_empty()
     }
 
     /// Looks up a cached run.
@@ -316,6 +372,21 @@ impl RunCache {
     /// [`insert_or_get`]: RunCache::insert_or_get
     pub fn insert_or_get_mix(&self, key: RunKey, run: Arc<MixRun>) -> Arc<MixRun> {
         let mut map = self.mix.lock();
+        Arc::clone(map.entry(key).or_insert(run))
+    }
+
+    /// Looks up a cached open-system run.
+    pub fn get_open(&self, key: &RunKey) -> Option<Arc<OpenRun>> {
+        self.open.lock().get(key).map(Arc::clone)
+    }
+
+    /// Inserts an open-system run unless the key is already present,
+    /// returning the cached value either way (same first-insertion-wins
+    /// contract as [`insert_or_get`]).
+    ///
+    /// [`insert_or_get`]: RunCache::insert_or_get
+    pub fn insert_or_get_open(&self, key: RunKey, run: Arc<OpenRun>) -> Arc<OpenRun> {
+        let mut map = self.open.lock();
         Arc::clone(map.entry(key).or_insert(run))
     }
 }
@@ -695,6 +766,95 @@ impl Experiment {
             }
         };
         Ok((*self.cache.insert_or_get_mix(key, Arc::new(run))).clone())
+    }
+
+    /// Runs an open system on this experiment's machine: the workload's
+    /// plans become the query-template pool, `arrivals` generates the
+    /// stochastic stream over that pool, and the engine admits arrivals FCFS
+    /// into at most `concurrency` lane slots (per-node memory permitting),
+    /// retiring each query — and dropping its operator state — on completion
+    /// (see [`dlb_exec::execute_open`]).
+    ///
+    /// The per-template slowdown baselines are this experiment's own cached
+    /// whole-machine solo runs ([`Experiment::run`]), and each template's
+    /// memory demand is its plan's hash-table working set under this
+    /// machine's cost model — the same demand the mix scheduler reasons
+    /// about. Whole open runs are cached under [`RunKey::for_open`], so
+    /// repeated sweep points and reference strategies are cache hits.
+    ///
+    /// Like [`QueryMix`], the first compiled plan of each
+    /// distinct query becomes that template's plan, so `arrivals.templates`
+    /// must equal the workload's distinct query count.
+    pub fn run_open(
+        &self,
+        arrivals: &ArrivalSpec,
+        concurrency: usize,
+        strategy: Strategy,
+    ) -> Result<OpenRun> {
+        // First plan per distinct query — the optimizer may have emitted
+        // several plan variants per query.
+        let mut chosen: Vec<usize> = Vec::new();
+        let mut seen_query = std::collections::BTreeSet::new();
+        for (plan_index, (query_index, _)) in self.workload.plans().iter().enumerate() {
+            if seen_query.insert(*query_index) {
+                chosen.push(plan_index);
+            }
+        }
+        if arrivals.templates != chosen.len() {
+            return Err(dlb_common::DlbError::config(format!(
+                "the arrival spec draws from {} templates but the workload \
+                 compiled {} distinct queries",
+                arrivals.templates,
+                chosen.len()
+            )));
+        }
+        if concurrency == 0 {
+            return Err(dlb_common::DlbError::config(
+                "open-system runs need at least one lane slot",
+            ));
+        }
+        let config = self.system.config();
+        let key = RunKey::for_open(
+            strategy,
+            self.system.options(),
+            config,
+            self.workload.fingerprint(),
+            arrivals,
+            concurrency,
+        );
+        if let Some(hit) = self.cache.get_open(&key) {
+            return Ok((*hit).clone());
+        }
+        // Solo baselines: the cached whole-machine run of every template.
+        let solo = self.run(strategy)?;
+        // Working sets under this machine's cost model — the same hash-table
+        // estimate the mix admission uses.
+        let cost = CostModel::new(config.costs, config.disk, config.cpu);
+        let templates: Vec<OpenTemplate<'_>> = chosen
+            .iter()
+            .map(|&plan_index| {
+                let (_, plan) = &self.workload.plans()[plan_index];
+                OpenTemplate {
+                    plan,
+                    memory_bytes: plan
+                        .tree
+                        .operators()
+                        .iter()
+                        .filter(|op| op.kind.is_build())
+                        .map(|op| cost.hash_table_bytes(op.input_tuples))
+                        .sum(),
+                    solo_secs: solo[plan_index].report.response_secs(),
+                }
+            })
+            .collect();
+        let traffic = OpenTraffic {
+            templates,
+            arrivals: *arrivals,
+            concurrency,
+        };
+        let report = execute_open(&traffic, config, strategy, self.system.options())?;
+        let run = OpenRun { report, solo };
+        Ok((*self.cache.insert_or_get_open(key, Arc::new(run))).clone())
     }
 
     /// Runs every plan strictly sequentially on the calling thread, bypassing
@@ -1398,6 +1558,117 @@ mod tests {
             )
             .unwrap();
         assert_eq!(again, faulted);
+    }
+
+    fn small_arrivals(queries: usize, templates: usize) -> ArrivalSpec {
+        ArrivalSpec {
+            kind: dlb_traffic::ArrivalKind::Poisson,
+            rate_qps: 50.0,
+            burstiness: 0.0,
+            queries,
+            templates,
+            priority_classes: 1,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn run_open_reports_latencies_and_caches() {
+        let exp = small_experiment(2, 2);
+        let arrivals = small_arrivals(20, exp.workload().queries().len());
+        let run = exp.run_open(&arrivals, 2, Strategy::Dynamic).unwrap();
+        assert_eq!(run.report.completed, 20);
+        assert_eq!(run.report.response.count(), 20);
+        assert!(run.report.peak_live <= 2);
+        assert!(run.report.throughput_qps > 0.0);
+        assert_eq!(run.solo.len(), exp.workload().len());
+        // Loaded responses can never beat the solo baseline: every slowdown
+        // sample is >= 1 (the zero bucket stays empty).
+        assert_eq!(
+            run.report.slowdown.quantile(0.0).map(|v| v > 0.0),
+            Some(true)
+        );
+        // A repeat is a pure cache hit.
+        assert_eq!(exp.cache().open_len(), 1);
+        let again = exp.run_open(&arrivals, 2, Strategy::Dynamic).unwrap();
+        assert_eq!(again, run);
+        assert_eq!(exp.cache().open_len(), 1);
+        // Mismatched template pool or a zero concurrency are config errors.
+        assert!(exp
+            .run_open(&small_arrivals(20, 99), 2, Strategy::Dynamic)
+            .is_err());
+        assert!(exp.run_open(&arrivals, 0, Strategy::Dynamic).is_err());
+    }
+
+    #[test]
+    fn open_run_keys_distinguish_traffic_and_concurrency() {
+        let system = HierarchicalSystem::hierarchical(2, 2);
+        let workload = CompiledWorkload::generate(WorkloadParams::tiny(2, 4, 11), &system).unwrap();
+        let options = ExecOptions::default();
+        let key = |arrivals: &ArrivalSpec, concurrency: usize| {
+            RunKey::for_open(
+                Strategy::Dynamic,
+                &options,
+                system.config(),
+                workload.fingerprint(),
+                arrivals,
+                concurrency,
+            )
+        };
+        let base_spec = small_arrivals(20, 2);
+        let base = key(&base_spec, 4);
+        assert_eq!(base, key(&base_spec, 4));
+        assert_ne!(base, key(&base_spec, 8));
+        assert_ne!(
+            base,
+            key(
+                &ArrivalSpec {
+                    rate_qps: 51.0,
+                    ..base_spec
+                },
+                4
+            )
+        );
+        assert_ne!(
+            base,
+            key(
+                &ArrivalSpec {
+                    kind: dlb_traffic::ArrivalKind::Bursty,
+                    ..base_spec
+                },
+                4
+            )
+        );
+        assert_ne!(
+            base,
+            key(
+                &ArrivalSpec {
+                    seed: 8,
+                    ..base_spec
+                },
+                4
+            )
+        );
+        assert_ne!(
+            base,
+            key(
+                &ArrivalSpec {
+                    queries: 21,
+                    ..base_spec
+                },
+                4
+            )
+        );
+        // Open keys never collide with plain or mix keys of the same inputs.
+        assert_ne!(
+            base,
+            RunKey::new(
+                Strategy::Dynamic,
+                &options,
+                system.config(),
+                workload.fingerprint()
+            )
+        );
     }
 
     #[test]

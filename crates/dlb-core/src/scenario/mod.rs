@@ -36,6 +36,13 @@
 //! Faulted cells carry the degradation accounting
 //! ([`StrategyCell::faults`]) and the fault-free schedule of the same mix
 //! ([`StrategyCell::mix_fault_free`]) for response-inflation contrasts.
+//!
+//! A [`WorkloadSpec::Open`] workload runs the engine as an *open system*:
+//! queries arrive over a seeded stochastic process (`dlb-traffic`), wait in
+//! a FCFS admission queue for one of `concurrency` lane slots, and retire on
+//! completion, streaming their latencies into constant-size sketches. Open
+//! scenarios sweep [`Axis::ArrivalRate`] and [`Axis::Burstiness`], and their
+//! cells carry the percentile report ([`StrategyCell::open`]).
 
 mod registry;
 mod render;
@@ -45,7 +52,7 @@ mod spec;
 pub use registry::{export, find, names, registry};
 pub use render::{fmt_ratio, render_csv, render_json, render_text};
 pub use spec::{
-    Axis, MachineSpec, Metric, MixSpec, Presentation, Reference, RowFmt, ScenarioSpec,
+    Axis, MachineSpec, Metric, MixSpec, OpenSpec, Presentation, Reference, RowFmt, ScenarioSpec,
     ScenarioSpecBuilder, Sweep, TableStyle, WorkloadSpec,
 };
 
@@ -54,11 +61,14 @@ use crate::summary::{relative_performance, speedup, Summary};
 use crate::system::HierarchicalSystem;
 use crate::workload::{CompiledWorkload, QueryMix};
 use dlb_common::{QueryId, RelationId, Result};
-use dlb_exec::{ExecOptions, FaultStats, MixMode, MixPolicy, MixSchedule, Strategy, TopologyEvent};
+use dlb_exec::{
+    ExecOptions, FaultStats, MixMode, MixPolicy, MixSchedule, OpenReport, Strategy, TopologyEvent,
+};
 use dlb_query::generator::WorkloadParams;
 use dlb_query::jointree::JoinTree;
 use dlb_query::optree::OperatorTree;
 use dlb_query::plan::{ChainScheduling, OperatorHomes, ParallelPlan};
+use dlb_traffic::ArrivalSpec;
 use rayon::prelude::*;
 use std::sync::Arc;
 
@@ -90,6 +100,11 @@ pub struct StrategyCell {
     /// placements, no topology events), carried alongside a faulted `mix`
     /// schedule so renderings can report per-query response inflation.
     pub mix_fault_free: Option<MixSchedule>,
+    /// The open-system report of this strategy at this point (open workloads
+    /// only): latency percentiles, admission waits, slowdowns and achieved
+    /// throughput over the whole arrival stream. For open cells `runs` holds
+    /// the per-template *solo* runs the slowdown baseline came from.
+    pub open: Option<OpenReport>,
 }
 
 /// All strategies measured at one sweep point.
@@ -185,10 +200,11 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport> {
         Option<MixSchedule>,
         Option<FaultStats>,
         Option<MixSchedule>,
+        Option<OpenReport>,
     );
     type RawPoint = (
         Vec<RawCell>,
-        Option<(Arc<Vec<PlanRun>>, Option<MixSchedule>)>,
+        Option<(Arc<Vec<PlanRun>>, Option<MixSchedule>, Option<OpenReport>)>,
     );
     let raw: Result<Vec<RawPoint>> = grid
         .par_iter()
@@ -208,9 +224,19 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport> {
                     )),
                     _ => None,
                 };
+            let open: Option<(ArrivalSpec, usize)> = match &workload_spec {
+                WorkloadSpec::Open(o) => Some((o.arrivals(), o.concurrency)),
+                _ => None,
+            };
             let run_one = |s: Strategy| -> Result<RawCell> {
+                if let Some((arrivals, concurrency)) = &open {
+                    let or = experiment.run_open(arrivals, *concurrency, s)?;
+                    return Ok((s, or.solo, None, None, None, None, Some(or.report)));
+                }
                 match &mix {
-                    None => experiment.run(s).map(|r| (s, r, None, None, None, None)),
+                    None => experiment
+                        .run(s)
+                        .map(|r| (s, r, None, None, None, None, None)),
                     Some((query_mix, policy, mode, topology)) => {
                         let mr = experiment
                             .run_mix_with_topology(query_mix, *policy, *mode, s, topology)?;
@@ -221,6 +247,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport> {
                             mr.composed,
                             mr.faults,
                             mr.fault_free,
+                            None,
                         ))
                     }
                 }
@@ -232,8 +259,9 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport> {
                 .collect();
             let reference = match spec.reference {
                 Reference::SamePoint(r) => {
-                    let (_, runs, schedule, ..) = run_one(strategy_at(r, spec, row, col))?;
-                    Some((runs, schedule))
+                    let (_, runs, schedule, _, _, _, open_report) =
+                        run_one(strategy_at(r, spec, row, col))?;
+                    Some((runs, schedule, open_report))
                 }
                 Reference::FirstRow => None,
             };
@@ -253,25 +281,31 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport> {
                 .iter()
                 .enumerate()
                 .map(
-                    |(si, (strategy, r, schedule, composed, faults, fault_free))| {
-                        let (reference, ref_schedule): (&Arc<Vec<PlanRun>>, &Option<MixSchedule>) =
-                            match spec.reference {
-                                Reference::SamePoint(_) => {
-                                    let (runs, sched) =
-                                        same_point_ref.as_ref().expect("reference was computed");
-                                    (runs, sched)
-                                }
-                                // Row-major order: the first row's point with the
-                                // same column index.
-                                Reference::FirstRow => {
-                                    let cell = &raw[idx % ncols].0[si];
-                                    (&cell.1, &cell.2)
-                                }
-                            };
-                        // Mix points compare end-to-end (multi-query) response
-                        // times; plain points compare the per-plan runs.
-                        let value = match (schedule, ref_schedule) {
-                            (Some(s), Some(rs)) => mix_metric(spec.metric, s, rs),
+                    |(si, (strategy, r, schedule, composed, faults, fault_free, open))| {
+                        let (reference, ref_schedule, ref_open): (
+                            &Arc<Vec<PlanRun>>,
+                            &Option<MixSchedule>,
+                            &Option<OpenReport>,
+                        ) = match spec.reference {
+                            Reference::SamePoint(_) => {
+                                let (runs, sched, op) =
+                                    same_point_ref.as_ref().expect("reference was computed");
+                                (runs, sched, op)
+                            }
+                            // Row-major order: the first row's point with the
+                            // same column index.
+                            Reference::FirstRow => {
+                                let cell = &raw[idx % ncols].0[si];
+                                (&cell.1, &cell.2, &cell.6)
+                            }
+                        };
+                        // Open points compare mean response times of the whole
+                        // arrival stream; mix points compare end-to-end
+                        // (multi-query) response times; plain points compare
+                        // the per-plan runs.
+                        let value = match (open, ref_open, schedule, ref_schedule) {
+                            (Some(o), Some(ro), ..) => open_metric(spec.metric, o, ro),
+                            (_, _, Some(s), Some(rs)) => mix_metric(spec.metric, s, rs),
                             _ => match spec.metric {
                                 Metric::Relative => relative_performance(r, reference),
                                 Metric::Speedup => speedup(r, reference),
@@ -286,6 +320,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport> {
                             mix_composed: composed.clone(),
                             faults: *faults,
                             mix_fault_free: fault_free.clone(),
+                            open: open.clone(),
                         }
                     },
                 )
@@ -352,6 +387,27 @@ fn mix_relative(runs: &MixSchedule, reference: &MixSchedule) -> f64 {
     ratios.iter().sum::<f64>() / ratios.len() as f64
 }
 
+/// The spec metric evaluated over two open-system reports: the ratio of
+/// mean response times over the whole arrival stream (or its inverse for
+/// speed-up). Empty streams yield NaN.
+fn open_metric(metric: Metric, report: &OpenReport, reference: &OpenReport) -> f64 {
+    let ref_mean = reference.response.mean();
+    if ref_mean <= 0.0 || ref_mean.is_nan() {
+        return f64::NAN;
+    }
+    let ratio = report.response.mean() / ref_mean;
+    match metric {
+        Metric::Relative => ratio,
+        Metric::Speedup => {
+            if ratio > 0.0 {
+                1.0 / ratio
+            } else {
+                f64::NAN
+            }
+        }
+    }
+}
+
 /// The spec metric evaluated over two mix schedules.
 fn mix_metric(metric: Metric, runs: &MixSchedule, reference: &MixSchedule) -> f64 {
     match metric {
@@ -407,6 +463,16 @@ fn point_config(
                 mix.topology = (0..v as usize)
                     .map(|i| TopologyEvent::fail(at, nodes - 1 - i))
                     .collect();
+            }
+        }
+        Axis::ArrivalRate => {
+            if let WorkloadSpec::Open(open) = &mut workload {
+                open.rate_qps = v;
+            }
+        }
+        Axis::Burstiness => {
+            if let WorkloadSpec::Open(open) = &mut workload {
+                open.burstiness = v;
             }
         }
     };
@@ -475,6 +541,18 @@ fn compile_workload(
                 scale: mix.scale,
                 skew: 0.0,
                 seed: mix.seed,
+            };
+            Ok((Arc::new(CompiledWorkload::generate(params, system)?), None))
+        }
+        // Open workloads compile their template pool; the arrival stream
+        // draws from it at run time.
+        WorkloadSpec::Open(open) => {
+            let params = WorkloadParams {
+                queries: open.templates,
+                relations_per_query: open.relations,
+                scale: open.scale,
+                skew: 0.0,
+                seed: open.seed,
             };
             Ok((Arc::new(CompiledWorkload::generate(params, system)?), None))
         }
@@ -624,6 +702,41 @@ mod tests {
         for cell in &report.points[0].cells {
             assert_eq!(cell.runs.len(), 1, "chain workloads have one plan");
         }
+    }
+
+    #[test]
+    fn open_scenarios_sweep_the_arrival_rate_and_attach_reports() {
+        let spec = ScenarioSpec::builder("open")
+            .machine(2, 2)
+            .workload(WorkloadSpec::Open(OpenSpec {
+                queries: 30,
+                concurrency: 2,
+                templates: 2,
+                relations: 4,
+                scale: 0.005,
+                ..OpenSpec::default()
+            }))
+            .strategies([Strategy::Fixed { error_rate: 0.0 }])
+            .rows(Axis::ArrivalRate, [10.0, 40.0])
+            .reference(Reference::SamePoint(Strategy::Dynamic))
+            .build()
+            .unwrap();
+        let report = run_scenario(&spec).unwrap();
+        assert_eq!(report.points.len(), 2);
+        for p in &report.points {
+            let cell = &p.cells[0];
+            let open = cell.open.as_ref().expect("open cells carry a report");
+            assert_eq!(open.completed, 30);
+            assert!(open.peak_live <= 2);
+            assert!(cell.value.is_finite() && cell.value > 0.0);
+            // The solo per-plan runs back the open report (one per plan
+            // variant, at least one per template).
+            assert!(cell.runs.len() >= 2);
+        }
+        // A faster arrival rate can only hold or raise queueing delay.
+        let slow = report.points[0].cells[0].open.as_ref().unwrap();
+        let fast = report.points[1].cells[0].open.as_ref().unwrap();
+        assert!(fast.wait.mean() >= slow.wait.mean() - 1e-12);
     }
 
     #[test]

@@ -5,7 +5,16 @@ use super::spec::{Axis, Presentation, RowFmt, ScenarioSpec, Sweep, TableStyle, W
 use super::{serde, ScenarioReport, StrategyCell};
 use dlb_common::json::{object, Json};
 use dlb_exec::MixMode;
+use dlb_traffic::LatencySummary;
 use std::fmt::Write as _;
+
+/// True when the report's workload is an open-system arrival stream (its
+/// cells carry an [`dlb_exec::OpenReport`] worth rendering). Open columns
+/// are gated on this so closed-workload renderings stay byte-identical to
+/// their pre-existing golden captures.
+fn is_open(spec: &ScenarioSpec) -> bool {
+    spec.workload.is_open()
+}
 
 /// True when the report's workload is a co-simulated mix (its cells carry a
 /// composed contrast schedule worth rendering).
@@ -230,6 +239,75 @@ pub fn render_text(report: &ScenarioReport) -> String {
             push_notes(&mut out, &spec.notes);
             out
         }
+        Presentation::Open(style) => {
+            let labels: Vec<&str> = spec.strategies.iter().map(|s| s.label()).collect();
+            let mut out = banner(spec);
+            // Header: ratio columns, then per-strategy response percentiles,
+            // mean admission wait, mean slowdown and sustained throughput.
+            let _ = write!(out, "{:>w$}", style.row_header, w = style.row_width);
+            for l in &labels {
+                let _ = write!(out, "  {:>w$}", l, w = style.cell_width);
+            }
+            for q in ["p50 s", "p95 s", "p99 s", "wait s"] {
+                for l in &labels {
+                    let _ = write!(out, "  {:>12}", format!("{l} {q}"));
+                }
+            }
+            for l in &labels {
+                let _ = write!(out, "  {:>9}", format!("{l} slow"));
+            }
+            for l in &labels {
+                let _ = write!(out, "  {:>10}", format!("{l} qps"));
+            }
+            out.push('\n');
+            for point in &report.points {
+                out.push_str(&row_label(spec, style, point.row));
+                for cell in &point.cells {
+                    let _ = write!(out, "  {:>w$}", fmt_ratio(cell.value), w = style.cell_width);
+                }
+                let open_col = |out: &mut String, f: &dyn Fn(&StrategyCell) -> String| {
+                    for cell in &point.cells {
+                        let _ = write!(out, "  {:>12}", f(cell));
+                    }
+                };
+                let resp = |c: &StrategyCell| c.open.as_ref().map(|o| o.response_summary());
+                open_col(&mut out, &|c| {
+                    resp(c).map_or("n/a".to_string(), |s| format!("{:.3}", s.p50))
+                });
+                open_col(&mut out, &|c| {
+                    resp(c).map_or("n/a".to_string(), |s| format!("{:.3}", s.p95))
+                });
+                open_col(&mut out, &|c| {
+                    resp(c).map_or("n/a".to_string(), |s| format!("{:.3}", s.p99))
+                });
+                open_col(&mut out, &|c| {
+                    c.open
+                        .as_ref()
+                        .map_or("n/a".to_string(), |o| format!("{:.3}", o.wait.mean()))
+                });
+                for cell in &point.cells {
+                    let _ = write!(
+                        out,
+                        "  {:>9}",
+                        cell.open
+                            .as_ref()
+                            .map_or("n/a".to_string(), |o| format!("{:.2}", o.slowdown.mean()))
+                    );
+                }
+                for cell in &point.cells {
+                    let _ = write!(
+                        out,
+                        "  {:>10}",
+                        cell.open
+                            .as_ref()
+                            .map_or("n/a".to_string(), |o| format!("{:.2}", o.throughput_qps))
+                    );
+                }
+                out.push('\n');
+            }
+            push_notes(&mut out, &spec.notes);
+            out
+        }
         Presentation::Chain => render_chain(report),
     }
 }
@@ -334,6 +412,24 @@ fn banner(spec: &ScenarioSpec) -> String {
                 MixMode::CoSimulated => ", co-simulated",
             }
         ),
+        WorkloadSpec::Open(open) => format!(
+            "workload: open {} arrivals, {} qps, burstiness {}, {} queries \
+             over {} templates x {} relations, scale {}, seed {:#x}, \
+             concurrency {}{}",
+            open.kind.label(),
+            open.rate_qps,
+            open.burstiness,
+            open.queries,
+            open.templates,
+            open.relations,
+            open.scale,
+            open.seed,
+            open.concurrency,
+            match open.priority_classes {
+                1 => String::new(),
+                n => format!(", {n} classes"),
+            }
+        ),
     };
     format!(
         "{sep}\n{} — {}\n{workload}\n{sep}\n",
@@ -396,7 +492,21 @@ fn col_header(cols: &Sweep, v: f64) -> String {
         Axis::MemoryPerNode => format!("{} MB", v as u64),
         Axis::FailureTime => format!("fail at {v}s"),
         Axis::FailedNodes => format!("{} failed", v as u64),
+        Axis::ArrivalRate => format!("{v} qps"),
+        Axis::Burstiness => format!("burst {v:.2}"),
     }
+}
+
+/// A latency-summary object: sample count, mean and estimated percentiles.
+fn summary_json(s: &LatencySummary) -> Json {
+    object(vec![
+        ("count", Json::from(s.count)),
+        ("mean_secs", Json::Float(s.mean)),
+        ("p50_secs", Json::Float(s.p50)),
+        ("p95_secs", Json::Float(s.p95)),
+        ("p99_secs", Json::Float(s.p99)),
+        ("max_secs", Json::Float(s.max)),
+    ])
 }
 
 /// Renders a report as a machine-readable JSON document: scenario identity
@@ -516,6 +626,36 @@ pub fn render_json(report: &ScenarioReport) -> String {
                     ));
                 }
             }
+            // Open cells carry the arrival stream's throughput and the
+            // response / wait / slowdown latency summaries (plus per-class
+            // response summaries when priorities are in play).
+            if let Some(open) = &cell.open {
+                members.extend([
+                    ("open_completed", Json::from(open.completed)),
+                    ("open_peak_live", Json::from(open.peak_live)),
+                    ("open_throughput_qps", Json::Float(open.throughput_qps)),
+                    ("open_response", summary_json(&open.response_summary())),
+                    ("open_wait", summary_json(&open.wait_summary())),
+                    ("open_slowdown", summary_json(&open.slowdown_summary())),
+                ]);
+                let classes = open.class_summaries();
+                if classes.len() > 1 {
+                    members.push((
+                        "open_response_by_class",
+                        Json::Array(
+                            classes
+                                .iter()
+                                .map(|(class, s)| {
+                                    object(vec![
+                                        ("class", Json::from(*class)),
+                                        ("response", summary_json(s)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ));
+                }
+            }
             records.push(object(members));
         }
     }
@@ -546,6 +686,7 @@ pub fn render_json(report: &ScenarioReport) -> String {
 /// reports keep the historical header byte-identical.
 pub fn render_csv(report: &ScenarioReport) -> String {
     let faulted = is_faulted(&report.spec);
+    let open = is_open(&report.spec);
     let mut out = String::from(
         "row,col,strategy,value,plans,mean_response_secs,mean_idle_fraction,\
          total_lb_bytes,total_messages,mix_policy,mix_mode,mix_mean_response_secs,\
@@ -555,6 +696,12 @@ pub fn render_csv(report: &ScenarioReport) -> String {
         out.push_str(
             ",mix_vs_fault_free_response,fault_rebalance_bytes,fault_tuples_lost,\
              fault_tuples_redone",
+        );
+    }
+    if open {
+        out.push_str(
+            ",open_completed,open_peak_live,open_throughput_qps,open_p50_secs,\
+             open_p95_secs,open_p99_secs,open_mean_wait_secs,open_mean_slowdown",
         );
     }
     out.push('\n');
@@ -585,9 +732,30 @@ pub fn render_csv(report: &ScenarioReport) -> String {
             } else {
                 String::new()
             };
+            let open_cols = if open {
+                match &cell.open {
+                    Some(o) => {
+                        let s = o.response_summary();
+                        format!(
+                            ",{},{},{},{},{},{},{},{}",
+                            o.completed,
+                            o.peak_live,
+                            o.throughput_qps,
+                            s.p50,
+                            s.p95,
+                            s.p99,
+                            o.wait.mean(),
+                            o.slowdown.mean()
+                        )
+                    }
+                    None => ",,,,,,,,".to_string(),
+                }
+            } else {
+                String::new()
+            };
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{}{}",
+                "{},{},{},{},{},{},{},{},{},{}{}{}",
                 point.row,
                 col,
                 cell.strategy.label(),
@@ -598,7 +766,8 @@ pub fn render_csv(report: &ScenarioReport) -> String {
                 cell.summary.total_lb_bytes,
                 cell.summary.total_messages,
                 mix,
-                faults
+                faults,
+                open_cols
             );
         }
     }

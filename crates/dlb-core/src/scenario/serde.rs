@@ -8,8 +8,8 @@
 //! fail loudly instead of silently running the default.
 
 use super::spec::{
-    Axis, MachineSpec, Metric, MixSpec, Presentation, Reference, RowFmt, ScenarioSpec, Sweep,
-    TableStyle, WorkloadSpec,
+    Axis, MachineSpec, Metric, MixSpec, OpenSpec, Presentation, Reference, RowFmt, ScenarioSpec,
+    Sweep, TableStyle, WorkloadSpec,
 };
 use dlb_common::json::{object, Json};
 use dlb_common::{DlbError, Result};
@@ -18,6 +18,7 @@ use dlb_exec::{
     RecoveryOptions, RecoveryPolicy, RehomePolicy, StealPolicy, Strategy, TopologyChange,
     TopologyEvent,
 };
+use dlb_traffic::ArrivalKind;
 
 impl ScenarioSpec {
     /// Serializes the spec as pretty-printed JSON (the on-disk spec-file
@@ -45,6 +46,8 @@ pub(super) fn axis_name(axis: Axis) -> &'static str {
         Axis::MemoryPerNode => "memory_per_node_mb",
         Axis::FailureTime => "failure_time",
         Axis::FailedNodes => "failed_nodes",
+        Axis::ArrivalRate => "arrival_rate_qps",
+        Axis::Burstiness => "burstiness",
     }
 }
 
@@ -58,9 +61,12 @@ fn axis_from_name(name: &str) -> Result<Axis> {
         "memory_per_node_mb" => Ok(Axis::MemoryPerNode),
         "failure_time" => Ok(Axis::FailureTime),
         "failed_nodes" => Ok(Axis::FailedNodes),
+        "arrival_rate_qps" => Ok(Axis::ArrivalRate),
+        "burstiness" => Ok(Axis::Burstiness),
         other => Err(parse_err(format!(
             "unknown axis {other:?} (expected skew | nodes | processors_per_node | error_rate \
-             | concurrent_queries | memory_per_node_mb | failure_time | failed_nodes)"
+             | concurrent_queries | memory_per_node_mb | failure_time | failed_nodes \
+             | arrival_rate_qps | burstiness)"
         ))),
     }
 }
@@ -133,6 +139,21 @@ pub(super) fn workload_to_json(workload: &WorkloadSpec) -> Json {
             }
             object(vec![("mix", object(members))])
         }
+        WorkloadSpec::Open(open) => object(vec![(
+            "open",
+            object(vec![
+                ("kind", Json::from(open.kind.label())),
+                ("rate_qps", Json::Float(open.rate_qps)),
+                ("burstiness", Json::Float(open.burstiness)),
+                ("queries", Json::from(open.queries)),
+                ("concurrency", Json::from(open.concurrency)),
+                ("priority_classes", Json::from(open.priority_classes)),
+                ("templates", Json::from(open.templates)),
+                ("relations", Json::from(open.relations)),
+                ("scale", Json::Float(open.scale)),
+                ("seed", Json::from(open.seed)),
+            ]),
+        )]),
     }
 }
 
@@ -302,6 +323,7 @@ fn presentation_to_json(p: &Presentation) -> Json {
         Presentation::Grid(style) => object(vec![("grid", style_to_json(style))]),
         Presentation::Balance(style) => object(vec![("balance", style_to_json(style))]),
         Presentation::Mix(style) => object(vec![("mix", style_to_json(style))]),
+        Presentation::Open(style) => object(vec![("open", style_to_json(style))]),
         Presentation::Chain => Json::from("chain"),
     }
 }
@@ -317,14 +339,16 @@ fn presentation_from_json(v: &Json, default_axis: Axis) -> Result<Presentation> 
                 "grid" => Ok(Presentation::Grid(style)),
                 "balance" => Ok(Presentation::Balance(style)),
                 "mix" => Ok(Presentation::Mix(style)),
+                "open" => Ok(Presentation::Open(style)),
                 other => Err(parse_err(format!(
                     "unknown presentation {other:?} \
-                     (expected table | grid | balance | mix | \"chain\")"
+                     (expected table | grid | balance | mix | open | \"chain\")"
                 ))),
             }
         }
         _ => Err(parse_err(
-            "presentation must be \"chain\" or {\"table\"|\"grid\"|\"balance\"|\"mix\": {..}}",
+            "presentation must be \"chain\" or \
+             {\"table\"|\"grid\"|\"balance\"|\"mix\"|\"open\": {..}}",
         )),
     }
 }
@@ -614,6 +638,67 @@ fn workload_from_json(v: &Json) -> Result<WorkloadSpec> {
             topology,
         }));
     }
+    if let Some(open) = v.get("open") {
+        expect_keys(v, &["open"], "workload")?;
+        expect_keys(
+            open,
+            &[
+                "kind",
+                "rate_qps",
+                "burstiness",
+                "queries",
+                "concurrency",
+                "priority_classes",
+                "templates",
+                "relations",
+                "scale",
+                "seed",
+            ],
+            "workload.open",
+        )?;
+        let d = OpenSpec::default();
+        let opt_u64 = |key: &str, default: u64| -> Result<u64> {
+            match open.get(key) {
+                None => Ok(default),
+                Some(j) => j.as_u64().ok_or_else(|| {
+                    parse_err(format!("open {key:?} must be a non-negative integer"))
+                }),
+            }
+        };
+        let opt_f64 = |key: &str, default: f64| -> Result<f64> {
+            match open.get(key) {
+                None => Ok(default),
+                Some(j) => j
+                    .as_f64()
+                    .ok_or_else(|| parse_err(format!("open {key:?} must be a number"))),
+            }
+        };
+        let kind = match open.get("kind") {
+            None => d.kind,
+            Some(j) => {
+                let label = j
+                    .as_str()
+                    .ok_or_else(|| parse_err("open \"kind\" must be a string"))?;
+                ArrivalKind::from_label(label).ok_or_else(|| {
+                    parse_err(format!(
+                        "unknown arrival kind {label:?} (expected poisson | bursty | diurnal)"
+                    ))
+                })?
+            }
+        };
+        return Ok(WorkloadSpec::Open(OpenSpec {
+            kind,
+            rate_qps: opt_f64("rate_qps", d.rate_qps)?,
+            burstiness: opt_f64("burstiness", d.burstiness)?,
+            queries: opt_u64("queries", d.queries as u64)? as usize,
+            concurrency: opt_u64("concurrency", d.concurrency as u64)? as usize,
+            priority_classes: opt_u64("priority_classes", d.priority_classes as u64)? as u32,
+            templates: opt_u64("templates", d.templates as u64)? as usize,
+            relations: opt_u64("relations", d.relations as u64)? as usize,
+            scale: opt_f64("scale", d.scale)?,
+            seed: opt_u64("seed", d.seed)?,
+        }));
+    }
     if let Some(chain) = v.get("chain") {
         expect_keys(v, &["chain"], "workload")?;
         expect_keys(
@@ -835,6 +920,7 @@ fn spec_from_json(doc: &Json) -> Result<ScenarioSpec> {
     let presentation = match doc.get("presentation") {
         None if columns.is_some() => Presentation::Grid(TableStyle::for_axis(rows.axis)),
         None if workload.is_mix() => Presentation::Mix(TableStyle::for_axis(rows.axis)),
+        None if workload.is_open() => Presentation::Open(TableStyle::for_axis(rows.axis)),
         None => Presentation::Table(TableStyle::for_axis(rows.axis)),
         Some(p) => presentation_from_json(p, rows.axis)?,
     };
@@ -960,6 +1046,56 @@ mod tests {
         // Mix workloads derive the mix presentation.
         assert!(matches!(spec.presentation, Presentation::Mix(_)));
         assert_eq!(ScenarioSpec::from_json(&spec.to_json()).unwrap(), spec);
+    }
+
+    #[test]
+    fn open_workloads_parse_with_defaults_and_round_trip() {
+        let spec = ScenarioSpec::from_json(
+            r#"{"name": "mini-open", "workload": {"open": {"kind": "bursty",
+                "rate_qps": 32.5, "burstiness": 0.6, "queries": 200,
+                "concurrency": 8, "priority_classes": 2}}}"#,
+        )
+        .unwrap();
+        let WorkloadSpec::Open(open) = &spec.workload else {
+            panic!("expected an open workload");
+        };
+        assert_eq!(open.kind, ArrivalKind::Bursty);
+        assert_eq!(open.rate_qps, 32.5);
+        assert_eq!(open.burstiness, 0.6);
+        assert_eq!(open.queries, 200);
+        assert_eq!(open.concurrency, 8);
+        assert_eq!(open.priority_classes, 2);
+        // Unset generation knobs inherit the defaults.
+        assert_eq!(open.templates, OpenSpec::default().templates);
+        assert_eq!(open.relations, OpenSpec::default().relations);
+        // Open workloads derive the open presentation.
+        assert!(matches!(spec.presentation, Presentation::Open(_)));
+        assert_eq!(ScenarioSpec::from_json(&spec.to_json()).unwrap(), spec);
+    }
+
+    #[test]
+    fn bad_open_fields_are_rejected() {
+        for bad in [
+            r#"{"name": "x", "workload": {"open": {"knd": "poisson"}}}"#,
+            r#"{"name": "x", "workload": {"open": {"kind": "uniform"}}}"#,
+            r#"{"name": "x", "workload": {"open": {"rate_qps": -3}}}"#,
+            r#"{"name": "x", "workload": {"open": {"burstiness": 1.5}}}"#,
+            r#"{"name": "x", "workload": {"open": {"concurrency": 0}}}"#,
+            r#"{"name": "x", "workload": {"open": {}, "queries": 2}}"#,
+            r#"{"name": "x", "workload": {"open": {}}, "strategies": ["SP"],
+                "machine": {"nodes": 1}}"#,
+        ] {
+            assert!(ScenarioSpec::from_json(bad).is_err(), "accepted {bad}");
+        }
+        // The arrival axes parse but need an open workload to act on.
+        let err = ScenarioSpec::from_json(
+            r#"{"name": "x", "sweep": {"axis": "arrival_rate_qps", "values": [10]}}"#,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, DlbError::InvalidConfig(ref m) if m.contains("open workload")),
+            "{err}"
+        );
     }
 
     #[test]

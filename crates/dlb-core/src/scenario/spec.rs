@@ -4,6 +4,7 @@
 use crate::workload::MixEntry;
 use dlb_common::{DlbError, Result};
 use dlb_exec::{ExecOptions, MixMode, MixPolicy, Strategy, TopologyEvent};
+use dlb_traffic::ArrivalKind;
 
 /// A sweepable dimension of the evaluation grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +33,13 @@ pub enum Axis {
     /// the highest node indices first (failover scenarios sweeping *how much*
     /// of the machine dies).
     FailedNodes,
+    /// Mean arrival rate (queries per second) of a [`WorkloadSpec::Open`]
+    /// workload's stochastic arrival process (open-system scenarios only).
+    ArrivalRate,
+    /// Burstiness knob of a [`WorkloadSpec::Open`] workload's arrival
+    /// process, in `[0, 1)`: 0 = smooth, larger = longer ON/OFF bursts
+    /// (open-system scenarios only).
+    Burstiness,
 }
 
 impl Axis {
@@ -46,6 +54,8 @@ impl Axis {
             Axis::MemoryPerNode => "mem MB",
             Axis::FailureTime => "fail t",
             Axis::FailedNodes => "failed",
+            Axis::ArrivalRate => "rate",
+            Axis::Burstiness => "burst",
         }
     }
 
@@ -60,6 +70,8 @@ impl Axis {
             | Axis::FailedNodes => RowFmt::Int,
             Axis::ErrorRate => RowFmt::Percent,
             Axis::FailureTime => RowFmt::Fixed2,
+            Axis::ArrivalRate => RowFmt::Fixed1,
+            Axis::Burstiness => RowFmt::Fixed2,
         }
     }
 
@@ -79,6 +91,12 @@ impl Axis {
     /// require a mix workload carrying one, co-simulated).
     pub fn is_topology(&self) -> bool {
         matches!(self, Axis::FailureTime | Axis::FailedNodes)
+    }
+
+    /// True for the axes that retune an open workload's arrival process (and
+    /// so require an open workload to act on).
+    pub fn is_arrival(&self) -> bool {
+        matches!(self, Axis::ArrivalRate | Axis::Burstiness)
     }
 }
 
@@ -215,6 +233,84 @@ impl MixSpec {
     }
 }
 
+/// An open-system workload: queries arrive over a seeded stochastic process,
+/// wait in a FCFS admission queue for a lane slot and per-node memory, run
+/// concurrently inside one engine event loop, and retire on completion (see
+/// [`dlb_exec::execute_open`]).
+///
+/// The template pool is generated exactly like [`WorkloadSpec::Generated`]
+/// (`templates` plans over `relations` relations each); every arrival
+/// instantiates one template chosen uniformly by the arrival stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenSpec {
+    /// Shape of the arrival process (Poisson / bursty / diurnal).
+    pub kind: ArrivalKind,
+    /// Long-run target arrival rate in queries per second (overridden per
+    /// point by an [`Axis::ArrivalRate`] sweep).
+    pub rate_qps: f64,
+    /// OFF fraction of the bursty process, in `[0, 1)` (overridden per point
+    /// by an [`Axis::Burstiness`] sweep; ignored by the other kinds).
+    pub burstiness: f64,
+    /// Total number of query arrivals the run generates.
+    pub queries: usize,
+    /// Number of lane slots: at most this many queries execute concurrently,
+    /// and live engine state stays O(concurrency) however long the stream.
+    pub concurrency: usize,
+    /// Number of priority classes; each arrival draws one uniformly from
+    /// `1..=priority_classes`.
+    pub priority_classes: u32,
+    /// Size of the generated query-template pool.
+    pub templates: usize,
+    /// Relations per generated template.
+    pub relations: usize,
+    /// Cardinality scale factor (1.0 = paper scale).
+    pub scale: f64,
+    /// Seed of both the template generator and the arrival stream.
+    pub seed: u64,
+}
+
+impl Default for OpenSpec {
+    /// A reduced-scale Poisson stream over a three-template pool.
+    fn default() -> Self {
+        let WorkloadSpec::Generated {
+            relations,
+            scale,
+            seed,
+            ..
+        } = WorkloadSpec::default()
+        else {
+            unreachable!("default workload is generated");
+        };
+        Self {
+            kind: ArrivalKind::Poisson,
+            rate_qps: 20.0,
+            burstiness: 0.0,
+            queries: 120,
+            concurrency: 4,
+            priority_classes: 1,
+            templates: 3,
+            relations,
+            scale,
+            seed,
+        }
+    }
+}
+
+impl OpenSpec {
+    /// The [`dlb_traffic::ArrivalSpec`] this workload feeds the engine.
+    pub fn arrivals(&self) -> dlb_traffic::ArrivalSpec {
+        dlb_traffic::ArrivalSpec {
+            kind: self.kind,
+            rate_qps: self.rate_qps,
+            burstiness: self.burstiness,
+            queries: self.queries,
+            templates: self.templates,
+            priority_classes: self.priority_classes,
+            seed: self.seed,
+        }
+    }
+}
+
 /// The workload a scenario executes.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WorkloadSpec {
@@ -244,6 +340,10 @@ pub enum WorkloadSpec {
     /// An inter-query mix: N concurrent queries scheduled onto shared
     /// SM-nodes (see [`MixSpec`]).
     Mix(MixSpec),
+    /// An open system: stochastic arrivals over a template pool, streaming
+    /// FCFS admission into bounded lane slots, latency percentiles out (see
+    /// [`OpenSpec`]).
+    Open(OpenSpec),
 }
 
 impl Default for WorkloadSpec {
@@ -264,6 +364,11 @@ impl WorkloadSpec {
     /// True for inter-query mix workloads.
     pub fn is_mix(&self) -> bool {
         matches!(self, WorkloadSpec::Mix(_))
+    }
+
+    /// True for open-system workloads.
+    pub fn is_open(&self) -> bool {
+        matches!(self, WorkloadSpec::Open(_))
     }
 }
 
@@ -349,6 +454,10 @@ pub enum Presentation {
     /// per-strategy mean response, makespan, slowdown and admission-wait
     /// columns (mix workloads only).
     Mix(TableStyle),
+    /// Open-system report: strategy ratio columns followed by per-strategy
+    /// response percentiles (p50/p95/p99), mean admission wait, mean
+    /// slowdown and achieved throughput (open workloads only).
+    Open(TableStyle),
 }
 
 /// A complete, serializable description of one evaluation scenario.
@@ -438,6 +547,15 @@ impl ScenarioSpec {
                 mix.scale = scale;
                 mix.seed = seed;
             }
+            // For an open workload the generated set is the template pool;
+            // the arrival count and process knobs are traffic, not workload,
+            // so the override leaves them alone.
+            WorkloadSpec::Open(open) => {
+                open.templates = queries;
+                open.relations = relations;
+                open.scale = scale;
+                open.seed = seed;
+            }
             WorkloadSpec::Chain { .. } => {}
         }
         self
@@ -490,6 +608,24 @@ impl ScenarioSpec {
                     "the {} axis requires a mix workload",
                     sweep.axis.label()
                 ));
+            }
+            // The arrival axes retune an open workload's arrival process; on
+            // any other workload they have nothing to act on.
+            if sweep.axis.is_arrival() && !self.workload.is_open() {
+                return fail(format!(
+                    "the {} axis requires an open workload",
+                    sweep.axis.label()
+                ));
+            }
+            if sweep.axis == Axis::ArrivalRate {
+                if let Some(&v) = sweep.values.iter().find(|v| **v <= 0.0) {
+                    return fail(format!("arrival_rate_qps values must be > 0, got {v}"));
+                }
+            }
+            if sweep.axis == Axis::Burstiness {
+                if let Some(&v) = sweep.values.iter().find(|v| !(0.0..1.0).contains(*v)) {
+                    return fail(format!("burstiness values must lie in [0, 1), got {v}"));
+                }
             }
             if sweep.axis == Axis::FailureTime {
                 if let Some(&v) = sweep.values.iter().find(|v| **v < 0.0) {
@@ -555,6 +691,9 @@ impl ScenarioSpec {
             (Presentation::Mix(_), w) if !w.is_mix() => {
                 return fail("mix presentation requires a mix workload".to_string());
             }
+            (Presentation::Open(_), w) if !w.is_open() => {
+                return fail("open presentation requires an open workload".to_string());
+            }
             (Presentation::Grid(_), _) if self.columns.is_none() => {
                 return fail("grid presentation requires a column sweep".to_string());
             }
@@ -567,9 +706,13 @@ impl ScenarioSpec {
                     self.strategies.len()
                 ));
             }
-            (Presentation::Table(_) | Presentation::Balance(_) | Presentation::Mix(_), _)
-                if self.columns.is_some() =>
-            {
+            (
+                Presentation::Table(_)
+                | Presentation::Balance(_)
+                | Presentation::Mix(_)
+                | Presentation::Open(_),
+                _,
+            ) if self.columns.is_some() => {
                 return fail("column sweeps require the grid presentation".to_string());
             }
             _ => {}
@@ -648,10 +791,45 @@ impl ScenarioSpec {
                 }
             }
         }
+        if let WorkloadSpec::Open(open) = &self.workload {
+            // The stream's own parameter ranges (rate, burstiness, counts)
+            // are checked by dlb-traffic; prefix its message with ours.
+            if let Err(e) = open.arrivals().validate() {
+                return fail(format!("invalid open workload: {e}"));
+            }
+            if open.concurrency == 0 {
+                return fail("open workloads need at least 1 lane slot".to_string());
+            }
+            if open.relations < 2 {
+                return fail("open templates need at least 2 relations".to_string());
+            }
+            // The open engine interleaves activation queues; SP has none.
+            if self
+                .strategies
+                .iter()
+                .any(|s| matches!(s, Strategy::Synchronous))
+                || matches!(self.reference, Reference::SamePoint(Strategy::Synchronous))
+            {
+                return fail(
+                    "open workloads require a queue-based strategy (DP or FP)".to_string(),
+                );
+            }
+            // Each row's percentiles summarize that row's own stream; a
+            // first-row reference would compare different arrival sequences
+            // sample by sample, which is meaningless.
+            if self.reference == Reference::FirstRow && self.rows.axis.is_arrival() {
+                return fail(
+                    "a first_row reference cannot span an arrival sweep \
+                     (rows run different arrival streams); use a same_point reference"
+                        .to_string(),
+                );
+            }
+        }
         if let Presentation::Table(style)
         | Presentation::Grid(style)
         | Presentation::Balance(style)
-        | Presentation::Mix(style) = &self.presentation
+        | Presentation::Mix(style)
+        | Presentation::Open(style) = &self.presentation
         {
             if !style.headers.is_empty() && style.headers.len() != self.strategies.len() {
                 return fail(format!(
@@ -787,14 +965,16 @@ impl ScenarioSpecBuilder {
 
     /// Validates and returns the spec. When no presentation was set
     /// explicitly, a default styled for the row axis is derived: a grid for
-    /// column sweeps, the mix report for mix workloads, a plain table
-    /// otherwise.
+    /// column sweeps, the mix report for mix workloads, the open report for
+    /// open workloads, a plain table otherwise.
     pub fn build(mut self) -> Result<ScenarioSpec> {
         if !self.presentation_set {
             self.spec.presentation = if self.spec.columns.is_some() {
                 Presentation::Grid(TableStyle::for_axis(self.spec.rows.axis))
             } else if self.spec.workload.is_mix() {
                 Presentation::Mix(TableStyle::for_axis(self.spec.rows.axis))
+            } else if self.spec.workload.is_open() {
+                Presentation::Open(TableStyle::for_axis(self.spec.rows.axis))
             } else {
                 Presentation::Table(TableStyle::for_axis(self.spec.rows.axis))
             };
@@ -995,6 +1175,127 @@ mod tests {
             }))
             .build();
         assert!(sp.is_err());
+    }
+
+    #[test]
+    fn open_specs_validate_and_derive_the_open_presentation() {
+        let spec = ScenarioSpec::builder("open")
+            .workload(WorkloadSpec::Open(OpenSpec::default()))
+            .rows(Axis::ArrivalRate, [10.0, 20.0])
+            .build()
+            .unwrap();
+        assert!(matches!(spec.presentation, Presentation::Open(_)));
+        assert!(spec.workload.is_open());
+        // The derived arrival spec mirrors the workload's traffic knobs.
+        let arrivals = OpenSpec::default().arrivals();
+        assert_eq!(arrivals.queries, OpenSpec::default().queries);
+        assert_eq!(arrivals.templates, OpenSpec::default().templates);
+    }
+
+    #[test]
+    fn open_validation_rejects_unsupported_axes_and_bad_knobs() {
+        // The arrival axes need an open workload.
+        let err = ScenarioSpec::builder("x")
+            .rows(Axis::ArrivalRate, [10.0])
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, DlbError::InvalidConfig(ref m) if m.contains("open workload")),
+            "{err}"
+        );
+        assert!(ScenarioSpec::builder("x")
+            .rows(Axis::Burstiness, [0.5])
+            .build()
+            .is_err());
+        // Axis value ranges: rates positive, burstiness in [0, 1).
+        assert!(ScenarioSpec::builder("x")
+            .workload(WorkloadSpec::Open(OpenSpec::default()))
+            .rows(Axis::ArrivalRate, [0.0])
+            .build()
+            .is_err());
+        assert!(ScenarioSpec::builder("x")
+            .workload(WorkloadSpec::Open(OpenSpec::default()))
+            .rows(Axis::Burstiness, [1.0])
+            .build()
+            .is_err());
+        // The open presentation needs an open workload.
+        assert!(ScenarioSpec::builder("x")
+            .presentation(Presentation::Open(TableStyle::for_axis(Axis::Skew)))
+            .build()
+            .is_err());
+        // SP has no activation queues to interleave arrivals into.
+        assert!(ScenarioSpec::builder("x")
+            .machine(1, 8)
+            .strategies([Strategy::Synchronous])
+            .reference(Reference::SamePoint(Strategy::Synchronous))
+            .workload(WorkloadSpec::Open(OpenSpec::default()))
+            .build()
+            .is_err());
+        // first_row across an arrival sweep compares different streams.
+        assert!(ScenarioSpec::builder("x")
+            .workload(WorkloadSpec::Open(OpenSpec::default()))
+            .rows(Axis::ArrivalRate, [10.0, 20.0])
+            .reference(Reference::FirstRow)
+            .build()
+            .is_err());
+        // Bad open knobs.
+        for bad in [
+            OpenSpec {
+                rate_qps: 0.0,
+                ..OpenSpec::default()
+            },
+            OpenSpec {
+                burstiness: 1.0,
+                ..OpenSpec::default()
+            },
+            OpenSpec {
+                queries: 0,
+                ..OpenSpec::default()
+            },
+            OpenSpec {
+                concurrency: 0,
+                ..OpenSpec::default()
+            },
+            OpenSpec {
+                templates: 0,
+                ..OpenSpec::default()
+            },
+            OpenSpec {
+                priority_classes: 0,
+                ..OpenSpec::default()
+            },
+            OpenSpec {
+                relations: 1,
+                ..OpenSpec::default()
+            },
+        ] {
+            assert!(
+                ScenarioSpec::builder("x")
+                    .workload(WorkloadSpec::Open(bad.clone()))
+                    .build()
+                    .is_err(),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn workload_override_maps_queries_to_the_open_template_pool() {
+        let open = ScenarioSpec::builder("o")
+            .workload(WorkloadSpec::Open(OpenSpec::default()))
+            .build()
+            .unwrap();
+        let overridden = open.with_generated_workload(2, 5, 0.01, 7);
+        let WorkloadSpec::Open(spec) = &overridden.workload else {
+            panic!("override must keep the open workload");
+        };
+        assert_eq!(spec.templates, 2);
+        assert_eq!(spec.relations, 5);
+        assert_eq!(spec.scale, 0.01);
+        assert_eq!(spec.seed, 7);
+        // Traffic knobs are untouched.
+        assert_eq!(spec.queries, OpenSpec::default().queries);
+        assert_eq!(spec.rate_qps, OpenSpec::default().rate_qps);
     }
 
     #[test]

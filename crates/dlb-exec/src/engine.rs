@@ -47,16 +47,22 @@
 use crate::activation::{Activation, ActivationKind, ActivationQueue};
 use crate::fp::allocate_threads;
 use crate::options::{ErrorRealization, ExecOptions, RecoveryPolicy, Strategy};
-use crate::report::{CoSimReport, ExecutionReport, FaultStats, QueryExecReport, StrategyKind};
+use crate::report::{
+    CoSimReport, ExecutionReport, FaultStats, OpenReport, QueryExecReport, StrategyKind,
+};
 use crate::router::OutputRouter;
 use crate::topology::{validate_topology, TopologyChange, TopologyEvent};
 use dlb_common::config::SystemConfig;
 use dlb_common::rng::rng_from_seed;
-use dlb_common::{DiskId, DlbError, Duration, NodeId, OperatorId, ProcessorId, Result, SimTime};
+use dlb_common::{
+    DiskId, DlbError, Duration, NodeId, OperatorId, ProcessorId, RelationId, Result, SimTime,
+};
 use dlb_query::cost::CostModel;
 use dlb_query::optree::OperatorKind;
 use dlb_query::plan::ParallelPlan;
 use dlb_sim::{CpuAccounting, DiskFarm, EventCalendar, Network};
+use dlb_traffic::{Arrival, ArrivalSpec, ArrivalStream, LatencyHistogram};
+use rand::rngs::StdRng;
 use std::collections::BTreeSet;
 use std::collections::VecDeque;
 
@@ -101,6 +107,76 @@ pub struct CoSimQuery<'a> {
     pub memory_bytes: u64,
 }
 
+/// One query template of an open-system run: the plan plus the per-admission
+/// descriptors the engine derives admission and slowdown accounting from.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenTemplate<'a> {
+    /// The template's parallel execution plan (homes must lie within the
+    /// machine the traffic runs on).
+    pub plan: &'a ParallelPlan,
+    /// Working-set estimate (hash-table bytes) reserved on every node for
+    /// each admitted instance of this template; `0` admits immediately.
+    pub memory_bytes: u64,
+    /// Solo (unloaded) response time of the template in seconds, the
+    /// slowdown baseline. `0` records a slowdown of 1 for every instance.
+    pub solo_secs: f64,
+}
+
+/// An open-system workload: a stochastic arrival stream over a pool of query
+/// templates, executed with a bounded multiprogramming level.
+///
+/// Unlike [`execute_cosimulated`], whose lane state is proportional to the
+/// *total* number of queries, an open run keeps one lane slot per admitted
+/// query: arrivals beyond `concurrency` wait in an unbounded (but
+/// descriptor-sized) FCFS queue, and a retired query's operator state is
+/// dropped and its slot recycled. Live memory is `O(concurrency)`, never
+/// `O(total queries)`.
+#[derive(Debug, Clone)]
+pub struct OpenTraffic<'a> {
+    /// The template pool; [`ArrivalSpec::templates`] must equal its length.
+    pub templates: Vec<OpenTemplate<'a>>,
+    /// The arrival process (kind, rate, burstiness, total query count,
+    /// priority classes, seed).
+    pub arrivals: ArrivalSpec,
+    /// Maximum number of concurrently admitted queries (lane slots).
+    pub concurrency: usize,
+}
+
+/// A query that arrived but is not admitted yet (waiting room entry).
+#[derive(Debug, Clone, Copy)]
+struct OpenPending {
+    arrived_at: SimTime,
+    template: usize,
+    priority: u32,
+}
+
+/// Engine-side state of an open-system run (absent in closed mode).
+struct OpenState<'a> {
+    templates: Vec<OpenTemplate<'a>>,
+    stream: ArrivalStream,
+    /// The next arrival, already drawn and scheduled as an `OpenArrival`
+    /// event. Drawing lazily — one descriptor ahead of the clock — keeps
+    /// the calendar and the generator state `O(1)` in the query count.
+    upcoming: Option<Arrival>,
+    arrivals_done: bool,
+    pending: VecDeque<OpenPending>,
+    /// Recyclable lane slots; initialized in reverse so the first admission
+    /// takes slot 0 (a lone query then reproduces the closed engine exactly).
+    free_slots: Vec<usize>,
+    live_now: usize,
+    peak_live: usize,
+    completed: u64,
+    admission_seq: u64,
+    lane_seq: Vec<u64>,
+    lane_template: Vec<usize>,
+    /// FP cost-model error draws, one allocation per admission.
+    fp_rng: StdRng,
+    response: LatencyHistogram,
+    wait: LatencyHistogram,
+    slowdown: LatencyHistogram,
+    response_by_class: Vec<LatencyHistogram>,
+}
+
 #[derive(Debug, Clone)]
 enum Event {
     ThreadReady {
@@ -140,6 +216,10 @@ enum Event {
     Topology {
         index: usize,
     },
+    /// Open mode: the next query of the arrival stream arrives. The
+    /// descriptor sits in `OpenState::upcoming`; handling it draws (and
+    /// schedules) the following arrival.
+    OpenArrival,
 }
 
 #[derive(Debug, Clone)]
@@ -163,6 +243,10 @@ enum ControlMsg {
         free_bytes: u64,
         target: Option<usize>,
         token: u64,
+        /// Open mode: recycle epoch of `target` at request time; a targeted
+        /// request whose op slot was recycled in flight draws a NoOffer.
+        /// Always 0 in closed mode (slots are never recycled there).
+        epoch: u64,
     },
     /// A provider offers work from one of its queues.
     Offer {
@@ -172,6 +256,8 @@ enum ControlMsg {
         bytes: u64,
         load: u64,
         token: u64,
+        /// Recycle epoch of `op` at offer time (see `Starving::epoch`).
+        epoch: u64,
     },
     /// A provider has nothing to offer.
     NoOffer { from: usize, token: u64 },
@@ -180,6 +266,10 @@ enum ControlMsg {
         from: usize,
         op: usize,
         has_table: bool,
+        /// Recycle epoch echoed from the chosen offer; a mismatch at the
+        /// provider (the op slot retired and was reused between Offer and
+        /// Acquire) ships an empty transfer instead of another lane's work.
+        epoch: u64,
     },
     /// The provider ships activations (and possibly its hash-table
     /// partition).
@@ -296,12 +386,15 @@ struct ThreadRuntime {
     allowed: Option<BTreeSet<OperatorId>>,
 }
 
+/// One collected steal offer: `(provider, op, tuples, bytes, load, epoch)`.
+type OfferEntry = (usize, usize, u64, u64, u64, u64);
+
 /// Per-node global-load-balancing state (the scheduler's bookkeeping).
 #[derive(Default)]
 struct NodeLb {
     starving_outstanding: bool,
     fp_outstanding: BTreeSet<usize>,
-    offers: Vec<(usize, usize, u64, u64, u64)>, // (provider, op, tuples, bytes, load)
+    offers: Vec<OfferEntry>, // (provider, op, tuples, bytes, load, epoch)
     replies_received: usize,
     replies_expected: usize,
     /// Token of the current request; replies carrying a stale token are
@@ -333,6 +426,15 @@ pub(crate) struct QueueEngine<'a> {
     threads: Vec<Vec<ThreadRuntime>>,
     node_lb: Vec<NodeLb>,
     disk_cursor: Vec<u32>,
+
+    /// Per-op-slot recycle epoch, bumped when open mode retires a lane and
+    /// frees its slot. Steal-protocol messages carry the epoch they were
+    /// issued under so episodes that straddle a retirement die harmlessly.
+    /// All-zero (and never bumped) in closed mode.
+    epochs: Vec<u64>,
+    /// Open-system state (`None` = closed mode, i.e. every path below that
+    /// touches it is dead in classic runs).
+    open: Option<OpenState<'a>>,
 
     /// Free shared memory per SM-node (the admission budget).
     free_mem: Vec<u64>,
@@ -501,6 +603,8 @@ impl<'a> QueueEngine<'a> {
             threads: Vec::new(),
             node_lb: (0..nodes).map(|_| NodeLb::default()).collect(),
             disk_cursor: vec![0; nodes],
+            epochs: Vec::new(),
+            open: None,
             free_mem: vec![config.machine.memory_per_node_bytes; nodes],
             admission_queue: VecDeque::new(),
             topology,
@@ -516,7 +620,233 @@ impl<'a> QueueEngine<'a> {
             finished_at: SimTime::ZERO,
         };
         engine.initialize()?;
+        engine.epochs = vec![0; engine.ops.len()];
         Ok(engine)
+    }
+
+    /// Builds an engine in open-system mode: `concurrency` recyclable lane
+    /// slots, each owning a fixed contiguous range of `max_ops` operator
+    /// slots, fed by the arrival stream instead of a fixed query list.
+    pub(crate) fn new_open(
+        traffic: &OpenTraffic<'a>,
+        config: SystemConfig,
+        strategy: Strategy,
+        options: ExecOptions,
+    ) -> Result<Self> {
+        if traffic.templates.is_empty() {
+            return Err(DlbError::config("open traffic needs at least one template"));
+        }
+        if traffic.concurrency == 0 {
+            return Err(DlbError::config(
+                "open traffic needs a concurrency level of at least 1",
+            ));
+        }
+        if config.machine.nodes == 0 || config.machine.processors_per_node == 0 {
+            return Err(DlbError::config(
+                "machine needs at least one node and processor",
+            ));
+        }
+        if traffic.arrivals.templates != traffic.templates.len() {
+            return Err(DlbError::config(format!(
+                "arrival spec draws from {} template(s) but {} were supplied",
+                traffic.arrivals.templates,
+                traffic.templates.len()
+            )));
+        }
+        let nodes = config.machine.nodes as usize;
+        for (i, t) in traffic.templates.iter().enumerate() {
+            t.plan.validate()?;
+            for op in t.plan.tree.operators() {
+                if !t
+                    .plan
+                    .homes
+                    .home(op.id)
+                    .nodes()
+                    .iter()
+                    .any(|n| n.index() < nodes)
+                {
+                    return Err(DlbError::plan(format!(
+                        "open template {i}: operator {} has no home node within the machine",
+                        op.id
+                    )));
+                }
+            }
+            let mem_per_node = t.memory_bytes.div_ceil(nodes as u64);
+            if mem_per_node > config.machine.memory_per_node_bytes {
+                return Err(DlbError::config(format!(
+                    "open template {i} needs {mem_per_node} bytes on every node but nodes \
+                     have {} — it can never be admitted",
+                    config.machine.memory_per_node_bytes
+                )));
+            }
+            if !(t.solo_secs.is_finite() && t.solo_secs >= 0.0) {
+                return Err(DlbError::config(format!(
+                    "open template {i} has invalid solo time {}",
+                    t.solo_secs
+                )));
+            }
+        }
+        let mut stream = ArrivalStream::new(traffic.arrivals).map_err(DlbError::config)?;
+        let max_ops = traffic
+            .templates
+            .iter()
+            .map(|t| t.plan.tree.operators().len())
+            .max()
+            .expect("at least one template");
+        let concurrency = traffic.concurrency;
+        let threads_per_node = config.machine.processors_per_node as usize;
+        let disks_per_node =
+            (config.machine.processors_per_node * config.disk.disks_per_processor).max(1);
+        let cost = CostModel::new(config.costs, config.disk, config.cpu);
+
+        // Slot pool: every lane starts empty (retired) and is populated per
+        // admission; every op slot starts as a terminated placeholder.
+        let lanes: Vec<LaneRuntime<'a>> = (0..concurrency)
+            .map(|i| LaneRuntime {
+                plan: traffic.templates[0].plan,
+                arrival: SimTime::ZERO,
+                priority: 1,
+                skew: options.skew,
+                mask: None,
+                memory_bytes: 0,
+                mem_per_node: 0,
+                reserved: Vec::new(),
+                released: true,
+                base: i * max_ops,
+                n_ops: 0,
+                started: false,
+                admitted_at: SimTime::ZERO,
+                ops_terminated: 0,
+                finished_at: SimTime::ZERO,
+                activations: 0,
+                tuples_processed: 0,
+                result_tuples: 0,
+            })
+            .collect();
+        let total_ops = concurrency * max_ops;
+        let ops: Vec<OpRuntime> = (0..total_ops)
+            .map(|i| Self::placeholder_op(i / max_ops))
+            .collect();
+        let op_nodes: Vec<Vec<Option<OpNodeRuntime>>> = (0..total_ops)
+            .map(|_| (0..nodes).map(|_| None).collect())
+            .collect();
+        // FP threads start with empty allowed sets; admissions insert a
+        // fresh per-lane allocation, retirements remove it again.
+        let threads: Vec<Vec<ThreadRuntime>> = (0..nodes)
+            .map(|_| {
+                (0..threads_per_node)
+                    .map(|_| ThreadRuntime {
+                        idle: false,
+                        allowed: match strategy {
+                            Strategy::Fixed { .. } => Some(BTreeSet::new()),
+                            _ => None,
+                        },
+                    })
+                    .collect()
+            })
+            .collect();
+        let priority_classes = traffic.arrivals.priority_classes as usize;
+        let upcoming = stream.next();
+        let open = OpenState {
+            templates: traffic.templates.clone(),
+            arrivals_done: upcoming.is_none(),
+            upcoming,
+            stream,
+            pending: VecDeque::new(),
+            free_slots: (0..concurrency).rev().collect(),
+            live_now: 0,
+            peak_live: 0,
+            completed: 0,
+            admission_seq: 0,
+            lane_seq: vec![0; concurrency],
+            lane_template: vec![0; concurrency],
+            fp_rng: rng_from_seed(options.seed),
+            response: LatencyHistogram::new(),
+            wait: LatencyHistogram::new(),
+            slowdown: LatencyHistogram::new(),
+            response_by_class: (0..priority_classes.max(1))
+                .map(|_| LatencyHistogram::new())
+                .collect(),
+        };
+
+        let mut engine = Self {
+            lanes,
+            lane_order: (0..concurrency).collect(),
+            config,
+            options,
+            strategy,
+            cost,
+            nodes,
+            threads_per_node,
+            disks_per_node,
+            calendar: EventCalendar::new(),
+            disks: DiskFarm::new(config.disk, config.machine.nodes, disks_per_node),
+            network: Network::new(config.network, config.cpu),
+            cpu: CpuAccounting::new(config.machine.nodes, config.machine.processors_per_node),
+            ops,
+            op_nodes,
+            threads,
+            node_lb: (0..nodes).map(|_| NodeLb::default()).collect(),
+            disk_cursor: vec![0; nodes],
+            epochs: vec![0; total_ops],
+            open: Some(open),
+            free_mem: vec![config.machine.memory_per_node_bytes; nodes],
+            admission_queue: VecDeque::new(),
+            topology: Vec::new(),
+            live: vec![true; nodes],
+            faults: FaultStats::default(),
+            activations_done: 0,
+            tuples_processed: 0,
+            result_tuples: 0,
+            lb_requests: 0,
+            lb_acquisitions: 0,
+            lb_bytes: 0,
+            ops_terminated: total_ops,
+            finished_at: SimTime::ZERO,
+        };
+
+        // Kick off every thread, then schedule the first arrival (threads at
+        // the same instant run first — they find nothing and go idle, and
+        // the admission wakes them with the seeded triggers in place).
+        for node in 0..engine.nodes {
+            for thread in 0..engine.threads_per_node {
+                engine
+                    .calendar
+                    .schedule_at(SimTime::ZERO, Event::ThreadReady { node, thread });
+            }
+        }
+        if let Some(first) = engine.open.as_ref().expect("open mode").upcoming {
+            engine.calendar.schedule_at(
+                SimTime::ZERO + Duration::from_secs_f64(first.offset_secs),
+                Event::OpenArrival,
+            );
+        }
+        Ok(engine)
+    }
+
+    /// A permanently terminated operator slot: what unused and retired op
+    /// slots of an open run hold. Empty home, no queue state, scan kind (so
+    /// every steal-candidate filter skips it).
+    fn placeholder_op(lane: usize) -> OpRuntime {
+        OpRuntime {
+            lane,
+            kind: OperatorKind::Scan {
+                relation: RelationId::new(0),
+            },
+            consumer: None,
+            home: Vec::new(),
+            output_ratio: 0.0,
+            blockers_remaining: 0,
+            terminated: true,
+            router: OutputRouter::new(1, 0.0, 0),
+            input_sent: 0,
+            input_delivered: 0,
+            input_processed: 0,
+            phase1_reports: 0,
+            phase2_started: false,
+            phase2_confirms: 0,
+            build_twin: None,
+        }
     }
 
     fn initialize(&mut self) -> Result<()> {
@@ -791,14 +1121,30 @@ impl<'a> QueueEngine<'a> {
         }
     }
 
-    /// Runs the event loop until every lane's operators have terminated.
+    /// Whether the run is complete. Closed mode: every operator terminated.
+    /// Open mode: the arrival stream is exhausted, the waiting room is empty
+    /// and every admitted query retired (its `QueryRelease` processed, so
+    /// the final latency samples are recorded and the final slot freed).
+    fn is_done(&self) -> bool {
+        match &self.open {
+            Some(open) => {
+                open.arrivals_done
+                    && open.upcoming.is_none()
+                    && open.pending.is_empty()
+                    && open.live_now == 0
+            }
+            None => self.ops_terminated >= self.ops.len(),
+        }
+    }
+
+    /// Runs the event loop until [`Self::is_done`].
     fn run_loop(&mut self) -> Result<()> {
-        let total_ops = self.ops.len();
-        while self.ops_terminated < total_ops {
+        while !self.is_done() {
             let Some((_, event)) = self.calendar.pop() else {
                 return Err(DlbError::exec(format!(
                     "simulation stalled: {} of {} operators terminated",
-                    self.ops_terminated, total_ops
+                    self.ops_terminated,
+                    self.ops.len()
                 )));
             };
             if self.calendar.processed() > MAX_EVENTS {
@@ -817,6 +1163,7 @@ impl<'a> QueueEngine<'a> {
                 Event::QueryAdmit { lane } => self.on_query_admit(lane),
                 Event::QueryRelease { lane } => self.on_query_release(lane),
                 Event::Topology { index } => self.on_topology(index)?,
+                Event::OpenArrival => self.on_open_arrival(),
             }
         }
         Ok(())
@@ -893,6 +1240,31 @@ impl<'a> QueueEngine<'a> {
             aggregate,
             queries,
             faults: self.faults,
+        })
+    }
+
+    /// Runs an open-system simulation to completion and produces the
+    /// streaming report: aggregate counters plus the latency sketches (no
+    /// per-query materialization).
+    pub(crate) fn run_open(mut self) -> Result<OpenReport> {
+        self.run_loop()?;
+        let aggregate = self.aggregate_report();
+        let open = self.open.take().expect("open mode");
+        let makespan = aggregate.response_time.as_secs_f64();
+        let throughput_qps = if makespan > 0.0 {
+            open.completed as f64 / makespan
+        } else {
+            0.0
+        };
+        Ok(OpenReport {
+            aggregate,
+            completed: open.completed,
+            peak_live: open.peak_live,
+            throughput_qps,
+            response: open.response,
+            wait: open.wait,
+            slowdown: open.slowdown,
+            response_by_class: open.response_by_class,
         })
     }
 
@@ -1113,11 +1485,283 @@ impl<'a> QueueEngine<'a> {
             // (saturating reserve); cap the give-back at the capacity.
             self.free_mem[n] = (self.free_mem[n] + amt).min(cap);
         }
+        if self.open.is_some() {
+            // Open mode: retirement — record latency samples, drop the
+            // lane's operator state, recycle the slot, admit from the
+            // waiting room.
+            self.retire_open_lane(lane);
+            self.try_admit_open();
+            return;
+        }
         let now = self.calendar.now();
         while let Some(admitted) = self.try_reserve_head() {
             self.calendar
                 .schedule_at(now, Event::QueryAdmit { lane: admitted });
         }
+    }
+
+    // ----------------------------------------------------------------- //
+    // Open-system mode (stochastic arrivals, bounded live state)
+    // ----------------------------------------------------------------- //
+
+    /// The next query of the arrival stream arrives: it enters the waiting
+    /// room, the following arrival is drawn and scheduled (lazy, one ahead),
+    /// and admission runs.
+    fn on_open_arrival(&mut self) {
+        let now = self.calendar.now();
+        let next_offset = {
+            let open = self.open.as_mut().expect("open mode");
+            let arrival = open.upcoming.take().expect("an arrival was scheduled");
+            open.pending.push_back(OpenPending {
+                arrived_at: now,
+                template: arrival.template,
+                priority: arrival.priority,
+            });
+            match open.stream.next() {
+                Some(next) => {
+                    open.upcoming = Some(next);
+                    Some(next.offset_secs)
+                }
+                None => {
+                    open.arrivals_done = true;
+                    None
+                }
+            }
+        };
+        if let Some(offset) = next_offset {
+            self.calendar.schedule_at(
+                SimTime::ZERO + Duration::from_secs_f64(offset),
+                Event::OpenArrival,
+            );
+        }
+        self.try_admit_open();
+    }
+
+    /// Admits waiting queries while a lane slot is free and the head of the
+    /// waiting room fits in every node's free memory. Strict head-of-line
+    /// FCFS, like closed-mode admission: a blocked head is never jumped.
+    fn try_admit_open(&mut self) {
+        loop {
+            let (slot, head) = {
+                let open = self.open.as_mut().expect("open mode");
+                if open.free_slots.is_empty() {
+                    return;
+                }
+                let Some(front) = open.pending.front() else {
+                    return;
+                };
+                let mem_per_node = open.templates[front.template]
+                    .memory_bytes
+                    .div_ceil(self.nodes as u64);
+                if !(0..self.nodes).all(|n| self.free_mem[n] >= mem_per_node) {
+                    return;
+                }
+                let head = open.pending.pop_front().expect("checked non-empty");
+                let slot = open.free_slots.pop().expect("checked non-empty");
+                open.admission_seq += 1;
+                open.lane_seq[slot] = open.admission_seq;
+                open.lane_template[slot] = head.template;
+                open.live_now += 1;
+                open.peak_live = open.peak_live.max(open.live_now);
+                (slot, head)
+            };
+            self.admit_open_lane(slot, head);
+        }
+    }
+
+    /// Populates a free lane slot with one admitted query: lane descriptors,
+    /// fresh operator runtimes over the slot's op range, memory reservation,
+    /// FP thread allocation, scheduling order, triggers.
+    fn admit_open_lane(&mut self, slot: usize, head: OpenPending) {
+        let now = self.calendar.now();
+        let (plan, memory_bytes) = {
+            let open = self.open.as_ref().expect("open mode");
+            let t = &open.templates[head.template];
+            (t.plan, t.memory_bytes)
+        };
+        let mem_per_node = memory_bytes.div_ceil(self.nodes as u64);
+        for n in 0..self.nodes {
+            self.free_mem[n] -= mem_per_node;
+        }
+        let n_ops = plan.tree.operators().len();
+        let base = self.lanes[slot].base;
+        let skew = self.lanes[slot].skew;
+        {
+            let lane = &mut self.lanes[slot];
+            lane.plan = plan;
+            lane.arrival = head.arrived_at;
+            lane.priority = head.priority;
+            lane.memory_bytes = memory_bytes;
+            lane.mem_per_node = mem_per_node;
+            lane.reserved = (0..self.nodes).map(|n| (n, mem_per_node)).collect();
+            lane.released = false;
+            lane.n_ops = n_ops;
+            lane.started = true;
+            lane.admitted_at = now;
+            lane.ops_terminated = 0;
+            lane.finished_at = SimTime::ZERO;
+            lane.activations = 0;
+            lane.tuples_processed = 0;
+            lane.result_tuples = 0;
+        }
+        // Rebuild the slot's operator runtimes (mirrors `initialize`, but in
+        // place over the slot's fixed op range).
+        let joins = plan.tree.joins();
+        for op in plan.tree.operators() {
+            let idx = base + op.id.index();
+            let home: Vec<NodeId> = plan
+                .homes
+                .home(op.id)
+                .nodes()
+                .iter()
+                .copied()
+                .filter(|n| n.index() < self.nodes)
+                .collect();
+            let mut blockers: Vec<OperatorId> = plan.blocked_by(op.id);
+            blockers.sort_unstable();
+            blockers.dedup();
+            let output_ratio = if op.input_tuples == 0 {
+                0.0
+            } else {
+                op.output_tuples as f64 / op.input_tuples as f64
+            };
+            let build_twin = match op.kind {
+                OperatorKind::Probe { join } => joins.get(&join).map(|(b, _)| base + b.index()),
+                _ => None,
+            };
+            let slots = home.len() * self.threads_per_node;
+            let mut per_node: Vec<Option<OpNodeRuntime>> = (0..self.nodes).map(|_| None).collect();
+            for node in &home {
+                per_node[node.index()] = Some(OpNodeRuntime {
+                    queues: (0..self.threads_per_node)
+                        .map(|_| ActivationQueue::new(self.options.flow.queue_capacity))
+                        .collect(),
+                    parked: VecDeque::new(),
+                    processing: 0,
+                    phase1_sent: false,
+                    confirm_pending: false,
+                    confirm_sent: false,
+                    hash_tuples: 0,
+                    hash_copied_from: BTreeSet::new(),
+                    started_disks: BTreeSet::new(),
+                    steal_cursor: 0,
+                });
+            }
+            self.ops[idx] = OpRuntime {
+                lane: slot,
+                kind: op.kind,
+                consumer: op.consumer.map(|c| base + c.index()),
+                home,
+                output_ratio,
+                blockers_remaining: blockers.len(),
+                terminated: false,
+                router: OutputRouter::new(slots, skew, idx),
+                input_sent: 0,
+                input_delivered: 0,
+                input_processed: 0,
+                phase1_reports: 0,
+                phase2_started: false,
+                phase2_confirms: 0,
+                build_twin,
+            };
+            self.op_nodes[idx] = per_node;
+            // The slot's ops were counted terminated (placeholder or
+            // retired); they are live again.
+            self.ops_terminated -= 1;
+        }
+        // FP: one fresh allocation per admission (the optimizer
+        // mis-estimates each arriving query once), inserted into every
+        // node's thread sets; retirement removes it again.
+        if let Strategy::Fixed { error_rate } = self.strategy {
+            let mut fp_rng = std::mem::replace(
+                &mut self.open.as_mut().expect("open mode").fp_rng,
+                rng_from_seed(0),
+            );
+            let assignment = allocate_threads(
+                plan,
+                self.threads_per_node as u32,
+                &self.cost,
+                error_rate,
+                &mut fp_rng,
+            );
+            self.open.as_mut().expect("open mode").fp_rng = fp_rng;
+            for node in 0..self.nodes {
+                for (t, ops) in assignment.iter().enumerate() {
+                    self.threads[node][t]
+                        .allowed
+                        .as_mut()
+                        .expect("FP threads carry allowed sets")
+                        .extend(ops.iter().map(|o| OperatorId::from(base + o.index())));
+                }
+            }
+        }
+        // Re-derive the scheduling order: priority descending, admission
+        // sequence ascending on ties (free slots sort by their last
+        // occupant's keys — harmless, they are skipped as not started).
+        let mut order = std::mem::take(&mut self.lane_order);
+        {
+            let open = self.open.as_ref().expect("open mode");
+            order.sort_by(|&a, &b| {
+                self.lanes[b]
+                    .priority
+                    .cmp(&self.lanes[a].priority)
+                    .then(open.lane_seq[a].cmp(&open.lane_seq[b]))
+            });
+        }
+        self.lane_order = order;
+        self.seed_triggers(slot);
+        self.activate_lane(slot);
+    }
+
+    /// Retires a completed open-mode lane: records its latency samples into
+    /// the streaming sketches, then *drops* its operator state — op-node
+    /// queues become `None`, op runtimes revert to placeholders, FP allowed
+    /// ids are withdrawn — and frees the slot. This is what bounds live
+    /// state by the concurrency level instead of the total query count.
+    fn retire_open_lane(&mut self, lane_idx: usize) {
+        let (base, n_ops, priority, response_secs, wait_secs) = {
+            let lane = &self.lanes[lane_idx];
+            (
+                lane.base,
+                lane.n_ops,
+                lane.priority,
+                lane.finished_at.since(lane.arrival).as_secs_f64(),
+                lane.admitted_at.since(lane.arrival).as_secs_f64(),
+            )
+        };
+        for idx in base..base + n_ops {
+            // Invalidate steal episodes still referencing the retired op.
+            self.epochs[idx] += 1;
+            self.ops[idx] = Self::placeholder_op(lane_idx);
+            self.op_nodes[idx] = (0..self.nodes).map(|_| None).collect();
+        }
+        if matches!(self.strategy, Strategy::Fixed { .. }) {
+            for node in 0..self.nodes {
+                for t in 0..self.threads_per_node {
+                    if let Some(set) = &mut self.threads[node][t].allowed {
+                        for idx in base..base + n_ops {
+                            set.remove(&OperatorId::from(idx));
+                        }
+                    }
+                }
+            }
+        }
+        self.lanes[lane_idx].started = false;
+        let open = self.open.as_mut().expect("open mode");
+        let solo = open.templates[open.lane_template[lane_idx]].solo_secs;
+        let slowdown = if solo > 0.0 {
+            response_secs / solo
+        } else {
+            1.0
+        };
+        open.response.record(response_secs);
+        open.wait.record(wait_secs);
+        open.slowdown.record(slowdown);
+        let class = (priority as usize - 1).min(open.response_by_class.len() - 1);
+        open.response_by_class[class].record(response_secs);
+        open.completed += 1;
+        open.live_now -= 1;
+        open.free_slots.push(lane_idx);
     }
 
     // ----------------------------------------------------------------- //
@@ -1433,16 +2077,18 @@ impl<'a> QueueEngine<'a> {
                 from,
                 free_bytes,
                 target,
+                epoch,
                 token,
-            } => self.on_starving(node, from, free_bytes, target, token),
+            } => self.on_starving(node, from, free_bytes, target, epoch, token),
             ControlMsg::Offer {
                 from,
                 op,
                 tuples,
                 bytes,
                 load,
+                epoch,
                 token,
-            } => self.on_offer(node, token, Some((from, op, tuples, bytes, load))),
+            } => self.on_offer(node, token, Some((from, op, tuples, bytes, load, epoch))),
             ControlMsg::NoOffer { from, token } => {
                 let _ = from;
                 self.on_offer(node, token, None)
@@ -1451,7 +2097,8 @@ impl<'a> QueueEngine<'a> {
                 from,
                 op,
                 has_table,
-            } => self.on_acquire(node, from, op, has_table),
+                epoch,
+            } => self.on_acquire(node, from, op, has_table, epoch),
             ControlMsg::Transfer {
                 from,
                 op,
@@ -1656,6 +2303,10 @@ impl<'a> QueueEngine<'a> {
         // Single-plan runs reserve nothing, so this is the full capacity
         // there.
         let free = self.free_mem[node];
+        // Pin the target's recycle epoch (FP only; DP requests carry no
+        // target). A provider seeing a different epoch knows the slot was
+        // recycled and must not offer the new occupant's work for it.
+        let epoch = target.map(|op| self.epochs[op]).unwrap_or(0);
         for other in 0..self.nodes {
             if other != node {
                 self.send_control(
@@ -1666,6 +2317,7 @@ impl<'a> QueueEngine<'a> {
                         from: node,
                         free_bytes: free,
                         target,
+                        epoch,
                         token,
                     },
                 );
@@ -1683,6 +2335,7 @@ impl<'a> QueueEngine<'a> {
         requester: usize,
         free_bytes: u64,
         target: Option<usize>,
+        epoch: u64,
         token: u64,
     ) {
         let mut best: Option<(usize, u64, u64, f64)> = None; // (op, tuples, bytes, ratio)
@@ -1690,6 +2343,11 @@ impl<'a> QueueEngine<'a> {
                                                              // candidate set is a contiguous index range — no need to materialize
                                                              // it per starving message.
         let candidate_ops = match target {
+            // Open mode: the targeted slot was recycled while the request was
+            // in flight — the new occupant's work must not be offered under
+            // the stale id. An empty candidate range still yields a NoOffer
+            // reply, so the requester's reply counting stays intact.
+            Some(op) if self.epochs[op] != epoch => 0..0,
             Some(op) => op..op + 1,
             None => 0..self.ops.len(),
         };
@@ -1750,6 +2408,7 @@ impl<'a> QueueEngine<'a> {
                     tuples,
                     bytes,
                     load,
+                    epoch: self.epochs[op],
                     token,
                 },
             ),
@@ -1764,7 +2423,7 @@ impl<'a> QueueEngine<'a> {
 
     /// The requester collects offers; once all providers answered it acquires
     /// from the most loaded one.
-    fn on_offer(&mut self, node: usize, token: u64, offer: Option<(usize, usize, u64, u64, u64)>) {
+    fn on_offer(&mut self, node: usize, token: u64, offer: Option<OfferEntry>) {
         // A requester that died mid-episode abandons it: acquiring work onto
         // a dead node would strand it.
         if !self.live[node] {
@@ -1799,13 +2458,13 @@ impl<'a> QueueEngine<'a> {
         let chosen = match self.strategy {
             Strategy::Dynamic => offers
                 .iter()
-                .filter(|(provider, op, _, _, _)| table_cached(*provider, *op))
-                .max_by_key(|(_, _, _, _, load)| *load)
-                .or_else(|| offers.iter().max_by_key(|(_, _, _, _, load)| *load))
+                .filter(|(provider, op, _, _, _, _)| table_cached(*provider, *op))
+                .max_by_key(|(_, _, _, _, load, _)| *load)
+                .or_else(|| offers.iter().max_by_key(|(_, _, _, _, load, _)| *load))
                 .copied(),
             _ => offers
                 .iter()
-                .max_by_key(|(_, _, _, _, load)| *load)
+                .max_by_key(|(_, _, _, _, load, _)| *load)
                 .copied(),
         };
         match chosen {
@@ -1815,7 +2474,7 @@ impl<'a> QueueEngine<'a> {
                 self.node_lb[node].starving_outstanding = false;
                 self.node_lb[node].fp_outstanding.clear();
             }
-            Some((provider, op, _tuples, _bytes, _load)) => {
+            Some((provider, op, _tuples, _bytes, _load, epoch)) => {
                 let has_table =
                     matches!(self.strategy, Strategy::Dynamic) && table_cached(provider, op);
                 self.send_control(
@@ -1826,6 +2485,7 @@ impl<'a> QueueEngine<'a> {
                         from: node,
                         op,
                         has_table,
+                        epoch,
                     },
                 );
             }
@@ -1834,7 +2494,32 @@ impl<'a> QueueEngine<'a> {
 
     /// The provider ships roughly `steal_fraction` of its queued activations
     /// of `op`, plus its hash-table partition when the requester lacks it.
-    fn on_acquire(&mut self, node: usize, requester: usize, op: usize, has_table: bool) {
+    fn on_acquire(
+        &mut self,
+        node: usize,
+        requester: usize,
+        op: usize,
+        has_table: bool,
+        epoch: u64,
+    ) {
+        // Open mode: the offered slot was recycled between Offer and Acquire
+        // (its query terminated and a new one moved in). Ship an empty,
+        // control-sized transfer so the requester's outstanding flags clear,
+        // and leave the new occupant untouched.
+        if self.epochs[op] != epoch {
+            self.send_control(
+                node,
+                requester,
+                CONTROL_MESSAGE_BYTES,
+                ControlMsg::Transfer {
+                    from: node,
+                    op,
+                    activations: Vec::new(),
+                    bytes: CONTROL_MESSAGE_BYTES,
+                },
+            );
+            return;
+        }
         let mut shipped: Vec<Activation> = Vec::new();
         let mut shipped_tuples = 0u64;
         let mut hash_bytes = 0u64;
@@ -2460,6 +3145,38 @@ pub fn execute_cosimulated_faulted(
         ));
     }
     QueueEngine::new_cosim(queries, *config, strategy, *options, topology)?.run_cosim()
+}
+
+/// Runs the co-simulated engine as an **open system**: queries arrive over a
+/// stochastic (but deterministic-per-seed) arrival process, are admitted from
+/// a FCFS waiting room into a fixed pool of `traffic.concurrency` lane slots,
+/// execute interleaved in the one shared event loop, and *retire* on
+/// completion — their per-operator state is dropped and the slot recycled —
+/// so live engine state is O(concurrency), never O(total queries).
+///
+/// Per-query latencies (response, admission wait, slowdown against the
+/// template's solo time) stream into constant-size log-bucketed sketches; the
+/// returned [`OpenReport`] carries p50/p95/p99 summaries overall and per
+/// priority class.
+///
+/// The arrival stream, template choices, priorities and FP thread allocations
+/// are all drawn from seeded generators, and the event loop is strictly
+/// sequential, so the result is bit-identical for any harness thread count.
+/// A single-arrival stream reproduces [`execute`]'s response time exactly.
+/// [`Strategy::Synchronous`] is rejected like in co-simulated mode.
+pub fn execute_open(
+    traffic: &OpenTraffic<'_>,
+    config: &SystemConfig,
+    strategy: Strategy,
+    options: &ExecOptions,
+) -> Result<OpenReport> {
+    if matches!(strategy, Strategy::Synchronous) {
+        return Err(DlbError::config(
+            "open-system mode requires a queue-based strategy (DP or FP); \
+             SP has no activation queues to interleave",
+        ));
+    }
+    QueueEngine::new_open(traffic, *config, strategy, *options)?.run_open()
 }
 
 #[cfg(test)]
@@ -3223,5 +3940,258 @@ mod tests {
             &opts
         )
         .is_err());
+    }
+
+    // ------------------------------------------------------------------ //
+    // Open-system mode
+    // ------------------------------------------------------------------ //
+
+    use dlb_traffic::ArrivalKind;
+
+    /// A small two-relation join: 4 operators (2 scans, build, probe).
+    fn tiny_plan(nodes: u32) -> ParallelPlan {
+        let tree = JoinTree::join(
+            JoinTree::leaf(RelationId::new(0), 120),
+            JoinTree::leaf(RelationId::new(1), 240),
+            1.0 / 240.0,
+        );
+        let ot = OperatorTree::from_join_tree(&tree);
+        let homes = OperatorHomes::all_nodes(&ot, nodes);
+        ParallelPlan::build(QueryId::new(9), ot, homes, ChainScheduling::OneAtATime).unwrap()
+    }
+
+    fn arrivals(kind: ArrivalKind, queries: usize, rate_qps: f64, burstiness: f64) -> ArrivalSpec {
+        ArrivalSpec {
+            kind,
+            rate_qps,
+            burstiness,
+            queries,
+            templates: 1,
+            priority_classes: 1,
+            seed: 0xD1B_1996,
+        }
+    }
+
+    fn template(plan: &ParallelPlan) -> OpenTemplate<'_> {
+        OpenTemplate {
+            plan,
+            memory_bytes: 0,
+            solo_secs: 0.0,
+        }
+    }
+
+    #[test]
+    fn open_single_arrival_matches_the_plain_engine_exactly() {
+        // One arrival through the open machinery is the closed engine,
+        // time-translated to the arrival instant: response (and hence
+        // slowdown against the solo baseline) must be bit-identical.
+        let plan = bushy_plan(2);
+        let config = SystemConfig::hierarchical(2, 4);
+        for (strategy, skew) in [
+            (Strategy::Dynamic, 0.0),
+            (Strategy::Dynamic, 0.6),
+            (Strategy::Fixed { error_rate: 0.1 }, 0.6),
+        ] {
+            let opts = ExecOptions::with_skew(skew);
+            let plain = execute(&plan, &config, strategy, &opts).unwrap();
+            let traffic = OpenTraffic {
+                templates: vec![OpenTemplate {
+                    plan: &plan,
+                    memory_bytes: 0,
+                    solo_secs: plain.response_time.as_secs_f64(),
+                }],
+                arrivals: arrivals(ArrivalKind::Poisson, 1, 0.25, 0.0),
+                concurrency: 3,
+            };
+            let open = execute_open(&traffic, &config, strategy, &opts).unwrap();
+            assert_eq!(open.completed, 1, "{strategy:?} skew {skew}");
+            assert_eq!(open.peak_live, 1);
+            assert_eq!(
+                open.response.max(),
+                plain.response_time.as_secs_f64(),
+                "{strategy:?} skew {skew}: open response vs plain"
+            );
+            assert_eq!(open.wait.max(), 0.0, "an uncontended arrival never waits");
+            assert_eq!(open.slowdown.max(), 1.0, "response / solo must be exact");
+        }
+    }
+
+    #[test]
+    fn open_runs_are_deterministic() {
+        let plan = tiny_plan(2);
+        let bushy = bushy_plan(2);
+        let config = SystemConfig::hierarchical(2, 2);
+        let opts = ExecOptions::with_skew(0.5);
+        let traffic = OpenTraffic {
+            templates: vec![template(&plan), template(&bushy)],
+            arrivals: ArrivalSpec {
+                templates: 2,
+                priority_classes: 3,
+                ..arrivals(ArrivalKind::Bursty, 120, 20.0, 0.5)
+            },
+            concurrency: 4,
+        };
+        for strategy in [Strategy::Dynamic, Strategy::Fixed { error_rate: 0.2 }] {
+            let a = execute_open(&traffic, &config, strategy, &opts).unwrap();
+            let b = execute_open(&traffic, &config, strategy, &opts).unwrap();
+            assert_eq!(a, b, "{strategy:?}");
+            assert_eq!(a.completed, 120);
+            assert!(a.throughput_qps > 0.0);
+        }
+    }
+
+    #[test]
+    fn open_live_state_is_bounded_by_concurrency_at_10k_queries() {
+        // Saturating arrival stream: offered load far above capacity, so the
+        // waiting room grows into the thousands while live engine state must
+        // stay pinned at `concurrency` lane slots.
+        let plan = tiny_plan(1);
+        let config = SystemConfig::shared_memory(2);
+        let opts = ExecOptions::default();
+        let concurrency = 8;
+        let traffic = OpenTraffic {
+            templates: vec![template(&plan)],
+            arrivals: arrivals(ArrivalKind::Poisson, 10_000, 400.0, 0.0),
+            concurrency,
+        };
+        let mut engine = QueueEngine::new_open(&traffic, config, Strategy::Dynamic, opts).unwrap();
+        // Op state is O(concurrency × max_ops) by construction, not O(total).
+        assert_eq!(engine.ops.len(), concurrency * 4);
+        engine.run_loop().unwrap();
+        let open = engine.open.as_ref().unwrap();
+        assert_eq!(open.completed, 10_000);
+        assert_eq!(open.response.count(), 10_000);
+        assert!(
+            open.peak_live <= concurrency,
+            "peak live {} exceeds the {concurrency} lane slots",
+            open.peak_live
+        );
+        // Under 50x overload the slot pool must actually fill up...
+        assert_eq!(open.peak_live, concurrency);
+        // ...and queries behind the pool must have waited.
+        assert!(open.wait.quantile(0.5).unwrap() > 0.0);
+        // Every retired query's operator state was dropped, not retained.
+        assert!(engine.lanes.iter().all(|l| !l.started));
+        assert!(engine
+            .op_nodes
+            .iter()
+            .all(|row| row.iter().all(|cell| cell.is_none())));
+        assert!(engine.ops.iter().all(|o| o.terminated && o.home.is_empty()));
+    }
+
+    #[test]
+    fn open_bursty_and_diurnal_streams_complete() {
+        let plan = tiny_plan(1);
+        let config = SystemConfig::shared_memory(4);
+        let opts = ExecOptions::default();
+        for (kind, burstiness) in [(ArrivalKind::Bursty, 0.7), (ArrivalKind::Diurnal, 0.0)] {
+            let traffic = OpenTraffic {
+                templates: vec![template(&plan)],
+                arrivals: arrivals(kind, 50, 30.0, burstiness),
+                concurrency: 2,
+            };
+            let r = execute_open(&traffic, &config, Strategy::Dynamic, &opts).unwrap();
+            assert_eq!(r.completed, 50, "{kind:?}");
+            assert_eq!(r.response.count(), 50);
+            assert!(r.response.quantile(0.99).unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn open_multi_node_run_with_skew_and_memory_admission_completes() {
+        // Multi-node, skewed, memory-constrained: exercises steal episodes
+        // racing slot recycling (the epoch guard) and in-loop admission.
+        let plan = tiny_plan(2);
+        let bushy = bushy_plan(2);
+        let config = SystemConfig::hierarchical(2, 2);
+        let opts = ExecOptions::with_skew(0.8);
+        let mem = config.machine.memory_per_node_bytes;
+        let traffic = OpenTraffic {
+            templates: vec![
+                OpenTemplate {
+                    plan: &plan,
+                    memory_bytes: mem,
+                    solo_secs: 0.01,
+                },
+                OpenTemplate {
+                    plan: &bushy,
+                    memory_bytes: mem / 2,
+                    solo_secs: 0.05,
+                },
+            ],
+            arrivals: ArrivalSpec {
+                templates: 2,
+                priority_classes: 2,
+                ..arrivals(ArrivalKind::Bursty, 150, 40.0, 0.6)
+            },
+            concurrency: 3,
+        };
+        for strategy in [Strategy::Dynamic, Strategy::Fixed { error_rate: 0.2 }] {
+            let r = execute_open(&traffic, &config, strategy, &opts).unwrap();
+            assert_eq!(r.completed, 150, "{strategy:?}");
+            assert!(r.slowdown.count() == 150);
+            // The working sets force queueing: someone must have waited.
+            assert!(r.wait.max() > 0.0);
+        }
+    }
+
+    #[test]
+    fn open_priority_classes_partition_the_response_sketch() {
+        let plan = tiny_plan(1);
+        let config = SystemConfig::shared_memory(2);
+        let opts = ExecOptions::default();
+        let traffic = OpenTraffic {
+            templates: vec![template(&plan)],
+            arrivals: ArrivalSpec {
+                priority_classes: 3,
+                ..arrivals(ArrivalKind::Poisson, 200, 50.0, 0.0)
+            },
+            concurrency: 4,
+        };
+        let r = execute_open(&traffic, &config, Strategy::Dynamic, &opts).unwrap();
+        assert_eq!(r.response_by_class.len(), 3);
+        let per_class: u64 = r.response_by_class.iter().map(|h| h.count()).sum();
+        assert_eq!(per_class, r.completed);
+        assert!(r.response_by_class.iter().all(|h| h.count() > 0));
+        let classes = r.class_summaries();
+        assert_eq!(classes.len(), 3);
+        assert_eq!(classes[0].0, 1);
+        assert_eq!(classes[2].0, 3);
+    }
+
+    #[test]
+    fn open_rejects_invalid_inputs() {
+        let plan = tiny_plan(1);
+        let config = SystemConfig::shared_memory(2);
+        let opts = ExecOptions::default();
+        let good = OpenTraffic {
+            templates: vec![template(&plan)],
+            arrivals: arrivals(ArrivalKind::Poisson, 10, 5.0, 0.0),
+            concurrency: 2,
+        };
+        // SP has no queues to interleave.
+        assert!(execute_open(&good, &config, Strategy::Synchronous, &opts).is_err());
+        // No templates.
+        let mut bad = good.clone();
+        bad.templates.clear();
+        bad.arrivals.templates = 0;
+        assert!(execute_open(&bad, &config, Strategy::Dynamic, &opts).is_err());
+        // Zero concurrency.
+        let mut bad = good.clone();
+        bad.concurrency = 0;
+        assert!(execute_open(&bad, &config, Strategy::Dynamic, &opts).is_err());
+        // Arrival spec draws from more templates than supplied.
+        let mut bad = good.clone();
+        bad.arrivals.templates = 2;
+        assert!(execute_open(&bad, &config, Strategy::Dynamic, &opts).is_err());
+        // A working set that can never fit is a configuration error, not a
+        // deadlock.
+        let mut bad = good.clone();
+        bad.templates[0].memory_bytes = 3 * config.machine.memory_per_node_bytes;
+        assert!(execute_open(&bad, &config, Strategy::Dynamic, &opts).is_err());
+        // Invalid solo baseline.
+        let mut bad = good.clone();
+        bad.templates[0].solo_secs = f64::NAN;
+        assert!(execute_open(&bad, &config, Strategy::Dynamic, &opts).is_err());
     }
 }

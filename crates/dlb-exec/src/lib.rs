@@ -36,6 +36,14 @@
 //! [`execute_cosimulated_faulted`], with recovery behaviour selected through
 //! [`RecoveryOptions`] and degradation accounting surfaced as
 //! [`FaultStats`].
+//!
+//! Finally, [`execute_open`] runs the same loop as an **open system**:
+//! queries arrive over a seeded stochastic process (`dlb-traffic`), are
+//! admitted from a FCFS waiting room into a bounded pool of lane slots, and
+//! retire on completion — live state is O(concurrency), latencies stream
+//! into constant-size sketches, and the [`OpenReport`] carries
+//! p50/p95/p99 response, wait and slowdown percentiles per strategy and
+//! priority class.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -52,12 +60,17 @@ pub mod topology;
 
 pub use activation::{Activation, ActivationKind, ActivationQueue, DrainOutcome};
 pub use dlb_storage::RehomePolicy;
-pub use engine::{execute, execute_cosimulated, execute_cosimulated_faulted, CoSimQuery};
+pub use engine::{
+    execute, execute_cosimulated, execute_cosimulated_faulted, execute_open, CoSimQuery,
+    OpenTemplate, OpenTraffic,
+};
 pub use mix::{schedule_mix, MixJob, MixMode, MixPolicy, MixSchedule, QueryOutcome};
 pub use options::{
     ContentionModel, ErrorRealization, ExecOptions, ExecOptionsBuilder, FlowControl,
     RecoveryOptions, RecoveryPolicy, StealPolicy, Strategy,
 };
-pub use report::{CoSimReport, ExecutionReport, FaultStats, QueryExecReport, StrategyKind};
+pub use report::{
+    CoSimReport, ExecutionReport, FaultStats, OpenReport, QueryExecReport, StrategyKind,
+};
 pub use router::OutputRouter;
 pub use topology::{validate_topology, TopologyChange, TopologyEvent};

@@ -12,6 +12,7 @@
 //! arrival-to-completion response time and work counters.
 
 use dlb_common::{Duration, NodeId};
+use dlb_traffic::{LatencyHistogram, LatencySummary};
 use serde::{Deserialize, Serialize};
 
 /// Which execution strategy produced a report.
@@ -218,6 +219,63 @@ impl CoSimReport {
             return 0.0;
         }
         self.queries.iter().map(|q| q.wait_secs).sum::<f64>() / self.queries.len() as f64
+    }
+}
+
+/// The outcome of one open-system (stochastic-arrival) execution: the
+/// machine-wide aggregate over the whole run plus constant-size streaming
+/// latency sketches. Unlike [`CoSimReport`] there is no per-query breakdown —
+/// queries retire as they finish and only their latency samples survive, so
+/// the report stays O(buckets) no matter how many queries the run served.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenReport {
+    /// Machine-wide counters; `response_time` spans the run start to the last
+    /// retirement (the makespan of the arrival stream).
+    pub aggregate: ExecutionReport,
+    /// Queries admitted, executed and retired.
+    pub completed: u64,
+    /// Peak number of concurrently live queries (bounded by the configured
+    /// concurrency level, never by the total query count).
+    pub peak_live: usize,
+    /// Completed queries per second of makespan.
+    pub throughput_qps: f64,
+    /// Response time (arrival to completion), seconds.
+    pub response: LatencyHistogram,
+    /// Admission wait (arrival to admission), seconds.
+    pub wait: LatencyHistogram,
+    /// Slowdown: response time over the template's solo (unloaded) response
+    /// time. Dimensionless; 1.0 when no solo baseline was provided.
+    pub slowdown: LatencyHistogram,
+    /// Response-time sketches split by priority class (class `p` at index
+    /// `p - 1`; priorities beyond the configured class count collapse into
+    /// the last class).
+    pub response_by_class: Vec<LatencyHistogram>,
+}
+
+impl OpenReport {
+    /// Headline response-time statistics (count, mean, p50/p95/p99, max).
+    pub fn response_summary(&self) -> LatencySummary {
+        self.response.summary()
+    }
+
+    /// Headline admission-wait statistics.
+    pub fn wait_summary(&self) -> LatencySummary {
+        self.wait.summary()
+    }
+
+    /// Headline slowdown statistics.
+    pub fn slowdown_summary(&self) -> LatencySummary {
+        self.slowdown.summary()
+    }
+
+    /// Per-priority-class response summaries as `(priority, summary)` pairs,
+    /// 1-based, in class order.
+    pub fn class_summaries(&self) -> Vec<(u32, LatencySummary)> {
+        self.response_by_class
+            .iter()
+            .enumerate()
+            .map(|(i, h)| (i as u32 + 1, h.summary()))
+            .collect()
     }
 }
 

@@ -1,0 +1,444 @@
+//! Stochastic arrival processes over a query-template pool.
+//!
+//! An [`ArrivalStream`] is a deterministic-per-seed iterator of
+//! [`Arrival`]s: each one carries an absolute arrival offset (seconds from
+//! the start of the run), the index of the query template it instantiates,
+//! and a priority class. Three processes are provided:
+//!
+//! - **Poisson** — i.i.d. exponential inter-arrival gaps at the target rate;
+//!   the memoryless baseline of the open-queueing literature.
+//! - **Bursty** — a Markov-modulated on/off process (MMPP-2): an ON state
+//!   emitting Poisson arrivals at an elevated rate alternates with a silent
+//!   OFF state, both with exponential sojourns. A `burstiness` knob in
+//!   `[0, 1)` sets the OFF fraction; the long-run rate always matches the
+//!   target QPS, so sweeps compare equal offered load at different
+//!   clumpiness.
+//! - **Diurnal** — a non-homogeneous Poisson process whose rate follows a
+//!   fixed 24-point "hour of day" trace (overnight trough, daytime double
+//!   peak), compressed so one trace period spans the expected run duration
+//!   (`queries / rate_qps` seconds). The trace is normalized to mean 1, so
+//!   the long-run rate again matches the target QPS.
+//!
+//! Timing, template choice and priority choice draw from three *independent*
+//! sub-streams of the master seed, so changing the template pool size does
+//! not perturb arrival instants and vice versa.
+
+use dlb_common::rng::stream_rng;
+use rand::distr::{Distribution, Exp};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Mean number of arrivals per ON burst of the bursty process.
+const BURST_MEAN_ARRIVALS: f64 = 16.0;
+
+/// Hourly rate multipliers of the diurnal trace before normalization:
+/// an overnight trough, a morning ramp, and a broad daytime double peak.
+const DIURNAL_TRACE: [f64; 24] = [
+    0.30, 0.20, 0.15, 0.12, 0.12, 0.20, 0.45, 0.80, 1.20, 1.50, 1.60, 1.55, 1.45, 1.55, 1.65, 1.60,
+    1.50, 1.40, 1.30, 1.15, 0.95, 0.75, 0.55, 0.40,
+];
+
+/// The shape of an arrival process (rate and seed live in [`ArrivalSpec`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalKind {
+    /// Homogeneous Poisson arrivals.
+    Poisson,
+    /// Markov-modulated on/off (bursty) arrivals.
+    Bursty,
+    /// Non-homogeneous Poisson arrivals following the diurnal trace.
+    Diurnal,
+}
+
+impl ArrivalKind {
+    /// Stable lower-case label (used by scenario serialization).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArrivalKind::Poisson => "poisson",
+            ArrivalKind::Bursty => "bursty",
+            ArrivalKind::Diurnal => "diurnal",
+        }
+    }
+
+    /// Parses a label produced by [`ArrivalKind::label`].
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "poisson" => Some(ArrivalKind::Poisson),
+            "bursty" => Some(ArrivalKind::Bursty),
+            "diurnal" => Some(ArrivalKind::Diurnal),
+            _ => None,
+        }
+    }
+}
+
+/// Parameters of an arrival stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalSpec {
+    /// Which process generates the arrival instants.
+    pub kind: ArrivalKind,
+    /// Long-run target arrival rate in queries per second.
+    pub rate_qps: f64,
+    /// OFF fraction of the bursty process, in `[0, 1)`. `0` degenerates to
+    /// Poisson; ignored by the other kinds.
+    pub burstiness: f64,
+    /// Total number of queries the stream emits before ending.
+    pub queries: usize,
+    /// Size of the query-template pool arrivals are drawn from (uniformly).
+    pub templates: usize,
+    /// Number of priority classes; each arrival draws a priority uniformly
+    /// from `1..=priority_classes`.
+    pub priority_classes: u32,
+    /// Master seed; the whole stream is a pure function of the spec.
+    pub seed: u64,
+}
+
+impl ArrivalSpec {
+    /// Validates the parameter ranges, returning a description of the first
+    /// violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.rate_qps.is_finite() && self.rate_qps > 0.0) {
+            return Err(format!("arrival rate must be positive: {}", self.rate_qps));
+        }
+        if !(0.0..1.0).contains(&self.burstiness) {
+            return Err(format!(
+                "burstiness must lie in [0, 1): {}",
+                self.burstiness
+            ));
+        }
+        if self.queries == 0 {
+            return Err("arrival stream needs at least one query".into());
+        }
+        if self.templates == 0 {
+            return Err("arrival stream needs a non-empty template pool".into());
+        }
+        if self.priority_classes == 0 {
+            return Err("arrival stream needs at least one priority class".into());
+        }
+        Ok(())
+    }
+}
+
+/// One query arrival.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// Arrival instant, seconds from the start of the run (non-decreasing).
+    pub offset_secs: f64,
+    /// Index into the template pool, in `0..templates`.
+    pub template: usize,
+    /// Priority class, in `1..=priority_classes`.
+    pub priority: u32,
+}
+
+/// State of the bursty (MMPP-2) modulation: time left in the current ON
+/// sojourn, plus the sojourn-length distributions.
+#[derive(Debug, Clone)]
+struct BurstState {
+    on_remaining: f64,
+    on_sojourn: Exp,
+    off_sojourn: Exp,
+    on_rate: f64,
+}
+
+/// State of the diurnal thinning: seconds per trace bucket and the
+/// normalized multipliers.
+#[derive(Debug, Clone)]
+struct DiurnalState {
+    bucket_secs: f64,
+    trace: [f64; 24],
+}
+
+#[derive(Debug, Clone)]
+enum ProcessState {
+    Poisson(Exp),
+    Bursty(BurstState),
+    Diurnal(DiurnalState),
+}
+
+/// A deterministic iterator of [`Arrival`]s (see the module docs).
+#[derive(Debug, Clone)]
+pub struct ArrivalStream {
+    spec: ArrivalSpec,
+    emitted: usize,
+    now_secs: f64,
+    state: ProcessState,
+    timing_rng: StdRng,
+    template_rng: StdRng,
+    priority_rng: StdRng,
+}
+
+impl ArrivalStream {
+    /// Builds the stream for `spec`, validating its parameters.
+    pub fn new(spec: ArrivalSpec) -> Result<Self, String> {
+        spec.validate()?;
+        let mut timing_rng = stream_rng(spec.seed, 0x41_52_52);
+        let state = match spec.kind {
+            ArrivalKind::Poisson => {
+                ProcessState::Poisson(Exp::new(spec.rate_qps).expect("validated rate"))
+            }
+            ArrivalKind::Bursty if spec.burstiness == 0.0 => {
+                ProcessState::Poisson(Exp::new(spec.rate_qps).expect("validated rate"))
+            }
+            ArrivalKind::Bursty => {
+                // ON rate is inflated so the long-run average over the
+                // ON/OFF cycle equals the target: rate_on * (1 - b) = rate.
+                let on_rate = spec.rate_qps / (1.0 - spec.burstiness);
+                let on_mean = BURST_MEAN_ARRIVALS / on_rate;
+                let off_mean = on_mean * spec.burstiness / (1.0 - spec.burstiness);
+                let on_sojourn = Exp::new(1.0 / on_mean).expect("positive mean");
+                let off_sojourn = Exp::new(1.0 / off_mean).expect("positive mean");
+                let on_remaining = on_sojourn.sample(&mut timing_rng);
+                ProcessState::Bursty(BurstState {
+                    on_remaining,
+                    on_sojourn,
+                    off_sojourn,
+                    on_rate,
+                })
+            }
+            ArrivalKind::Diurnal => {
+                let sum: f64 = DIURNAL_TRACE.iter().sum();
+                let mut trace = DIURNAL_TRACE;
+                for m in &mut trace {
+                    *m *= 24.0 / sum;
+                }
+                // One trace period spans the expected run duration.
+                let day_secs = spec.queries as f64 / spec.rate_qps;
+                ProcessState::Diurnal(DiurnalState {
+                    bucket_secs: day_secs / 24.0,
+                    trace,
+                })
+            }
+        };
+        Ok(Self {
+            spec,
+            emitted: 0,
+            now_secs: 0.0,
+            state,
+            timing_rng,
+            template_rng: stream_rng(spec.seed, 0x54_50_4C),
+            priority_rng: stream_rng(spec.seed, 0x50_52_49),
+        })
+    }
+
+    /// The spec this stream was built from.
+    pub fn spec(&self) -> &ArrivalSpec {
+        &self.spec
+    }
+
+    /// Number of arrivals still to come.
+    pub fn remaining(&self) -> usize {
+        self.spec.queries - self.emitted
+    }
+
+    /// Advances the clock past the next arrival instant and returns it.
+    fn next_instant(&mut self) -> f64 {
+        match &mut self.state {
+            ProcessState::Poisson(gap) => {
+                self.now_secs += gap.sample(&mut self.timing_rng);
+            }
+            ProcessState::Bursty(burst) => {
+                // Draw the gap in ON-time, then splice in OFF sojourns
+                // whenever it crosses the end of an ON period.
+                let mut gap = Exp::new(burst.on_rate)
+                    .expect("positive rate")
+                    .sample(&mut self.timing_rng);
+                while gap > burst.on_remaining {
+                    gap -= burst.on_remaining;
+                    self.now_secs += burst.on_remaining;
+                    self.now_secs += burst.off_sojourn.sample(&mut self.timing_rng);
+                    burst.on_remaining = burst.on_sojourn.sample(&mut self.timing_rng);
+                }
+                burst.on_remaining -= gap;
+                self.now_secs += gap;
+            }
+            ProcessState::Diurnal(diurnal) => {
+                // Piecewise-constant inversion: spend one Exp(1) unit of
+                // integrated rate, walking bucket by bucket.
+                let mut residual = Exp::new(1.0)
+                    .expect("unit rate")
+                    .sample(&mut self.timing_rng);
+                loop {
+                    let bucket = (self.now_secs / diurnal.bucket_secs) as usize % 24;
+                    let rate = self.spec.rate_qps * diurnal.trace[bucket];
+                    let bucket_end =
+                        ((self.now_secs / diurnal.bucket_secs).floor() + 1.0) * diurnal.bucket_secs;
+                    let capacity = (bucket_end - self.now_secs) * rate;
+                    if residual <= capacity {
+                        self.now_secs += residual / rate;
+                        break;
+                    }
+                    residual -= capacity;
+                    self.now_secs = bucket_end;
+                }
+            }
+        }
+        self.now_secs
+    }
+}
+
+impl Iterator for ArrivalStream {
+    type Item = Arrival;
+
+    fn next(&mut self) -> Option<Arrival> {
+        if self.emitted >= self.spec.queries {
+            return None;
+        }
+        self.emitted += 1;
+        let offset_secs = self.next_instant();
+        let template = self.template_rng.random_range(0..self.spec.templates);
+        let priority = self
+            .priority_rng
+            .random_range(1..=self.spec.priority_classes);
+        Some(Arrival {
+            offset_secs,
+            template,
+            priority,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.remaining();
+        (left, Some(left))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(kind: ArrivalKind, burstiness: f64) -> ArrivalSpec {
+        ArrivalSpec {
+            kind,
+            rate_qps: 50.0,
+            burstiness,
+            queries: 20_000,
+            templates: 6,
+            priority_classes: 3,
+            seed: 0xD1B_1996,
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        for kind in [
+            ArrivalKind::Poisson,
+            ArrivalKind::Bursty,
+            ArrivalKind::Diurnal,
+        ] {
+            let a: Vec<Arrival> = ArrivalStream::new(spec(kind, 0.5)).unwrap().collect();
+            let b: Vec<Arrival> = ArrivalStream::new(spec(kind, 0.5)).unwrap().collect();
+            assert_eq!(a, b);
+            let mut other = spec(kind, 0.5);
+            other.seed ^= 1;
+            let c: Vec<Arrival> = ArrivalStream::new(other).unwrap().collect();
+            assert_ne!(a, c);
+        }
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_well_formed() {
+        for kind in [
+            ArrivalKind::Poisson,
+            ArrivalKind::Bursty,
+            ArrivalKind::Diurnal,
+        ] {
+            let s = spec(kind, 0.7);
+            let arrivals: Vec<Arrival> = ArrivalStream::new(s).unwrap().collect();
+            assert_eq!(arrivals.len(), s.queries);
+            let mut prev = 0.0;
+            for a in &arrivals {
+                assert!(a.offset_secs >= prev, "time went backwards");
+                assert!(a.template < s.templates);
+                assert!((1..=s.priority_classes).contains(&a.priority));
+                prev = a.offset_secs;
+            }
+        }
+    }
+
+    #[test]
+    fn long_run_rate_matches_target() {
+        // All three processes are calibrated to the same offered load: over
+        // 20k arrivals the empirical rate should sit within ~10% of target.
+        for (kind, b) in [
+            (ArrivalKind::Poisson, 0.0),
+            (ArrivalKind::Bursty, 0.6),
+            (ArrivalKind::Diurnal, 0.0),
+        ] {
+            let s = spec(kind, b);
+            let last = ArrivalStream::new(s).unwrap().last().unwrap();
+            let empirical = s.queries as f64 / last.offset_secs;
+            assert!(
+                (empirical - s.rate_qps).abs() < 0.1 * s.rate_qps,
+                "{kind:?}: empirical rate {empirical} vs target {}",
+                s.rate_qps
+            );
+        }
+    }
+
+    #[test]
+    fn burstier_streams_have_heavier_gap_tails() {
+        // Same offered load, but a bursty stream concentrates arrivals: its
+        // maximum inter-arrival gap (the OFF periods) dwarfs Poisson's.
+        let gaps = |kind, b| -> f64 {
+            let arrivals: Vec<Arrival> = ArrivalStream::new(spec(kind, b)).unwrap().collect();
+            arrivals
+                .windows(2)
+                .map(|w| w[1].offset_secs - w[0].offset_secs)
+                .fold(0.0, f64::max)
+        };
+        let poisson_max = gaps(ArrivalKind::Poisson, 0.0);
+        let bursty_max = gaps(ArrivalKind::Bursty, 0.8);
+        assert!(
+            bursty_max > 2.0 * poisson_max,
+            "bursty max gap {bursty_max} vs poisson {poisson_max}"
+        );
+    }
+
+    #[test]
+    fn diurnal_rate_varies_across_the_day() {
+        // Arrivals per trace bucket should follow the trough/peak shape.
+        let s = spec(ArrivalKind::Diurnal, 0.0);
+        let day_secs = s.queries as f64 / s.rate_qps;
+        let bucket_secs = day_secs / 24.0;
+        let mut counts = [0usize; 24];
+        for a in ArrivalStream::new(s).unwrap() {
+            let b = ((a.offset_secs / bucket_secs) as usize).min(23);
+            counts[b] += 1;
+        }
+        let trough = counts[3] as f64; // 0.12 multiplier
+        let peak = counts[14] as f64; // 1.65 multiplier
+        assert!(
+            peak > 5.0 * trough,
+            "peak bucket {peak} vs trough bucket {trough}"
+        );
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let mut s = spec(ArrivalKind::Poisson, 0.0);
+        s.rate_qps = 0.0;
+        assert!(ArrivalStream::new(s).is_err());
+        let mut s = spec(ArrivalKind::Bursty, 0.0);
+        s.burstiness = 1.0;
+        assert!(ArrivalStream::new(s).is_err());
+        let mut s = spec(ArrivalKind::Poisson, 0.0);
+        s.templates = 0;
+        assert!(ArrivalStream::new(s).is_err());
+        let mut s = spec(ArrivalKind::Poisson, 0.0);
+        s.queries = 0;
+        assert!(ArrivalStream::new(s).is_err());
+        let mut s = spec(ArrivalKind::Poisson, 0.0);
+        s.priority_classes = 0;
+        assert!(ArrivalStream::new(s).is_err());
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for kind in [
+            ArrivalKind::Poisson,
+            ArrivalKind::Bursty,
+            ArrivalKind::Diurnal,
+        ] {
+            assert_eq!(ArrivalKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(ArrivalKind::from_label("uniform"), None);
+    }
+}

@@ -1,0 +1,268 @@
+//! HDR-style log-bucketed latency sketch.
+//!
+//! [`LatencyHistogram`] records non-negative samples (response times, waits,
+//! slowdown ratios) into geometrically spaced buckets: bucket `i` covers
+//! `[g^i, g^(i+1))` for a growth factor `g` slightly above 1. Memory is
+//! O(occupied buckets) regardless of how many samples are recorded, so an
+//! open-system run can retire millions of queries while the report stays
+//! constant-size. Quantile estimates return the geometric midpoint of the
+//! bucket holding the requested rank, which bounds the relative error by
+//! `√g` (within one bucket) — the property the crate's tests pin down.
+//!
+//! Two histograms with the same growth factor can be [`merged`]
+//! (bucket-wise addition), and merging is exactly equivalent to having
+//! recorded all samples into one histogram, because a sample's bucket index
+//! is a pure function of its value.
+//!
+//! [`merged`]: LatencyHistogram::merge
+
+use std::collections::BTreeMap;
+
+/// Default growth factor: ~2% relative bucket width, ~1% quantile error.
+pub const DEFAULT_GROWTH: f64 = 1.02;
+
+/// A log-bucketed histogram of non-negative `f64` samples (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyHistogram {
+    growth: f64,
+    inv_log_growth: f64,
+    /// Samples equal to zero (or clamped negatives) get a dedicated bucket.
+    zero: u64,
+    buckets: BTreeMap<i64, u64>,
+    count: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::with_growth(DEFAULT_GROWTH)
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram with the default growth factor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty histogram with bucket growth factor `growth`
+    /// (must be finite and > 1).
+    pub fn with_growth(growth: f64) -> Self {
+        assert!(
+            growth.is_finite() && growth > 1.0,
+            "histogram growth factor must be > 1: {growth}"
+        );
+        Self {
+            growth,
+            inv_log_growth: 1.0 / growth.ln(),
+            zero: 0,
+            buckets: BTreeMap::new(),
+            count: 0,
+            sum: 0.0,
+            max: 0.0,
+        }
+    }
+
+    /// The growth factor buckets are spaced by.
+    pub fn growth(&self) -> f64 {
+        self.growth
+    }
+
+    /// Records one sample. Non-finite samples are rejected with a panic;
+    /// negative samples clamp to the zero bucket.
+    pub fn record(&mut self, value: f64) {
+        assert!(value.is_finite(), "histogram sample must be finite");
+        self.count += 1;
+        if value <= 0.0 {
+            self.zero += 1;
+            return;
+        }
+        self.sum += value;
+        if value > self.max {
+            self.max = value;
+        }
+        let index = (value.ln() * self.inv_log_growth).floor() as i64;
+        *self.buckets.entry(index).or_insert(0) += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact maximum recorded sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The occupied buckets as `(index, count)` pairs in ascending value
+    /// order, plus the zero-bucket count. Exposed for merge/equality tests.
+    pub fn bucket_counts(&self) -> (u64, Vec<(i64, u64)>) {
+        (
+            self.zero,
+            self.buckets.iter().map(|(&i, &c)| (i, c)).collect(),
+        )
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`): the geometric midpoint
+    /// of the bucket containing the rank-`⌈q·n⌉` sample. Returns `None` on an
+    /// empty histogram. The estimate is within a factor `√growth` of the
+    /// exact order statistic.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must lie in [0, 1]: {q}");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank <= self.zero {
+            return Some(0.0);
+        }
+        let mut seen = self.zero;
+        for (&index, &count) in &self.buckets {
+            seen += count;
+            if seen >= rank {
+                return Some(self.growth.powf(index as f64 + 0.5));
+            }
+        }
+        // Unreachable: bucket counts always sum to `count`.
+        Some(self.max)
+    }
+
+    /// Merges `other` into `self` bucket-wise. Panics if the growth factors
+    /// differ (the bucket grids would not line up).
+    pub fn merge(&mut self, other: &Self) {
+        assert!(
+            self.growth.to_bits() == other.growth.to_bits(),
+            "cannot merge histograms with different growth factors"
+        );
+        self.zero += other.zero;
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.max > self.max {
+            self.max = other.max;
+        }
+        for (&index, &count) in &other.buckets {
+            *self.buckets.entry(index).or_insert(0) += count;
+        }
+    }
+
+    /// Snapshots the headline statistics.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            mean: self.mean(),
+            p50: self.quantile(0.50).unwrap_or(0.0),
+            p95: self.quantile(0.95).unwrap_or(0.0),
+            p99: self.quantile(0.99).unwrap_or(0.0),
+            max: self.max,
+        }
+    }
+}
+
+/// Headline statistics of a [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Arithmetic mean (exact).
+    pub mean: f64,
+    /// Median estimate (within one bucket).
+    pub p50: f64,
+    /// 95th-percentile estimate (within one bucket).
+    pub p95: f64,
+    /// 99th-percentile estimate (within one bucket).
+    pub p99: f64,
+    /// Maximum (exact).
+    pub max: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_nothing() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn zero_and_negative_samples_fill_the_zero_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(0.0);
+        h.record(-1.0);
+        h.record(2.0);
+        let (zero, buckets) = h.bucket_counts();
+        assert_eq!(zero, 2);
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.quantile(0.5), Some(0.0));
+        assert!(h.quantile(1.0).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn quantiles_sit_within_one_bucket_of_exact() {
+        let mut h = LatencyHistogram::new();
+        let values: Vec<f64> = (1..=1000).map(|i| i as f64 * 0.003).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        let tolerance = h.growth();
+        for q in [0.1, 0.5, 0.9, 0.95, 0.99] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1];
+            let est = h.quantile(q).unwrap();
+            assert!(
+                est / exact < tolerance && exact / est < tolerance,
+                "q={q}: estimate {est} vs exact {exact}"
+            );
+        }
+        assert_eq!(h.max(), 3.0);
+        assert!((h.mean() - 1.5015).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_bulk_build() {
+        let mut bulk = LatencyHistogram::new();
+        let mut left = LatencyHistogram::new();
+        let mut right = LatencyHistogram::new();
+        for i in 0..500 {
+            let v = (i as f64 * 0.7).sin().abs() * 10.0;
+            bulk.record(v);
+            if i % 3 == 0 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.bucket_counts(), bulk.bucket_counts());
+        assert_eq!(left.count(), bulk.count());
+        assert_eq!(left.max(), bulk.max());
+        for q in [0.25, 0.5, 0.75, 0.99] {
+            assert_eq!(left.quantile(q), bulk.quantile(q));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different growth factors")]
+    fn merging_mismatched_grids_panics() {
+        let mut a = LatencyHistogram::with_growth(1.02);
+        let b = LatencyHistogram::with_growth(1.05);
+        a.merge(&b);
+    }
+}

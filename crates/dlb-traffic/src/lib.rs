@@ -1,0 +1,23 @@
+//! Open-system traffic for the co-simulated engine.
+//!
+//! Closed workloads fix a set of N queries up front and score one makespan.
+//! This crate supplies the two pieces that turn the engine into an *open*
+//! queueing system instead:
+//!
+//! - [`arrival`] — deterministic-per-seed stochastic arrival processes
+//!   (Poisson, bursty Markov-modulated on/off, diurnal trace) over a query
+//!   template pool, parameterized by a target QPS and a total query count;
+//! - [`histogram`] — an HDR-style log-bucketed latency sketch recording
+//!   per-query response/wait/slowdown in O(buckets) memory, so millions of
+//!   retired queries never need to be materialized.
+//!
+//! Both are pure data structures with no dependency on the engine: the
+//! executor pulls arrivals lazily and feeds retirements into the sketches.
+
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod histogram;
+
+pub use arrival::{Arrival, ArrivalKind, ArrivalSpec, ArrivalStream};
+pub use histogram::{LatencyHistogram, LatencySummary};

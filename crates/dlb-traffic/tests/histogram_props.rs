@@ -1,0 +1,75 @@
+//! Property tests for the latency sketch: quantile estimates stay within one
+//! bucket's relative error of the exact order statistics, and merging two
+//! histograms is indistinguishable from bulk-building one.
+
+use dlb_traffic::LatencyHistogram;
+use proptest::prelude::*;
+
+/// The exact `q`-quantile under the histogram's rank convention.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_within_one_bucket_of_exact(
+        raw in proptest::collection::vec(1u64..50_000_000, 1..400),
+        scale in 0.000_001f64..0.01,
+    ) {
+        // Samples span ~7 decades once scaled — wide enough to cross many
+        // bucket boundaries.
+        let values: Vec<f64> = raw.iter().map(|&v| v as f64 * scale).collect();
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let tolerance = h.growth();
+        for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let est = h.quantile(q).unwrap();
+            prop_assert!(
+                est / exact < tolerance && exact / est < tolerance,
+                "q={}: estimate {} vs exact {} (growth {})",
+                q, est, exact, tolerance
+            );
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn merge_matches_bulk_build(
+        raw in proptest::collection::vec(1u64..50_000_000, 2..400),
+        split_fraction in 0.0f64..1.0,
+        scale in 0.000_001f64..0.01,
+    ) {
+        let values: Vec<f64> = raw.iter().map(|&v| v as f64 * scale).collect();
+        let split = ((values.len() as f64 * split_fraction) as usize).min(values.len());
+        let mut bulk = LatencyHistogram::new();
+        let mut left = LatencyHistogram::new();
+        let mut right = LatencyHistogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            bulk.record(v);
+            if i < split {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.bucket_counts(), bulk.bucket_counts());
+        prop_assert_eq!(left.count(), bulk.count());
+        prop_assert_eq!(left.max(), bulk.max());
+        for q in [0.0, 0.25, 0.5, 0.75, 0.95, 1.0] {
+            prop_assert_eq!(left.quantile(q), bulk.quantile(q));
+        }
+        // Mean accumulates in a different order, so compare approximately.
+        let (a, b) = (left.mean(), bulk.mean());
+        prop_assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0), "means {} vs {}", a, b);
+    }
+}

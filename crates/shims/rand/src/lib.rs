@@ -261,8 +261,95 @@ pub mod seq {
     }
 }
 
+/// Non-uniform distributions, mirroring the subset of `rand_distr` this
+/// workspace uses for arrival processes.
+pub mod distr {
+    use super::{RngCore, StandardUniform};
+
+    /// A distribution sampleable with any RNG, mirroring
+    /// `rand::distr::Distribution`.
+    pub trait Distribution<T> {
+        /// Draws one value from `rng`.
+        fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+    }
+
+    /// The exponential distribution `Exp(λ)` via inversion: with `U` uniform
+    /// in `[0, 1)`, `-ln(1 - U) / λ` is exponential with rate `λ`. Mean is
+    /// `1/λ`, variance `1/λ²` — the inter-arrival law of a Poisson process.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Exp {
+        lambda: f64,
+    }
+
+    impl Exp {
+        /// Creates an exponential distribution with rate `lambda` (events per
+        /// unit time). `lambda` must be finite and strictly positive.
+        pub fn new(lambda: f64) -> Result<Self, &'static str> {
+            if lambda.is_finite() && lambda > 0.0 {
+                Ok(Self { lambda })
+            } else {
+                Err("Exp rate must be finite and > 0")
+            }
+        }
+
+        /// The rate parameter `λ`.
+        pub fn lambda(&self) -> f64 {
+            self.lambda
+        }
+    }
+
+    impl Distribution<f64> for Exp {
+        fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+            let u = f64::sample(rng); // in [0, 1), so 1 - u is in (0, 1]
+            -(1.0 - u).ln() / self.lambda
+        }
+    }
+
+    /// The geometric distribution on `{0, 1, 2, …}`: the number of failures
+    /// before the first success in Bernoulli(`p`) trials, sampled by
+    /// inverting the exponential envelope (`⌊ln(1-U)/ln(1-p)⌋`). Mean is
+    /// `(1-p)/p`, variance `(1-p)/p²`.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Geometric {
+        p: f64,
+    }
+
+    impl Geometric {
+        /// Creates a geometric distribution with success probability `p` in
+        /// `(0, 1]`.
+        pub fn new(p: f64) -> Result<Self, &'static str> {
+            if p.is_finite() && p > 0.0 && p <= 1.0 {
+                Ok(Self { p })
+            } else {
+                Err("Geometric success probability must be in (0, 1]")
+            }
+        }
+
+        /// The success probability `p`.
+        pub fn p(&self) -> f64 {
+            self.p
+        }
+    }
+
+    impl Distribution<u64> for Geometric {
+        fn sample<R: RngCore>(&self, rng: &mut R) -> u64 {
+            if self.p >= 1.0 {
+                return 0;
+            }
+            let u = f64::sample(rng);
+            let draws = ((1.0 - u).ln() / (1.0 - self.p).ln()).floor();
+            if draws >= u64::MAX as f64 {
+                u64::MAX
+            } else {
+                draws as u64
+            }
+        }
+    }
+}
+
 /// The usual glob import, mirroring `rand::prelude`.
 pub mod prelude {
+    pub use crate::distr::Distribution;
     pub use crate::rngs::{SmallRng, StdRng};
     pub use crate::seq::IndexedRandom;
     pub use crate::{Rng, RngCore, SeedableRng};
@@ -328,5 +415,77 @@ mod tests {
             let f: f64 = rng.random();
             assert!((0.0..1.0).contains(&f));
         }
+    }
+
+    /// Empirical mean and (population) variance of `n` draws.
+    fn moments(samples: impl Iterator<Item = f64>) -> (f64, f64, usize) {
+        let samples: Vec<f64> = samples.collect();
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        (mean, var, n)
+    }
+
+    #[test]
+    fn exponential_matches_closed_form_moments() {
+        // Exp(λ): mean 1/λ, variance 1/λ². 100k draws keep the sample mean
+        // within a few percent of the closed form (std error ≈ 1/(λ√n)).
+        for &lambda in &[0.5, 2.0, 40.0] {
+            let exp = crate::distr::Exp::new(lambda).unwrap();
+            let mut rng = StdRng::seed_from_u64(11);
+            let (mean, var, _) = moments((0..100_000).map(|_| exp.sample(&mut rng)));
+            let m = 1.0 / lambda;
+            assert!(
+                (mean - m).abs() < 0.02 * m,
+                "λ={lambda}: mean {mean} vs {m}"
+            );
+            let v = 1.0 / (lambda * lambda);
+            assert!((var - v).abs() < 0.05 * v, "λ={lambda}: var {var} vs {v}");
+        }
+    }
+
+    #[test]
+    fn exponential_is_positive_and_deterministic() {
+        let exp = crate::distr::Exp::new(3.0).unwrap();
+        let mut a = StdRng::seed_from_u64(21);
+        let mut b = StdRng::seed_from_u64(21);
+        for _ in 0..1_000 {
+            let x = exp.sample(&mut a);
+            assert!(x >= 0.0 && x.is_finite());
+            assert_eq!(x.to_bits(), exp.sample(&mut b).to_bits());
+        }
+        assert!(crate::distr::Exp::new(0.0).is_err());
+        assert!(crate::distr::Exp::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn geometric_matches_closed_form_moments() {
+        // Geometric(p) on {0,1,…}: mean (1-p)/p, variance (1-p)/p².
+        for &p in &[0.1, 0.5, 0.9] {
+            let geo = crate::distr::Geometric::new(p).unwrap();
+            let mut rng = StdRng::seed_from_u64(13);
+            let (mean, var, _) = moments((0..100_000).map(|_| geo.sample(&mut rng) as f64));
+            let m = (1.0 - p) / p;
+            assert!(
+                (mean - m).abs() < 0.05 * m.max(0.05),
+                "p={p}: mean {mean} vs {m}"
+            );
+            let v = (1.0 - p) / (p * p);
+            assert!(
+                (var - v).abs() < 0.08 * v.max(0.05),
+                "p={p}: var {var} vs {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn geometric_degenerate_and_bounds() {
+        let sure = crate::distr::Geometric::new(1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..100 {
+            assert_eq!(sure.sample(&mut rng), 0);
+        }
+        assert!(crate::distr::Geometric::new(0.0).is_err());
+        assert!(crate::distr::Geometric::new(1.5).is_err());
     }
 }

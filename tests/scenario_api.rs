@@ -15,7 +15,10 @@
 //! * **mix scenarios** — the bundled `mix-contention` / `mix-memory`
 //!   specs are golden-pinned, their schedules surface in JSON/CSV, and
 //!   unsupported axis/workload combinations fail with `DlbError`s instead
-//!   of panicking (the `--export` regression of this PR).
+//!   of panicking (the `--export` regression of this PR),
+//! * **open scenarios** — the bundled `open-poisson` / `open-burst` arrival
+//!   streams are golden-pinned and their latency percentiles surface in
+//!   every emission format.
 
 use hierdb::scenario::{self, Axis, ScenarioSpec, WorkloadSpec};
 use hierdb::{ExecOptions, Experiment, HierarchicalSystem, MixPolicy, Strategy, WorkloadParams};
@@ -162,6 +165,83 @@ fn mix_failover_frac_spec_matches_its_golden_capture() {
         &rendered("mix-failover-frac"),
         include_str!("golden/mix_failover_frac.txt"),
     );
+}
+
+#[test]
+fn open_poisson_spec_matches_its_golden_capture() {
+    assert_golden(
+        "open_poisson.txt",
+        &rendered("open-poisson"),
+        include_str!("golden/open_poisson.txt"),
+    );
+}
+
+#[test]
+fn open_burst_spec_matches_its_golden_capture() {
+    assert_golden(
+        "open_burst.txt",
+        &rendered("open-burst"),
+        include_str!("golden/open_burst.txt"),
+    );
+}
+
+/// Open-system cells surface in every emission: percentile columns in the
+/// text table, latency summaries in JSON, trailing open columns in CSV —
+/// while closed-workload renderings stay free of them.
+#[test]
+fn open_reports_emit_latency_percentiles_in_every_format() {
+    let spec = golden(scenario::find("open-poisson").unwrap());
+    let report = scenario::run_scenario(&spec).unwrap();
+    for point in &report.points {
+        for cell in &point.cells {
+            let open = cell.open.as_ref().expect("open cells carry a report");
+            assert_eq!(open.completed, 120, "every generated arrival retires");
+            assert!(open.peak_live <= 4, "live state bounded by concurrency");
+            assert!(cell.value.is_finite() && cell.value > 0.0);
+            let summary = open.response_summary();
+            assert!(summary.p50 <= summary.p95 && summary.p95 <= summary.p99);
+            // Percentiles are bucket midpoints, within √growth (1.02) of the
+            // exact order statistic — the estimate may just overshoot max.
+            assert!(summary.p99 <= summary.max * 1.02);
+        }
+    }
+    // Text: percentile and throughput columns plus the open banner.
+    let text = scenario::render_text(&report);
+    for col in ["p50 s", "p95 s", "p99 s", "wait s", "slow", "qps"] {
+        assert!(text.contains(col), "missing open column {col:?}:\n{text}");
+    }
+    assert!(text.contains("workload: open poisson arrivals"));
+    // JSON: latency summaries and throughput per cell.
+    let json = scenario::render_json(&report);
+    let doc = hierdb::raw::common::Json::parse(&json).unwrap();
+    let points = doc.get("points").unwrap().as_array().unwrap();
+    assert_eq!(points.len(), 3 * 2, "3 arrival rates x 2 strategies");
+    for p in points {
+        assert_eq!(p.get("open_completed").unwrap().as_u64(), Some(120));
+        assert!(p.get("open_throughput_qps").unwrap().as_f64().unwrap() > 0.0);
+        let resp = p.get("open_response").unwrap();
+        assert_eq!(resp.get("count").unwrap().as_u64(), Some(120));
+        for key in ["mean_secs", "p50_secs", "p95_secs", "p99_secs", "max_secs"] {
+            assert!(resp.get(key).unwrap().as_f64().unwrap() > 0.0);
+        }
+    }
+    // CSV: the trailing open columns, filled on every line.
+    let csv = scenario::render_csv(&report);
+    assert!(csv
+        .lines()
+        .next()
+        .unwrap()
+        .ends_with("open_mean_wait_secs,open_mean_slowdown"));
+    assert!(csv.lines().nth(1).unwrap().contains(",120,"));
+    // Closed scenarios keep their historical header.
+    let plain = scenario::render_csv(
+        &scenario::run_scenario(&golden(scenario::find("fig9").unwrap())).unwrap(),
+    );
+    assert!(plain
+        .lines()
+        .next()
+        .unwrap()
+        .ends_with("mix_vs_composed_response"));
 }
 
 #[test]
