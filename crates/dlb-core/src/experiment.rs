@@ -33,8 +33,8 @@ use dlb_common::{NodeId, Result};
 use dlb_exec::mix::{schedule_mix, MixJob, MixMode, MixPolicy, MixSchedule};
 use dlb_exec::{
     execute_cosimulated_faulted, execute_open, CoSimQuery, CoSimReport, ExecOptions,
-    ExecutionReport, FaultStats, OpenReport, OpenTemplate, OpenTraffic, QueryOutcome, Strategy,
-    TopologyEvent,
+    ExecutionReport, FaultStats, FrontendConfig, OpenReport, OpenTemplate, OpenTraffic,
+    QueryOutcome, Strategy, TopologyEvent,
 };
 use dlb_query::cost::CostModel;
 use dlb_query::generator::WorkloadParams;
@@ -188,10 +188,12 @@ impl RunKey {
 
     /// The key of one open-system run: the base fingerprint extended with
     /// the traffic identity — arrival process (kind, rate, burstiness,
-    /// query count, template-pool size, priority classes, stream seed) and
-    /// the concurrency level. The per-template memory demands and solo
-    /// baselines are pure functions of inputs the base key already covers
-    /// (workload, cost model, machine, options), so they need no extra bits.
+    /// query count, template-pool size, template skew, priority classes,
+    /// stream seed), the concurrency level and the front-end configuration
+    /// (cache capacity, TTL, coalescing, fan-out cost). The per-template
+    /// memory demands and solo baselines are pure functions of inputs the
+    /// base key already covers (workload, cost model, machine, options), so
+    /// they need no extra bits.
     pub fn for_open(
         strategy: Strategy,
         options: &ExecOptions,
@@ -199,6 +201,7 @@ impl RunKey {
         workload: &WorkloadFingerprint,
         arrivals: &ArrivalSpec,
         concurrency: usize,
+        frontend: &FrontendConfig,
     ) -> Self {
         let open_bits = [
             // Discriminant: an open run, never colliding with plain keys
@@ -213,9 +216,14 @@ impl RunKey {
             arrivals.burstiness.to_bits(),
             arrivals.queries as u64,
             arrivals.templates as u64,
+            arrivals.template_skew.to_bits(),
             arrivals.priority_classes as u64,
             arrivals.seed,
             concurrency as u64,
+            frontend.cache_capacity as u64,
+            frontend.cache_ttl_secs.to_bits(),
+            frontend.coalesce as u64,
+            frontend.fanout_cost_secs.to_bits(),
         ];
         Self::with_extra(strategy, options, config, workload, open_bits)
     }
@@ -791,6 +799,20 @@ impl Experiment {
         concurrency: usize,
         strategy: Strategy,
     ) -> Result<OpenRun> {
+        self.run_open_with_frontend(arrivals, concurrency, FrontendConfig::default(), strategy)
+    }
+
+    /// [`Experiment::run_open`] with a front-end layer (result cache +
+    /// single-flight coalescing) between the arrival stream and the engine's
+    /// waiting room. With the default (inert) config this is exactly
+    /// `run_open` — same events, same report, bit for bit.
+    pub fn run_open_with_frontend(
+        &self,
+        arrivals: &ArrivalSpec,
+        concurrency: usize,
+        frontend: FrontendConfig,
+        strategy: Strategy,
+    ) -> Result<OpenRun> {
         // First plan per distinct query — the optimizer may have emitted
         // several plan variants per query.
         let mut chosen: Vec<usize> = Vec::new();
@@ -821,6 +843,7 @@ impl Experiment {
             self.workload.fingerprint(),
             arrivals,
             concurrency,
+            &frontend,
         );
         if let Some(hit) = self.cache.get_open(&key) {
             return Ok((*hit).clone());
@@ -851,6 +874,7 @@ impl Experiment {
             templates,
             arrivals: *arrivals,
             concurrency,
+            frontend,
         };
         let report = execute_open(&traffic, config, strategy, self.system.options())?;
         let run = OpenRun { report, solo };
@@ -1567,6 +1591,7 @@ mod tests {
             burstiness: 0.0,
             queries,
             templates,
+            template_skew: 0.0,
             priority_classes: 1,
             seed: 7,
         }
@@ -1605,6 +1630,7 @@ mod tests {
         let system = HierarchicalSystem::hierarchical(2, 2);
         let workload = CompiledWorkload::generate(WorkloadParams::tiny(2, 4, 11), &system).unwrap();
         let options = ExecOptions::default();
+        let frontend = FrontendConfig::default();
         let key = |arrivals: &ArrivalSpec, concurrency: usize| {
             RunKey::for_open(
                 Strategy::Dynamic,
@@ -1613,6 +1639,7 @@ mod tests {
                 workload.fingerprint(),
                 arrivals,
                 concurrency,
+                &frontend,
             )
         };
         let base_spec = small_arrivals(20, 2);
@@ -1659,6 +1686,48 @@ mod tests {
                 4
             )
         );
+        assert_ne!(
+            base,
+            key(
+                &ArrivalSpec {
+                    template_skew: 0.5,
+                    ..base_spec
+                },
+                4
+            )
+        );
+        // Every front-end knob is part of the key.
+        let fe_key = |frontend: &FrontendConfig| {
+            RunKey::for_open(
+                Strategy::Dynamic,
+                &options,
+                system.config(),
+                workload.fingerprint(),
+                &base_spec,
+                4,
+                frontend,
+            )
+        };
+        for frontend in [
+            FrontendConfig {
+                cache_capacity: 2,
+                ..FrontendConfig::default()
+            },
+            FrontendConfig {
+                cache_ttl_secs: 0.5,
+                ..FrontendConfig::default()
+            },
+            FrontendConfig {
+                coalesce: true,
+                ..FrontendConfig::default()
+            },
+            FrontendConfig {
+                fanout_cost_secs: 0.001,
+                ..FrontendConfig::default()
+            },
+        ] {
+            assert_ne!(base, fe_key(&frontend), "{frontend:?}");
+        }
         // Open keys never collide with plain or mix keys of the same inputs.
         assert_ne!(
             base,

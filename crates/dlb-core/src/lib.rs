@@ -41,9 +41,9 @@ pub use dlb_common::{Duration, SimTime};
 pub use dlb_exec::mix::{MixJob, MixMode, MixPolicy, MixSchedule, QueryOutcome};
 pub use dlb_exec::{
     CoSimQuery, CoSimReport, ContentionModel, ErrorRealization, ExecOptions, ExecOptionsBuilder,
-    ExecutionReport, FaultStats, FlowControl, OpenReport, QueryExecReport, RecoveryOptions,
-    RecoveryPolicy, RehomePolicy, StealPolicy, Strategy, StrategyKind, TopologyChange,
-    TopologyEvent,
+    ExecutionReport, FaultStats, FlowControl, FrontendConfig, FrontendStats, OpenReport,
+    QueryExecReport, RecoveryOptions, RecoveryPolicy, RehomePolicy, StealPolicy, Strategy,
+    StrategyKind, TopologyChange, TopologyEvent,
 };
 pub use dlb_query::plan::{ChainScheduling, ParallelPlan};
 pub use dlb_query::{Query, WorkloadParams};

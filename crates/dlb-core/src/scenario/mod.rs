@@ -224,13 +224,15 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport> {
                     )),
                     _ => None,
                 };
-            let open: Option<(ArrivalSpec, usize)> = match &workload_spec {
-                WorkloadSpec::Open(o) => Some((o.arrivals(), o.concurrency)),
+            let open: Option<(ArrivalSpec, usize, dlb_exec::FrontendConfig)> = match &workload_spec
+            {
+                WorkloadSpec::Open(o) => Some((o.arrivals(), o.concurrency, o.frontend())),
                 _ => None,
             };
             let run_one = |s: Strategy| -> Result<RawCell> {
-                if let Some((arrivals, concurrency)) = &open {
-                    let or = experiment.run_open(arrivals, *concurrency, s)?;
+                if let Some((arrivals, concurrency, frontend)) = &open {
+                    let or =
+                        experiment.run_open_with_frontend(arrivals, *concurrency, *frontend, s)?;
                     return Ok((s, or.solo, None, None, None, None, Some(or.report)));
                 }
                 match &mix {
@@ -473,6 +475,11 @@ fn point_config(
         Axis::Burstiness => {
             if let WorkloadSpec::Open(open) = &mut workload {
                 open.burstiness = v;
+            }
+        }
+        Axis::TemplateSkew => {
+            if let WorkloadSpec::Open(open) = &mut workload {
+                open.template_skew = v;
             }
         }
     };

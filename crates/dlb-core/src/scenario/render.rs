@@ -16,6 +16,14 @@ fn is_open(spec: &ScenarioSpec) -> bool {
     spec.workload.is_open()
 }
 
+/// True when the report's open workload runs a front end (result cache or
+/// single-flight coalescing) above the engine. Front-end columns are gated
+/// on this so pre-existing open renderings stay byte-identical to their
+/// golden captures.
+fn is_frontend(spec: &ScenarioSpec) -> bool {
+    matches!(&spec.workload, WorkloadSpec::Open(o) if o.frontend().enabled())
+}
+
 /// True when the report's workload is a co-simulated mix (its cells carry a
 /// composed contrast schedule worth rendering).
 fn is_cosim(spec: &ScenarioSpec) -> bool {
@@ -241,9 +249,12 @@ pub fn render_text(report: &ScenarioReport) -> String {
         }
         Presentation::Open(style) => {
             let labels: Vec<&str> = spec.strategies.iter().map(|s| s.label()).collect();
+            let frontend = is_frontend(spec);
             let mut out = banner(spec);
             // Header: ratio columns, then per-strategy response percentiles,
-            // mean admission wait, mean slowdown and sustained throughput.
+            // mean admission wait, mean slowdown and sustained throughput;
+            // front-ended workloads additionally carry the cache hit ratio
+            // and the effective-QPS multiplier (completed / engine queries).
             let _ = write!(out, "{:>w$}", style.row_header, w = style.row_width);
             for l in &labels {
                 let _ = write!(out, "  {:>w$}", l, w = style.cell_width);
@@ -259,6 +270,14 @@ pub fn render_text(report: &ScenarioReport) -> String {
             for l in &labels {
                 let _ = write!(out, "  {:>10}", format!("{l} qps"));
             }
+            if frontend {
+                for l in &labels {
+                    let _ = write!(out, "  {:>10}", format!("{l} hit%"));
+                }
+                for l in &labels {
+                    let _ = write!(out, "  {:>10}", format!("{l} xQPS"));
+                }
+            }
             out.push('\n');
             for point in &report.points {
                 out.push_str(&row_label(spec, style, point.row));
@@ -270,7 +289,7 @@ pub fn render_text(report: &ScenarioReport) -> String {
                         let _ = write!(out, "  {:>12}", f(cell));
                     }
                 };
-                let resp = |c: &StrategyCell| c.open.as_ref().map(|o| o.response_summary());
+                let resp = |c: &StrategyCell| c.open.as_ref().and_then(|o| o.response_summary());
                 open_col(&mut out, &|c| {
                     resp(c).map_or("n/a".to_string(), |s| format!("{:.3}", s.p50))
                 });
@@ -302,6 +321,28 @@ pub fn render_text(report: &ScenarioReport) -> String {
                             .as_ref()
                             .map_or("n/a".to_string(), |o| format!("{:.2}", o.throughput_qps))
                     );
+                }
+                if frontend {
+                    for cell in &point.cells {
+                        let _ = write!(
+                            out,
+                            "  {:>10}",
+                            cell.open.as_ref().map_or("n/a".to_string(), |o| format!(
+                                "{:.1}%",
+                                o.hit_ratio() * 100.0
+                            ))
+                        );
+                    }
+                    for cell in &point.cells {
+                        let _ = write!(
+                            out,
+                            "  {:>10}",
+                            cell.open.as_ref().map_or("n/a".to_string(), |o| format!(
+                                "{:.2}",
+                                o.qps_multiplier()
+                            ))
+                        );
+                    }
                 }
                 out.push('\n');
             }
@@ -415,7 +456,7 @@ fn banner(spec: &ScenarioSpec) -> String {
         WorkloadSpec::Open(open) => format!(
             "workload: open {} arrivals, {} qps, burstiness {}, {} queries \
              over {} templates x {} relations, scale {}, seed {:#x}, \
-             concurrency {}{}",
+             concurrency {}{}{}",
             open.kind.label(),
             open.rate_qps,
             open.burstiness,
@@ -428,6 +469,27 @@ fn banner(spec: &ScenarioSpec) -> String {
             match open.priority_classes {
                 1 => String::new(),
                 n => format!(", {n} classes"),
+            },
+            // Front-end knobs only appear when set, so pre-existing open
+            // golden captures remain byte-identical.
+            {
+                let mut extra = String::new();
+                if open.template_skew != 0.0 {
+                    let _ = write!(extra, ", t-skew {}", open.template_skew);
+                }
+                if open.cache_capacity != 0 {
+                    let _ = write!(extra, ", cache {}", open.cache_capacity);
+                    if open.cache_ttl_secs.is_finite() {
+                        let _ = write!(extra, " ttl {}s", open.cache_ttl_secs);
+                    }
+                }
+                if open.coalesce {
+                    extra.push_str(", coalesce");
+                }
+                if open.fanout_cost_secs != 0.0 {
+                    let _ = write!(extra, ", fanout {}s", open.fanout_cost_secs);
+                }
+                extra
             }
         ),
     };
@@ -494,6 +556,7 @@ fn col_header(cols: &Sweep, v: f64) -> String {
         Axis::FailedNodes => format!("{} failed", v as u64),
         Axis::ArrivalRate => format!("{v} qps"),
         Axis::Burstiness => format!("burst {v:.2}"),
+        Axis::TemplateSkew => format!("t-skew {v:.2}"),
     }
 }
 
@@ -513,6 +576,7 @@ fn summary_json(s: &LatencySummary) -> Json {
 /// plus one record per (point × strategy).
 pub fn render_json(report: &ScenarioReport) -> String {
     let spec = &report.spec;
+    let frontend = is_frontend(spec);
     let mut records: Vec<Json> = Vec::new();
     for point in &report.points {
         for cell in &point.cells {
@@ -634,10 +698,47 @@ pub fn render_json(report: &ScenarioReport) -> String {
                     ("open_completed", Json::from(open.completed)),
                     ("open_peak_live", Json::from(open.peak_live)),
                     ("open_throughput_qps", Json::Float(open.throughput_qps)),
-                    ("open_response", summary_json(&open.response_summary())),
-                    ("open_wait", summary_json(&open.wait_summary())),
-                    ("open_slowdown", summary_json(&open.slowdown_summary())),
                 ]);
+                // Summaries of histograms that recorded no samples are
+                // omitted rather than emitted as all-zero objects.
+                if let Some(s) = open.response_summary() {
+                    members.push(("open_response", summary_json(&s)));
+                }
+                if let Some(s) = open.wait_summary() {
+                    members.push(("open_wait", summary_json(&s)));
+                }
+                if let Some(s) = open.slowdown_summary() {
+                    members.push(("open_slowdown", summary_json(&s)));
+                }
+                // Front-end accounting: where each completed request was
+                // answered, plus the derived hit ratio and effective-QPS
+                // multiplier, and the per-outcome response summaries.
+                if frontend {
+                    let f = &open.frontend;
+                    members.push((
+                        "open_frontend",
+                        object(vec![
+                            ("cache_hits", Json::from(f.cache_hits)),
+                            ("cache_stale", Json::from(f.cache_stale)),
+                            ("cache_evictions", Json::from(f.cache_evictions)),
+                            ("cache_misses", Json::from(f.cache_misses)),
+                            ("cache_bypass", Json::from(f.cache_bypass)),
+                            ("coalesced", Json::from(f.coalesced)),
+                            ("engine_queries", Json::from(f.engine_queries)),
+                            ("hit_ratio", Json::Float(open.hit_ratio())),
+                            ("qps_multiplier", Json::Float(open.qps_multiplier())),
+                        ]),
+                    ));
+                    if let Some(s) = open.response_engine.summary() {
+                        members.push(("open_response_engine", summary_json(&s)));
+                    }
+                    if let Some(s) = open.response_cache_hit.summary() {
+                        members.push(("open_response_cache_hit", summary_json(&s)));
+                    }
+                    if let Some(s) = open.response_coalesced.summary() {
+                        members.push(("open_response_coalesced", summary_json(&s)));
+                    }
+                }
                 let classes = open.class_summaries();
                 if classes.len() > 1 {
                     members.push((
@@ -687,6 +788,7 @@ pub fn render_json(report: &ScenarioReport) -> String {
 pub fn render_csv(report: &ScenarioReport) -> String {
     let faulted = is_faulted(&report.spec);
     let open = is_open(&report.spec);
+    let frontend = is_frontend(&report.spec);
     let mut out = String::from(
         "row,col,strategy,value,plans,mean_response_secs,mean_idle_fraction,\
          total_lb_bytes,total_messages,mix_policy,mix_mode,mix_mean_response_secs,\
@@ -703,6 +805,9 @@ pub fn render_csv(report: &ScenarioReport) -> String {
             ",open_completed,open_peak_live,open_throughput_qps,open_p50_secs,\
              open_p95_secs,open_p99_secs,open_mean_wait_secs,open_mean_slowdown",
         );
+    }
+    if frontend {
+        out.push_str(",open_hit_ratio,open_qps_multiplier,open_coalesced,open_engine_queries");
     }
     out.push('\n');
     for point in &report.points {
@@ -736,14 +841,17 @@ pub fn render_csv(report: &ScenarioReport) -> String {
                 match &cell.open {
                     Some(o) => {
                         let s = o.response_summary();
+                        let quant = |pick: fn(&LatencySummary) -> f64| {
+                            s.as_ref().map_or(String::new(), |s| pick(s).to_string())
+                        };
                         format!(
                             ",{},{},{},{},{},{},{},{}",
                             o.completed,
                             o.peak_live,
                             o.throughput_qps,
-                            s.p50,
-                            s.p95,
-                            s.p99,
+                            quant(|s| s.p50),
+                            quant(|s| s.p95),
+                            quant(|s| s.p99),
                             o.wait.mean(),
                             o.slowdown.mean()
                         )
@@ -753,9 +861,23 @@ pub fn render_csv(report: &ScenarioReport) -> String {
             } else {
                 String::new()
             };
+            let frontend_cols = if frontend {
+                match &cell.open {
+                    Some(o) => format!(
+                        ",{},{},{},{}",
+                        o.hit_ratio(),
+                        o.qps_multiplier(),
+                        o.frontend.coalesced,
+                        o.frontend.engine_queries
+                    ),
+                    None => ",,,,".to_string(),
+                }
+            } else {
+                String::new()
+            };
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{}{}{}",
+                "{},{},{},{},{},{},{},{},{},{}{}{}{}",
                 point.row,
                 col,
                 cell.strategy.label(),
@@ -767,7 +889,8 @@ pub fn render_csv(report: &ScenarioReport) -> String {
                 cell.summary.total_messages,
                 mix,
                 faults,
-                open_cols
+                open_cols,
+                frontend_cols
             );
         }
     }

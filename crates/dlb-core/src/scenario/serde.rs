@@ -48,6 +48,7 @@ pub(super) fn axis_name(axis: Axis) -> &'static str {
         Axis::FailedNodes => "failed_nodes",
         Axis::ArrivalRate => "arrival_rate_qps",
         Axis::Burstiness => "burstiness",
+        Axis::TemplateSkew => "template_skew",
     }
 }
 
@@ -63,10 +64,11 @@ fn axis_from_name(name: &str) -> Result<Axis> {
         "failed_nodes" => Ok(Axis::FailedNodes),
         "arrival_rate_qps" => Ok(Axis::ArrivalRate),
         "burstiness" => Ok(Axis::Burstiness),
+        "template_skew" => Ok(Axis::TemplateSkew),
         other => Err(parse_err(format!(
             "unknown axis {other:?} (expected skew | nodes | processors_per_node | error_rate \
              | concurrent_queries | memory_per_node_mb | failure_time | failed_nodes \
-             | arrival_rate_qps | burstiness)"
+             | arrival_rate_qps | burstiness | template_skew)"
         ))),
     }
 }
@@ -139,9 +141,8 @@ pub(super) fn workload_to_json(workload: &WorkloadSpec) -> Json {
             }
             object(vec![("mix", object(members))])
         }
-        WorkloadSpec::Open(open) => object(vec![(
-            "open",
-            object(vec![
+        WorkloadSpec::Open(open) => {
+            let mut members = vec![
                 ("kind", Json::from(open.kind.label())),
                 ("rate_qps", Json::Float(open.rate_qps)),
                 ("burstiness", Json::Float(open.burstiness)),
@@ -152,8 +153,27 @@ pub(super) fn workload_to_json(workload: &WorkloadSpec) -> Json {
                 ("relations", Json::from(open.relations)),
                 ("scale", Json::Float(open.scale)),
                 ("seed", Json::from(open.seed)),
-            ]),
-        )]),
+            ];
+            // Front-end / skew knobs are emitted only when they differ from
+            // their inert defaults, so pre-existing spec exports stay
+            // byte-identical.
+            if open.template_skew != 0.0 {
+                members.push(("template_skew", Json::Float(open.template_skew)));
+            }
+            if open.cache_capacity != 0 {
+                members.push(("cache_capacity", Json::from(open.cache_capacity)));
+            }
+            if open.cache_ttl_secs.is_finite() {
+                members.push(("cache_ttl_secs", Json::Float(open.cache_ttl_secs)));
+            }
+            if open.coalesce {
+                members.push(("coalesce", Json::Bool(true)));
+            }
+            if open.fanout_cost_secs != 0.0 {
+                members.push(("fanout_cost_secs", Json::Float(open.fanout_cost_secs)));
+            }
+            object(vec![("open", object(members))])
+        }
     }
 }
 
@@ -653,6 +673,11 @@ fn workload_from_json(v: &Json) -> Result<WorkloadSpec> {
                 "relations",
                 "scale",
                 "seed",
+                "template_skew",
+                "cache_capacity",
+                "cache_ttl_secs",
+                "coalesce",
+                "fanout_cost_secs",
             ],
             "workload.open",
         )?;
@@ -697,6 +722,18 @@ fn workload_from_json(v: &Json) -> Result<WorkloadSpec> {
             relations: opt_u64("relations", d.relations as u64)? as usize,
             scale: opt_f64("scale", d.scale)?,
             seed: opt_u64("seed", d.seed)?,
+            template_skew: opt_f64("template_skew", d.template_skew)?,
+            cache_capacity: opt_u64("cache_capacity", d.cache_capacity as u64)? as usize,
+            // An absent TTL means "never expires"; the emit side only writes
+            // the key for finite values.
+            cache_ttl_secs: opt_f64("cache_ttl_secs", d.cache_ttl_secs)?,
+            coalesce: match open.get("coalesce") {
+                None => d.coalesce,
+                Some(j) => j
+                    .as_bool()
+                    .ok_or_else(|| parse_err("open \"coalesce\" must be a boolean"))?,
+            },
+            fanout_cost_secs: opt_f64("fanout_cost_secs", d.fanout_cost_secs)?,
         }));
     }
     if let Some(chain) = v.get("chain") {
@@ -1071,6 +1108,52 @@ mod tests {
         // Open workloads derive the open presentation.
         assert!(matches!(spec.presentation, Presentation::Open(_)));
         assert_eq!(ScenarioSpec::from_json(&spec.to_json()).unwrap(), spec);
+        // Front-end knobs stay off their inert defaults' keys: a spec that
+        // never set them serializes without them.
+        let text = spec.to_json();
+        for absent in [
+            "template_skew",
+            "cache_capacity",
+            "cache_ttl_secs",
+            "coalesce",
+            "fanout_cost_secs",
+        ] {
+            assert!(!text.contains(absent), "inert spec emitted {absent:?}");
+        }
+    }
+
+    #[test]
+    fn open_frontend_knobs_parse_and_round_trip() {
+        let spec = ScenarioSpec::from_json(
+            r#"{"name": "fe", "workload": {"open": {"template_skew": 0.7,
+                "cache_capacity": 4, "cache_ttl_secs": 0.25, "coalesce": true,
+                "fanout_cost_secs": 0.002}}}"#,
+        )
+        .unwrap();
+        let WorkloadSpec::Open(open) = &spec.workload else {
+            panic!("expected an open workload");
+        };
+        assert_eq!(open.template_skew, 0.7);
+        assert_eq!(open.cache_capacity, 4);
+        assert_eq!(open.cache_ttl_secs, 0.25);
+        assert!(open.coalesce);
+        assert_eq!(open.fanout_cost_secs, 0.002);
+        assert_eq!(ScenarioSpec::from_json(&spec.to_json()).unwrap(), spec);
+        // An absent TTL means "never expires" — and an infinite TTL (the
+        // default) round-trips by omitting the key again.
+        let cache_only = ScenarioSpec::from_json(
+            r#"{"name": "fe2", "workload": {"open": {"cache_capacity": 2}}}"#,
+        )
+        .unwrap();
+        let WorkloadSpec::Open(open) = &cache_only.workload else {
+            panic!("expected an open workload");
+        };
+        assert_eq!(open.cache_ttl_secs, f64::INFINITY);
+        assert!(!cache_only.to_json().contains("cache_ttl_secs"));
+        assert_eq!(
+            ScenarioSpec::from_json(&cache_only.to_json()).unwrap(),
+            cache_only
+        );
     }
 
     #[test]
@@ -1081,6 +1164,10 @@ mod tests {
             r#"{"name": "x", "workload": {"open": {"rate_qps": -3}}}"#,
             r#"{"name": "x", "workload": {"open": {"burstiness": 1.5}}}"#,
             r#"{"name": "x", "workload": {"open": {"concurrency": 0}}}"#,
+            r#"{"name": "x", "workload": {"open": {"template_skew": 1.5}}}"#,
+            r#"{"name": "x", "workload": {"open": {"cache_ttl_secs": 0}}}"#,
+            r#"{"name": "x", "workload": {"open": {"coalesce": "yes"}}}"#,
+            r#"{"name": "x", "workload": {"open": {"fanout_cost_secs": -1}}}"#,
             r#"{"name": "x", "workload": {"open": {}, "queries": 2}}"#,
             r#"{"name": "x", "workload": {"open": {}}, "strategies": ["SP"],
                 "machine": {"nodes": 1}}"#,

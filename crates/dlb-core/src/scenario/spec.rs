@@ -40,6 +40,10 @@ pub enum Axis {
     /// process, in `[0, 1)`: 0 = smooth, larger = longer ON/OFF bursts
     /// (open-system scenarios only).
     Burstiness,
+    /// Template skew of a [`WorkloadSpec::Open`] workload's arrival process,
+    /// in `[0, 1)`: the probability an arrival targets the hot template 0
+    /// instead of drawing uniformly (open-system scenarios only).
+    TemplateSkew,
 }
 
 impl Axis {
@@ -56,6 +60,7 @@ impl Axis {
             Axis::FailedNodes => "failed",
             Axis::ArrivalRate => "rate",
             Axis::Burstiness => "burst",
+            Axis::TemplateSkew => "t-skew",
         }
     }
 
@@ -71,7 +76,7 @@ impl Axis {
             Axis::ErrorRate => RowFmt::Percent,
             Axis::FailureTime => RowFmt::Fixed2,
             Axis::ArrivalRate => RowFmt::Fixed1,
-            Axis::Burstiness => RowFmt::Fixed2,
+            Axis::Burstiness | Axis::TemplateSkew => RowFmt::Fixed2,
         }
     }
 
@@ -96,7 +101,10 @@ impl Axis {
     /// True for the axes that retune an open workload's arrival process (and
     /// so require an open workload to act on).
     pub fn is_arrival(&self) -> bool {
-        matches!(self, Axis::ArrivalRate | Axis::Burstiness)
+        matches!(
+            self,
+            Axis::ArrivalRate | Axis::Burstiness | Axis::TemplateSkew
+        )
     }
 }
 
@@ -267,6 +275,19 @@ pub struct OpenSpec {
     pub scale: f64,
     /// Seed of both the template generator and the arrival stream.
     pub seed: u64,
+    /// Probability an arrival targets the hot template 0 instead of drawing
+    /// uniformly, in `[0, 1)` (overridden per point by an
+    /// [`Axis::TemplateSkew`] sweep). 0 keeps the historical uniform draw.
+    pub template_skew: f64,
+    /// Result-cache capacity in entries; 0 disables the cache.
+    pub cache_capacity: usize,
+    /// Result-cache TTL in simulated seconds; `INFINITY` = never expires.
+    pub cache_ttl_secs: f64,
+    /// Single-flight coalescing of concurrent identical arrivals.
+    pub coalesce: bool,
+    /// Front-end fan-out cost in simulated seconds added to every cache hit
+    /// and coalesced follower's response.
+    pub fanout_cost_secs: f64,
 }
 
 impl Default for OpenSpec {
@@ -292,6 +313,11 @@ impl Default for OpenSpec {
             relations,
             scale,
             seed,
+            template_skew: 0.0,
+            cache_capacity: 0,
+            cache_ttl_secs: f64::INFINITY,
+            coalesce: false,
+            fanout_cost_secs: 0.0,
         }
     }
 }
@@ -307,6 +333,20 @@ impl OpenSpec {
             templates: self.templates,
             priority_classes: self.priority_classes,
             seed: self.seed,
+            template_skew: self.template_skew,
+        }
+    }
+
+    /// The [`dlb_exec::FrontendConfig`] this workload places above the
+    /// engine. With the default knobs the config is inert and
+    /// [`dlb_exec::execute_open`] behaves bit-identically to a run with no
+    /// front end at all.
+    pub fn frontend(&self) -> dlb_exec::FrontendConfig {
+        dlb_exec::FrontendConfig {
+            cache_capacity: self.cache_capacity,
+            cache_ttl_secs: self.cache_ttl_secs,
+            coalesce: self.coalesce,
+            fanout_cost_secs: self.fanout_cost_secs,
         }
     }
 }
@@ -627,6 +667,11 @@ impl ScenarioSpec {
                     return fail(format!("burstiness values must lie in [0, 1), got {v}"));
                 }
             }
+            if sweep.axis == Axis::TemplateSkew {
+                if let Some(&v) = sweep.values.iter().find(|v| !(0.0..1.0).contains(*v)) {
+                    return fail(format!("template_skew values must lie in [0, 1), got {v}"));
+                }
+            }
             if sweep.axis == Axis::FailureTime {
                 if let Some(&v) = sweep.values.iter().find(|v| **v < 0.0) {
                     return fail(format!("failure_time values must be >= 0, got {v}"));
@@ -802,6 +847,11 @@ impl ScenarioSpec {
             }
             if open.relations < 2 {
                 return fail("open templates need at least 2 relations".to_string());
+            }
+            // Front-end knob ranges (TTL > 0, finite non-negative fan-out)
+            // are checked by dlb-frontend; prefix its message with ours.
+            if let Err(e) = open.frontend().validate() {
+                return fail(format!("invalid open front end: {e}"));
             }
             // The open engine interleaves activation queues; SP has none.
             if self
@@ -1218,6 +1268,11 @@ mod tests {
             .rows(Axis::Burstiness, [1.0])
             .build()
             .is_err());
+        assert!(ScenarioSpec::builder("x")
+            .workload(WorkloadSpec::Open(OpenSpec::default()))
+            .rows(Axis::TemplateSkew, [1.0])
+            .build()
+            .is_err());
         // The open presentation needs an open workload.
         assert!(ScenarioSpec::builder("x")
             .presentation(Presentation::Open(TableStyle::for_axis(Axis::Skew)))
@@ -1266,6 +1321,22 @@ mod tests {
             },
             OpenSpec {
                 relations: 1,
+                ..OpenSpec::default()
+            },
+            OpenSpec {
+                template_skew: 1.0,
+                ..OpenSpec::default()
+            },
+            OpenSpec {
+                cache_ttl_secs: 0.0,
+                ..OpenSpec::default()
+            },
+            OpenSpec {
+                fanout_cost_secs: -0.5,
+                ..OpenSpec::default()
+            },
+            OpenSpec {
+                fanout_cost_secs: f64::INFINITY,
                 ..OpenSpec::default()
             },
         ] {

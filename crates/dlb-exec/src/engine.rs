@@ -57,6 +57,7 @@ use dlb_common::rng::rng_from_seed;
 use dlb_common::{
     DiskId, DlbError, Duration, NodeId, OperatorId, ProcessorId, RelationId, Result, SimTime,
 };
+use dlb_frontend::{FrontendConfig, FrontendStats, Lookup, ResultCache, SingleFlight};
 use dlb_query::cost::CostModel;
 use dlb_query::optree::OperatorKind;
 use dlb_query::plan::ParallelPlan;
@@ -140,6 +141,10 @@ pub struct OpenTraffic<'a> {
     pub arrivals: ArrivalSpec,
     /// Maximum number of concurrently admitted queries (lane slots).
     pub concurrency: usize,
+    /// Front-end layer (result cache + single-flight coalescing) between the
+    /// arrival stream and the admission queue. The default config is inert:
+    /// the run is bit-identical to one without a front end.
+    pub frontend: FrontendConfig,
 }
 
 /// A query that arrived but is not admitted yet (waiting room entry).
@@ -147,6 +152,15 @@ pub struct OpenTraffic<'a> {
 struct OpenPending {
     arrived_at: SimTime,
     template: usize,
+    priority: u32,
+}
+
+/// A coalesced arrival waiting on its leader's result (single-flight
+/// subscriber). Followers never enter the waiting room or a lane: they
+/// retire when their leader does, plus the fan-out cost.
+#[derive(Debug, Clone, Copy)]
+struct OpenFollower {
+    arrived_at: SimTime,
     priority: u32,
 }
 
@@ -175,6 +189,28 @@ struct OpenState<'a> {
     wait: LatencyHistogram,
     slowdown: LatencyHistogram,
     response_by_class: Vec<LatencyHistogram>,
+    /// Front-end layer between the arrival stream and the waiting room.
+    frontend: FrontendConfig,
+    /// Result cache keyed by template index — the simulated stand-in for the
+    /// byte-exact query identity (a template always produces the same
+    /// deterministic result).
+    cache: ResultCache<usize, ()>,
+    /// In-flight single-flight table; a leader spans waiting room +
+    /// execution, so every follower drains at its leader's retirement.
+    flight: SingleFlight<usize, OpenFollower>,
+    /// Arrivals that never consulted the cache (coalesce-only config).
+    cache_bypass: u64,
+    /// Queries the engine actually executed (leaders + uncoalesced misses).
+    engine_queries: u64,
+    /// Engine executions per template: the residual load after the front end.
+    engine_by_template: Vec<u64>,
+    response_engine: LatencyHistogram,
+    response_cache_hit: LatencyHistogram,
+    response_coalesced: LatencyHistogram,
+    /// Latest front-end retirement (cache hit or follower fan-out); extends
+    /// the makespan past the engine's last event when the tail of the run is
+    /// served without touching a lane.
+    front_finish: SimTime,
 }
 
 #[derive(Debug, Clone)]
@@ -653,6 +689,7 @@ impl<'a> QueueEngine<'a> {
                 traffic.templates.len()
             )));
         }
+        traffic.frontend.validate().map_err(DlbError::config)?;
         let nodes = config.machine.nodes as usize;
         for (i, t) in traffic.templates.iter().enumerate() {
             t.plan.validate()?;
@@ -767,6 +804,19 @@ impl<'a> QueueEngine<'a> {
             response_by_class: (0..priority_classes.max(1))
                 .map(|_| LatencyHistogram::new())
                 .collect(),
+            frontend: traffic.frontend,
+            cache: ResultCache::new(
+                traffic.frontend.cache_capacity,
+                traffic.frontend.cache_ttl_secs,
+            ),
+            flight: SingleFlight::new(),
+            cache_bypass: 0,
+            engine_queries: 0,
+            engine_by_template: vec![0; traffic.templates.len()],
+            response_engine: LatencyHistogram::new(),
+            response_cache_hit: LatencyHistogram::new(),
+            response_coalesced: LatencyHistogram::new(),
+            front_finish: SimTime::ZERO,
         };
 
         let mut engine = Self {
@@ -1250,11 +1300,26 @@ impl<'a> QueueEngine<'a> {
         self.run_loop()?;
         let aggregate = self.aggregate_report();
         let open = self.open.take().expect("open mode");
-        let makespan = aggregate.response_time.as_secs_f64();
+        // Front-end retirements (cache hits, follower fan-outs) happen off
+        // the calendar, so the run can end after the engine's last event.
+        let makespan = aggregate
+            .response_time
+            .as_secs_f64()
+            .max(open.front_finish.as_secs_f64());
         let throughput_qps = if makespan > 0.0 {
             open.completed as f64 / makespan
         } else {
             0.0
+        };
+        let cache = open.cache.stats();
+        let frontend = FrontendStats {
+            cache_hits: cache.hits,
+            cache_stale: cache.stale,
+            cache_evictions: cache.evictions,
+            cache_misses: cache.misses,
+            cache_bypass: open.cache_bypass,
+            coalesced: open.flight.coalesced(),
+            engine_queries: open.engine_queries,
         };
         Ok(OpenReport {
             aggregate,
@@ -1265,6 +1330,11 @@ impl<'a> QueueEngine<'a> {
             wait: open.wait,
             slowdown: open.slowdown,
             response_by_class: open.response_by_class,
+            frontend,
+            engine_by_template: open.engine_by_template,
+            response_engine: open.response_engine,
+            response_cache_hit: open.response_cache_hit,
+            response_coalesced: open.response_coalesced,
         })
     }
 
@@ -1504,19 +1574,62 @@ impl<'a> QueueEngine<'a> {
     // Open-system mode (stochastic arrivals, bounded live state)
     // ----------------------------------------------------------------- //
 
-    /// The next query of the arrival stream arrives: it enters the waiting
-    /// room, the following arrival is drawn and scheduled (lazy, one ahead),
-    /// and admission runs.
+    /// The next query of the arrival stream arrives: the front end tries the
+    /// result cache, then single-flight coalescing; only a miss that leads
+    /// enters the waiting room. The following arrival is drawn and scheduled
+    /// (lazy, one ahead), and admission runs. With the front end disabled the
+    /// path is exactly the historical one.
     fn on_open_arrival(&mut self) {
         let now = self.calendar.now();
         let next_offset = {
             let open = self.open.as_mut().expect("open mode");
             let arrival = open.upcoming.take().expect("an arrival was scheduled");
-            open.pending.push_back(OpenPending {
-                arrived_at: now,
-                template: arrival.template,
-                priority: arrival.priority,
-            });
+            let mut enqueue = true;
+            if open.frontend.enabled() {
+                if open.frontend.cache_capacity > 0 {
+                    if let Lookup::Hit(()) = open.cache.lookup(&arrival.template, now.as_secs_f64())
+                    {
+                        // Served from cache: retire synchronously at
+                        // now + fan-out, never touching a lane or the
+                        // calendar. Wait is zero — it never queued.
+                        let response = open.frontend.fanout_cost_secs;
+                        let solo = open.templates[arrival.template].solo_secs;
+                        let slowdown = if solo > 0.0 { response / solo } else { 1.0 };
+                        open.response.record(response);
+                        open.wait.record(0.0);
+                        open.slowdown.record(slowdown);
+                        let class =
+                            (arrival.priority as usize - 1).min(open.response_by_class.len() - 1);
+                        open.response_by_class[class].record(response);
+                        open.response_cache_hit.record(response);
+                        open.completed += 1;
+                        let retire_at = now + Duration::from_secs_f64(response);
+                        open.front_finish = open.front_finish.max(retire_at);
+                        enqueue = false;
+                    }
+                } else {
+                    open.cache_bypass += 1;
+                }
+                if enqueue && open.frontend.coalesce && !open.flight.lead(arrival.template) {
+                    // An identical query is in flight: subscribe to its
+                    // leader instead of executing again.
+                    open.flight.attach(
+                        &arrival.template,
+                        OpenFollower {
+                            arrived_at: now,
+                            priority: arrival.priority,
+                        },
+                    );
+                    enqueue = false;
+                }
+            }
+            if enqueue {
+                open.pending.push_back(OpenPending {
+                    arrived_at: now,
+                    template: arrival.template,
+                    priority: arrival.priority,
+                });
+            }
             match open.stream.next() {
                 Some(next) => {
                     open.upcoming = Some(next);
@@ -1719,12 +1832,13 @@ impl<'a> QueueEngine<'a> {
     /// ids are withdrawn — and frees the slot. This is what bounds live
     /// state by the concurrency level instead of the total query count.
     fn retire_open_lane(&mut self, lane_idx: usize) {
-        let (base, n_ops, priority, response_secs, wait_secs) = {
+        let (base, n_ops, priority, finished, response_secs, wait_secs) = {
             let lane = &self.lanes[lane_idx];
             (
                 lane.base,
                 lane.n_ops,
                 lane.priority,
+                lane.finished_at,
                 lane.finished_at.since(lane.arrival).as_secs_f64(),
                 lane.admitted_at.since(lane.arrival).as_secs_f64(),
             )
@@ -1762,6 +1876,37 @@ impl<'a> QueueEngine<'a> {
         open.completed += 1;
         open.live_now -= 1;
         open.free_slots.push(lane_idx);
+        // Front-end bookkeeping: this lane was an engine execution (counted
+        // unconditionally so `completed == engine + hits + coalesced` holds
+        // with the front end off too), its result becomes cacheable now, and
+        // its followers retire with it.
+        let template = open.lane_template[lane_idx];
+        open.engine_queries += 1;
+        open.engine_by_template[template] += 1;
+        open.response_engine.record(response_secs);
+        if open.frontend.cache_capacity > 0 {
+            open.cache.insert(template, (), finished.as_secs_f64());
+        }
+        if open.frontend.coalesce {
+            let followers = open.flight.complete(&template);
+            if !followers.is_empty() {
+                let retire_at = finished + Duration::from_secs_f64(open.frontend.fanout_cost_secs);
+                let solo = open.templates[template].solo_secs;
+                for f in followers {
+                    let response = retire_at.since(f.arrived_at).as_secs_f64();
+                    let wait = finished.since(f.arrived_at).as_secs_f64();
+                    let slowdown = if solo > 0.0 { response / solo } else { 1.0 };
+                    open.response.record(response);
+                    open.wait.record(wait);
+                    open.slowdown.record(slowdown);
+                    let class = (f.priority as usize - 1).min(open.response_by_class.len() - 1);
+                    open.response_by_class[class].record(response);
+                    open.response_coalesced.record(response);
+                    open.completed += 1;
+                }
+                open.front_finish = open.front_finish.max(retire_at);
+            }
+        }
     }
 
     // ----------------------------------------------------------------- //
@@ -3159,6 +3304,15 @@ pub fn execute_cosimulated_faulted(
 /// returned [`OpenReport`] carries p50/p95/p99 summaries overall and per
 /// priority class.
 ///
+/// An optional front end ([`OpenTraffic::frontend`]) sits between the stream
+/// and the waiting room: an LRU/TTL result cache retires repeat queries at
+/// the fan-out cost without touching a lane, and single-flight coalescing
+/// subscribes concurrent identical arrivals to the in-flight leader's
+/// result. [`OpenReport::frontend`] accounts for every outcome, and
+/// [`OpenReport::engine_by_template`] records the residual per-template load
+/// the balancer actually saw. With the default (inert) config the run is
+/// bit-identical to one without a front end.
+///
 /// The arrival stream, template choices, priorities and FP thread allocations
 /// are all drawn from seeded generators, and the event loop is strictly
 /// sequential, so the result is bit-identical for any harness thread count.
@@ -3967,6 +4121,7 @@ mod tests {
             burstiness,
             queries,
             templates: 1,
+            template_skew: 0.0,
             priority_classes: 1,
             seed: 0xD1B_1996,
         }
@@ -4002,6 +4157,7 @@ mod tests {
                 }],
                 arrivals: arrivals(ArrivalKind::Poisson, 1, 0.25, 0.0),
                 concurrency: 3,
+                frontend: FrontendConfig::default(),
             };
             let open = execute_open(&traffic, &config, strategy, &opts).unwrap();
             assert_eq!(open.completed, 1, "{strategy:?} skew {skew}");
@@ -4030,6 +4186,7 @@ mod tests {
                 ..arrivals(ArrivalKind::Bursty, 120, 20.0, 0.5)
             },
             concurrency: 4,
+            frontend: FrontendConfig::default(),
         };
         for strategy in [Strategy::Dynamic, Strategy::Fixed { error_rate: 0.2 }] {
             let a = execute_open(&traffic, &config, strategy, &opts).unwrap();
@@ -4053,6 +4210,7 @@ mod tests {
             templates: vec![template(&plan)],
             arrivals: arrivals(ArrivalKind::Poisson, 10_000, 400.0, 0.0),
             concurrency,
+            frontend: FrontendConfig::default(),
         };
         let mut engine = QueueEngine::new_open(&traffic, config, Strategy::Dynamic, opts).unwrap();
         // Op state is O(concurrency × max_ops) by construction, not O(total).
@@ -4089,6 +4247,7 @@ mod tests {
                 templates: vec![template(&plan)],
                 arrivals: arrivals(kind, 50, 30.0, burstiness),
                 concurrency: 2,
+                frontend: FrontendConfig::default(),
             };
             let r = execute_open(&traffic, &config, Strategy::Dynamic, &opts).unwrap();
             assert_eq!(r.completed, 50, "{kind:?}");
@@ -4125,6 +4284,7 @@ mod tests {
                 ..arrivals(ArrivalKind::Bursty, 150, 40.0, 0.6)
             },
             concurrency: 3,
+            frontend: FrontendConfig::default(),
         };
         for strategy in [Strategy::Dynamic, Strategy::Fixed { error_rate: 0.2 }] {
             let r = execute_open(&traffic, &config, strategy, &opts).unwrap();
@@ -4147,6 +4307,7 @@ mod tests {
                 ..arrivals(ArrivalKind::Poisson, 200, 50.0, 0.0)
             },
             concurrency: 4,
+            frontend: FrontendConfig::default(),
         };
         let r = execute_open(&traffic, &config, Strategy::Dynamic, &opts).unwrap();
         assert_eq!(r.response_by_class.len(), 3);
@@ -4160,6 +4321,123 @@ mod tests {
     }
 
     #[test]
+    fn open_result_cache_serves_repeats_without_engine_work() {
+        // One template, infinite TTL, arrivals spaced far beyond the solo
+        // response time: the first arrival executes and populates the cache,
+        // every later arrival is a hit retiring at the fan-out cost.
+        let plan = tiny_plan(1);
+        let config = SystemConfig::shared_memory(2);
+        let opts = ExecOptions::default();
+        let traffic = OpenTraffic {
+            templates: vec![template(&plan)],
+            arrivals: arrivals(ArrivalKind::Poisson, 60, 2.0, 0.0),
+            concurrency: 2,
+            frontend: FrontendConfig {
+                cache_capacity: 1,
+                cache_ttl_secs: f64::INFINITY,
+                coalesce: false,
+                fanout_cost_secs: 0.001,
+            },
+        };
+        let r = execute_open(&traffic, &config, Strategy::Dynamic, &opts).unwrap();
+        assert_eq!(r.completed, 60);
+        assert_eq!(r.frontend.engine_queries, 1, "only the first miss executes");
+        assert_eq!(r.frontend.cache_hits, 59);
+        assert_eq!(r.frontend.cache_misses, 1);
+        assert_eq!(r.frontend.coalesced, 0);
+        assert_eq!(r.response_cache_hit.count(), 59);
+        assert_eq!(r.response_cache_hit.max(), 0.001, "hits cost the fan-out");
+        assert_eq!(r.response_engine.count(), 1);
+        assert_eq!(r.engine_by_template, vec![1]);
+        assert_eq!(r.qps_multiplier(), 60.0);
+        assert!((r.hit_ratio() - 59.0 / 60.0).abs() < 1e-12);
+        // Decomposition: every completion is exactly one outcome.
+        assert_eq!(
+            r.response.count(),
+            r.response_engine.count() + r.response_cache_hit.count() + r.response_coalesced.count()
+        );
+    }
+
+    #[test]
+    fn open_coalescing_subscribes_concurrent_identical_arrivals() {
+        // One template under heavy overload with the cache off: the first
+        // arrival leads, everyone arriving while it is in flight attaches,
+        // and the whole stream is served by a handful of engine executions.
+        let plan = tiny_plan(1);
+        let config = SystemConfig::shared_memory(2);
+        let opts = ExecOptions::default();
+        let traffic = OpenTraffic {
+            templates: vec![template(&plan)],
+            arrivals: arrivals(ArrivalKind::Poisson, 200, 400.0, 0.0),
+            concurrency: 4,
+            frontend: FrontendConfig {
+                cache_capacity: 0,
+                cache_ttl_secs: f64::INFINITY,
+                coalesce: true,
+                fanout_cost_secs: 0.0005,
+            },
+        };
+        let r = execute_open(&traffic, &config, Strategy::Dynamic, &opts).unwrap();
+        assert_eq!(r.completed, 200);
+        assert!(r.frontend.coalesced > 0, "overload must coalesce");
+        assert_eq!(
+            r.frontend.engine_queries + r.frontend.coalesced,
+            r.completed,
+            "every arrival either executed or followed a leader"
+        );
+        assert_eq!(r.frontend.cache_bypass, 200, "cache off: all bypass");
+        assert_eq!(r.frontend.cache_hits, 0);
+        assert_eq!(r.response_coalesced.count(), r.frontend.coalesced);
+        assert_eq!(
+            r.engine_by_template.iter().sum::<u64>(),
+            r.frontend.engine_queries,
+            "followers add zero engine admissions"
+        );
+        assert!(r.qps_multiplier() > 1.0);
+        // Determinism holds with the front end on.
+        let again = execute_open(&traffic, &config, Strategy::Dynamic, &opts).unwrap();
+        assert_eq!(r, again);
+    }
+
+    #[test]
+    fn open_inert_frontend_is_bit_identical_to_no_frontend() {
+        // Setting the knobs that don't enable anything (TTL, fan-out cost)
+        // must not perturb the run: the report is equal field for field.
+        let plan = tiny_plan(2);
+        let bushy = bushy_plan(2);
+        let config = SystemConfig::hierarchical(2, 2);
+        let opts = ExecOptions::with_skew(0.5);
+        let mut traffic = OpenTraffic {
+            templates: vec![template(&plan), template(&bushy)],
+            arrivals: ArrivalSpec {
+                templates: 2,
+                priority_classes: 2,
+                ..arrivals(ArrivalKind::Bursty, 80, 30.0, 0.5)
+            },
+            concurrency: 3,
+            frontend: FrontendConfig::default(),
+        };
+        let base = execute_open(&traffic, &config, Strategy::Dynamic, &opts).unwrap();
+        traffic.frontend = FrontendConfig {
+            cache_capacity: 0,
+            cache_ttl_secs: 0.25,
+            coalesce: false,
+            fanout_cost_secs: 0.5,
+        };
+        let inert = execute_open(&traffic, &config, Strategy::Dynamic, &opts).unwrap();
+        assert_eq!(base, inert);
+        assert_eq!(
+            base.frontend,
+            FrontendStats {
+                engine_queries: 80,
+                ..FrontendStats::default()
+            },
+            "engine executions are counted even without a front end"
+        );
+        assert_eq!(base.qps_multiplier(), 1.0, "no front end: no multiplier");
+    }
+
+    #[test]
     fn open_rejects_invalid_inputs() {
         let plan = tiny_plan(1);
         let config = SystemConfig::shared_memory(2);
@@ -4168,6 +4446,7 @@ mod tests {
             templates: vec![template(&plan)],
             arrivals: arrivals(ArrivalKind::Poisson, 10, 5.0, 0.0),
             concurrency: 2,
+            frontend: FrontendConfig::default(),
         };
         // SP has no queues to interleave.
         assert!(execute_open(&good, &config, Strategy::Synchronous, &opts).is_err());

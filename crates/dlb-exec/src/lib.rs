@@ -59,6 +59,7 @@ pub mod sp;
 pub mod topology;
 
 pub use activation::{Activation, ActivationKind, ActivationQueue, DrainOutcome};
+pub use dlb_frontend::{FrontendConfig, FrontendStats};
 pub use dlb_storage::RehomePolicy;
 pub use engine::{
     execute, execute_cosimulated, execute_cosimulated_faulted, execute_open, CoSimQuery,

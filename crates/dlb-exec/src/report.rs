@@ -12,6 +12,7 @@
 //! arrival-to-completion response time and work counters.
 
 use dlb_common::{Duration, NodeId};
+use dlb_frontend::FrontendStats;
 use dlb_traffic::{LatencyHistogram, LatencySummary};
 use serde::{Deserialize, Serialize};
 
@@ -250,32 +251,71 @@ pub struct OpenReport {
     /// `p - 1`; priorities beyond the configured class count collapse into
     /// the last class).
     pub response_by_class: Vec<LatencyHistogram>,
+    /// Front-end accounting: where each completed query was served from
+    /// (all zero when the run had no front end).
+    pub frontend: FrontendStats,
+    /// Engine executions per template index — the residual load the
+    /// balancer actually saw after front-end deduplication.
+    pub engine_by_template: Vec<u64>,
+    /// Response times of queries the engine executed (leaders and
+    /// uncoalesced misses).
+    pub response_engine: LatencyHistogram,
+    /// Response times of queries served from the result cache.
+    pub response_cache_hit: LatencyHistogram,
+    /// Response times of queries that retired as coalesced followers.
+    pub response_coalesced: LatencyHistogram,
 }
 
 impl OpenReport {
-    /// Headline response-time statistics (count, mean, p50/p95/p99, max).
-    pub fn response_summary(&self) -> LatencySummary {
+    /// Headline response-time statistics (count, mean, p50/p95/p99, max), or
+    /// `None` when nothing completed.
+    pub fn response_summary(&self) -> Option<LatencySummary> {
         self.response.summary()
     }
 
-    /// Headline admission-wait statistics.
-    pub fn wait_summary(&self) -> LatencySummary {
+    /// Headline admission-wait statistics, or `None` when nothing completed.
+    pub fn wait_summary(&self) -> Option<LatencySummary> {
         self.wait.summary()
     }
 
-    /// Headline slowdown statistics.
-    pub fn slowdown_summary(&self) -> LatencySummary {
+    /// Headline slowdown statistics, or `None` when nothing completed.
+    pub fn slowdown_summary(&self) -> Option<LatencySummary> {
         self.slowdown.summary()
     }
 
     /// Per-priority-class response summaries as `(priority, summary)` pairs,
-    /// 1-based, in class order.
+    /// 1-based, in class order. Classes with zero completions are omitted —
+    /// an empty sketch has no percentiles to report.
     pub fn class_summaries(&self) -> Vec<(u32, LatencySummary)> {
         self.response_by_class
             .iter()
             .enumerate()
-            .map(|(i, h)| (i as u32 + 1, h.summary()))
+            .filter_map(|(i, h)| h.summary().map(|s| (i as u32 + 1, s)))
             .collect()
+    }
+
+    /// Fraction of completed queries served from the result cache.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.frontend.cache_hits as f64 / self.completed as f64
+        }
+    }
+
+    /// Effective-QPS multiplier: completed queries per engine execution.
+    /// 1.0 with no front end; above 1.0 the front end multiplied the
+    /// engine's capacity.
+    pub fn qps_multiplier(&self) -> f64 {
+        if self.frontend.engine_queries == 0 {
+            if self.completed == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.completed as f64 / self.frontend.engine_queries as f64
+        }
     }
 }
 

@@ -1,0 +1,614 @@
+//! Front-end request layer: single-flight coalescing and an LRU/TTL result
+//! cache.
+//!
+//! At millions of users an open arrival stream is full of *identical*
+//! in-flight queries, and the paper's DP/FP balancing only ever sees the
+//! residual load left after the front end. This crate supplies the two
+//! deduplication mechanisms, as pure deterministic data structures with no
+//! dependency on the engine:
+//!
+//! - [`SingleFlight`] — concurrent requests for the same key subscribe as
+//!   *followers* of the first in-flight request (the *leader*) and all
+//!   receive the leader's result when it completes, as in CeresDB/HoraeDB's
+//!   `RequestNotifiers` dedup layer;
+//! - [`ResultCache`] — a bounded least-recently-used cache whose entries
+//!   expire after a time-to-live, with hit/stale/evict accounting
+//!   ([`CacheStats`]) and an optional event log ([`CacheEvent`]) from which
+//!   tests reconstruct and verify the residency invariants.
+//!
+//! Both structures are driven by an explicit clock (`now` parameters), so a
+//! simulated engine advances them on virtual time and every outcome is
+//! bit-reproducible. Iteration order never depends on hash-map layout: the
+//! recency list is kept explicitly.
+//!
+//! [`FrontendConfig`] bundles the knobs a caller threads through to the
+//! engine, and [`FrontendStats`] the accounting a report carries back out.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Configuration of the front-end layer above the engine.
+///
+/// The default configuration is fully inert: no cache (`cache_capacity` 0),
+/// no coalescing, zero fan-out cost — an engine run under the default config
+/// must be bit-identical to one without any front end at all.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontendConfig {
+    /// Maximum number of cached results (0 disables the cache).
+    pub cache_capacity: usize,
+    /// Seconds a cached result stays fresh; `f64::INFINITY` never expires.
+    pub cache_ttl_secs: f64,
+    /// Deduplicate concurrent identical in-flight requests (single-flight).
+    pub coalesce: bool,
+    /// Seconds it takes to fan a ready result out to one subscriber: cache
+    /// hits retire this long after arrival, followers this long after their
+    /// leader completes.
+    pub fanout_cost_secs: f64,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> Self {
+        Self {
+            cache_capacity: 0,
+            cache_ttl_secs: f64::INFINITY,
+            coalesce: false,
+            fanout_cost_secs: 0.0,
+        }
+    }
+}
+
+impl FrontendConfig {
+    /// True when any front-end mechanism is active. When false, the engine
+    /// takes its historical path untouched.
+    pub fn enabled(&self) -> bool {
+        self.cache_capacity > 0 || self.coalesce
+    }
+
+    /// Validates the knobs: the TTL must be positive (infinity allowed) and
+    /// the fan-out cost finite and non-negative.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cache_ttl_secs.is_nan() || self.cache_ttl_secs <= 0.0 {
+            return Err(format!(
+                "front-end cache TTL must be positive: {}",
+                self.cache_ttl_secs
+            ));
+        }
+        if !self.fanout_cost_secs.is_finite() || self.fanout_cost_secs < 0.0 {
+            return Err(format!(
+                "front-end fan-out cost must be finite and non-negative: {}",
+                self.fanout_cost_secs
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Front-end accounting of one engine run: where every completed request was
+/// served from. `engine_queries + cache_hits + coalesced` equals the total
+/// number of completed requests.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FrontendStats {
+    /// Requests served straight from a fresh cache entry.
+    pub cache_hits: u64,
+    /// Cache lookups that found an entry past its TTL (evicted on sight).
+    pub cache_stale: u64,
+    /// Fresh entries evicted to make room (capacity pressure).
+    pub cache_evictions: u64,
+    /// Cache lookups that found nothing.
+    pub cache_misses: u64,
+    /// Requests that never consulted the cache (cache disabled while
+    /// coalescing is on).
+    pub cache_bypass: u64,
+    /// Requests that retired as followers of an in-flight leader.
+    pub coalesced: u64,
+    /// Requests the engine actually executed.
+    pub engine_queries: u64,
+}
+
+/// Counter snapshot of a [`ResultCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CacheStats {
+    /// Lookups that returned a fresh value.
+    pub hits: u64,
+    /// Lookups that found an expired entry (removed on sight).
+    pub stale: u64,
+    /// Fresh entries evicted under capacity pressure.
+    pub evictions: u64,
+    /// Lookups that found no entry.
+    pub misses: u64,
+    /// Values inserted (including replacements of an existing key).
+    pub inserts: u64,
+}
+
+/// What a cache event log records (see [`ResultCache::with_event_log`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheEventKind {
+    /// A value was inserted (or replaced) for the key.
+    Insert,
+    /// A lookup was served from a fresh entry.
+    Hit,
+    /// A lookup found the entry expired and removed it.
+    Stale,
+    /// A fresh entry was evicted to make room for another key.
+    Evict,
+}
+
+/// One timestamped entry of a [`ResultCache`] event log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEvent<K> {
+    /// The clock value the operation was driven with.
+    pub at_secs: f64,
+    /// What happened.
+    pub kind: CacheEventKind,
+    /// The key it happened to.
+    pub key: K,
+}
+
+/// Outcome of a [`ResultCache::lookup`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lookup<V> {
+    /// A fresh entry: its value, cloned out.
+    Hit(V),
+    /// An entry existed but its TTL had lapsed; it was removed.
+    Stale,
+    /// No entry for the key.
+    Miss,
+}
+
+struct CacheEntry<V> {
+    value: V,
+    inserted_at: f64,
+}
+
+/// A bounded LRU cache with per-entry TTL, driven by an explicit clock.
+///
+/// Recency is tracked in an explicit list (most recent at the back), so
+/// eviction order is a pure function of the operation sequence — never of
+/// hash-map iteration order — which keeps simulated runs deterministic.
+pub struct ResultCache<K, V> {
+    capacity: usize,
+    ttl_secs: f64,
+    entries: HashMap<K, CacheEntry<V>>,
+    /// Keys ordered least → most recently used.
+    recency: Vec<K>,
+    stats: CacheStats,
+    log: Option<Vec<CacheEvent<K>>>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> ResultCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries, each fresh for
+    /// `ttl_secs` after insertion (`f64::INFINITY` = never expires).
+    /// A zero capacity disables the cache: inserts are dropped and every
+    /// lookup misses.
+    pub fn new(capacity: usize, ttl_secs: f64) -> Self {
+        assert!(ttl_secs > 0.0, "cache TTL must be positive: {ttl_secs}");
+        Self {
+            capacity,
+            ttl_secs,
+            entries: HashMap::new(),
+            recency: Vec::new(),
+            stats: CacheStats::default(),
+            log: None,
+        }
+    }
+
+    /// Enables the event log (for invariant-reconstruction tests).
+    pub fn with_event_log(mut self) -> Self {
+        self.log = Some(Vec::new());
+        self
+    }
+
+    /// The recorded events, oldest first (empty unless
+    /// [`with_event_log`](Self::with_event_log) was called).
+    pub fn events(&self) -> &[CacheEvent<K>] {
+        self.log.as_deref().unwrap_or(&[])
+    }
+
+    /// The counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of resident entries (fresh or not-yet-observed-stale).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn record(&mut self, at_secs: f64, kind: CacheEventKind, key: &K) {
+        if let Some(log) = &mut self.log {
+            log.push(CacheEvent {
+                at_secs,
+                kind,
+                key: key.clone(),
+            });
+        }
+    }
+
+    fn touch(&mut self, key: &K) {
+        if let Some(pos) = self.recency.iter().position(|k| k == key) {
+            let k = self.recency.remove(pos);
+            self.recency.push(k);
+        }
+    }
+
+    /// Looks `key` up at clock `now`. A fresh entry is cloned out and
+    /// becomes most-recently-used; an expired entry is removed and reported
+    /// as [`Lookup::Stale`].
+    pub fn lookup(&mut self, key: &K, now: f64) -> Lookup<V> {
+        match self.entries.get(key) {
+            None => {
+                self.stats.misses += 1;
+                Lookup::Miss
+            }
+            Some(entry) if now - entry.inserted_at <= self.ttl_secs => {
+                let value = entry.value.clone();
+                self.stats.hits += 1;
+                self.touch(key);
+                self.record(now, CacheEventKind::Hit, key);
+                Lookup::Hit(value)
+            }
+            Some(_) => {
+                self.entries.remove(key);
+                self.recency.retain(|k| k != key);
+                self.stats.stale += 1;
+                self.record(now, CacheEventKind::Stale, key);
+                Lookup::Stale
+            }
+        }
+    }
+
+    /// Inserts (or replaces) `key` at clock `now`, evicting the
+    /// least-recently-used entry if the cache is full. A no-op at capacity 0.
+    pub fn insert(&mut self, key: K, value: V, now: f64) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.contains_key(&key) {
+            self.touch(&key);
+        } else {
+            if self.entries.len() == self.capacity {
+                let lru = self.recency.remove(0);
+                self.entries.remove(&lru);
+                self.stats.evictions += 1;
+                self.record(now, CacheEventKind::Evict, &lru);
+            }
+            self.recency.push(key.clone());
+        }
+        self.stats.inserts += 1;
+        self.record(now, CacheEventKind::Insert, &key);
+        self.entries.insert(
+            key,
+            CacheEntry {
+                value,
+                inserted_at: now,
+            },
+        );
+    }
+}
+
+/// Single-flight deduplication: the first request for a key becomes the
+/// *leader*; concurrent requests for the same key *attach* as followers and
+/// are all handed the leader's result on completion.
+pub struct SingleFlight<K, S> {
+    in_flight: HashMap<K, Vec<S>>,
+    coalesced: u64,
+}
+
+impl<K, S> Default for SingleFlight<K, S> {
+    fn default() -> Self {
+        Self {
+            in_flight: HashMap::new(),
+            coalesced: 0,
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, S> SingleFlight<K, S> {
+    /// Creates an empty single-flight table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tries to make `key` a leader. Returns true when no identical request
+    /// was in flight (the caller must execute and later
+    /// [`complete`](Self::complete) the key); false when a leader already
+    /// exists (the caller should [`attach`](Self::attach) instead).
+    pub fn lead(&mut self, key: K) -> bool {
+        if self.in_flight.contains_key(&key) {
+            return false;
+        }
+        self.in_flight.insert(key, Vec::new());
+        true
+    }
+
+    /// Subscribes `subscriber` to the in-flight leader of `key`. Returns
+    /// false (dropping nothing: the subscriber is handed back untouched via
+    /// the `Err`-free bool contract — callers check [`lead`](Self::lead)
+    /// first) when no leader is in flight.
+    pub fn attach(&mut self, key: &K, subscriber: S) -> bool {
+        match self.in_flight.get_mut(key) {
+            Some(followers) => {
+                followers.push(subscriber);
+                self.coalesced += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Completes the leader of `key`, returning its followers in attach
+    /// order (empty when nobody attached, or no leader was in flight).
+    pub fn complete(&mut self, key: &K) -> Vec<S> {
+        self.in_flight.remove(key).unwrap_or_default()
+    }
+
+    /// Completes the leader of `key`, handing each follower its own clone of
+    /// the leader's `value` — the delivery contract the follower-equivalence
+    /// property pins: every follower's result is byte-identical to the
+    /// leader's.
+    pub fn complete_with<V: Clone>(&mut self, key: &K, value: &V) -> Vec<(S, V)> {
+        self.complete(key)
+            .into_iter()
+            .map(|s| (s, value.clone()))
+            .collect()
+    }
+
+    /// Number of keys currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Total followers attached over the table's lifetime.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_inert_and_validates() {
+        let d = FrontendConfig::default();
+        assert!(!d.enabled());
+        d.validate().unwrap();
+        assert!(FrontendConfig {
+            cache_capacity: 1,
+            ..d
+        }
+        .enabled());
+        assert!(FrontendConfig {
+            coalesce: true,
+            ..d
+        }
+        .enabled());
+        assert!(FrontendConfig {
+            cache_ttl_secs: 0.0,
+            ..d
+        }
+        .validate()
+        .is_err());
+        assert!(FrontendConfig {
+            cache_ttl_secs: f64::NAN,
+            ..d
+        }
+        .validate()
+        .is_err());
+        assert!(FrontendConfig {
+            fanout_cost_secs: f64::INFINITY,
+            ..d
+        }
+        .validate()
+        .is_err());
+        assert!(FrontendConfig {
+            fanout_cost_secs: -0.1,
+            ..d
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn cache_serves_fresh_entries_and_expires_stale_ones() {
+        let mut c: ResultCache<u32, &str> = ResultCache::new(2, 1.0);
+        assert_eq!(c.lookup(&7, 0.0), Lookup::Miss);
+        c.insert(7, "seven", 0.0);
+        assert_eq!(c.lookup(&7, 0.5), Lookup::Hit("seven"));
+        assert_eq!(c.lookup(&7, 1.0), Lookup::Hit("seven"), "TTL is inclusive");
+        assert_eq!(c.lookup(&7, 1.5), Lookup::Stale);
+        assert_eq!(c.lookup(&7, 1.6), Lookup::Miss, "stale entries are gone");
+        let s = c.stats();
+        assert_eq!((s.hits, s.stale, s.misses), (2, 1, 2));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_and_hits_refresh_recency() {
+        let mut c: ResultCache<u32, u32> = ResultCache::new(2, f64::INFINITY);
+        c.insert(1, 10, 0.0);
+        c.insert(2, 20, 0.1);
+        // Touch 1 so 2 becomes LRU.
+        assert_eq!(c.lookup(&1, 0.2), Lookup::Hit(10));
+        c.insert(3, 30, 0.3);
+        assert_eq!(c.lookup(&2, 0.4), Lookup::Miss, "2 was evicted");
+        assert_eq!(c.lookup(&1, 0.5), Lookup::Hit(10));
+        assert_eq!(c.lookup(&3, 0.6), Lookup::Hit(30));
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_cache_is_disabled() {
+        let mut c: ResultCache<u32, u32> = ResultCache::new(0, 1.0);
+        c.insert(1, 10, 0.0);
+        assert!(c.is_empty());
+        assert_eq!(c.lookup(&1, 0.0), Lookup::Miss);
+    }
+
+    #[test]
+    fn reinsert_replaces_value_without_eviction() {
+        let mut c: ResultCache<u32, u32> = ResultCache::new(1, 10.0);
+        c.insert(1, 10, 0.0);
+        c.insert(1, 11, 5.0);
+        assert_eq!(c.lookup(&1, 14.0), Lookup::Hit(11), "TTL restarts at 5.0");
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.stats().inserts, 2);
+    }
+
+    #[test]
+    fn single_flight_leads_attaches_and_completes_in_order() {
+        let mut f: SingleFlight<&str, u32> = SingleFlight::new();
+        assert!(f.lead("q"));
+        assert!(!f.lead("q"), "second identical request is not a leader");
+        assert!(f.attach(&"q", 1));
+        assert!(f.attach(&"q", 2));
+        assert!(!f.attach(&"other", 9), "no leader, nothing to attach to");
+        assert_eq!(f.in_flight(), 1);
+        assert_eq!(f.complete(&"q"), vec![1, 2]);
+        assert_eq!(f.in_flight(), 0);
+        assert_eq!(f.coalesced(), 2);
+        assert!(f.complete(&"q").is_empty(), "completion is idempotent");
+        assert!(f.lead("q"), "a completed key can lead again");
+    }
+}
+
+#[cfg(test)]
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Replaying the event log, the cache never serves an entry past its
+        /// TTL and never holds more than `capacity` resident entries — the
+        /// LRU/TTL invariants reconstructed from the outside, not read off
+        /// the implementation's own state.
+        #[test]
+        fn cache_event_log_reconstructs_ttl_and_capacity_invariants(
+            capacity in 1usize..5,
+            ttl_centis in 1u64..200,
+            ops in proptest::collection::vec((0u32..8, 0u64..50, proptest::bool::ANY), 1..300),
+        ) {
+            let ttl = ttl_centis as f64 / 100.0;
+            let mut cache: ResultCache<u32, u64> =
+                ResultCache::new(capacity, ttl).with_event_log();
+            let mut now = 0.0;
+            for (i, &(key, dt_centis, is_insert)) in ops.iter().enumerate() {
+                now += dt_centis as f64 / 100.0;
+                if is_insert {
+                    cache.insert(key, i as u64, now);
+                } else {
+                    cache.lookup(&key, now);
+                }
+            }
+            // Reconstruction: resident set driven purely by the log.
+            let mut resident: Vec<(u32, f64)> = Vec::new(); // (key, inserted_at)
+            for ev in cache.events() {
+                match ev.kind {
+                    CacheEventKind::Insert => {
+                        resident.retain(|(k, _)| *k != ev.key);
+                        resident.push((ev.key, ev.at_secs));
+                        prop_assert!(
+                            resident.len() <= capacity,
+                            "capacity exceeded after insert of {} at {}",
+                            ev.key, ev.at_secs
+                        );
+                    }
+                    CacheEventKind::Hit => {
+                        let (_, inserted_at) = resident
+                            .iter()
+                            .find(|(k, _)| *k == ev.key)
+                            .copied()
+                            .expect("hit on a key the log never inserted");
+                        prop_assert!(
+                            ev.at_secs - inserted_at <= ttl + 1e-12,
+                            "entry for {} served {}s after insertion, ttl {}",
+                            ev.key, ev.at_secs - inserted_at, ttl
+                        );
+                    }
+                    CacheEventKind::Stale => {
+                        let (_, inserted_at) = resident
+                            .iter()
+                            .find(|(k, _)| *k == ev.key)
+                            .copied()
+                            .expect("stale removal of a key the log never inserted");
+                        prop_assert!(
+                            ev.at_secs - inserted_at > ttl,
+                            "fresh entry for {} reported stale", ev.key
+                        );
+                        resident.retain(|(k, _)| *k != ev.key);
+                    }
+                    CacheEventKind::Evict => {
+                        let pos = resident.iter().position(|(k, _)| *k == ev.key)
+                            .expect("evicted a key the log never inserted");
+                        resident.remove(pos);
+                    }
+                }
+            }
+            // The reconstructed resident set matches the cache's own count.
+            prop_assert_eq!(resident.len(), cache.len());
+        }
+
+        /// Follower equivalence: every follower completed via
+        /// `complete_with` receives a value byte-identical to the leader's,
+        /// and followers come back in attach order.
+        #[test]
+        fn followers_receive_byte_identical_results(
+            payload in proptest::collection::vec(any::<u8>(), 0..256),
+            followers in 0usize..20,
+        ) {
+            let mut flight: SingleFlight<u8, usize> = SingleFlight::new();
+            prop_assert!(flight.lead(0));
+            for i in 0..followers {
+                prop_assert!(flight.attach(&0, i));
+            }
+            let delivered = flight.complete_with(&0, &payload);
+            prop_assert_eq!(delivered.len(), followers);
+            for (i, (subscriber, value)) in delivered.iter().enumerate() {
+                prop_assert_eq!(*subscriber, i);
+                prop_assert_eq!(value, &payload);
+            }
+            prop_assert_eq!(flight.coalesced(), followers as u64);
+        }
+
+        /// Work conservation at the single-flight layer: over any
+        /// lead/attach/complete interleaving, every attach is either still in
+        /// flight or was delivered by exactly one completion — no follower is
+        /// lost or duplicated.
+        #[test]
+        fn single_flight_conserves_subscribers(
+            ops in proptest::collection::vec((0u8..4, 0u8..3), 1..200),
+        ) {
+            let mut flight: SingleFlight<u8, u32> = SingleFlight::new();
+            let mut attached = 0u64;
+            let mut delivered = 0u64;
+            let mut next = 0u32;
+            for &(key, op) in &ops {
+                match op {
+                    0 => { flight.lead(key); }
+                    1 => {
+                        if flight.attach(&key, next) {
+                            attached += 1;
+                        }
+                        next += 1;
+                    }
+                    _ => delivered += flight.complete(&key).len() as u64,
+                }
+            }
+            for key in 0u8..4 {
+                delivered += flight.complete(&key).len() as u64;
+            }
+            prop_assert_eq!(attached, delivered);
+            prop_assert_eq!(flight.coalesced(), attached);
+        }
+    }
+}

@@ -84,6 +84,11 @@ pub struct ArrivalSpec {
     pub queries: usize,
     /// Size of the query-template pool arrivals are drawn from (uniformly).
     pub templates: usize,
+    /// Probability in `[0, 1)` that an arrival targets template 0 (the "hot"
+    /// template) instead of drawing uniformly. `0` keeps the historical
+    /// uniform draw — and consumes exactly the same RNG stream, so existing
+    /// seeded streams are byte-identical.
+    pub template_skew: f64,
     /// Number of priority classes; each arrival draws a priority uniformly
     /// from `1..=priority_classes`.
     pub priority_classes: u32,
@@ -109,6 +114,12 @@ impl ArrivalSpec {
         }
         if self.templates == 0 {
             return Err("arrival stream needs a non-empty template pool".into());
+        }
+        if !(0.0..1.0).contains(&self.template_skew) {
+            return Err(format!(
+                "template skew must lie in [0, 1): {}",
+                self.template_skew
+            ));
         }
         if self.priority_classes == 0 {
             return Err("arrival stream needs at least one priority class".into());
@@ -283,7 +294,16 @@ impl Iterator for ArrivalStream {
         }
         self.emitted += 1;
         let offset_secs = self.next_instant();
-        let template = self.template_rng.random_range(0..self.spec.templates);
+        // The skew branch must not touch the RNG when disabled: a zero-skew
+        // stream stays bit-identical to streams generated before the knob
+        // existed (golden outputs depend on this).
+        let template = if self.spec.template_skew > 0.0
+            && self.template_rng.random_bool(self.spec.template_skew)
+        {
+            0
+        } else {
+            self.template_rng.random_range(0..self.spec.templates)
+        };
         let priority = self
             .priority_rng
             .random_range(1..=self.spec.priority_classes);
@@ -311,6 +331,7 @@ mod tests {
             burstiness,
             queries: 20_000,
             templates: 6,
+            template_skew: 0.0,
             priority_classes: 3,
             seed: 0xD1B_1996,
         }
@@ -428,6 +449,45 @@ mod tests {
         let mut s = spec(ArrivalKind::Poisson, 0.0);
         s.priority_classes = 0;
         assert!(ArrivalStream::new(s).is_err());
+        let mut s = spec(ArrivalKind::Poisson, 0.0);
+        s.template_skew = 1.0;
+        assert!(ArrivalStream::new(s).is_err());
+        let mut s = spec(ArrivalKind::Poisson, 0.0);
+        s.template_skew = -0.1;
+        assert!(ArrivalStream::new(s).is_err());
+    }
+
+    #[test]
+    fn template_skew_concentrates_arrivals_on_the_hot_template() {
+        let hot_fraction = |skew: f64| -> f64 {
+            let mut s = spec(ArrivalKind::Poisson, 0.0);
+            s.template_skew = skew;
+            let arrivals: Vec<Arrival> = ArrivalStream::new(s).unwrap().collect();
+            arrivals.iter().filter(|a| a.template == 0).count() as f64 / arrivals.len() as f64
+        };
+        let uniform = hot_fraction(0.0);
+        assert!(
+            (uniform - 1.0 / 6.0).abs() < 0.02,
+            "zero skew should stay uniform: {uniform}"
+        );
+        // Expected hot fraction is skew + (1 - skew)/templates.
+        let skewed = hot_fraction(0.8);
+        assert!(
+            (skewed - (0.8 + 0.2 / 6.0)).abs() < 0.02,
+            "0.8 skew hot fraction: {skewed}"
+        );
+        // Skew only redirects template choice: arrival instants and
+        // priorities come from independent sub-streams and must not move.
+        let mut s = spec(ArrivalKind::Poisson, 0.0);
+        s.template_skew = 0.8;
+        let skewed_stream: Vec<Arrival> = ArrivalStream::new(s).unwrap().collect();
+        let base: Vec<Arrival> = ArrivalStream::new(spec(ArrivalKind::Poisson, 0.0))
+            .unwrap()
+            .collect();
+        for (a, b) in base.iter().zip(&skewed_stream) {
+            assert_eq!(a.offset_secs, b.offset_secs);
+            assert_eq!(a.priority, b.priority);
+        }
     }
 
     #[test]

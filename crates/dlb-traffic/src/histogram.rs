@@ -156,16 +156,21 @@ impl LatencyHistogram {
         }
     }
 
-    /// Snapshots the headline statistics.
-    pub fn summary(&self) -> LatencySummary {
-        LatencySummary {
+    /// Snapshots the headline statistics, or `None` on an empty histogram —
+    /// an empty per-class or per-outcome breakdown must read as "no data",
+    /// never as a row of fabricated zeros.
+    pub fn summary(&self) -> Option<LatencySummary> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(LatencySummary {
             count: self.count,
             mean: self.mean(),
-            p50: self.quantile(0.50).unwrap_or(0.0),
-            p95: self.quantile(0.95).unwrap_or(0.0),
-            p99: self.quantile(0.99).unwrap_or(0.0),
+            p50: self.quantile(0.50).expect("non-empty"),
+            p95: self.quantile(0.95).expect("non-empty"),
+            p99: self.quantile(0.99).expect("non-empty"),
             max: self.max,
-        }
+        })
     }
 }
 
@@ -197,7 +202,21 @@ mod tests {
         assert_eq!(h.quantile(0.5), None);
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.max(), 0.0);
-        assert_eq!(h.summary(), LatencySummary::default());
+        // Regression: `summary()` used to collapse empty quantiles to 0.0,
+        // so a priority class with zero completions rendered as a row of
+        // fabricated zero-latency percentiles.
+        assert_eq!(h.summary(), None);
+    }
+
+    #[test]
+    fn single_sample_summary_is_exact_where_it_can_be() {
+        let mut h = LatencyHistogram::new();
+        h.record(2.5);
+        let s = h.summary().expect("non-empty histogram has a summary");
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.max, 2.5);
+        assert!(s.p50 > 0.0 && s.p99 > 0.0);
     }
 
     #[test]

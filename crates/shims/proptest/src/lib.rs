@@ -77,6 +77,67 @@ pub mod strategy {
             sampler.below(2) == 1
         }
     }
+
+    macro_rules! impl_tuple {
+        ($($s:ident / $i:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, sampler: &mut Sampler) -> Self::Value {
+                    ($(self.$i.sample(sampler),)+)
+                }
+            }
+        };
+    }
+    impl_tuple!(A / 0, B / 1);
+    impl_tuple!(A / 0, B / 1, C / 2);
+    impl_tuple!(A / 0, B / 1, C / 2, D / 3);
+}
+
+/// `any::<T>()` support, mirroring `proptest::arbitrary`.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::Sampler;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary {
+        /// Draws one arbitrary value.
+        fn arbitrary(sampler: &mut Sampler) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(sampler: &mut Sampler) -> $t {
+                    sampler.raw_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(sampler: &mut Sampler) -> bool {
+            sampler.below(2) == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, sampler: &mut Sampler) -> T {
+            T::arbitrary(sampler)
+        }
+    }
+
+    /// Samples any value of `T`, mirroring `proptest::prelude::any`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
 }
 
 /// Collection strategies, mirroring `proptest::collection`.
@@ -164,11 +225,17 @@ pub mod test_runner {
         pub fn unit_f64(&mut self) -> f64 {
             (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
         }
+
+        /// One raw word of the stream (for full-domain `any::<T>()`).
+        pub fn raw_u64(&mut self) -> u64 {
+            self.next_u64()
+        }
     }
 }
 
 /// The usual glob import, mirroring `proptest::prelude`.
 pub mod prelude {
+    pub use crate::arbitrary::any;
     pub use crate::strategy::Strategy;
     pub use crate::test_runner::Config as ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, proptest};

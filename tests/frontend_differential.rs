@@ -1,0 +1,244 @@
+//! Differential pinning of the open-system front end (single-flight
+//! coalescing + result cache) against the pre-front-end `execute_open` path:
+//!
+//! * **inert equivalence** — with the cache off and coalescing off, every
+//!   bundled open spec produces an `OpenRun` bit-identical to `run_open`'s,
+//!   at 1 and at 4 harness threads, whether the knobs are the defaults or
+//!   non-default values that leave the front end disabled,
+//! * **work conservation** — coalescing never invents or drops engine work:
+//!   every completed request is exactly one of engine / cache-hit /
+//!   coalesced, followers add zero engine events, and the engine's
+//!   per-template residual stream is a subset of the frontend-off one,
+//! * **thread-count determinism** — the bundled `open-cache` /
+//!   `open-cache-skew` scenarios render byte-identically at 1 and 4 threads
+//!   in every emission format (the CI smoke diff).
+//!
+//! Lives in its own test binary: `hierdb::set_threads` reconfigures a global
+//! pool, and the plain determinism suite asserts its own thread counts.
+
+use hierdb::scenario::{self, WorkloadSpec};
+use hierdb::{
+    ArrivalKind, ArrivalSpec, Experiment, FrontendConfig, HierarchicalSystem, OpenRun, Strategy,
+    WorkloadParams,
+};
+use proptest::prelude::*;
+
+/// A fresh experiment compiling one bundled open spec's golden-shrunken
+/// template pool, plus the spec's arrival stream and lane count. Fresh on
+/// every call so differential runs never share a run cache — equality must
+/// come from replay, not from an `Arc` clone.
+fn experiment_for(name: &str) -> (Experiment, ArrivalSpec, usize) {
+    let spec = scenario::find(name)
+        .expect("bundled spec")
+        .with_generated_workload(2, 5, 0.01, 0xD1B_1996);
+    let WorkloadSpec::Open(open) = &spec.workload else {
+        panic!("{name} is an open spec");
+    };
+    let exp = Experiment::builder()
+        .system(HierarchicalSystem::hierarchical(
+            spec.machine.nodes,
+            spec.machine.processors_per_node,
+        ))
+        .workload(WorkloadParams {
+            queries: open.templates,
+            relations_per_query: open.relations,
+            scale: open.scale,
+            skew: 0.0,
+            seed: open.seed,
+        })
+        .build()
+        .expect("bundled open workload compiles");
+    (exp, open.arrivals(), open.concurrency)
+}
+
+const DP: Strategy = Strategy::Dynamic;
+const FP: Strategy = Strategy::Fixed { error_rate: 0.0 };
+
+/// Tentpole differential: cache-off + coalesce-off `run_open_with_frontend`
+/// is bit-identical to the pre-front-end `run_open` path on every bundled
+/// open spec, for both strategies, at 1 and at 4 harness threads — both with
+/// the all-default config and with non-default knobs (a finite TTL, a
+/// non-zero fan-out cost) that leave the front end disabled. The latter runs
+/// under a different cache key, so the equality is a genuine replay, not a
+/// run-cache hit.
+#[test]
+fn inert_frontend_replays_every_bundled_open_spec_bit_identically() {
+    let inert = FrontendConfig {
+        cache_ttl_secs: 5.0,
+        fanout_cost_secs: 0.25,
+        ..FrontendConfig::default()
+    };
+    assert!(!inert.enabled(), "no cache, no coalescing: disabled");
+    for threads in [1, 4] {
+        assert!(hierdb::set_threads(threads), "rayon shim reconfigures");
+        for name in ["open-poisson", "open-burst"] {
+            for strategy in [DP, FP] {
+                let run = |frontend: Option<FrontendConfig>| -> OpenRun {
+                    let (exp, arrivals, concurrency) = experiment_for(name);
+                    match frontend {
+                        None => exp.run_open(&arrivals, concurrency, strategy),
+                        Some(f) => exp.run_open_with_frontend(&arrivals, concurrency, f, strategy),
+                    }
+                    .expect("open run completes")
+                };
+                let base = run(None);
+                assert_eq!(
+                    base.report.frontend.engine_queries, base.report.completed,
+                    "without a front end every request is an engine query"
+                );
+                assert_eq!(
+                    base,
+                    run(Some(FrontendConfig::default())),
+                    "{name}/{strategy:?} at {threads} threads: default config diverged"
+                );
+                assert_eq!(
+                    base,
+                    run(Some(inert)),
+                    "{name}/{strategy:?} at {threads} threads: disabled knobs diverged"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The same inert equivalence over randomized arrival streams: whatever
+    /// the rate, stream seed and disabled-knob values, `run_open` and the
+    /// disabled front end replay bit-identically.
+    #[test]
+    fn inert_frontend_is_bit_identical_on_random_streams(
+        rate in 5.0f64..60.0,
+        seed in 0u64..1_000,
+        queries in 20usize..50,
+        ttl in 0.01f64..10.0,
+        fanout in 0.0f64..0.5,
+    ) {
+        let arrivals = ArrivalSpec {
+            kind: ArrivalKind::Poisson,
+            rate_qps: rate,
+            burstiness: 0.0,
+            queries,
+            templates: 2,
+            priority_classes: 2,
+            seed,
+            template_skew: 0.0,
+        };
+        let experiment = || {
+            Experiment::builder()
+                .system(HierarchicalSystem::hierarchical(2, 2))
+                .workload(WorkloadParams {
+                    queries: 2,
+                    relations_per_query: 4,
+                    scale: 0.01,
+                    skew: 0.0,
+                    seed: 11,
+                })
+                .build()
+                .expect("small workload compiles")
+        };
+        let base = experiment().run_open(&arrivals, 3, DP).expect("runs");
+        let inert = FrontendConfig {
+            cache_ttl_secs: ttl,
+            fanout_cost_secs: fanout,
+            ..FrontendConfig::default()
+        };
+        let with_knobs = experiment()
+            .run_open_with_frontend(&arrivals, 3, inert, DP)
+            .expect("runs");
+        prop_assert_eq!(base, with_knobs);
+    }
+}
+
+/// Satellite: coalescing conserves work. Every completed request is exactly
+/// one of engine-executed / cache-hit / coalesced-follower, the engine's
+/// per-template stream is an elementwise subset of the frontend-off one
+/// (followers add zero engine events), and the per-outcome response
+/// histograms partition the aggregate one.
+#[test]
+fn coalescing_conserves_engine_work() {
+    for name in ["open-poisson", "open-burst"] {
+        let (exp, arrivals, concurrency) = experiment_for(name);
+        let off = exp
+            .run_open(&arrivals, concurrency, DP)
+            .expect("runs")
+            .report;
+        let (exp, ..) = experiment_for(name);
+        let coalesce_only = FrontendConfig {
+            coalesce: true,
+            fanout_cost_secs: 0.002,
+            ..FrontendConfig::default()
+        };
+        let on = exp
+            .run_open_with_frontend(&arrivals, concurrency, coalesce_only, DP)
+            .expect("runs")
+            .report;
+        // Same stream in, same number of retirements out.
+        assert_eq!(on.completed, off.completed, "{name}: arrivals lost");
+        let f = &on.frontend;
+        assert_eq!(f.cache_hits, 0, "{name}: no cache is configured");
+        assert_eq!(
+            f.engine_queries + f.coalesced,
+            on.completed,
+            "{name}: every request is exactly engine xor coalesced"
+        );
+        // Engine work equals the dedup-unique subset: never more work on any
+        // template than the frontend-off run, and strictly less in total
+        // when anything coalesced.
+        assert_eq!(
+            on.engine_by_template.iter().sum::<u64>(),
+            f.engine_queries,
+            "{name}: followers added engine events"
+        );
+        for (t, (with_fe, without)) in on
+            .engine_by_template
+            .iter()
+            .zip(&off.engine_by_template)
+            .enumerate()
+        {
+            assert!(
+                with_fe <= without,
+                "{name}: template {t} ran more often with coalescing ({with_fe} > {without})"
+            );
+        }
+        assert!(f.coalesced > 0, "{name}: stream never overlapped a leader");
+        assert!(
+            f.engine_queries < off.frontend.engine_queries,
+            "{name}: coalescing did not reduce engine work"
+        );
+        // The per-outcome histograms partition the aggregate response one.
+        assert_eq!(
+            on.response.count(),
+            on.response_engine.count()
+                + on.response_cache_hit.count()
+                + on.response_coalesced.count(),
+            "{name}: outcome histograms do not partition the responses"
+        );
+        assert_eq!(on.response_engine.count(), f.engine_queries);
+        assert_eq!(on.response_coalesced.count(), f.coalesced);
+    }
+}
+
+/// The bundled front-end scenarios render byte-identically at 1 and 4
+/// harness threads in every emission format — the engine event loop is
+/// strictly sequential and seeded; worker threads only fan out sweep points.
+#[test]
+fn frontend_scenarios_render_identically_at_1_and_4_threads() {
+    for name in ["open-cache", "open-cache-skew"] {
+        let spec = scenario::find(name)
+            .expect("bundled spec")
+            .with_generated_workload(2, 5, 0.01, 0xD1B_1996);
+        assert!(hierdb::set_threads(1));
+        let single = scenario::run_scenario(&spec).unwrap();
+        assert!(hierdb::set_threads(4));
+        let quad = scenario::run_scenario(&spec).unwrap();
+        for (a, b) in [
+            (scenario::render_text(&single), scenario::render_text(&quad)),
+            (scenario::render_json(&single), scenario::render_json(&quad)),
+            (scenario::render_csv(&single), scenario::render_csv(&quad)),
+        ] {
+            assert_eq!(a, b, "{name} rendering depends on thread count");
+        }
+    }
+}

@@ -18,7 +18,12 @@
 //!   of panicking (the `--export` regression of this PR),
 //! * **open scenarios** — the bundled `open-poisson` / `open-burst` arrival
 //!   streams are golden-pinned and their latency percentiles surface in
-//!   every emission format.
+//!   every emission format,
+//! * **front-end scenarios** — the bundled `open-cache` / `open-cache-skew`
+//!   specs pin the single-flight + result-cache layer: goldens, the
+//!   hit-ratio/effective-QPS acceptance bars, and the `classes > 1` gating
+//!   of the per-class JSON fields (see also `tests/frontend_differential.rs`
+//!   for the bit-identical inert-path harness).
 
 use hierdb::scenario::{self, Axis, ScenarioSpec, WorkloadSpec};
 use hierdb::{ExecOptions, Experiment, HierarchicalSystem, MixPolicy, Strategy, WorkloadParams};
@@ -198,7 +203,9 @@ fn open_reports_emit_latency_percentiles_in_every_format() {
             assert_eq!(open.completed, 120, "every generated arrival retires");
             assert!(open.peak_live <= 4, "live state bounded by concurrency");
             assert!(cell.value.is_finite() && cell.value > 0.0);
-            let summary = open.response_summary();
+            let summary = open
+                .response_summary()
+                .expect("completed arrivals recorded responses");
             assert!(summary.p50 <= summary.p95 && summary.p95 <= summary.p99);
             // Percentiles are bucket midpoints, within √growth (1.02) of the
             // exact order statistic — the estimate may just overshoot max.
@@ -869,4 +876,204 @@ fn machine_readable_emission_covers_every_cell() {
     assert_eq!(points.len(), 3 * 3, "3 processor counts x 3 strategies");
     let csv = scenario::render_csv(&report);
     assert_eq!(csv.lines().count(), 1 + 9);
+}
+
+#[test]
+fn open_cache_spec_matches_its_golden_capture() {
+    assert_golden(
+        "open_cache.txt",
+        &rendered("open-cache"),
+        include_str!("golden/open_cache.txt"),
+    );
+}
+
+#[test]
+fn open_cache_skew_spec_matches_its_golden_capture() {
+    assert_golden(
+        "open_cache_skew.txt",
+        &rendered("open-cache-skew"),
+        include_str!("golden/open_cache_skew.txt"),
+    );
+}
+
+/// Acceptance: the front-end cache multiplies effective capacity. At every
+/// sweep point whose hit ratio reaches 50%, the effective-QPS multiplier
+/// (completed / engine queries) exceeds 1.5× — and such points exist in the
+/// golden capture. The multiplier also grows with the offered rate for both
+/// strategies, and the front-end accounting always decomposes exactly.
+#[test]
+fn open_cache_multiplies_effective_qps_at_high_hit_ratios() {
+    let spec = golden(scenario::find("open-cache").expect("bundled spec"));
+    let report = scenario::run_scenario(&spec).expect("scenario runs");
+    let mut qualifying = 0;
+    for point in &report.points {
+        for cell in &point.cells {
+            let o = cell.open.as_ref().expect("open cells carry a report");
+            let f = &o.frontend;
+            assert_eq!(
+                f.engine_queries + f.cache_hits + f.coalesced,
+                o.completed,
+                "front-end outcomes must partition the completions"
+            );
+            if o.hit_ratio() >= 0.5 {
+                qualifying += 1;
+                assert!(
+                    o.qps_multiplier() > 1.5,
+                    "hit ratio {:.2} but multiplier only {:.2}",
+                    o.hit_ratio(),
+                    o.qps_multiplier()
+                );
+            }
+        }
+    }
+    assert!(qualifying > 0, "no sweep point reached a 50% hit ratio");
+    for (si, strategy) in ["DP", "FP"].iter().enumerate() {
+        let mults: Vec<f64> = report
+            .points
+            .iter()
+            .map(|p| p.cells[si].open.as_ref().unwrap().qps_multiplier())
+            .collect();
+        assert!(
+            mults.windows(2).all(|w| w[0] < w[1]),
+            "{strategy} multiplier not increasing with rate: {mults:?}"
+        );
+    }
+    // The front-end columns surface in every format...
+    let text = scenario::render_text(&report);
+    for col in ["hit%", "xQPS"] {
+        assert!(text.contains(col), "missing front-end column {col:?}");
+    }
+    let csv = scenario::render_csv(&report);
+    assert!(csv
+        .lines()
+        .next()
+        .unwrap()
+        .ends_with("open_hit_ratio,open_qps_multiplier,open_coalesced,open_engine_queries"));
+    let json = scenario::render_json(&report);
+    let doc = hierdb::raw::common::Json::parse(&json).unwrap();
+    for p in doc.get("points").unwrap().as_array().unwrap() {
+        let fe = p
+            .get("open_frontend")
+            .expect("front-ended cells carry accounting");
+        for key in [
+            "cache_hits",
+            "coalesced",
+            "engine_queries",
+            "hit_ratio",
+            "qps_multiplier",
+        ] {
+            assert!(fe.get(key).is_some(), "open_frontend missing {key:?}");
+        }
+        assert!(p.get("open_response_cache_hit").is_some());
+    }
+    // ...while the front-end-free open scenario stays on its historical
+    // emission shape, byte for byte.
+    let plain = scenario::run_scenario(&golden(scenario::find("open-poisson").unwrap())).unwrap();
+    assert!(!scenario::render_text(&plain).contains("hit%"));
+    assert!(!scenario::render_csv(&plain)
+        .lines()
+        .next()
+        .unwrap()
+        .contains("open_hit_ratio"));
+    assert!(!scenario::render_json(&plain).contains("open_frontend"));
+}
+
+/// Acceptance: a hot cached template shifts the residual DP-vs-FP balance.
+/// The hit ratio tracks the skew, the hot template's share of the engine's
+/// residual work stays far below its share of the offered stream, and the
+/// FP-vs-DP ratio moves measurably across the sweep.
+#[test]
+fn open_cache_skew_shifts_the_residual_dp_fp_balance() {
+    let spec = golden(scenario::find("open-cache-skew").expect("bundled spec"));
+    let report = scenario::run_scenario(&spec).expect("scenario runs");
+    // Rows sweep template skew 0.0 / 0.5 / 0.9.
+    for (si, strategy) in ["DP", "FP"].iter().enumerate() {
+        let hits: Vec<f64> = report
+            .points
+            .iter()
+            .map(|p| p.cells[si].open.as_ref().unwrap().hit_ratio())
+            .collect();
+        assert!(
+            hits[2] > hits[0] + 0.2,
+            "{strategy} hit ratio does not track skew: {hits:?}"
+        );
+    }
+    // At skew 0.9 the hot template receives ~95% of arrivals (skew mass plus
+    // its uniform share) but the cache absorbs the repeats, so its share of
+    // the *engine* stream drops far below its share of the offered one.
+    let WorkloadSpec::Open(open) = &spec.workload else {
+        panic!("open-cache-skew is open");
+    };
+    let skew = *spec.rows.values.last().unwrap();
+    let offered_share = skew + (1.0 - skew) / open.templates as f64;
+    let hot = report.points[2].cells[0].open.as_ref().unwrap();
+    let residual: u64 = hot.engine_by_template.iter().sum();
+    assert!(residual > 0);
+    assert!(
+        (hot.engine_by_template[0] as f64) / (residual as f64) + 0.2 < offered_share,
+        "hot template residual share tracks its offered share {offered_share:.2}: {:?}",
+        hot.engine_by_template
+    );
+    // The DP-vs-FP ratio moves measurably with the residual mix (DP is the
+    // reference, pinned at 1.0; FP's relative value shifts across rows).
+    let fp: Vec<f64> = report.points.iter().map(|p| p.cells[1].value).collect();
+    let spread =
+        fp.iter().cloned().fold(f64::MIN, f64::max) - fp.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        spread > 0.05,
+        "FP relative value barely moves across the skew sweep: {fp:?}"
+    );
+}
+
+/// Per-class open report fields stay gated on `priority_classes > 1`: the
+/// JSON records of a single-class run and a multi-class run differ by
+/// exactly one key — `open_response_by_class` — and nothing else appears or
+/// disappears.
+#[test]
+fn per_class_open_fields_are_gated_on_priority_classes() {
+    let single_spec = golden(scenario::find("open-poisson").expect("bundled spec"));
+    let mut multi_spec = single_spec.clone();
+    let WorkloadSpec::Open(open) = &mut multi_spec.workload else {
+        panic!("open-poisson is open");
+    };
+    open.priority_classes = 3;
+    // Per-record key sets: strategies legitimately differ (only FP cells
+    // carry `error_rate`), so the single-vs-multi diff is taken record by
+    // record, zipping the two runs' identically ordered point lists.
+    let record_keys = |spec: &ScenarioSpec| -> Vec<Vec<String>> {
+        let report = scenario::run_scenario(spec).expect("scenario runs");
+        let json = scenario::render_json(&report);
+        let doc = hierdb::raw::common::Json::parse(&json).unwrap();
+        doc.get("points")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|p| {
+                p.as_object()
+                    .unwrap()
+                    .iter()
+                    .map(|(k, _)| k.clone())
+                    .collect()
+            })
+            .collect()
+    };
+    let single = record_keys(&single_spec);
+    let multi = record_keys(&multi_spec);
+    assert_eq!(single.len(), multi.len());
+    let by_class = "open_response_by_class".to_string();
+    for (s, m) in single.iter().zip(&multi) {
+        assert!(!s.contains(&by_class));
+        let added: Vec<&String> = m.iter().filter(|k| !s.contains(k)).collect();
+        assert_eq!(
+            added,
+            [&by_class],
+            "multi-class runs must add exactly the per-class array"
+        );
+        let removed: Vec<&String> = s.iter().filter(|k| !m.contains(k)).collect();
+        assert!(
+            removed.is_empty(),
+            "multi-class runs dropped keys: {removed:?}"
+        );
+    }
 }
