@@ -5,7 +5,12 @@
 //! `paper-base`, the 4×8 hierarchical machine with the reduced harness
 //! workload — overridable with the usual `HIERDB_*` variables) per strategy,
 //! sequentially and with the parallel plan fan-out, and prints one JSON
-//! document to stdout — the perf-tracking record for the engine across PRs:
+//! document to stdout — the perf-tracking record for the engine across PRs.
+//! The gated sequential timing is sampled several times (default 5,
+//! `HIERDB_BENCH_SAMPLES` overrides) after an untimed warm-up and
+//! summarized with `criterion::stats` (MAD outlier rejection, mean, median,
+//! minimum, 95% confidence interval), so the CI gate can compare confidence
+//! intervals rather than single noisy samples:
 //!
 //! ```text
 //! cargo run --release -p dlb-bench --bin bench_report
@@ -13,9 +18,9 @@
 //! HIERDB_THREADS=8 cargo run --release -p dlb-bench --bin bench_report
 //!
 //! # CI regression gate: save this run's timings as BENCH_pr.json and fail
-//! # (exit 1) when the sequential wall-clock regressed >25% vs the baseline
-//! # (threshold overridable with HIERDB_BENCH_MAX_REGRESSION for noisy
-//! # runners; see dlb_bench::gate).
+//! # (exit 1) when the sequential wall-clock regressed >10% beyond what the
+//! # confidence intervals explain (threshold overridable with
+//! # HIERDB_BENCH_MAX_REGRESSION for noisy runners; see dlb_bench::gate).
 //! bench_report --write BENCH_pr.json --baseline ci/bench-baseline.json
 //! ```
 //!
@@ -23,37 +28,65 @@
 //! to the sequential baseline (`"identical": true`); a `false` there is a
 //! determinism regression, not a perf number.
 
+use criterion::stats::{self, Stats};
 use dlb_bench::{gate, WorkloadOverrides};
 use dlb_core::scenario::{self, ScenarioSpec, WorkloadSpec};
 use dlb_core::{PlanRun, Strategy};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// One timed strategy: sequential baseline vs parallel fan-out.
+/// Environment variable overriding the sequential sample count.
+const SAMPLES_ENV: &str = "HIERDB_BENCH_SAMPLES";
+/// Default number of timed sequential runs per strategy.
+const DEFAULT_SAMPLES: usize = 5;
+
+/// One timed strategy: sampled sequential baseline vs parallel fan-out.
 struct StrategyTiming {
     label: &'static str,
-    sequential_ms: f64,
+    /// Summary over the sampled sequential runs, in **nanoseconds** (the
+    /// [`stats`] unit; rendered as milliseconds).
+    sequential: Stats,
     parallel_ms: f64,
     identical: bool,
     plans: usize,
 }
 
-fn time_strategy(spec: &ScenarioSpec, strategy: Strategy) -> StrategyTiming {
+fn sample_count() -> usize {
+    match std::env::var(SAMPLES_ENV) {
+        Err(_) => DEFAULT_SAMPLES,
+        Ok(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!(
+                    "warning: {SAMPLES_ENV}={v:?} is not a positive integer; \
+                     using the default {DEFAULT_SAMPLES}"
+                );
+                DEFAULT_SAMPLES
+            }
+        },
+    }
+}
+
+fn time_strategy(spec: &ScenarioSpec, strategy: Strategy, samples: usize) -> StrategyTiming {
     let experiment = |spec: &ScenarioSpec| {
         scenario::base_experiment(spec).expect("bundled scenarios always compile")
     };
     // Untimed warm-up so process-start costs (allocator growth, CPU ramp)
-    // are not charged to whichever path happens to run first.
+    // are not charged to the first sample.
     experiment(spec)
         .run_sequential(strategy)
         .expect("warm-up run");
 
-    // Fresh experiments per measurement so neither path hits a warm cache.
-    let start = Instant::now();
-    let sequential: Vec<PlanRun> = experiment(spec)
-        .run_sequential(strategy)
-        .expect("sequential run");
-    let sequential_ms = start.elapsed().as_secs_f64() * 1e3;
+    // Fresh experiments per sample so no measurement hits a warm cache.
+    let mut sequential: Vec<PlanRun> = Vec::new();
+    let mut samples_ns = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        sequential = experiment(spec)
+            .run_sequential(strategy)
+            .expect("sequential run");
+        samples_ns.push(start.elapsed().as_nanos() as f64);
+    }
 
     let parallel_exp = experiment(spec);
     let start = Instant::now();
@@ -62,7 +95,7 @@ fn time_strategy(spec: &ScenarioSpec, strategy: Strategy) -> StrategyTiming {
 
     StrategyTiming {
         label: strategy.label(),
-        sequential_ms,
+        sequential: stats::summarize(&samples_ns),
         parallel_ms,
         identical: *parallel == sequential,
         plans: sequential.len(),
@@ -116,9 +149,10 @@ fn usage() -> ! {
         "usage: bench_report [SCENARIO] [--write FILE] [--baseline FILE] [--paper]\n\
          \n\
          --write FILE     also save the JSON report to FILE (BENCH_<pr>.json style)\n\
-         --baseline FILE  compare against a saved report; exit 1 when the summed\n\
-         \u{20}                sequential wall-clock regressed more than 25% (override\n\
-         \u{20}                with {}=<fraction>)",
+         --baseline FILE  compare against a saved report (or array of reports); exit 1\n\
+         \u{20}                when the summed sequential wall-clock regressed more than\n\
+         \u{20}                10% beyond the confidence-interval overlap (override with\n\
+         \u{20}                {}=<fraction>)",
         gate::MAX_REGRESSION_ENV
     );
     std::process::exit(2);
@@ -142,18 +176,27 @@ fn render_report(spec: &ScenarioSpec, threads: usize, timings: &[StrategyTiming]
     let _ = writeln!(w, "  \"results\": [");
     let last = timings.len().saturating_sub(1);
     for (i, t) in timings.iter().enumerate() {
+        let s = &t.sequential;
+        let ms = |ns: f64| ns / 1e6;
         let speedup = if t.parallel_ms > 0.0 {
-            t.sequential_ms / t.parallel_ms
+            ms(s.mean_ns) / t.parallel_ms
         } else {
             0.0
         };
         let _ = writeln!(
             w,
-            "    {{\"strategy\": \"{}\", \"plans\": {}, \"sequential_ms\": {:.3}, \
+            "    {{\"strategy\": \"{}\", \"plans\": {}, \"sequential_ms\": \
+             {{\"mean\": {:.3}, \"median\": {:.3}, \"min\": {:.3}, \"ci95\": {:.3}, \
+             \"samples\": {}, \"outliers\": {}}}, \
              \"parallel_ms\": {:.3}, \"speedup\": {:.3}, \"identical\": {}}}{}",
             t.label,
             t.plans,
-            t.sequential_ms,
+            ms(s.mean_ns),
+            ms(s.median_ns),
+            ms(s.min_ns),
+            ms(s.ci95_ns),
+            s.samples,
+            s.outliers,
             t.parallel_ms,
             speedup,
             t.identical,
@@ -213,10 +256,11 @@ fn main() {
     let spec = overrides.apply(spec);
     let threads = rayon::current_num_threads();
 
+    let samples = sample_count();
     let timings: Vec<StrategyTiming> = spec
         .strategies
         .iter()
-        .map(|&s| time_strategy(&spec, s))
+        .map(|&s| time_strategy(&spec, s, samples))
         .collect();
 
     let report = render_report(&spec, threads, &timings);

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! scenario --list                         # registered scenarios
+//! scenario --names --kind open            # bare names, filtered (for CI)
 //! scenario fig9                           # run a bundled figure
 //! scenario fig6 fig8 --format csv         # several, machine-readable
 //! scenario --spec my_sweep.json           # run a spec file
@@ -35,11 +36,25 @@ enum Format {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: scenario [--list | --validate | --export NAME] \
+        "usage: scenario [--list | --names [--kind closed|mix|open] | \
+         --validate | --export NAME] \
          [NAME...] [--spec FILE]... [--format text|json|csv] \
          [--out-dir DIR] [--paper]"
     );
     std::process::exit(2);
+}
+
+/// The workload kind of a registered scenario, as the `--list`/`--names`
+/// taxonomy: closed (fixed batch), mix (concurrent closed set) or open
+/// (stochastic arrival stream).
+fn workload_kind(spec: &ScenarioSpec) -> &'static str {
+    if spec.workload.is_open() {
+        "open"
+    } else if spec.workload.is_mix() {
+        "mix"
+    } else {
+        "closed"
+    }
 }
 
 fn main() {
@@ -48,6 +63,8 @@ fn main() {
     let mut names: Vec<String> = Vec::new();
     let mut spec_files: Vec<String> = Vec::new();
     let mut list = false;
+    let mut bare_names = false;
+    let mut kind_filter: Option<String> = None;
     let mut validate = false;
     let mut export: Option<String> = None;
     let mut out_dir: Option<String> = None;
@@ -64,6 +81,15 @@ fn main() {
         };
         match args[i].as_str() {
             "--list" => list = true,
+            "--names" => bare_names = true,
+            "--kind" => {
+                let kind = value_of(&mut i, "--kind");
+                if !matches!(kind.as_str(), "closed" | "mix" | "open") {
+                    eprintln!("unknown kind {kind:?} (want closed, mix or open)");
+                    usage()
+                }
+                kind_filter = Some(kind);
+            }
             "--validate" => validate = true,
             "--export" => export = Some(value_of(&mut i, "--export")),
             "--spec" => spec_files.push(value_of(&mut i, "--spec")),
@@ -92,23 +118,29 @@ fn main() {
 
     dlb_core::init_threads_from_env();
 
-    if list {
+    if list || bare_names {
+        // `--names` emits one bare name per line so workflows can enumerate
+        // the registry (`scenario --names --kind open`) instead of keeping
+        // hand-maintained scenario lists that drift from the code.
         for spec in scenario::registry() {
-            // Workload kind: closed (fixed batch: generated or chain), mix
-            // (concurrent closed set) or open (stochastic arrival stream).
-            let kind = if spec.workload.is_open() {
-                "open"
-            } else if spec.workload.is_mix() {
-                "mix"
+            let kind = workload_kind(&spec);
+            if kind_filter.as_deref().is_some_and(|want| want != kind) {
+                continue;
+            }
+            if bare_names {
+                println!("{}", spec.name);
             } else {
-                "closed"
-            };
-            println!(
-                "{:<20} {:<7} {:<24} {}",
-                spec.name, kind, spec.title, spec.description
-            );
+                println!(
+                    "{:<20} {:<7} {:<24} {}",
+                    spec.name, kind, spec.title, spec.description
+                );
+            }
         }
         return;
+    }
+    if kind_filter.is_some() {
+        eprintln!("--kind only applies to --list/--names");
+        usage();
     }
     if validate {
         validate_registry();

@@ -1,22 +1,33 @@
 //! The perf-regression gate over `bench_report` JSON documents.
 //!
 //! `bench_report` emits one JSON record per run (scenario, workload, and
-//! per-strategy sequential/parallel wall-clock timings). CI keeps a
-//! checked-in baseline (`ci/bench-baseline.json`) and fails a change when
-//! the **sequential** wall clock of the same scenario regresses by more than
-//! [`DEFAULT_MAX_REGRESSION`] (25%). The sequential run is the gated
-//! quantity because it is the engine's own cost, independent of runner core
-//! counts; the threshold is overridable through
+//! per-strategy sequential/parallel wall-clock timings, the sequential ones
+//! as `{mean, median, min, ci95, samples, outliers}` summaries over several
+//! samples). CI keeps a checked-in baseline (`ci/bench-baseline.json`,
+//! an **array** of such reports, one per gated scenario) and fails a change
+//! when the **sequential** wall clock of the same scenario regresses by
+//! more than [`DEFAULT_MAX_REGRESSION`] (10%) *beyond what the measurement
+//! noise explains*: the comparison is CI-aware, so a run only fails when
+//! the current confidence interval sits clear of the (threshold-scaled)
+//! baseline interval — see [`GateOutcome::passed`]. The sequential run is
+//! the gated quantity because it is the engine's own cost, independent of
+//! runner core counts; the threshold is overridable through
 //! [`MAX_REGRESSION_ENV`] (`HIERDB_BENCH_MAX_REGRESSION`) for noisy shared
 //! runners — e.g. `HIERDB_BENCH_MAX_REGRESSION=1.0` tolerates a 2× slowdown,
-//! and a negative value makes any run fail (used to self-test the gate).
+//! and `-1` scales the allowed ceiling to zero so any run fails (used to
+//! self-test the gate).
+//!
+//! Old-style reports whose `sequential_ms` is a plain number still parse
+//! (with a zero-width confidence interval), so a stale baseline degrades to
+//! the strict mean-vs-mean comparison instead of breaking the gate.
 
 use dlb_common::json::Json;
 use dlb_common::{DlbError, Result};
 
 /// Default tolerated fractional regression of the summed sequential
-/// wall-clock (0.25 = fail beyond 25% slower than the baseline).
-pub const DEFAULT_MAX_REGRESSION: f64 = 0.25;
+/// wall-clock (0.10 = fail beyond 10% slower than the baseline, after
+/// accounting for both runs' confidence intervals).
+pub const DEFAULT_MAX_REGRESSION: f64 = 0.10;
 
 /// Smallest summed baseline wall-clock (in milliseconds) the gate accepts.
 /// The verdict is a *ratio* against the baseline: a zero or near-zero
@@ -33,10 +44,15 @@ pub const MAX_REGRESSION_ENV: &str = "HIERDB_BENCH_MAX_REGRESSION";
 pub struct StrategyDelta {
     /// Strategy label ("DP", "FP", "SP").
     pub strategy: String,
-    /// Baseline sequential wall-clock, in milliseconds.
+    /// Baseline mean sequential wall-clock, in milliseconds.
     pub baseline_ms: f64,
-    /// Current sequential wall-clock, in milliseconds.
+    /// Baseline 95% CI half-width, in milliseconds (0 for old-style
+    /// plain-number reports).
+    pub baseline_ci_ms: f64,
+    /// Current mean sequential wall-clock, in milliseconds.
     pub current_ms: f64,
+    /// Current 95% CI half-width, in milliseconds.
+    pub current_ci_ms: f64,
 }
 
 /// The gate's verdict on one current-vs-baseline comparison.
@@ -44,12 +60,18 @@ pub struct StrategyDelta {
 pub struct GateOutcome {
     /// The compared scenario.
     pub scenario: String,
-    /// Summed sequential wall-clock of the baseline, in milliseconds.
+    /// Summed mean sequential wall-clock of the baseline, in milliseconds.
     pub baseline_sequential_ms: f64,
-    /// Summed sequential wall-clock of the current run, in milliseconds.
+    /// Combined 95% CI half-width of the baseline sum, in milliseconds
+    /// (per-strategy half-widths added in quadrature).
+    pub baseline_ci95_ms: f64,
+    /// Summed mean sequential wall-clock of the current run, in
+    /// milliseconds.
     pub current_sequential_ms: f64,
-    /// Fractional change of the summed sequential wall-clock (+0.30 = 30%
-    /// slower than the baseline, negative = faster).
+    /// Combined 95% CI half-width of the current sum, in milliseconds.
+    pub current_ci95_ms: f64,
+    /// Fractional change of the summed mean sequential wall-clock (+0.30 =
+    /// 30% slower than the baseline, negative = faster).
     pub regression: f64,
     /// The tolerated fractional regression this outcome was judged against.
     pub max_regression: f64,
@@ -59,18 +81,31 @@ pub struct GateOutcome {
 
 impl GateOutcome {
     /// Whether the current run stays within the tolerated regression.
+    ///
+    /// CI-overlap rule: the run fails only when the *lower* edge of the
+    /// current confidence interval sits above the threshold-scaled *upper*
+    /// edge of the baseline interval —
+    /// `current − ci > (baseline + ci) · (1 + max_regression)`. A mean
+    /// drift the intervals can explain is measurement noise, not a
+    /// regression; this keeps the default threshold tight (10%) without
+    /// flaking on noisy runners. Old plain-number reports have zero-width
+    /// intervals and degrade to a strict mean comparison.
     pub fn passed(&self) -> bool {
-        self.regression <= self.max_regression
+        self.current_sequential_ms - self.current_ci95_ms
+            <= (self.baseline_sequential_ms + self.baseline_ci95_ms) * (1.0 + self.max_regression)
     }
 
     /// A one-paragraph human summary (printed to stderr by `bench_report`).
     pub fn summary(&self) -> String {
         use std::fmt::Write as _;
         let mut out = format!(
-            "bench gate [{}]: sequential {:.3} ms vs baseline {:.3} ms ({:+.1}%, limit {:+.1}%) — {}\n",
+            "bench gate [{}]: sequential {:.3} ± {:.3} ms vs baseline {:.3} ± {:.3} ms \
+             ({:+.1}%, limit {:+.1}% beyond CI overlap) — {}\n",
             self.scenario,
             self.current_sequential_ms,
+            self.current_ci95_ms,
             self.baseline_sequential_ms,
+            self.baseline_ci95_ms,
             self.regression * 100.0,
             self.max_regression * 100.0,
             if self.passed() { "ok" } else { "REGRESSION" },
@@ -78,17 +113,28 @@ impl GateOutcome {
         for d in &self.per_strategy {
             let _ = writeln!(
                 out,
-                "  {:<3} {:.3} ms (baseline {:.3} ms)",
-                d.strategy, d.current_ms, d.baseline_ms
+                "  {:<3} {:.3} ± {:.3} ms (baseline {:.3} ± {:.3} ms)",
+                d.strategy, d.current_ms, d.current_ci_ms, d.baseline_ms, d.baseline_ci_ms
             );
         }
         out
     }
 }
 
-/// Extracts `(scenario, [(strategy, sequential_ms)])` from one bench_report
-/// JSON document.
-fn sequential_timings(doc: &Json, what: &str) -> Result<(String, Vec<(String, f64)>)> {
+/// One strategy's parsed sequential timing: mean and 95% CI half-width.
+#[derive(Debug, Clone, PartialEq)]
+struct Timing {
+    strategy: String,
+    mean_ms: f64,
+    ci95_ms: f64,
+}
+
+/// Extracts `(scenario, timings)` from one bench_report JSON document.
+///
+/// `sequential_ms` is either the current summary object
+/// (`{"mean": .., "ci95": .., ..}`) or, in pre-summary reports, a plain
+/// number — parsed with a zero-width confidence interval.
+fn sequential_timings(doc: &Json, what: &str) -> Result<(String, Vec<Timing>)> {
     let err = |msg: String| DlbError::Parse(format!("{what}: {msg}"));
     let scenario = doc
         .get("scenario")
@@ -106,14 +152,29 @@ fn sequential_timings(doc: &Json, what: &str) -> Result<(String, Vec<(String, f6
             .and_then(Json::as_str)
             .ok_or_else(|| err("result without a \"strategy\"".into()))?
             .to_string();
-        let ms = r
+        let seq = r
             .get("sequential_ms")
-            .and_then(Json::as_f64)
             .ok_or_else(|| err(format!("result {strategy} without \"sequential_ms\"")))?;
-        if !(ms.is_finite() && ms >= 0.0) {
-            return Err(err(format!("result {strategy} has invalid timing {ms}")));
+        let (mean_ms, ci95_ms) = if let Some(ms) = seq.as_f64() {
+            (ms, 0.0)
+        } else {
+            let mean = seq
+                .get("mean")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| err(format!("result {strategy} without a \"mean\" timing")))?;
+            let ci = seq.get("ci95").and_then(Json::as_f64).unwrap_or(0.0);
+            (mean, ci)
+        };
+        if !(mean_ms.is_finite() && mean_ms >= 0.0 && ci95_ms.is_finite() && ci95_ms >= 0.0) {
+            return Err(err(format!(
+                "result {strategy} has invalid timing {mean_ms} ± {ci95_ms}"
+            )));
         }
-        timings.push((strategy, ms));
+        timings.push(Timing {
+            strategy,
+            mean_ms,
+            ci95_ms,
+        });
     }
     if timings.is_empty() {
         return Err(err("empty \"results\" array".into()));
@@ -121,28 +182,49 @@ fn sequential_timings(doc: &Json, what: &str) -> Result<(String, Vec<(String, f6
     Ok((scenario, timings))
 }
 
-/// Compares a current `bench_report` JSON document against a baseline one
-/// and judges the summed sequential wall-clock against `max_regression`.
-///
-/// The two documents must report the same scenario; baselines captured on a
-/// different machine class are expected to be compared with a loosened
-/// [`MAX_REGRESSION_ENV`] knob.
-pub fn compare(current: &str, baseline: &str, max_regression: f64) -> Result<GateOutcome> {
-    let current_doc = Json::parse(current)?;
-    let baseline_doc = Json::parse(baseline)?;
-    let (scenario, current_timings) = sequential_timings(&current_doc, "current report")?;
-    let (base_scenario, baseline_timings) = sequential_timings(&baseline_doc, "baseline")?;
-    if scenario != base_scenario {
+/// Resolves the baseline document for `scenario` from a baseline file that
+/// holds either a single report or an **array** of reports (one per gated
+/// scenario, the `ci/bench-baseline.json` layout).
+fn baseline_timings(doc: &Json, scenario: &str) -> Result<Vec<Timing>> {
+    if let Some(reports) = doc.as_array() {
+        for report in reports {
+            let (base_scenario, timings) = sequential_timings(report, "baseline entry")?;
+            if base_scenario == scenario {
+                return Ok(timings);
+            }
+        }
+        return Err(DlbError::InvalidConfig(format!(
+            "baseline array has no entry for scenario {scenario:?}; \
+             regenerate the baseline for this scenario"
+        )));
+    }
+    let (base_scenario, timings) = sequential_timings(doc, "baseline")?;
+    if base_scenario != scenario {
         return Err(DlbError::InvalidConfig(format!(
             "bench gate compares {scenario:?} against a baseline of {base_scenario:?}; \
              regenerate the baseline for this scenario"
         )));
     }
+    Ok(timings)
+}
+
+/// Compares a current `bench_report` JSON document against a baseline and
+/// judges the summed sequential wall-clock against `max_regression` with
+/// the CI-overlap rule (see [`GateOutcome::passed`]).
+///
+/// The baseline may be a single report of the same scenario or an array of
+/// reports containing one; baselines captured on a different machine class
+/// are expected to be compared with a loosened [`MAX_REGRESSION_ENV`] knob.
+pub fn compare(current: &str, baseline: &str, max_regression: f64) -> Result<GateOutcome> {
+    let current_doc = Json::parse(current)?;
+    let baseline_doc = Json::parse(baseline)?;
+    let (scenario, current_timings) = sequential_timings(&current_doc, "current report")?;
+    let baseline_timings = baseline_timings(&baseline_doc, &scenario)?;
     // The summed wall-clock is only comparable over the same strategy set:
     // a dropped strategy would halve the current sum (masking regressions),
     // an added one would read as a false regression.
-    let strategy_set = |timings: &[(String, f64)]| {
-        let mut labels: Vec<String> = timings.iter().map(|(s, _)| s.clone()).collect();
+    let strategy_set = |timings: &[Timing]| {
+        let mut labels: Vec<String> = timings.iter().map(|t| t.strategy.clone()).collect();
         labels.sort();
         labels
     };
@@ -156,8 +238,19 @@ pub fn compare(current: &str, baseline: &str, max_regression: f64) -> Result<Gat
              {baseline_set:?}; regenerate the baseline for the new strategy set"
         )));
     }
-    let current_sequential_ms: f64 = current_timings.iter().map(|(_, ms)| ms).sum();
-    let baseline_sequential_ms: f64 = baseline_timings.iter().map(|(_, ms)| ms).sum();
+    let current_sequential_ms: f64 = current_timings.iter().map(|t| t.mean_ms).sum();
+    let baseline_sequential_ms: f64 = baseline_timings.iter().map(|t| t.mean_ms).sum();
+    // Independent per-strategy measurements: CI half-widths of a sum add in
+    // quadrature.
+    let quadrature = |timings: &[Timing]| {
+        timings
+            .iter()
+            .map(|t| t.ci95_ms * t.ci95_ms)
+            .sum::<f64>()
+            .sqrt()
+    };
+    let current_ci95_ms = quadrature(&current_timings);
+    let baseline_ci95_ms = quadrature(&baseline_timings);
     if baseline_sequential_ms < MIN_BASELINE_SEQUENTIAL_MS {
         return Err(DlbError::InvalidConfig(format!(
             "degenerate baseline: summed sequential wall-clock is \
@@ -168,19 +261,23 @@ pub fn compare(current: &str, baseline: &str, max_regression: f64) -> Result<Gat
     }
     let per_strategy = current_timings
         .iter()
-        .map(|(strategy, current_ms)| StrategyDelta {
-            strategy: strategy.clone(),
-            baseline_ms: baseline_timings
-                .iter()
-                .find(|(s, _)| s == strategy)
-                .map_or(f64::NAN, |(_, ms)| *ms),
-            current_ms: *current_ms,
+        .map(|t| {
+            let base = baseline_timings.iter().find(|b| b.strategy == t.strategy);
+            StrategyDelta {
+                strategy: t.strategy.clone(),
+                baseline_ms: base.map_or(f64::NAN, |b| b.mean_ms),
+                baseline_ci_ms: base.map_or(f64::NAN, |b| b.ci95_ms),
+                current_ms: t.mean_ms,
+                current_ci_ms: t.ci95_ms,
+            }
         })
         .collect();
     Ok(GateOutcome {
         scenario,
         baseline_sequential_ms,
+        baseline_ci95_ms,
         current_sequential_ms,
+        current_ci95_ms,
         regression: current_sequential_ms / baseline_sequential_ms - 1.0,
         max_regression,
         per_strategy,
@@ -211,7 +308,28 @@ pub fn max_regression_from(value: Option<&str>) -> f64 {
 mod tests {
     use super::*;
 
-    fn report(scenario: &str, timings: &[(&str, f64)]) -> String {
+    /// A new-schema report: `sequential_ms` as a summary object.
+    fn report(scenario: &str, timings: &[(&str, f64, f64)]) -> String {
+        let results: Vec<String> = timings
+            .iter()
+            .map(|(s, mean, ci)| {
+                format!(
+                    "{{\"strategy\": \"{s}\", \"plans\": 12, \"sequential_ms\": \
+                     {{\"mean\": {mean}, \"median\": {mean}, \"min\": {mean}, \
+                     \"ci95\": {ci}, \"samples\": 5, \"outliers\": 0}}, \
+                     \"parallel_ms\": {mean}, \"speedup\": 1.0, \"identical\": true}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\"benchmark\": \"bench_report\", \"scenario\": \"{scenario}\", \
+             \"results\": [{}]}}",
+            results.join(", ")
+        )
+    }
+
+    /// An old-schema report: `sequential_ms` as a plain number.
+    fn flat_report(scenario: &str, timings: &[(&str, f64)]) -> String {
         let results: Vec<String> = timings
             .iter()
             .map(|(s, ms)| {
@@ -230,20 +348,22 @@ mod tests {
 
     #[test]
     fn equal_runs_pass_at_the_default_threshold() {
-        let doc = report("paper-base", &[("DP", 100.0), ("FP", 150.0)]);
+        let doc = report("paper-base", &[("DP", 100.0, 2.0), ("FP", 150.0, 3.0)]);
         let outcome = compare(&doc, &doc, DEFAULT_MAX_REGRESSION).unwrap();
         assert!(outcome.passed());
         assert_eq!(outcome.regression, 0.0);
         assert_eq!(outcome.scenario, "paper-base");
         assert_eq!(outcome.per_strategy.len(), 2);
+        // CI half-widths add in quadrature: sqrt(2² + 3²).
+        assert!((outcome.current_ci95_ms - 13.0f64.sqrt()).abs() < 1e-12);
         assert!(outcome.summary().contains("ok"));
     }
 
     #[test]
     fn regressions_beyond_the_threshold_fail() {
-        let base = report("paper-base", &[("DP", 100.0), ("FP", 100.0)]);
-        // 30% slower overall: beyond the default 25%.
-        let slow = report("paper-base", &[("DP", 130.0), ("FP", 130.0)]);
+        let base = report("paper-base", &[("DP", 100.0, 0.0), ("FP", 100.0, 0.0)]);
+        // 30% slower overall with tight intervals: beyond the default 10%.
+        let slow = report("paper-base", &[("DP", 130.0, 0.5), ("FP", 130.0, 0.5)]);
         let outcome = compare(&slow, &base, DEFAULT_MAX_REGRESSION).unwrap();
         assert!(!outcome.passed());
         assert!((outcome.regression - 0.30).abs() < 1e-9);
@@ -251,24 +371,75 @@ mod tests {
         // A loosened runner knob tolerates it.
         assert!(compare(&slow, &base, 1.0).unwrap().passed());
         // Improvements always pass.
-        let fast = report("paper-base", &[("DP", 50.0), ("FP", 60.0)]);
+        let fast = report("paper-base", &[("DP", 50.0, 0.5), ("FP", 60.0, 0.5)]);
         assert!(compare(&fast, &base, DEFAULT_MAX_REGRESSION)
             .unwrap()
             .passed());
-        // A negative threshold fails any non-improving run (gate self-test).
+        // A −1 threshold scales the allowed ceiling to zero, failing any
+        // positive run (the gate self-test knob).
         assert!(!compare(&base, &base, -1.0).unwrap().passed());
     }
 
     #[test]
+    fn overlapping_confidence_intervals_absorb_noisy_drift() {
+        // 15% mean drift, but both intervals are ±10 ms: the current lower
+        // edge (105) sits below the scaled baseline upper edge (110 × 1.1 =
+        // 121), so this is noise, not a regression.
+        let base = report("paper-base", &[("DP", 100.0, 10.0)]);
+        let noisy = report("paper-base", &[("DP", 115.0, 10.0)]);
+        assert!(compare(&noisy, &base, DEFAULT_MAX_REGRESSION)
+            .unwrap()
+            .passed());
+        // A genuinely slower run clears the ceiling even with its interval:
+        // lower edge 135 > 121.
+        let slow = report("paper-base", &[("DP", 140.0, 5.0)]);
+        assert!(!compare(&slow, &base, DEFAULT_MAX_REGRESSION)
+            .unwrap()
+            .passed());
+    }
+
+    #[test]
+    fn plain_number_reports_parse_with_zero_width_intervals() {
+        // A stale flat-schema baseline degrades to strict mean-vs-mean.
+        let old = flat_report("paper-base", &[("DP", 100.0), ("FP", 100.0)]);
+        let new_ok = report("paper-base", &[("DP", 104.0, 1.0), ("FP", 104.0, 1.0)]);
+        let outcome = compare(&new_ok, &old, DEFAULT_MAX_REGRESSION).unwrap();
+        assert_eq!(outcome.baseline_ci95_ms, 0.0);
+        assert!(outcome.passed());
+        let new_slow = report("paper-base", &[("DP", 130.0, 1.0), ("FP", 130.0, 1.0)]);
+        assert!(!compare(&new_slow, &old, DEFAULT_MAX_REGRESSION)
+            .unwrap()
+            .passed());
+    }
+
+    #[test]
+    fn baseline_arrays_select_the_matching_scenario() {
+        let baseline = format!(
+            "[{}, {}, {}]",
+            report("paper-base", &[("DP", 100.0, 1.0)]),
+            report("mix-cosim", &[("DP", 30.0, 0.5), ("FP", 35.0, 0.5)]),
+            report("open-poisson", &[("DP", 7.0, 0.1)]),
+        );
+        let current = report("mix-cosim", &[("DP", 31.0, 0.5), ("FP", 34.0, 0.5)]);
+        let outcome = compare(&current, &baseline, DEFAULT_MAX_REGRESSION).unwrap();
+        assert_eq!(outcome.scenario, "mix-cosim");
+        assert!((outcome.baseline_sequential_ms - 65.0).abs() < 1e-9);
+        assert!(outcome.passed());
+        // A scenario absent from the array is an error, not a silent pass.
+        let missing = report("fig10", &[("DP", 10.0, 0.1)]);
+        assert!(compare(&missing, &baseline, DEFAULT_MAX_REGRESSION).is_err());
+    }
+
+    #[test]
     fn mismatched_strategy_sets_error_instead_of_skewing_the_sum() {
-        let both = report("paper-base", &[("DP", 100.0), ("FP", 100.0)]);
+        let both = report("paper-base", &[("DP", 100.0, 1.0), ("FP", 100.0, 1.0)]);
         // Dropping a strategy would halve the sum and mask any regression;
         // the gate must refuse to compare instead.
-        let dp_only = report("paper-base", &[("DP", 190.0)]);
+        let dp_only = report("paper-base", &[("DP", 190.0, 1.0)]);
         assert!(compare(&dp_only, &both, DEFAULT_MAX_REGRESSION).is_err());
         assert!(compare(&both, &dp_only, DEFAULT_MAX_REGRESSION).is_err());
         // Same set, different order: fine.
-        let reordered = report("paper-base", &[("FP", 100.0), ("DP", 100.0)]);
+        let reordered = report("paper-base", &[("FP", 100.0, 1.0), ("DP", 100.0, 1.0)]);
         assert!(compare(&reordered, &both, DEFAULT_MAX_REGRESSION)
             .unwrap()
             .passed());
@@ -276,15 +447,19 @@ mod tests {
 
     #[test]
     fn mismatched_scenarios_and_broken_documents_error() {
-        let a = report("paper-base", &[("DP", 100.0)]);
-        let b = report("fig10", &[("DP", 100.0)]);
+        let a = report("paper-base", &[("DP", 100.0, 1.0)]);
+        let b = report("fig10", &[("DP", 100.0, 1.0)]);
         assert!(compare(&a, &b, DEFAULT_MAX_REGRESSION).is_err());
         assert!(compare("not json", &a, DEFAULT_MAX_REGRESSION).is_err());
         assert!(compare(&a, "{}", DEFAULT_MAX_REGRESSION).is_err());
         let empty = "{\"scenario\": \"paper-base\", \"results\": []}";
         assert!(compare(&a, empty, DEFAULT_MAX_REGRESSION).is_err());
-        let zero = report("paper-base", &[("DP", 0.0)]);
+        let zero = report("paper-base", &[("DP", 0.0, 0.0)]);
         assert!(compare(&a, &zero, DEFAULT_MAX_REGRESSION).is_err());
+        // A summary object without a mean is broken, not zero.
+        let no_mean = "{\"scenario\": \"paper-base\", \"results\": [{\"strategy\": \"DP\", \
+                       \"sequential_ms\": {\"ci95\": 1.0}}]}";
+        assert!(compare(no_mean, &a, DEFAULT_MAX_REGRESSION).is_err());
     }
 
     #[test]
@@ -292,9 +467,9 @@ mod tests {
         // A near-zero (but strictly positive) baseline would previously pass
         // the `<= 0` guard and judge the current run as an astronomically
         // large regression — an unconditional, meaningless gate failure.
-        let current = report("paper-base", &[("DP", 100.0)]);
+        let current = report("paper-base", &[("DP", 100.0, 1.0)]);
         for degenerate_ms in [0.0, 1e-12, 1e-4] {
-            let baseline = report("paper-base", &[("DP", degenerate_ms)]);
+            let baseline = report("paper-base", &[("DP", degenerate_ms, 0.0)]);
             let err = compare(&current, &baseline, DEFAULT_MAX_REGRESSION).unwrap_err();
             assert!(
                 matches!(err, DlbError::InvalidConfig(ref m) if m.contains("degenerate")),
@@ -302,7 +477,7 @@ mod tests {
             );
         }
         // The smallest accepted baseline still compares (and fails honestly).
-        let tiny = report("paper-base", &[("DP", MIN_BASELINE_SEQUENTIAL_MS)]);
+        let tiny = report("paper-base", &[("DP", MIN_BASELINE_SEQUENTIAL_MS, 0.0)]);
         let outcome = compare(&current, &tiny, DEFAULT_MAX_REGRESSION).unwrap();
         assert!(!outcome.passed());
         assert!(outcome.regression.is_finite());

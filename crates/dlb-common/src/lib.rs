@@ -16,6 +16,8 @@
 //! * the Zipf skew generator used to model redistribution / attribute-value
 //!   skew ([`zipf`]),
 //! * deterministic random-number helpers ([`rng`]),
+//! * dense index sets ([`bitset`]) and a stable-key arena ([`slab`]) for the
+//!   engine's allocation-free hot paths,
 //! * a minimal JSON model, parser and writer ([`json`]) — the real `serde`
 //!   is unavailable offline, so textual round-trips go through this,
 //! * the workspace error type ([`error`]).
@@ -23,14 +25,17 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod bitset;
 pub mod config;
 pub mod error;
 pub mod ids;
 pub mod json;
 pub mod rng;
+pub mod slab;
 pub mod time;
 pub mod zipf;
 
+pub use bitset::BitSet;
 pub use config::{
     CostConstants, CpuParams, DiskParams, MachineConfig, NetworkParams, SystemConfig,
 };
@@ -40,5 +45,6 @@ pub use ids::{
     ThreadId,
 };
 pub use json::Json;
+pub use slab::Slab;
 pub use time::{Duration, SimTime};
 pub use zipf::ZipfDistribution;

@@ -104,6 +104,9 @@ pub struct ActivationQueue {
     enqueued: u64,
     dequeued: u64,
     high_water: usize,
+    /// Tuples currently enqueued, maintained incrementally so the steal
+    /// scheduler's load scans are O(1) per queue instead of O(len).
+    tuples: u64,
 }
 
 impl ActivationQueue {
@@ -115,6 +118,7 @@ impl ActivationQueue {
             enqueued: 0,
             dequeued: 0,
             high_water: 0,
+            tuples: 0,
         }
     }
 
@@ -145,14 +149,16 @@ impl ActivationQueue {
         self.items.push_back(a);
         self.enqueued += 1;
         self.high_water = self.high_water.max(self.items.len());
+        self.tuples += a.tuples;
         true
     }
 
     /// Pops the oldest activation.
     pub fn pop(&mut self) -> Option<Activation> {
         let out = self.items.pop_front();
-        if out.is_some() {
+        if let Some(a) = out {
             self.dequeued += 1;
+            self.tuples -= a.tuples;
         }
         out
     }
@@ -198,15 +204,21 @@ impl ActivationQueue {
             out.push(a);
         }
         self.dequeued += take as u64;
+        self.tuples -= tuples;
         DrainOutcome {
             count: take,
             tuples,
         }
     }
 
-    /// Total tuples currently enqueued.
+    /// Total tuples currently enqueued (O(1): maintained incrementally).
     pub fn queued_tuples(&self) -> u64 {
-        self.items.iter().map(|a| a.tuples).sum()
+        debug_assert_eq!(
+            self.tuples,
+            self.items.iter().map(|a| a.tuples).sum::<u64>(),
+            "incremental tuple counter drifted from queue contents"
+        );
+        self.tuples
     }
 }
 

@@ -44,7 +44,7 @@
 //! [`crate::mix::MixMode`]. The loop is strictly sequential and seeded, so
 //! co-simulated runs are bit-identical regardless of harness thread counts.
 
-use crate::activation::{Activation, ActivationKind, ActivationQueue};
+use crate::activation::{Activation, ActivationKind, ActivationQueue, DrainOutcome};
 use crate::fp::allocate_threads;
 use crate::options::{ErrorRealization, ExecOptions, RecoveryPolicy, Strategy};
 use crate::report::{
@@ -55,7 +55,8 @@ use crate::topology::{validate_topology, TopologyChange, TopologyEvent};
 use dlb_common::config::SystemConfig;
 use dlb_common::rng::rng_from_seed;
 use dlb_common::{
-    DiskId, DlbError, Duration, NodeId, OperatorId, ProcessorId, RelationId, Result, SimTime,
+    BitSet, DiskId, DlbError, Duration, NodeId, OperatorId, ProcessorId, RelationId, Result,
+    SimTime,
 };
 use dlb_frontend::{FrontendConfig, FrontendStats, Lookup, ResultCache, SingleFlight};
 use dlb_query::cost::CostModel;
@@ -385,6 +386,18 @@ struct OpRuntime {
 struct OpNodeRuntime {
     queues: Vec<ActivationQueue>,
     parked: VecDeque<Activation>,
+    /// Tuples in `parked`, maintained incrementally (all parked mutation
+    /// goes through [`park`], [`unpark_front`] and [`drain_parked_into`])
+    /// so load scans never walk the overflow list.
+    ///
+    /// [`park`]: OpNodeRuntime::park
+    /// [`unpark_front`]: OpNodeRuntime::unpark_front
+    /// [`drain_parked_into`]: OpNodeRuntime::drain_parked_into
+    parked_tuples: u64,
+    /// Activations currently held on this (operator, node) — queued plus
+    /// parked — maintained incrementally by the queue/park helpers so end
+    /// detection and work selection are O(1) instead of O(threads).
+    queued: u32,
     processing: u32,
     phase1_sent: bool,
     confirm_pending: bool,
@@ -400,16 +413,138 @@ struct OpNodeRuntime {
     started_disks: BTreeSet<u32>,
     /// Round-robin cursor for placing acquired activations into queues.
     steal_cursor: usize,
+    /// Bitmask of queues holding at least one activation (bit = slot index,
+    /// maintained for slots < 64 — wider machines fall back to scanning).
+    /// Lets work selection jump straight to a loaded queue instead of
+    /// probing every empty one.
+    nonempty: u64,
 }
 
 impl OpNodeRuntime {
+    fn new(threads_per_node: usize, queue_capacity: usize) -> Self {
+        Self {
+            queues: (0..threads_per_node)
+                .map(|_| ActivationQueue::new(queue_capacity))
+                .collect(),
+            parked: VecDeque::new(),
+            parked_tuples: 0,
+            queued: 0,
+            processing: 0,
+            phase1_sent: false,
+            confirm_pending: false,
+            confirm_sent: false,
+            hash_tuples: 0,
+            hash_copied_from: BTreeSet::new(),
+            started_disks: BTreeSet::new(),
+            steal_cursor: 0,
+            nonempty: 0,
+        }
+    }
+
+    /// Appends an overflow activation to the parked list.
+    fn park(&mut self, a: Activation) {
+        self.parked_tuples += a.tuples;
+        self.queued += 1;
+        self.parked.push_back(a);
+    }
+
+    /// Pops the oldest parked activation.
+    fn unpark_front(&mut self) -> Option<Activation> {
+        let a = self.parked.pop_front();
+        if let Some(a) = a {
+            self.parked_tuples -= a.tuples;
+            self.queued -= 1;
+        }
+        a
+    }
+
+    /// Pushes into queue `slot`; `false` when that queue is full.
+    fn enqueue(&mut self, slot: usize, a: Activation) -> bool {
+        let pushed = self.queues[slot].push(a);
+        self.queued += pushed as u32;
+        if pushed && slot < 64 {
+            self.nonempty |= 1u64 << slot;
+        }
+        pushed
+    }
+
+    /// Pushes into queue `slot`, parking the activation on overflow.
+    fn enqueue_or_park(&mut self, slot: usize, a: Activation) {
+        if !self.enqueue(slot, a) {
+            self.park(a);
+        }
+    }
+
+    /// Pops the oldest activation of queue `slot`.
+    fn dequeue(&mut self, slot: usize) -> Option<Activation> {
+        let a = self.queues[slot].pop();
+        self.queued -= a.is_some() as u32;
+        if a.is_some() && slot < 64 && self.queues[slot].is_empty() {
+            self.nonempty &= !(1u64 << slot);
+        }
+        a
+    }
+
+    /// Drains up to `max` activations of queue `slot` into `out`.
+    fn drain_queue_into(
+        &mut self,
+        slot: usize,
+        max: usize,
+        out: &mut Vec<Activation>,
+    ) -> DrainOutcome {
+        let outcome = self.queues[slot].drain_into(max, out);
+        self.queued -= outcome.count as u32;
+        if outcome.count > 0 && slot < 64 && self.queues[slot].is_empty() {
+            self.nonempty &= !(1u64 << slot);
+        }
+        outcome
+    }
+
+    /// Moves every parked activation into `out` (recovery path).
+    fn drain_parked_into(&mut self, out: &mut Vec<Activation>) {
+        self.parked_tuples = 0;
+        self.queued -= self.parked.len() as u32;
+        out.extend(self.parked.drain(..));
+    }
+
+    /// Moves everything — parked overflow and every queue — into `out`.
+    fn drain_all_into(&mut self, out: &mut Vec<Activation>) {
+        self.drain_parked_into(out);
+        for slot in 0..self.queues.len() {
+            self.drain_queue_into(slot, usize::MAX, out);
+        }
+    }
+
+    /// Total tuples queued on this (operator, node), including overflow.
+    /// O(threads): each queue keeps an incremental tuple counter.
     fn queued_tuples(&self) -> u64 {
-        self.queues.iter().map(|q| q.queued_tuples()).sum::<u64>()
-            + self.parked.iter().map(|a| a.tuples).sum::<u64>()
+        debug_assert_eq!(
+            self.parked_tuples,
+            self.parked.iter().map(|a| a.tuples).sum::<u64>(),
+            "parked tuple counter drifted"
+        );
+        self.queues.iter().map(|q| q.queued_tuples()).sum::<u64>() + self.parked_tuples
+    }
+
+    /// The nonempty-queue bitmask, consistency-checked in debug builds.
+    /// Only meaningful when every slot fits the mask (`queues.len() <= 64`).
+    fn nonempty_mask(&self) -> u64 {
+        debug_assert!(
+            self.queues.len() > 64
+                || (0..self.queues.len())
+                    .all(|s| self.queues[s].is_empty() != (self.nonempty >> s & 1 == 1)),
+            "nonempty bitmask drifted from queue contents"
+        );
+        self.nonempty
     }
 
     fn queued_activations(&self) -> usize {
-        self.queues.iter().map(|q| q.len()).sum::<usize>() + self.parked.len()
+        debug_assert_eq!(
+            self.queued as usize,
+            self.queues.iter().map(|q| q.len()).sum::<usize>() + self.parked.len(),
+            "incremental activation counter drifted from queue contents"
+        );
+        self.queued as usize
     }
 
     fn is_drained(&self) -> bool {
@@ -419,7 +554,22 @@ impl OpNodeRuntime {
 
 struct ThreadRuntime {
     idle: bool,
-    allowed: Option<BTreeSet<OperatorId>>,
+    /// FP only: the set of global operator indices this thread's static
+    /// allocation permits, as a bitset so the per-op membership test in
+    /// work selection is a word probe instead of a tree walk.
+    allowed: Option<BitSet>,
+}
+
+/// The slice of per-lane state the work-selection inner loop reads,
+/// packed contiguously (structure-of-arrays) so a scheduling pass over all
+/// lanes touches a handful of cache lines instead of one wide
+/// [`LaneRuntime`] per lane. Kept in sync by [`QueueEngine::sync_lane_hot`]
+/// at every `started`/`n_ops` mutation.
+#[derive(Clone, Copy)]
+struct LaneHot {
+    base: u32,
+    n_ops: u32,
+    started: bool,
 }
 
 /// One collected steal offer: `(provider, op, tuples, bytes, load, epoch)`.
@@ -441,6 +591,9 @@ struct NodeLb {
 /// The queue-based engine shared by DP and FP, over one or more query lanes.
 pub(crate) struct QueueEngine<'a> {
     lanes: Vec<LaneRuntime<'a>>,
+    /// Dense copy of each lane's `(base, n_ops, started)` for the
+    /// work-selection scan (see [`LaneHot`]).
+    lane_hot: Vec<LaneHot>,
     /// Lane indices in local-scheduling order: priority descending, mix
     /// index ascending on ties.
     lane_order: Vec<usize>,
@@ -458,6 +611,23 @@ pub(crate) struct QueueEngine<'a> {
     cpu: CpuAccounting,
 
     ops: Vec<OpRuntime>,
+    /// Indices of non-terminated operators, as a dense bitmask. The steal
+    /// scheduler's candidate scan, its load aggregation and the
+    /// end-detection sweep walk this set instead of `0..ops.len()`; in open
+    /// mode most slots are retired placeholders, so the walk touches only
+    /// the `O(concurrency)` live lanes. Ascending iteration order keeps the
+    /// visit order identical to the linear scans it replaces.
+    live_ops: BitSet,
+    /// Per-node set of operators with at least one queued or parked
+    /// activation (`OpNodeRuntime::queued > 0`). Work selection probes this
+    /// instead of touching every operator's queue state; every queue
+    /// mutation site keeps it in sync.
+    ready: Vec<BitSet>,
+    /// Per-node bitmask of idle threads (bit `t` = thread `t` is idle),
+    /// mirroring `ThreadRuntime::idle` so wake scans are a word probe.
+    /// Only maintained for machines with at most 64 threads per node;
+    /// wider nodes fall back to the boolean scan.
+    idle_threads: Vec<u64>,
     op_nodes: Vec<Vec<Option<OpNodeRuntime>>>,
     threads: Vec<Vec<ThreadRuntime>>,
     node_lb: Vec<NodeLb>,
@@ -614,6 +784,14 @@ impl<'a> QueueEngine<'a> {
         }
         let mut lane_order: Vec<usize> = (0..lanes.len()).collect();
         lane_order.sort_by(|&a, &b| lanes[b].priority.cmp(&lanes[a].priority).then(a.cmp(&b)));
+        let lane_hot = lanes
+            .iter()
+            .map(|l| LaneHot {
+                base: l.base as u32,
+                n_ops: l.n_ops as u32,
+                started: l.started,
+            })
+            .collect();
         let nodes = config.machine.nodes as usize;
         let threads_per_node = config.machine.processors_per_node as usize;
         let disks_per_node =
@@ -622,6 +800,7 @@ impl<'a> QueueEngine<'a> {
 
         let mut engine = Self {
             lanes,
+            lane_hot,
             lane_order,
             config,
             options,
@@ -635,6 +814,9 @@ impl<'a> QueueEngine<'a> {
             network: Network::new(config.network, config.cpu),
             cpu: CpuAccounting::new(config.machine.nodes, config.machine.processors_per_node),
             ops: Vec::new(),
+            live_ops: BitSet::default(),
+            ready: (0..nodes).map(|_| BitSet::default()).collect(),
+            idle_threads: vec![0; nodes],
             op_nodes: Vec::new(),
             threads: Vec::new(),
             node_lb: (0..nodes).map(|_| NodeLb::default()).collect(),
@@ -775,7 +957,7 @@ impl<'a> QueueEngine<'a> {
                     .map(|_| ThreadRuntime {
                         idle: false,
                         allowed: match strategy {
-                            Strategy::Fixed { .. } => Some(BTreeSet::new()),
+                            Strategy::Fixed { .. } => Some(BitSet::default()),
                             _ => None,
                         },
                     })
@@ -819,8 +1001,17 @@ impl<'a> QueueEngine<'a> {
             front_finish: SimTime::ZERO,
         };
 
+        let lane_hot = lanes
+            .iter()
+            .map(|l| LaneHot {
+                base: l.base as u32,
+                n_ops: l.n_ops as u32,
+                started: l.started,
+            })
+            .collect();
         let mut engine = Self {
             lanes,
+            lane_hot,
             lane_order: (0..concurrency).collect(),
             config,
             options,
@@ -834,6 +1025,13 @@ impl<'a> QueueEngine<'a> {
             network: Network::new(config.network, config.cpu),
             cpu: CpuAccounting::new(config.machine.nodes, config.machine.processors_per_node),
             ops,
+            // Placeholder slots are all terminated; admissions insert the
+            // revived op indices, terminations remove them again.
+            live_ops: BitSet::with_capacity(total_ops),
+            ready: (0..nodes)
+                .map(|_| BitSet::with_capacity(total_ops))
+                .collect(),
+            idle_threads: vec![0; nodes],
             op_nodes,
             threads,
             node_lb: (0..nodes).map(|_| NodeLb::default()).collect(),
@@ -966,24 +1164,17 @@ impl<'a> QueueEngine<'a> {
             }
         }
 
+        // Closed mode never recycles op slots: every operator starts live.
+        self.live_ops = (0..self.ops.len()).collect();
+
         // Per-(op, node) state for home nodes.
         for op_idx in 0..self.ops.len() {
             let mut per_node: Vec<Option<OpNodeRuntime>> = (0..self.nodes).map(|_| None).collect();
             for node in &self.ops[op_idx].home {
-                per_node[node.index()] = Some(OpNodeRuntime {
-                    queues: (0..self.threads_per_node)
-                        .map(|_| ActivationQueue::new(self.options.flow.queue_capacity))
-                        .collect(),
-                    parked: VecDeque::new(),
-                    processing: 0,
-                    phase1_sent: false,
-                    confirm_pending: false,
-                    confirm_sent: false,
-                    hash_tuples: 0,
-                    hash_copied_from: BTreeSet::new(),
-                    started_disks: BTreeSet::new(),
-                    steal_cursor: 0,
-                });
+                per_node[node.index()] = Some(OpNodeRuntime::new(
+                    self.threads_per_node,
+                    self.options.flow.queue_capacity,
+                ));
             }
             self.op_nodes.push(per_node);
         }
@@ -1017,10 +1208,10 @@ impl<'a> QueueEngine<'a> {
                 _ => None,
             };
         for node in 0..self.nodes {
-            let allowed: Option<Vec<BTreeSet<OperatorId>>> = match self.strategy {
+            let allowed: Option<Vec<BitSet>> = match self.strategy {
                 Strategy::Fixed { error_rate } => {
-                    let mut per_thread: Vec<BTreeSet<OperatorId>> =
-                        vec![BTreeSet::new(); self.threads_per_node];
+                    let mut per_thread: Vec<BitSet> =
+                        vec![BitSet::default(); self.threads_per_node];
                     for (lane_idx, lane) in self.lanes.iter().enumerate() {
                         // A pinned lane only constrains the threads of its
                         // own placement nodes.
@@ -1044,9 +1235,9 @@ impl<'a> QueueEngine<'a> {
                             }
                         };
                         for (t, ops) in assignment.iter().enumerate() {
-                            per_thread[t].extend(
-                                ops.iter().map(|o| OperatorId::from(lane.base + o.index())),
-                            );
+                            for o in ops {
+                                per_thread[t].insert(lane.base + o.index());
+                            }
                         }
                     }
                     Some(per_thread)
@@ -1160,10 +1351,11 @@ impl<'a> QueueEngine<'a> {
                         .expect("home node state exists");
                     // Trigger activations bypass flow control (they are the
                     // roots of the dataflow, produced once at start-up).
-                    if !opn.queues[slot].push(activation) {
-                        opn.parked.push_back(activation);
-                    }
+                    opn.enqueue_or_park(slot, activation);
                     seeded += chunk;
+                }
+                if seeded > 0 {
+                    self.ready[node.index()].insert(op_idx);
                 }
                 self.ops[op_idx].input_sent += seeded;
                 self.ops[op_idx].input_delivered += seeded;
@@ -1345,7 +1537,7 @@ impl<'a> QueueEngine<'a> {
     fn thread_may_process(&self, node: usize, thread: usize, op: usize) -> bool {
         match &self.threads[node][thread].allowed {
             None => true,
-            Some(set) => set.contains(&OperatorId::from(op)),
+            Some(set) => set.contains(op),
         }
     }
 
@@ -1363,19 +1555,11 @@ impl<'a> QueueEngine<'a> {
             return;
         };
         while let Some(front) = opn.parked.front().copied() {
-            let mut placed = false;
-            for q in opn.queues.iter_mut() {
-                if !q.is_full() {
-                    q.push(front);
-                    placed = true;
-                    break;
-                }
-            }
-            if placed {
-                opn.parked.pop_front();
-            } else {
+            let Some(slot) = opn.queues.iter().position(|q| !q.is_full()) else {
                 break;
-            }
+            };
+            opn.unpark_front();
+            opn.enqueue(slot, front);
         }
     }
 
@@ -1388,38 +1572,170 @@ impl<'a> QueueEngine<'a> {
     fn select_work(&mut self, node: usize, thread: usize) -> Option<(usize, Activation, bool)> {
         for li in 0..self.lane_order.len() {
             let lane = self.lane_order[li];
-            if !self.lanes[lane].started {
+            let hot = self.lane_hot[lane];
+            debug_assert!(
+                hot.started == self.lanes[lane].started
+                    && hot.base as usize == self.lanes[lane].base
+                    && hot.n_ops as usize == self.lanes[lane].n_ops,
+                "lane_hot snapshot drifted from lane state"
+            );
+            if !hot.started {
                 continue;
             }
-            let base = self.lanes[lane].base;
-            let n_ops = self.lanes[lane].n_ops;
-            // Pass 1: primary queues (the thread's own queue of every
-            // operator of the lane).
-            for shift in 0..n_ops {
-                let op = base + (thread + shift) % n_ops;
-                if !self.op_consumable(op, node) || !self.thread_may_process(node, thread, op) {
-                    continue;
+            let (base, n_ops) = (hot.base as usize, hot.n_ops as usize);
+            if n_ops == 0 {
+                continue;
+            }
+            if n_ops > 64 {
+                // Wide plans fall off the single-word fast path.
+                if let Some(found) = self.select_work_lane_scan(node, thread, base, n_ops) {
+                    return Some(found);
                 }
-                self.deliver_parked(op, node);
-                let opn = self.op_nodes[op][node].as_mut().expect("home state");
-                if let Some(act) = opn.queues[thread].pop() {
-                    opn.processing += 1;
-                    return Some((op, act, true));
+                continue;
+            }
+            // One word holds the lane's candidate set: operators with work
+            // queued on this node, intersected with what the thread may
+            // touch (FP operator sets). Everything else is never visited.
+            let mut cand = self.ready[node].extract_range(base, n_ops);
+            if cand == 0 {
+                continue;
+            }
+            if let Some(set) = &self.threads[node][thread].allowed {
+                cand &= set.extract_range(base, n_ops);
+                if cand == 0 {
+                    continue;
                 }
             }
-            // Pass 2: any other queue of the node.
-            for shift in 0..n_ops {
-                let op = base + (thread + shift) % n_ops;
-                if !self.op_consumable(op, node) || !self.thread_may_process(node, thread, op) {
-                    continue;
-                }
-                let opn = self.op_nodes[op][node].as_mut().expect("home state");
-                for offset in 1..self.threads_per_node {
-                    let q = (thread + offset) % self.threads_per_node;
-                    if let Some(act) = opn.queues[q].pop() {
+            // The loops this replaces visited `base + (thread + shift) %
+            // n_ops` for ascending `shift`; splitting the word at the start
+            // offset and walking each half ascending reproduces that order
+            // exactly.
+            let rot = thread % n_ops;
+            let lo_mask = (1u64 << rot) - 1;
+            let parts = [cand & !lo_mask, cand & lo_mask];
+            // Pass 1: primary queues (the thread's own queue of every
+            // operator of the lane).
+            for mut m in parts {
+                while m != 0 {
+                    let op = base + m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    if !self.op_consumable(op, node) {
+                        continue;
+                    }
+                    self.deliver_parked(op, node);
+                    let opn = self.op_nodes[op][node].as_mut().expect("home state");
+                    if let Some(act) = opn.dequeue(thread) {
                         opn.processing += 1;
+                        if opn.queued == 0 {
+                            self.ready[node].remove(op);
+                        }
+                        return Some((op, act, true));
+                    }
+                }
+            }
+            // Pass 2: any other queue of the node, preferring the first
+            // loaded queue after the thread's own (wrap-around order).
+            for mut m in parts {
+                while m != 0 {
+                    let op = base + m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    if !self.op_consumable(op, node) {
+                        continue;
+                    }
+                    let opn = self.op_nodes[op][node].as_mut().expect("home state");
+                    if self.threads_per_node <= 64 {
+                        let qm = opn.nonempty_mask() & !(1u64 << thread);
+                        if qm == 0 {
+                            continue;
+                        }
+                        let after = if thread + 1 >= 64 {
+                            0
+                        } else {
+                            qm & !((1u64 << (thread + 1)) - 1)
+                        };
+                        let q = if after != 0 {
+                            after.trailing_zeros() as usize
+                        } else {
+                            qm.trailing_zeros() as usize
+                        };
+                        let act = opn.dequeue(q).expect("nonempty queue");
+                        opn.processing += 1;
+                        if opn.queued == 0 {
+                            self.ready[node].remove(op);
+                        }
                         return Some((op, act, false));
                     }
+                    for offset in 1..self.threads_per_node {
+                        let q = (thread + offset) % self.threads_per_node;
+                        if let Some(act) = opn.dequeue(q) {
+                            opn.processing += 1;
+                            if opn.queued == 0 {
+                                self.ready[node].remove(op);
+                            }
+                            return Some((op, act, false));
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Work selection over one lane whose operator range spans more than one
+    /// mask word: the original rotated linear scan (cold path, plans of more
+    /// than 64 operators).
+    fn select_work_lane_scan(
+        &mut self,
+        node: usize,
+        thread: usize,
+        base: usize,
+        n_ops: usize,
+    ) -> Option<(usize, Activation, bool)> {
+        // Pass 1: primary queues.
+        for shift in 0..n_ops {
+            let op = base + (thread + shift) % n_ops;
+            // Nothing queued or parked: skip without touching the operator
+            // or queue state at all.
+            if !self.ready[node].contains(op) {
+                debug_assert!(
+                    self.op_nodes[op][node]
+                        .as_ref()
+                        .is_none_or(|o| o.queued == 0),
+                    "ready bitset lost a non-empty operator"
+                );
+                continue;
+            }
+            if !self.op_consumable(op, node) || !self.thread_may_process(node, thread, op) {
+                continue;
+            }
+            self.deliver_parked(op, node);
+            let opn = self.op_nodes[op][node].as_mut().expect("home state");
+            if let Some(act) = opn.dequeue(thread) {
+                opn.processing += 1;
+                if opn.queued == 0 {
+                    self.ready[node].remove(op);
+                }
+                return Some((op, act, true));
+            }
+        }
+        // Pass 2: any other queue of the node.
+        for shift in 0..n_ops {
+            let op = base + (thread + shift) % n_ops;
+            if !self.ready[node].contains(op) {
+                continue;
+            }
+            if !self.op_consumable(op, node) || !self.thread_may_process(node, thread, op) {
+                continue;
+            }
+            let opn = self.op_nodes[op][node].as_mut().expect("home state");
+            for offset in 1..self.threads_per_node {
+                let q = (thread + offset) % self.threads_per_node;
+                if let Some(act) = opn.dequeue(q) {
+                    opn.processing += 1;
+                    if opn.queued == 0 {
+                        self.ready[node].remove(op);
+                    }
+                    return Some((op, act, false));
                 }
             }
         }
@@ -1429,21 +1745,63 @@ impl<'a> QueueEngine<'a> {
     fn on_thread_ready(&mut self, node: usize, thread: usize) {
         // Quantum-end wakeups of a node that failed mid-quantum die here.
         if !self.live[node] {
-            self.threads[node][thread].idle = true;
+            self.set_idle(node, thread, true);
             return;
         }
-        self.threads[node][thread].idle = false;
+        self.set_idle(node, thread, false);
         match self.select_work(node, thread) {
             Some((op, act, primary)) => self.process_activation(node, thread, op, act, primary),
             None => {
-                self.threads[node][thread].idle = true;
+                self.set_idle(node, thread, true);
                 self.request_global_work(node, thread);
+            }
+        }
+    }
+
+    /// Records thread idleness in both the boolean flag and the per-node
+    /// idle bitmask (the mask is the scan structure, the flag the source of
+    /// truth for wide machines).
+    fn set_idle(&mut self, node: usize, thread: usize, idle: bool) {
+        self.threads[node][thread].idle = idle;
+        if thread < 64 {
+            let bit = 1u64 << thread;
+            if idle {
+                self.idle_threads[node] |= bit;
+            } else {
+                self.idle_threads[node] &= !bit;
             }
         }
     }
 
     fn wake_threads(&mut self, node: usize, op_filter: Option<usize>) {
         if !self.live[node] {
+            return;
+        }
+        if self.threads_per_node <= 64 {
+            // Fast path: walk the idle bitmask (ascending thread order, the
+            // same order as the boolean scan).
+            let mut mask = self.idle_threads[node];
+            debug_assert!(
+                (0..self.threads_per_node)
+                    .all(|t| self.threads[node][t].idle == ((mask >> t) & 1 == 1)),
+                "idle bitmask drifted from thread flags"
+            );
+            if mask == 0 {
+                return;
+            }
+            let now = self.calendar.now();
+            while mask != 0 {
+                let thread = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                if let Some(op) = op_filter {
+                    if !self.thread_may_process(node, thread, op) {
+                        continue;
+                    }
+                }
+                self.set_idle(node, thread, false);
+                self.calendar
+                    .schedule_at(now, Event::ThreadReady { node, thread });
+            }
             return;
         }
         let now = self.calendar.now();
@@ -1456,7 +1814,7 @@ impl<'a> QueueEngine<'a> {
                     continue;
                 }
             }
-            self.threads[node][thread].idle = false;
+            self.set_idle(node, thread, false);
             self.calendar
                 .schedule_at(now, Event::ThreadReady { node, thread });
         }
@@ -1503,7 +1861,18 @@ impl<'a> QueueEngine<'a> {
     fn start_lane(&mut self, lane: usize) {
         self.lanes[lane].started = true;
         self.lanes[lane].admitted_at = self.calendar.now();
+        self.sync_lane_hot(lane);
         self.seed_triggers(lane);
+    }
+
+    /// Re-snapshots one lane's hot scheduling fields after a
+    /// `started`/`n_ops` mutation (see [`LaneHot`]).
+    fn sync_lane_hot(&mut self, lane: usize) {
+        self.lane_hot[lane] = LaneHot {
+            base: self.lanes[lane].base as u32,
+            n_ops: self.lanes[lane].n_ops as u32,
+            started: self.lanes[lane].started,
+        };
     }
 
     /// Post-admission bookkeeping of a lane admitted mid-run: trivially-done
@@ -1717,6 +2086,7 @@ impl<'a> QueueEngine<'a> {
             lane.tuples_processed = 0;
             lane.result_tuples = 0;
         }
+        self.sync_lane_hot(slot);
         // Rebuild the slot's operator runtimes (mirrors `initialize`, but in
         // place over the slot's fixed op range).
         let joins = plan.tree.joins();
@@ -1745,20 +2115,10 @@ impl<'a> QueueEngine<'a> {
             let slots = home.len() * self.threads_per_node;
             let mut per_node: Vec<Option<OpNodeRuntime>> = (0..self.nodes).map(|_| None).collect();
             for node in &home {
-                per_node[node.index()] = Some(OpNodeRuntime {
-                    queues: (0..self.threads_per_node)
-                        .map(|_| ActivationQueue::new(self.options.flow.queue_capacity))
-                        .collect(),
-                    parked: VecDeque::new(),
-                    processing: 0,
-                    phase1_sent: false,
-                    confirm_pending: false,
-                    confirm_sent: false,
-                    hash_tuples: 0,
-                    hash_copied_from: BTreeSet::new(),
-                    started_disks: BTreeSet::new(),
-                    steal_cursor: 0,
-                });
+                per_node[node.index()] = Some(OpNodeRuntime::new(
+                    self.threads_per_node,
+                    self.options.flow.queue_capacity,
+                ));
             }
             self.ops[idx] = OpRuntime {
                 lane: slot,
@@ -1781,6 +2141,7 @@ impl<'a> QueueEngine<'a> {
             // The slot's ops were counted terminated (placeholder or
             // retired); they are live again.
             self.ops_terminated -= 1;
+            self.live_ops.insert(idx);
         }
         // FP: one fresh allocation per admission (the optimizer
         // mis-estimates each arriving query once), inserted into every
@@ -1800,11 +2161,13 @@ impl<'a> QueueEngine<'a> {
             self.open.as_mut().expect("open mode").fp_rng = fp_rng;
             for node in 0..self.nodes {
                 for (t, ops) in assignment.iter().enumerate() {
-                    self.threads[node][t]
+                    let set = self.threads[node][t]
                         .allowed
                         .as_mut()
-                        .expect("FP threads carry allowed sets")
-                        .extend(ops.iter().map(|o| OperatorId::from(base + o.index())));
+                        .expect("FP threads carry allowed sets");
+                    for o in ops {
+                        set.insert(base + o.index());
+                    }
                 }
             }
         }
@@ -1848,19 +2211,23 @@ impl<'a> QueueEngine<'a> {
             self.epochs[idx] += 1;
             self.ops[idx] = Self::placeholder_op(lane_idx);
             self.op_nodes[idx] = (0..self.nodes).map(|_| None).collect();
+            for node in 0..self.nodes {
+                self.ready[node].remove(idx);
+            }
         }
         if matches!(self.strategy, Strategy::Fixed { .. }) {
             for node in 0..self.nodes {
                 for t in 0..self.threads_per_node {
                     if let Some(set) = &mut self.threads[node][t].allowed {
                         for idx in base..base + n_ops {
-                            set.remove(&OperatorId::from(idx));
+                            set.remove(idx);
                         }
                     }
                 }
             }
         }
         self.lanes[lane_idx].started = false;
+        self.sync_lane_hot(lane_idx);
         let open = self.open.as_mut().expect("open mode");
         let solo = open.templates[open.lane_template[lane_idx]].solo_secs;
         let slowdown = if solo > 0.0 {
@@ -2109,9 +2476,8 @@ impl<'a> QueueEngine<'a> {
             let opn = self.op_nodes[op][node]
                 .as_mut()
                 .expect("data routed to a home node");
-            if !opn.queues[slot].push(activation) {
-                opn.parked.push_back(activation);
-            }
+            opn.enqueue_or_park(slot, activation);
+            self.ready[node].insert(op);
         }
         if self.op_consumable(op, node) {
             self.wake_threads(node, Some(op));
@@ -2283,8 +2649,8 @@ impl<'a> QueueEngine<'a> {
 
         if !phase1_sent
             && drained
-            && self.producers_terminated(op)
             && self.ops[op].input_sent == self.ops[op].input_delivered
+            && self.producers_terminated(op)
         {
             self.op_nodes[op][node].as_mut().unwrap().phase1_sent = true;
             self.send_control(
@@ -2331,6 +2697,7 @@ impl<'a> QueueEngine<'a> {
         // Terminate.
         self.ops[op].terminated = true;
         self.ops_terminated += 1;
+        self.live_ops.remove(op);
         let now = self.calendar.now();
         self.finished_at = self.finished_at.max(now);
         {
@@ -2375,7 +2742,11 @@ impl<'a> QueueEngine<'a> {
 
         // Some operators may now be able to report their own end (e.g. a
         // consumer that received no input, or one waiting for this producer).
-        for other in 0..self.ops.len() {
+        // The live set is snapshotted first because the recursive calls
+        // shrink it; ops terminated mid-sweep are skipped at visit time,
+        // exactly as the full-range scan did.
+        let sweep: Vec<usize> = self.live_ops.iter().collect();
+        for other in sweep {
             if self.ops[other].terminated {
                 continue;
             }
@@ -2408,24 +2779,21 @@ impl<'a> QueueEngine<'a> {
                 if self.node_lb[node].replies_received < self.node_lb[node].replies_expected {
                     return;
                 }
-                let allowed: Vec<usize> = self.threads[node][thread]
-                    .allowed
-                    .as_ref()
-                    .map(|set| set.iter().map(|o| o.index()).collect())
-                    .unwrap_or_default();
-                for op in allowed {
-                    if !self.ops[op].kind.is_probe()
-                        || !self.lanes[self.ops[op].lane].started
-                        || self.ops[op].terminated
-                        || self.ops[op].blockers_remaining > 0
-                        || self.node_lb[node].fp_outstanding.contains(&op)
-                    {
-                        continue;
-                    }
+                // Find-then-act: the scan only reads, so it can walk the
+                // thread's allowed set in place (no per-episode collection).
+                let chosen = self.threads[node][thread].allowed.as_ref().and_then(|set| {
+                    set.iter().find(|&op| {
+                        self.ops[op].kind.is_probe()
+                            && self.lanes[self.ops[op].lane].started
+                            && !self.ops[op].terminated
+                            && self.ops[op].blockers_remaining == 0
+                            && !self.node_lb[node].fp_outstanding.contains(&op)
+                    })
+                });
+                if let Some(op) = chosen {
                     self.node_lb[node].fp_outstanding.insert(op);
-                    self.begin_steal_request(node, Some(op));
                     // One outstanding request per starving episode.
-                    break;
+                    self.begin_steal_request(node, Some(op));
                 }
             }
             Strategy::Synchronous => {}
@@ -2470,6 +2838,51 @@ impl<'a> QueueEngine<'a> {
         }
     }
 
+    /// Evaluates one operator as a steal candidate for `requester`
+    /// (conditions (i)–(vi) of §3.2): only unblocked, non-terminated probe
+    /// work whose home includes the requester moves, it must clear the
+    /// minimum-tuples bar, and the shipment (tuples + hash-table partition)
+    /// must fit the requester's free memory. Returns
+    /// `(op, tuples, bytes, tuples-per-byte ratio)`.
+    fn steal_candidate(
+        &self,
+        op: usize,
+        node: usize,
+        requester: usize,
+        free_bytes: u64,
+    ) -> Option<(usize, u64, u64, f64)> {
+        if !self.ops[op].kind.is_probe()
+            || !self.lanes[self.ops[op].lane].started
+            || self.ops[op].terminated
+            || self.ops[op].blockers_remaining > 0
+            || !self.ops[op].home.contains(&NodeId::from(requester))
+        {
+            return None;
+        }
+        let opn = self.op_nodes[op][node].as_ref()?;
+        let queued = opn.queued_tuples();
+        if queued < self.options.steal.min_tuples {
+            return None;
+        }
+        let steal_tuples = ((queued as f64) * self.options.steal.fraction) as u64;
+        if steal_tuples == 0 {
+            return None;
+        }
+        // The requester must copy this node's hash-table partition for
+        // the probed join (conservatively assumed not yet copied).
+        let hash_bytes = self.ops[op]
+            .build_twin
+            .and_then(|b| self.op_nodes[b][node].as_ref())
+            .map(|b| self.cost.hash_table_bytes(b.hash_tuples))
+            .unwrap_or(0);
+        let bytes = self.config.costs.bytes_for_tuples(steal_tuples) + hash_bytes;
+        if bytes > free_bytes {
+            return None;
+        }
+        let ratio = steal_tuples as f64 / bytes.max(1) as f64;
+        Some((op, steal_tuples, bytes, ratio))
+    }
+
     /// A provider node looks for a candidate queue to off-load (conditions
     /// (i)–(vi) of §3.2) and answers the requester. In co-simulated mode the
     /// candidate set — and the advertised load — spans the operators of
@@ -2484,60 +2897,33 @@ impl<'a> QueueEngine<'a> {
         token: u64,
     ) {
         let mut best: Option<(usize, u64, u64, f64)> = None; // (op, tuples, bytes, ratio)
-                                                             // FP targets one operator, DP considers them all; either way the
-                                                             // candidate set is a contiguous index range — no need to materialize
-                                                             // it per starving message.
-        let candidate_ops = match target {
+        match target {
             // Open mode: the targeted slot was recycled while the request was
             // in flight — the new occupant's work must not be offered under
-            // the stale id. An empty candidate range still yields a NoOffer
+            // the stale id. An empty candidate set still yields a NoOffer
             // reply, so the requester's reply counting stays intact.
-            Some(op) if self.epochs[op] != epoch => 0..0,
-            Some(op) => op..op + 1,
-            None => 0..self.ops.len(),
-        };
-        for op in candidate_ops {
-            // Only probe activations can move; the operator must be
-            // unblocked, not terminated, and the requester must be in its
-            // home.
-            if !self.ops[op].kind.is_probe()
-                || !self.lanes[self.ops[op].lane].started
-                || self.ops[op].terminated
-                || self.ops[op].blockers_remaining > 0
-                || !self.ops[op].home.contains(&NodeId::from(requester))
-            {
-                continue;
-            }
-            let Some(opn) = self.op_nodes[op][node].as_ref() else {
-                continue;
-            };
-            let queued = opn.queued_tuples();
-            if queued < self.options.steal.min_tuples {
-                continue;
-            }
-            let steal_tuples = ((queued as f64) * self.options.steal.fraction) as u64;
-            if steal_tuples == 0 {
-                continue;
-            }
-            // The requester must copy this node's hash-table partition for
-            // the probed join (conservatively assumed not yet copied).
-            let hash_bytes = self.ops[op]
-                .build_twin
-                .and_then(|b| self.op_nodes[b][node].as_ref())
-                .map(|b| self.cost.hash_table_bytes(b.hash_tuples))
-                .unwrap_or(0);
-            let bytes = self.config.costs.bytes_for_tuples(steal_tuples) + hash_bytes;
-            if bytes > free_bytes {
-                continue;
-            }
-            let ratio = steal_tuples as f64 / bytes.max(1) as f64;
-            if best.map(|(_, _, _, r)| ratio > r).unwrap_or(true) {
-                best = Some((op, steal_tuples, bytes, ratio));
+            Some(op) if self.epochs[op] != epoch => {}
+            Some(op) => best = self.steal_candidate(op, node, requester, free_bytes),
+            // DP considers every live operator: the bitset walk visits the
+            // non-terminated slots in ascending index order — the same
+            // candidates, in the same order, as the full `0..ops.len()`
+            // scan it replaces.
+            None => {
+                for op in self.live_ops.iter() {
+                    let Some(candidate) = self.steal_candidate(op, node, requester, free_bytes)
+                    else {
+                        continue;
+                    };
+                    if best.map(|(_, _, _, r)| candidate.3 > r).unwrap_or(true) {
+                        best = Some(candidate);
+                    }
+                }
             }
         }
 
-        let load: u64 = (0..self.ops.len())
-            .filter(|&op| !self.ops[op].terminated)
+        let load: u64 = self
+            .live_ops
+            .iter()
             .filter_map(|op| self.op_nodes[op][node].as_ref())
             .map(|opn| opn.queued_tuples())
             .sum();
@@ -2677,7 +3063,7 @@ impl<'a> QueueEngine<'a> {
             let mut remaining = take;
             // Parked activations first (they are the oldest overflow).
             while remaining > 0 {
-                let Some(a) = opn.parked.pop_front() else {
+                let Some(a) = opn.unpark_front() else {
                     break;
                 };
                 shipped_tuples += a.tuples;
@@ -2690,12 +3076,12 @@ impl<'a> QueueEngine<'a> {
             // the pre-sized transfer buffer and accounts tuples in the same
             // pass.
             let nq = opn.queues.len();
-            for (i, q) in opn.queues.iter_mut().enumerate() {
+            for i in 0..nq {
                 if remaining == 0 {
                     break;
                 }
                 let quota = remaining.div_ceil(nq - i);
-                let outcome = q.drain_into(quota, &mut shipped);
+                let outcome = opn.drain_queue_into(i, quota, &mut shipped);
                 shipped_tuples += outcome.tuples;
                 remaining -= outcome.count;
             }
@@ -2704,13 +3090,16 @@ impl<'a> QueueEngine<'a> {
             // above deliberately under-drains; take the shortfall from
             // whatever is left so the transfer really carries `take`
             // activations whenever that much work exists.
-            for q in opn.queues.iter_mut() {
+            for i in 0..nq {
                 if remaining == 0 {
                     break;
                 }
-                let outcome = q.drain_into(remaining, &mut shipped);
+                let outcome = opn.drain_queue_into(i, remaining, &mut shipped);
                 shipped_tuples += outcome.tuples;
                 remaining -= outcome.count;
+            }
+            if opn.queued == 0 {
+                self.ready[node].remove(op);
             }
         }
         if !has_table {
@@ -2771,10 +3160,9 @@ impl<'a> QueueEngine<'a> {
             for a in activations {
                 let slot = opn.steal_cursor % self.threads_per_node;
                 opn.steal_cursor += 1;
-                if !opn.queues[slot].push(a) {
-                    opn.parked.push_back(a);
-                }
+                opn.enqueue_or_park(slot, a);
             }
+            self.ready[node].insert(op);
         }
         if self.op_consumable(op, node) {
             self.wake_threads(node, Some(op));
@@ -2811,7 +3199,7 @@ impl<'a> QueueEngine<'a> {
             self.faults.failures += 1;
         }
         for thread in 0..self.threads_per_node {
-            self.threads[dead][thread].idle = true;
+            self.set_idle(dead, thread, true);
         }
         // Abandon the node's steal bookkeeping; the token bump voids replies
         // still in flight towards it.
@@ -2872,7 +3260,7 @@ impl<'a> QueueEngine<'a> {
                 .schedule_at(now, Event::QueryAdmit { lane: admitted });
         }
         for thread in 0..self.threads_per_node {
-            self.threads[node][thread].idle = false;
+            self.set_idle(node, thread, false);
             self.calendar
                 .schedule_at(now, Event::ThreadReady { node, thread });
         }
@@ -2935,34 +3323,22 @@ impl<'a> QueueEngine<'a> {
                         continue;
                     }
                     if let Some(mut opn) = self.op_nodes[op][d.index()].take() {
-                        moved.extend(opn.parked.drain(..));
-                        for q in opn.queues.iter_mut() {
-                            q.drain_into(usize::MAX, &mut moved);
-                        }
+                        opn.drain_all_into(&mut moved);
                         hash += opn.hash_tuples;
+                        self.ready[d.index()].remove(op);
                     }
                 }
-                self.op_nodes[op][m] = Some(OpNodeRuntime {
-                    queues: (0..self.threads_per_node)
-                        .map(|_| ActivationQueue::new(self.options.flow.queue_capacity))
-                        .collect(),
-                    parked: VecDeque::new(),
-                    processing: 0,
-                    phase1_sent: false,
-                    confirm_pending: false,
-                    confirm_sent: false,
-                    hash_tuples: 0,
-                    hash_copied_from: BTreeSet::new(),
-                    started_disks: BTreeSet::new(),
-                    steal_cursor: 0,
-                });
+                self.op_nodes[op][m] = Some(OpNodeRuntime::new(
+                    self.threads_per_node,
+                    self.options.flow.queue_capacity,
+                ));
                 // FP: the survivor's threads must be allowed to run the
                 // re-homed operator (its static allocation never mentioned
                 // this node).
                 if matches!(self.strategy, Strategy::Fixed { .. }) {
                     for thread in 0..self.threads_per_node {
                         if let Some(set) = &mut self.threads[m][thread].allowed {
-                            set.insert(OperatorId::from(op));
+                            set.insert(op);
                         }
                     }
                 }
@@ -2982,10 +3358,8 @@ impl<'a> QueueEngine<'a> {
                 continue;
             };
             let mut moved: Vec<Activation> = Vec::new();
-            moved.extend(opn.parked.drain(..));
-            for q in opn.queues.iter_mut() {
-                q.drain_into(usize::MAX, &mut moved);
-            }
+            opn.drain_all_into(&mut moved);
+            self.ready[dead].remove(op);
             let hash = std::mem::take(&mut opn.hash_tuples);
             opn.hash_copied_from.clear();
             opn.started_disks.clear();
@@ -3183,6 +3557,7 @@ impl<'a> QueueEngine<'a> {
         }
         self.ops[op].terminated = false;
         self.ops_terminated -= 1;
+        self.live_ops.insert(op);
         let lane = self.ops[op].lane;
         self.lanes[lane].ops_terminated -= 1;
         self.ops[op].phase1_reports = 0;

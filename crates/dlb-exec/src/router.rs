@@ -23,6 +23,12 @@ pub struct OutputRouter {
     weights: Vec<f64>,
     assigned: Vec<u64>,
     total: u64,
+    /// True when every weight is the same bit pattern and the slot count is
+    /// a power of two. Then `w` is exactly representable (1/2^k), all the
+    /// deficits `w*total - assigned` are exact in f64, and the float argmax
+    /// reduces bit-for-bit to an integer argmin over `assigned` — which the
+    /// hot path computes without touching floats at all.
+    uniform_pow2: bool,
 }
 
 impl OutputRouter {
@@ -39,10 +45,13 @@ impl OutputRouter {
         for (i, w) in zipf.weights().iter().enumerate() {
             weights[(i + rotation) % slots] = *w;
         }
+        let uniform_pow2 =
+            slots.is_power_of_two() && weights.windows(2).all(|w| w[0].to_bits() == w[1].to_bits());
         Self {
             weights,
             assigned: vec![0; slots],
             total: 0,
+            uniform_pow2,
         }
     }
 
@@ -57,12 +66,25 @@ impl OutputRouter {
         let new_total = self.total + tuples;
         // Choose the slot with the largest deficit (target - assigned).
         let mut best = 0usize;
-        let mut best_deficit = f64::MIN;
-        for (i, (&w, &a)) in self.weights.iter().zip(self.assigned.iter()).enumerate() {
-            let deficit = w * new_total as f64 - a as f64;
-            if deficit > best_deficit {
-                best_deficit = deficit;
-                best = i;
+        if self.uniform_pow2 {
+            // Equal weights: the largest deficit is the smallest assignment
+            // (first slot on ties, exactly like the float loop below — see
+            // the field invariant for why this is bit-identical).
+            let mut best_assigned = u64::MAX;
+            for (i, &a) in self.assigned.iter().enumerate() {
+                if a < best_assigned {
+                    best_assigned = a;
+                    best = i;
+                }
+            }
+        } else {
+            let mut best_deficit = f64::MIN;
+            for (i, (&w, &a)) in self.weights.iter().zip(self.assigned.iter()).enumerate() {
+                let deficit = w * new_total as f64 - a as f64;
+                if deficit > best_deficit {
+                    best_deficit = deficit;
+                    best = i;
+                }
             }
         }
         self.assigned[best] += tuples;

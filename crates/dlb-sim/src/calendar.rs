@@ -4,10 +4,25 @@
 //! Events at equal times are delivered in insertion order, which makes the
 //! whole simulation deterministic: two runs with the same inputs produce the
 //! same event interleaving and therefore the same response times.
+//!
+//! Two mechanical-sympathy refinements keep the dense-event regime cheap
+//! without changing the delivery order:
+//!
+//! * **Slab-backed payloads** — the binary heap orders 16-byte
+//!   `(time, seq, key)` entries while the event payloads sit still in a
+//!   [`Slab`]; sift operations move small keys instead of whole events, and
+//!   steady-state scheduling allocates nothing.
+//! * **Now-bucket fast path** — events scheduled *at the current instant*
+//!   (thread wake-ups, same-node hand-offs, past-time clamps) skip the heap
+//!   entirely and go to a FIFO. While the clock sits at `now`, every new
+//!   `now`-event carries a larger sequence number than any heap entry at the
+//!   same time, so popping compares the FIFO front against the heap head by
+//!   `(time, seq)` and always drains the bucket before the clock advances —
+//!   exactly the order the heap alone would have produced.
 
-use dlb_common::SimTime;
+use dlb_common::{SimTime, Slab};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// An event scheduled on the calendar.
 #[derive(Debug, Clone)]
@@ -45,6 +60,30 @@ impl<E> Ord for ScheduledEvent<E> {
     }
 }
 
+/// A heap entry: the ordering key plus the slab key of the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HeapEntry {
+    time: SimTime,
+    seq: u64,
+    key: u32,
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: earliest time, then smallest sequence, pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
 /// A deterministic discrete-event calendar.
 ///
 /// ```
@@ -60,7 +99,11 @@ impl<E> Ord for ScheduledEvent<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventCalendar<E> {
-    heap: BinaryHeap<ScheduledEvent<E>>,
+    heap: BinaryHeap<HeapEntry>,
+    /// Events firing at exactly `now`, in sequence order (the front holds
+    /// the smallest sequence number).
+    now_bucket: VecDeque<(u64, u32)>,
+    store: Slab<E>,
     now: SimTime,
     next_seq: u64,
     processed: u64,
@@ -77,6 +120,8 @@ impl<E> EventCalendar<E> {
     pub fn new() -> Self {
         Self {
             heap: BinaryHeap::new(),
+            now_bucket: VecDeque::new(),
+            store: Slab::new(),
             now: SimTime::ZERO,
             next_seq: 0,
             processed: 0,
@@ -95,12 +140,12 @@ impl<E> EventCalendar<E> {
 
     /// Number of events still pending.
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.store.len()
     }
 
     /// True when no events remain.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.store.is_empty()
     }
 
     /// Schedules `event` at absolute virtual time `time`.
@@ -108,10 +153,17 @@ impl<E> EventCalendar<E> {
     /// Scheduling in the past is clamped to the current time: the event fires
     /// "now" but after already-scheduled events for the current instant.
     pub fn schedule_at(&mut self, time: SimTime, event: E) {
-        let time = time.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(ScheduledEvent { time, seq, event });
+        let key = self.store.insert(event);
+        if time <= self.now {
+            // Fires at the current instant: no heap traffic. Sequence
+            // numbers grow monotonically, so pushing at the back keeps the
+            // bucket sorted.
+            self.now_bucket.push_back((seq, key));
+        } else {
+            self.heap.push(HeapEntry { time, seq, key });
+        }
     }
 
     /// Schedules `event` after `delay` from the current virtual time.
@@ -121,16 +173,44 @@ impl<E> EventCalendar<E> {
 
     /// Pops the next event, advancing the virtual clock to its time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let entry = self.heap.pop()?;
-        debug_assert!(entry.time >= self.now, "time went backwards");
-        self.now = entry.time;
+        // The bucket holds `now`-events; the heap head is strictly later
+        // than `now` unless it carries a same-time entry scheduled *before*
+        // the clock reached `now` — that one has the smaller sequence
+        // number and must fire first.
+        let from_bucket = match (self.now_bucket.front(), self.heap.peek()) {
+            (Some(_), None) => true,
+            (Some(&(seq, _)), Some(head)) => (self.now, seq) < (head.time, head.seq),
+            (None, _) => false,
+        };
+        let (time, key) = if from_bucket {
+            let (_, key) = self.now_bucket.pop_front().expect("checked front");
+            (self.now, key)
+        } else {
+            let head = self.heap.pop()?;
+            // A same-time heap entry (scheduled before the clock reached
+            // `now`, hence an older sequence number) may legitimately pop
+            // ahead of bucketed events; only a strict clock advance
+            // requires the bucket to have drained.
+            debug_assert!(
+                head.time == self.now || self.now_bucket.is_empty(),
+                "now-bucket must drain before the clock advances"
+            );
+            (head.time, head.key)
+        };
+        debug_assert!(time >= self.now, "time went backwards");
+        self.now = time;
         self.processed += 1;
-        Some((entry.time, entry.event))
+        let event = self.store.remove(key).expect("scheduled payload is live");
+        Some((time, event))
     }
 
     /// Peeks at the time of the next event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        match (self.now_bucket.front(), self.heap.peek()) {
+            (Some(_), _) => Some(self.now),
+            (None, Some(head)) => Some(head.time),
+            (None, None) => None,
+        }
     }
 }
 
@@ -186,5 +266,24 @@ mod tests {
         cal.schedule_after(Duration::from_nanos(500), "second");
         assert_eq!(cal.peek_time(), Some(SimTime::from_nanos(1_500)));
         assert_eq!(cal.pending(), 1);
+    }
+
+    #[test]
+    fn now_events_fire_after_pending_same_time_heap_entries() {
+        let mut cal = EventCalendar::new();
+        cal.schedule_at(SimTime::from_nanos(10), "t10-first");
+        cal.schedule_at(SimTime::from_nanos(10), "t10-second");
+        cal.schedule_at(SimTime::from_nanos(20), "t20");
+        let (_, e) = cal.pop().unwrap();
+        assert_eq!(e, "t10-first");
+        // Now == 10; schedule two more "now" events — they must fire after
+        // the remaining heap entry at t=10 (older sequence number) but
+        // before t=20, in insertion order.
+        cal.schedule_at(SimTime::from_nanos(10), "now-a");
+        cal.schedule_at(SimTime::from_nanos(5), "now-b-clamped");
+        let rest: Vec<&str> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        assert_eq!(rest, vec!["t10-second", "now-a", "now-b-clamped", "t20"]);
+        assert_eq!(cal.processed(), 5);
+        assert!(cal.is_empty());
     }
 }

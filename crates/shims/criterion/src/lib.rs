@@ -2,14 +2,183 @@
 //! workspace's benches use.
 //!
 //! The build environment has no crates.io access. This shim keeps every
-//! `benches/*.rs` file compiling and producing *useful* (wall-clock median)
-//! numbers under `cargo bench`, without criterion's statistical machinery.
-//! Each benchmark runs a short warm-up, then reports the median and minimum
-//! iteration time over a fixed sample count.
+//! `benches/*.rs` file compiling and producing *useful* numbers under
+//! `cargo bench`: each benchmark runs a configurable warm-up, collects a
+//! configurable number of samples, and summarizes them with the robust
+//! statistics in [`stats`] — MAD outlier rejection, mean, median, minimum
+//! and a 95% confidence interval — a small, honest subset of criterion's
+//! statistical machinery. The [`stats`] module is public so harness
+//! binaries (`bench_report`) can apply the same summary to their own
+//! timings.
 
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+pub mod stats {
+    //! Robust summary statistics for timing samples.
+    //!
+    //! Wall-clock benchmark samples are contaminated by scheduler noise in
+    //! one direction only — samples are occasionally *slow*, never
+    //! impossibly fast — so a trimmed mean around the median is far more
+    //! stable than the raw mean. The classic robust recipe used here:
+    //! reject samples more than 3.5 scaled-MADs from the median (the MAD,
+    //! scaled by 1.4826, estimates the standard deviation of the
+    //! uncontaminated normal core), then report moments of the survivors.
+
+    /// Factor that turns a median absolute deviation into a consistent
+    /// estimate of the standard deviation for normally distributed data.
+    const MAD_SCALE: f64 = 1.4826;
+    /// Rejection threshold in scaled-MAD units (the conventional cutoff).
+    const MAD_CUTOFF: f64 = 3.5;
+    /// Two-sided 95% normal quantile for the confidence interval.
+    const Z_95: f64 = 1.96;
+
+    /// Summary of a set of timing samples, in nanoseconds.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Stats {
+        /// Raw sample count, before outlier rejection.
+        pub samples: usize,
+        /// Samples surviving MAD rejection (the basis of every moment).
+        pub kept: usize,
+        /// Samples rejected as outliers (`samples - kept`).
+        pub outliers: usize,
+        /// Mean of the kept samples.
+        pub mean_ns: f64,
+        /// Median of the kept samples.
+        pub median_ns: f64,
+        /// Minimum of the kept samples.
+        pub min_ns: f64,
+        /// Sample standard deviation of the kept samples (0 when `kept < 2`).
+        pub std_ns: f64,
+        /// Half-width of the 95% confidence interval on the mean:
+        /// `1.96 * std / sqrt(kept)`.
+        pub ci95_ns: f64,
+    }
+
+    fn median_of_sorted(sorted: &[f64]) -> f64 {
+        let n = sorted.len();
+        if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        }
+    }
+
+    /// Summarizes `samples_ns` (timings in nanoseconds, any order).
+    ///
+    /// Samples farther than 3.5 scaled-MADs from the median are rejected
+    /// before the moments are computed. When the MAD is zero (at least half
+    /// the samples are identical) rejection is skipped entirely — every
+    /// deviation would otherwise be infinitely many MADs out.
+    ///
+    /// # Panics
+    /// Panics when `samples_ns` is empty.
+    pub fn summarize(samples_ns: &[f64]) -> Stats {
+        assert!(!samples_ns.is_empty(), "cannot summarize zero samples");
+        let mut sorted = samples_ns.to_vec();
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let raw_median = median_of_sorted(&sorted);
+        let mut deviations: Vec<f64> = sorted.iter().map(|x| (x - raw_median).abs()).collect();
+        deviations.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let mad = median_of_sorted(&deviations);
+        let kept: Vec<f64> = if mad > 0.0 {
+            let cutoff = MAD_CUTOFF * MAD_SCALE * mad;
+            sorted
+                .iter()
+                .copied()
+                .filter(|x| (x - raw_median).abs() <= cutoff)
+                .collect()
+        } else {
+            sorted.clone()
+        };
+        debug_assert!(!kept.is_empty(), "the median always survives rejection");
+        let n = kept.len();
+        let mean = kept.iter().sum::<f64>() / n as f64;
+        let std = if n > 1 {
+            let var = kept.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+            var.sqrt()
+        } else {
+            0.0
+        };
+        Stats {
+            samples: sorted.len(),
+            kept: n,
+            outliers: sorted.len() - n,
+            mean_ns: mean,
+            median_ns: median_of_sorted(&kept),
+            min_ns: kept[0],
+            std_ns: std,
+            ci95_ns: Z_95 * std / (n as f64).sqrt(),
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn identical_samples_have_zero_spread() {
+            let s = summarize(&[5.0; 8]);
+            assert_eq!(s.samples, 8);
+            assert_eq!(s.kept, 8);
+            assert_eq!(s.outliers, 0);
+            assert_eq!(s.mean_ns, 5.0);
+            assert_eq!(s.median_ns, 5.0);
+            assert_eq!(s.min_ns, 5.0);
+            assert_eq!(s.std_ns, 0.0);
+            assert_eq!(s.ci95_ns, 0.0);
+        }
+
+        #[test]
+        fn mad_rejection_drops_a_gross_outlier() {
+            // Nine tight samples and one scheduler hiccup 100x out.
+            let mut xs = vec![10.0, 10.2, 9.8, 10.1, 9.9, 10.0, 10.3, 9.7, 10.0];
+            xs.push(1_000.0);
+            let s = summarize(&xs);
+            assert_eq!(s.samples, 10);
+            assert_eq!(s.kept, 9);
+            assert_eq!(s.outliers, 1);
+            assert!((s.mean_ns - 10.0).abs() < 0.1, "mean {}", s.mean_ns);
+            assert!(s.min_ns >= 9.7);
+        }
+
+        #[test]
+        fn zero_mad_skips_rejection() {
+            // More than half the samples identical: MAD = 0; the distant
+            // sample must survive rather than trip a divide-by-zero cutoff.
+            let s = summarize(&[7.0, 7.0, 7.0, 7.0, 7.0, 50.0]);
+            assert_eq!(s.kept, 6);
+            assert_eq!(s.outliers, 0);
+        }
+
+        #[test]
+        fn ci_shrinks_with_sample_count() {
+            let few: Vec<f64> = (0..5).map(|i| 100.0 + i as f64).collect();
+            let many: Vec<f64> = (0..50).map(|i| 100.0 + (i % 5) as f64).collect();
+            let s_few = summarize(&few);
+            let s_many = summarize(&many);
+            assert!(s_few.ci95_ns > 0.0);
+            assert!(s_many.ci95_ns < s_few.ci95_ns);
+        }
+
+        #[test]
+        fn single_sample_is_degenerate_but_defined() {
+            let s = summarize(&[42.0]);
+            assert_eq!(s.kept, 1);
+            assert_eq!(s.mean_ns, 42.0);
+            assert_eq!(s.median_ns, 42.0);
+            assert_eq!(s.std_ns, 0.0);
+            assert_eq!(s.ci95_ns, 0.0);
+        }
+
+        #[test]
+        #[should_panic(expected = "zero samples")]
+        fn empty_input_panics() {
+            let _ = summarize(&[]);
+        }
+    }
+}
 
 /// How a batched input is sized; accepted for API compatibility.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,21 +194,23 @@ pub enum BatchSize {
 /// Measurement state handed to benchmark closures.
 pub struct Bencher {
     samples: usize,
+    warm_up: usize,
     results: Vec<Duration>,
 }
 
 impl Bencher {
-    fn new(samples: usize) -> Self {
+    fn new(samples: usize, warm_up: usize) -> Self {
         Self {
             samples,
+            warm_up,
             results: Vec::with_capacity(samples),
         }
     }
 
-    /// Times `routine` over the configured number of samples.
+    /// Times `routine` over the configured number of samples, after the
+    /// configured number of unmeasured warm-up iterations.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        // Warm-up.
-        for _ in 0..2 {
+        for _ in 0..self.warm_up {
             black_box(routine());
         }
         for _ in 0..self.samples {
@@ -56,7 +227,7 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
-        for _ in 0..2 {
+        for _ in 0..self.warm_up {
             let input = setup();
             black_box(routine(input));
         }
@@ -73,12 +244,16 @@ impl Bencher {
             println!("{name}: no samples");
             return;
         }
-        self.results.sort_unstable();
-        let median = self.results[self.results.len() / 2];
-        let min = self.results[0];
+        let ns: Vec<f64> = self.results.iter().map(|d| d.as_nanos() as f64).collect();
+        let s = stats::summarize(&ns);
         println!(
-            "{name}: median {median:?}  min {min:?}  ({} samples)",
-            self.results.len()
+            "{name}: mean {:?} ± {:?}  median {:?}  min {:?}  ({}/{} samples kept)",
+            Duration::from_nanos(s.mean_ns as u64),
+            Duration::from_nanos(s.ci95_ns as u64),
+            Duration::from_nanos(s.median_ns as u64),
+            Duration::from_nanos(s.min_ns as u64),
+            s.kept,
+            s.samples,
         );
         self.results.clear();
     }
@@ -87,11 +262,15 @@ impl Bencher {
 /// Top-level benchmark driver, mirroring `criterion::Criterion`.
 pub struct Criterion {
     sample_size: usize,
+    warm_up: usize,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { sample_size: 10 }
+        Self {
+            sample_size: 10,
+            warm_up: 2,
+        }
     }
 }
 
@@ -107,13 +286,20 @@ impl Criterion {
         self
     }
 
+    /// Sets the number of unmeasured warm-up iterations per benchmark
+    /// (shim extension; real criterion sizes warm-up by wall time).
+    pub fn warm_up_iters(&mut self, n: usize) -> &mut Self {
+        self.warm_up = n;
+        self
+    }
+
     /// Runs one named benchmark.
     pub fn bench_function<S, F>(&mut self, name: S, mut f: F) -> &mut Self
     where
         S: AsRef<str>,
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher::new(self.sample_size);
+        let mut b = Bencher::new(self.sample_size, self.warm_up);
         f(&mut b);
         b.report(name.as_ref());
         self
@@ -124,6 +310,7 @@ impl Criterion {
         BenchmarkGroup {
             prefix: name.to_string(),
             sample_size: self.sample_size,
+            warm_up: self.warm_up,
             _parent: self,
         }
     }
@@ -133,6 +320,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     prefix: String,
     sample_size: usize,
+    warm_up: usize,
     _parent: &'a mut Criterion,
 }
 
@@ -143,13 +331,19 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Sets the number of unmeasured warm-up iterations for this group.
+    pub fn warm_up_iters(&mut self, n: usize) -> &mut Self {
+        self.warm_up = n;
+        self
+    }
+
     /// Runs one named benchmark within the group.
     pub fn bench_function<S, F>(&mut self, name: S, mut f: F) -> &mut Self
     where
         S: AsRef<str>,
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher::new(self.sample_size);
+        let mut b = Bencher::new(self.sample_size, self.warm_up);
         f(&mut b);
         b.report(&format!("{}/{}", self.prefix, name.as_ref()));
         self
@@ -190,8 +384,24 @@ mod tests {
         c.sample_size(3);
         let mut runs = 0;
         c.bench_function("noop", |b| b.iter(|| runs += 1));
-        // 2 warm-up + 3 measured.
+        // 2 warm-up (default) + 3 measured.
         assert_eq!(runs, 5);
+    }
+
+    #[test]
+    fn warm_up_is_configurable() {
+        let mut c = Criterion::default();
+        c.sample_size(4).warm_up_iters(0);
+        let mut runs = 0;
+        c.bench_function("cold", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 4);
+
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).warm_up_iters(5);
+        let mut grouped = 0;
+        group.bench_function("hot", |b| b.iter(|| grouped += 1));
+        group.finish();
+        assert_eq!(grouped, 7);
     }
 
     #[test]
