@@ -24,32 +24,22 @@ fn bench_engines(c: &mut Criterion) {
     let sm = HierarchicalSystem::shared_memory(8);
     let sm_plan = query().compile(&sm).unwrap().remove(0);
     group.bench_function("dp_shared_memory_8p", |b| {
-        b.iter(|| black_box(sm.run(&sm_plan, Strategy::Dynamic).unwrap()));
+        b.iter(|| black_box(sm.run(&sm_plan, Strategy::dynamic()).unwrap()));
     });
     group.bench_function("fp_shared_memory_8p", |b| {
-        b.iter(|| {
-            black_box(
-                sm.run(&sm_plan, Strategy::Fixed { error_rate: 0.0 })
-                    .unwrap(),
-            )
-        });
+        b.iter(|| black_box(sm.run(&sm_plan, Strategy::fixed(0.0)).unwrap()));
     });
     group.bench_function("sp_shared_memory_8p", |b| {
-        b.iter(|| black_box(sm.run(&sm_plan, Strategy::Synchronous).unwrap()));
+        b.iter(|| black_box(sm.run(&sm_plan, Strategy::synchronous()).unwrap()));
     });
 
     let hier = HierarchicalSystem::hierarchical(4, 4).with_skew(0.6);
     let hier_plan = query().compile(&hier).unwrap().remove(0);
     group.bench_function("dp_hierarchical_4x4_skew06", |b| {
-        b.iter(|| black_box(hier.run(&hier_plan, Strategy::Dynamic).unwrap()));
+        b.iter(|| black_box(hier.run(&hier_plan, Strategy::dynamic()).unwrap()));
     });
     group.bench_function("fp_hierarchical_4x4_skew06", |b| {
-        b.iter(|| {
-            black_box(
-                hier.run(&hier_plan, Strategy::Fixed { error_rate: 0.0 })
-                    .unwrap(),
-            )
-        });
+        b.iter(|| black_box(hier.run(&hier_plan, Strategy::fixed(0.0)).unwrap()));
     });
     group.finish();
 }

@@ -42,7 +42,7 @@ const DEFAULT_SAMPLES: usize = 5;
 
 /// One timed strategy: sampled sequential baseline vs parallel fan-out.
 struct StrategyTiming {
-    label: &'static str,
+    label: String,
     /// Summary over the sampled sequential runs, in **nanoseconds** (the
     /// [`stats`] unit; rendered as milliseconds).
     sequential: Stats,

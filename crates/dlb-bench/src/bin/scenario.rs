@@ -5,6 +5,8 @@
 //! ```text
 //! scenario --list                         # registered scenarios
 //! scenario --names --kind open            # bare names, filtered (for CI)
+//! scenario --strategies                   # the balancing-policy zoo
+
 //! scenario fig9                           # run a bundled figure
 //! scenario fig6 fig8 --format csv         # several, machine-readable
 //! scenario --spec my_sweep.json           # run a spec file
@@ -37,11 +39,33 @@ enum Format {
 fn usage() -> ! {
     eprintln!(
         "usage: scenario [--list | --names [--kind closed|mix|open] | \
-         --validate | --export NAME] \
+         --strategies | --validate | --export NAME] \
          [NAME...] [--spec FILE]... [--format text|json|csv] \
          [--out-dir DIR] [--paper]"
     );
     std::process::exit(2);
+}
+
+/// `--strategies`: the registered balancing-policy zoo — name, parameters
+/// (with defaults), one-line summary and citation — straight from
+/// [`dlb_core::policies`], so the listing can never drift from what specs
+/// accept.
+fn list_strategies() {
+    for policy in dlb_core::policies() {
+        let params = if policy.params().is_empty() {
+            "-".to_string()
+        } else {
+            policy
+                .params()
+                .iter()
+                .map(|p| format!("{}={}", p.name, p.default))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        println!("{:<10} params: {params}", policy.name());
+        println!("{:<10}   {}", "", policy.summary());
+        println!("{:<10}   [{}]", "", policy.citation());
+    }
 }
 
 /// The workload kind of a registered scenario, as the `--list`/`--names`
@@ -65,6 +89,7 @@ fn main() {
     let mut list = false;
     let mut bare_names = false;
     let mut kind_filter: Option<String> = None;
+    let mut strategies = false;
     let mut validate = false;
     let mut export: Option<String> = None;
     let mut out_dir: Option<String> = None;
@@ -90,6 +115,7 @@ fn main() {
                 }
                 kind_filter = Some(kind);
             }
+            "--strategies" => strategies = true,
             "--validate" => validate = true,
             "--export" => export = Some(value_of(&mut i, "--export")),
             "--spec" => spec_files.push(value_of(&mut i, "--spec")),
@@ -141,6 +167,10 @@ fn main() {
     if kind_filter.is_some() {
         eprintln!("--kind only applies to --list/--names");
         usage();
+    }
+    if strategies {
+        list_strategies();
+        return;
     }
     if validate {
         validate_registry();

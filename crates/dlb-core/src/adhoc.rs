@@ -205,7 +205,7 @@ mod tests {
     fn compiled_plan_runs_on_the_system() {
         let system = HierarchicalSystem::hierarchical(2, 2);
         let plans = star_query().compile(&system).unwrap();
-        let report = system.run(&plans[0], Strategy::Dynamic).unwrap();
+        let report = system.run(&plans[0], Strategy::dynamic()).unwrap();
         assert!(report.response_time.as_secs_f64() > 0.0);
         assert!(report.tuples_processed > 50_000);
     }

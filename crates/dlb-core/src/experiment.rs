@@ -113,12 +113,15 @@ pub struct RunKey {
     workload: WorkloadFingerprint,
 }
 
-/// The strategy component of a [`RunKey`]; FP's error rate is keyed by bits.
+/// The strategy component of a [`RunKey`]: the policy's registered name plus
+/// its parameter values keyed by IEEE-754 bit patterns (FP's error rate,
+/// Diffusion's radius, Threshold's hi/lo — whatever the policy declares, in
+/// identity order). Trait-object identity reduced to plain data, so two
+/// handles of one policy collide exactly when their parameters do.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum StrategyKey {
-    Dynamic,
-    Fixed { error_bits: u64 },
-    Synchronous,
+struct StrategyKey {
+    name: &'static str,
+    param_bits: [u64; dlb_exec::strategy::MAX_PARAMS],
 }
 
 impl RunKey {
@@ -235,12 +238,9 @@ impl RunKey {
         workload: &WorkloadFingerprint,
         extra: impl IntoIterator<Item = u64>,
     ) -> Self {
-        let strategy = match strategy {
-            Strategy::Dynamic => StrategyKey::Dynamic,
-            Strategy::Fixed { error_rate } => StrategyKey::Fixed {
-                error_bits: error_rate.to_bits(),
-            },
-            Strategy::Synchronous => StrategyKey::Synchronous,
+        let strategy = StrategyKey {
+            name: strategy.name(),
+            param_bits: strategy.param_bits(),
         };
         let mut bits: Vec<u64> = Vec::with_capacity(32);
         // Execution options, group by group.
@@ -1008,7 +1008,7 @@ mod tests {
     #[test]
     fn experiment_runs_every_plan() {
         let exp = small_experiment(1, 4);
-        let runs = exp.run(Strategy::Dynamic).unwrap();
+        let runs = exp.run(Strategy::dynamic()).unwrap();
         assert_eq!(runs.len(), exp.workload().len());
         for run in runs.iter() {
             assert!(run.report.response_time.as_secs_f64() > 0.0);
@@ -1018,8 +1018,8 @@ mod tests {
     #[test]
     fn cache_returns_identical_results() {
         let exp = small_experiment(1, 2);
-        let a = exp.run(Strategy::Dynamic).unwrap();
-        let b = exp.run(Strategy::Dynamic).unwrap();
+        let a = exp.run(Strategy::dynamic()).unwrap();
+        let b = exp.run(Strategy::dynamic()).unwrap();
         assert_eq!(a, b);
         // A hit shares the allocation instead of deep-cloning the reports.
         assert!(Arc::ptr_eq(&a, &b));
@@ -1028,8 +1028,8 @@ mod tests {
     #[test]
     fn sequential_run_matches_parallel_run() {
         let exp = small_experiment(2, 2);
-        let parallel = exp.run(Strategy::Dynamic).unwrap();
-        let sequential = exp.run_sequential(Strategy::Dynamic).unwrap();
+        let parallel = exp.run(Strategy::dynamic()).unwrap();
+        let sequential = exp.run_sequential(Strategy::dynamic()).unwrap();
         assert_eq!(*parallel, sequential);
     }
 
@@ -1038,8 +1038,8 @@ mod tests {
         let exp = small_experiment(1, 2);
         let bigger = exp.on_system(HierarchicalSystem::shared_memory(8));
         assert_eq!(bigger.workload().len(), exp.workload().len());
-        let small = exp.run(Strategy::Dynamic).unwrap();
-        let big = bigger.run(Strategy::Dynamic).unwrap();
+        let small = exp.run(Strategy::dynamic()).unwrap();
+        let big = bigger.run(Strategy::dynamic()).unwrap();
         // More processors must not be slower on average.
         let mean_small: f64 =
             small.iter().map(|r| r.report.response_secs()).sum::<f64>() / small.len() as f64;
@@ -1072,18 +1072,18 @@ mod tests {
         let b = f64::from_bits(a.to_bits() + 1);
         assert_ne!(a.to_bits(), b.to_bits());
         let config = SystemConfig::shared_memory(8);
-        let ka = key_for(Strategy::Dynamic, &ExecOptions::with_skew(a), &config);
-        let kb = key_for(Strategy::Dynamic, &ExecOptions::with_skew(b), &config);
+        let ka = key_for(Strategy::dynamic(), &ExecOptions::with_skew(a), &config);
+        let kb = key_for(Strategy::dynamic(), &ExecOptions::with_skew(b), &config);
         assert_ne!(ka, kb);
         // Same for FP error rates.
         let o = ExecOptions::default();
-        let ea = key_for(Strategy::Fixed { error_rate: a }, &o, &config);
-        let eb = key_for(Strategy::Fixed { error_rate: b }, &o, &config);
+        let ea = key_for(Strategy::fixed(a), &o, &config);
+        let eb = key_for(Strategy::fixed(b), &o, &config);
         assert_ne!(ea, eb);
         // Identical parameters produce identical keys.
         assert_eq!(
             ka,
-            key_for(Strategy::Dynamic, &ExecOptions::with_skew(0.3), &config)
+            key_for(Strategy::dynamic(), &ExecOptions::with_skew(0.3), &config)
         );
     }
 
@@ -1091,42 +1091,42 @@ mod tests {
     fn run_key_distinguishes_strategies_machines_and_tuning() {
         let o = ExecOptions::default();
         let c48 = SystemConfig::hierarchical(4, 8);
-        let dp = key_for(Strategy::Dynamic, &o, &c48);
-        let sp = key_for(Strategy::Synchronous, &o, &c48);
-        let fp = key_for(Strategy::Fixed { error_rate: 0.0 }, &o, &c48);
+        let dp = key_for(Strategy::dynamic(), &o, &c48);
+        let sp = key_for(Strategy::synchronous(), &o, &c48);
+        let fp = key_for(Strategy::fixed(0.0), &o, &c48);
         assert_ne!(dp, sp);
         assert_ne!(dp, fp);
         assert_ne!(fp, sp);
         assert_ne!(
             dp,
-            key_for(Strategy::Dynamic, &o, &SystemConfig::hierarchical(2, 8))
+            key_for(Strategy::dynamic(), &o, &SystemConfig::hierarchical(2, 8))
         );
         assert_ne!(
             dp,
-            key_for(Strategy::Dynamic, &o, &SystemConfig::hierarchical(4, 4))
+            key_for(Strategy::dynamic(), &o, &SystemConfig::hierarchical(4, 4))
         );
         // Fields the seed's key ignored now count: the execution seed, the
         // steal tuning, and hardware parameters.
         let reseeded = ExecOptions::builder().seed(o.seed + 1).build();
-        assert_ne!(dp, key_for(Strategy::Dynamic, &reseeded, &c48));
+        assert_ne!(dp, key_for(Strategy::dynamic(), &reseeded, &c48));
         let retuned = ExecOptions::builder()
             .steal(StealPolicy {
                 min_tuples: o.steal.min_tuples + 1,
                 fraction: o.steal.fraction,
             })
             .build();
-        assert_ne!(dp, key_for(Strategy::Dynamic, &retuned, &c48));
+        assert_ne!(dp, key_for(Strategy::dynamic(), &retuned, &c48));
         // The FP error-realization knob is a simulation input too.
         let per_node = ExecOptions::builder()
             .fp_realization(dlb_exec::ErrorRealization::PerNode)
             .build();
         assert_ne!(
-            key_for(Strategy::Fixed { error_rate: 0.2 }, &o, &c48),
-            key_for(Strategy::Fixed { error_rate: 0.2 }, &per_node, &c48)
+            key_for(Strategy::fixed(0.2), &o, &c48),
+            key_for(Strategy::fixed(0.2), &per_node, &c48)
         );
         let mut slower = c48;
         slower.cpu.mips = 39.0;
-        assert_ne!(dp, key_for(Strategy::Dynamic, &o, &slower));
+        assert_ne!(dp, key_for(Strategy::dynamic(), &o, &slower));
     }
 
     #[test]
@@ -1143,7 +1143,12 @@ mod tests {
         ];
         let mix = QueryMix::new(Arc::new(exp.workload().clone()), entries).unwrap();
         let run = exp
-            .run_mix(&mix, MixPolicy::Fcfs, MixMode::Composed, Strategy::Dynamic)
+            .run_mix(
+                &mix,
+                MixPolicy::Fcfs,
+                MixMode::Composed,
+                Strategy::dynamic(),
+            )
             .unwrap();
         assert_eq!(run.schedule.queries.len(), 2);
         assert_eq!(run.solo.len(), 2);
@@ -1173,7 +1178,7 @@ mod tests {
                 &mix,
                 MixPolicy::RoundRobin,
                 MixMode::Composed,
-                Strategy::Dynamic,
+                Strategy::dynamic(),
             )
             .unwrap();
         // Pinned to distinct nodes: no inter-query interference at all.
@@ -1184,7 +1189,12 @@ mod tests {
         // The FCFS placement measures solo runs on the full machine, the
         // pinning placement on one node: distinct simulations, both valid.
         let fcfs = exp
-            .run_mix(&mix, MixPolicy::Fcfs, MixMode::Composed, Strategy::Dynamic)
+            .run_mix(
+                &mix,
+                MixPolicy::Fcfs,
+                MixMode::Composed,
+                Strategy::dynamic(),
+            )
             .unwrap();
         for (a, b) in rr.solo.iter().zip(fcfs.solo.iter()) {
             assert_eq!(a.report.nodes, 1);
@@ -1198,7 +1208,7 @@ mod tests {
             &mix,
             MixPolicy::RoundRobin,
             MixMode::Composed,
-            Strategy::Dynamic,
+            Strategy::dynamic(),
         )
         .unwrap();
         assert_eq!(exp.cache().len(), before);
@@ -1222,7 +1232,7 @@ mod tests {
                 &mix,
                 MixPolicy::Fcfs,
                 MixMode::CoSimulated,
-                Strategy::Dynamic,
+                Strategy::dynamic(),
             )
             .unwrap();
         assert_eq!(run.schedule.mode, MixMode::CoSimulated);
@@ -1232,7 +1242,12 @@ mod tests {
         let contrast = run.composed.as_ref().expect("cosim carries the contrast");
         assert_eq!(contrast.mode, MixMode::Composed);
         let composed_run = exp
-            .run_mix(&mix, MixPolicy::Fcfs, MixMode::Composed, Strategy::Dynamic)
+            .run_mix(
+                &mix,
+                MixPolicy::Fcfs,
+                MixMode::Composed,
+                Strategy::dynamic(),
+            )
             .unwrap();
         assert_eq!(&composed_run.schedule, contrast);
         assert!(composed_run.composed.is_none());
@@ -1254,7 +1269,7 @@ mod tests {
                 &mix,
                 MixPolicy::Fcfs,
                 MixMode::CoSimulated,
-                Strategy::Dynamic,
+                Strategy::dynamic(),
             )
             .unwrap();
         assert_eq!(again, run);
@@ -1276,7 +1291,7 @@ mod tests {
                 &mix,
                 MixPolicy::Fcfs,
                 MixMode::CoSimulated,
-                Strategy::Dynamic,
+                Strategy::dynamic(),
             )
             .unwrap();
         let outcome = &run.schedule.queries[0];
@@ -1297,7 +1312,7 @@ mod tests {
         let mix = QueryMix::new(Arc::new(exp.workload().clone()), entries).unwrap();
         for policy in [MixPolicy::RoundRobin, MixPolicy::LoadAware] {
             let run = exp
-                .run_mix(&mix, policy, MixMode::CoSimulated, Strategy::Dynamic)
+                .run_mix(&mix, policy, MixMode::CoSimulated, Strategy::dynamic())
                 .unwrap();
             assert_eq!(run.schedule.mode, MixMode::CoSimulated);
             let contrast = run.composed.as_ref().expect("cosim carries the contrast");
@@ -1376,7 +1391,7 @@ mod tests {
                 &mix,
                 MixPolicy::Fcfs,
                 MixMode::CoSimulated,
-                Strategy::Dynamic,
+                Strategy::dynamic(),
             )
             .unwrap();
         let q0 = &run.schedule.queries[0];
@@ -1398,7 +1413,7 @@ mod tests {
                 &mix,
                 MixPolicy::Fcfs,
                 MixMode::CoSimulated,
-                Strategy::Dynamic,
+                Strategy::dynamic(),
             )
             .unwrap();
         assert!(generous.schedule.queries.iter().all(|q| q.wait_secs == 0.0));
@@ -1411,7 +1426,7 @@ mod tests {
                 &mix,
                 MixPolicy::Fcfs,
                 MixMode::CoSimulated,
-                Strategy::Dynamic,
+                Strategy::dynamic(),
             )
             .unwrap_err();
         assert!(
@@ -1430,7 +1445,7 @@ mod tests {
         let demands = [1u64 << 20, 2u64 << 20];
         let key = |entries: &[MixEntry], policy, mode, demands: &[u64]| {
             RunKey::for_mix(
-                Strategy::Dynamic,
+                Strategy::dynamic(),
                 &options,
                 system.config(),
                 workload.fingerprint(),
@@ -1482,7 +1497,7 @@ mod tests {
         assert_ne!(
             base,
             RunKey::new(
-                Strategy::Dynamic,
+                Strategy::dynamic(),
                 &options,
                 system.config(),
                 workload.fingerprint()
@@ -1491,7 +1506,7 @@ mod tests {
         // Topology events and recovery policies are simulation inputs too.
         let faulted_key = |topology: &[TopologyEvent], options: &ExecOptions| {
             RunKey::for_mix(
-                Strategy::Dynamic,
+                Strategy::dynamic(),
                 options,
                 system.config(),
                 workload.fingerprint(),
@@ -1536,7 +1551,7 @@ mod tests {
                 &mix,
                 MixPolicy::Fcfs,
                 MixMode::Composed,
-                Strategy::Dynamic,
+                Strategy::dynamic(),
                 &fail_early,
             )
             .is_err());
@@ -1545,7 +1560,7 @@ mod tests {
                 &mix,
                 MixPolicy::Fcfs,
                 MixMode::CoSimulated,
-                Strategy::Dynamic,
+                Strategy::dynamic(),
             )
             .unwrap();
         assert!(clean.faults.is_none() && clean.fault_free.is_none());
@@ -1554,7 +1569,7 @@ mod tests {
                 &mix,
                 MixPolicy::Fcfs,
                 MixMode::CoSimulated,
-                Strategy::Dynamic,
+                Strategy::dynamic(),
                 &fail_early,
             )
             .unwrap();
@@ -1577,7 +1592,7 @@ mod tests {
                 &mix,
                 MixPolicy::Fcfs,
                 MixMode::CoSimulated,
-                Strategy::Dynamic,
+                Strategy::dynamic(),
                 &fail_early,
             )
             .unwrap();
@@ -1601,7 +1616,7 @@ mod tests {
     fn run_open_reports_latencies_and_caches() {
         let exp = small_experiment(2, 2);
         let arrivals = small_arrivals(20, exp.workload().queries().len());
-        let run = exp.run_open(&arrivals, 2, Strategy::Dynamic).unwrap();
+        let run = exp.run_open(&arrivals, 2, Strategy::dynamic()).unwrap();
         assert_eq!(run.report.completed, 20);
         assert_eq!(run.report.response.count(), 20);
         assert!(run.report.peak_live <= 2);
@@ -1615,14 +1630,14 @@ mod tests {
         );
         // A repeat is a pure cache hit.
         assert_eq!(exp.cache().open_len(), 1);
-        let again = exp.run_open(&arrivals, 2, Strategy::Dynamic).unwrap();
+        let again = exp.run_open(&arrivals, 2, Strategy::dynamic()).unwrap();
         assert_eq!(again, run);
         assert_eq!(exp.cache().open_len(), 1);
         // Mismatched template pool or a zero concurrency are config errors.
         assert!(exp
-            .run_open(&small_arrivals(20, 99), 2, Strategy::Dynamic)
+            .run_open(&small_arrivals(20, 99), 2, Strategy::dynamic())
             .is_err());
-        assert!(exp.run_open(&arrivals, 0, Strategy::Dynamic).is_err());
+        assert!(exp.run_open(&arrivals, 0, Strategy::dynamic()).is_err());
     }
 
     #[test]
@@ -1633,7 +1648,7 @@ mod tests {
         let frontend = FrontendConfig::default();
         let key = |arrivals: &ArrivalSpec, concurrency: usize| {
             RunKey::for_open(
-                Strategy::Dynamic,
+                Strategy::dynamic(),
                 &options,
                 system.config(),
                 workload.fingerprint(),
@@ -1699,7 +1714,7 @@ mod tests {
         // Every front-end knob is part of the key.
         let fe_key = |frontend: &FrontendConfig| {
             RunKey::for_open(
-                Strategy::Dynamic,
+                Strategy::dynamic(),
                 &options,
                 system.config(),
                 workload.fingerprint(),
@@ -1732,7 +1747,7 @@ mod tests {
         assert_ne!(
             base,
             RunKey::new(
-                Strategy::Dynamic,
+                Strategy::dynamic(),
                 &options,
                 system.config(),
                 workload.fingerprint()
@@ -1743,21 +1758,18 @@ mod tests {
     #[test]
     fn distinct_strategies_are_cached_separately() {
         let exp = small_experiment(1, 2);
-        let dp = exp.run(Strategy::Dynamic).unwrap();
-        let fp = exp.run(Strategy::Fixed { error_rate: 0.0 }).unwrap();
+        let dp = exp.run(Strategy::dynamic()).unwrap();
+        let fp = exp.run(Strategy::fixed(0.0)).unwrap();
         assert!(!Arc::ptr_eq(&dp, &fp));
         // Both stay cached.
-        assert!(Arc::ptr_eq(&dp, &exp.run(Strategy::Dynamic).unwrap()));
-        assert!(Arc::ptr_eq(
-            &fp,
-            &exp.run(Strategy::Fixed { error_rate: 0.0 }).unwrap()
-        ));
+        assert!(Arc::ptr_eq(&dp, &exp.run(Strategy::dynamic()).unwrap()));
+        assert!(Arc::ptr_eq(&fp, &exp.run(Strategy::fixed(0.0)).unwrap()));
     }
 
     #[test]
     fn shared_cache_spans_systems_without_confusing_them() {
         let exp = small_experiment(2, 2);
-        let base = exp.run(Strategy::Dynamic).unwrap();
+        let base = exp.run(Strategy::dynamic()).unwrap();
         // Same machine, options differing only in steal tuning — fields the
         // seed's per-experiment key did not cover. The shared cache must
         // keep them apart.
@@ -1766,12 +1778,12 @@ mod tests {
             .clone()
             .with_options(ExecOptions::builder().min_steal_tuples(1).build());
         let other = exp.on_system(retuned);
-        let tuned_runs = other.run(Strategy::Dynamic).unwrap();
+        let tuned_runs = other.run(Strategy::dynamic()).unwrap();
         assert!(!Arc::ptr_eq(&base, &tuned_runs));
         // While a genuinely identical configuration, reached through a
         // different Experiment value, hits the shared entry.
         let same = exp.on_system(exp.system().clone());
-        assert!(Arc::ptr_eq(&base, &same.run(Strategy::Dynamic).unwrap()));
+        assert!(Arc::ptr_eq(&base, &same.run(Strategy::dynamic()).unwrap()));
         assert_eq!(exp.cache().len(), 2);
     }
 }

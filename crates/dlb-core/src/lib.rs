@@ -21,7 +21,7 @@
 //!     .join("customers", "orders")
 //!     .join("orders", "lineitems");
 //!
-//! let report = system.run(&query.compile(&system).unwrap()[0], Strategy::Dynamic).unwrap();
+//! let report = system.run(&query.compile(&system).unwrap()[0], Strategy::dynamic()).unwrap();
 //! assert!(report.response_time.as_secs_f64() > 0.0);
 //! ```
 
@@ -40,10 +40,10 @@ pub use dlb_common::config::{CostConstants, CpuParams, DiskParams, NetworkParams
 pub use dlb_common::{Duration, SimTime};
 pub use dlb_exec::mix::{MixJob, MixMode, MixPolicy, MixSchedule, QueryOutcome};
 pub use dlb_exec::{
-    CoSimQuery, CoSimReport, ContentionModel, ErrorRealization, ExecOptions, ExecOptionsBuilder,
-    ExecutionReport, FaultStats, FlowControl, FrontendConfig, FrontendStats, OpenReport,
-    QueryExecReport, RecoveryOptions, RecoveryPolicy, RehomePolicy, StealPolicy, Strategy,
-    StrategyKind, TopologyChange, TopologyEvent,
+    policies, CoSimQuery, CoSimReport, ContentionModel, ErrorRealization, ExecOptions,
+    ExecOptionsBuilder, ExecutionReport, FaultStats, FlowControl, FrontendConfig, FrontendStats,
+    OpenReport, ParamSpec, Policy, QueryExecReport, RecoveryOptions, RecoveryPolicy, RehomePolicy,
+    StealPolicy, Strategy, TopologyChange, TopologyEvent,
 };
 pub use dlb_query::plan::{ChainScheduling, ParallelPlan};
 pub use dlb_query::{Query, WorkloadParams};

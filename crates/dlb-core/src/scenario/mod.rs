@@ -491,22 +491,22 @@ fn point_config(
 }
 
 /// The strategy actually executed at one sweep point: an error-rate axis
-/// materializes into every `Strategy::Fixed` of the set.
+/// materializes into every strategy of the set that declares an
+/// `error_rate` parameter (FP today; [`Strategy::with_param`] is a no-op
+/// for the rest, so DP/SP columns pass through unchanged).
 fn strategy_at(strategy: Strategy, spec: &ScenarioSpec, row: f64, col: Option<f64>) -> Strategy {
-    if let Strategy::Fixed { .. } = strategy {
-        let rate = if spec.rows.axis == Axis::ErrorRate {
-            Some(row)
-        } else {
-            spec.columns
-                .as_ref()
-                .filter(|c| c.axis == Axis::ErrorRate)
-                .and(col)
-        };
-        if let Some(error_rate) = rate {
-            return Strategy::Fixed { error_rate };
-        }
+    let rate = if spec.rows.axis == Axis::ErrorRate {
+        Some(row)
+    } else {
+        spec.columns
+            .as_ref()
+            .filter(|c| c.axis == Axis::ErrorRate)
+            .and(col)
+    };
+    match rate {
+        Some(error_rate) => strategy.with_param("error_rate", error_rate),
+        None => strategy,
     }
-    strategy
 }
 
 /// Compiles the workload of a spec for one system. Mix workloads compile
@@ -611,10 +611,10 @@ mod tests {
         let spec = tiny(
             ScenarioSpec::builder("grid")
                 .machine(1, 2)
-                .strategies([Strategy::Fixed { error_rate: 0.0 }])
+                .strategies([Strategy::fixed(0.0)])
                 .rows(Axis::ErrorRate, [0.0, 0.3])
                 .columns(Axis::ProcessorsPerNode, [2.0, 4.0])
-                .reference(Reference::SamePoint(Strategy::Dynamic))
+                .reference(Reference::SamePoint(Strategy::dynamic()))
                 .build()
                 .unwrap(),
         );
@@ -632,10 +632,7 @@ mod tests {
             ]
         );
         // The error-rate axis materialized into the FP strategy.
-        assert_eq!(
-            report.points[2].cells[0].strategy,
-            Strategy::Fixed { error_rate: 0.3 }
-        );
+        assert_eq!(report.points[2].cells[0].strategy, Strategy::fixed(0.3));
         for p in &report.points {
             assert!(p.cells[0].value.is_finite());
             assert_eq!(p.cells[0].summary.plans, p.cells[0].runs.len());
@@ -647,7 +644,7 @@ mod tests {
         let spec = tiny(
             ScenarioSpec::builder("speedup")
                 .machine(1, 1)
-                .strategies([Strategy::Dynamic, Strategy::Fixed { error_rate: 0.0 }])
+                .strategies([Strategy::dynamic(), Strategy::fixed(0.0)])
                 .rows(Axis::ProcessorsPerNode, [1.0, 4.0])
                 .reference(Reference::FirstRow)
                 .metric(Metric::Speedup)
@@ -674,9 +671,9 @@ mod tests {
         let spec = tiny(
             ScenarioSpec::builder("shared")
                 .machine(2, 2)
-                .strategies([Strategy::Dynamic])
+                .strategies([Strategy::dynamic()])
                 .rows(Axis::Skew, [0.0, 0.5])
-                .reference(Reference::SamePoint(Strategy::Dynamic))
+                .reference(Reference::SamePoint(Strategy::dynamic()))
                 .build()
                 .unwrap(),
         );
@@ -695,7 +692,7 @@ mod tests {
                 build_rows: 500,
                 probe_rows: 1_500,
             })
-            .strategies([Strategy::Dynamic, Strategy::Fixed { error_rate: 0.0 }])
+            .strategies([Strategy::dynamic(), Strategy::fixed(0.0)])
             .rows(Axis::Skew, [0.8])
             .presentation(Presentation::Chain)
             .build()
@@ -723,9 +720,9 @@ mod tests {
                 scale: 0.005,
                 ..OpenSpec::default()
             }))
-            .strategies([Strategy::Fixed { error_rate: 0.0 }])
+            .strategies([Strategy::fixed(0.0)])
             .rows(Axis::ArrivalRate, [10.0, 40.0])
-            .reference(Reference::SamePoint(Strategy::Dynamic))
+            .reference(Reference::SamePoint(Strategy::dynamic()))
             .build()
             .unwrap();
         let report = run_scenario(&spec).unwrap();

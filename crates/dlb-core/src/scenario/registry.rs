@@ -13,9 +13,11 @@ use dlb_common::{DlbError, Result};
 use dlb_exec::{ExecOptions, MixMode, MixPolicy, Strategy, TopologyEvent};
 use dlb_traffic::ArrivalKind;
 
-const DP: Strategy = Strategy::Dynamic;
-const FP: Strategy = Strategy::Fixed { error_rate: 0.0 };
-const SP: Strategy = Strategy::Synchronous;
+const DP: Strategy = Strategy::dynamic();
+const FP: Strategy = Strategy::fixed(0.0);
+const SP: Strategy = Strategy::synchronous();
+const DIFFUSION: Strategy = Strategy::diffusion(1.0);
+const THRESHOLD: Strategy = Strategy::threshold(2048.0, 256.0);
 
 /// Every bundled scenario, in `all_figures` presentation order.
 pub fn registry() -> Vec<ScenarioSpec> {
@@ -37,6 +39,7 @@ pub fn registry() -> Vec<ScenarioSpec> {
         open_burst(),
         open_cache(),
         open_cache_skew(),
+        strategy_tournament(),
         paper_base(),
     ]
 }
@@ -660,6 +663,41 @@ pub fn open_cache_skew() -> ScenarioSpec {
         )
         .build()
         .expect("bundled open-cache-skew spec is valid")
+}
+
+/// Strategy tournament — every queue-based policy of the registered zoo side
+/// by side on the paper's 4×8 machine, swept over redistribution skew, with
+/// DP as the reference column. The error-rate dimension rides in the
+/// strategy list as FP's two error realizations (`FP` / `FP@0.2` / `FP@0.5`),
+/// so one table ranks the paper's strategies against the related-work
+/// policies (Diffusion nearest-neighbour pulls, Threshold sender-initiated
+/// pushes) under both dimensions the paper varies. SP is absent by
+/// construction: it only defines itself on a single shared-memory node.
+pub fn strategy_tournament() -> ScenarioSpec {
+    ScenarioSpec::builder("strategy-tournament")
+        .title("Strategy tournament")
+        .description("the registered policy zoo ranked across skew, DP as reference")
+        .machine(4, 8)
+        .strategies([
+            DP,
+            FP,
+            Strategy::fixed(0.2),
+            Strategy::fixed(0.5),
+            DIFFUSION,
+            THRESHOLD,
+        ])
+        .rows(Axis::Skew, [0.0, 0.3, 0.6, 0.9])
+        .reference(Reference::SamePoint(DP))
+        .metric(Metric::Relative)
+        .presentation(Presentation::Table(table("skew", RowFmt::Fixed1, 6, 10)))
+        .notes(
+            "expectation: DP = 1.0 by construction. FP trails and degrades with its\n\
+             error rate; Diffusion tracks DP at low skew but pays for ring-limited\n\
+             providers as skew concentrates load; Threshold's pushes help under heavy\n\
+             skew but its passive receivers forgo DP's demand-driven steals.",
+        )
+        .build()
+        .expect("bundled strategy-tournament spec is valid")
 }
 
 /// The paper's base hierarchical configuration (4×8, no skew), DP versus FP:

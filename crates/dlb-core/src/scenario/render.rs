@@ -111,7 +111,7 @@ pub fn render_text(report: &ScenarioReport) -> String {
             out
         }
         Presentation::Balance(style) => {
-            let labels: Vec<&str> = spec.strategies.iter().map(|s| s.label()).collect();
+            let labels: Vec<String> = spec.strategies.iter().map(|s| s.label()).collect();
             let mut out = banner(spec);
             // Header: ratio columns, then lb-traffic columns, then idle
             // columns.
@@ -143,7 +143,7 @@ pub fn render_text(report: &ScenarioReport) -> String {
             out
         }
         Presentation::Mix(style) => {
-            let labels: Vec<&str> = spec.strategies.iter().map(|s| s.label()).collect();
+            let labels: Vec<String> = spec.strategies.iter().map(|s| s.label()).collect();
             let cosim = is_cosim(spec);
             let faulted = is_faulted(spec);
             let mut out = banner(spec);
@@ -248,7 +248,7 @@ pub fn render_text(report: &ScenarioReport) -> String {
             out
         }
         Presentation::Open(style) => {
-            let labels: Vec<&str> = spec.strategies.iter().map(|s| s.label()).collect();
+            let labels: Vec<String> = spec.strategies.iter().map(|s| s.label()).collect();
             let frontend = is_frontend(spec);
             let mut out = banner(spec);
             // Header: ratio columns, then per-strategy response percentiles,
@@ -583,10 +583,13 @@ pub fn render_json(report: &ScenarioReport) -> String {
             let mut members = vec![
                 ("row", Json::Float(point.row)),
                 ("col", point.col.map_or(Json::Null, Json::Float)),
-                ("strategy", Json::from(cell.strategy.label())),
+                ("strategy", Json::Str(cell.strategy.label())),
             ];
-            if let dlb_exec::Strategy::Fixed { error_rate } = cell.strategy {
-                members.push(("error_rate", Json::Float(error_rate)));
+            // One member per declared policy parameter (FP's error_rate,
+            // Diffusion's radius, ...), so cells of parameterized policies
+            // always carry their exact settings.
+            for (i, spec) in cell.strategy.policy().params().iter().enumerate() {
+                members.push((spec.name, Json::Float(cell.strategy.params().0[i])));
             }
             members.extend([
                 ("value", Json::Float(cell.value)),
@@ -909,9 +912,9 @@ mod tests {
             .title("Tiny")
             .description("render smoke test")
             .machine(1, 2)
-            .strategies([Strategy::Dynamic, Strategy::Fixed { error_rate: 0.0 }])
+            .strategies([Strategy::dynamic(), Strategy::fixed(0.0)])
             .rows(super::super::Axis::ProcessorsPerNode, [1.0, 2.0])
-            .reference(super::super::Reference::SamePoint(Strategy::Dynamic))
+            .reference(super::super::Reference::SamePoint(Strategy::dynamic()))
             .notes("note line")
             .build()
             .unwrap()

@@ -177,33 +177,99 @@ pub(super) fn workload_to_json(workload: &WorkloadSpec) -> Json {
     }
 }
 
+/// Policies serialize as named specs: a bare name for parameterless
+/// policies (`"DP"`), `{name: value}` for single-parameter ones
+/// (`{"FP": 0.3}` — always emitted, so pre-existing exports stay
+/// byte-identical), and `{name: {param: value, ...}}` for multi-parameter
+/// ones (`{"Threshold": {"hi": 4096, "lo": 512}}`).
 fn strategy_to_json(strategy: &Strategy) -> Json {
-    match strategy {
-        Strategy::Dynamic => Json::from("DP"),
-        Strategy::Synchronous => Json::from("SP"),
-        Strategy::Fixed { error_rate } => object(vec![("FP", Json::Float(*error_rate))]),
+    let specs = strategy.policy().params();
+    match specs.len() {
+        0 => Json::from(strategy.name()),
+        1 => object(vec![(strategy.name(), Json::Float(strategy.params().0[0]))]),
+        _ => {
+            let params = specs
+                .iter()
+                .enumerate()
+                .map(|(i, spec)| (spec.name, Json::Float(strategy.params().0[i])))
+                .collect();
+            object(vec![(strategy.name(), object(params))])
+        }
     }
+}
+
+/// The spelling of every registered policy, for parse errors.
+fn known_policy_names() -> String {
+    dlb_exec::policies()
+        .iter()
+        .map(|p| p.name())
+        .collect::<Vec<_>>()
+        .join(" | ")
 }
 
 fn strategy_from_json(v: &Json) -> Result<Strategy> {
     match v {
-        Json::Str(s) => match s.as_str() {
-            "DP" => Ok(Strategy::Dynamic),
-            "SP" => Ok(Strategy::Synchronous),
-            "FP" => Ok(Strategy::Fixed { error_rate: 0.0 }),
-            other => Err(parse_err(format!(
-                "unknown strategy {other:?} (expected DP | FP | SP)"
-            ))),
-        },
-        Json::Object(_) => {
-            expect_keys(v, &["FP"], "strategy")?;
-            let rate = v
-                .get("FP")
-                .and_then(Json::as_f64)
-                .ok_or_else(|| parse_err("strategy objects must be {\"FP\": <error_rate>}"))?;
-            Ok(Strategy::Fixed { error_rate: rate })
+        // A bare name selects the policy with every parameter at its
+        // default — this keeps the historical `"FP"` spelling parsing
+        // (error_rate defaults to 0.0).
+        Json::Str(s) => Strategy::from_name(s).ok_or_else(|| {
+            parse_err(format!(
+                "unknown strategy {s:?} (expected {})",
+                known_policy_names()
+            ))
+        }),
+        Json::Object(members) => {
+            let [(name, value)] = members.as_slice() else {
+                return Err(parse_err(
+                    "strategy objects must have exactly one member: \
+                     {name: value} or {name: {param: value}}",
+                ));
+            };
+            let strategy = Strategy::from_name(name).ok_or_else(|| {
+                parse_err(format!(
+                    "unknown strategy {name:?} (expected {})",
+                    known_policy_names()
+                ))
+            })?;
+            let specs = strategy.policy().params();
+            match value {
+                Json::Object(params) => {
+                    let mut out = strategy;
+                    for (pname, pvalue) in params {
+                        if !specs.iter().any(|s| s.name == pname.as_str()) {
+                            return Err(parse_err(format!(
+                                "strategy {name:?} has no parameter {pname:?} (expected {})",
+                                specs.iter().map(|s| s.name).collect::<Vec<_>>().join(" | ")
+                            )));
+                        }
+                        let pvalue = pvalue.as_f64().ok_or_else(|| {
+                            parse_err(format!("strategy parameter {pname:?} must be a number"))
+                        })?;
+                        out = out.with_param(pname, pvalue);
+                    }
+                    Ok(out)
+                }
+                scalar => {
+                    if specs.len() != 1 {
+                        return Err(parse_err(format!(
+                            "strategy {name:?} takes {} parameters; use {{{name:?}: \
+                             {{param: value}}}}",
+                            specs.len()
+                        )));
+                    }
+                    let pvalue = scalar.as_f64().ok_or_else(|| {
+                        parse_err(format!(
+                            "strategy objects must be {{{name:?}: <{}>}}",
+                            specs[0].name
+                        ))
+                    })?;
+                    Ok(strategy.with_param(specs[0].name, pvalue))
+                }
+            }
         }
-        _ => Err(parse_err("strategies must be strings or {\"FP\": rate}")),
+        _ => Err(parse_err(
+            "strategies must be strings or single-member objects",
+        )),
     }
 }
 
@@ -916,7 +982,7 @@ fn spec_from_json(doc: &Json) -> Result<ScenarioSpec> {
         Some(o) => options_from_json(o)?,
     };
     let strategies = match doc.get("strategies") {
-        None => vec![Strategy::Dynamic, Strategy::Fixed { error_rate: 0.0 }],
+        None => vec![Strategy::dynamic(), Strategy::fixed(0.0)],
         Some(Json::Array(items)) => items
             .iter()
             .map(strategy_from_json)
@@ -1013,7 +1079,7 @@ mod tests {
         assert_eq!(spec.machine, MachineSpec::default());
         assert_eq!(spec.workload, WorkloadSpec::default());
         assert_eq!(spec.strategies.len(), 2);
-        assert_eq!(spec.reference, Reference::SamePoint(Strategy::Dynamic));
+        assert_eq!(spec.reference, Reference::SamePoint(Strategy::dynamic()));
         assert!(matches!(spec.presentation, Presentation::Table(_)));
     }
 
@@ -1261,9 +1327,9 @@ mod tests {
         assert_eq!(
             spec.strategies,
             vec![
-                Strategy::Dynamic,
-                Strategy::Fixed { error_rate: 0.25 },
-                Strategy::Fixed { error_rate: 0.0 }
+                Strategy::dynamic(),
+                Strategy::fixed(0.25),
+                Strategy::fixed(0.0)
             ]
         );
     }

@@ -15,8 +15,8 @@ pub enum Axis {
     Nodes,
     /// Processors per SM-node.
     ProcessorsPerNode,
-    /// FP cost-model error rate, applied to every `Strategy::Fixed` of the
-    /// strategy set.
+    /// FP cost-model error rate, applied to every `error_rate`-parameterized
+    /// policy of the strategy set.
     ErrorRate,
     /// Number of concurrent queries of a [`WorkloadSpec::Mix`] workload
     /// (inter-query scheduling scenarios only).
@@ -548,9 +548,9 @@ impl ScenarioSpec {
     /// let spec = ScenarioSpec::builder("skew-sweep")
     ///     .title("Skew sweep")
     ///     .machine(2, 4)
-    ///     .strategies([Strategy::Dynamic, Strategy::Fixed { error_rate: 0.0 }])
+    ///     .strategies([Strategy::dynamic(), Strategy::fixed(0.0)])
     ///     .rows(Axis::Skew, [0.0, 0.5, 1.0])
-    ///     .reference(Reference::SamePoint(Strategy::Dynamic))
+    ///     .reference(Reference::SamePoint(Strategy::dynamic()))
     ///     .build()
     ///     .unwrap();
     /// assert_eq!(spec.rows.values.len(), 3);
@@ -711,11 +711,8 @@ impl ScenarioSpec {
         }
         // SP only exists on single-node machines: reject specs where any
         // point could be multi-node while SP is measured or referenced.
-        let uses_sp = self
-            .strategies
-            .iter()
-            .any(|s| matches!(s, Strategy::Synchronous))
-            || matches!(self.reference, Reference::SamePoint(Strategy::Synchronous));
+        let uses_sp = self.strategies.iter().any(|s| !s.queue_based())
+            || matches!(self.reference, Reference::SamePoint(r) if !r.queue_based());
         if uses_sp {
             let multi_node = if let Some(sweep) = self.sweep_of(Axis::Nodes) {
                 sweep.values.iter().any(|&v| v != 1.0)
@@ -776,11 +773,8 @@ impl ScenarioSpec {
                 // queues to interleave. Every placement policy is supported:
                 // pinning policies re-home each query's plan onto its
                 // placement mask inside the event loop.
-                if self
-                    .strategies
-                    .iter()
-                    .any(|s| matches!(s, Strategy::Synchronous))
-                    || matches!(self.reference, Reference::SamePoint(Strategy::Synchronous))
+                if self.strategies.iter().any(|s| !s.queue_based())
+                    || matches!(self.reference, Reference::SamePoint(r) if !r.queue_based())
                 {
                     return fail(
                         "co-simulated mixes require a queue-based strategy (DP or FP)".to_string(),
@@ -854,11 +848,8 @@ impl ScenarioSpec {
                 return fail(format!("invalid open front end: {e}"));
             }
             // The open engine interleaves activation queues; SP has none.
-            if self
-                .strategies
-                .iter()
-                .any(|s| matches!(s, Strategy::Synchronous))
-                || matches!(self.reference, Reference::SamePoint(Strategy::Synchronous))
+            if self.strategies.iter().any(|s| !s.queue_based())
+                || matches!(self.reference, Reference::SamePoint(r) if !r.queue_based())
             {
                 return fail(
                     "open workloads require a queue-based strategy (DP or FP)".to_string(),
@@ -920,10 +911,10 @@ impl ScenarioSpecBuilder {
                 machine: MachineSpec::default(),
                 options: ExecOptions::default(),
                 workload: WorkloadSpec::default(),
-                strategies: vec![Strategy::Dynamic, Strategy::Fixed { error_rate: 0.0 }],
+                strategies: vec![Strategy::dynamic(), Strategy::fixed(0.0)],
                 rows: Sweep::new(Axis::Skew, [0.0]),
                 columns: None,
-                reference: Reference::SamePoint(Strategy::Dynamic),
+                reference: Reference::SamePoint(Strategy::dynamic()),
                 metric: Metric::Relative,
                 presentation: Presentation::Table(TableStyle::for_axis(Axis::Skew)),
                 notes: String::new(),
@@ -1051,7 +1042,7 @@ mod tests {
     fn builder_derives_grid_presentation_for_column_sweeps() {
         let spec = ScenarioSpec::builder("grid")
             .machine(1, 8)
-            .strategies([Strategy::Fixed { error_rate: 0.0 }])
+            .strategies([Strategy::fixed(0.0)])
             .rows(Axis::ErrorRate, [0.0, 0.1])
             .columns(Axis::ProcessorsPerNode, [8.0, 16.0])
             .build()
@@ -1076,13 +1067,13 @@ mod tests {
         // SP on a multi-node machine.
         assert!(ScenarioSpec::builder("x")
             .machine(4, 8)
-            .strategies([Strategy::Synchronous])
+            .strategies([Strategy::synchronous()])
             .build()
             .is_err());
         // SP reached through a nodes sweep.
         assert!(ScenarioSpec::builder("x")
             .machine(1, 8)
-            .strategies([Strategy::Synchronous])
+            .strategies([Strategy::synchronous()])
             .rows(Axis::Nodes, [1.0, 2.0])
             .build()
             .is_err());
@@ -1101,7 +1092,7 @@ mod tests {
         // than silently dropped.
         assert!(ScenarioSpec::builder("x")
             .machine(1, 8)
-            .strategies([Strategy::Dynamic, Strategy::Fixed { error_rate: 0.0 }])
+            .strategies([Strategy::dynamic(), Strategy::fixed(0.0)])
             .rows(Axis::ErrorRate, [0.0, 0.1])
             .columns(Axis::ProcessorsPerNode, [8.0, 16.0])
             .build()
@@ -1217,8 +1208,8 @@ mod tests {
         // SP still has no activation queues to interleave.
         let sp = ScenarioSpec::builder("cosim-sp")
             .machine(1, 8)
-            .strategies([Strategy::Synchronous])
-            .reference(Reference::SamePoint(Strategy::Synchronous))
+            .strategies([Strategy::synchronous()])
+            .reference(Reference::SamePoint(Strategy::synchronous()))
             .workload(WorkloadSpec::Mix(MixSpec {
                 mode: MixMode::CoSimulated,
                 ..MixSpec::default()
@@ -1281,8 +1272,8 @@ mod tests {
         // SP has no activation queues to interleave arrivals into.
         assert!(ScenarioSpec::builder("x")
             .machine(1, 8)
-            .strategies([Strategy::Synchronous])
-            .reference(Reference::SamePoint(Strategy::Synchronous))
+            .strategies([Strategy::synchronous()])
+            .reference(Reference::SamePoint(Strategy::synchronous()))
             .workload(WorkloadSpec::Open(OpenSpec::default()))
             .build()
             .is_err());
@@ -1381,8 +1372,8 @@ mod tests {
     fn sp_is_accepted_on_single_node_sweeps() {
         let spec = ScenarioSpec::builder("sm")
             .machine(1, 16)
-            .strategies([Strategy::Synchronous, Strategy::Dynamic])
-            .reference(Reference::SamePoint(Strategy::Synchronous))
+            .strategies([Strategy::synchronous(), Strategy::dynamic()])
+            .reference(Reference::SamePoint(Strategy::synchronous()))
             .rows(Axis::ProcessorsPerNode, [16.0, 32.0])
             .build();
         assert!(spec.is_ok());

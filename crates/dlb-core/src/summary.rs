@@ -104,14 +104,14 @@ impl Summary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dlb_exec::{ExecutionReport, StrategyKind};
+    use dlb_exec::{ExecutionReport, Strategy};
 
     fn run(plan_index: usize, secs: u64) -> PlanRun {
         PlanRun {
             plan_index,
             query_index: plan_index / 2,
             report: ExecutionReport {
-                strategy: StrategyKind::Dynamic,
+                strategy: Strategy::dynamic(),
                 nodes: 1,
                 processors_per_node: 4,
                 response_time: Duration::from_secs(secs),

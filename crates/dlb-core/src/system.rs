@@ -105,9 +105,9 @@ impl HierarchicalSystem {
         &self,
         plan: &ParallelPlan,
     ) -> Result<Vec<(Strategy, ExecutionReport)>> {
-        let mut strategies = vec![Strategy::Dynamic, Strategy::Fixed { error_rate: 0.0 }];
+        let mut strategies = vec![Strategy::dynamic(), Strategy::fixed(0.0)];
         if self.nodes() == 1 {
-            strategies.push(Strategy::Synchronous);
+            strategies.push(Strategy::synchronous());
         }
         strategies
             .into_iter()

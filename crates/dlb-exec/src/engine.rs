@@ -45,12 +45,10 @@
 //! co-simulated runs are bit-identical regardless of harness thread counts.
 
 use crate::activation::{Activation, ActivationKind, ActivationQueue, DrainOutcome};
-use crate::fp::allocate_threads;
-use crate::options::{ErrorRealization, ExecOptions, RecoveryPolicy, Strategy};
-use crate::report::{
-    CoSimReport, ExecutionReport, FaultStats, OpenReport, QueryExecReport, StrategyKind,
-};
+use crate::options::{ErrorRealization, ExecOptions, RecoveryPolicy};
+use crate::report::{CoSimReport, ExecutionReport, FaultStats, OpenReport, QueryExecReport};
 use crate::router::OutputRouter;
+use crate::strategy::{PushConfig, StealScope, Strategy};
 use crate::topology::{validate_topology, TopologyChange, TopologyEvent};
 use dlb_common::config::SystemConfig;
 use dlb_common::rng::rng_from_seed;
@@ -315,6 +313,18 @@ enum ControlMsg {
         op: usize,
         activations: Vec<Activation>,
         bytes: u64,
+    },
+    /// Sender-initiated push (Threshold): an overloaded node probes one
+    /// candidate receiver before shipping anything.
+    PushProbe { from: usize, token: u64 },
+    /// The probed node's verdict. Sent even on decline (and even by a node
+    /// that died with the probe in flight) so the sender's outstanding-probe
+    /// flag always clears.
+    PushReply {
+        from: usize,
+        accept: bool,
+        free_bytes: u64,
+        token: u64,
     },
 }
 
@@ -586,6 +596,12 @@ struct NodeLb {
     /// Token of the current request; replies carrying a stale token are
     /// ignored (a node can issue several steal episodes over time).
     current_token: u64,
+    /// Sender-initiated push (Threshold): at most one probe in flight per
+    /// node.
+    push_outstanding: bool,
+    /// Last probed receiver; the next probe starts after it, so repeated
+    /// pushes rotate over the machine instead of hammering one node.
+    push_cursor: usize,
 }
 
 /// The queue-based engine shared by DP and FP, over one or more query lanes.
@@ -600,6 +616,18 @@ pub(crate) struct QueueEngine<'a> {
     config: SystemConfig,
     options: ExecOptions,
     strategy: Strategy,
+    /// Cached [`Policy::push_config`] (`None` for pull-only policies, so the
+    /// push probe in the data-delivery path costs one branch there).
+    push: Option<PushConfig>,
+    /// Cached [`Policy::custom_work_mask`]: policies are stateless
+    /// singletons with fixed parameters, so the hot-loop hooks below are
+    /// snapshot once at construction and the selection/steal paths branch on
+    /// plain fields instead of paying virtual dispatch per event.
+    custom_mask: bool,
+    /// Cached [`Policy::starving_scope`].
+    scope: StealScope,
+    /// Cached [`Policy::prefers_cached_tables`].
+    prefers_cached: bool,
     cost: CostModel,
     nodes: usize,
     threads_per_node: usize,
@@ -805,6 +833,10 @@ impl<'a> QueueEngine<'a> {
             config,
             options,
             strategy,
+            push: strategy.push_config(),
+            custom_mask: strategy.custom_work_mask(),
+            scope: strategy.starving_scope(),
+            prefers_cached: strategy.prefers_cached_tables(),
             cost,
             nodes,
             threads_per_node,
@@ -956,10 +988,7 @@ impl<'a> QueueEngine<'a> {
                 (0..threads_per_node)
                     .map(|_| ThreadRuntime {
                         idle: false,
-                        allowed: match strategy {
-                            Strategy::Fixed { .. } => Some(BitSet::default()),
-                            _ => None,
-                        },
+                        allowed: strategy.constrains_threads().then(BitSet::default),
                     })
                     .collect()
             })
@@ -1016,6 +1045,10 @@ impl<'a> QueueEngine<'a> {
             config,
             options,
             strategy,
+            push: strategy.push_config(),
+            custom_mask: strategy.custom_work_mask(),
+            scope: strategy.starving_scope(),
+            prefers_cached: strategy.prefers_cached_tables(),
             cost,
             nodes,
             threads_per_node,
@@ -1190,59 +1223,63 @@ impl<'a> QueueEngine<'a> {
         // node behaviour for comparison studies.
         let mut fp_rng = rng_from_seed(self.options.seed);
         let shared_assignments: Option<Vec<crate::fp::ThreadAssignment>> =
-            match (self.strategy, self.options.fp_realization) {
-                (Strategy::Fixed { error_rate }, ErrorRealization::Shared) => Some(
+            if self.strategy.constrains_threads()
+                && self.options.fp_realization == ErrorRealization::Shared
+            {
+                Some(
                     self.lanes
                         .iter()
                         .map(|lane| {
-                            allocate_threads(
-                                lane.plan,
-                                self.threads_per_node as u32,
-                                &self.cost,
-                                error_rate,
-                                &mut fp_rng,
-                            )
-                        })
-                        .collect(),
-                ),
-                _ => None,
-            };
-        for node in 0..self.nodes {
-            let allowed: Option<Vec<BitSet>> = match self.strategy {
-                Strategy::Fixed { error_rate } => {
-                    let mut per_thread: Vec<BitSet> =
-                        vec![BitSet::default(); self.threads_per_node];
-                    for (lane_idx, lane) in self.lanes.iter().enumerate() {
-                        // A pinned lane only constrains the threads of its
-                        // own placement nodes.
-                        if let Some(mask) = &lane.mask {
-                            if !mask.contains(&NodeId::from(node)) {
-                                continue;
-                            }
-                        }
-                        let fresh;
-                        let assignment = match &shared_assignments {
-                            Some(assignments) => &assignments[lane_idx],
-                            None => {
-                                fresh = allocate_threads(
+                            self.strategy
+                                .allocate(
                                     lane.plan,
                                     self.threads_per_node as u32,
                                     &self.cost,
-                                    error_rate,
                                     &mut fp_rng,
-                                );
-                                &fresh
-                            }
-                        };
-                        for (t, ops) in assignment.iter().enumerate() {
-                            for o in ops {
-                                per_thread[t].insert(lane.base + o.index());
-                            }
+                                )
+                                .unwrap_or_default()
+                        })
+                        .collect(),
+                )
+            } else {
+                None
+            };
+        for node in 0..self.nodes {
+            let allowed: Option<Vec<BitSet>> = if self.strategy.constrains_threads() {
+                let mut per_thread: Vec<BitSet> = vec![BitSet::default(); self.threads_per_node];
+                for (lane_idx, lane) in self.lanes.iter().enumerate() {
+                    // A pinned lane only constrains the threads of its
+                    // own placement nodes.
+                    if let Some(mask) = &lane.mask {
+                        if !mask.contains(&NodeId::from(node)) {
+                            continue;
                         }
                     }
-                    Some(per_thread)
+                    let fresh;
+                    let assignment = match &shared_assignments {
+                        Some(assignments) => &assignments[lane_idx],
+                        None => {
+                            fresh = self
+                                .strategy
+                                .allocate(
+                                    lane.plan,
+                                    self.threads_per_node as u32,
+                                    &self.cost,
+                                    &mut fp_rng,
+                                )
+                                .unwrap_or_default();
+                            &fresh
+                        }
+                    };
+                    for (t, ops) in assignment.iter().enumerate() {
+                        for o in ops {
+                            per_thread[t].insert(lane.base + o.index());
+                        }
+                    }
                 }
-                _ => None,
+                Some(per_thread)
+            } else {
+                None
             };
             let threads = (0..self.threads_per_node)
                 .map(|t| ThreadRuntime {
@@ -1419,11 +1456,7 @@ impl<'a> QueueEngine<'a> {
             .map(|n| self.cpu.node_busy(NodeId::from(n)))
             .collect();
         ExecutionReport {
-            strategy: match self.strategy {
-                Strategy::Dynamic => StrategyKind::Dynamic,
-                Strategy::Fixed { error_rate } => StrategyKind::Fixed { error_rate },
-                Strategy::Synchronous => StrategyKind::Synchronous,
-            },
+            strategy: self.strategy,
             nodes: self.config.machine.nodes,
             processors_per_node: self.config.machine.processors_per_node,
             response_time: response,
@@ -1594,17 +1627,29 @@ impl<'a> QueueEngine<'a> {
                 continue;
             }
             // One word holds the lane's candidate set: operators with work
-            // queued on this node, intersected with what the thread may
-            // touch (FP operator sets). Everything else is never visited.
-            let mut cand = self.ready[node].extract_range(base, n_ops);
-            if cand == 0 {
+            // queued on this node, filtered by the strategy's run-time
+            // work-selection hook (the default intersects the thread's
+            // static allocation, when one exists). The hook works on the
+            // extracted words directly — no policy forces a return to
+            // pointer-chasing. Everything else is never visited.
+            let ready_word = self.ready[node].extract_range(base, n_ops);
+            if ready_word == 0 {
                 continue;
             }
-            if let Some(set) = &self.threads[node][thread].allowed {
-                cand &= set.extract_range(base, n_ops);
-                if cand == 0 {
-                    continue;
-                }
+            let allowed_word = self.threads[node][thread]
+                .allowed
+                .as_ref()
+                .map(|set| set.extract_range(base, n_ops));
+            let cand = if self.custom_mask {
+                self.strategy.work_mask(ready_word, allowed_word)
+            } else {
+                // The default hook devirtualized: one AND, no dispatch on
+                // the per-lane fast path (`custom_mask` is cached at
+                // construction; `custom_work_mask` tests pin the equality).
+                ready_word & allowed_word.unwrap_or(u64::MAX)
+            };
+            if cand == 0 {
+                continue;
             }
             // The loops this replaces visited `base + (thread + shift) %
             // n_ops` for ascending `shift`; splitting the word at the start
@@ -2146,18 +2191,15 @@ impl<'a> QueueEngine<'a> {
         // FP: one fresh allocation per admission (the optimizer
         // mis-estimates each arriving query once), inserted into every
         // node's thread sets; retirement removes it again.
-        if let Strategy::Fixed { error_rate } = self.strategy {
+        if self.strategy.constrains_threads() {
             let mut fp_rng = std::mem::replace(
                 &mut self.open.as_mut().expect("open mode").fp_rng,
                 rng_from_seed(0),
             );
-            let assignment = allocate_threads(
-                plan,
-                self.threads_per_node as u32,
-                &self.cost,
-                error_rate,
-                &mut fp_rng,
-            );
+            let assignment = self
+                .strategy
+                .allocate(plan, self.threads_per_node as u32, &self.cost, &mut fp_rng)
+                .unwrap_or_default();
             self.open.as_mut().expect("open mode").fp_rng = fp_rng;
             for node in 0..self.nodes {
                 for (t, ops) in assignment.iter().enumerate() {
@@ -2215,7 +2257,7 @@ impl<'a> QueueEngine<'a> {
                 self.ready[node].remove(idx);
             }
         }
-        if matches!(self.strategy, Strategy::Fixed { .. }) {
+        if self.strategy.constrains_threads() {
             for node in 0..self.nodes {
                 for t in 0..self.threads_per_node {
                     if let Some(set) = &mut self.threads[node][t].allowed {
@@ -2491,6 +2533,11 @@ impl<'a> QueueEngine<'a> {
                 self.check_local_end(op, home_node);
             }
         }
+        // Guarded at the call site: pull-only policies (`push` is `None`)
+        // pay one predictable branch per delivery, not a call.
+        if self.push.is_some() {
+            self.maybe_push_work(node);
+        }
     }
 
     // ----------------------------------------------------------------- //
@@ -2616,6 +2663,13 @@ impl<'a> QueueEngine<'a> {
                 activations,
                 bytes,
             } => self.on_transfer(node, from, op, activations, bytes),
+            ControlMsg::PushProbe { from, token } => self.on_push_probe(node, from, token),
+            ControlMsg::PushReply {
+                from,
+                accept,
+                free_bytes,
+                token,
+            } => self.on_push_reply(node, from, accept, free_bytes, token),
         }
     }
 
@@ -2766,17 +2820,26 @@ impl<'a> QueueEngine<'a> {
         if self.nodes <= 1 || self.ops_terminated == self.ops.len() {
             return;
         }
-        match self.strategy {
-            Strategy::Dynamic => {
+        match self.scope {
+            StealScope::Node => {
                 if self.node_lb[node].starving_outstanding {
+                    return;
+                }
+                // Neighbourhood-limited policies (Diffusion) may leave a node
+                // with no eligible provider at all; don't arm an episode that
+                // can never complete.
+                if !self.has_steal_providers(node) {
                     return;
                 }
                 self.node_lb[node].starving_outstanding = true;
                 self.begin_steal_request(node, None);
             }
-            Strategy::Fixed { .. } => {
+            StealScope::TargetedOps => {
                 // A request may already be outstanding for this node.
                 if self.node_lb[node].replies_received < self.node_lb[node].replies_expected {
+                    return;
+                }
+                if !self.has_steal_providers(node) {
                     return;
                 }
                 // Find-then-act: the scan only reads, so it can walk the
@@ -2796,18 +2859,28 @@ impl<'a> QueueEngine<'a> {
                     self.begin_steal_request(node, Some(op));
                 }
             }
-            Strategy::Synchronous => {}
+            StealScope::None => {}
         }
     }
 
-    /// Broadcasts a starving message to every other node and arms the
-    /// reply-collection state for one steal episode.
+    /// Whether any node may answer a steal request from `node` under the
+    /// strategy's provider rule.
+    fn has_steal_providers(&self, node: usize) -> bool {
+        (0..self.nodes).any(|other| self.strategy.steal_provider(node, other, self.nodes))
+    }
+
+    /// Broadcasts a starving message to every eligible provider node and arms
+    /// the reply-collection state for one steal episode. Which nodes are
+    /// eligible is the strategy's call ([`Policy::steal_provider`]): every
+    /// other node for DP/FP, ring neighbours for Diffusion.
     fn begin_steal_request(&mut self, node: usize, target: Option<usize>) {
         self.node_lb[node].current_token += 1;
         let token = self.node_lb[node].current_token;
         self.node_lb[node].offers.clear();
         self.node_lb[node].replies_received = 0;
-        self.node_lb[node].replies_expected = self.nodes - 1;
+        self.node_lb[node].replies_expected = (0..self.nodes)
+            .filter(|&other| self.strategy.steal_provider(node, other, self.nodes))
+            .count();
         self.lb_requests += 1;
         // Advertise the node's memory net of admission reservations: an
         // acquired shipment (activations + hash-table partition) must fit in
@@ -2821,7 +2894,7 @@ impl<'a> QueueEngine<'a> {
         // recycled and must not offer the new occupant's work for it.
         let epoch = target.map(|op| self.epochs[op]).unwrap_or(0);
         for other in 0..self.nodes {
-            if other != node {
+            if self.strategy.steal_provider(node, other, self.nodes) {
                 self.send_control(
                     node,
                     other,
@@ -2836,6 +2909,17 @@ impl<'a> QueueEngine<'a> {
                 );
             }
         }
+    }
+
+    /// Total queued-tuple load of a node across live operators: the
+    /// aggregate a §3.2 provider advertises in its offers, and the quantity
+    /// the Threshold watermarks compare against.
+    fn node_load(&self, node: usize) -> u64 {
+        self.live_ops
+            .iter()
+            .filter_map(|op| self.op_nodes[op][node].as_ref())
+            .map(|opn| opn.queued_tuples())
+            .sum()
     }
 
     /// Evaluates one operator as a steal candidate for `requester`
@@ -2921,12 +3005,7 @@ impl<'a> QueueEngine<'a> {
             }
         }
 
-        let load: u64 = self
-            .live_ops
-            .iter()
-            .filter_map(|op| self.op_nodes[op][node].as_ref())
-            .map(|opn| opn.queued_tuples())
-            .sum();
+        let load = self.node_load(node);
 
         match best {
             Some((op, tuples, bytes, _)) => self.send_control(
@@ -2986,17 +3065,18 @@ impl<'a> QueueEngine<'a> {
                 .unwrap_or(false)
         };
         let offers = std::mem::take(&mut self.node_lb[node].offers);
-        let chosen = match self.strategy {
-            Strategy::Dynamic => offers
+        let chosen = if self.prefers_cached {
+            offers
                 .iter()
                 .filter(|(provider, op, _, _, _, _)| table_cached(*provider, *op))
                 .max_by_key(|(_, _, _, _, load, _)| *load)
                 .or_else(|| offers.iter().max_by_key(|(_, _, _, _, load, _)| *load))
-                .copied(),
-            _ => offers
+                .copied()
+        } else {
+            offers
                 .iter()
                 .max_by_key(|(_, _, _, _, load, _)| *load)
-                .copied(),
+                .copied()
         };
         match chosen {
             None => {
@@ -3006,8 +3086,7 @@ impl<'a> QueueEngine<'a> {
                 self.node_lb[node].fp_outstanding.clear();
             }
             Some((provider, op, _tuples, _bytes, _load, epoch)) => {
-                let has_table =
-                    matches!(self.strategy, Strategy::Dynamic) && table_cached(provider, op);
+                let has_table = self.prefers_cached && table_cached(provider, op);
                 self.send_control(
                     node,
                     provider,
@@ -3170,6 +3249,99 @@ impl<'a> QueueEngine<'a> {
     }
 
     // ----------------------------------------------------------------- //
+    // Sender-initiated push (Threshold)
+    // ----------------------------------------------------------------- //
+
+    /// After new work lands on `node`, probe a round-robin neighbour when
+    /// the local queued load crossed the `hi` watermark. At most one probe
+    /// is in flight per node; the eventual shipment reuses the §3.2
+    /// Acquire/Transfer path, so conservation and fault redirects hold
+    /// unchanged. A no-op (one branch) for pull-only policies.
+    fn maybe_push_work(&mut self, node: usize) {
+        let Some(cfg) = self.push else { return };
+        if self.nodes < 2
+            || !self.live[node]
+            || self.node_lb[node].push_outstanding
+            || self.node_load(node) as f64 <= cfg.hi
+        {
+            return;
+        }
+        let start = self.node_lb[node].push_cursor;
+        let Some(target) = (1..self.nodes)
+            .map(|d| (start + d) % self.nodes)
+            .find(|&n| n != node && self.live[n])
+        else {
+            return;
+        };
+        let lb = &mut self.node_lb[node];
+        lb.push_cursor = target;
+        lb.push_outstanding = true;
+        lb.current_token += 1;
+        let token = lb.current_token;
+        self.lb_requests += 1;
+        self.send_control(
+            node,
+            target,
+            CONTROL_MESSAGE_BYTES,
+            ControlMsg::PushProbe { from: node, token },
+        );
+    }
+
+    /// A probed node decides whether to take pushed work: accept when it is
+    /// alive and its own queued load sits below the `lo` watermark. It
+    /// always replies, so the sender's outstanding probe clears either way.
+    fn on_push_probe(&mut self, node: usize, sender: usize, token: u64) {
+        let accept = self
+            .push
+            .map(|cfg| self.live[node] && (self.node_load(node) as f64) < cfg.lo)
+            .unwrap_or(false);
+        self.send_control(
+            node,
+            sender,
+            CONTROL_MESSAGE_BYTES,
+            ControlMsg::PushReply {
+                from: node,
+                accept,
+                free_bytes: self.free_mem[node],
+                token,
+            },
+        );
+    }
+
+    /// The sender integrates a push verdict: on accept it offers its best
+    /// candidate queue (the §3.2 tuples-per-byte arbitration, against the
+    /// receiver's advertised free memory) and ships it through the regular
+    /// Acquire path.
+    fn on_push_reply(
+        &mut self,
+        node: usize,
+        receiver: usize,
+        accept: bool,
+        free_bytes: u64,
+        token: u64,
+    ) {
+        if token != self.node_lb[node].current_token {
+            return;
+        }
+        self.node_lb[node].push_outstanding = false;
+        if !accept || !self.live[node] || !self.live[receiver] {
+            return;
+        }
+        let mut best: Option<(usize, u64, u64, f64)> = None;
+        for op in self.live_ops.iter() {
+            let Some(candidate) = self.steal_candidate(op, node, receiver, free_bytes) else {
+                continue;
+            };
+            if best.map(|(_, _, _, r)| candidate.3 > r).unwrap_or(true) {
+                best = Some(candidate);
+            }
+        }
+        if let Some((op, _, _, _)) = best {
+            self.on_acquire(node, receiver, op, false, self.epochs[op]);
+        }
+    }
+
+    // ----------------------------------------------------------------- //
     // Topology events (fault injection)
     // ----------------------------------------------------------------- //
 
@@ -3210,6 +3382,7 @@ impl<'a> QueueEngine<'a> {
         lb.offers.clear();
         lb.replies_received = 0;
         lb.replies_expected = 0;
+        lb.push_outstanding = false;
         // The node's memory dies with it: admitted reservations on it are
         // gone, and nothing can be reserved there until it re-joins.
         for lane in &mut self.lanes {
@@ -3252,6 +3425,7 @@ impl<'a> QueueEngine<'a> {
         lb.offers.clear();
         lb.replies_received = 0;
         lb.replies_expected = 0;
+        lb.push_outstanding = false;
         // Demands shrink with the grown placement; waiting lanes may fit now.
         self.refresh_admission()?;
         let now = self.calendar.now();
@@ -3335,7 +3509,7 @@ impl<'a> QueueEngine<'a> {
                 // FP: the survivor's threads must be allowed to run the
                 // re-homed operator (its static allocation never mentioned
                 // this node).
-                if matches!(self.strategy, Strategy::Fixed { .. }) {
+                if self.strategy.constrains_threads() {
                     for thread in 0..self.threads_per_node {
                         if let Some(set) = &mut self.threads[m][thread].allowed {
                             set.insert(op);
@@ -3606,9 +3780,10 @@ pub fn execute(
     strategy: Strategy,
     options: &ExecOptions,
 ) -> Result<ExecutionReport> {
-    match strategy {
-        Strategy::Synchronous => crate::sp::execute_sp(plan, config, options),
-        _ => QueueEngine::new(plan, *config, strategy, *options)?.run(),
+    if strategy.queue_based() {
+        QueueEngine::new(plan, *config, strategy, *options)?.run()
+    } else {
+        crate::sp::execute_sp(plan, config, options)
     }
 }
 
@@ -3629,7 +3804,7 @@ pub fn execute(
 /// never fit is a configuration error, not a deadlock.
 ///
 /// Only the queue-based strategies can interleave activations;
-/// [`Strategy::Synchronous`] is rejected. The event loop is strictly
+/// [`Strategy::synchronous`] is rejected. The event loop is strictly
 /// sequential and seeded, so the result is bit-identical for any harness
 /// thread count, and a single query with arrival 0, priority 1 and the
 /// options' skew reproduces [`execute`] exactly (`aggregate ==` the plain
@@ -3658,7 +3833,7 @@ pub fn execute_cosimulated_faulted(
     options: &ExecOptions,
     topology: &[TopologyEvent],
 ) -> Result<CoSimReport> {
-    if matches!(strategy, Strategy::Synchronous) {
+    if !strategy.queue_based() {
         return Err(DlbError::config(
             "co-simulation requires a queue-based strategy (DP or FP); \
              SP has no activation queues to interleave",
@@ -3692,14 +3867,14 @@ pub fn execute_cosimulated_faulted(
 /// are all drawn from seeded generators, and the event loop is strictly
 /// sequential, so the result is bit-identical for any harness thread count.
 /// A single-arrival stream reproduces [`execute`]'s response time exactly.
-/// [`Strategy::Synchronous`] is rejected like in co-simulated mode.
+/// [`Strategy::synchronous`] is rejected like in co-simulated mode.
 pub fn execute_open(
     traffic: &OpenTraffic<'_>,
     config: &SystemConfig,
     strategy: Strategy,
     options: &ExecOptions,
 ) -> Result<OpenReport> {
-    if matches!(strategy, Strategy::Synchronous) {
+    if !strategy.queue_based() {
         return Err(DlbError::config(
             "open-system mode requires a queue-based strategy (DP or FP); \
              SP has no activation queues to interleave",
@@ -3763,7 +3938,7 @@ mod tests {
     fn dp_single_node_executes_to_completion() {
         let plan = two_join_plan(1);
         let config = SystemConfig::shared_memory(4);
-        let r = execute(&plan, &config, Strategy::Dynamic, &ExecOptions::default()).unwrap();
+        let r = execute(&plan, &config, Strategy::dynamic(), &ExecOptions::default()).unwrap();
         assert!(r.response_time > Duration::ZERO);
         assert!(r.activations > 0);
         assert!(
@@ -3783,7 +3958,7 @@ mod tests {
         let t2 = execute(
             &plan,
             &SystemConfig::shared_memory(2),
-            Strategy::Dynamic,
+            Strategy::dynamic(),
             &opts,
         )
         .unwrap()
@@ -3791,7 +3966,7 @@ mod tests {
         let t8 = execute(
             &plan,
             &SystemConfig::shared_memory(8),
-            Strategy::Dynamic,
+            Strategy::dynamic(),
             &opts,
         )
         .unwrap()
@@ -3806,8 +3981,8 @@ mod tests {
         let plan = bushy_plan(2);
         let config = SystemConfig::hierarchical(2, 4);
         let opts = ExecOptions::with_skew(0.5);
-        let a = execute(&plan, &config, Strategy::Dynamic, &opts).unwrap();
-        let b = execute(&plan, &config, Strategy::Dynamic, &opts).unwrap();
+        let a = execute(&plan, &config, Strategy::dynamic(), &opts).unwrap();
+        let b = execute(&plan, &config, Strategy::dynamic(), &opts).unwrap();
         assert_eq!(a.response_time, b.response_time);
         assert_eq!(a.activations, b.activations);
         assert_eq!(a.network_bytes, b.network_bytes);
@@ -3817,7 +3992,7 @@ mod tests {
     fn dp_hierarchical_execution_uses_the_network_but_completes() {
         let plan = bushy_plan(2);
         let config = SystemConfig::hierarchical(2, 4);
-        let r = execute(&plan, &config, Strategy::Dynamic, &ExecOptions::default()).unwrap();
+        let r = execute(&plan, &config, Strategy::dynamic(), &ExecOptions::default()).unwrap();
         assert!(r.messages > 0, "pipelined tuples must cross nodes");
         assert!(r.network_bytes > 0);
         assert!(r.result_tuples > 0);
@@ -3828,8 +4003,8 @@ mod tests {
         let plan = bushy_plan(1);
         let opts = ExecOptions::with_skew(0.8);
         let config = SystemConfig::shared_memory(8);
-        let dp = execute(&plan, &config, Strategy::Dynamic, &opts).unwrap();
-        let fp = execute(&plan, &config, Strategy::Fixed { error_rate: 0.0 }, &opts).unwrap();
+        let dp = execute(&plan, &config, Strategy::dynamic(), &opts).unwrap();
+        let fp = execute(&plan, &config, Strategy::fixed(0.0), &opts).unwrap();
         assert!(
             fp.response_time >= dp.response_time,
             "FP ({}) should not beat DP ({}) with skewed data",
@@ -3843,8 +4018,8 @@ mod tests {
         let plan = two_join_plan(1);
         let config = SystemConfig::shared_memory(8);
         let opts = ExecOptions::default();
-        let exact = execute(&plan, &config, Strategy::Fixed { error_rate: 0.0 }, &opts).unwrap();
-        let wrong = execute(&plan, &config, Strategy::Fixed { error_rate: 0.3 }, &opts).unwrap();
+        let exact = execute(&plan, &config, Strategy::fixed(0.0), &opts).unwrap();
+        let wrong = execute(&plan, &config, Strategy::fixed(0.3), &opts).unwrap();
         // Allocation with distorted estimates can only be as good or worse.
         assert!(wrong.response_time.as_secs_f64() >= exact.response_time.as_secs_f64() * 0.99);
     }
@@ -3853,7 +4028,7 @@ mod tests {
     fn processed_tuples_match_plan_volume_for_dp() {
         let plan = bushy_plan(1);
         let config = SystemConfig::shared_memory(4);
-        let r = execute(&plan, &config, Strategy::Dynamic, &ExecOptions::default()).unwrap();
+        let r = execute(&plan, &config, Strategy::dynamic(), &ExecOptions::default()).unwrap();
         // Every operator input must be processed exactly once; allow a small
         // slack for rounding of probe outputs.
         let expected = plan.total_input_tuples();
@@ -3876,7 +4051,7 @@ mod tests {
             skew: 0.9,
             ..ExecOptions::default()
         };
-        let r = execute(&plan, &config, Strategy::Dynamic, &opts).unwrap();
+        let r = execute(&plan, &config, Strategy::dynamic(), &opts).unwrap();
         assert!(
             r.lb_requests > 0,
             "skewed hierarchical run should starve some node"
@@ -3892,7 +4067,7 @@ mod tests {
         let r = execute(
             &plan,
             &SystemConfig::shared_memory(2),
-            Strategy::Dynamic,
+            Strategy::dynamic(),
             &ExecOptions::default(),
         )
         .unwrap();
@@ -3905,7 +4080,7 @@ mod tests {
         let plan = two_join_plan(1);
         let mut config = SystemConfig::shared_memory(4);
         config.machine.nodes = 0;
-        assert!(execute(&plan, &config, Strategy::Dynamic, &ExecOptions::default()).is_err());
+        assert!(execute(&plan, &config, Strategy::dynamic(), &ExecOptions::default()).is_err());
     }
 
     // ------------------------------------------------------------------ //
@@ -3917,9 +4092,9 @@ mod tests {
         let plan = bushy_plan(2);
         let config = SystemConfig::hierarchical(2, 4);
         for (strategy, skew) in [
-            (Strategy::Dynamic, 0.0),
-            (Strategy::Dynamic, 0.6),
-            (Strategy::Fixed { error_rate: 0.1 }, 0.6),
+            (Strategy::dynamic(), 0.0),
+            (Strategy::dynamic(), 0.6),
+            (Strategy::fixed(0.1), 0.6),
         ] {
             let opts = ExecOptions::with_skew(skew);
             let plain = execute(&plan, &config, strategy, &opts).unwrap();
@@ -3940,14 +4115,14 @@ mod tests {
         let plan = bushy_plan(2);
         let config = SystemConfig::hierarchical(2, 2);
         let opts = ExecOptions::default();
-        let alone = execute(&plan, &config, Strategy::Dynamic, &opts)
+        let alone = execute(&plan, &config, Strategy::dynamic(), &opts)
             .unwrap()
             .response_time
             .as_secs_f64();
         let co = execute_cosimulated(
             &[solo(&plan, 0.0, 1, 0.0), solo(&plan, 0.0, 1, 0.0)],
             &config,
-            Strategy::Dynamic,
+            Strategy::dynamic(),
             &opts,
         )
         .unwrap();
@@ -3977,8 +4152,8 @@ mod tests {
         let config = SystemConfig::hierarchical(2, 4);
         let opts = ExecOptions::default();
         let queries = [solo(&plan_a, 0.0, 2, 0.4), solo(&plan_b, 0.5, 1, 0.8)];
-        let a = execute_cosimulated(&queries, &config, Strategy::Dynamic, &opts).unwrap();
-        let b = execute_cosimulated(&queries, &config, Strategy::Dynamic, &opts).unwrap();
+        let a = execute_cosimulated(&queries, &config, Strategy::dynamic(), &opts).unwrap();
+        let b = execute_cosimulated(&queries, &config, Strategy::dynamic(), &opts).unwrap();
         assert_eq!(a, b);
     }
 
@@ -3991,7 +4166,7 @@ mod tests {
         let co = execute_cosimulated(
             &[solo(&plan, 0.0, 1, 0.0), solo(&plan, arrival, 1, 0.0)],
             &config,
-            Strategy::Dynamic,
+            Strategy::dynamic(),
             &opts,
         )
         .unwrap();
@@ -4001,7 +4176,7 @@ mod tests {
             "a query cannot finish before it arrives"
         );
         // With a gap longer than the solo run, the first query runs alone.
-        let alone = execute(&plan, &config, Strategy::Dynamic, &opts).unwrap();
+        let alone = execute(&plan, &config, Strategy::dynamic(), &opts).unwrap();
         if alone.response_time.as_secs_f64() < arrival {
             assert_eq!(
                 co.queries[0].response_secs,
@@ -4019,7 +4194,7 @@ mod tests {
         let co = execute_cosimulated(
             &[solo(&plan, 0.0, 3, 0.0), solo(&plan, 0.0, 1, 0.0)],
             &config,
-            Strategy::Dynamic,
+            Strategy::dynamic(),
             &opts,
         )
         .unwrap();
@@ -4042,7 +4217,7 @@ mod tests {
         let co = execute_cosimulated(
             &[solo(&plan, 0.0, 1, 0.9), solo(&plan, 0.0, 1, 0.9)],
             &config,
-            Strategy::Dynamic,
+            Strategy::dynamic(),
             &opts,
         )
         .unwrap();
@@ -4055,7 +4230,7 @@ mod tests {
         let plan = bushy_plan(2);
         let config = SystemConfig::hierarchical(2, 2);
         let opts = ExecOptions::default();
-        for strategy in [Strategy::Dynamic, Strategy::Fixed { error_rate: 0.0 }] {
+        for strategy in [Strategy::dynamic(), Strategy::fixed(0.0)] {
             let mask = [NodeId::from(1usize)];
             let co = execute_cosimulated(
                 &[CoSimQuery {
@@ -4092,7 +4267,7 @@ mod tests {
                 ..solo(&plan, 0.0, 1, 0.0)
             }],
             &config,
-            Strategy::Dynamic,
+            Strategy::dynamic(),
             &opts
         )
         .is_err());
@@ -4103,7 +4278,7 @@ mod tests {
                 ..solo(&plan, 0.0, 1, 0.0)
             }],
             &config,
-            Strategy::Dynamic,
+            Strategy::dynamic(),
             &opts
         )
         .is_err());
@@ -4125,7 +4300,7 @@ mod tests {
         let co = execute_cosimulated(
             &[with_mem(1_000), with_mem(1_000), with_mem(10)],
             &config,
-            Strategy::Dynamic,
+            Strategy::dynamic(),
             &opts,
         )
         .unwrap();
@@ -4147,7 +4322,7 @@ mod tests {
         let generous = execute_cosimulated(
             &[with_mem(0), with_mem(0), with_mem(0)],
             &config,
-            Strategy::Dynamic,
+            Strategy::dynamic(),
             &opts,
         )
         .unwrap();
@@ -4163,8 +4338,8 @@ mod tests {
 
         // A demand that can never fit errors up front instead of stalling
         // the event loop.
-        let err =
-            execute_cosimulated(&[with_mem(2_000)], &config, Strategy::Dynamic, &opts).unwrap_err();
+        let err = execute_cosimulated(&[with_mem(2_000)], &config, Strategy::dynamic(), &opts)
+            .unwrap_err();
         assert!(
             matches!(err, DlbError::InvalidConfig(ref m) if m.contains("never be admitted")),
             "{err}"
@@ -4177,7 +4352,7 @@ mod tests {
         // draw different allocations; on exact estimates they coincide.
         let plan = bushy_plan(2);
         let config = SystemConfig::hierarchical(2, 4);
-        let strategy = Strategy::Fixed { error_rate: 0.3 };
+        let strategy = Strategy::fixed(0.3);
         let shared = ExecOptions::default();
         assert_eq!(shared.fp_realization, ErrorRealization::Shared);
         let per_node = ExecOptions {
@@ -4189,7 +4364,7 @@ mod tests {
         // Both complete the same logical work...
         assert_eq!(a.result_tuples, b.result_tuples);
         // ...and with exact estimates the knob is a no-op.
-        let exact = Strategy::Fixed { error_rate: 0.0 };
+        let exact = Strategy::fixed(0.0);
         let ea = execute(&plan, &config, exact, &shared).unwrap();
         let eb = execute(&plan, &config, exact, &per_node).unwrap();
         assert_eq!(ea, eb);
@@ -4205,10 +4380,10 @@ mod tests {
         let config = SystemConfig::hierarchical(4, 2);
         let opts = ExecOptions::with_skew(0.3);
         let queries = [solo(&plan, 0.0, 1, 0.3), solo(&plan, 0.05, 1, 0.3)];
-        let clean = execute_cosimulated(&queries, &config, Strategy::Dynamic, &opts).unwrap();
+        let clean = execute_cosimulated(&queries, &config, Strategy::dynamic(), &opts).unwrap();
         let topo = [TopologyEvent::fail(clean.makespan_secs() * 0.3, 3)];
         let faulted =
-            execute_cosimulated_faulted(&queries, &config, Strategy::Dynamic, &opts, &topo)
+            execute_cosimulated_faulted(&queries, &config, Strategy::dynamic(), &opts, &topo)
                 .unwrap();
         assert_eq!(faulted.faults.failures, 1);
         assert_eq!(faulted.faults.tuples_lost, 0, "resume never loses state");
@@ -4246,10 +4421,10 @@ mod tests {
         let mut opts = ExecOptions::with_skew(0.3);
         opts.recovery.policy = RecoveryPolicy::LoseRestart;
         let queries = [solo(&plan, 0.0, 1, 0.3), solo(&plan, 0.05, 1, 0.3)];
-        let clean = execute_cosimulated(&queries, &config, Strategy::Dynamic, &opts).unwrap();
+        let clean = execute_cosimulated(&queries, &config, Strategy::dynamic(), &opts).unwrap();
         let topo = [TopologyEvent::fail(clean.makespan_secs() * 0.5, 3)];
         let faulted =
-            execute_cosimulated_faulted(&queries, &config, Strategy::Dynamic, &opts, &topo)
+            execute_cosimulated_faulted(&queries, &config, Strategy::dynamic(), &opts, &topo)
                 .unwrap();
         assert!(faulted.faults.tuples_lost > 0, "failure must lose state");
         assert!(
@@ -4277,10 +4452,10 @@ mod tests {
         let mut opts = ExecOptions::with_skew(0.3);
         opts.recovery.policy = RecoveryPolicy::LoseRestart;
         let queries = [solo(&plan, 0.0, 1, 0.3)];
-        let clean = execute_cosimulated(&queries, &config, Strategy::Dynamic, &opts).unwrap();
+        let clean = execute_cosimulated(&queries, &config, Strategy::dynamic(), &opts).unwrap();
         let topo = [TopologyEvent::drain(clean.makespan_secs() * 0.3, 2)];
         let faulted =
-            execute_cosimulated_faulted(&queries, &config, Strategy::Dynamic, &opts, &topo)
+            execute_cosimulated_faulted(&queries, &config, Strategy::dynamic(), &opts, &topo)
                 .unwrap();
         assert_eq!(faulted.faults.drains, 1);
         assert_eq!(faulted.faults.failures, 0);
@@ -4308,7 +4483,7 @@ mod tests {
             TopologyEvent::join(0.25, 3),
             TopologyEvent::drain(0.4, 1),
         ];
-        for strategy in [Strategy::Dynamic, Strategy::Fixed { error_rate: 0.1 }] {
+        for strategy in [Strategy::dynamic(), Strategy::fixed(0.1)] {
             let a = execute_cosimulated_faulted(&queries, &config, strategy, &opts, &topo).unwrap();
             let b = execute_cosimulated_faulted(&queries, &config, strategy, &opts, &topo).unwrap();
             assert_eq!(a, b, "{strategy:?}");
@@ -4324,14 +4499,14 @@ mod tests {
         let config = SystemConfig::hierarchical(4, 2);
         let opts = ExecOptions::default();
         let queries = [solo(&plan, 0.0, 1, 0.0), solo(&plan, 0.1, 1, 0.0)];
-        let clean = execute_cosimulated(&queries, &config, Strategy::Dynamic, &opts).unwrap();
+        let clean = execute_cosimulated(&queries, &config, Strategy::dynamic(), &opts).unwrap();
         let m = clean.makespan_secs();
         let topo = [
             TopologyEvent::fail(m * 0.2, 3),
             TopologyEvent::join(m * 0.5, 3),
         ];
         let faulted =
-            execute_cosimulated_faulted(&queries, &config, Strategy::Dynamic, &opts, &topo)
+            execute_cosimulated_faulted(&queries, &config, Strategy::dynamic(), &opts, &topo)
                 .unwrap();
         assert_eq!(faulted.faults.failures, 1);
         assert_eq!(faulted.faults.joins, 1);
@@ -4355,9 +4530,9 @@ mod tests {
             mask: Some(&mask),
             ..solo(&plan, 0.0, 1, 0.0)
         }];
-        let clean = execute_cosimulated(&queries, &config, Strategy::Dynamic, &opts).unwrap();
+        let clean = execute_cosimulated(&queries, &config, Strategy::dynamic(), &opts).unwrap();
         let topo = [TopologyEvent::fail(clean.makespan_secs() * 0.4, 1)];
-        for strategy in [Strategy::Dynamic, Strategy::Fixed { error_rate: 0.0 }] {
+        for strategy in [Strategy::dynamic(), Strategy::fixed(0.0)] {
             let faulted =
                 execute_cosimulated_faulted(&queries, &config, strategy, &opts, &topo).unwrap();
             // The whole lane re-homed onto node 0 and finished there.
@@ -4388,7 +4563,7 @@ mod tests {
         // onto node 0 as 1500 > 1010.
         let queries = [with_mem(2_000), with_mem(1_500)];
         let topo = [TopologyEvent::fail(1e-4, 1)];
-        let err = execute_cosimulated_faulted(&queries, &config, Strategy::Dynamic, &opts, &topo)
+        let err = execute_cosimulated_faulted(&queries, &config, Strategy::dynamic(), &opts, &topo)
             .unwrap_err();
         assert!(
             matches!(err, DlbError::ExecutionError(ref m)
@@ -4396,7 +4571,7 @@ mod tests {
             "{err}"
         );
         // Without the failure the same mix runs fine.
-        assert!(execute_cosimulated(&queries, &config, Strategy::Dynamic, &opts).is_ok());
+        assert!(execute_cosimulated(&queries, &config, Strategy::dynamic(), &opts).is_ok());
     }
 
     #[test]
@@ -4405,12 +4580,12 @@ mod tests {
         let config = SystemConfig::hierarchical(2, 2);
         let opts = ExecOptions::default();
         let queries = [solo(&plan, 0.0, 1, 0.0)];
-        let clean = execute_cosimulated(&queries, &config, Strategy::Dynamic, &opts).unwrap();
+        let clean = execute_cosimulated(&queries, &config, Strategy::dynamic(), &opts).unwrap();
         // The simulation ends with the last query: a failure scheduled past
         // that instant never takes effect and the report is bit-identical.
         let topo = [TopologyEvent::fail(clean.makespan_secs() + 1.0, 0)];
         let faulted =
-            execute_cosimulated_faulted(&queries, &config, Strategy::Dynamic, &opts, &topo)
+            execute_cosimulated_faulted(&queries, &config, Strategy::dynamic(), &opts, &topo)
                 .unwrap();
         assert_eq!(faulted, clean);
     }
@@ -4428,7 +4603,7 @@ mod tests {
             vec![TopologyEvent::fail(f64::NAN, 0)],
         ] {
             assert!(
-                execute_cosimulated_faulted(&queries, &config, Strategy::Dynamic, &opts, &topo)
+                execute_cosimulated_faulted(&queries, &config, Strategy::dynamic(), &opts, &topo)
                     .is_err(),
                 "{topo:?}"
             );
@@ -4440,32 +4615,32 @@ mod tests {
         let plan = two_join_plan(1);
         let config = SystemConfig::shared_memory(2);
         let opts = ExecOptions::default();
-        assert!(execute_cosimulated(&[], &config, Strategy::Dynamic, &opts).is_err());
+        assert!(execute_cosimulated(&[], &config, Strategy::dynamic(), &opts).is_err());
         assert!(execute_cosimulated(
             &[solo(&plan, 0.0, 0, 0.0)],
             &config,
-            Strategy::Dynamic,
+            Strategy::dynamic(),
             &opts
         )
         .is_err());
         assert!(execute_cosimulated(
             &[solo(&plan, -1.0, 1, 0.0)],
             &config,
-            Strategy::Dynamic,
+            Strategy::dynamic(),
             &opts
         )
         .is_err());
         assert!(execute_cosimulated(
             &[solo(&plan, 0.0, 1, 2.0)],
             &config,
-            Strategy::Dynamic,
+            Strategy::dynamic(),
             &opts
         )
         .is_err());
         assert!(execute_cosimulated(
             &[solo(&plan, 0.0, 1, 0.0)],
             &config,
-            Strategy::Synchronous,
+            Strategy::synchronous(),
             &opts
         )
         .is_err());
@@ -4518,9 +4693,9 @@ mod tests {
         let plan = bushy_plan(2);
         let config = SystemConfig::hierarchical(2, 4);
         for (strategy, skew) in [
-            (Strategy::Dynamic, 0.0),
-            (Strategy::Dynamic, 0.6),
-            (Strategy::Fixed { error_rate: 0.1 }, 0.6),
+            (Strategy::dynamic(), 0.0),
+            (Strategy::dynamic(), 0.6),
+            (Strategy::fixed(0.1), 0.6),
         ] {
             let opts = ExecOptions::with_skew(skew);
             let plain = execute(&plan, &config, strategy, &opts).unwrap();
@@ -4563,7 +4738,7 @@ mod tests {
             concurrency: 4,
             frontend: FrontendConfig::default(),
         };
-        for strategy in [Strategy::Dynamic, Strategy::Fixed { error_rate: 0.2 }] {
+        for strategy in [Strategy::dynamic(), Strategy::fixed(0.2)] {
             let a = execute_open(&traffic, &config, strategy, &opts).unwrap();
             let b = execute_open(&traffic, &config, strategy, &opts).unwrap();
             assert_eq!(a, b, "{strategy:?}");
@@ -4587,7 +4762,8 @@ mod tests {
             concurrency,
             frontend: FrontendConfig::default(),
         };
-        let mut engine = QueueEngine::new_open(&traffic, config, Strategy::Dynamic, opts).unwrap();
+        let mut engine =
+            QueueEngine::new_open(&traffic, config, Strategy::dynamic(), opts).unwrap();
         // Op state is O(concurrency × max_ops) by construction, not O(total).
         assert_eq!(engine.ops.len(), concurrency * 4);
         engine.run_loop().unwrap();
@@ -4624,7 +4800,7 @@ mod tests {
                 concurrency: 2,
                 frontend: FrontendConfig::default(),
             };
-            let r = execute_open(&traffic, &config, Strategy::Dynamic, &opts).unwrap();
+            let r = execute_open(&traffic, &config, Strategy::dynamic(), &opts).unwrap();
             assert_eq!(r.completed, 50, "{kind:?}");
             assert_eq!(r.response.count(), 50);
             assert!(r.response.quantile(0.99).unwrap() > 0.0);
@@ -4661,7 +4837,7 @@ mod tests {
             concurrency: 3,
             frontend: FrontendConfig::default(),
         };
-        for strategy in [Strategy::Dynamic, Strategy::Fixed { error_rate: 0.2 }] {
+        for strategy in [Strategy::dynamic(), Strategy::fixed(0.2)] {
             let r = execute_open(&traffic, &config, strategy, &opts).unwrap();
             assert_eq!(r.completed, 150, "{strategy:?}");
             assert!(r.slowdown.count() == 150);
@@ -4684,7 +4860,7 @@ mod tests {
             concurrency: 4,
             frontend: FrontendConfig::default(),
         };
-        let r = execute_open(&traffic, &config, Strategy::Dynamic, &opts).unwrap();
+        let r = execute_open(&traffic, &config, Strategy::dynamic(), &opts).unwrap();
         assert_eq!(r.response_by_class.len(), 3);
         let per_class: u64 = r.response_by_class.iter().map(|h| h.count()).sum();
         assert_eq!(per_class, r.completed);
@@ -4714,7 +4890,7 @@ mod tests {
                 fanout_cost_secs: 0.001,
             },
         };
-        let r = execute_open(&traffic, &config, Strategy::Dynamic, &opts).unwrap();
+        let r = execute_open(&traffic, &config, Strategy::dynamic(), &opts).unwrap();
         assert_eq!(r.completed, 60);
         assert_eq!(r.frontend.engine_queries, 1, "only the first miss executes");
         assert_eq!(r.frontend.cache_hits, 59);
@@ -4752,7 +4928,7 @@ mod tests {
                 fanout_cost_secs: 0.0005,
             },
         };
-        let r = execute_open(&traffic, &config, Strategy::Dynamic, &opts).unwrap();
+        let r = execute_open(&traffic, &config, Strategy::dynamic(), &opts).unwrap();
         assert_eq!(r.completed, 200);
         assert!(r.frontend.coalesced > 0, "overload must coalesce");
         assert_eq!(
@@ -4770,7 +4946,7 @@ mod tests {
         );
         assert!(r.qps_multiplier() > 1.0);
         // Determinism holds with the front end on.
-        let again = execute_open(&traffic, &config, Strategy::Dynamic, &opts).unwrap();
+        let again = execute_open(&traffic, &config, Strategy::dynamic(), &opts).unwrap();
         assert_eq!(r, again);
     }
 
@@ -4792,14 +4968,14 @@ mod tests {
             concurrency: 3,
             frontend: FrontendConfig::default(),
         };
-        let base = execute_open(&traffic, &config, Strategy::Dynamic, &opts).unwrap();
+        let base = execute_open(&traffic, &config, Strategy::dynamic(), &opts).unwrap();
         traffic.frontend = FrontendConfig {
             cache_capacity: 0,
             cache_ttl_secs: 0.25,
             coalesce: false,
             fanout_cost_secs: 0.5,
         };
-        let inert = execute_open(&traffic, &config, Strategy::Dynamic, &opts).unwrap();
+        let inert = execute_open(&traffic, &config, Strategy::dynamic(), &opts).unwrap();
         assert_eq!(base, inert);
         assert_eq!(
             base.frontend,
@@ -4824,28 +5000,28 @@ mod tests {
             frontend: FrontendConfig::default(),
         };
         // SP has no queues to interleave.
-        assert!(execute_open(&good, &config, Strategy::Synchronous, &opts).is_err());
+        assert!(execute_open(&good, &config, Strategy::synchronous(), &opts).is_err());
         // No templates.
         let mut bad = good.clone();
         bad.templates.clear();
         bad.arrivals.templates = 0;
-        assert!(execute_open(&bad, &config, Strategy::Dynamic, &opts).is_err());
+        assert!(execute_open(&bad, &config, Strategy::dynamic(), &opts).is_err());
         // Zero concurrency.
         let mut bad = good.clone();
         bad.concurrency = 0;
-        assert!(execute_open(&bad, &config, Strategy::Dynamic, &opts).is_err());
+        assert!(execute_open(&bad, &config, Strategy::dynamic(), &opts).is_err());
         // Arrival spec draws from more templates than supplied.
         let mut bad = good.clone();
         bad.arrivals.templates = 2;
-        assert!(execute_open(&bad, &config, Strategy::Dynamic, &opts).is_err());
+        assert!(execute_open(&bad, &config, Strategy::dynamic(), &opts).is_err());
         // A working set that can never fit is a configuration error, not a
         // deadlock.
         let mut bad = good.clone();
         bad.templates[0].memory_bytes = 3 * config.machine.memory_per_node_bytes;
-        assert!(execute_open(&bad, &config, Strategy::Dynamic, &opts).is_err());
+        assert!(execute_open(&bad, &config, Strategy::dynamic(), &opts).is_err());
         // Invalid solo baseline.
         let mut bad = good.clone();
         bad.templates[0].solo_secs = f64::NAN;
-        assert!(execute_open(&bad, &config, Strategy::Dynamic, &opts).is_err());
+        assert!(execute_open(&bad, &config, Strategy::dynamic(), &opts).is_err());
     }
 }

@@ -4,7 +4,9 @@
 //! "Dynamic Load Balancing in Hierarchical Parallel Database Systems"*
 //! (VLDB 1996), implemented over the discrete-event substrate of `dlb-sim`.
 //!
-//! Three strategies are provided, selected with [`Strategy`]:
+//! Strategies are pluggable [`strategy::Policy`] implementations selected
+//! with a [`Strategy`] handle; the paper's three plus two related-work
+//! policies ship registered (see [`strategy::policies`]):
 //!
 //! * **Dynamic Processing (DP)** — the paper's contribution ([`engine`]):
 //!   query work is decomposed into self-contained [`activation`]s placed in
@@ -17,6 +19,10 @@
 //!   cost-model errors ([`fp`]).
 //! * **Synchronous Pipelining (SP)** — the shared-memory reference model
 //!   ([`sp`]).
+//! * **Diffusion** — nearest-neighbour pull balancing from the related work
+//!   (Demirel & Sbalzarini): steals only reach ring neighbours.
+//! * **Threshold** — sender-initiated push balancing (Mandal & Pal):
+//!   overloaded nodes push work to under-loaded neighbours.
 //!
 //! The main entry point is [`execute`], which takes a
 //! [`dlb_query::plan::ParallelPlan`], a [`dlb_common::config::SystemConfig`],
@@ -56,6 +62,7 @@ pub mod options;
 pub mod report;
 pub mod router;
 pub mod sp;
+pub mod strategy;
 pub mod topology;
 
 pub use activation::{Activation, ActivationKind, ActivationQueue, DrainOutcome};
@@ -68,10 +75,9 @@ pub use engine::{
 pub use mix::{schedule_mix, MixJob, MixMode, MixPolicy, MixSchedule, QueryOutcome};
 pub use options::{
     ContentionModel, ErrorRealization, ExecOptions, ExecOptionsBuilder, FlowControl,
-    RecoveryOptions, RecoveryPolicy, StealPolicy, Strategy,
+    RecoveryOptions, RecoveryPolicy, StealPolicy,
 };
-pub use report::{
-    CoSimReport, ExecutionReport, FaultStats, OpenReport, QueryExecReport, StrategyKind,
-};
+pub use report::{CoSimReport, ExecutionReport, FaultStats, OpenReport, QueryExecReport};
 pub use router::OutputRouter;
+pub use strategy::{policies, ParamSpec, Policy, PushConfig, StealScope, Strategy};
 pub use topology::{validate_topology, TopologyChange, TopologyEvent};

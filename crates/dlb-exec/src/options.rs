@@ -11,40 +11,6 @@
 use dlb_storage::RehomePolicy;
 use serde::{Deserialize, Serialize};
 
-/// The execution strategy to evaluate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub enum Strategy {
-    /// **Dynamic Processing** (DP) — the paper's contribution: no static
-    /// association between threads and operators; any thread of an SM-node
-    /// processes any unblocked activation of that node; global load sharing
-    /// only when the whole node starves.
-    Dynamic,
-    /// **Fixed Processing** (FP) — shared-nothing style static allocation of
-    /// processors to operators, proportional to estimated operator
-    /// complexity, with intra-operator load balancing only. `error_rate`
-    /// injects relative errors into the cardinality estimates used for the
-    /// allocation (Figure 7).
-    Fixed {
-        /// Relative cost-model error rate in `[0, 1]` (0 = exact estimates).
-        error_rate: f64,
-    },
-    /// **Synchronous Pipelining** (SP) — the shared-memory reference model
-    /// where every processor executes whole pipeline chains through procedure
-    /// calls. Only valid on single-node (shared-memory) configurations.
-    Synchronous,
-}
-
-impl Strategy {
-    /// Short label ("DP", "FP", "SP").
-    pub fn label(&self) -> &'static str {
-        match self {
-            Strategy::Dynamic => "DP",
-            Strategy::Fixed { .. } => "FP",
-            Strategy::Synchronous => "SP",
-        }
-    }
-}
-
 /// Flow control of the activation pipeline (§3.1): how much work is buffered
 /// between producers and consumers, and how coarse trigger activations are.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -388,13 +354,6 @@ impl ExecOptionsBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn strategy_labels() {
-        assert_eq!(Strategy::Dynamic.label(), "DP");
-        assert_eq!(Strategy::Fixed { error_rate: 0.2 }.label(), "FP");
-        assert_eq!(Strategy::Synchronous.label(), "SP");
-    }
 
     #[test]
     fn defaults_are_sane() {

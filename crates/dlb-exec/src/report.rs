@@ -11,41 +11,18 @@
 //! one [`QueryExecReport`] per query of the mix, carrying each query's
 //! arrival-to-completion response time and work counters.
 
+use crate::strategy::Strategy;
 use dlb_common::{Duration, NodeId};
 use dlb_frontend::FrontendStats;
 use dlb_traffic::{LatencyHistogram, LatencySummary};
 use serde::{Deserialize, Serialize};
 
-/// Which execution strategy produced a report.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub enum StrategyKind {
-    /// Dynamic Processing — the paper's execution model.
-    Dynamic,
-    /// Fixed Processing with the given cost-model error rate.
-    Fixed {
-        /// Relative error rate injected into cardinality estimates.
-        error_rate: f64,
-    },
-    /// Synchronous Pipelining (shared-memory reference model).
-    Synchronous,
-}
-
-impl StrategyKind {
-    /// Short label used in benchmark output ("DP", "FP", "SP").
-    pub fn label(&self) -> &'static str {
-        match self {
-            StrategyKind::Dynamic => "DP",
-            StrategyKind::Fixed { .. } => "FP",
-            StrategyKind::Synchronous => "SP",
-        }
-    }
-}
-
 /// The outcome of executing one parallel plan on one simulated machine.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExecutionReport {
-    /// Strategy that produced this report.
-    pub strategy: StrategyKind,
+    /// Strategy that produced this report (the one labeling source of truth
+    /// for benchmark and rendering output — see [`Strategy::label`]).
+    pub strategy: Strategy,
     /// Number of SM-nodes of the machine.
     pub nodes: u32,
     /// Processors per SM-node.
@@ -325,7 +302,7 @@ mod tests {
 
     fn sample() -> ExecutionReport {
         ExecutionReport {
-            strategy: StrategyKind::Dynamic,
+            strategy: Strategy::dynamic(),
             nodes: 2,
             processors_per_node: 4,
             response_time: Duration::from_secs(10),
@@ -355,13 +332,6 @@ mod tests {
         assert_eq!(r.node_busy(NodeId::new(5)), Duration::ZERO);
         // max 40 / mean 30
         assert!((r.node_imbalance() - 40.0 / 30.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn strategy_labels() {
-        assert_eq!(StrategyKind::Dynamic.label(), "DP");
-        assert_eq!(StrategyKind::Fixed { error_rate: 0.1 }.label(), "FP");
-        assert_eq!(StrategyKind::Synchronous.label(), "SP");
     }
 
     #[test]

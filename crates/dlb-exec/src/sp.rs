@@ -18,7 +18,8 @@
 //! reference the paper uses it as.
 
 use crate::options::ExecOptions;
-use crate::report::{ExecutionReport, StrategyKind};
+use crate::report::ExecutionReport;
+use crate::strategy::Strategy;
 use dlb_common::config::SystemConfig;
 use dlb_common::{DlbError, Duration, Result};
 use dlb_query::cost::CostModel;
@@ -89,7 +90,7 @@ pub fn execute_sp(
     };
 
     Ok(ExecutionReport {
-        strategy: StrategyKind::Synchronous,
+        strategy: Strategy::synchronous(),
         nodes: 1,
         processors_per_node: processors,
         response_time: response,

@@ -27,17 +27,13 @@ fn main() {
         .build()
         .expect("workload compiles");
 
-    let reference = experiment
-        .run(Strategy::Fixed { error_rate: 0.0 })
-        .expect("exact FP runs");
-    let dp = experiment.run(Strategy::Dynamic).expect("DP runs");
+    let reference = experiment.run(Strategy::fixed(0.0)).expect("exact FP runs");
+    let dp = experiment.run(Strategy::dynamic()).expect("DP runs");
 
     println!("== impact of cost-model errors on FP ({processors} processors) ==");
     println!("{:>10}  {:>20}", "error", "FP degradation");
     for &rate in &[0.0, 0.05, 0.10, 0.20, 0.30] {
-        let runs = experiment
-            .run(Strategy::Fixed { error_rate: rate })
-            .expect("FP runs");
+        let runs = experiment.run(Strategy::fixed(rate)).expect("FP runs");
         let degradation = relative_performance(&runs, &reference);
         println!("{:>9.0}%  {degradation:>20.3}", rate * 100.0);
     }

@@ -37,10 +37,8 @@ fn main() {
             .build()
             .expect("workload compiles");
 
-        let dp = experiment.run(Strategy::Dynamic).expect("DP runs");
-        let fp = experiment
-            .run(Strategy::Fixed { error_rate: 0.0 })
-            .expect("FP runs");
+        let dp = experiment.run(Strategy::dynamic()).expect("DP runs");
+        let fp = experiment.run(Strategy::fixed(0.0)).expect("FP runs");
 
         let ratio = relative_performance(&fp, &dp);
         let dp_summary = Summary::from_runs(&dp);

@@ -63,10 +63,8 @@ fn main() {
 
     // Dynamic Processing (the paper's model) vs Fixed Processing on the
     // hierarchical machine.
-    let dp = system.run(plan, Strategy::Dynamic).expect("DP runs");
-    let fp = system
-        .run(plan, Strategy::Fixed { error_rate: 0.0 })
-        .expect("FP runs");
+    let dp = system.run(plan, Strategy::dynamic()).expect("DP runs");
+    let fp = system.run(plan, Strategy::fixed(0.0)).expect("FP runs");
     print_report("DP", &dp);
     print_report("FP", &fp);
 
@@ -77,9 +75,9 @@ fn main() {
         .compile(&sm)
         .expect("query compiles for shared memory");
     let sp = sm
-        .run(&sm_plans[0], Strategy::Synchronous)
+        .run(&sm_plans[0], Strategy::synchronous())
         .expect("SP runs");
-    let dp_sm = sm.run(&sm_plans[0], Strategy::Dynamic).expect("DP runs");
+    let dp_sm = sm.run(&sm_plans[0], Strategy::dynamic()).expect("DP runs");
     println!(
         "\nshared-memory reference ({} processors):",
         sm.total_processors()

@@ -33,12 +33,12 @@ fn main() {
         "skew", "relative degradation", "mean resp"
     );
 
-    let reference = experiment.run(Strategy::Dynamic).expect("baseline runs");
+    let reference = experiment.run(Strategy::dynamic()).expect("baseline runs");
 
     for &skew in &[0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
         let skewed_system = base_system.clone().with_skew(skew);
         let skewed = experiment.on_system(skewed_system);
-        let runs = skewed.run(Strategy::Dynamic).expect("skewed run");
+        let runs = skewed.run(Strategy::dynamic()).expect("skewed run");
         let degradation = relative_performance(&runs, &reference);
         let mean_resp: f64 =
             runs.iter().map(|r| r.report.response_secs()).sum::<f64>() / runs.len() as f64;

@@ -38,7 +38,7 @@
 //!     .join("orders", "customers")
 //!     .compile(&system)
 //!     .unwrap();
-//! let report = system.run(&plans[0], Strategy::Dynamic).unwrap();
+//! let report = system.run(&plans[0], Strategy::dynamic()).unwrap();
 //! println!("response time: {}", report.response_time);
 //! ```
 //!

@@ -36,7 +36,7 @@ fn parallel_run_is_bit_identical_to_sequential() {
         HierarchicalSystem::shared_memory(8),
         HierarchicalSystem::hierarchical(2, 4).with_skew(0.5),
     ];
-    let strategies = [Strategy::Dynamic, Strategy::Fixed { error_rate: 0.2 }];
+    let strategies = [Strategy::dynamic(), Strategy::fixed(0.2)];
     for system in systems {
         let exp = experiment(system);
         for strategy in strategies {
@@ -75,7 +75,7 @@ fn parallel_run_is_bit_identical_to_sequential() {
 fn repeated_parallel_runs_agree_without_shared_cache() {
     let _ = hierdb::set_threads(4);
     let system = HierarchicalSystem::hierarchical(2, 2).with_skew(0.8);
-    let a = experiment(system.clone()).run(Strategy::Dynamic).unwrap();
-    let b = experiment(system).run(Strategy::Dynamic).unwrap();
+    let a = experiment(system.clone()).run(Strategy::dynamic()).unwrap();
+    let b = experiment(system).run(Strategy::dynamic()).unwrap();
     assert_eq!(a, b);
 }

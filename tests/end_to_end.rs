@@ -29,7 +29,7 @@ fn full_pipeline_runs_on_shared_memory_and_hierarchical_machines() {
             .workload(tiny_workload(42))
             .build()
             .expect("workload compiles");
-        for strategy in [Strategy::Dynamic, Strategy::Fixed { error_rate: 0.0 }] {
+        for strategy in [Strategy::dynamic(), Strategy::fixed(0.0)] {
             let runs = experiment.run(strategy).expect("execution completes");
             assert_eq!(runs.len(), experiment.workload().len());
             for run in runs.iter() {
@@ -48,14 +48,14 @@ fn synchronous_pipelining_only_runs_on_shared_memory() {
         .workload(tiny_workload(1))
         .build()
         .unwrap();
-    assert!(experiment.run(Strategy::Synchronous).is_ok());
+    assert!(experiment.run(Strategy::synchronous()).is_ok());
 
     let hierarchical = Experiment::builder()
         .system(HierarchicalSystem::hierarchical(2, 4))
         .workload(tiny_workload(1))
         .build()
         .unwrap();
-    assert!(hierarchical.run(Strategy::Synchronous).is_err());
+    assert!(hierarchical.run(Strategy::synchronous()).is_err());
 }
 
 #[test]
@@ -67,8 +67,8 @@ fn execution_is_fully_deterministic() {
             .build()
             .unwrap()
     };
-    let a = build().run(Strategy::Dynamic).unwrap();
-    let b = build().run(Strategy::Dynamic).unwrap();
+    let a = build().run(Strategy::dynamic()).unwrap();
+    let b = build().run(Strategy::dynamic()).unwrap();
     assert_eq!(a.len(), b.len());
     for (ra, rb) in a.iter().zip(b.iter()) {
         assert_eq!(ra.report.response_time, rb.report.response_time);
@@ -88,8 +88,8 @@ fn strategies_process_the_same_logical_work() {
         .workload(tiny_workload(3))
         .build()
         .unwrap();
-    let dp = experiment.run(Strategy::Dynamic).unwrap();
-    let fp = experiment.run(Strategy::Fixed { error_rate: 0.0 }).unwrap();
+    let dp = experiment.run(Strategy::dynamic()).unwrap();
+    let fp = experiment.run(Strategy::fixed(0.0)).unwrap();
     for (a, b) in dp.iter().zip(fp.iter()) {
         let tolerance = a.report.tuples_processed / 20 + 32;
         assert!(
@@ -116,8 +116,8 @@ fn adding_processors_never_hurts_dp_much() {
         .build()
         .unwrap();
     let large = small.on_system(HierarchicalSystem::shared_memory(16));
-    let small_runs = small.run(Strategy::Dynamic).unwrap();
-    let large_runs = large.run(Strategy::Dynamic).unwrap();
+    let small_runs = small.run(Strategy::dynamic()).unwrap();
+    let large_runs = large.run(Strategy::dynamic()).unwrap();
     // Relative performance of the 16-processor run against the 2-processor
     // run must be clearly below 1 (faster).
     let rel = relative_performance(&large_runs, &small_runs);
@@ -135,10 +135,10 @@ fn hierarchical_and_shared_memory_agree_on_result_cardinality() {
     let sm = HierarchicalSystem::shared_memory(4);
     let hier = HierarchicalSystem::hierarchical(2, 2);
     let sm_report = sm
-        .run(&query.compile(&sm).unwrap()[0], Strategy::Dynamic)
+        .run(&query.compile(&sm).unwrap()[0], Strategy::dynamic())
         .unwrap();
     let hier_report = hier
-        .run(&query.compile(&hier).unwrap()[0], Strategy::Dynamic)
+        .run(&query.compile(&hier).unwrap()[0], Strategy::dynamic())
         .unwrap();
     let tolerance = sm_report.result_tuples / 10 + 32;
     assert!(
@@ -156,7 +156,7 @@ fn summary_reflects_load_balancing_activity() {
         .workload(tiny_workload(11))
         .build()
         .unwrap();
-    let dp = experiment.run(Strategy::Dynamic).unwrap();
+    let dp = experiment.run(Strategy::dynamic()).unwrap();
     let summary = Summary::from_runs(&dp);
     assert_eq!(summary.plans, dp.len());
     assert!(summary.mean_response_secs > 0.0);

@@ -50,7 +50,7 @@ fn faulted_mix_replay_is_bit_identical_at_1_and_4_threads() {
             &mix,
             MixPolicy::Fcfs,
             MixMode::CoSimulated,
-            Strategy::Dynamic,
+            Strategy::dynamic(),
             &topo,
         )
         .unwrap()

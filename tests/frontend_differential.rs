@@ -51,8 +51,8 @@ fn experiment_for(name: &str) -> (Experiment, ArrivalSpec, usize) {
     (exp, open.arrivals(), open.concurrency)
 }
 
-const DP: Strategy = Strategy::Dynamic;
-const FP: Strategy = Strategy::Fixed { error_rate: 0.0 };
+const DP: Strategy = Strategy::dynamic();
+const FP: Strategy = Strategy::fixed(0.0);
 
 /// Tentpole differential: cache-off + coalesce-off `run_open_with_frontend`
 /// is bit-identical to the pre-front-end `run_open` path on every bundled

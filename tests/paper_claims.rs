@@ -27,9 +27,9 @@ fn dp_tracks_sp_and_beats_fp_in_shared_memory() {
         .workload(workload(21))
         .build()
         .unwrap();
-    let sp = experiment.run(Strategy::Synchronous).unwrap();
-    let dp = experiment.run(Strategy::Dynamic).unwrap();
-    let fp = experiment.run(Strategy::Fixed { error_rate: 0.0 }).unwrap();
+    let sp = experiment.run(Strategy::synchronous()).unwrap();
+    let dp = experiment.run(Strategy::dynamic()).unwrap();
+    let fp = experiment.run(Strategy::fixed(0.0)).unwrap();
 
     let dp_vs_sp = relative_performance(&dp, &sp);
     let fp_vs_sp = relative_performance(&fp, &sp);
@@ -66,7 +66,7 @@ fn fp_degrades_with_cost_model_errors() {
         .workload(workload(22))
         .build()
         .unwrap();
-    let exact = experiment.run(Strategy::Fixed { error_rate: 0.0 }).unwrap();
+    let exact = experiment.run(Strategy::fixed(0.0)).unwrap();
     let realizations = 5u64;
     let mean_degradation = (0..realizations)
         .map(|i| {
@@ -76,7 +76,7 @@ fn fp_degrades_with_cost_model_errors() {
             };
             let wrong = experiment
                 .on_system(system.clone().with_options(options))
-                .run(Strategy::Fixed { error_rate: 0.3 })
+                .run(Strategy::fixed(0.3))
                 .unwrap();
             relative_performance(&wrong, &exact)
         })
@@ -96,10 +96,10 @@ fn dp_speedup_with_processor_count() {
         .workload(workload(23))
         .build()
         .unwrap();
-    let one = base.run(Strategy::Dynamic).unwrap();
+    let one = base.run(Strategy::dynamic()).unwrap();
     let sixteen = base
         .on_system(HierarchicalSystem::shared_memory(16))
-        .run(Strategy::Dynamic)
+        .run(Strategy::dynamic())
         .unwrap();
     let speedup = hierdb::speedup(&sixteen, &one);
     assert!(
@@ -117,10 +117,10 @@ fn skew_impact_on_dp_is_bounded() {
         .workload(workload(24))
         .build()
         .unwrap();
-    let unskewed = experiment.run(Strategy::Dynamic).unwrap();
+    let unskewed = experiment.run(Strategy::dynamic()).unwrap();
     let skewed = experiment
         .on_system(system.with_skew(0.8))
-        .run(Strategy::Dynamic)
+        .run(Strategy::dynamic())
         .unwrap();
     let degradation = relative_performance(&skewed, &unskewed);
     assert!(
@@ -138,8 +138,8 @@ fn dp_beats_fp_on_hierarchical_configuration_with_skew() {
         .workload(workload(25))
         .build()
         .unwrap();
-    let dp = experiment.run(Strategy::Dynamic).unwrap();
-    let fp = experiment.run(Strategy::Fixed { error_rate: 0.0 }).unwrap();
+    let dp = experiment.run(Strategy::dynamic()).unwrap();
+    let fp = experiment.run(Strategy::fixed(0.0)).unwrap();
     let fp_vs_dp = relative_performance(&fp, &dp);
     assert!(
         fp_vs_dp > 1.0,

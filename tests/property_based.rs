@@ -132,7 +132,7 @@ proptest! {
         let config = SystemConfig::hierarchical(nodes, procs);
         let options = ExecOptions { skew, ..ExecOptions::default() };
 
-        for strategy in [Strategy::Dynamic, Strategy::Fixed { error_rate: 0.2 }] {
+        for strategy in [Strategy::dynamic(), Strategy::fixed(0.2)] {
             let report = hierdb::raw::exec::execute(&plan, &config, strategy, &options).unwrap();
             let expected = plan.total_input_tuples();
             let tolerance = expected / 10 + 64;
@@ -166,9 +166,9 @@ proptest! {
         let config = SystemConfig::hierarchical(nodes, procs);
         let options = ExecOptions { skew, ..ExecOptions::default() };
         let strategy = if fixed {
-            Strategy::Fixed { error_rate: 0.15 }
+            Strategy::fixed(0.15)
         } else {
-            Strategy::Dynamic
+            Strategy::dynamic()
         };
         let plain = execute(&plan, &config, strategy, &options).unwrap();
         let co = execute_cosimulated(
@@ -297,7 +297,7 @@ proptest! {
             .unwrap();
         let mix = QueryMix::new(Arc::new(exp.workload().clone()), vec![MixEntry::default()]).unwrap();
         let run = exp
-            .run_mix(&mix, policy, MixMode::CoSimulated, Strategy::Dynamic)
+            .run_mix(&mix, policy, MixMode::CoSimulated, Strategy::dynamic())
             .unwrap();
         let outcome = &run.schedule.queries[0];
         prop_assert_eq!(outcome.response_secs, run.solo[0].report.response_secs());
@@ -339,7 +339,7 @@ proptest! {
             })
             .collect();
         let co =
-            execute_cosimulated(&queries, &config, Strategy::Dynamic, &ExecOptions::default())
+            execute_cosimulated(&queries, &config, Strategy::dynamic(), &ExecOptions::default())
                 .unwrap();
         for q in &co.queries {
             prop_assert!(q.wait_secs >= 0.0);
@@ -402,9 +402,9 @@ proptest! {
         let config = SystemConfig::hierarchical(nodes, procs);
         let options = ExecOptions::default();
         let strategy = if fixed {
-            Strategy::Fixed { error_rate: 0.15 }
+            Strategy::fixed(0.15)
         } else {
-            Strategy::Dynamic
+            Strategy::dynamic()
         };
         let mk = |arrival: f64| CoSimQuery {
             plan: &plan,
@@ -631,7 +631,7 @@ fn open_system_peak_live_stays_bounded_at_10k_queries() {
         template_skew: 0.0,
     };
     let run = experiment
-        .run_open(&arrivals, concurrency, Strategy::Dynamic)
+        .run_open(&arrivals, concurrency, Strategy::dynamic())
         .expect("open run");
     assert_eq!(run.report.completed, 10_000);
     assert!(

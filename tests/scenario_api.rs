@@ -307,6 +307,49 @@ fn failover_reports_carry_degradation_accounting_and_split_dp_from_fp() {
 }
 
 #[test]
+fn strategy_tournament_spec_matches_its_golden_capture() {
+    assert_golden(
+        "strategy_tournament.txt",
+        &rendered("strategy-tournament"),
+        include_str!("golden/strategy_tournament.txt"),
+    );
+}
+
+/// The tournament is registry-driven: every queue-based policy of the zoo
+/// appears in it (SP cannot — it only defines itself on one shared-memory
+/// node), its column labels are unique (the `FP@0.2` disambiguation), and DP
+/// is the reference column pinned at 1.0.
+#[test]
+fn strategy_tournament_covers_the_registered_zoo_with_unique_labels() {
+    let spec = scenario::find("strategy-tournament").expect("bundled spec");
+    for policy in hierdb::policies() {
+        assert_eq!(
+            spec.strategies.iter().any(|s| s.name() == policy.name()),
+            policy.queue_based(),
+            "policy {} missing from (or illegal in) the tournament",
+            policy.name()
+        );
+    }
+    let mut labels: Vec<String> = spec.strategies.iter().map(|s| s.label()).collect();
+    labels.sort();
+    let before = labels.len();
+    labels.dedup();
+    assert_eq!(labels.len(), before, "tournament column labels collide");
+
+    let report = scenario::run_scenario(&golden(spec)).expect("tournament runs");
+    for point in &report.points {
+        assert_eq!(point.cells.len(), 6);
+        assert!(
+            (point.cells[0].value - 1.0).abs() < 1e-12,
+            "DP is the reference column"
+        );
+        for cell in &point.cells {
+            assert!(cell.value.is_finite() && cell.value > 0.0);
+        }
+    }
+}
+
+#[test]
 fn params_table_reproduces_the_pre_refactor_binary_output() {
     assert_golden(
         "fig_params.txt",
@@ -364,7 +407,7 @@ fn cross_system_cache_distinguishes_steal_tuning() {
         .workload(workload)
         .build()
         .unwrap();
-    let baseline = base.run(Strategy::Dynamic).unwrap();
+    let baseline = base.run(Strategy::dynamic()).unwrap();
 
     // Same strategy, same skew, same machine shape; only the steal policy
     // (and then only the execution seed) differ.
@@ -373,7 +416,7 @@ fn cross_system_cache_distinguishes_steal_tuning() {
             .clone()
             .with_options(ExecOptions::builder().skew(0.5).steal_fraction(0.1).build()),
     );
-    let tuned_runs = tuned.run(Strategy::Dynamic).unwrap();
+    let tuned_runs = tuned.run(Strategy::dynamic()).unwrap();
     assert!(
         !Arc::ptr_eq(&baseline, &tuned_runs),
         "steal tuning must separate cache entries"
@@ -384,7 +427,7 @@ fn cross_system_cache_distinguishes_steal_tuning() {
             .clone()
             .with_options(ExecOptions::builder().skew(0.5).seed(0xBAD).build()),
     );
-    let reseeded_runs = reseeded.run(Strategy::Dynamic).unwrap();
+    let reseeded_runs = reseeded.run(Strategy::dynamic()).unwrap();
     assert!(
         !Arc::ptr_eq(&baseline, &reseeded_runs),
         "the execution seed must separate cache entries"
@@ -395,7 +438,7 @@ fn cross_system_cache_distinguishes_steal_tuning() {
     // ...and a repeat of the identical configuration is a pointer-equal hit.
     let again = base
         .on_system(base.system().clone())
-        .run(Strategy::Dynamic)
+        .run(Strategy::dynamic())
         .unwrap();
     assert!(Arc::ptr_eq(&baseline, &again));
 }
@@ -430,10 +473,7 @@ fn example_spec_file_runs_an_uncovered_axis_combination() {
         }
     }
     // The FP strategy kept its authored error rate.
-    assert_eq!(
-        report.points[0].cells[1].strategy,
-        Strategy::Fixed { error_rate: 0.1 }
-    );
+    assert_eq!(report.points[0].cells[1].strategy, Strategy::fixed(0.1));
 }
 
 /// The shipped mix spec file parses, exercises the concurrent-queries axis,
@@ -532,9 +572,9 @@ fn memory_axis_reaches_the_mix_scheduler_end_to_end() {
     let spec = ScenarioSpec::builder("mem-e2e")
         .machine(1, 2)
         .workload(WorkloadSpec::Mix(mix))
-        .strategies([Strategy::Dynamic])
+        .strategies([Strategy::dynamic()])
         .rows(Axis::MemoryPerNode, [512.0, tight_mb as f64])
-        .reference(Reference::SamePoint(Strategy::Dynamic))
+        .reference(Reference::SamePoint(Strategy::dynamic()))
         .metric(Metric::Relative)
         .presentation(Presentation::Mix(TableStyle::for_axis(Axis::MemoryPerNode)))
         .build()
@@ -702,9 +742,9 @@ fn infeasible_post_failure_specs_fail_with_clear_errors_not_panics() {
         .machine(2, 2)
         .memory_per_node_mb(cap_mb)
         .workload(WorkloadSpec::Mix(mix))
-        .strategies([Strategy::Dynamic])
+        .strategies([Strategy::dynamic()])
         .rows(Axis::Skew, [0.0])
-        .reference(Reference::SamePoint(Strategy::Dynamic))
+        .reference(Reference::SamePoint(Strategy::dynamic()))
         .metric(Metric::Relative)
         .presentation(Presentation::Mix(TableStyle::for_axis(Axis::Skew)))
         .build()

@@ -1,0 +1,122 @@
+//! Differential pinning of the pluggable-strategy refactor (the `Policy`
+//! trait + zoo PR):
+//!
+//! * **thread-count determinism** — every bundled spec (closed, mix and
+//!   open, including the new `strategy-tournament`) renders byte-identically
+//!   at 1 and 4 harness threads in every emission format. The sweep fan-out
+//!   is the only parallelism; the engine event loop stays sequential and
+//!   seeded, whatever policy drives its balancing decisions.
+//! * **tuple conservation** — every registered queue-based policy processes
+//!   exactly the same tuples on randomized workloads: balancing moves work
+//!   between nodes (steal pulls, Threshold pushes), it never drops or
+//!   duplicates it.
+//!
+//! Lives in its own test binary: `hierdb::set_threads` reconfigures a global
+//! pool, and the plain determinism suite asserts its own thread counts.
+
+use hierdb::scenario;
+use hierdb::{AdHocQuery, HierarchicalSystem, Strategy};
+use proptest::prelude::*;
+
+/// Every bundled scenario — the three paper strategies and the related-work
+/// policies alike — renders byte-identically at 1 and 4 harness threads.
+/// This is the old DP/FP/SP determinism diff, generalized: it now covers
+/// every policy the registry's specs reference, so a policy whose hooks
+/// leaked nondeterminism (an unseeded choice, an iteration-order dependence)
+/// fails here by name.
+#[test]
+fn every_bundled_spec_renders_identically_at_1_and_4_threads() {
+    for name in scenario::names() {
+        let spec = scenario::find(&name)
+            .expect("bundled spec")
+            .with_generated_workload(2, 5, 0.01, 0xD1B_1996);
+        assert!(hierdb::set_threads(1), "rayon shim reconfigures");
+        let single = scenario::run_scenario(&spec).unwrap();
+        assert!(hierdb::set_threads(4));
+        let quad = scenario::run_scenario(&spec).unwrap();
+        for (fmt, a, b) in [
+            (
+                "text",
+                scenario::render_text(&single),
+                scenario::render_text(&quad),
+            ),
+            (
+                "json",
+                scenario::render_json(&single),
+                scenario::render_json(&quad),
+            ),
+            (
+                "csv",
+                scenario::render_csv(&single),
+                scenario::render_csv(&quad),
+            ),
+        ] {
+            assert_eq!(a, b, "{name} {fmt} rendering depends on thread count");
+        }
+    }
+}
+
+/// The registered queue-based policies, at their default parameters.
+fn queue_based_zoo() -> Vec<Strategy> {
+    hierdb::policies()
+        .iter()
+        .filter(|p| p.queue_based())
+        .map(|p| Strategy::from_name(p.name()).expect("registered name resolves"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Tuple conservation across the zoo: on a randomized join query and
+    /// machine shape, every registered queue-based policy processes exactly
+    /// the same number of tuples and produces exactly the same result
+    /// cardinality as DP. Balancing relocates activations; a policy that
+    /// dropped a queue on a steal, double-shipped a push, or starved an
+    /// operator to a hang would break the equality (or the run itself).
+    #[test]
+    fn every_queue_based_policy_conserves_tuples_on_random_workloads(
+        nodes in 2u32..5,
+        procs in 2u32..5,
+        build in 5_000u64..20_000,
+        probe in 20_000u64..60_000,
+        skew in 0.0f64..1.0,
+    ) {
+        let system = HierarchicalSystem::builder()
+            .nodes(nodes)
+            .processors_per_node(procs)
+            .build()
+            .with_skew(skew);
+        let query = AdHocQuery::new("conserve")
+            .relation("a", build)
+            .relation("b", probe)
+            .relation("c", probe / 2)
+            .join("a", "b")
+            .join("b", "c");
+        let plans = query.compile(&system).expect("query compiles");
+        let baseline = system
+            .run(&plans[0], Strategy::dynamic())
+            .expect("DP runs");
+        prop_assert!(baseline.tuples_processed > 0);
+        for strategy in queue_based_zoo() {
+            let report = system
+                .run(&plans[0], strategy)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", strategy.label()));
+            prop_assert!(
+                report.tuples_processed == baseline.tuples_processed,
+                "{} lost or invented tuples ({} vs {})",
+                strategy.label(),
+                report.tuples_processed,
+                baseline.tuples_processed
+            );
+            prop_assert!(
+                report.result_tuples == baseline.result_tuples,
+                "{} changed the result cardinality ({} vs {})",
+                strategy.label(),
+                report.result_tuples,
+                baseline.result_tuples
+            );
+            prop_assert!(report.response_time.as_secs_f64() > 0.0);
+        }
+    }
+}
